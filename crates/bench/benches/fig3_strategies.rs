@@ -1,0 +1,57 @@
+//! Criterion version of Figure 3: per-query latency of the Baseline, PM,
+//! and SPM strategies on the three Table 4 templates.
+//!
+//! Uses a small fixed network so `cargo bench` completes quickly; the
+//! full-scale numbers come from `cargo run --release --bin exp_fig3`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hin_datagen::workload::{generate_queries, QueryTemplate};
+use hin_query::validate::{parse_and_bind, BoundQuery};
+use netout::{IndexPolicy, OutlierDetector};
+use std::hint::black_box;
+
+fn bench_strategies(c: &mut Criterion) {
+    let net = bench::setup::criterion_network();
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+
+    for template in QueryTemplate::ALL {
+        let queries = generate_queries(&net.graph, template, 20, 42);
+        let bound: Vec<BoundQuery> = queries
+            .iter()
+            .map(|q| parse_and_bind(q, net.graph.schema()).unwrap())
+            .collect();
+        let detectors = [
+            ("baseline", OutlierDetector::new(net.graph.clone())),
+            (
+                "pm",
+                OutlierDetector::with_index(net.graph.clone(), IndexPolicy::full()).unwrap(),
+            ),
+            (
+                "spm",
+                OutlierDetector::with_index(
+                    net.graph.clone(),
+                    IndexPolicy::selective(queries.clone(), 0.01),
+                )
+                .unwrap(),
+            ),
+        ];
+        for (name, detector) in detectors {
+            group.bench_with_input(
+                BenchmarkId::new(name, template.name()),
+                &bound,
+                |b, bound| {
+                    b.iter(|| {
+                        for q in bound {
+                            black_box(detector.execute(q).unwrap());
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

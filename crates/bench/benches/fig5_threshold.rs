@@ -1,0 +1,42 @@
+//! Criterion version of Figure 5a: SPM per-query latency as the relative
+//! frequency threshold varies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hin_datagen::workload::{generate_queries, QueryTemplate};
+use hin_query::validate::{parse_and_bind, BoundQuery};
+use netout::{IndexPolicy, OutlierDetector};
+use std::hint::black_box;
+
+fn bench_thresholds(c: &mut Criterion) {
+    let net = bench::setup::criterion_network();
+    let queries = generate_queries(&net.graph, QueryTemplate::Q1, 20, 42);
+    let bound: Vec<BoundQuery> = queries
+        .iter()
+        .map(|q| parse_and_bind(q, net.graph.schema()).unwrap())
+        .collect();
+
+    let mut group = c.benchmark_group("fig5a");
+    group.sample_size(10);
+    for threshold in bench::experiments::fig5::THRESHOLDS {
+        let detector = OutlierDetector::with_index(
+            net.graph.clone(),
+            IndexPolicy::selective(queries.clone(), threshold),
+        )
+        .unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &bound,
+            |b, bound| {
+                b.iter(|| {
+                    for q in bound {
+                        black_box(detector.execute(q).unwrap());
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thresholds);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Microbenchmarks for the engine's primitives, including the paper's
+//! complexity claim of Section 6.1: NetOut via Equation (1) is
+//! `O(|S_r| + |S_c|)` versus the naive `O(|S_r| × |S_c|)` double loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hin_graph::{traverse, MetaPath, SparseVec, VertexId};
+use netout::measures::netout::{netout_scores_naive, NetOut};
+use netout::measures::OutlierMeasure;
+use std::hint::black_box;
+
+/// Synthetic sparse vectors with ~24 nonzeros over a 4k-dim space.
+fn vectors(n: usize, salt: u64) -> Vec<(VertexId, SparseVec)> {
+    (0..n)
+        .map(|i| {
+            let entries: Vec<(VertexId, f64)> = (0..24u64)
+                .map(|j| {
+                    let dim = ((i as u64 * 31 + j * 97 + salt * 13) % 4096) as u32;
+                    (VertexId(dim), ((i + j as usize) % 7 + 1) as f64)
+                })
+                .collect();
+            (VertexId(i as u32), SparseVec::from_entries(entries))
+        })
+        .collect()
+}
+
+fn bench_netout_eq1_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netout_scaling");
+    group.sample_size(10);
+    for n in [100usize, 400, 1600] {
+        let candidates = vectors(n, 1);
+        let reference = vectors(n, 2);
+        group.bench_with_input(BenchmarkId::new("eq1", n), &n, |b, _| {
+            b.iter(|| black_box(NetOut.scores(&candidates, &reference).unwrap()))
+        });
+        // The naive variant is quadratic; keep its largest size modest.
+        if n <= 400 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+                b.iter(|| black_box(netout_scores_naive(&candidates, &reference)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_sparse_ops(c: &mut Criterion) {
+    let vs = vectors(2, 3);
+    let (a, b_vec) = (&vs[0].1, &vs[1].1);
+    c.bench_function("sparse_dot_24nnz", |bencher| {
+        bencher.iter(|| black_box(a.dot(black_box(b_vec))))
+    });
+
+    let net = bench::setup::criterion_network();
+    let schema = net.graph.schema();
+    let apvpa = MetaPath::parse("author.paper.venue.paper.author", schema).unwrap();
+    let author_t = schema.vertex_type_by_name("author").unwrap();
+    let hub = net.hubs[0];
+    c.bench_function("neighbor_vector_apvpa_hub", |bencher| {
+        bencher.iter(|| black_box(traverse::neighbor_vector(&net.graph, hub, &apvpa).unwrap()))
+    });
+    let some_author = net.graph.vertices_of_type(author_t)[0];
+    c.bench_function("neighbor_vector_apvpa_typical", |bencher| {
+        bencher.iter(|| {
+            black_box(traverse::neighbor_vector(&net.graph, some_author, &apvpa).unwrap())
+        })
+    });
+}
+
+fn bench_vector_cache_ablation(c: &mut Criterion) {
+    use hin_datagen::workload::{generate_queries, QueryTemplate};
+    use hin_query::validate::parse_and_bind;
+    use netout::OutlierDetector;
+
+    let net = bench::setup::criterion_network();
+    // A workload with repeated anchors: exactly the exploratory pattern the
+    // cache targets.
+    let mut queries = generate_queries(&net.graph, QueryTemplate::Q1, 10, 42);
+    let repeats = queries.clone();
+    queries.extend(repeats);
+    let bound: Vec<_> = queries
+        .iter()
+        .map(|q| parse_and_bind(q, net.graph.schema()).unwrap())
+        .collect();
+
+    let mut group = c.benchmark_group("vector_cache");
+    group.sample_size(10);
+    let uncached = OutlierDetector::new(net.graph.clone());
+    group.bench_function("uncached", |b| {
+        b.iter(|| {
+            for q in &bound {
+                black_box(uncached.execute(q).unwrap());
+            }
+        })
+    });
+    let cached = OutlierDetector::new(net.graph.clone()).with_vector_cache(100_000);
+    group.bench_function("cached", |b| {
+        b.iter(|| {
+            for q in &bound {
+                black_box(cached.execute(q).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_netout_eq1_vs_naive,
+    bench_sparse_ops,
+    bench_vector_cache_ablation
+);
+criterion_main!(benches);

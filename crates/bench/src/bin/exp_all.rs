@@ -1,0 +1,26 @@
+//! Runs every experiment in paper order — the one-shot reproduction of the
+//! evaluation section. Configure scale with HIN_EXP_SCALE / HIN_EXP_QUERIES.
+fn main() {
+    let sections: [(&str, fn()); 5] = [
+        ("Tables 1-2 and Figure 2 (toy reproduction)", || {
+            bench::experiments::toy::run()
+        }),
+        ("Tables 3 and 5 (case studies)", || {
+            let net = bench::setup::network();
+            bench::experiments::case_study::run(&net);
+        }),
+        ("Figure 3 (Baseline vs PM vs SPM)", || {
+            bench::experiments::fig3::run()
+        }),
+        ("Figure 4 (SPM breakdown)", || bench::experiments::fig4::run()),
+        ("Figure 5 (threshold sweep)", || {
+            bench::experiments::fig5::run()
+        }),
+    ];
+    for (title, f) in sections {
+        println!("\n######## {title} ########\n");
+        f();
+    }
+    println!("\n######## Section 8 (measure comparison) ########\n");
+    bench::experiments::baselines::run();
+}

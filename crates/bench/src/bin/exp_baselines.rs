@@ -1,0 +1,5 @@
+//! Regenerates the Section 8 measure comparison (NetOut vs LOF vs kNN vs
+//! PathSim vs CosSim) against planted ground truth.
+fn main() {
+    bench::experiments::baselines::run();
+}

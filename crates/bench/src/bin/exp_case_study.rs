@@ -1,0 +1,6 @@
+//! Regenerates the Table 3 and Table 5 case studies on the synthetic
+//! network (with planted-outlier ground truth and precision@k).
+fn main() {
+    let net = bench::setup::network();
+    bench::experiments::case_study::run(&net);
+}

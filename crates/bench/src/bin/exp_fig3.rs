@@ -1,0 +1,4 @@
+//! Regenerates Figure 3 (Baseline vs PM vs SPM total execution time).
+fn main() {
+    bench::experiments::fig3::run();
+}

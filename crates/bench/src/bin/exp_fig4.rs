@@ -1,0 +1,4 @@
+//! Regenerates Figure 4 (SPM processing-time breakdown).
+fn main() {
+    bench::experiments::fig4::run();
+}

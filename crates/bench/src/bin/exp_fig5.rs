@@ -1,0 +1,4 @@
+//! Regenerates Figure 5 (SPM threshold sweep: time and index size).
+fn main() {
+    bench::experiments::fig5::run();
+}

@@ -1,0 +1,5 @@
+//! Scale sweep: Baseline vs PM speedup as the synthetic network grows
+//! (extension; supports the EXPERIMENTS.md scale-dependence claims).
+fn main() {
+    bench::experiments::scaling::run();
+}

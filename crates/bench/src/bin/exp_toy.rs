@@ -1,0 +1,4 @@
+//! Regenerates Tables 1–2 and Figure 2 (the exactly-reproducible toys).
+fn main() {
+    bench::experiments::toy::run();
+}

@@ -1,0 +1,203 @@
+//! Figure 3: total execution time of a query workload under the Baseline,
+//! PM, and SPM strategies, per query template (Table 4).
+
+use crate::report::{ms, Table};
+use crate::setup;
+use hin_datagen::dblp::SyntheticNetwork;
+use hin_datagen::workload::{generate_queries, QueryTemplate};
+use hin_query::validate::{parse_and_bind, BoundQuery};
+use netout::{IndexPolicy, OutlierDetector};
+use std::time::{Duration, Instant};
+
+/// The measured result for one (template, strategy) cell of Figure 3.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Template name (`Q1`…`Q3`).
+    pub template: &'static str,
+    /// Strategy name (`baseline` / `pm` / `spm`).
+    pub strategy: &'static str,
+    /// Total execution time across the workload.
+    pub total: Duration,
+    /// Time spent building the index (zero for baseline).
+    pub build: Duration,
+    /// Index memory in bytes.
+    pub index_bytes: usize,
+    /// Number of queries executed.
+    pub queries: usize,
+}
+
+impl Cell {
+    /// Mean per-query latency.
+    pub fn avg(&self) -> Duration {
+        if self.queries == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.queries as u32
+        }
+    }
+}
+
+fn bind_all(net: &SyntheticNetwork, queries: &[String]) -> Vec<BoundQuery> {
+    queries
+        .iter()
+        .map(|q| parse_and_bind(q, net.graph.schema()).expect("workload query binds"))
+        .collect()
+}
+
+/// Execute the bound workload on one detector, returning total wall time.
+pub fn run_workload(detector: &OutlierDetector, bound: &[BoundQuery]) -> Duration {
+    let mut total = Duration::ZERO;
+    for q in bound {
+        let t = Instant::now();
+        let result = detector.execute(q);
+        total += t.elapsed();
+        // Workload anchors are active authors, so these queries succeed by
+        // construction; any failure is a harness bug worth crashing on.
+        result.expect("workload query executes");
+    }
+    total
+}
+
+/// Build the three strategy detectors for one template's workload.
+///
+/// `init_queries` is the SPM initialization set; per the paper this should
+/// be "the set of all possible queries for the given query template" (see
+/// [`hin_datagen::workload::all_template_queries`]), not the measured
+/// workload itself.
+pub fn detectors(
+    net: &SyntheticNetwork,
+    init_queries: &[String],
+    spm_threshold: f64,
+) -> Vec<(&'static str, OutlierDetector, Duration)> {
+    let mut out = Vec::new();
+    let t = Instant::now();
+    let baseline = OutlierDetector::new(net.graph.clone());
+    out.push(("baseline", baseline, t.elapsed()));
+    let t = Instant::now();
+    let pm = OutlierDetector::with_index(net.graph.clone(), IndexPolicy::full())
+        .expect("PM build");
+    out.push(("pm", pm, t.elapsed()));
+    let t = Instant::now();
+    let spm = OutlierDetector::with_index(
+        net.graph.clone(),
+        IndexPolicy::selective(init_queries.to_vec(), spm_threshold),
+    )
+    .expect("SPM build");
+    out.push(("spm", spm, t.elapsed()));
+    out
+}
+
+/// Measure all cells of Figure 3.
+pub fn measure(net: &SyntheticNetwork, queries_per_template: usize, seed: u64) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for template in QueryTemplate::ALL {
+        let queries = generate_queries(&net.graph, template, queries_per_template, seed);
+        let bound = bind_all(net, &queries);
+        let init = hin_datagen::workload::all_template_queries(&net.graph, template);
+        for (strategy, detector, build) in detectors(net, &init, 0.01) {
+            let total = run_workload(&detector, &bound);
+            cells.push(Cell {
+                template: template.name(),
+                strategy,
+                total,
+                build,
+                index_bytes: detector.index_size_bytes(),
+                queries: bound.len(),
+            });
+        }
+    }
+    cells
+}
+
+/// Print Figure 3.
+pub fn run() {
+    let net = setup::network();
+    let n = setup::workload_size();
+    println!(
+        "network: {} vertices, {} edges; {} queries per template\n",
+        net.graph.vertex_count(),
+        net.graph.edge_count(),
+        n
+    );
+    let cells = measure(&net, n, setup::seed());
+    let mut t = Table::new(
+        "Figure 3 — total execution time per query set (lower is better)",
+        &[
+            "query set",
+            "strategy",
+            "total (ms)",
+            "avg/query (ms)",
+            "speedup vs baseline",
+            "index build (ms)",
+            "index size (bytes)",
+        ],
+    );
+    for chunk in cells.chunks(3) {
+        let base_total = chunk
+            .iter()
+            .find(|c| c.strategy == "baseline")
+            .expect("baseline cell")
+            .total;
+        for c in chunk {
+            let speedup = base_total.as_secs_f64() / c.total.as_secs_f64().max(1e-12);
+            t.row(&[
+                c.template.to_string(),
+                c.strategy.to_string(),
+                ms(c.total),
+                ms(c.avg()),
+                format!("{speedup:.1}x"),
+                ms(c.build),
+                c.index_bytes.to_string(),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nPaper's shape (Fig. 3): PM 5–100× faster than baseline; SPM between \
+         baseline and PM (>10× on Q3)."
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hin_datagen::dblp::{generate, SyntheticConfig};
+
+    #[test]
+    fn strategies_agree_and_pm_wins() {
+        let net = generate(&SyntheticConfig::tiny(31));
+        let queries = generate_queries(&net.graph, QueryTemplate::Q1, 10, 5);
+        let bound = bind_all(&net, &queries);
+        let dets = detectors(&net, &queries, 0.01);
+        // Results must be identical across strategies.
+        let reference: Vec<Vec<String>> = bound
+            .iter()
+            .map(|q| dets[0].1.execute(q).unwrap().names().iter().map(|s| s.to_string()).collect())
+            .collect();
+        for (name, det, _) in &dets[1..] {
+            for (q, want) in bound.iter().zip(&reference) {
+                let got: Vec<String> = det
+                    .execute(q)
+                    .unwrap()
+                    .names()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+                assert_eq!(&got, want, "strategy {name} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn measure_produces_nine_cells() {
+        let net = generate(&SyntheticConfig::tiny(32));
+        let cells = measure(&net, 5, 1);
+        assert_eq!(cells.len(), 9);
+        assert!(cells.iter().all(|c| c.queries == 5));
+        // PM has a non-trivial index; baseline has none.
+        let pm = cells.iter().find(|c| c.strategy == "pm").unwrap();
+        let base = cells.iter().find(|c| c.strategy == "baseline").unwrap();
+        assert!(pm.index_bytes > 0);
+        assert_eq!(base.index_bytes, 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Figure 5: SPM's relative-frequency threshold trades index size (5b)
+//! against average query time (5a).
+
+use crate::report::{ms, Table};
+use crate::setup;
+use hin_datagen::dblp::SyntheticNetwork;
+use hin_datagen::workload::{generate_queries, QueryTemplate};
+use hin_query::validate::parse_and_bind;
+use netout::{IndexPolicy, OutlierDetector};
+use std::time::{Duration, Instant};
+
+/// Thresholds swept in the paper ("0.001, 0.01, 0.05, and 0.1").
+pub const THRESHOLDS: [f64; 4] = [0.001, 0.01, 0.05, 0.1];
+
+/// One point on the Figure 5 curves.
+#[derive(Debug, Clone)]
+pub struct ThresholdPoint {
+    /// The relative frequency threshold.
+    pub threshold: f64,
+    /// Average per-query execution time (Figure 5a's y-axis).
+    pub avg_exec: Duration,
+    /// Index size in bytes (Figure 5b's y-axis).
+    pub index_bytes: usize,
+    /// Index build time (not plotted in the paper, reported for context).
+    pub build: Duration,
+}
+
+/// Sweep the thresholds on one template's workload (the paper uses Q1-style
+/// author-anchored queries).
+pub fn measure(
+    net: &SyntheticNetwork,
+    queries_per_template: usize,
+    seed: u64,
+) -> Vec<ThresholdPoint> {
+    let queries = generate_queries(&net.graph, QueryTemplate::Q1, queries_per_template, seed);
+    let bound: Vec<_> = queries
+        .iter()
+        .map(|q| parse_and_bind(q, net.graph.schema()).expect("binds"))
+        .collect();
+    let init = hin_datagen::workload::all_template_queries(&net.graph, QueryTemplate::Q1);
+    THRESHOLDS
+        .iter()
+        .map(|&threshold| {
+            let t = Instant::now();
+            let detector = OutlierDetector::with_index(
+                net.graph.clone(),
+                IndexPolicy::selective(init.clone(), threshold),
+            )
+            .expect("SPM build");
+            let build = t.elapsed();
+            let mut total = Duration::ZERO;
+            for q in &bound {
+                let t = Instant::now();
+                detector.execute(q).expect("executes");
+                total += t.elapsed();
+            }
+            ThresholdPoint {
+                threshold,
+                avg_exec: total / bound.len().max(1) as u32,
+                index_bytes: detector.index_size_bytes(),
+                build,
+            }
+        })
+        .collect()
+}
+
+/// Print Figure 5.
+pub fn run() {
+    let net = setup::network();
+    let n = setup::workload_size();
+    let points = measure(&net, n, setup::seed());
+    let mut t = Table::new(
+        "Figure 5 — SPM threshold sweep (Q1 workload)",
+        &[
+            "threshold",
+            "avg execution time (ms)",
+            "index size (bytes)",
+            "index build (ms)",
+        ],
+    );
+    for p in &points {
+        t.row(&[
+            format!("{}", p.threshold),
+            ms(p.avg_exec),
+            p.index_bytes.to_string(),
+            ms(p.build),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nPaper's shape (Fig. 5): index size decreases as the threshold rises, \
+         while average query time increases; the sweet spot lies between 0.01 \
+         and 0.05."
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hin_datagen::dblp::{generate, SyntheticConfig};
+
+    #[test]
+    fn index_size_monotone_nonincreasing_in_threshold() {
+        let net = generate(&SyntheticConfig::tiny(51));
+        let points = measure(&net, 30, 3);
+        assert_eq!(points.len(), THRESHOLDS.len());
+        for w in points.windows(2) {
+            assert!(
+                w[0].index_bytes >= w[1].index_bytes,
+                "higher threshold must not grow the index: {points:?}"
+            );
+        }
+    }
+}

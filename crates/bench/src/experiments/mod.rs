@@ -1,0 +1,9 @@
+//! Experiment implementations, one module per paper artifact.
+
+pub mod baselines;
+pub mod case_study;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod scaling;
+pub mod toy;

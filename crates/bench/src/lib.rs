@@ -1,0 +1,27 @@
+//! Benchmark and experiment harness for the EDBT 2015 reproduction.
+//!
+//! Every table and figure in the paper's evaluation has a regenerating
+//! entry point:
+//!
+//! | Paper artifact | Binary | Library module |
+//! |---|---|---|
+//! | Tables 1–2, Figure 2 | `exp_toy` | [`experiments::toy`] |
+//! | Tables 3 and 5 | `exp_case_study` | [`experiments::case_study`] |
+//! | Figure 3 | `exp_fig3` (+ criterion `fig3_strategies`) | [`experiments::fig3`] |
+//! | Figure 4 | `exp_fig4` | [`experiments::fig4`] |
+//! | Figure 5 | `exp_fig5` (+ criterion `fig5_threshold`) | [`experiments::fig5`] |
+//! | Section 8 LOF discussion | `exp_baselines` | [`experiments::baselines`] |
+//! | scale sweep (extension) | `exp_scaling` | [`experiments::scaling`] |
+//! | everything, in order | `exp_all` | — |
+//!
+//! Experiment scale is controlled by environment variables so the same
+//! binaries serve smoke runs and full runs:
+//!
+//! * `HIN_EXP_SCALE` — multiplies the synthetic network size (default 1.0 ⇒
+//!   ≈2k authors / 8k papers; the paper's ArnetMiner graph is ≈280× that).
+//! * `HIN_EXP_QUERIES` — queries per workload (default 200; paper: 10,000).
+//! * `HIN_EXP_SEED` — RNG seed (default 42).
+
+pub mod experiments;
+pub mod report;
+pub mod setup;

@@ -1,0 +1,70 @@
+//! Environment-driven experiment sizing and shared fixtures.
+
+use hin_datagen::dblp::{generate, SyntheticConfig, SyntheticNetwork};
+
+/// Read an environment variable, falling back to `default`.
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Network scale factor (`HIN_EXP_SCALE`, default 1.0).
+pub fn scale() -> f64 {
+    env_or("HIN_EXP_SCALE", 1.0)
+}
+
+/// Queries per workload (`HIN_EXP_QUERIES`, default 200; the paper uses
+/// 10,000 on a ~280× larger network).
+pub fn workload_size() -> usize {
+    env_or("HIN_EXP_QUERIES", 200)
+}
+
+/// Experiment RNG seed (`HIN_EXP_SEED`, default 42).
+pub fn seed() -> u64 {
+    env_or("HIN_EXP_SEED", 42)
+}
+
+/// The experiment network configuration at the current scale.
+pub fn config() -> SyntheticConfig {
+    SyntheticConfig {
+        seed: seed(),
+        ..SyntheticConfig::default()
+    }
+    .scaled(scale())
+}
+
+/// Generate the experiment network (deterministic per scale/seed).
+pub fn network() -> SyntheticNetwork {
+    generate(&config())
+}
+
+/// A smaller network for criterion microbenchmarks, independent of
+/// `HIN_EXP_SCALE` so `cargo bench` stays fast.
+pub fn criterion_network() -> SyntheticNetwork {
+    generate(&SyntheticConfig {
+        seed: 7,
+        ..SyntheticConfig::default()
+    }
+    .scaled(0.25))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_fallbacks() {
+        // Unset variables fall back to defaults.
+        assert!(scale() > 0.0);
+        assert!(workload_size() > 0);
+    }
+
+    #[test]
+    fn criterion_network_is_small_but_nonempty() {
+        let net = criterion_network();
+        assert!(net.graph.vertex_count() > 100);
+        assert!(net.graph.vertex_count() < 20_000);
+    }
+}

@@ -1,0 +1,392 @@
+//! High-level facade: own a network, optionally build an index, run queries.
+
+use crate::engine::cache::{CacheStats, CachedSource, VectorCache};
+use crate::engine::executor::{CombineStrategy, QueryEngine, QueryResult};
+use crate::engine::index::{select_frequent_vertices, ChunkSelection, PmIndex};
+use crate::engine::source::IndexedSource;
+use crate::error::EngineError;
+use crate::measures::MeasureKind;
+use hin_graph::HinGraph;
+use hin_query::validate::{parse_and_bind, BoundQuery};
+
+/// Indexing policy for an [`OutlierDetector`], mirroring the three
+/// implementations compared in the paper's Section 7 (Baseline / PM / SPM).
+#[derive(Debug, Clone)]
+pub enum IndexPolicy {
+    /// No index — the baseline implementation (Section 6.1).
+    None,
+    /// Full pre-materialization of length-2 meta-paths (PM).
+    Full {
+        /// Which length-2 meta-paths to materialize.
+        selection: ChunkSelection,
+        /// Build parallelism (1 = sequential).
+        threads: usize,
+    },
+    /// Selective pre-materialization (SPM): only vertices whose relative
+    /// frequency in the candidate sets of `init_queries` is at least
+    /// `threshold` get materialized rows.
+    Selective {
+        /// Which length-2 meta-paths to consider. `None` derives the chunk
+        /// set from the initialization queries themselves.
+        selection: Option<ChunkSelection>,
+        /// Relative frequency threshold in `[0, 1]` (the paper uses 0.01).
+        threshold: f64,
+        /// The initialization query workload ("existing query logs, or else
+        /// synthetic queries", Section 6.2).
+        init_queries: Vec<String>,
+        /// Build parallelism (1 = sequential).
+        threads: usize,
+    },
+}
+
+impl IndexPolicy {
+    /// Full PM over all schema-valid length-2 paths, parallel build.
+    pub fn full() -> Self {
+        IndexPolicy::Full {
+            selection: ChunkSelection::All,
+            threads: default_threads(),
+        }
+    }
+
+    /// SPM with the paper's default threshold (0.01), deriving indexed
+    /// chunks from the workload.
+    pub fn selective(init_queries: Vec<String>, threshold: f64) -> Self {
+        IndexPolicy::Selective {
+            selection: None,
+            threshold,
+            init_queries,
+            threads: default_threads(),
+        }
+    }
+}
+
+/// A sensible build parallelism: available cores, capped.
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(16))
+        .unwrap_or(1)
+}
+
+/// The top-level outlier detection system: a heterogeneous network plus an
+/// optional pre-materialization index, a measure, and a combination
+/// strategy.
+///
+/// ```
+/// use hin_datagen::toy;
+/// use netout::{IndexPolicy, OutlierDetector};
+///
+/// let detector = OutlierDetector::with_index(toy::figure1_network(), IndexPolicy::full()).unwrap();
+/// let result = detector
+///     .query("FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author JUDGED BY author.paper.venue;")
+///     .unwrap();
+/// assert_eq!(result.ranked.len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct OutlierDetector {
+    graph: HinGraph,
+    index: Option<PmIndex>,
+    cache: Option<VectorCache>,
+    source_name: &'static str,
+    measure: MeasureKind,
+    combine: CombineStrategy,
+}
+
+impl OutlierDetector {
+    /// A detector without an index (baseline execution).
+    pub fn new(graph: HinGraph) -> Self {
+        OutlierDetector {
+            graph,
+            index: None,
+            cache: None,
+            source_name: "baseline",
+            measure: MeasureKind::NetOut,
+            combine: CombineStrategy::default(),
+        }
+    }
+
+    /// A detector with the given indexing policy; builds the index eagerly.
+    pub fn with_index(graph: HinGraph, policy: IndexPolicy) -> Result<Self, EngineError> {
+        let (index, source_name) = match policy {
+            IndexPolicy::None => (None, "baseline"),
+            IndexPolicy::Full { selection, threads } => (
+                Some(PmIndex::build_full(&graph, selection, threads)),
+                "pm",
+            ),
+            IndexPolicy::Selective {
+                selection,
+                threshold,
+                init_queries,
+                threads,
+            } => {
+                let bound: Vec<BoundQuery> = init_queries
+                    .iter()
+                    .map(|q| parse_and_bind(q, graph.schema()))
+                    .collect::<Result<_, _>>()?;
+                let selection = selection.unwrap_or_else(|| {
+                    ChunkSelection::Paths(crate::engine::index::chunks_used_by(&bound))
+                });
+                let selected = select_frequent_vertices(&graph, &bound, threshold);
+                (
+                    Some(PmIndex::build_selective(
+                        &graph, selection, &selected, threads,
+                    )),
+                    "spm",
+                )
+            }
+        };
+        Ok(OutlierDetector {
+            graph,
+            index,
+            cache: None,
+            source_name,
+            measure: MeasureKind::NetOut,
+            combine: CombineStrategy::default(),
+        })
+    }
+
+    /// Enable a cross-query LRU cache of neighbor vectors holding up to
+    /// `capacity` vectors — pays off when an analyst iterates on related
+    /// queries (see [`crate::engine::cache`]). Composes with any index
+    /// policy.
+    pub fn with_vector_cache(mut self, capacity: usize) -> Self {
+        self.cache = Some(VectorCache::new(capacity));
+        self
+    }
+
+    /// Hit/miss counters of the vector cache (`None` when disabled).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(VectorCache::stats)
+    }
+
+    /// Change the outlierness measure (default: NetOut).
+    pub fn measure(mut self, measure: MeasureKind) -> Self {
+        self.measure = measure;
+        self
+    }
+
+    /// Change the multi-path combination strategy (default: weighted
+    /// average).
+    pub fn combine_strategy(mut self, combine: CombineStrategy) -> Self {
+        self.combine = combine;
+        self
+    }
+
+    /// The underlying network.
+    pub fn graph(&self) -> &HinGraph {
+        &self.graph
+    }
+
+    /// Bytes of index memory (0 when unindexed) — Figure 5b's metric.
+    pub fn index_size_bytes(&self) -> usize {
+        self.index.as_ref().map(PmIndex::size_bytes).unwrap_or(0)
+    }
+
+    /// The active strategy name: `"baseline"`, `"pm"`, or `"spm"`.
+    pub fn strategy(&self) -> &'static str {
+        self.source_name
+    }
+
+    /// Build a [`QueryEngine`] borrowing this detector's graph, index, and
+    /// cache.
+    pub fn engine(&self) -> QueryEngine<'_> {
+        let base: Box<dyn crate::engine::source::VectorSource + '_> = match &self.index {
+            None => Box::new(crate::engine::source::TraversalSource::new(&self.graph)),
+            Some(index) => Box::new(IndexedSource::new(&self.graph, index, self.source_name)),
+        };
+        let source: Box<dyn crate::engine::source::VectorSource + '_> = match &self.cache {
+            None => base,
+            Some(cache) => Box::new(CachedSource::new(base, cache)),
+        };
+        QueryEngine::with_source(&self.graph, source)
+            .measure(self.measure)
+            .combine_strategy(self.combine)
+    }
+
+    /// Parse, validate, and execute a query string.
+    pub fn query(&self, src: &str) -> Result<QueryResult, EngineError> {
+        self.engine().execute_str(src)
+    }
+
+    /// Parse and validate a query string, returning its execution plan
+    /// without running it.
+    pub fn explain(&self, src: &str) -> Result<crate::engine::explain::Explain, EngineError> {
+        let bound = parse_and_bind(src, self.graph.schema())?;
+        Ok(self.engine().explain(&bound))
+    }
+
+    /// Execute a pre-bound query (useful for repeated workloads).
+    pub fn execute(&self, query: &BoundQuery) -> Result<QueryResult, EngineError> {
+        self.engine().execute(query)
+    }
+
+    /// Top-k PathSim similarity search from a named vertex along a feature
+    /// meta-path (see [`crate::measures::similarity`]). The feature path is
+    /// given in dotted notation (`"author.paper.venue"`) and must start at
+    /// the vertex's type.
+    pub fn similar(
+        &self,
+        type_name: &str,
+        vertex_name: &str,
+        feature_path: &str,
+        k: usize,
+    ) -> Result<Vec<(String, f64)>, EngineError> {
+        let schema = self.graph.schema();
+        let vtype = schema.vertex_type_by_name(type_name).ok_or_else(|| {
+            EngineError::Graph(hin_graph::GraphError::UnknownVertexTypeName(
+                type_name.to_string(),
+            ))
+        })?;
+        let v = self
+            .graph
+            .vertex_by_name(vtype, vertex_name)
+            .ok_or_else(|| EngineError::UnknownAnchor {
+                type_name: type_name.to_string(),
+                name: vertex_name.to_string(),
+            })?;
+        let path = hin_graph::MetaPath::parse(feature_path, schema)?;
+        let engine = self.engine();
+        let mut stats = crate::engine::stats::ExecBreakdown::default();
+        let hits = crate::measures::similarity::pathsim_topk(
+            engine.source(),
+            v,
+            &path,
+            k,
+            &mut stats,
+        )?;
+        Ok(hits
+            .into_iter()
+            .map(|h| (self.graph.vertex_name(h.vertex).to_string(), h.similarity))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hin_datagen::toy;
+
+    fn icde_query() -> &'static str {
+        "FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author JUDGED BY author.paper.venue;"
+    }
+
+    #[test]
+    fn baseline_pm_and_spm_agree_on_scores() {
+        let base = OutlierDetector::new(toy::figure1_network());
+        let pm = OutlierDetector::with_index(toy::figure1_network(), IndexPolicy::full()).unwrap();
+        let spm = OutlierDetector::with_index(
+            toy::figure1_network(),
+            IndexPolicy::selective(vec![icde_query().to_string()], 0.01),
+        )
+        .unwrap();
+        let rb = base.query(icde_query()).unwrap();
+        let rp = pm.query(icde_query()).unwrap();
+        let rs = spm.query(icde_query()).unwrap();
+        assert_eq!(rb.names(), rp.names());
+        assert_eq!(rb.names(), rs.names());
+        for ((b, p), s) in rb.ranked.iter().zip(&rp.ranked).zip(&rs.ranked) {
+            assert!((b.score - p.score).abs() < 1e-12);
+            assert!((b.score - s.score).abs() < 1e-12);
+        }
+        assert_eq!(base.strategy(), "baseline");
+        assert_eq!(pm.strategy(), "pm");
+        assert_eq!(spm.strategy(), "spm");
+    }
+
+    #[test]
+    fn index_sizes_ordered() {
+        let base = OutlierDetector::new(toy::table1_network());
+        let pm = OutlierDetector::with_index(toy::table1_network(), IndexPolicy::full()).unwrap();
+        let spm = OutlierDetector::with_index(
+            toy::table1_network(),
+            // Workload touching only Sarah's coauthor set.
+            IndexPolicy::selective(
+                vec![
+                    "FIND OUTLIERS FROM author{\"Sarah\"}.paper.author \
+                     JUDGED BY author.paper.venue;"
+                        .to_string(),
+                ],
+                0.5,
+            ),
+        )
+        .unwrap();
+        assert_eq!(base.index_size_bytes(), 0);
+        assert!(pm.index_size_bytes() > spm.index_size_bytes());
+        assert!(spm.index_size_bytes() > 0);
+    }
+
+    #[test]
+    fn spm_records_index_hits_and_misses() {
+        let spm = OutlierDetector::with_index(
+            toy::figure1_network(),
+            IndexPolicy::selective(
+                vec![
+                    // Only Zoe's coauthors in the workload (= all 3 authors,
+                    // each freq 1.0) — threshold 1.0 keeps them all; the
+                    // chunk set will be APA + APV.
+                    "FIND OUTLIERS FROM author{\"Zoe\"}.paper.author \
+                     JUDGED BY author.paper.venue;"
+                        .to_string(),
+                ],
+                1.0,
+            ),
+        )
+        .unwrap();
+        let r = spm
+            .query(
+                "FIND OUTLIERS FROM author{\"Zoe\"}.paper.author JUDGED BY author.paper.venue;",
+            )
+            .unwrap();
+        assert!(r.stats.indexed_count > 0, "feature vectors served from index");
+        assert!(r.stats.index_hit_rate().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn spm_with_bad_init_query_fails_fast() {
+        let err = OutlierDetector::with_index(
+            toy::figure1_network(),
+            IndexPolicy::selective(vec!["FIND GARBAGE;".to_string()], 0.01),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::Query(_)));
+    }
+
+    #[test]
+    fn vector_cache_accelerates_repeated_queries() {
+        let detector = OutlierDetector::new(toy::figure1_network()).with_vector_cache(256);
+        let r1 = detector.query(icde_query()).unwrap();
+        let stats1 = detector.cache_stats().unwrap();
+        assert_eq!(stats1.hits, 0, "cold cache");
+        assert!(stats1.misses > 0);
+        let r2 = detector.query(icde_query()).unwrap();
+        let stats2 = detector.cache_stats().unwrap();
+        assert!(stats2.hits > 0, "warm cache serves repeats");
+        assert_eq!(r1.names(), r2.names());
+        for (a, b) in r1.ranked.iter().zip(&r2.ranked) {
+            assert_eq!(a.score, b.score);
+        }
+        // The warm run's materializations were all indexed-bucket loads.
+        assert_eq!(r2.stats.unindexed_count, 0);
+    }
+
+    #[test]
+    fn cache_composes_with_pm_index() {
+        let detector =
+            OutlierDetector::with_index(toy::figure1_network(), IndexPolicy::full())
+                .unwrap()
+                .with_vector_cache(64);
+        let r1 = detector.query(icde_query()).unwrap();
+        let r2 = detector.query(icde_query()).unwrap();
+        assert_eq!(r1.names(), r2.names());
+        assert!(detector.cache_stats().unwrap().hits > 0);
+        assert_eq!(detector.strategy(), "pm");
+    }
+
+    #[test]
+    fn measure_and_combine_builders() {
+        let d = OutlierDetector::new(toy::table1_network())
+            .measure(MeasureKind::CosSim)
+            .combine_strategy(CombineStrategy::WeightedSum);
+        let r = d.query(&toy::table1_query()).unwrap();
+        assert_eq!(r.measure, "CosSim");
+    }
+}

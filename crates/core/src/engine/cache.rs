@@ -1,0 +1,325 @@
+//! A cross-query LRU cache of neighbor vectors.
+//!
+//! The paper's target user "elaborates their queries" interactively
+//! (Section 1, challenge 3): consecutive queries usually revisit the same
+//! anchors, candidates, and feature paths. [`VectorCache`] memoizes
+//! `(meta-path, vertex) → Φ_P(v)` across queries with LRU eviction, and
+//! [`CachedSource`] layers it over any [`VectorSource`] (baseline, PM, or
+//! SPM).
+//!
+//! Cache hits are attributed to the `indexed_vectors` timing bucket — a hit
+//! is an in-memory load, exactly like a pre-materialized row — and are
+//! additionally counted in [`CacheStats`].
+
+use crate::engine::source::VectorSource;
+use crate::engine::stats::ExecBreakdown;
+use crate::error::EngineError;
+use hin_graph::{MetaPath, SparseVec, VertexId};
+use parking_lot::Mutex;
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+type Key = (MetaPath, VertexId);
+
+/// Hit/miss counters for a [`VectorCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Vectors served from the cache.
+    pub hits: u64,
+    /// Vectors computed by the inner source (and then cached).
+    pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; `None` before any lookup.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / total as f64)
+        }
+    }
+}
+
+struct Entry {
+    vec: SparseVec,
+    stamp: u64,
+}
+
+struct Inner {
+    map: FxHashMap<Key, Entry>,
+    /// Access log for amortized-O(1) LRU: stale `(key, stamp)` pairs are
+    /// skipped during eviction.
+    log: VecDeque<(Key, u64)>,
+    next_stamp: u64,
+    stats: CacheStats,
+}
+
+/// A bounded LRU cache of neighbor vectors, safe to share across engines
+/// (interior mutability via a [`parking_lot::Mutex`]).
+pub struct VectorCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for VectorCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("VectorCache")
+            .field("capacity", &self.capacity)
+            .field("len", &inner.map.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl VectorCache {
+    /// A cache holding at most `capacity` vectors (`capacity` ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        VectorCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                map: FxHashMap::default(),
+                log: VecDeque::new(),
+                next_stamp: 0,
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// Current number of cached vectors.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Drop every entry (counters are preserved).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.log.clear();
+    }
+
+    /// Approximate heap footprint of the cached vectors.
+    pub fn size_bytes(&self) -> usize {
+        let inner = self.inner.lock();
+        inner
+            .map
+            .values()
+            .map(|e| e.vec.size_bytes() + std::mem::size_of::<Key>())
+            .sum()
+    }
+
+    fn get(&self, key: &Key) -> Option<SparseVec> {
+        let mut inner = self.inner.lock();
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        let Some(entry) = inner.map.get_mut(key) else {
+            inner.stats.misses += 1;
+            return None;
+        };
+        entry.stamp = stamp;
+        let vec = entry.vec.clone();
+        inner.log.push_back((key.clone(), stamp));
+        inner.stats.hits += 1;
+        Some(vec)
+    }
+
+    fn put(&self, key: Key, vec: SparseVec) {
+        let mut inner = self.inner.lock();
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        inner.log.push_back((key.clone(), stamp));
+        inner.map.insert(key, Entry { vec, stamp });
+        while inner.map.len() > self.capacity {
+            let Some((old_key, old_stamp)) = inner.log.pop_front() else {
+                break; // unreachable: map is non-empty so the log is too
+            };
+            // Skip stale log records (the entry was touched again later).
+            let is_current = inner
+                .map
+                .get(&old_key)
+                .is_some_and(|e| e.stamp == old_stamp);
+            if is_current {
+                inner.map.remove(&old_key);
+                inner.stats.evictions += 1;
+            }
+        }
+    }
+}
+
+/// A [`VectorSource`] decorator that consults a [`VectorCache`] before its
+/// inner source.
+pub struct CachedSource<'a> {
+    inner: Box<dyn VectorSource + 'a>,
+    cache: &'a VectorCache,
+}
+
+impl<'a> CachedSource<'a> {
+    /// Layer `cache` over `inner`.
+    pub fn new(inner: Box<dyn VectorSource + 'a>, cache: &'a VectorCache) -> Self {
+        CachedSource { inner, cache }
+    }
+}
+
+impl VectorSource for CachedSource<'_> {
+    fn neighbor_vector(
+        &self,
+        v: VertexId,
+        path: &MetaPath,
+        stats: &mut ExecBreakdown,
+    ) -> Result<SparseVec, EngineError> {
+        let key = (path.clone(), v);
+        let t = Instant::now();
+        if let Some(hit) = self.cache.get(&key) {
+            stats.indexed_vectors += t.elapsed();
+            stats.indexed_count += 1;
+            return Ok(hit);
+        }
+        let vec = self.inner.neighbor_vector(v, path, stats)?;
+        self.cache.put(key, vec.clone());
+        Ok(vec)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.inner.index_size_bytes() + self.cache.size_bytes()
+    }
+
+    fn chunk_coverage(&self, chunk: &MetaPath) -> Option<(usize, usize)> {
+        self.inner.chunk_coverage(chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::source::TraversalSource;
+    use hin_datagen::toy;
+    use hin_graph::traverse;
+
+    fn key(g: &hin_graph::HinGraph, name: &str, path: &str) -> Key {
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        (
+            MetaPath::parse(path, g.schema()).unwrap(),
+            g.vertex_by_name(author, name).unwrap(),
+        )
+    }
+
+    #[test]
+    fn cached_source_returns_same_vectors() {
+        let g = toy::figure1_network();
+        let cache = VectorCache::new(16);
+        let source = CachedSource::new(Box::new(TraversalSource::new(&g)), &cache);
+        let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        let zoe = g.vertex_by_name(author, "Zoe").unwrap();
+        let mut stats = ExecBreakdown::default();
+        let first = source.neighbor_vector(zoe, &apv, &mut stats).unwrap();
+        let second = source.neighbor_vector(zoe, &apv, &mut stats).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(first, traverse::neighbor_vector(&g, zoe, &apv).unwrap());
+        let cs = cache.stats();
+        assert_eq!(cs.hits, 1);
+        assert_eq!(cs.misses, 1);
+        // The hit was attributed to the indexed bucket.
+        assert_eq!(stats.indexed_count, 1);
+        assert_eq!(stats.unindexed_count, 1);
+    }
+
+    #[test]
+    fn keys_distinguish_paths_and_vertices() {
+        let g = toy::figure1_network();
+        let cache = VectorCache::new(16);
+        let source = CachedSource::new(Box::new(TraversalSource::new(&g)), &cache);
+        let mut stats = ExecBreakdown::default();
+        let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
+        let apa = MetaPath::parse("author.paper.author", g.schema()).unwrap();
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        let zoe = g.vertex_by_name(author, "Zoe").unwrap();
+        let ava = g.vertex_by_name(author, "Ava").unwrap();
+        source.neighbor_vector(zoe, &apv, &mut stats).unwrap();
+        source.neighbor_vector(zoe, &apa, &mut stats).unwrap();
+        source.neighbor_vector(ava, &apv, &mut stats).unwrap();
+        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let g = toy::figure1_network();
+        let cache = VectorCache::new(2);
+        let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
+        let phi = |name: &str| {
+            let (_, v) = key(&g, name, "author.paper.venue");
+            traverse::neighbor_vector(&g, v, &apv).unwrap()
+        };
+        let (kz, ka, kl) = (
+            key(&g, "Zoe", "author.paper.venue"),
+            key(&g, "Ava", "author.paper.venue"),
+            key(&g, "Liam", "author.paper.venue"),
+        );
+        cache.put(kz.clone(), phi("Zoe"));
+        cache.put(ka.clone(), phi("Ava"));
+        // Touch Zoe so Ava becomes the LRU entry.
+        assert!(cache.get(&kz).is_some());
+        cache.put(kl.clone(), phi("Liam"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&ka).is_none(), "Ava was evicted");
+        assert!(cache.get(&kz).is_some());
+        assert!(cache.get(&kl).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache = VectorCache::new(4);
+        cache.put(
+            (
+                MetaPath::parse("author.paper", toy::figure1_network().schema()).unwrap(),
+                VertexId(0),
+            ),
+            SparseVec::unit(VertexId(1)),
+        );
+        assert_eq!(cache.len(), 1);
+        assert!(cache.size_bytes() > 0);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn capacity_minimum_is_one() {
+        let cache = VectorCache::new(0);
+        let path = MetaPath::parse("author.paper", toy::figure1_network().schema()).unwrap();
+        cache.put((path.clone(), VertexId(0)), SparseVec::unit(VertexId(9)));
+        cache.put((path.clone(), VertexId(1)), SparseVec::unit(VertexId(9)));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let stats = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
+        assert_eq!(stats.hit_rate(), Some(0.75));
+        assert_eq!(CacheStats::default().hit_rate(), None);
+    }
+}

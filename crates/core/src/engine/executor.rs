@@ -1,0 +1,540 @@
+//! End-to-end query execution: set retrieval → vector materialization →
+//! scoring → top-k.
+
+use crate::engine::set_eval::eval_set;
+use crate::engine::source::{TraversalSource, VectorSource};
+use crate::engine::stats::ExecBreakdown;
+use crate::engine::topk::{top_k, ScoreOrder};
+use crate::error::EngineError;
+use crate::measures::{MeasureKind, OutlierMeasure};
+use hin_graph::{HinGraph, SparseVec, VertexId};
+use hin_query::validate::{parse_and_bind, BoundQuery};
+use rustc_hash::FxHashMap;
+use std::time::Instant;
+
+/// How per-feature-meta-path scores combine into one score when a query
+/// specifies several feature paths.
+///
+/// The paper leaves the best combination open (Section 5.1: "independent
+/// outlier scores can be computed considering each feature meta-path
+/// independently and then averaged"); weighted averaging is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CombineStrategy {
+    /// `Σ wᵢ·Ωᵢ / Σ wᵢ` — the paper's suggestion, the default.
+    #[default]
+    WeightedAverage,
+    /// `Σ wᵢ·Ωᵢ` (no normalization; equivalent ranking to the average, but
+    /// scores scale with the weight mass).
+    WeightedSum,
+    /// Borda rank aggregation: each feature ranks candidates most-outlying
+    /// first; the combined score is the weighted mean rank. Robust to
+    /// per-path score scale differences.
+    BordaRank,
+}
+
+/// One ranked outlier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutlierResult {
+    /// The vertex.
+    pub vertex: VertexId,
+    /// Its name (resolved for display, as in the paper's result tables).
+    pub name: String,
+    /// The combined outlierness score (`Ω`-value for NetOut).
+    pub score: f64,
+}
+
+/// The result of executing an outlier query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Top-k outliers, most outlying first. Only finite scores appear here.
+    pub ranked: Vec<OutlierResult>,
+    /// Size of the evaluated candidate set `S_c`.
+    pub candidate_count: usize,
+    /// Size of the evaluated reference set `S_r`.
+    pub reference_count: usize,
+    /// Candidates whose combined score is undefined — under NetOut, those
+    /// with zero visibility (no path instances) along at least one
+    /// weighted-in feature path. Excluded from `ranked` (NetOut treats them
+    /// as least outlying) and reported here for inspection.
+    pub zero_visibility: Vec<VertexId>,
+    /// Timing breakdown of this execution.
+    pub stats: ExecBreakdown,
+    /// Name of the measure that produced the scores.
+    pub measure: &'static str,
+}
+
+impl QueryResult {
+    /// Names of the ranked outliers, most outlying first.
+    pub fn names(&self) -> Vec<&str> {
+        self.ranked.iter().map(|r| r.name.as_str()).collect()
+    }
+}
+
+/// Executes bound queries over a graph with a chosen materialization
+/// strategy, measure, and combination strategy.
+pub struct QueryEngine<'g> {
+    graph: &'g HinGraph,
+    source: Box<dyn VectorSource + 'g>,
+    combine: CombineStrategy,
+    measure: MeasureKind,
+}
+
+impl<'g> QueryEngine<'g> {
+    /// An engine using baseline traversal (no index).
+    pub fn baseline(graph: &'g HinGraph) -> Self {
+        QueryEngine {
+            graph,
+            source: Box::new(TraversalSource::new(graph)),
+            combine: CombineStrategy::default(),
+            measure: MeasureKind::NetOut,
+        }
+    }
+
+    /// An engine over a custom vector source (PM / SPM).
+    pub fn with_source(graph: &'g HinGraph, source: Box<dyn VectorSource + 'g>) -> Self {
+        QueryEngine {
+            graph,
+            source,
+            combine: CombineStrategy::default(),
+            measure: MeasureKind::NetOut,
+        }
+    }
+
+    /// Set the multi-path combination strategy.
+    pub fn combine_strategy(mut self, combine: CombineStrategy) -> Self {
+        self.combine = combine;
+        self
+    }
+
+    /// Set the outlierness measure.
+    pub fn measure(mut self, measure: MeasureKind) -> Self {
+        self.measure = measure;
+        self
+    }
+
+    /// The graph this engine runs over.
+    pub fn graph(&self) -> &'g HinGraph {
+        self.graph
+    }
+
+    /// The active vector source's name (`"baseline"`, `"pm"`, `"spm"`).
+    pub fn source_name(&self) -> &'static str {
+        self.source.name()
+    }
+
+    /// The active vector source (used by progressive execution).
+    pub(crate) fn source(&self) -> &dyn VectorSource {
+        self.source.as_ref()
+    }
+
+    /// The configured measure kind.
+    pub(crate) fn measure_kind(&self) -> MeasureKind {
+        self.measure
+    }
+
+    /// Build a human-readable execution plan for `query` without running
+    /// it (anchor resolution is checked; set sizes are not computed). See
+    /// [`crate::engine::explain`].
+    pub fn explain(&self, query: &hin_query::validate::BoundQuery) -> crate::engine::explain::Explain {
+        crate::engine::explain::explain(self, query)
+    }
+
+    /// Start a progressive execution (Section 8's "approximate top-k while
+    /// the query is being processed"): candidates are scored in batches of
+    /// `batch_size` and each batch yields a [`crate::engine::progressive::ProgressSnapshot`]
+    /// with the exact top-k over the processed prefix.
+    ///
+    /// Multi-feature queries are combined by weighted average regardless of
+    /// the engine's [`CombineStrategy`] (rank aggregation needs the full
+    /// candidate set and cannot stream).
+    pub fn execute_progressive(
+        &self,
+        query: &hin_query::validate::BoundQuery,
+        batch_size: usize,
+    ) -> Result<crate::engine::progressive::ProgressiveRun<'_, 'g>, EngineError> {
+        crate::engine::progressive::ProgressiveRun::start(self, query, batch_size)
+    }
+
+    /// Bytes of index memory behind this engine (0 for baseline).
+    pub fn index_size_bytes(&self) -> usize {
+        self.source.index_size_bytes()
+    }
+
+    /// Parse, validate, and execute a query string.
+    pub fn execute_str(&self, src: &str) -> Result<QueryResult, EngineError> {
+        let bound = parse_and_bind(src, self.graph.schema())?;
+        self.execute(&bound)
+    }
+
+    /// Execute a bound query with the engine's configured measure.
+    pub fn execute(&self, query: &BoundQuery) -> Result<QueryResult, EngineError> {
+        self.execute_measured(query, self.measure.instantiate().as_ref())
+    }
+
+    /// Execute a bound query with an explicit measure (used by the
+    /// measure-comparison experiments).
+    pub fn execute_measured(
+        &self,
+        query: &BoundQuery,
+        measure: &dyn OutlierMeasure,
+    ) -> Result<QueryResult, EngineError> {
+        let mut stats = ExecBreakdown::default();
+
+        // 1. Retrieve S_c and S_r.
+        let candidates = eval_set(self.graph, self.source.as_ref(), &query.candidate, &mut stats)?;
+        if candidates.is_empty() {
+            return Err(EngineError::EmptyCandidateSet);
+        }
+        let reference: Vec<VertexId> = match &query.reference {
+            Some(r) => {
+                let set = eval_set(self.graph, self.source.as_ref(), r, &mut stats)?;
+                if set.is_empty() {
+                    return Err(EngineError::EmptyReferenceSet);
+                }
+                set
+            }
+            None => candidates.clone(),
+        };
+
+        // 2. Score per feature meta-path.
+        let same_sets = reference == candidates;
+        let mut per_feature: Vec<Vec<(VertexId, f64)>> = Vec::with_capacity(query.features.len());
+        for feature in &query.features {
+            let cand_vecs = self.materialize(&candidates, &feature.path, &mut stats)?;
+            let scores = if same_sets {
+                let t = Instant::now();
+                let s = measure.scores(&cand_vecs, &cand_vecs)?;
+                stats.scoring += t.elapsed();
+                s
+            } else {
+                let ref_vecs =
+                    self.materialize_with_cache(&reference, &feature.path, &cand_vecs, &mut stats)?;
+                let t = Instant::now();
+                let s = measure.scores(&cand_vecs, &ref_vecs)?;
+                stats.scoring += t.elapsed();
+                s
+            };
+            per_feature.push(scores);
+        }
+
+        // 3. Combine, rank, split off undefined scores.
+        let t = Instant::now();
+        let weights: Vec<f64> = query.features.iter().map(|f| f.weight).collect();
+        let (combined, order) = combine_scores(&per_feature, &weights, self.combine, measure.order());
+        let mut zero_visibility: Vec<VertexId> = combined
+            .iter()
+            .filter(|(_, s)| !s.is_finite())
+            .map(|(v, _)| *v)
+            .collect();
+        zero_visibility.sort_unstable();
+        let finite: Vec<(VertexId, f64)> =
+            combined.into_iter().filter(|(_, s)| s.is_finite()).collect();
+        let ranked = top_k(finite, query.top, order);
+        stats.scoring += t.elapsed();
+
+        let ranked = ranked
+            .into_iter()
+            .map(|(vertex, score)| OutlierResult {
+                vertex,
+                name: self.graph.vertex_name(vertex).to_string(),
+                score,
+            })
+            .collect();
+
+        Ok(QueryResult {
+            ranked,
+            candidate_count: candidates.len(),
+            reference_count: reference.len(),
+            zero_visibility,
+            stats,
+            measure: measure.name(),
+        })
+    }
+
+    /// Materialize feature vectors for `ids`, in order.
+    fn materialize(
+        &self,
+        ids: &[VertexId],
+        path: &hin_graph::MetaPath,
+        stats: &mut ExecBreakdown,
+    ) -> Result<Vec<(VertexId, SparseVec)>, EngineError> {
+        ids.iter()
+            .map(|&v| Ok((v, self.source.neighbor_vector(v, path, stats)?)))
+            .collect()
+    }
+
+    /// Materialize feature vectors for `ids`, reusing any vectors already
+    /// computed for the candidate set (overlapping S_c / S_r).
+    fn materialize_with_cache(
+        &self,
+        ids: &[VertexId],
+        path: &hin_graph::MetaPath,
+        cached: &[(VertexId, SparseVec)],
+        stats: &mut ExecBreakdown,
+    ) -> Result<Vec<(VertexId, SparseVec)>, EngineError> {
+        let lookup: FxHashMap<VertexId, &SparseVec> =
+            cached.iter().map(|(v, phi)| (*v, phi)).collect();
+        ids.iter()
+            .map(|&v| {
+                if let Some(&phi) = lookup.get(&v) {
+                    Ok((v, phi.clone()))
+                } else {
+                    Ok((v, self.source.neighbor_vector(v, path, stats)?))
+                }
+            })
+            .collect()
+    }
+}
+
+/// Combine per-feature scores. Returns the combined scores plus the order in
+/// which they rank (Borda always ranks ascending).
+fn combine_scores(
+    per_feature: &[Vec<(VertexId, f64)>],
+    weights: &[f64],
+    strategy: CombineStrategy,
+    measure_order: ScoreOrder,
+) -> (Vec<(VertexId, f64)>, ScoreOrder) {
+    debug_assert_eq!(per_feature.len(), weights.len());
+    if per_feature.len() == 1 {
+        // Single feature path: the measure's score is the final score under
+        // every strategy (Borda over one list preserves the ranking but not
+        // the Ω values, so short-circuit for friendlier output).
+        return (per_feature[0].clone(), measure_order);
+    }
+    match strategy {
+        CombineStrategy::WeightedAverage | CombineStrategy::WeightedSum => {
+            let total_w: f64 = weights.iter().sum();
+            let norm = if strategy == CombineStrategy::WeightedAverage {
+                total_w
+            } else {
+                1.0
+            };
+            let combined = per_feature[0]
+                .iter()
+                .enumerate()
+                .map(|(i, &(v, _))| {
+                    let sum: f64 = per_feature
+                        .iter()
+                        .zip(weights)
+                        .map(|(scores, w)| {
+                            debug_assert_eq!(scores[i].0, v);
+                            w * scores[i].1
+                        })
+                        .sum();
+                    (v, sum / norm)
+                })
+                .collect();
+            (combined, measure_order)
+        }
+        CombineStrategy::BordaRank => {
+            let total_w: f64 = weights.iter().sum();
+            let mut acc: FxHashMap<VertexId, f64> = FxHashMap::default();
+            for (scores, &w) in per_feature.iter().zip(weights) {
+                let ranked = top_k(scores.iter().copied(), None, measure_order);
+                for (rank, (v, _)) in ranked.into_iter().enumerate() {
+                    *acc.entry(v).or_insert(0.0) += w * rank as f64 / total_w;
+                }
+            }
+            let combined = per_feature[0]
+                .iter()
+                .map(|&(v, _)| (v, acc[&v]))
+                .collect();
+            (combined, ScoreOrder::AscendingIsOutlier)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hin_datagen::toy;
+
+    #[test]
+    fn figure2_normalized_connectivity_via_query() {
+        // Figure 2: κ(Jim, Mary) = 0.5, κ(Mary, Jim) = 2, connectivity 28.
+        // NetOut with S_r = {Mary} gives exactly κ(·, Mary).
+        let g = toy::figure2_network();
+        let engine = QueryEngine::baseline(&g);
+        let r = engine
+            .execute_str(
+                "FIND OUTLIERS FROM author{\"Jim\"} COMPARED TO author{\"Mary\"} \
+                 JUDGED BY author.paper.venue;",
+            )
+            .unwrap();
+        assert_eq!(r.ranked.len(), 1);
+        assert!((r.ranked[0].score - 0.5).abs() < 1e-12);
+        let r = engine
+            .execute_str(
+                "FIND OUTLIERS FROM author{\"Mary\"} COMPARED TO author{\"Jim\"} \
+                 JUDGED BY author.paper.venue;",
+            )
+            .unwrap();
+        assert!((r.ranked[0].score - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table2_scores_via_query() {
+        let g = toy::table1_network();
+        let engine = QueryEngine::baseline(&g);
+        let r = engine.execute_str(&toy::table1_query()).unwrap();
+        // Full ranking, Ω ascending: Emma 3.33, Rob 6.24, Lucy 31.11,
+        // Joe 50, Sarah 100, then the 100 reference authors at 100.
+        assert_eq!(r.measure, "NetOut");
+        assert_eq!(r.candidate_count, 105);
+        let names = r.names();
+        assert_eq!(&names[..4], &["Emma", "Rob", "Lucy", "Joe"]);
+        let scores: Vec<f64> = r.ranked.iter().map(|o| o.score).collect();
+        assert!((scores[0] - 3.33).abs() < 0.005);
+        assert!((scores[1] - 6.24).abs() < 0.005);
+        assert!((scores[2] - 31.11).abs() < 0.005);
+        assert!((scores[3] - 50.0).abs() < 0.005);
+    }
+
+    #[test]
+    fn top_k_limits_results() {
+        let g = toy::table1_network();
+        let engine = QueryEngine::baseline(&g);
+        let query = toy::table1_query().replace(';', " TOP 2;");
+        let r = engine.execute_str(&query).unwrap();
+        assert_eq!(r.ranked.len(), 2);
+        assert_eq!(r.names(), vec!["Emma", "Rob"]);
+    }
+
+    #[test]
+    fn default_reference_is_candidate_set() {
+        let g = toy::figure1_network();
+        let engine = QueryEngine::baseline(&g);
+        let r = engine
+            .execute_str(
+                "FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author \
+                 JUDGED BY author.paper.venue;",
+            )
+            .unwrap();
+        assert_eq!(r.candidate_count, r.reference_count);
+        assert_eq!(r.candidate_count, 3);
+    }
+
+    #[test]
+    fn empty_candidate_set_is_error() {
+        let g = toy::figure1_network();
+        let engine = QueryEngine::baseline(&g);
+        // Ava has no KDD papers and hence no KDD-coauthors... use an anchor
+        // with a neighborhood that exists but filters to nothing.
+        let err = engine
+            .execute_str(
+                "FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author AS A \
+                 WHERE COUNT(A.paper) > 99 JUDGED BY author.paper.venue;",
+            )
+            .unwrap_err();
+        assert_eq!(err, EngineError::EmptyCandidateSet);
+    }
+
+    #[test]
+    fn zero_visibility_candidates_reported_not_ranked() {
+        let g = toy::lonely_author_network();
+        let engine = QueryEngine::baseline(&g);
+        let r = engine
+            .execute_str(
+                "FIND OUTLIERS FROM venue{\"V1\"}.paper.author UNION author{\"Loner\"} \
+                 JUDGED BY author.paper.venue.paper.author;",
+            )
+            .unwrap();
+        // Loner has a paper but it has no venue ⇒ Φ over APVPA is empty.
+        assert_eq!(r.zero_visibility.len(), 1);
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        assert_eq!(
+            r.zero_visibility[0],
+            g.vertex_by_name(author, "Loner").unwrap()
+        );
+        assert!(r.names().iter().all(|n| *n != "Loner"));
+    }
+
+    #[test]
+    fn multi_feature_weighted_average() {
+        let g = toy::figure1_network();
+        let engine = QueryEngine::baseline(&g);
+        let both = engine
+            .execute_str(
+                "FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author \
+                 JUDGED BY author.paper.venue : 3.0, author.paper.author;",
+            )
+            .unwrap();
+        let venue_only = engine
+            .execute_str(
+                "FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author \
+                 JUDGED BY author.paper.venue;",
+            )
+            .unwrap();
+        let coauthor_only = engine
+            .execute_str(
+                "FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author \
+                 JUDGED BY author.paper.author;",
+            )
+            .unwrap();
+        // Weighted average: (3·Ω_venue + 1·Ω_coauthor) / 4, per vertex.
+        for o in &both.ranked {
+            let sv = venue_only.ranked.iter().find(|x| x.vertex == o.vertex).unwrap();
+            let sc = coauthor_only.ranked.iter().find(|x| x.vertex == o.vertex).unwrap();
+            let want = (3.0 * sv.score + sc.score) / 4.0;
+            assert!((o.score - want).abs() < 1e-9, "{} vs {want}", o.score);
+        }
+    }
+
+    #[test]
+    fn weighted_sum_scales_scores_not_order() {
+        let g = toy::figure1_network();
+        let q = "FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author \
+                 JUDGED BY author.paper.venue : 2.0, author.paper.author : 2.0;";
+        let avg = QueryEngine::baseline(&g).execute_str(q).unwrap();
+        let sum = QueryEngine::baseline(&g)
+            .combine_strategy(CombineStrategy::WeightedSum)
+            .execute_str(q)
+            .unwrap();
+        let avg_names = avg.names();
+        assert_eq!(avg_names, sum.names());
+        for (a, s) in avg.ranked.iter().zip(&sum.ranked) {
+            assert!((s.score - 4.0 * a.score).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn borda_rank_combination() {
+        let g = toy::figure1_network();
+        let q = "FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author \
+                 JUDGED BY author.paper.venue, author.paper.author;";
+        let r = QueryEngine::baseline(&g)
+            .combine_strategy(CombineStrategy::BordaRank)
+            .execute_str(q)
+            .unwrap();
+        // Scores are mean ranks: within [0, n-1].
+        for o in &r.ranked {
+            assert!((0.0..=2.0).contains(&o.score));
+        }
+    }
+
+    #[test]
+    fn measure_selection_via_engine() {
+        let g = toy::table1_network();
+        let r = QueryEngine::baseline(&g)
+            .measure(MeasureKind::PathSim)
+            .execute_str(&toy::table1_query())
+            .unwrap();
+        assert_eq!(r.measure, "PathSim");
+        // Table 2 PathSim column: Joe (1.94) ranks before Emma (5.44).
+        let names = r.names();
+        let joe = names.iter().position(|n| *n == "Joe").unwrap();
+        let emma = names.iter().position(|n| *n == "Emma").unwrap();
+        assert!(joe < emma);
+    }
+
+    #[test]
+    fn stats_buckets_populated() {
+        let g = toy::table1_network();
+        let r = QueryEngine::baseline(&g)
+            .execute_str(&toy::table1_query())
+            .unwrap();
+        assert!(r.stats.unindexed_count > 0);
+        assert_eq!(r.stats.indexed_count, 0);
+        assert!(r.stats.total() > std::time::Duration::ZERO);
+    }
+}

@@ -1,0 +1,259 @@
+//! `EXPLAIN` — a human-readable execution plan for a bound query.
+//!
+//! The paper's Section 8 argues exploratory analysts need to understand and
+//! refine their queries quickly; an explain facility shows *what* a query
+//! will do before paying for it: how each set is retrieved, how every
+//! feature meta-path decomposes into length-2 chunks, and how much of each
+//! chunk the active index covers.
+
+use crate::engine::executor::QueryEngine;
+use hin_graph::{HinGraph, MetaPath, Schema};
+use hin_query::validate::{BoundCondition, BoundQuery, BoundSetExpr};
+use std::fmt;
+
+/// A rendered query plan. Produced by [`QueryEngine::explain`]; display with
+/// `{}`.
+#[derive(Debug, Clone)]
+pub struct Explain {
+    /// Strategy name (`baseline` / `pm` / `spm`).
+    pub strategy: &'static str,
+    /// Measure name.
+    pub measure: &'static str,
+    /// Rendered candidate-set plan lines.
+    pub candidate: Vec<String>,
+    /// Rendered reference-set plan lines (`None` = same as candidate).
+    pub reference: Option<Vec<String>>,
+    /// Rendered feature lines, one per meta-path.
+    pub features: Vec<String>,
+    /// The `TOP k` bound.
+    pub top: Option<usize>,
+    /// Index memory behind the engine, in bytes.
+    pub index_bytes: usize,
+}
+
+impl fmt::Display for Explain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "EXPLAIN (strategy {}, measure {}, index {} bytes)",
+            self.strategy, self.measure, self.index_bytes
+        )?;
+        writeln!(f, "candidate set:")?;
+        for line in &self.candidate {
+            writeln!(f, "  {line}")?;
+        }
+        match &self.reference {
+            None => writeln!(f, "reference set: same as candidate")?,
+            Some(lines) => {
+                writeln!(f, "reference set:")?;
+                for line in lines {
+                    writeln!(f, "  {line}")?;
+                }
+            }
+        }
+        writeln!(f, "features:")?;
+        for line in &self.features {
+            writeln!(f, "  {line}")?;
+        }
+        match self.top {
+            Some(k) => writeln!(f, "return: top {k} by {} score", self.measure),
+            None => writeln!(f, "return: full ranking by {} score", self.measure),
+        }
+    }
+}
+
+fn chunk_note(engine: &QueryEngine<'_>, chunk: &MetaPath, schema: &Schema) -> String {
+    let rendered = chunk.display(schema).to_string();
+    if chunk.len() != 2 {
+        return format!("{rendered} (single hop, traversal)");
+    }
+    match engine.source().chunk_coverage(chunk) {
+        None => format!("{rendered} (traversal)"),
+        Some((rows, total)) => format!("{rendered} (index: {rows}/{total} rows)"),
+    }
+}
+
+fn explain_path(engine: &QueryEngine<'_>, path: &MetaPath, schema: &Schema) -> String {
+    if path.is_empty() {
+        return "identity (the anchor itself)".to_string();
+    }
+    let chunks: Vec<String> = path
+        .decompose_pairs()
+        .iter()
+        .map(|c| chunk_note(engine, c, schema))
+        .collect();
+    format!("{} = [{}]", path.display(schema), chunks.join(" ; "))
+}
+
+fn explain_condition(cond: &BoundCondition, schema: &Schema, out: &mut Vec<String>, depth: usize) {
+    let pad = "  ".repeat(depth);
+    match cond {
+        BoundCondition::And(a, b) => {
+            out.push(format!("{pad}AND"));
+            explain_condition(a, schema, out, depth + 1);
+            explain_condition(b, schema, out, depth + 1);
+        }
+        BoundCondition::Or(a, b) => {
+            out.push(format!("{pad}OR"));
+            explain_condition(a, schema, out, depth + 1);
+            explain_condition(b, schema, out, depth + 1);
+        }
+        BoundCondition::Not(c) => {
+            out.push(format!("{pad}NOT"));
+            explain_condition(c, schema, out, depth + 1);
+        }
+        BoundCondition::Count { path, op, value } => {
+            out.push(format!(
+                "{pad}filter: COUNT over {} {op} {value}",
+                path.display(schema)
+            ));
+        }
+    }
+}
+
+fn explain_set(
+    engine: &QueryEngine<'_>,
+    graph: &HinGraph,
+    expr: &BoundSetExpr,
+    out: &mut Vec<String>,
+    depth: usize,
+) {
+    let schema = graph.schema();
+    let pad = "  ".repeat(depth);
+    match expr {
+        BoundSetExpr::Primary(p) => {
+            let anchor_type = p.anchor_type();
+            let resolved = graph.vertex_by_name(anchor_type, &p.anchor_name).is_some();
+            out.push(format!(
+                "{pad}walk from {}{{{:?}}} via {} [anchor {}]",
+                schema.vertex_type_name(anchor_type),
+                p.anchor_name,
+                explain_path(engine, &p.path, schema),
+                if resolved { "resolves" } else { "NOT FOUND" },
+            ));
+            if let Some(c) = &p.filter {
+                explain_condition(c, schema, out, depth + 1);
+            }
+        }
+        BoundSetExpr::Union(a, b) | BoundSetExpr::Intersect(a, b) | BoundSetExpr::Except(a, b) => {
+            let op = match expr {
+                BoundSetExpr::Union(..) => "UNION",
+                BoundSetExpr::Intersect(..) => "INTERSECT",
+                BoundSetExpr::Except(..) => "EXCEPT",
+                BoundSetExpr::Primary(_) => unreachable!(),
+            };
+            out.push(format!("{pad}{op}"));
+            explain_set(engine, graph, a, out, depth + 1);
+            explain_set(engine, graph, b, out, depth + 1);
+        }
+    }
+}
+
+/// Build the plan for `query` on `engine` (no execution happens; anchor
+/// resolution is checked, set sizes are not computed).
+pub fn explain(engine: &QueryEngine<'_>, query: &BoundQuery) -> Explain {
+    let graph = engine.graph();
+    let schema = graph.schema();
+    let mut candidate = Vec::new();
+    explain_set(engine, graph, &query.candidate, &mut candidate, 0);
+    let reference = query.reference.as_ref().map(|r| {
+        let mut lines = Vec::new();
+        explain_set(engine, graph, r, &mut lines, 0);
+        lines
+    });
+    let features = query
+        .features
+        .iter()
+        .map(|feature| {
+            format!(
+                "{} weight {}",
+                explain_path(engine, &feature.path, schema),
+                feature.weight
+            )
+        })
+        .collect();
+    Explain {
+        strategy: engine.source_name(),
+        measure: engine.measure_kind().name(),
+        candidate,
+        reference,
+        features,
+        top: query.top,
+        index_bytes: engine.index_size_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::detector::{IndexPolicy, OutlierDetector};
+    use hin_datagen::toy;
+    use hin_query::validate::parse_and_bind;
+
+    const QUERY: &str = "FIND OUTLIERS \
+        FROM venue{\"ICDE\"}.paper.author AS A WHERE COUNT(A.paper) > 1 \
+        EXCEPT author{\"Zoe\"} \
+        COMPARED TO venue{\"KDD\"}.paper.author \
+        JUDGED BY author.paper.venue : 2.0, author.paper.venue.paper.author \
+        TOP 4;";
+
+    #[test]
+    fn baseline_plan_mentions_traversal() {
+        let g = toy::figure1_network();
+        let engine = crate::QueryEngine::baseline(&g);
+        let bound = parse_and_bind(QUERY, g.schema()).unwrap();
+        let plan = engine.explain(&bound).to_string();
+        assert!(plan.contains("strategy baseline"));
+        assert!(plan.contains("(traversal)"), "{plan}");
+        assert!(plan.contains("EXCEPT"), "{plan}");
+        assert!(plan.contains("filter: COUNT over author.paper > 1"), "{plan}");
+        assert!(plan.contains("top 4"), "{plan}");
+        assert!(plan.contains("weight 2"), "{plan}");
+        assert!(!plan.contains("NOT FOUND"), "{plan}");
+    }
+
+    #[test]
+    fn pm_plan_reports_index_coverage() {
+        let detector =
+            OutlierDetector::with_index(toy::figure1_network(), IndexPolicy::full()).unwrap();
+        let plan = detector.explain(QUERY).unwrap().to_string();
+        assert!(plan.contains("strategy pm"));
+        // 3 authors in the network, all rows materialized.
+        assert!(plan.contains("author.paper.venue (index: 3/3 rows)"), "{plan}");
+        // The long feature decomposes into two chunks.
+        assert!(
+            plan.contains("author.paper.venue.paper.author = ["),
+            "{plan}"
+        );
+        assert!(plan.contains("venue.paper.author (index: 2/2 rows)"), "{plan}");
+    }
+
+    #[test]
+    fn missing_anchor_flagged_without_error() {
+        let g = toy::figure1_network();
+        let engine = crate::QueryEngine::baseline(&g);
+        let bound = parse_and_bind(
+            "FIND OUTLIERS FROM author{\"Ghost\"}.paper.author JUDGED BY author.paper.venue;",
+            g.schema(),
+        )
+        .unwrap();
+        let plan = engine.explain(&bound).to_string();
+        assert!(plan.contains("NOT FOUND"), "{plan}");
+        assert!(plan.contains("reference set: same as candidate"), "{plan}");
+        assert!(plan.contains("full ranking"), "{plan}");
+    }
+
+    #[test]
+    fn anchor_only_set_is_identity() {
+        let g = toy::figure1_network();
+        let engine = crate::QueryEngine::baseline(&g);
+        let bound = parse_and_bind(
+            "FIND OUTLIERS FROM author{\"Zoe\"} COMPARED TO author{\"Ava\"} \
+             JUDGED BY author.paper.venue;",
+            g.schema(),
+        )
+        .unwrap();
+        let plan = engine.explain(&bound).to_string();
+        assert!(plan.contains("identity (the anchor itself)"), "{plan}");
+        assert!(plan.contains("reference set:\n"), "{plan}");
+    }
+}

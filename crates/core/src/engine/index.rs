@@ -1,0 +1,452 @@
+//! Pre-materialization indexes (Section 6.2 of the paper).
+//!
+//! A [`PmIndex`] stores, per length-2 meta-path `(T₀ T₁ T₂)`, a sparse
+//! matrix whose row `v` is `Φ_{(T₀T₁T₂)}(v)`. Full pre-materialization (PM)
+//! stores rows for every vertex of `T₀`; selective pre-materialization (SPM)
+//! stores rows only for vertices whose *relative frequency* of appearance in
+//! candidate sets of an initialization query workload reaches a threshold.
+
+use crate::engine::set_eval::eval_set;
+use crate::engine::source::TraversalSource;
+use crate::engine::stats::ExecBreakdown;
+use hin_graph::{traverse, HinGraph, MetaPath, SparseMatrix, SparseVec, VertexId, VertexTypeId};
+use hin_query::validate::BoundQuery;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Which length-2 meta-paths an index covers.
+#[derive(Debug, Clone)]
+pub enum ChunkSelection {
+    /// Every schema-valid length-2 meta-path ("we may compute all length-2
+    /// paths", Section 6.2).
+    All,
+    /// An explicit set of length-2 meta-paths — typically the chunks
+    /// appearing in a known query workload ("or only a subset").
+    Paths(Vec<MetaPath>),
+}
+
+impl ChunkSelection {
+    /// Resolve to the concrete list of length-2 paths for `graph`'s schema.
+    /// Non-length-2 paths in `Paths` are ignored (the index cannot serve
+    /// them).
+    pub fn resolve(&self, graph: &HinGraph) -> Vec<MetaPath> {
+        match self {
+            ChunkSelection::All => all_length2_paths(graph),
+            ChunkSelection::Paths(paths) => {
+                let mut out: Vec<MetaPath> =
+                    paths.iter().filter(|p| p.len() == 2).cloned().collect();
+                out.sort_by(|a, b| a.types().cmp(b.types()));
+                out.dedup();
+                out
+            }
+        }
+    }
+}
+
+/// Every length-2 meta-path `(T₀ T₁ T₂)` such that both links exist in the
+/// schema, in deterministic order.
+pub fn all_length2_paths(graph: &HinGraph) -> Vec<MetaPath> {
+    let schema = graph.schema();
+    let mut out = Vec::new();
+    for t0 in schema.vertex_type_ids() {
+        for t1 in schema.vertex_type_ids() {
+            if !schema.link_exists(t0, t1) {
+                continue;
+            }
+            for t2 in schema.vertex_type_ids() {
+                if !schema.link_exists(t1, t2) {
+                    continue;
+                }
+                out.push(
+                    MetaPath::new(vec![t0, t1, t2], schema)
+                        .expect("links verified above"),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// A pre-materialized length-2 meta-path index.
+#[derive(Debug, Default)]
+pub struct PmIndex {
+    matrices: FxHashMap<MetaPath, SparseMatrix>,
+}
+
+impl PmIndex {
+    /// An empty index (every lookup misses — behaves like the baseline).
+    pub fn empty() -> Self {
+        PmIndex::default()
+    }
+
+    /// Build a **full PM** index: rows for every vertex of each chunk's
+    /// source type. `threads` bounds build parallelism (1 = sequential).
+    pub fn build_full(graph: &HinGraph, selection: ChunkSelection, threads: usize) -> Self {
+        let chunks = selection.resolve(graph);
+        let mut matrices = FxHashMap::default();
+        for chunk in chunks {
+            let vertices = graph.vertices_of_type(chunk.source_type());
+            let rows = materialize_rows(graph, &chunk, vertices, threads);
+            matrices.insert(chunk, SparseMatrix::from_rows(rows));
+        }
+        PmIndex { matrices }
+    }
+
+    /// Build a **selective (SPM)** index: rows only for `selected` vertices,
+    /// for each chunk whose source type matches the vertex's type.
+    pub fn build_selective(
+        graph: &HinGraph,
+        selection: ChunkSelection,
+        selected: &FxHashSet<VertexId>,
+        threads: usize,
+    ) -> Self {
+        let chunks = selection.resolve(graph);
+        // Bucket selected vertices by type once.
+        let mut by_type: FxHashMap<VertexTypeId, Vec<VertexId>> = FxHashMap::default();
+        for &v in selected {
+            by_type.entry(graph.vertex_type(v)).or_default().push(v);
+        }
+        for list in by_type.values_mut() {
+            list.sort_unstable();
+        }
+        let mut matrices = FxHashMap::default();
+        for chunk in chunks {
+            let vertices = by_type
+                .get(&chunk.source_type())
+                .map(Vec::as_slice)
+                .unwrap_or(&[]);
+            let rows = materialize_rows(graph, &chunk, vertices, threads);
+            matrices.insert(chunk, SparseMatrix::from_rows(rows));
+        }
+        PmIndex { matrices }
+    }
+
+    /// Look up `Φ_chunk(v)`. `None` when either the chunk or the row is not
+    /// materialized.
+    pub fn row(&self, chunk: &MetaPath, v: VertexId) -> Option<SparseVec> {
+        self.matrices.get(chunk)?.row_vec(v)
+    }
+
+    /// Number of materialized rows for `chunk`, or `None` when the chunk is
+    /// not indexed at all.
+    pub fn rows_for(&self, chunk: &MetaPath) -> Option<usize> {
+        self.matrices.get(chunk).map(SparseMatrix::row_count)
+    }
+
+    /// Whether the row is materialized (without copying it).
+    pub fn has_row(&self, chunk: &MetaPath, v: VertexId) -> bool {
+        self.matrices
+            .get(chunk)
+            .is_some_and(|m| m.has_row(v))
+    }
+
+    /// Number of indexed meta-paths.
+    pub fn path_count(&self) -> usize {
+        self.matrices.len()
+    }
+
+    /// Total materialized rows across all meta-paths.
+    pub fn total_rows(&self) -> usize {
+        self.matrices.values().map(SparseMatrix::row_count).sum()
+    }
+
+    /// Total stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.matrices.values().map(SparseMatrix::nnz).sum()
+    }
+
+    /// Approximate heap footprint in bytes (the y-axis of Figure 5b).
+    pub fn size_bytes(&self) -> usize {
+        self.matrices
+            .iter()
+            .map(|(k, m)| m.size_bytes() + k.types().len())
+            .sum()
+    }
+}
+
+/// Materialize `Φ_chunk(v)` for each vertex, optionally in parallel.
+fn materialize_rows(
+    graph: &HinGraph,
+    chunk: &MetaPath,
+    vertices: &[VertexId],
+    threads: usize,
+) -> Vec<(VertexId, SparseVec)> {
+    let compute = |v: VertexId| {
+        let phi = traverse::neighbor_vector(graph, v, chunk)
+            .expect("chunk starts at the vertex's type by construction");
+        (v, phi)
+    };
+    let threads = threads.max(1).min(vertices.len().max(1));
+    if threads == 1 || vertices.len() < 256 {
+        return vertices.iter().map(|&v| compute(v)).collect();
+    }
+    // Parallel build: split the vertex list into contiguous shards; each
+    // shard's rows come back in order, so concatenation preserves global
+    // order (from_rows sorts anyway, but this keeps merging cheap).
+    let shard_len = vertices.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(vertices.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = vertices
+            .chunks(shard_len)
+            .map(|shard| scope.spawn(move || shard.iter().map(|&v| compute(v)).collect::<Vec<_>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("row materialization panicked"));
+        }
+    });
+    out
+}
+
+/// Count how frequently each vertex appears in the *candidate sets* of the
+/// initialization workload, and return those whose relative frequency
+/// (`appearances / number of queries`) is at least `threshold`.
+///
+/// This is the SPM vertex-selection rule of Section 6.2. Queries whose
+/// anchors are missing from the graph are skipped (they contribute to the
+/// denominator, matching "relative to the workload size").
+pub fn select_frequent_vertices(
+    graph: &HinGraph,
+    queries: &[BoundQuery],
+    threshold: f64,
+) -> FxHashSet<VertexId> {
+    let source = TraversalSource::new(graph);
+    let mut counts: FxHashMap<VertexId, u32> = FxHashMap::default();
+    for q in queries {
+        let mut stats = ExecBreakdown::default();
+        let Ok(members) = eval_set(graph, &source, &q.candidate, &mut stats) else {
+            continue;
+        };
+        for v in members {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+    }
+    let min_count = threshold * queries.len() as f64;
+    counts
+        .into_iter()
+        .filter(|&(_, c)| c as f64 >= min_count)
+        .map(|(v, _)| v)
+        .collect()
+}
+
+/// The length-2 chunks a workload needs: decomposition chunks of every
+/// feature meta-path, every set-retrieval walk, and every `COUNT` walk.
+pub fn chunks_used_by(queries: &[BoundQuery]) -> Vec<MetaPath> {
+    fn add_set(expr: &hin_query::validate::BoundSetExpr, out: &mut Vec<MetaPath>) {
+        use hin_query::validate::{BoundCondition, BoundSetExpr};
+        match expr {
+            BoundSetExpr::Primary(p) => {
+                out.extend(p.path.decompose_pairs());
+                fn add_cond(c: &BoundCondition, out: &mut Vec<MetaPath>) {
+                    match c {
+                        BoundCondition::And(a, b) | BoundCondition::Or(a, b) => {
+                            add_cond(a, out);
+                            add_cond(b, out);
+                        }
+                        BoundCondition::Not(c) => add_cond(c, out),
+                        BoundCondition::Count { path, .. } => out.extend(path.decompose_pairs()),
+                    }
+                }
+                if let Some(c) = &p.filter {
+                    add_cond(c, out);
+                }
+            }
+            BoundSetExpr::Union(a, b)
+            | BoundSetExpr::Intersect(a, b)
+            | BoundSetExpr::Except(a, b) => {
+                add_set(a, out);
+                add_set(b, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for q in queries {
+        add_set(&q.candidate, &mut out);
+        if let Some(r) = &q.reference {
+            add_set(r, &mut out);
+        }
+        for f in &q.features {
+            out.extend(f.path.decompose_pairs());
+        }
+    }
+    out.retain(|p| p.len() == 2);
+    out.sort_by(|a, b| a.types().cmp(b.types()));
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hin_datagen::toy;
+    use hin_query::validate::parse_and_bind;
+
+    #[test]
+    fn all_length2_paths_for_bibliographic_schema() {
+        let g = toy::figure1_network();
+        let paths = all_length2_paths(&g);
+        // Links (undirected): A–P, P–V, P–T. Middle type T₁ must link both
+        // ways: P links to A, V, T (and each of A,V,T links only to P).
+        // Chunks through P: 3×3 = 9. Chunks through A, V, T: middle A links
+        // to P only → (P A P); same for V and T → 3 more. Total 12.
+        assert_eq!(paths.len(), 12);
+        let schema = g.schema();
+        let rendered: Vec<String> = paths
+            .iter()
+            .map(|p| p.display(schema).to_string())
+            .collect();
+        assert!(rendered.contains(&"author.paper.venue".to_string()));
+        assert!(rendered.contains(&"paper.author.paper".to_string()));
+        assert!(!rendered.contains(&"author.venue.paper".to_string()));
+    }
+
+    #[test]
+    fn full_index_has_all_rows() {
+        let g = toy::figure1_network();
+        let idx = PmIndex::build_full(&g, ChunkSelection::All, 1);
+        assert_eq!(idx.path_count(), 12);
+        let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        for &a in g.vertices_of_type(author) {
+            assert!(idx.has_row(&apv, a));
+            let row = idx.row(&apv, a).unwrap();
+            let direct = traverse::neighbor_vector(&g, a, &apv).unwrap();
+            assert_eq!(row, direct);
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let g = toy::table1_network();
+        let seq = PmIndex::build_full(&g, ChunkSelection::All, 1);
+        let par = PmIndex::build_full(&g, ChunkSelection::All, 4);
+        assert_eq!(seq.path_count(), par.path_count());
+        assert_eq!(seq.total_rows(), par.total_rows());
+        assert_eq!(seq.nnz(), par.nnz());
+        let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        for &a in g.vertices_of_type(author) {
+            assert_eq!(seq.row(&apv, a), par.row(&apv, a));
+        }
+    }
+
+    #[test]
+    fn restricted_selection_only_indexes_those_paths() {
+        let g = toy::figure1_network();
+        let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
+        let idx = PmIndex::build_full(&g, ChunkSelection::Paths(vec![apv.clone()]), 1);
+        assert_eq!(idx.path_count(), 1);
+        let apa = MetaPath::parse("author.paper.author", g.schema()).unwrap();
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        let zoe = g.vertex_by_name(author, "Zoe").unwrap();
+        assert!(idx.has_row(&apv, zoe));
+        assert!(!idx.has_row(&apa, zoe));
+    }
+
+    #[test]
+    fn selection_ignores_non_length2() {
+        let g = toy::figure1_network();
+        let long = MetaPath::parse("author.paper.venue.paper", g.schema()).unwrap();
+        let idx = PmIndex::build_full(&g, ChunkSelection::Paths(vec![long]), 1);
+        assert_eq!(idx.path_count(), 0);
+        assert_eq!(idx.size_bytes(), 0);
+    }
+
+    #[test]
+    fn selective_index_partial_rows() {
+        let g = toy::figure1_network();
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        let zoe = g.vertex_by_name(author, "Zoe").unwrap();
+        let selected: FxHashSet<VertexId> = [zoe].into_iter().collect();
+        let idx = PmIndex::build_selective(&g, ChunkSelection::All, &selected, 1);
+        let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
+        let ava = g.vertex_by_name(author, "Ava").unwrap();
+        assert!(idx.has_row(&apv, zoe));
+        assert!(!idx.has_row(&apv, ava));
+        // Only author-rooted chunks have rows; the rest are empty matrices.
+        assert_eq!(idx.total_rows(), 3); // A.P.A, A.P.V, A.P.T for Zoe
+    }
+
+    #[test]
+    fn frequency_selection_threshold() {
+        let g = toy::figure1_network();
+        let schema = g.schema();
+        // Workload: coauthor sets of each author. Zoe appears in all three
+        // candidate sets (she coauthors with Ava and Liam and herself); Ava
+        // appears in Ava's and Zoe's and Liam's (via p6)... compute:
+        //   N(Ava)={Ava,Liam,Zoe}, N(Liam)={Ava,Liam,Zoe}, N(Zoe)={Ava,Liam,Zoe}.
+        // All three authors appear 3/3 times.
+        let queries: Vec<BoundQuery> = ["Ava", "Liam", "Zoe"]
+            .iter()
+            .map(|name| {
+                parse_and_bind(
+                    &format!(
+                        "FIND OUTLIERS FROM author{{\"{name}\"}}.paper.author \
+                         JUDGED BY author.paper.venue TOP 3;"
+                    ),
+                    schema,
+                )
+                .unwrap()
+            })
+            .collect();
+        let selected = select_frequent_vertices(&g, &queries, 1.0);
+        assert_eq!(selected.len(), 3);
+        // An impossible threshold selects nothing.
+        let selected = select_frequent_vertices(&g, &queries, 1.1);
+        assert!(selected.is_empty());
+    }
+
+    #[test]
+    fn frequency_selection_skips_missing_anchors() {
+        let g = toy::figure1_network();
+        let schema = g.schema();
+        let queries: Vec<BoundQuery> = ["Zoe", "Ghost"]
+            .iter()
+            .map(|name| {
+                parse_and_bind(
+                    &format!(
+                        "FIND OUTLIERS FROM author{{\"{name}\"}}.paper.author \
+                         JUDGED BY author.paper.venue;"
+                    ),
+                    schema,
+                )
+                .unwrap()
+            })
+            .collect();
+        // Zoe's set appears once over 2 queries → rel. freq 0.5.
+        let selected = select_frequent_vertices(&g, &queries, 0.5);
+        assert_eq!(selected.len(), 3);
+        let selected = select_frequent_vertices(&g, &queries, 0.6);
+        assert!(selected.is_empty());
+    }
+
+    #[test]
+    fn chunks_used_by_collects_all_walks() {
+        let g = toy::figure1_network();
+        let schema = g.schema();
+        let q = parse_and_bind(
+            "FIND OUTLIERS FROM venue{\"KDD\"}.paper.author AS A WHERE COUNT(A.paper.venue) > 1 \
+             COMPARED TO venue{\"ICDE\"}.paper.author \
+             JUDGED BY author.paper.venue.paper.author TOP 5;",
+            schema,
+        )
+        .unwrap();
+        let chunks = chunks_used_by(&[q]);
+        let rendered: Vec<String> = chunks
+            .iter()
+            .map(|p| p.display(schema).to_string())
+            .collect();
+        assert!(rendered.contains(&"venue.paper.author".to_string())); // set walks
+        assert!(rendered.contains(&"author.paper.venue".to_string())); // feature + count
+        assert!(rendered.contains(&"venue.paper.author".to_string())); // feature tail
+        assert_eq!(chunks.len(), 2, "duplicates removed: {rendered:?}");
+    }
+
+    #[test]
+    fn empty_index_misses_everything() {
+        let g = toy::figure1_network();
+        let idx = PmIndex::empty();
+        let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
+        assert!(idx.row(&apv, VertexId(0)).is_none());
+        assert_eq!(idx.size_bytes(), 0);
+        assert_eq!(idx.total_rows(), 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! The query execution engine (Section 6 of the paper).
+//!
+//! Execution of an outlier query has two steps: retrieve the candidate and
+//! reference sets ([`set_eval`]), then score every candidate against the
+//! reference set along the feature meta-paths ([`executor`]).
+//!
+//! The expensive primitive in both steps is materializing neighbor vectors
+//! `Φ_P(v)`. Three strategies are provided, mirroring the paper's
+//! comparison:
+//!
+//! * **Baseline** ([`source::TraversalSource`]) — materialize by sparse
+//!   graph traversal every time.
+//! * **PM** ([`index::PmIndex::build_full`]) — pre-materialize all length-2
+//!   meta-path relations; arbitrary paths are evaluated by chunked
+//!   vector–matrix products (Section 6.2).
+//! * **SPM** ([`index::PmIndex::build_selective`]) — pre-materialize only
+//!   rows for vertices that appear frequently in the candidate sets of an
+//!   initialization query workload, falling back to traversal per vertex.
+
+pub mod cache;
+pub mod executor;
+pub mod explain;
+pub mod index;
+pub mod progressive;
+pub mod set_eval;
+pub mod source;
+pub mod stats;
+pub mod topk;

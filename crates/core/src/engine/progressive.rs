@@ -1,0 +1,375 @@
+//! Progressive query execution — the "extensions" idea of the paper's
+//! Section 8: *"the system could find the approximate top-k outliers, with
+//! confidences, while the query is being processed so that users can
+//! determine whether to continue processing the query."*
+//!
+//! A [`ProgressiveRun`] scores the candidate set in batches. After each
+//! batch the caller gets a [`ProgressSnapshot`] holding the **exact** top-k
+//! over the processed prefix, the fraction processed, and the *entry
+//! threshold*: the score an unprocessed candidate would need to displace the
+//! current k-th result. Because candidates are processed in arbitrary
+//! (id) order, the prefix behaves like a uniform sample — the snapshot's
+//! `stability` is the fraction of batches since the top-k set last changed,
+//! a practical "keep going?" signal.
+
+use crate::engine::executor::OutlierResult;
+use crate::engine::set_eval::eval_set;
+use crate::engine::stats::ExecBreakdown;
+use crate::engine::topk::top_k;
+use crate::error::EngineError;
+use crate::measures::OutlierMeasure;
+use hin_graph::{SparseVec, VertexId};
+use hin_query::validate::BoundQuery;
+
+use super::executor::QueryEngine;
+
+/// State of a progressive execution after one batch.
+#[derive(Debug, Clone)]
+pub struct ProgressSnapshot {
+    /// Candidates scored so far.
+    pub processed: usize,
+    /// Total candidates in `S_c`.
+    pub total: usize,
+    /// Exact top-k over the processed prefix (most outlying first).
+    pub top: Vec<OutlierResult>,
+    /// Score an unprocessed candidate must beat to enter the current top-k
+    /// (the k-th score), once k results exist.
+    pub threshold: Option<f64>,
+    /// Fraction of completed batches since the top-k *membership* last
+    /// changed, in `[0, 1]`. High stability suggests the ranking has
+    /// converged and processing could stop early.
+    pub stability: f64,
+}
+
+impl ProgressSnapshot {
+    /// Fraction of the candidate set processed, in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.processed as f64 / self.total as f64
+        }
+    }
+}
+
+/// A paused progressive execution; pull snapshots with [`Iterator::next`].
+pub struct ProgressiveRun<'e, 'g> {
+    engine: &'e QueryEngine<'g>,
+    measure: Box<dyn OutlierMeasure>,
+    query: BoundQuery,
+    candidates: Vec<VertexId>,
+    reference: Vec<(VertexId, SparseVec)>,
+    /// Reference vectors for features beyond the first (multi-path queries
+    /// score per feature then combine by weighted average).
+    extra_reference: Vec<Vec<(VertexId, SparseVec)>>,
+    batch_size: usize,
+    cursor: usize,
+    scored: Vec<(VertexId, f64)>,
+    batches_done: usize,
+    batches_since_change: usize,
+    last_top_ids: Vec<VertexId>,
+    /// Accumulated timing (exposed on [`ProgressiveRun::stats`]).
+    pub(crate) stats: ExecBreakdown,
+}
+
+impl<'e, 'g> ProgressiveRun<'e, 'g> {
+    pub(crate) fn start(
+        engine: &'e QueryEngine<'g>,
+        query: &BoundQuery,
+        batch_size: usize,
+    ) -> Result<Self, EngineError> {
+        if batch_size == 0 {
+            return Err(EngineError::BadMeasureParameter(
+                "progressive batch size must be >= 1".into(),
+            ));
+        }
+        let mut stats = ExecBreakdown::default();
+        let graph = engine.graph();
+        let source = engine.source();
+        let candidates = eval_set(graph, source, &query.candidate, &mut stats)?;
+        if candidates.is_empty() {
+            return Err(EngineError::EmptyCandidateSet);
+        }
+        let reference_ids = match &query.reference {
+            Some(r) => {
+                let set = eval_set(graph, source, r, &mut stats)?;
+                if set.is_empty() {
+                    return Err(EngineError::EmptyReferenceSet);
+                }
+                set
+            }
+            None => candidates.clone(),
+        };
+        // Materialize reference vectors once per feature (the hoistable part
+        // of Equation (1); batches only pay for their own candidates).
+        let mut features = query.features.iter();
+        let first = features.next().expect("validated queries have features");
+        let materialize_refs = |path: &hin_graph::MetaPath,
+                                stats: &mut ExecBreakdown|
+         -> Result<Vec<(VertexId, SparseVec)>, EngineError> {
+            reference_ids
+                .iter()
+                .map(|&v| Ok((v, source.neighbor_vector(v, path, stats)?)))
+                .collect()
+        };
+        let reference = materialize_refs(&first.path, &mut stats)?;
+        let extra_reference = features
+            .map(|f| materialize_refs(&f.path, &mut stats))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ProgressiveRun {
+            measure: engine.measure_kind().instantiate(),
+            engine,
+            query: query.clone(),
+            candidates,
+            reference,
+            extra_reference,
+            batch_size,
+            cursor: 0,
+            scored: Vec::new(),
+            batches_done: 0,
+            batches_since_change: 0,
+            last_top_ids: Vec::new(),
+            stats,
+        })
+    }
+
+    /// Timing accumulated so far.
+    pub fn stats(&self) -> ExecBreakdown {
+        self.stats
+    }
+
+    /// Whether every candidate has been scored.
+    pub fn is_complete(&self) -> bool {
+        self.cursor >= self.candidates.len()
+    }
+
+    /// Run every remaining batch and return the final (exact) snapshot.
+    pub fn run_to_completion(&mut self) -> ProgressSnapshot {
+        let mut last = None;
+        for snapshot in &mut *self {
+            last = Some(snapshot);
+        }
+        last.unwrap_or_else(|| ProgressSnapshot {
+            processed: self.cursor,
+            total: self.candidates.len(),
+            top: Vec::new(),
+            threshold: None,
+            stability: 1.0,
+        })
+    }
+
+    fn score_batch(&mut self, batch: &[VertexId]) -> Result<Vec<(VertexId, f64)>, EngineError> {
+        let source = self.engine.source();
+        let features = &self.query.features;
+        let mut combined: Vec<(VertexId, f64)> = Vec::with_capacity(batch.len());
+        // First feature.
+        let vecs: Vec<(VertexId, SparseVec)> = batch
+            .iter()
+            .map(|&v| Ok((v, source.neighbor_vector(v, &features[0].path, &mut self.stats)?)))
+            .collect::<Result<_, EngineError>>()?;
+        let t = std::time::Instant::now();
+        let mut scores = self.measure.scores(&vecs, &self.reference)?;
+        self.stats.scoring += t.elapsed();
+        let total_w: f64 = features.iter().map(|f| f.weight).sum();
+        for (_, s) in &mut scores {
+            *s *= features[0].weight / total_w;
+        }
+        combined.extend(scores);
+        // Remaining features, weighted-averaged in.
+        for (fi, feature) in features.iter().enumerate().skip(1) {
+            let vecs: Vec<(VertexId, SparseVec)> = batch
+                .iter()
+                .map(|&v| Ok((v, source.neighbor_vector(v, &feature.path, &mut self.stats)?)))
+                .collect::<Result<_, EngineError>>()?;
+            let t = std::time::Instant::now();
+            let scores = self.measure.scores(&vecs, &self.extra_reference[fi - 1])?;
+            self.stats.scoring += t.elapsed();
+            for ((_, acc), (_, s)) in combined.iter_mut().zip(scores) {
+                *acc += s * feature.weight / total_w;
+            }
+        }
+        Ok(combined)
+    }
+
+    fn snapshot(&mut self) -> ProgressSnapshot {
+        let k = self.query.top;
+        let order = self.measure.order();
+        let finite: Vec<(VertexId, f64)> = self
+            .scored
+            .iter()
+            .copied()
+            .filter(|(_, s)| s.is_finite())
+            .collect();
+        let ranked = top_k(finite, k, order);
+        let threshold = match k {
+            Some(k) if ranked.len() >= k => ranked.last().map(|(_, s)| *s),
+            _ => None,
+        };
+        let top_ids: Vec<VertexId> = ranked.iter().map(|(v, _)| *v).collect();
+        if top_ids == self.last_top_ids {
+            self.batches_since_change += 1;
+        } else {
+            self.batches_since_change = 0;
+            self.last_top_ids = top_ids;
+        }
+        let graph = self.engine.graph();
+        ProgressSnapshot {
+            processed: self.cursor,
+            total: self.candidates.len(),
+            top: ranked
+                .into_iter()
+                .map(|(vertex, score)| OutlierResult {
+                    vertex,
+                    name: graph.vertex_name(vertex).to_string(),
+                    score,
+                })
+                .collect(),
+            threshold,
+            stability: if self.batches_done == 0 {
+                0.0
+            } else {
+                self.batches_since_change as f64 / self.batches_done as f64
+            },
+        }
+    }
+}
+
+impl Iterator for ProgressiveRun<'_, '_> {
+    type Item = ProgressSnapshot;
+
+    fn next(&mut self) -> Option<ProgressSnapshot> {
+        if self.is_complete() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.candidates.len());
+        let batch: Vec<VertexId> = self.candidates[self.cursor..end].to_vec();
+        // Errors mid-stream abort the run; start() already validated the
+        // query, so the only failures left are measure-parameter ones,
+        // surfaced by scoring the first batch eagerly in execute_progressive
+        // callers that need them. Here we conservatively stop the stream.
+        let scores = match self.score_batch(&batch) {
+            Ok(s) => s,
+            Err(_) => {
+                self.cursor = self.candidates.len();
+                return None;
+            }
+        };
+        self.scored.extend(scores);
+        self.cursor = end;
+        self.batches_done += 1;
+        Some(self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::executor::QueryEngine;
+    use hin_datagen::toy;
+    use hin_query::validate::parse_and_bind;
+
+    fn run_toy(batch: usize) -> (Vec<ProgressSnapshot>, Vec<OutlierResult>) {
+        let g = toy::table1_network();
+        let engine = QueryEngine::baseline(&g);
+        let query = toy::table1_query().replace(';', " TOP 4;");
+        let bound = parse_and_bind(&query, g.schema()).unwrap();
+        let mut run = engine.execute_progressive(&bound, batch).unwrap();
+        let snapshots: Vec<ProgressSnapshot> = (&mut run).collect();
+        let exact = engine.execute(&bound).unwrap().ranked;
+        (snapshots, exact)
+    }
+
+    #[test]
+    fn final_snapshot_matches_exact_execution() {
+        let (snapshots, exact) = run_toy(10);
+        let last = snapshots.last().unwrap();
+        assert_eq!(last.processed, last.total);
+        assert_eq!(last.top.len(), exact.len());
+        for (a, b) in last.top.iter().zip(&exact) {
+            assert_eq!(a.vertex, b.vertex);
+            assert!((a.score - b.score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn snapshots_progress_monotonically() {
+        let (snapshots, _) = run_toy(7);
+        assert!(snapshots.len() > 1);
+        let mut prev = 0;
+        for s in &snapshots {
+            assert!(s.processed > prev);
+            prev = s.processed;
+            assert!(s.progress() <= 1.0);
+        }
+        assert_eq!(snapshots.last().unwrap().progress(), 1.0);
+    }
+
+    #[test]
+    fn threshold_appears_once_k_results_exist() {
+        let (snapshots, _) = run_toy(2);
+        // With TOP 4 and batch 2, the first snapshot has only 2 results.
+        assert!(snapshots[0].threshold.is_none());
+        let last = snapshots.last().unwrap();
+        let thr = last.threshold.expect("full top-k has a threshold");
+        assert_eq!(thr, last.top.last().unwrap().score);
+    }
+
+    #[test]
+    fn stability_converges_on_toy() {
+        // The 5 interesting candidates come early (low ids); the 100
+        // identical reference authors that follow never change the top-k,
+        // so stability climbs toward 1.
+        let (snapshots, _) = run_toy(5);
+        let last = snapshots.last().unwrap();
+        assert!(
+            last.stability > 0.5,
+            "top-k should be stable long before the end: {}",
+            last.stability
+        );
+    }
+
+    #[test]
+    fn run_to_completion_equivalent_to_iteration() {
+        let g = toy::table1_network();
+        let engine = QueryEngine::baseline(&g);
+        let bound = parse_and_bind(&toy::table1_query(), g.schema()).unwrap();
+        let mut run = engine.execute_progressive(&bound, 16).unwrap();
+        let final_snapshot = run.run_to_completion();
+        assert!(run.is_complete());
+        let exact = engine.execute(&bound).unwrap();
+        assert_eq!(final_snapshot.top.len(), exact.ranked.len());
+        assert_eq!(final_snapshot.top[0].name, "Emma");
+        assert!(run.stats().total() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn multi_feature_progressive_matches_batch() {
+        let g = toy::figure1_network();
+        let engine = QueryEngine::baseline(&g);
+        let bound = parse_and_bind(
+            "FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author \
+             JUDGED BY author.paper.venue : 3.0, author.paper.author;",
+            g.schema(),
+        )
+        .unwrap();
+        let mut run = engine.execute_progressive(&bound, 1).unwrap();
+        let last = run.run_to_completion();
+        let exact = engine.execute(&bound).unwrap();
+        for (a, b) in last.top.iter().zip(&exact.ranked) {
+            assert_eq!(a.vertex, b.vertex);
+            assert!((a.score - b.score).abs() < 1e-9, "{} vs {}", a.score, b.score);
+        }
+    }
+
+    #[test]
+    fn zero_batch_size_rejected() {
+        let g = toy::figure1_network();
+        let engine = QueryEngine::baseline(&g);
+        let bound = parse_and_bind(
+            "FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author JUDGED BY author.paper.venue;",
+            g.schema(),
+        )
+        .unwrap();
+        assert!(engine.execute_progressive(&bound, 0).is_err());
+    }
+}

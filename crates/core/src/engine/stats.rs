@@ -1,0 +1,131 @@
+//! Per-phase timing breakdowns, matching the buckets of the paper's Figure 4
+//! ("Not indexed vectors" / "Indexed vectors" / "Outlierness calculation").
+
+use std::ops::{Add, AddAssign};
+use std::time::Duration;
+
+/// Wall-clock time spent in each phase of query execution, plus vector
+/// materialization counters.
+///
+/// Accumulate across queries with `+=` to reproduce the paper's
+/// whole-workload totals (Figures 3 and 4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecBreakdown {
+    /// Time spent evaluating candidate/reference set expressions (anchor
+    /// lookup, neighborhood walks, WHERE filters, set algebra).
+    pub set_retrieval: Duration,
+    /// Time materializing feature vectors by graph traversal (vertices with
+    /// no usable index row) — "Not indexed vectors" in Figure 4.
+    pub unindexed_vectors: Duration,
+    /// Time fetching feature vectors from a pre-materialized index —
+    /// "Indexed vectors" in Figure 4.
+    pub indexed_vectors: Duration,
+    /// Time computing outlierness scores and selecting the top-k —
+    /// "Outlierness calculation" in Figure 4.
+    pub scoring: Duration,
+    /// Number of feature vectors materialized by traversal.
+    pub unindexed_count: u64,
+    /// Number of feature vectors served from the index.
+    pub indexed_count: u64,
+}
+
+impl ExecBreakdown {
+    /// Sum of all phase durations. (End-to-end latency can be slightly
+    /// larger due to unattributed glue work.)
+    pub fn total(&self) -> Duration {
+        self.set_retrieval + self.unindexed_vectors + self.indexed_vectors + self.scoring
+    }
+
+    /// Fraction of materialized vectors served from the index, in `[0, 1]`.
+    /// Returns `None` when nothing was materialized.
+    pub fn index_hit_rate(&self) -> Option<f64> {
+        let total = self.indexed_count + self.unindexed_count;
+        if total == 0 {
+            None
+        } else {
+            Some(self.indexed_count as f64 / total as f64)
+        }
+    }
+}
+
+impl Add for ExecBreakdown {
+    type Output = ExecBreakdown;
+
+    fn add(self, rhs: ExecBreakdown) -> ExecBreakdown {
+        ExecBreakdown {
+            set_retrieval: self.set_retrieval + rhs.set_retrieval,
+            unindexed_vectors: self.unindexed_vectors + rhs.unindexed_vectors,
+            indexed_vectors: self.indexed_vectors + rhs.indexed_vectors,
+            scoring: self.scoring + rhs.scoring,
+            unindexed_count: self.unindexed_count + rhs.unindexed_count,
+            indexed_count: self.indexed_count + rhs.indexed_count,
+        }
+    }
+}
+
+impl AddAssign for ExecBreakdown {
+    fn add_assign(&mut self, rhs: ExecBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::fmt::Display for ExecBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "set retrieval {:?}, unindexed vectors {:?} ({}), indexed vectors {:?} ({}), scoring {:?}",
+            self.set_retrieval,
+            self.unindexed_vectors,
+            self.unindexed_count,
+            self.indexed_vectors,
+            self.indexed_count,
+            self.scoring
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(ms: u64, hits: u64, misses: u64) -> ExecBreakdown {
+        ExecBreakdown {
+            set_retrieval: Duration::from_millis(ms),
+            unindexed_vectors: Duration::from_millis(2 * ms),
+            indexed_vectors: Duration::from_millis(3 * ms),
+            scoring: Duration::from_millis(4 * ms),
+            unindexed_count: misses,
+            indexed_count: hits,
+        }
+    }
+
+    #[test]
+    fn total_sums_phases() {
+        assert_eq!(sample(1, 0, 0).total(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn add_and_add_assign_agree() {
+        let a = sample(1, 2, 3);
+        let b = sample(10, 20, 30);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        assert_eq!(c.indexed_count, 22);
+        assert_eq!(c.unindexed_count, 33);
+        assert_eq!(c.set_retrieval, Duration::from_millis(11));
+    }
+
+    #[test]
+    fn hit_rate() {
+        assert_eq!(sample(1, 3, 1).index_hit_rate(), Some(0.75));
+        assert_eq!(sample(1, 0, 0).index_hit_rate(), None);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let s = sample(1, 5, 7).to_string();
+        assert!(s.contains("(5)"));
+        assert!(s.contains("(7)"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Bounded top-k selection over outlier scores.
+//!
+//! NetOut ranks *smaller* `Ω` as more outlying, while e.g. LOF ranks larger
+//! values as more outlying; [`ScoreOrder`] makes the direction explicit so
+//! the same selection code serves every measure.
+
+use hin_graph::VertexId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Which end of the score scale is "most outlying".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreOrder {
+    /// Smaller scores are more outlying (NetOut, PathSim/CosSim sums).
+    AscendingIsOutlier,
+    /// Larger scores are more outlying (LOF, kNN distance).
+    DescendingIsOutlier,
+}
+
+impl ScoreOrder {
+    /// Compare two scored vertices so that "more outlying" sorts first.
+    /// Non-finite scores (`Ω = +∞` for zero-visibility vertices) always sort
+    /// last; ties break by vertex id for determinism.
+    pub fn compare(self, a: &(VertexId, f64), b: &(VertexId, f64)) -> Ordering {
+        rank_key(self, a).partial_cmp(&rank_key(self, b)).expect("keys are finite or handled")
+            .then(a.0.cmp(&b.0))
+    }
+}
+
+/// Map a scored vertex to a finite sort key: smaller keys = more outlying,
+/// with non-finite scores pushed to the very end.
+fn rank_key(order: ScoreOrder, item: &(VertexId, f64)) -> (u8, f64) {
+    let score = item.1;
+    if !score.is_finite() {
+        return (1, 0.0);
+    }
+    let key = match order {
+        ScoreOrder::AscendingIsOutlier => score,
+        ScoreOrder::DescendingIsOutlier => -score,
+    };
+    (0, key)
+}
+
+struct HeapItem {
+    order: ScoreOrder,
+    entry: (VertexId, f64),
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.order.compare(&self.entry, &other.entry) == Ordering::Equal
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap by "least outlying first at the top", so the heap root is
+        // the weakest of the current top-k and can be evicted.
+        self.order.compare(&self.entry, &other.entry)
+    }
+}
+
+/// Select the `k` most outlying entries, sorted most-outlying first.
+///
+/// `k = None` returns the full ranking. Runs in `O(n log k)` with a bounded
+/// max-heap (the partition-based pruning idea of Ramaswamy et al., which the
+/// paper cites for top-k outlier mining).
+pub fn top_k(
+    scores: impl IntoIterator<Item = (VertexId, f64)>,
+    k: Option<usize>,
+    order: ScoreOrder,
+) -> Vec<(VertexId, f64)> {
+    match k {
+        None => {
+            let mut all: Vec<(VertexId, f64)> = scores.into_iter().collect();
+            all.sort_by(|a, b| order.compare(a, b));
+            all
+        }
+        Some(0) => Vec::new(),
+        Some(k) => {
+            let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
+            for entry in scores {
+                heap.push(HeapItem { order, entry });
+                if heap.len() > k {
+                    heap.pop(); // evict the least outlying
+                }
+            }
+            let mut out: Vec<(VertexId, f64)> =
+                heap.into_iter().map(|h| h.entry).collect();
+            out.sort_by(|a, b| order.compare(a, b));
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(id: u32) -> VertexId {
+        VertexId(id)
+    }
+
+    #[test]
+    fn ascending_selects_smallest() {
+        let scores = vec![(v(1), 5.0), (v(2), 1.0), (v(3), 3.0), (v(4), 2.0)];
+        let top = top_k(scores, Some(2), ScoreOrder::AscendingIsOutlier);
+        assert_eq!(top, vec![(v(2), 1.0), (v(4), 2.0)]);
+    }
+
+    #[test]
+    fn descending_selects_largest() {
+        let scores = vec![(v(1), 5.0), (v(2), 1.0), (v(3), 3.0)];
+        let top = top_k(scores, Some(2), ScoreOrder::DescendingIsOutlier);
+        assert_eq!(top, vec![(v(1), 5.0), (v(3), 3.0)]);
+    }
+
+    #[test]
+    fn none_returns_full_sorted_ranking() {
+        let scores = vec![(v(1), 5.0), (v(2), 1.0)];
+        let all = top_k(scores, None, ScoreOrder::AscendingIsOutlier);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, v(2));
+    }
+
+    #[test]
+    fn k_larger_than_input() {
+        let scores = vec![(v(1), 5.0)];
+        let top = top_k(scores, Some(10), ScoreOrder::AscendingIsOutlier);
+        assert_eq!(top.len(), 1);
+    }
+
+    #[test]
+    fn k_zero() {
+        let scores = vec![(v(1), 5.0)];
+        assert!(top_k(scores, Some(0), ScoreOrder::AscendingIsOutlier).is_empty());
+    }
+
+    #[test]
+    fn infinite_scores_sort_last_under_both_orders() {
+        for order in [ScoreOrder::AscendingIsOutlier, ScoreOrder::DescendingIsOutlier] {
+            let scores = vec![(v(1), f64::INFINITY), (v(2), 2.0), (v(3), f64::NAN)];
+            let all = top_k(scores, None, order);
+            assert_eq!(all[0].0, v(2), "finite score first under {order:?}");
+        }
+    }
+
+    #[test]
+    fn ties_break_by_vertex_id() {
+        let scores = vec![(v(9), 1.0), (v(3), 1.0), (v(7), 1.0)];
+        let top = top_k(scores, Some(2), ScoreOrder::AscendingIsOutlier);
+        assert_eq!(top, vec![(v(3), 1.0), (v(7), 1.0)]);
+    }
+
+    #[test]
+    fn heap_path_matches_full_sort() {
+        // Cross-check the bounded-heap path against sort-everything.
+        let scores: Vec<(VertexId, f64)> = (0..100)
+            .map(|i| (v(i), ((i * 37) % 100) as f64 / 3.0))
+            .collect();
+        for order in [ScoreOrder::AscendingIsOutlier, ScoreOrder::DescendingIsOutlier] {
+            let full = top_k(scores.clone(), None, order);
+            let heap = top_k(scores.clone(), Some(10), order);
+            assert_eq!(heap, full[..10].to_vec());
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for query execution.
+
+use hin_graph::GraphError;
+use hin_query::QueryError;
+use std::fmt;
+
+/// Errors raised while executing an outlier query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The query failed to parse or validate.
+    Query(QueryError),
+    /// A graph-level operation failed (bad meta-path, unknown vertex, …).
+    Graph(GraphError),
+    /// The anchor vertex named in a set expression does not exist in the
+    /// graph.
+    UnknownAnchor {
+        /// The anchor's declared type name.
+        type_name: String,
+        /// The anchor's name as written in the query.
+        name: String,
+    },
+    /// The candidate set evaluated to no vertices.
+    EmptyCandidateSet,
+    /// The reference set evaluated to no vertices.
+    EmptyReferenceSet,
+    /// A measure received parameters it cannot work with (e.g. LOF with
+    /// `k = 0`, or `k` larger than the reference set).
+    BadMeasureParameter(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Query(e) => write!(f, "query error: {e}"),
+            EngineError::Graph(e) => write!(f, "graph error: {e}"),
+            EngineError::UnknownAnchor { type_name, name } => {
+                write!(f, "no vertex {type_name}{{{name:?}}} in the network")
+            }
+            EngineError::EmptyCandidateSet => write!(f, "the candidate set is empty"),
+            EngineError::EmptyReferenceSet => write!(f, "the reference set is empty"),
+            EngineError::BadMeasureParameter(msg) => write!(f, "bad measure parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Query(e) => Some(e),
+            EngineError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueryError> for EngineError {
+    fn from(e: QueryError) -> Self {
+        EngineError::Query(e)
+    }
+}
+
+impl From<GraphError> for EngineError {
+    fn from(e: GraphError) -> Self {
+        EngineError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = EngineError::UnknownAnchor {
+            type_name: "author".into(),
+            name: "Nobody".into(),
+        };
+        assert_eq!(e.to_string(), "no vertex author{\"Nobody\"} in the network");
+        assert!(EngineError::EmptyCandidateSet.to_string().contains("candidate"));
+    }
+
+    #[test]
+    fn conversion_preserves_source() {
+        use std::error::Error;
+        let ge = GraphError::EmptyMetaPath;
+        let e: EngineError = ge.into();
+        assert!(e.source().is_some());
+    }
+}

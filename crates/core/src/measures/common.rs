@@ -1,0 +1,65 @@
+//! The [`OutlierMeasure`] trait and shared vector-set plumbing.
+
+use crate::engine::topk::ScoreOrder;
+use crate::error::EngineError;
+use hin_graph::{SparseVec, VertexId};
+
+/// A set of vertices with their materialized feature vectors `Φ_P(·)`.
+///
+/// Materialization happens once in the executor; measures only read.
+pub type VectorSet = [(VertexId, SparseVec)];
+
+/// An outlierness measure: maps candidate vectors against a reference set of
+/// vectors to one score per candidate.
+pub trait OutlierMeasure: Send + Sync {
+    /// Display name of the measure.
+    fn name(&self) -> &'static str;
+
+    /// Which end of the score scale is most outlying.
+    fn order(&self) -> ScoreOrder;
+
+    /// Score every candidate. Output order matches input order.
+    ///
+    /// Implementations must tolerate empty vectors (vertices with no path
+    /// instances); what score they assign is measure-specific and
+    /// documented per measure.
+    fn scores(
+        &self,
+        candidates: &VectorSet,
+        reference: &VectorSet,
+    ) -> Result<Vec<(VertexId, f64)>, EngineError>;
+}
+
+/// Sum of all reference vectors — the `Σ_{v_j ∈ S_r} Φ_P(v_j)` term that
+/// Equation (1) hoists out of the per-candidate loop.
+pub fn reference_sum(reference: &VectorSet) -> SparseVec {
+    let mut sum = SparseVec::new();
+    for (_, phi) in reference {
+        sum.add_assign(phi);
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(pairs: &[(u32, f64)]) -> SparseVec {
+        pairs.iter().map(|&(i, x)| (VertexId(i), x)).collect()
+    }
+
+    #[test]
+    fn reference_sum_accumulates() {
+        let refs = vec![
+            (VertexId(1), sv(&[(10, 1.0), (11, 2.0)])),
+            (VertexId(2), sv(&[(11, 3.0), (12, 4.0)])),
+        ];
+        let sum = reference_sum(&refs);
+        assert_eq!(sum, sv(&[(10, 1.0), (11, 5.0), (12, 4.0)]));
+    }
+
+    #[test]
+    fn reference_sum_empty() {
+        assert!(reference_sum(&[]).is_empty());
+    }
+}

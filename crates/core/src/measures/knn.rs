@@ -1,0 +1,168 @@
+//! Distance-based kNN outlier score (Ramaswamy, Rastogi, Shim — SIGMOD
+//! 2000), cited by the paper as the classic top-k distance-based outlier
+//! definition. The score of a candidate is its Euclidean distance to its
+//! `k`-th nearest reference vector; larger ⇒ more outlying.
+//!
+//! When the candidate itself belongs to the reference set (the common
+//! `S_r = S_c` query), its own entry is excluded from the neighbor search —
+//! otherwise every candidate's 1-NN distance would be zero.
+
+use super::common::{OutlierMeasure, VectorSet};
+use crate::engine::topk::ScoreOrder;
+use crate::error::EngineError;
+use hin_graph::VertexId;
+
+/// kNN-distance outlier measure.
+#[derive(Debug, Clone, Copy)]
+pub struct KnnDist {
+    k: usize,
+}
+
+impl KnnDist {
+    /// Score by distance to the `k`-th nearest reference vector (`k ≥ 1`).
+    pub fn new(k: usize) -> Self {
+        KnnDist { k }
+    }
+}
+
+/// Distance to the `k`-th nearest vector in `reference`, excluding entries
+/// whose vertex id equals `this`. Returns `None` when fewer than `k`
+/// eligible reference vectors exist.
+pub(crate) fn kth_nn_dist2(
+    this: VertexId,
+    phi: &hin_graph::SparseVec,
+    reference: &VectorSet,
+    k: usize,
+) -> Option<f64> {
+    // Keep the k smallest squared distances in a bounded max-heap.
+    let mut heap: std::collections::BinaryHeap<OrdF64> =
+        std::collections::BinaryHeap::with_capacity(k + 1);
+    for (u, psi) in reference {
+        if *u == this {
+            continue;
+        }
+        heap.push(OrdF64(phi.dist2_sq(psi)));
+        if heap.len() > k {
+            heap.pop();
+        }
+    }
+    if heap.len() < k {
+        None
+    } else {
+        heap.peek().map(|d| d.0)
+    }
+}
+
+/// Total-ordered f64 wrapper for the bounded heap (all distances are
+/// non-negative and finite).
+#[derive(PartialEq)]
+pub(crate) struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl OutlierMeasure for KnnDist {
+    fn name(&self) -> &'static str {
+        "kNN-dist"
+    }
+
+    fn order(&self) -> ScoreOrder {
+        ScoreOrder::DescendingIsOutlier
+    }
+
+    fn scores(
+        &self,
+        candidates: &VectorSet,
+        reference: &VectorSet,
+    ) -> Result<Vec<(VertexId, f64)>, EngineError> {
+        if self.k == 0 {
+            return Err(EngineError::BadMeasureParameter(
+                "kNN-dist requires k >= 1".into(),
+            ));
+        }
+        candidates
+            .iter()
+            .map(|(v, phi)| {
+                let d2 = kth_nn_dist2(*v, phi, reference, self.k).ok_or_else(|| {
+                    EngineError::BadMeasureParameter(format!(
+                        "kNN-dist needs at least k={} reference vertices besides the candidate",
+                        self.k
+                    ))
+                })?;
+                Ok((*v, d2.sqrt()))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hin_graph::SparseVec;
+
+    fn sv(pairs: &[(u32, f64)]) -> SparseVec {
+        pairs.iter().map(|&(i, x)| (VertexId(i), x)).collect()
+    }
+
+    fn refs(vectors: &[&[(u32, f64)]]) -> Vec<(VertexId, SparseVec)> {
+        vectors
+            .iter()
+            .enumerate()
+            .map(|(i, pairs)| (VertexId(100 + i as u32), sv(pairs)))
+            .collect()
+    }
+
+    #[test]
+    fn far_point_scores_higher() {
+        let reference = refs(&[&[(0, 1.0)], &[(0, 2.0)], &[(0, 3.0)]]);
+        let candidates = vec![
+            (VertexId(0), sv(&[(0, 2.0)])),   // central
+            (VertexId(1), sv(&[(0, 50.0)])),  // far away
+        ];
+        let scores = KnnDist::new(1).scores(&candidates, &reference).unwrap();
+        assert!(scores[1].1 > scores[0].1);
+        assert_eq!(scores[0].1, 0.0); // exact match with a reference point
+    }
+
+    #[test]
+    fn self_excluded_from_neighbors() {
+        // Candidate shares an id with a reference entry: its distance to
+        // itself must not count.
+        let reference = vec![
+            (VertexId(0), sv(&[(0, 1.0)])),
+            (VertexId(1), sv(&[(0, 5.0)])),
+        ];
+        let candidates = vec![(VertexId(0), sv(&[(0, 1.0)]))];
+        let scores = KnnDist::new(1).scores(&candidates, &reference).unwrap();
+        assert_eq!(scores[0].1, 4.0); // distance to the other point
+    }
+
+    #[test]
+    fn k_beyond_reference_errors() {
+        let reference = refs(&[&[(0, 1.0)]]);
+        let candidates = vec![(VertexId(0), sv(&[(0, 1.0)]))];
+        assert!(KnnDist::new(5).scores(&candidates, &reference).is_err());
+        assert!(KnnDist::new(0).scores(&candidates, &reference).is_err());
+    }
+
+    #[test]
+    fn kth_distance_is_monotone_in_k() {
+        let reference = refs(&[&[(0, 1.0)], &[(0, 2.0)], &[(0, 4.0)], &[(0, 8.0)]]);
+        let phi = sv(&[(0, 0.0)]);
+        let d1 = kth_nn_dist2(VertexId(0), &phi, &reference, 1).unwrap();
+        let d2 = kth_nn_dist2(VertexId(0), &phi, &reference, 2).unwrap();
+        let d4 = kth_nn_dist2(VertexId(0), &phi, &reference, 4).unwrap();
+        assert!(d1 <= d2 && d2 <= d4);
+        assert_eq!(d1, 1.0);
+        assert_eq!(d4, 64.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Local Outlier Factor (Breunig, Kriegel, Ng, Sander — SIGMOD 2000) over
+//! feature vectors.
+//!
+//! The paper's Section 8 reports that substituting classical detectors like
+//! LOF into the query framework "cannot produce better results than NetOut"
+//! and is too slow for exploratory querying; this implementation exists to
+//! reproduce that comparison (`bench/src/bin/exp_baselines.rs`).
+//!
+//! The reference set is the density population: each candidate is scored
+//! against the reference vectors. Larger LOF ⇒ more outlying; values near 1
+//! mean inlier-like density.
+//!
+//! Definitions (with `d` = Euclidean distance on `Φ_P(·)`):
+//!
+//! ```text
+//! k-dist(o)        = distance from o to its k-th nearest reference point
+//! reach-dist(p, o) = max(k-dist(o), d(p, o))
+//! lrd(p)           = 1 / mean_{o ∈ kNN(p)} reach-dist(p, o)
+//! LOF(p)           = mean_{o ∈ kNN(p)} lrd(o) / lrd(p)
+//! ```
+
+use super::common::{OutlierMeasure, VectorSet};
+use super::knn::OrdF64;
+use crate::engine::topk::ScoreOrder;
+use crate::error::EngineError;
+use hin_graph::{SparseVec, VertexId};
+
+/// The LOF measure with neighborhood size `k`.
+#[derive(Debug, Clone, Copy)]
+pub struct Lof {
+    k: usize,
+}
+
+impl Lof {
+    /// LOF with `k` nearest neighbors (`k ≥ 1`).
+    pub fn new(k: usize) -> Self {
+        Lof { k }
+    }
+}
+
+/// The `k` nearest entries of `reference` to `phi` (excluding id `this`),
+/// as `(index into reference, distance)` sorted ascending by distance with
+/// index tiebreak. Returns `None` if fewer than `k` are eligible.
+fn knn_of(
+    this: VertexId,
+    phi: &SparseVec,
+    reference: &VectorSet,
+    k: usize,
+) -> Option<Vec<(usize, f64)>> {
+    let mut dists: Vec<(usize, f64)> = reference
+        .iter()
+        .enumerate()
+        .filter(|(_, (u, _))| *u != this)
+        .map(|(i, (_, psi))| (i, phi.dist2_sq(psi).sqrt()))
+        .collect();
+    if dists.len() < k {
+        return None;
+    }
+    dists.sort_by(|a, b| OrdF64(a.1).cmp(&OrdF64(b.1)).then(a.0.cmp(&b.0)));
+    dists.truncate(k);
+    Some(dists)
+}
+
+/// Precomputed per-reference-point model: k-distance and local reachability
+/// density of every reference point within the reference population.
+struct LofModel {
+    k_dist: Vec<f64>,
+    lrd: Vec<f64>,
+}
+
+fn build_model(reference: &VectorSet, k: usize) -> Option<LofModel> {
+    let n = reference.len();
+    let mut k_dist = vec![0.0; n];
+    let mut neighbors: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+    for (i, (u, phi)) in reference.iter().enumerate() {
+        let nn = knn_of(*u, phi, reference, k)?;
+        k_dist[i] = nn.last().expect("k >= 1").1;
+        neighbors.push(nn);
+    }
+    let lrd: Vec<f64> = neighbors
+        .iter()
+        .map(|nn| {
+            let mean_reach: f64 =
+                nn.iter().map(|&(j, d)| d.max(k_dist[j])).sum::<f64>() / nn.len() as f64;
+            if mean_reach == 0.0 {
+                f64::INFINITY
+            } else {
+                1.0 / mean_reach
+            }
+        })
+        .collect();
+    Some(LofModel { k_dist, lrd })
+}
+
+/// LOF of one point given its kNN among the reference set and the model.
+fn lof_of(nn: &[(usize, f64)], model: &LofModel) -> f64 {
+    let mean_reach: f64 =
+        nn.iter().map(|&(j, d)| d.max(model.k_dist[j])).sum::<f64>() / nn.len() as f64;
+    let lrd_p = if mean_reach == 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / mean_reach
+    };
+    let mean_lrd_o: f64 = nn.iter().map(|&(j, _)| model.lrd[j]).sum::<f64>() / nn.len() as f64;
+    let lof = mean_lrd_o / lrd_p;
+    // inf/inf (point and neighbors all in a zero-diameter cluster) is a
+    // perfect inlier, not NaN.
+    if lof.is_nan() {
+        1.0
+    } else {
+        lof
+    }
+}
+
+impl OutlierMeasure for Lof {
+    fn name(&self) -> &'static str {
+        "LOF"
+    }
+
+    fn order(&self) -> ScoreOrder {
+        ScoreOrder::DescendingIsOutlier
+    }
+
+    fn scores(
+        &self,
+        candidates: &VectorSet,
+        reference: &VectorSet,
+    ) -> Result<Vec<(VertexId, f64)>, EngineError> {
+        if self.k == 0 {
+            return Err(EngineError::BadMeasureParameter("LOF requires k >= 1".into()));
+        }
+        let model = build_model(reference, self.k).ok_or_else(|| {
+            EngineError::BadMeasureParameter(format!(
+                "LOF needs at least k+1 = {} reference vertices",
+                self.k + 1
+            ))
+        })?;
+        candidates
+            .iter()
+            .map(|(v, phi)| {
+                let nn = knn_of(*v, phi, reference, self.k).ok_or_else(|| {
+                    EngineError::BadMeasureParameter(format!(
+                        "LOF needs at least k = {} reference vertices besides the candidate",
+                        self.k
+                    ))
+                })?;
+                Ok((*v, lof_of(&nn, &model)))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(pairs: &[(u32, f64)]) -> SparseVec {
+        pairs.iter().map(|&(i, x)| (VertexId(i), x)).collect()
+    }
+
+    /// A tight 1-d cluster at 1, 2, 3, 4, 5.
+    fn cluster() -> Vec<(VertexId, SparseVec)> {
+        (1..=5)
+            .map(|i| (VertexId(100 + i), sv(&[(0, i as f64)])))
+            .collect()
+    }
+
+    #[test]
+    fn isolated_point_has_high_lof() {
+        let reference = cluster();
+        let candidates = vec![
+            (VertexId(0), sv(&[(0, 3.0)])),   // inside the cluster
+            (VertexId(1), sv(&[(0, 100.0)])), // far outside
+        ];
+        let scores = Lof::new(2).scores(&candidates, &reference).unwrap();
+        let inside = scores[0].1;
+        let outside = scores[1].1;
+        assert!(inside < 1.5, "inlier LOF ≈ 1, got {inside}");
+        assert!(outside > 5.0, "outlier LOF large, got {outside}");
+    }
+
+    #[test]
+    fn uniform_cluster_scores_near_one() {
+        let reference = cluster();
+        let candidates: Vec<_> = cluster()
+            .into_iter()
+            .map(|(v, phi)| (VertexId(v.0 - 100), phi))
+            .collect();
+        let scores = Lof::new(2).scores(&candidates, &reference).unwrap();
+        for (_, lof) in scores {
+            assert!((0.5..2.0).contains(&lof), "uniform data ⇒ LOF ≈ 1, got {lof}");
+        }
+    }
+
+    #[test]
+    fn duplicate_points_do_not_nan() {
+        // All reference points identical: candidate at the same spot must
+        // score 1 (perfect inlier), not NaN; a distant candidate must still
+        // be flagged (infinite LOF is acceptable — density contrast is
+        // infinite).
+        let reference: Vec<_> = (0..4)
+            .map(|i| (VertexId(100 + i), sv(&[(0, 7.0)])))
+            .collect();
+        let on_top = vec![(VertexId(0), sv(&[(0, 7.0)]))];
+        let away = vec![(VertexId(1), sv(&[(0, 9.0)]))];
+        let s_on = Lof::new(2).scores(&on_top, &reference).unwrap()[0].1;
+        let s_away = Lof::new(2).scores(&away, &reference).unwrap()[0].1;
+        assert_eq!(s_on, 1.0);
+        assert!(s_away > 1.0 || s_away.is_infinite());
+        assert!(!s_away.is_nan());
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let reference = cluster();
+        let candidates = vec![(VertexId(0), sv(&[(0, 1.0)]))];
+        assert!(Lof::new(0).scores(&candidates, &reference).is_err());
+        assert!(Lof::new(10).scores(&candidates, &reference).is_err());
+    }
+
+    #[test]
+    fn self_excluded_when_candidate_in_reference() {
+        let reference = cluster();
+        // Candidate IS reference point 3 (same id).
+        let candidates = vec![(VertexId(103), sv(&[(0, 3.0)]))];
+        let scores = Lof::new(2).scores(&candidates, &reference).unwrap();
+        assert!(scores[0].1.is_finite());
+    }
+}

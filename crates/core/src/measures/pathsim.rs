@@ -1,0 +1,134 @@
+//! `Ω_PathSim` — the comparison measure of Section 5.2 built on PathSim
+//! (Sun et al., VLDB 2011).
+//!
+//! ```text
+//! PathSim(v_i, v_j) = 2·χ(v_i, v_j) / (χ(v_i, v_i) + χ(v_j, v_j))
+//! Ω_PathSim(v_i)    = Σ_{v_j ∈ S_r} PathSim(v_i, v_j)
+//! ```
+//!
+//! Unlike NetOut's normalized connectivity, PathSim is symmetric; the paper
+//! shows this makes the outlier score biased toward low-visibility vertices
+//! (Joe in Table 2 and the one-paper authors in Table 3).
+//!
+//! The per-pair denominator depends on *both* endpoints, so the reference
+//! sum cannot be hoisted: scoring is inherently `O(|S_r| × |S_c|)`.
+
+use super::common::{OutlierMeasure, VectorSet};
+use crate::engine::topk::ScoreOrder;
+use crate::error::EngineError;
+use hin_graph::{SparseVec, VertexId};
+
+/// The `Ω_PathSim` measure.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PathSimMeasure;
+
+/// PathSim between two feature vectors. A pair with zero combined
+/// visibility has no path structure to compare; its similarity is 0.
+pub fn pathsim(phi_i: &SparseVec, phi_j: &SparseVec) -> f64 {
+    let denom = phi_i.norm2_sq() + phi_j.norm2_sq();
+    if denom == 0.0 {
+        0.0
+    } else {
+        2.0 * phi_i.dot(phi_j) / denom
+    }
+}
+
+impl OutlierMeasure for PathSimMeasure {
+    fn name(&self) -> &'static str {
+        "PathSim"
+    }
+
+    fn order(&self) -> ScoreOrder {
+        ScoreOrder::AscendingIsOutlier
+    }
+
+    fn scores(
+        &self,
+        candidates: &VectorSet,
+        reference: &VectorSet,
+    ) -> Result<Vec<(VertexId, f64)>, EngineError> {
+        Ok(candidates
+            .iter()
+            .map(|(v, phi)| {
+                let omega: f64 = reference.iter().map(|(_, psi)| pathsim(phi, psi)).sum();
+                (*v, omega)
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(pairs: &[(u32, f64)]) -> SparseVec {
+        pairs.iter().map(|&(i, x)| (VertexId(i), x)).collect()
+    }
+
+    type Fixture = (Vec<(VertexId, SparseVec)>, Vec<(VertexId, SparseVec)>);
+
+    fn table1() -> Fixture {
+        let r = sv(&[(0, 10.0), (1, 10.0), (2, 1.0), (3, 1.0)]);
+        let reference: Vec<_> = (0..100).map(|i| (VertexId(100 + i), r.clone())).collect();
+        let candidates = vec![
+            (VertexId(0), r),                                      // Sarah
+            (VertexId(1), sv(&[(1, 1.0), (2, 20.0), (3, 20.0)])),  // Rob
+            (VertexId(2), sv(&[(1, 5.0), (2, 10.0), (3, 10.0)])),  // Lucy
+            (VertexId(3), sv(&[(3, 2.0)])),                        // Joe
+            (VertexId(4), sv(&[(3, 30.0)])),                       // Emma
+        ];
+        (candidates, reference)
+    }
+
+    #[test]
+    fn reproduces_table2_pathsim_column() {
+        // Table 2: Ω_PathSim = 100, 9.97, 32.79, 1.94, 5.44.
+        let (candidates, reference) = table1();
+        let scores = PathSimMeasure.scores(&candidates, &reference).unwrap();
+        let expected = [100.0, 9.97, 32.79, 1.94, 5.44];
+        for ((_, omega), want) in scores.iter().zip(expected) {
+            assert!(
+                (omega - want).abs() < 0.005,
+                "Ω_PathSim = {omega}, paper says {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn pathsim_is_symmetric_and_self_is_one() {
+        let a = sv(&[(0, 2.0), (1, 3.0)]);
+        let b = sv(&[(1, 1.0), (2, 4.0)]);
+        assert_eq!(pathsim(&a, &b), pathsim(&b, &a));
+        assert!((pathsim(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pathsim_bounded_by_one() {
+        // 2ab/(a²+b²) ≤ 1 by AM–GM.
+        let a = sv(&[(0, 5.0)]);
+        let b = sv(&[(0, 0.1)]);
+        let s = pathsim(&a, &b);
+        assert!(s > 0.0 && s <= 1.0);
+    }
+
+    #[test]
+    fn zero_visibility_pair_is_zero() {
+        let empty = SparseVec::new();
+        let a = sv(&[(0, 1.0)]);
+        assert_eq!(pathsim(&empty, &a), 0.0);
+        assert_eq!(pathsim(&empty, &empty), 0.0);
+    }
+
+    #[test]
+    fn low_visibility_bias_joe_vs_emma() {
+        // The paper's key criticism: under PathSim, Joe (2 SIGGRAPH papers)
+        // scores *lower* (more outlying) than Emma (30 SIGGRAPH papers),
+        // even though Emma is the stronger outlier. NetOut orders them the
+        // other way.
+        let (candidates, reference) = table1();
+        let scores = PathSimMeasure.scores(&candidates, &reference).unwrap();
+        let joe = scores[3].1;
+        let emma = scores[4].1;
+        assert!(joe < emma, "PathSim biased toward low visibility");
+    }
+}

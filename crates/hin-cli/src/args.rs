@@ -1,0 +1,143 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed flags (`--key value`) plus positional arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    /// Parse `argv` (without the program/subcommand names). Every token
+    /// starting with `--` consumes the next token as its value.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let tok = &argv[i];
+            if let Some(key) = tok.strip_prefix("--") {
+                let value = argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag --{key} expects a value"))?;
+                if args.flags.insert(key.to_string(), value.clone()).is_some() {
+                    return Err(format!("flag --{key} given twice"));
+                }
+                i += 2;
+            } else {
+                args.positional.push(tok.clone());
+                i += 1;
+            }
+        }
+        Ok(args)
+    }
+
+    /// A string flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// A required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    /// A numeric flag with a default.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|e| format!("bad value for --{key}: {e}")),
+        }
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Error when positional arguments were given (every `hinout`
+    /// subcommand is flag-driven).
+    pub fn expect_no_positional(&self) -> Result<(), String> {
+        match self.positional().first() {
+            None => Ok(()),
+            Some(arg) => Err(format!("unexpected argument {arg:?}")),
+        }
+    }
+
+    /// All flag keys (for unknown-flag checking).
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.flags.keys().map(String::as_str)
+    }
+
+    /// Error if any flag is not in `allowed`.
+    pub fn check_known(&self, allowed: &[&str]) -> Result<(), String> {
+        for key in self.keys() {
+            if !allowed.contains(&key) {
+                return Err(format!(
+                    "unknown flag --{key} (expected one of: {})",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let a = Args::parse(&argv(&["--graph", "g.hin", "extra", "--seed", "7"])).unwrap();
+        assert_eq!(a.get("graph"), Some("g.hin"));
+        assert_eq!(a.get_num::<u64>("seed", 0).unwrap(), 7);
+        assert_eq!(a.positional(), &["extra".to_string()]);
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert!(Args::parse(&argv(&["--graph"])).is_err());
+    }
+
+    #[test]
+    fn duplicate_flag_rejected() {
+        assert!(Args::parse(&argv(&["--x", "1", "--x", "2"])).is_err());
+    }
+
+    #[test]
+    fn require_and_defaults() {
+        let a = Args::parse(&argv(&["--n", "5"])).unwrap();
+        assert!(a.require("n").is_ok());
+        assert!(a.require("m").is_err());
+        assert_eq!(a.get_num::<usize>("k", 10).unwrap(), 10);
+        assert!(a.get_num::<usize>("n", 0).unwrap() == 5);
+    }
+
+    #[test]
+    fn bad_number_reported() {
+        let a = Args::parse(&argv(&["--n", "five"])).unwrap();
+        assert!(a.get_num::<usize>("n", 0).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_detection() {
+        let a = Args::parse(&argv(&["--oops", "1"])).unwrap();
+        assert!(a.check_known(&["graph", "seed"]).is_err());
+        assert!(a.check_known(&["oops"]).is_ok());
+    }
+}

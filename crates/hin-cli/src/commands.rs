@@ -1,0 +1,571 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use hin_datagen::dblp::{generate, SyntheticConfig};
+use hin_graph::{io, stats, HinGraph};
+use netout::{IndexPolicy, MeasureKind, OutlierDetector, QueryResult};
+use std::io::{BufRead, Write};
+
+const USAGE: &str = "\
+hinout — query-based outlier detection in heterogeneous information networks
+
+USAGE:
+  hinout generate --out FILE [--seed N] [--scale F] [--authors N] [--papers N]
+                  [--areas N] [--outlier-fraction F] [--truth FILE]
+                  [--format text|binary]
+  hinout stats --graph FILE
+  hinout query --graph FILE (--query 'FIND OUTLIERS …' | --query-file FILE)
+               [--index none|pm] [--measure netout|pathsim|cossim|lof:K|knn:K]
+  hinout explain --graph FILE (--query '…' | --query-file FILE) [--index none|pm]
+  hinout similar --graph FILE --type author --name 'X' --path author.paper.venue [--top K]
+  hinout repl --graph FILE [--index none|pm]
+  hinout index-info --graph FILE
+  hinout workload --graph FILE --template q1|q2|q3 --n N [--seed S] [--out FILE]
+
+A --query-file may hold several semicolon-separated queries; each runs in
+order.
+
+The query language (EDBT 2015):
+  FIND OUTLIERS FROM author{\"Christos Faloutsos\"}.paper.author
+  COMPARED TO venue{\"KDD\"}.paper.author
+  JUDGED BY author.paper.venue, author.paper.author : 2.0
+  TOP 10;
+";
+
+/// Dispatch a subcommand.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        println!("{USAGE}");
+        return Ok(());
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "generate" => cmd_generate(&Args::parse(rest)?),
+        "stats" => cmd_stats(&Args::parse(rest)?),
+        "query" => cmd_query(&Args::parse(rest)?),
+        "explain" => cmd_explain(&Args::parse(rest)?),
+        "similar" => cmd_similar(&Args::parse(rest)?),
+        "workload" => cmd_workload(&Args::parse(rest)?),
+        "repl" => cmd_repl(&Args::parse(rest)?),
+        "index-info" => cmd_index_info(&Args::parse(rest)?),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
+    }
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    args.expect_no_positional()?;
+    args.check_known(&[
+        "out",
+        "seed",
+        "scale",
+        "authors",
+        "papers",
+        "areas",
+        "outlier-fraction",
+        "truth",
+        "format",
+    ])?;
+    let out = args.require("out")?;
+    let scale: f64 = args.get_num("scale", 1.0)?;
+    let mut config = SyntheticConfig {
+        seed: args.get_num("seed", 42)?,
+        ..SyntheticConfig::default()
+    }
+    .scaled(scale);
+    config.authors = args.get_num("authors", config.authors)?;
+    config.papers = args.get_num("papers", config.papers)?;
+    config.areas = args.get_num("areas", config.areas)?;
+    config.outlier_fraction = args.get_num("outlier-fraction", config.outlier_fraction)?;
+
+    let net = generate(&config);
+    match args.get("format").unwrap_or("text") {
+        "text" => io::save_graph(&net.graph, out).map_err(|e| format!("writing {out}: {e}"))?,
+        "binary" => hin_graph::binio::save_graph_binary(&net.graph, out)
+            .map_err(|e| format!("writing {out}: {e}"))?,
+        other => return Err(format!("unknown format {other:?} (text|binary)")),
+    }
+    println!("wrote {out}");
+    print!("{}", stats::network_stats(&net.graph));
+    println!("planted outliers: {}", net.planted.len());
+    if let Some(truth) = args.get("truth") {
+        let mut f =
+            std::fs::File::create(truth).map_err(|e| format!("creating {truth}: {e}"))?;
+        for &v in &net.planted {
+            writeln!(
+                f,
+                "{}\thome={}\tsecondary={}",
+                net.graph.vertex_name(v),
+                net.author_home_area[&v],
+                net.planted_secondary_area[&v]
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        println!("wrote ground truth to {truth}");
+    }
+    Ok(())
+}
+
+fn load(args: &Args) -> Result<HinGraph, String> {
+    let path = args.require("graph")?;
+    // Auto-detects binary (HINB) vs text format.
+    hin_graph::binio::load_graph_auto(path).map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    args.expect_no_positional()?;
+    args.check_known(&["graph"])?;
+    let graph = load(args)?;
+    print!("{}", stats::network_stats(&graph));
+    let schema = graph.schema();
+    for et in schema.edge_type_ids() {
+        let info = schema.edge_type(et);
+        let d = stats::degree_stats(&graph, info.src, info.dst);
+        println!(
+            "  {:<14} {} -> {}: mean degree {:.2}, max {}",
+            info.name,
+            schema.vertex_type_name(info.src),
+            schema.vertex_type_name(info.dst),
+            d.mean,
+            d.max
+        );
+        let hist = stats::degree_histogram(&graph, info.src, info.dst);
+        let rendered: Vec<String> = hist
+            .iter()
+            .enumerate()
+            .map(|(i, n)| match i {
+                0 => format!("0:{n}"),
+                _ => format!("<2^{i}:{n}"),
+            })
+            .collect();
+        println!("    degree histogram: {}", rendered.join(" "));
+    }
+    Ok(())
+}
+
+fn parse_measure(s: &str) -> Result<MeasureKind, String> {
+    let lower = s.to_ascii_lowercase();
+    if let Some(k) = lower.strip_prefix("lof:") {
+        let k: usize = k.parse().map_err(|_| format!("bad LOF k in {s:?}"))?;
+        return Ok(MeasureKind::Lof { k });
+    }
+    if let Some(k) = lower.strip_prefix("knn:") {
+        let k: usize = k.parse().map_err(|_| format!("bad kNN k in {s:?}"))?;
+        return Ok(MeasureKind::KnnDist { k });
+    }
+    match lower.as_str() {
+        "netout" => Ok(MeasureKind::NetOut),
+        "pathsim" => Ok(MeasureKind::PathSim),
+        "cossim" => Ok(MeasureKind::CosSim),
+        other => Err(format!(
+            "unknown measure {other:?} (netout|pathsim|cossim|lof:K|knn:K)"
+        )),
+    }
+}
+
+fn build_detector(graph: HinGraph, args: &Args) -> Result<OutlierDetector, String> {
+    let index = args.get("index").unwrap_or("none");
+    let policy = match index {
+        "none" => IndexPolicy::None,
+        "pm" => IndexPolicy::full(),
+        other => return Err(format!("unknown index {other:?} (none|pm)")),
+    };
+    let mut detector =
+        OutlierDetector::with_index(graph, policy).map_err(|e| e.to_string())?;
+    if let Some(m) = args.get("measure") {
+        detector = detector.measure(parse_measure(m)?);
+    }
+    Ok(detector)
+}
+
+fn print_result(result: &QueryResult) {
+    println!(
+        "measure {} | candidates {} | reference {} | {}",
+        result.measure, result.candidate_count, result.reference_count, result.stats
+    );
+    println!("{:<6} {:<40} {:>12}", "rank", "name", "Ω-value");
+    for (i, o) in result.ranked.iter().enumerate() {
+        println!("{:<6} {:<40} {:>12.4}", i + 1, o.name, o.score);
+    }
+    if !result.zero_visibility.is_empty() {
+        println!(
+            "({} candidates had zero visibility along the feature paths and were not ranked)",
+            result.zero_visibility.len()
+        );
+    }
+}
+
+fn read_query_text(args: &Args) -> Result<String, String> {
+    match (args.get("query"), args.get("query-file")) {
+        (Some(q), None) => Ok(q.to_string()),
+        (None, Some(path)) => {
+            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+        }
+        _ => Err("provide exactly one of --query or --query-file".into()),
+    }
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    args.expect_no_positional()?;
+    args.check_known(&["graph", "query", "query-file", "index", "measure"])?;
+    let query_text = read_query_text(args)?;
+    let detector = build_detector(load(args)?, args)?;
+    let queries = hin_query::parse_script(&query_text).map_err(|e| e.render(&query_text))?;
+    if queries.is_empty() {
+        return Err("no queries found in input".into());
+    }
+    for (i, query) in queries.iter().enumerate() {
+        if queries.len() > 1 {
+            println!("-- query {} of {}:\n   {query}", i + 1, queries.len());
+        }
+        match detector.query(&query.to_string()) {
+            Ok(result) => print_result(&result),
+            Err(netout::EngineError::Query(qe)) => return Err(qe.to_string()),
+            Err(e) => return Err(e.to_string()),
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_explain(args: &Args) -> Result<(), String> {
+    args.expect_no_positional()?;
+    args.check_known(&["graph", "query", "query-file", "index", "measure"])?;
+    let query_text = read_query_text(args)?;
+    let detector = build_detector(load(args)?, args)?;
+    let queries = hin_query::parse_script(&query_text).map_err(|e| e.render(&query_text))?;
+    for query in &queries {
+        match detector.explain(&query.to_string()) {
+            Ok(plan) => print!("{plan}"),
+            Err(netout::EngineError::Query(qe)) => return Err(qe.to_string()),
+            Err(e) => return Err(e.to_string()),
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_similar(args: &Args) -> Result<(), String> {
+    args.expect_no_positional()?;
+    args.check_known(&["graph", "type", "name", "path", "top", "index"])?;
+    let detector = build_detector(load(args)?, args)?;
+    let k = args.get_num("top", 10usize)?;
+    let hits = detector
+        .similar(
+            args.require("type")?,
+            args.require("name")?,
+            args.require("path")?,
+            k,
+        )
+        .map_err(|e| e.to_string())?;
+    println!("{:<6} {:<40} {:>10}", "rank", "name", "PathSim");
+    for (i, (name, sim)) in hits.iter().enumerate() {
+        println!("{:<6} {:<40} {:>10.4}", i + 1, name, sim);
+    }
+    Ok(())
+}
+
+fn cmd_workload(args: &Args) -> Result<(), String> {
+    args.expect_no_positional()?;
+    args.check_known(&["graph", "template", "n", "seed", "out"])?;
+    let graph = load(args)?;
+    let template = match args.require("template")?.to_ascii_lowercase().as_str() {
+        "q1" => hin_datagen::workload::QueryTemplate::Q1,
+        "q2" => hin_datagen::workload::QueryTemplate::Q2,
+        "q3" => hin_datagen::workload::QueryTemplate::Q3,
+        other => return Err(format!("unknown template {other:?} (q1|q2|q3)")),
+    };
+    let n = args.get_num("n", 100usize)?;
+    let seed = args.get_num("seed", 42u64)?;
+    let queries = hin_datagen::workload::generate_queries(&graph, template, n, seed);
+    match args.get("out") {
+        None => {
+            for q in &queries {
+                println!("{q}");
+            }
+        }
+        Some(path) => {
+            use std::io::Write as _;
+            let mut f =
+                std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+            for q in &queries {
+                writeln!(f, "{q}").map_err(|e| e.to_string())?;
+            }
+            println!("wrote {n} {} queries to {path}", template.name());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_repl(args: &Args) -> Result<(), String> {
+    args.expect_no_positional()?;
+    args.check_known(&["graph", "index", "measure"])?;
+    let detector = build_detector(load(args)?, args)?;
+    println!(
+        "hinout repl — {} strategy; terminate queries with ';', exit with 'quit' or Ctrl-D",
+        detector.strategy()
+    );
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    print!("hinout> ");
+    std::io::stdout().flush().ok();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let trimmed = line.trim();
+        if buffer.is_empty() && matches!(trimmed, "quit" | "exit" | "\\q") {
+            break;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if trimmed.ends_with(';') {
+            match detector.query(&buffer) {
+                Ok(result) => print_result(&result),
+                Err(netout::EngineError::Query(qe)) => eprintln!("{}", qe.render(&buffer)),
+                Err(e) => eprintln!("error: {e}"),
+            }
+            buffer.clear();
+        }
+        print!("{}", if buffer.is_empty() { "hinout> " } else { "   ...> " });
+        std::io::stdout().flush().ok();
+    }
+    Ok(())
+}
+
+fn cmd_index_info(args: &Args) -> Result<(), String> {
+    args.expect_no_positional()?;
+    args.check_known(&["graph"])?;
+    let graph = load(args)?;
+    let t = std::time::Instant::now();
+    let detector =
+        OutlierDetector::with_index(graph, IndexPolicy::full()).map_err(|e| e.to_string())?;
+    println!(
+        "full PM index: {} bytes, built in {:?}",
+        detector.index_size_bytes(),
+        t.elapsed()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_parsing() {
+        assert_eq!(parse_measure("netout").unwrap(), MeasureKind::NetOut);
+        assert_eq!(parse_measure("PathSim").unwrap(), MeasureKind::PathSim);
+        assert_eq!(parse_measure("lof:5").unwrap(), MeasureKind::Lof { k: 5 });
+        assert_eq!(
+            parse_measure("knn:3").unwrap(),
+            MeasureKind::KnnDist { k: 3 }
+        );
+        assert!(parse_measure("lof:x").is_err());
+        assert!(parse_measure("zscore").is_err());
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        run(&[]).unwrap();
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run(&["frobnicate".to_string()]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_generate_stats_query() {
+        let dir = std::env::temp_dir().join("hinout_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net_path = dir.join("net.hin");
+        let truth_path = dir.join("truth.txt");
+        let argv: Vec<String> = [
+            "generate",
+            "--out",
+            net_path.to_str().unwrap(),
+            "--scale",
+            "0.05",
+            "--seed",
+            "3",
+            "--truth",
+            truth_path.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&argv).unwrap();
+        assert!(net_path.exists());
+        assert!(truth_path.exists());
+
+        let argv: Vec<String> = ["stats", "--graph", net_path.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        run(&argv).unwrap();
+
+        // Query an author read back from the generated file.
+        let graph = hin_graph::io::load_graph(&net_path).unwrap();
+        let author = graph.schema().vertex_type_by_name("author").unwrap();
+        let paper = graph.schema().vertex_type_by_name("paper").unwrap();
+        let anchor = graph
+            .vertices_of_type(author)
+            .iter()
+            .find(|&&a| graph.step_degree(a, paper) >= 3)
+            .copied()
+            .unwrap();
+        let q = format!(
+            "FIND OUTLIERS FROM author{{\"{}\"}}.paper.author JUDGED BY author.paper.venue TOP 5;",
+            graph.vertex_name(anchor)
+        );
+        let argv: Vec<String> = [
+            "query",
+            "--graph",
+            net_path.to_str().unwrap(),
+            "--query",
+            &q,
+            "--index",
+            "pm",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&argv).unwrap();
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explain_and_multi_query_script() {
+        let dir = std::env::temp_dir().join("hinout_cli_explain_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net_path = dir.join("net.hin");
+        run(&[
+            "generate".into(),
+            "--out".into(),
+            net_path.to_str().unwrap().into(),
+            "--scale".into(),
+            "0.05".into(),
+            "--seed".into(),
+            "5".into(),
+        ])
+        .unwrap();
+        let graph = hin_graph::io::load_graph(&net_path).unwrap();
+        let author = graph.schema().vertex_type_by_name("author").unwrap();
+        let paper = graph.schema().vertex_type_by_name("paper").unwrap();
+        let anchor = graph
+            .vertices_of_type(author)
+            .iter()
+            .find(|&&a| graph.step_degree(a, paper) >= 2)
+            .copied()
+            .unwrap();
+        let name = graph.vertex_name(anchor);
+        let script = format!(
+            "FIND OUTLIERS FROM author{{\"{name}\"}}.paper.author \
+             JUDGED BY author.paper.venue TOP 3;\n\
+             FIND OUTLIERS FROM author{{\"{name}\"}}.paper.venue \
+             JUDGED BY venue.paper.term TOP 2;"
+        );
+        let script_path = dir.join("queries.oql");
+        std::fs::write(&script_path, &script).unwrap();
+        // Multi-query execution.
+        run(&[
+            "query".into(),
+            "--graph".into(),
+            net_path.to_str().unwrap().into(),
+            "--query-file".into(),
+            script_path.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        // Explain (both statements).
+        run(&[
+            "explain".into(),
+            "--graph".into(),
+            net_path.to_str().unwrap().into(),
+            "--query-file".into(),
+            script_path.to_str().unwrap().into(),
+            "--index".into(),
+            "pm".into(),
+        ])
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn similar_and_workload_subcommands() {
+        let dir = std::env::temp_dir().join("hinout_cli_sim_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net_path = dir.join("net.hinb");
+        run(&[
+            "generate".into(),
+            "--out".into(),
+            net_path.to_str().unwrap().into(),
+            "--scale".into(),
+            "0.05".into(),
+            "--seed".into(),
+            "9".into(),
+            "--format".into(),
+            "binary".into(),
+        ])
+        .unwrap();
+        // Binary auto-detection on load.
+        let graph = hin_graph::binio::load_graph_auto(&net_path).unwrap();
+        let author = graph.schema().vertex_type_by_name("author").unwrap();
+        let paper = graph.schema().vertex_type_by_name("paper").unwrap();
+        let anchor = graph
+            .vertices_of_type(author)
+            .iter()
+            .find(|&&a| graph.step_degree(a, paper) >= 2)
+            .copied()
+            .unwrap();
+        run(&[
+            "similar".into(),
+            "--graph".into(),
+            net_path.to_str().unwrap().into(),
+            "--type".into(),
+            "author".into(),
+            "--name".into(),
+            graph.vertex_name(anchor).into(),
+            "--path".into(),
+            "author.paper.venue".into(),
+            "--top".into(),
+            "5".into(),
+        ])
+        .unwrap();
+        let wl_path = dir.join("workload.oql");
+        run(&[
+            "workload".into(),
+            "--graph".into(),
+            net_path.to_str().unwrap().into(),
+            "--template".into(),
+            "q1".into(),
+            "--n".into(),
+            "5".into(),
+            "--out".into(),
+            wl_path.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        // The emitted workload is a valid multi-query script runnable as-is.
+        run(&[
+            "query".into(),
+            "--graph".into(),
+            net_path.to_str().unwrap().into(),
+            "--query-file".into(),
+            wl_path.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_requires_exactly_one_source() {
+        let argv: Vec<String> = ["query", "--graph", "x.hin"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run(&argv).unwrap_err();
+        assert!(err.contains("exactly one"));
+    }
+}

@@ -1,0 +1,26 @@
+//! `hinout` — command-line front end for query-based outlier detection in
+//! heterogeneous information networks.
+//!
+//! ```text
+//! hinout generate --out net.hin [--seed 42] [--scale 1.0] [--truth truth.txt]
+//! hinout stats    --graph net.hin
+//! hinout query    --graph net.hin --query 'FIND OUTLIERS …' [--index pm] [--measure pathsim]
+//! hinout repl     --graph net.hin [--index pm]
+//! hinout index-info --graph net.hin
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("hinout: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,521 @@
+//! Deterministic synthetic bibliographic network.
+//!
+//! Stand-in for the ArnetMiner DBLP dump the paper evaluates on (2,244,018
+//! papers / 1,274,360 authors), which is an online download unavailable
+//! here. The generator reproduces the structural properties the experiments
+//! depend on:
+//!
+//! * the same schema (author / paper / venue / term);
+//! * **community structure**: research areas, each with its own venues and
+//!   term vocabulary; authors belong to a home area and papers mostly stay
+//!   inside it (`crossover_prob` leaks a little, as real venues do);
+//! * **skewed activity**: per-author publication weights follow a power
+//!   law, so hub authors with hundreds of papers exist alongside one-paper
+//!   students — the visibility spread the NetOut vs PathSim comparison
+//!   (Table 3) hinges on;
+//! * **planted outliers** with known ground truth: a small fraction of
+//!   authors publish predominantly in a *secondary* area's venues while
+//!   keeping their home-area coauthors. A "find outliers among X's
+//!   coauthors judged by venues" query should surface exactly these, which
+//!   upgrades the paper's by-inspection case studies (Tables 3 and 5) into
+//!   quantitative precision@k experiments.
+
+use crate::names;
+use hin_graph::{bibliographic_schema, GraphBuilder, HinGraph, VertexId};
+use rand::distr::weighted::WeightedIndex;
+use rand::distr::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Configuration for [`generate`]. `Default` gives a test-sized network
+/// (≈2k authors / 8k papers); the benchmark harness scales it up via
+/// environment variables (see `crates/bench`).
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// RNG seed — equal seeds give byte-identical networks.
+    pub seed: u64,
+    /// Number of research areas (communities).
+    pub areas: usize,
+    /// Venues per area.
+    pub venues_per_area: usize,
+    /// Total authors.
+    pub authors: usize,
+    /// Total papers.
+    pub papers: usize,
+    /// Area-specific vocabulary size.
+    pub terms_per_area: usize,
+    /// Shared (area-neutral) vocabulary size.
+    pub shared_terms: usize,
+    /// Maximum authors on one paper.
+    pub max_authors_per_paper: usize,
+    /// Terms attached to each paper.
+    pub terms_per_paper: usize,
+    /// Fraction of authors planted as cross-area outliers.
+    pub outlier_fraction: f64,
+    /// Probability a non-outlier paper lands in a random foreign venue.
+    pub crossover_prob: f64,
+    /// Probability a planted author's lead paper goes to the secondary
+    /// area's venues (the remainder behaves normally).
+    pub outlier_strength: f64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            seed: 42,
+            areas: 8,
+            venues_per_area: 4,
+            authors: 2_000,
+            papers: 8_000,
+            terms_per_area: 120,
+            shared_terms: 240,
+            max_authors_per_paper: 5,
+            terms_per_paper: 6,
+            outlier_fraction: 0.01,
+            crossover_prob: 0.05,
+            outlier_strength: 0.9,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// A small config for fast unit tests (~300 authors, ~1.2k papers).
+    pub fn tiny(seed: u64) -> Self {
+        SyntheticConfig {
+            seed,
+            areas: 4,
+            venues_per_area: 3,
+            authors: 300,
+            papers: 1_200,
+            terms_per_area: 40,
+            shared_terms: 80,
+            ..SyntheticConfig::default()
+        }
+    }
+
+    /// Scale authors/papers/terms by `factor` (benchmark sizing).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.authors = ((self.authors as f64) * factor).max(10.0) as usize;
+        self.papers = ((self.papers as f64) * factor).max(10.0) as usize;
+        self.terms_per_area = ((self.terms_per_area as f64) * factor.sqrt()).max(5.0) as usize;
+        self.shared_terms = ((self.shared_terms as f64) * factor.sqrt()).max(5.0) as usize;
+        self
+    }
+}
+
+/// A generated network plus its ground truth.
+#[derive(Debug)]
+pub struct SyntheticNetwork {
+    /// The network.
+    pub graph: HinGraph,
+    /// Planted cross-area outlier authors.
+    pub planted: Vec<VertexId>,
+    /// Home area of every author.
+    pub author_home_area: FxHashMap<VertexId, usize>,
+    /// Secondary area of each planted author.
+    pub planted_secondary_area: FxHashMap<VertexId, usize>,
+    /// The most prolific *non-planted* author of each area — natural anchors
+    /// for "outliers among X's coauthors" case studies.
+    pub hubs: Vec<VertexId>,
+    /// The configuration that produced this network.
+    pub config: SyntheticConfig,
+}
+
+impl SyntheticNetwork {
+    /// Whether `v` is a planted outlier.
+    pub fn is_planted(&self, v: VertexId) -> bool {
+        self.planted_secondary_area.contains_key(&v)
+    }
+
+    /// Precision@k of a ranking against the planted ground truth, counting
+    /// only planted authors among the first `k` entries.
+    pub fn precision_at_k(&self, ranking: &[VertexId], k: usize) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let k = k.min(ranking.len());
+        if k == 0 {
+            return 0.0;
+        }
+        let hits = ranking[..k].iter().filter(|v| self.is_planted(**v)).count();
+        hits as f64 / k as f64
+    }
+}
+
+/// Generate a synthetic bibliographic network (deterministic in
+/// `config.seed`).
+pub fn generate(config: &SyntheticConfig) -> SyntheticNetwork {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schema = bibliographic_schema();
+    let author_t = schema.vertex_type_by_name("author").unwrap();
+    let paper_t = schema.vertex_type_by_name("paper").unwrap();
+    let venue_t = schema.vertex_type_by_name("venue").unwrap();
+    let term_t = schema.vertex_type_by_name("term").unwrap();
+    let mut gb = GraphBuilder::new(schema);
+
+    // Venues: per area.
+    let mut venues: Vec<Vec<VertexId>> = Vec::with_capacity(config.areas);
+    for a in 0..config.areas {
+        let mut area_venues = Vec::with_capacity(config.venues_per_area);
+        for i in 0..config.venues_per_area {
+            area_venues.push(gb.add_vertex(venue_t, names::venue_name(a, i)).unwrap());
+        }
+        venues.push(area_venues);
+    }
+
+    // Terms: per-area vocabulary plus a shared pool.
+    let mut used_terms = FxHashSet::default();
+    let mut area_terms: Vec<Vec<VertexId>> = Vec::with_capacity(config.areas);
+    for _ in 0..config.areas {
+        let mut vocab = Vec::with_capacity(config.terms_per_area);
+        for _ in 0..config.terms_per_area {
+            let name = names::term_name(&mut rng, &mut used_terms);
+            vocab.push(gb.add_vertex(term_t, name).unwrap());
+        }
+        area_terms.push(vocab);
+    }
+    let mut shared_terms = Vec::with_capacity(config.shared_terms);
+    for _ in 0..config.shared_terms {
+        let name = names::term_name(&mut rng, &mut used_terms);
+        shared_terms.push(gb.add_vertex(term_t, name).unwrap());
+    }
+
+    // Authors: home area, power-law activity weight, planted flags.
+    let mut used_names = FxHashSet::default();
+    let mut authors: Vec<VertexId> = Vec::with_capacity(config.authors);
+    let mut home_area: Vec<usize> = Vec::with_capacity(config.authors);
+    let mut weights: Vec<f64> = Vec::with_capacity(config.authors);
+    for _ in 0..config.authors {
+        let name = names::author_name(&mut rng, &mut used_names);
+        let v = gb.add_vertex(author_t, name).unwrap();
+        authors.push(v);
+        home_area.push(rng.random_range(0..config.areas));
+        // Pareto-ish weight: heavy tail, clamped to keep hubs plausible.
+        let u: f64 = rng.random::<f64>().max(1e-9);
+        weights.push(u.powf(-0.8).min(200.0));
+    }
+
+    // Plant outliers: each gets a secondary area its venues divert to.
+    let planted_count = ((config.authors as f64) * config.outlier_fraction).round() as usize;
+    let mut planted_secondary: FxHashMap<VertexId, usize> = FxHashMap::default();
+    let mut order: Vec<usize> = (0..config.authors).collect();
+    // Fisher–Yates prefix shuffle to pick planted authors uniformly.
+    for i in 0..planted_count.min(config.authors) {
+        let j = rng.random_range(i..config.authors);
+        order.swap(i, j);
+        let idx = order[i];
+        let home = home_area[idx];
+        if config.areas < 2 {
+            break;
+        }
+        let mut sec = rng.random_range(0..config.areas - 1);
+        if sec >= home {
+            sec += 1;
+        }
+        planted_secondary.insert(authors[idx], sec);
+    }
+
+    // Per-area author pools + weighted samplers.
+    let mut area_authors: Vec<Vec<usize>> = vec![Vec::new(); config.areas];
+    for (idx, &a) in home_area.iter().enumerate() {
+        area_authors[a].push(idx);
+    }
+    let area_samplers: Vec<Option<WeightedIndex<f64>>> = area_authors
+        .iter()
+        .map(|pool| {
+            if pool.is_empty() {
+                None
+            } else {
+                Some(
+                    WeightedIndex::new(pool.iter().map(|&i| weights[i]))
+                        .expect("positive weights"),
+                )
+            }
+        })
+        .collect();
+    let area_mass: Vec<f64> = area_authors
+        .iter()
+        .map(|pool| pool.iter().map(|&i| weights[i]).sum::<f64>().max(1e-12))
+        .collect();
+    let area_sampler = WeightedIndex::new(&area_mass).expect("positive area mass");
+
+    // Papers.
+    let mut paper_counts: Vec<u32> = vec![0; config.authors];
+    let author_index: FxHashMap<VertexId, usize> = authors
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i))
+        .collect();
+    for p in 0..config.papers {
+        let area = area_sampler.sample(&mut rng);
+        let Some(sampler) = &area_samplers[area] else {
+            continue;
+        };
+        let pool = &area_authors[area];
+        // Team size: skewed toward small collaborations.
+        let team = sample_team_size(&mut rng, config.max_authors_per_paper);
+        let mut team_idx: Vec<usize> = Vec::with_capacity(team);
+        for _ in 0..(team * 4) {
+            let cand = pool[sampler.sample(&mut rng)];
+            if !team_idx.contains(&cand) {
+                team_idx.push(cand);
+                if team_idx.len() == team {
+                    break;
+                }
+            }
+        }
+        if team_idx.is_empty() {
+            continue;
+        }
+        // Planted authors lead every paper they are on: their whole output
+        // diverts, giving an unambiguous ground-truth signal. (Without this
+        // a planted author's vector would be dominated by papers led by
+        // normal coauthors and the "outlier" label would be mostly noise.)
+        if let Some(pos) = team_idx
+            .iter()
+            .position(|&i| planted_secondary.contains_key(&authors[i]))
+        {
+            team_idx.swap(0, pos);
+        }
+        // Venue: the lead author decides. Planted leads divert to their
+        // secondary area with probability `outlier_strength`.
+        let lead = authors[team_idx[0]];
+        let venue = if let Some(&sec) = planted_secondary.get(&lead) {
+            if rng.random::<f64>() < config.outlier_strength {
+                venues[sec][rng.random_range(0..config.venues_per_area)]
+            } else {
+                venues[area][rng.random_range(0..config.venues_per_area)]
+            }
+        } else if rng.random::<f64>() < config.crossover_prob {
+            let a = rng.random_range(0..config.areas);
+            venues[a][rng.random_range(0..config.venues_per_area)]
+        } else {
+            venues[area][rng.random_range(0..config.venues_per_area)]
+        };
+        // Terms: mostly area vocabulary, some shared.
+        let paper_v = gb.add_vertex(paper_t, format!("p{p:07}")).unwrap();
+        for &idx in &team_idx {
+            gb.add_edge(authors[idx], paper_v).unwrap();
+            paper_counts[idx] += 1;
+        }
+        gb.add_edge(paper_v, venue).unwrap();
+        let mut chosen_terms = FxHashSet::default();
+        for _ in 0..config.terms_per_paper {
+            let t = if rng.random::<f64>() < 0.7 && !area_terms[area].is_empty() {
+                area_terms[area][rng.random_range(0..area_terms[area].len())]
+            } else if !shared_terms.is_empty() {
+                shared_terms[rng.random_range(0..shared_terms.len())]
+            } else {
+                continue;
+            };
+            if chosen_terms.insert(t) {
+                gb.add_edge(paper_v, t).unwrap();
+            }
+        }
+    }
+
+    // Hubs: most prolific non-planted author per area.
+    let hubs: Vec<VertexId> = (0..config.areas)
+        .map(|a| {
+            area_authors[a]
+                .iter()
+                .filter(|&&i| !planted_secondary.contains_key(&authors[i]))
+                .max_by_key(|&&i| paper_counts[i])
+                .map(|&i| authors[i])
+                .unwrap_or(authors[0])
+        })
+        .collect();
+
+    let graph = gb.build();
+    let author_home_area: FxHashMap<VertexId, usize> = author_index
+        .iter()
+        .map(|(&v, &i)| (v, home_area[i]))
+        .collect();
+    let planted: Vec<VertexId> = {
+        let mut p: Vec<VertexId> = planted_secondary.keys().copied().collect();
+        p.sort_unstable();
+        p
+    };
+    SyntheticNetwork {
+        graph,
+        planted,
+        author_home_area,
+        planted_secondary_area: planted_secondary,
+        hubs,
+        config: config.clone(),
+    }
+}
+
+/// Collaboration size: 1–2 authors common, larger teams increasingly rare.
+fn sample_team_size(rng: &mut impl Rng, max: usize) -> usize {
+    let r: f64 = rng.random();
+    let size = if r < 0.25 {
+        1
+    } else if r < 0.55 {
+        2
+    } else if r < 0.78 {
+        3
+    } else if r < 0.92 {
+        4
+    } else {
+        5
+    };
+    size.min(max.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hin_graph::stats::network_stats;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = generate(&SyntheticConfig::tiny(7));
+        let b = generate(&SyntheticConfig::tiny(7));
+        assert_eq!(a.graph.vertex_count(), b.graph.vertex_count());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        assert_eq!(a.planted, b.planted);
+        for v in a.graph.vertices() {
+            assert_eq!(a.graph.vertex_name(v), b.graph.vertex_name(v));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&SyntheticConfig::tiny(1));
+        let b = generate(&SyntheticConfig::tiny(2));
+        // Same counts of venues/terms/authors but different wiring.
+        assert_ne!(a.graph.edge_count(), b.graph.edge_count());
+    }
+
+    #[test]
+    fn shape_matches_config() {
+        let cfg = SyntheticConfig::tiny(3);
+        let net = generate(&cfg);
+        let s = network_stats(&net.graph);
+        let by_name: FxHashMap<&str, usize> =
+            s.types.iter().map(|t| (t.name.as_str(), t.count)).collect();
+        assert_eq!(by_name["author"], cfg.authors);
+        assert_eq!(by_name["venue"], cfg.areas * cfg.venues_per_area);
+        assert_eq!(
+            by_name["term"],
+            cfg.areas * cfg.terms_per_area + cfg.shared_terms
+        );
+        // Some papers may be skipped (empty team), but most materialize.
+        assert!(by_name["paper"] > cfg.papers * 9 / 10);
+    }
+
+    #[test]
+    fn planted_fraction_respected() {
+        let cfg = SyntheticConfig {
+            outlier_fraction: 0.05,
+            ..SyntheticConfig::tiny(4)
+        };
+        let net = generate(&cfg);
+        let expected = (cfg.authors as f64 * 0.05).round() as usize;
+        assert_eq!(net.planted.len(), expected);
+        for v in &net.planted {
+            let sec = net.planted_secondary_area[v];
+            assert_ne!(sec, net.author_home_area[v], "secondary ≠ home");
+        }
+    }
+
+    #[test]
+    fn hubs_are_prolific_and_not_planted() {
+        let net = generate(&SyntheticConfig::tiny(5));
+        let paper_t = net.graph.schema().vertex_type_by_name("paper").unwrap();
+        for &hub in &net.hubs {
+            assert!(!net.is_planted(hub));
+            assert!(
+                net.graph.step_degree(hub, paper_t) >= 1,
+                "hub should have papers"
+            );
+        }
+    }
+
+    #[test]
+    fn planted_authors_publish_in_secondary_area() {
+        let cfg = SyntheticConfig {
+            outlier_fraction: 0.03,
+            ..SyntheticConfig::tiny(6)
+        };
+        let net = generate(&cfg);
+        let g = &net.graph;
+        let schema = g.schema();
+        let apv = hin_graph::MetaPath::parse("author.paper.venue", schema).unwrap();
+        // For planted authors who *lead* enough papers, the modal venue area
+        // should often be the secondary area. Check in aggregate: at least
+        // half the planted authors with ≥3 papers have any secondary-area
+        // venue at all.
+        let venue_area = |name: &str| -> usize {
+            names::AREAS
+                .iter()
+                .position(|a| name.starts_with(&format!("{a}-")))
+                .expect("venue name encodes area")
+        };
+        let mut checked = 0;
+        let mut with_secondary = 0;
+        for &v in &net.planted {
+            let phi = hin_graph::traverse::neighbor_vector(g, v, &apv).unwrap();
+            if phi.sum() < 3.0 {
+                continue;
+            }
+            checked += 1;
+            let sec = net.planted_secondary_area[&v];
+            let has = phi
+                .support()
+                .any(|u| venue_area(g.vertex_name(u)) == sec);
+            if has {
+                with_secondary += 1;
+            }
+        }
+        assert!(checked > 0, "some planted authors are active");
+        assert!(
+            with_secondary * 2 >= checked,
+            "{with_secondary}/{checked} planted authors show secondary-area venues"
+        );
+    }
+
+    #[test]
+    fn author_activity_is_heavy_tailed() {
+        // The histogram of papers-per-author must span many octaves with a
+        // decaying tail — the visibility spread Table 3's comparison needs.
+        let net = generate(&SyntheticConfig::default());
+        let schema = net.graph.schema();
+        let author = schema.vertex_type_by_name("author").unwrap();
+        let paper = schema.vertex_type_by_name("paper").unwrap();
+        let hist = hin_graph::stats::degree_histogram(&net.graph, author, paper);
+        let total: usize = hist.iter().sum();
+        assert!(
+            hist.len() >= 8,
+            "activity should span >= 8 octaves (max degree >= 128): {hist:?}"
+        );
+        // The far tail (degree >= 64) exists but holds only a small
+        // fraction of authors — hubs are rare, as in real DBLP.
+        let tail: usize = hist.iter().skip(7).sum();
+        assert!(tail > 0, "hubs must exist: {hist:?}");
+        assert!(
+            tail * 20 < total,
+            "hubs must be rare (<5% of authors): {hist:?}"
+        );
+    }
+
+    #[test]
+    fn precision_at_k_math() {
+        let net = generate(&SyntheticConfig::tiny(8));
+        assert!(net.planted.len() >= 2);
+        let ranking: Vec<VertexId> = net.planted.iter().copied().take(2).collect();
+        assert_eq!(net.precision_at_k(&ranking, 2), 1.0);
+        assert_eq!(net.precision_at_k(&ranking, 0), 0.0);
+        let hub_ranking = vec![net.hubs[0]];
+        assert_eq!(net.precision_at_k(&hub_ranking, 1), 0.0);
+    }
+
+    #[test]
+    fn scaled_config() {
+        let cfg = SyntheticConfig::default().scaled(0.1);
+        assert_eq!(cfg.authors, 200);
+        assert_eq!(cfg.papers, 800);
+    }
+}

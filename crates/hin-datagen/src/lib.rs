@@ -1,0 +1,26 @@
+//! # hin-datagen
+//!
+//! Data for reproducing the EDBT 2015 query-based outlier detection paper:
+//!
+//! * [`toy`] — exact fixtures for the paper's illustrative examples:
+//!   Figure 1(b), Figure 2, and the Table 1 candidate/reference workload
+//!   whose NetOut/PathSim/CosSim scores (Table 2) reproduce to the printed
+//!   decimals.
+//! * [`dblp`] — a deterministic synthetic bibliographic network standing in
+//!   for the ArnetMiner DBLP dump (2.2M papers) used in the paper, which is
+//!   not available offline. Research areas with their own venues and
+//!   vocabularies give community structure; *planted* cross-area authors
+//!   provide ground truth for effectiveness experiments (the paper's case
+//!   studies, Tables 3 and 5, validated by inspection only).
+//! * [`workload`] — the Table 4 query templates (Q1–Q3) instantiated over
+//!   random authors, used by the efficiency experiments (Figures 3–5).
+//! * [`names`] — deterministic human-ish name synthesis so case-study
+//!   output reads like the paper's tables.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dblp;
+pub mod names;
+pub mod toy;
+pub mod workload;

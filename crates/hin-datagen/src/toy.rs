@@ -1,0 +1,242 @@
+//! Exact toy fixtures from the paper.
+//!
+//! Each builder returns a fresh [`HinGraph`] over the bibliographic schema.
+//! The layouts are chosen so every count the paper prints is reproduced
+//! exactly; the doc comments state which numbers each network pins down.
+
+use hin_graph::{bibliographic_schema, GraphBuilder, HinGraph, VertexId};
+
+/// Internal helper: add one paper with its authors, venue, and terms.
+fn paper(
+    gb: &mut GraphBuilder,
+    name: &str,
+    authors: &[VertexId],
+    venue: Option<VertexId>,
+    terms: &[VertexId],
+) -> VertexId {
+    let paper_t = gb.schema().vertex_type_by_name("paper").expect("schema");
+    let p = gb.add_vertex(paper_t, name).expect("unique paper name");
+    for &a in authors {
+        gb.add_edge(a, p).expect("author-paper edge");
+    }
+    if let Some(v) = venue {
+        gb.add_edge(p, v).expect("paper-venue edge");
+    }
+    for &t in terms {
+        gb.add_edge(p, t).expect("paper-term edge");
+    }
+    p
+}
+
+/// The instantiated network of **Figure 1(b)**: authors Ava, Liam, Zoe and
+/// venues ICDE, KDD, arranged so that (Section 3's examples):
+///
+/// * `|π_APA(Ava, Liam)| = 1`, `|π_APA(Liam, Zoe)| = 2`;
+/// * `N_APA(Zoe) ⊇ {Ava, Liam}`;
+/// * `Φ_APA(Zoe) = [Ava:1, Liam:2, Zoe:5]`;
+/// * `Φ_APV(Zoe) = [ICDE:2, KDD:3]`.
+pub fn figure1_network() -> HinGraph {
+    let schema = bibliographic_schema();
+    let author = schema.vertex_type_by_name("author").unwrap();
+    let venue = schema.vertex_type_by_name("venue").unwrap();
+    let mut gb = GraphBuilder::new(schema);
+    let ava = gb.add_vertex(author, "Ava").unwrap();
+    let liam = gb.add_vertex(author, "Liam").unwrap();
+    let zoe = gb.add_vertex(author, "Zoe").unwrap();
+    let icde = gb.add_vertex(venue, "ICDE").unwrap();
+    let kdd = gb.add_vertex(venue, "KDD").unwrap();
+    paper(&mut gb, "p1", &[ava, zoe], Some(icde), &[]);
+    paper(&mut gb, "p2", &[liam, zoe], Some(icde), &[]);
+    paper(&mut gb, "p3", &[liam, zoe], Some(kdd), &[]);
+    paper(&mut gb, "p4", &[zoe], Some(kdd), &[]);
+    paper(&mut gb, "p5", &[zoe], Some(kdd), &[]);
+    paper(&mut gb, "p6", &[ava, liam], Some(icde), &[]);
+    gb.build()
+}
+
+/// The normalized-connectivity example of **Figure 2 / Example 4**: authors
+/// Jim and Mary publishing in three venues with multiplicities
+/// `Φ_APV(Jim) = [4, 2, 6]` and `Φ_APV(Mary) = [2, 1, 3]`, so that
+///
+/// * connectivity `χ(Jim, Mary) = 2·4 + 1·2 + 3·6 = 28`;
+/// * `κ(Jim, Mary) = 28/56 = 0.5` and `κ(Mary, Jim) = 28/14 = 2`.
+pub fn figure2_network() -> HinGraph {
+    let schema = bibliographic_schema();
+    let author = schema.vertex_type_by_name("author").unwrap();
+    let venue = schema.vertex_type_by_name("venue").unwrap();
+    let mut gb = GraphBuilder::new(schema);
+    let jim = gb.add_vertex(author, "Jim").unwrap();
+    let mary = gb.add_vertex(author, "Mary").unwrap();
+    let venues = [
+        gb.add_vertex(venue, "venue1").unwrap(),
+        gb.add_vertex(venue, "venue2").unwrap(),
+        gb.add_vertex(venue, "venue3").unwrap(),
+    ];
+    let jim_counts = [4usize, 2, 6];
+    let mary_counts = [2usize, 1, 3];
+    for (i, (&v, &n)) in venues.iter().zip(&jim_counts).enumerate() {
+        for j in 0..n {
+            paper(&mut gb, &format!("jim_v{i}_{j}"), &[jim], Some(v), &[]);
+        }
+    }
+    for (i, (&v, &n)) in venues.iter().zip(&mary_counts).enumerate() {
+        for j in 0..n {
+            paper(&mut gb, &format!("mary_v{i}_{j}"), &[mary], Some(v), &[]);
+        }
+    }
+    gb.build()
+}
+
+/// The **Table 1** workload: venues VLDB, KDD, STOC, SIGGRAPH; candidate
+/// authors Sarah `[10,10,1,1]`, Rob `[0,1,20,20]`, Lucy `[0,5,10,10]`, Joe
+/// `[0,0,0,2]`, Emma `[0,0,0,30]`; and 100 reference authors
+/// `ref_000…ref_099`, each with Sarah's record.
+///
+/// Every reference author's papers additionally carry the term `refgroup`,
+/// so the reference set is expressible in the query language as
+/// `term{"refgroup"}.paper.author` (see [`table1_query`]). Terms do not
+/// participate in the `author.paper.venue` feature path, so the Table 2
+/// scores are unaffected.
+pub fn table1_network() -> HinGraph {
+    let schema = bibliographic_schema();
+    let author = schema.vertex_type_by_name("author").unwrap();
+    let venue = schema.vertex_type_by_name("venue").unwrap();
+    let term = schema.vertex_type_by_name("term").unwrap();
+    let mut gb = GraphBuilder::new(schema);
+    let venues = [
+        gb.add_vertex(venue, "VLDB").unwrap(),
+        gb.add_vertex(venue, "KDD").unwrap(),
+        gb.add_vertex(venue, "STOC").unwrap(),
+        gb.add_vertex(venue, "SIGGRAPH").unwrap(),
+    ];
+    let refgroup = gb.add_vertex(term, "refgroup").unwrap();
+
+    let add_author = |gb: &mut GraphBuilder, name: &str, counts: [usize; 4], tag: bool| {
+        let a = gb.add_vertex(author, name).unwrap();
+        for (i, &n) in counts.iter().enumerate() {
+            for j in 0..n {
+                let terms: &[VertexId] = if tag { &[refgroup] } else { &[] };
+                paper(gb, &format!("{name}_v{i}_{j}"), &[a], Some(venues[i]), terms);
+            }
+        }
+        a
+    };
+
+    add_author(&mut gb, "Sarah", [10, 10, 1, 1], false);
+    add_author(&mut gb, "Rob", [0, 1, 20, 20], false);
+    add_author(&mut gb, "Lucy", [0, 5, 10, 10], false);
+    add_author(&mut gb, "Joe", [0, 0, 0, 2], false);
+    add_author(&mut gb, "Emma", [0, 0, 0, 30], false);
+    for i in 0..100 {
+        add_author(&mut gb, &format!("ref_{i:03}"), [10, 10, 1, 1], true);
+    }
+    gb.build()
+}
+
+/// The query whose NetOut column reproduces **Table 2** on
+/// [`table1_network`]: every author with a SIGGRAPH paper is a candidate
+/// (that is all 105 authors — each reference record includes one SIGGRAPH
+/// paper), compared against the 100 reference authors, judged by venues.
+pub fn table1_query() -> String {
+    "FIND OUTLIERS \
+     FROM venue{\"SIGGRAPH\"}.paper.author \
+     COMPARED TO term{\"refgroup\"}.paper.author \
+     JUDGED BY author.paper.venue;"
+        .to_string()
+}
+
+/// A small network with a structurally disconnected author: venue `V1` with
+/// authors `A` and `B`, plus author `Loner` whose single paper has **no
+/// venue**. Along any venue-mediated feature path `Loner` has zero
+/// visibility — the edge case NetOut assigns `Ω = +∞`.
+pub fn lonely_author_network() -> HinGraph {
+    let schema = bibliographic_schema();
+    let author = schema.vertex_type_by_name("author").unwrap();
+    let venue = schema.vertex_type_by_name("venue").unwrap();
+    let mut gb = GraphBuilder::new(schema);
+    let a = gb.add_vertex(author, "A").unwrap();
+    let b = gb.add_vertex(author, "B").unwrap();
+    let loner = gb.add_vertex(author, "Loner").unwrap();
+    let v1 = gb.add_vertex(venue, "V1").unwrap();
+    paper(&mut gb, "pa", &[a], Some(v1), &[]);
+    paper(&mut gb, "pb", &[b], Some(v1), &[]);
+    paper(&mut gb, "pab", &[a, b], Some(v1), &[]);
+    paper(&mut gb, "plone", &[loner], None, &[]);
+    gb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hin_graph::{traverse, MetaPath};
+
+    #[test]
+    fn figure1_counts() {
+        let g = figure1_network();
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        let zoe = g.vertex_by_name(author, "Zoe").unwrap();
+        let ava = g.vertex_by_name(author, "Ava").unwrap();
+        let liam = g.vertex_by_name(author, "Liam").unwrap();
+        let apa = MetaPath::parse("author.paper.author", g.schema()).unwrap();
+        assert_eq!(traverse::path_count(&g, ava, liam, &apa).unwrap(), 1.0);
+        assert_eq!(traverse::path_count(&g, liam, zoe, &apa).unwrap(), 2.0);
+        let phi = traverse::neighbor_vector(&g, zoe, &apa).unwrap();
+        assert_eq!(phi.get(zoe), 5.0);
+    }
+
+    #[test]
+    fn figure2_connectivity() {
+        let g = figure2_network();
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        let jim = g.vertex_by_name(author, "Jim").unwrap();
+        let mary = g.vertex_by_name(author, "Mary").unwrap();
+        let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
+        assert_eq!(traverse::connectivity(&g, jim, mary, &apv).unwrap(), 28.0);
+        assert_eq!(
+            traverse::normalized_connectivity(&g, jim, mary, &apv)
+                .unwrap()
+                .unwrap(),
+            0.5
+        );
+        assert_eq!(
+            traverse::normalized_connectivity(&g, mary, jim, &apv)
+                .unwrap()
+                .unwrap(),
+            2.0
+        );
+    }
+
+    #[test]
+    fn table1_shape() {
+        let g = table1_network();
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        let venue = g.schema().vertex_type_by_name("venue").unwrap();
+        assert_eq!(g.count_of_type(author), 105);
+        assert_eq!(g.count_of_type(venue), 4);
+        // Papers: 5 candidates (22+41+25+2+30 = 120) + 100 refs × 22.
+        let paper_t = g.schema().vertex_type_by_name("paper").unwrap();
+        assert_eq!(g.count_of_type(paper_t), 120 + 2200);
+        // Rob's venue vector.
+        let rob = g.vertex_by_name(author, "Rob").unwrap();
+        let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
+        let phi = traverse::neighbor_vector(&g, rob, &apv).unwrap();
+        assert_eq!(phi.norm2_sq(), 1.0 + 400.0 + 400.0);
+    }
+
+    #[test]
+    fn table1_query_parses() {
+        let g = table1_network();
+        hin_query::validate::parse_and_bind(&table1_query(), g.schema()).unwrap();
+    }
+
+    #[test]
+    fn lonely_author_zero_visibility() {
+        let g = lonely_author_network();
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        let loner = g.vertex_by_name(author, "Loner").unwrap();
+        let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
+        assert_eq!(traverse::visibility(&g, loner, &apv).unwrap(), 0.0);
+        let a = g.vertex_by_name(author, "A").unwrap();
+        assert!(traverse::visibility(&g, a, &apv).unwrap() > 0.0);
+    }
+}

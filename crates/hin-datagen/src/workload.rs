@@ -1,0 +1,176 @@
+//! Query workloads: the **Table 4** templates instantiated over random
+//! authors, as used in the paper's efficiency study ("we randomly select
+//! 10,000 author-typed vertices … and substitute \[them\] into the position
+//! indicated by the dot").
+
+use hin_graph::{HinGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The three query templates of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryTemplate {
+    /// `FIND OUTLIERS FROM author{·}.paper.author JUDGED BY
+    /// author.paper.venue TOP 10;`
+    Q1,
+    /// `FIND OUTLIERS IN author{·}.paper.venue JUDGED BY venue.paper.term
+    /// TOP 10;`
+    Q2,
+    /// `FIND OUTLIERS IN author{·}.paper.term JUDGED BY term.paper.venue
+    /// TOP 10;`
+    Q3,
+}
+
+impl QueryTemplate {
+    /// All templates, in paper order.
+    pub const ALL: [QueryTemplate; 3] = [QueryTemplate::Q1, QueryTemplate::Q2, QueryTemplate::Q3];
+
+    /// The template's name as the paper prints it.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryTemplate::Q1 => "Q1",
+            QueryTemplate::Q2 => "Q2",
+            QueryTemplate::Q3 => "Q3",
+        }
+    }
+
+    /// Substitute an author name into the template's `·` position.
+    pub fn instantiate(self, author: &str) -> String {
+        let quoted = author.replace('\\', "\\\\").replace('"', "\\\"");
+        match self {
+            QueryTemplate::Q1 => format!(
+                "FIND OUTLIERS FROM author{{\"{quoted}\"}}.paper.author \
+                 JUDGED BY author.paper.venue TOP 10;"
+            ),
+            QueryTemplate::Q2 => format!(
+                "FIND OUTLIERS IN author{{\"{quoted}\"}}.paper.venue \
+                 JUDGED BY venue.paper.term TOP 10;"
+            ),
+            QueryTemplate::Q3 => format!(
+                "FIND OUTLIERS IN author{{\"{quoted}\"}}.paper.term \
+                 JUDGED BY term.paper.venue TOP 10;"
+            ),
+        }
+    }
+}
+
+/// Pick `n` random authors (uniform with replacement, as the paper's random
+/// vertex selection implies at its scale) that have at least one paper, and
+/// return them as anchors for template instantiation.
+///
+/// Deterministic in `seed`.
+pub fn random_active_authors(graph: &HinGraph, n: usize, seed: u64) -> Vec<VertexId> {
+    let schema = graph.schema();
+    let author_t = schema
+        .vertex_type_by_name("author")
+        .expect("bibliographic schema");
+    let paper_t = schema
+        .vertex_type_by_name("paper")
+        .expect("bibliographic schema");
+    let authors = graph.vertices_of_type(author_t);
+    let active: Vec<VertexId> = authors
+        .iter()
+        .copied()
+        .filter(|&a| graph.step_degree(a, paper_t) > 0)
+        .collect();
+    assert!(
+        !active.is_empty(),
+        "network has no authors with papers — cannot build a workload"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| active[rng.random_range(0..active.len())])
+        .collect()
+}
+
+/// Instantiate one template for **every** active author — "the set of all
+/// possible queries for the given query template", which the paper uses as
+/// the SPM initialization query set (Section 7.1).
+pub fn all_template_queries(graph: &HinGraph, template: QueryTemplate) -> Vec<String> {
+    let schema = graph.schema();
+    let author_t = schema
+        .vertex_type_by_name("author")
+        .expect("bibliographic schema");
+    let paper_t = schema
+        .vertex_type_by_name("paper")
+        .expect("bibliographic schema");
+    graph
+        .vertices_of_type(author_t)
+        .iter()
+        .copied()
+        .filter(|&a| graph.step_degree(a, paper_t) > 0)
+        .map(|a| template.instantiate(graph.vertex_name(a)))
+        .collect()
+}
+
+/// Generate `n` queries from one template over random active authors.
+pub fn generate_queries(
+    graph: &HinGraph,
+    template: QueryTemplate,
+    n: usize,
+    seed: u64,
+) -> Vec<String> {
+    random_active_authors(graph, n, seed)
+        .into_iter()
+        .map(|a| template.instantiate(graph.vertex_name(a)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dblp::{generate, SyntheticConfig};
+    use hin_query::validate::parse_and_bind;
+
+    #[test]
+    fn templates_match_table4() {
+        let q1 = QueryTemplate::Q1.instantiate("Christos Faloutsos");
+        assert_eq!(
+            q1,
+            "FIND OUTLIERS FROM author{\"Christos Faloutsos\"}.paper.author \
+             JUDGED BY author.paper.venue TOP 10;"
+        );
+        assert!(QueryTemplate::Q2.instantiate("x").contains("IN author{\"x\"}.paper.venue"));
+        assert!(QueryTemplate::Q3.instantiate("x").contains("JUDGED BY term.paper.venue"));
+    }
+
+    #[test]
+    fn instantiation_escapes_names() {
+        let q = QueryTemplate::Q1.instantiate("A \"B\" \\C");
+        assert!(q.contains("\\\"B\\\""));
+        assert!(q.contains("\\\\C"));
+    }
+
+    #[test]
+    fn generated_queries_parse_and_bind() {
+        let net = generate(&SyntheticConfig::tiny(11));
+        for template in QueryTemplate::ALL {
+            let queries = generate_queries(&net.graph, template, 20, 99);
+            assert_eq!(queries.len(), 20);
+            for q in &queries {
+                parse_and_bind(q, net.graph.schema()).unwrap_or_else(|e| {
+                    panic!("{} query failed to bind: {e}\n{q}", template.name())
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let net = generate(&SyntheticConfig::tiny(12));
+        let a = generate_queries(&net.graph, QueryTemplate::Q1, 10, 5);
+        let b = generate_queries(&net.graph, QueryTemplate::Q1, 10, 5);
+        assert_eq!(a, b);
+        let c = generate_queries(&net.graph, QueryTemplate::Q1, 10, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn anchors_are_active() {
+        let net = generate(&SyntheticConfig::tiny(13));
+        let paper_t = net.graph.schema().vertex_type_by_name("paper").unwrap();
+        for a in random_active_authors(&net.graph, 50, 1) {
+            assert!(net.graph.step_degree(a, paper_t) > 0);
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Compact binary persistence for heterogeneous networks.
+//!
+//! The text format ([`crate::io`]) is human-readable and diff-friendly; this
+//! binary format is for large generated networks where load time matters
+//! (the CLI and benchmark harnesses). Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "HINB"  u16 version (=1)
+//! u8  vertex-type count      then per type:  u32 name-len, name bytes
+//! u16 edge-type count        then per type:  u32 name-len, name bytes, u8 src, u8 dst
+//! u32 vertex count           then per vertex: u8 type, u32 name-len, name bytes
+//! u64 edge count             then per edge:  u16 etype, u32 src-id, u32 dst-id
+//! ```
+//!
+//! Round-trips preserve vertex ids (vertices are written in id order), so
+//! results computed before and after persistence are bit-identical.
+
+use crate::error::GraphError;
+use crate::graph::{GraphBuilder, HinGraph};
+use crate::ids::{EdgeTypeId, VertexId};
+use crate::schema::SchemaBuilder;
+use bytes::{Buf, BufMut, BytesMut};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"HINB";
+const VERSION: u16 = 1;
+
+fn ferr(message: impl Into<String>) -> GraphError {
+    GraphError::Format {
+        line: 0,
+        message: message.into(),
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Serialize `graph` to an in-memory buffer.
+pub fn encode_graph(graph: &HinGraph) -> BytesMut {
+    let schema = graph.schema();
+    let mut buf = BytesMut::with_capacity(
+        64 + graph.vertex_count() * 16 + graph.edge_count() * 10,
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u8(schema.vertex_type_count() as u8);
+    for t in schema.vertex_type_ids() {
+        put_str(&mut buf, schema.vertex_type_name(t));
+    }
+    buf.put_u16_le(schema.edge_type_count() as u16);
+    for t in schema.edge_type_ids() {
+        let info = schema.edge_type(t);
+        put_str(&mut buf, &info.name);
+        buf.put_u8(info.src.0);
+        buf.put_u8(info.dst.0);
+    }
+    buf.put_u32_le(graph.vertex_count() as u32);
+    for v in graph.vertices() {
+        buf.put_u8(graph.vertex_type(v).0);
+        put_str(&mut buf, graph.vertex_name(v));
+    }
+    buf.put_u64_le(graph.edge_count() as u64);
+    for et in schema.edge_type_ids() {
+        let info = schema.edge_type(et);
+        for src in graph.vertices_of_type(info.src) {
+            for dst in graph.neighbors_forward(*src, et) {
+                buf.put_u16_le(et.0);
+                buf.put_u32_le(src.0);
+                buf.put_u32_le(dst.0);
+            }
+        }
+    }
+    buf
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl Cursor<'_> {
+    fn need(&self, n: usize, what: &str) -> Result<(), GraphError> {
+        if self.buf.remaining() < n {
+            Err(ferr(format!("truncated input while reading {what}")))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, GraphError> {
+        self.need(1, what)?;
+        Ok(self.buf.get_u8())
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, GraphError> {
+        self.need(2, what)?;
+        Ok(self.buf.get_u16_le())
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, GraphError> {
+        self.need(4, what)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, GraphError> {
+        self.need(8, what)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, GraphError> {
+        let len = self.u32(what)? as usize;
+        if len > 1 << 20 {
+            return Err(ferr(format!("implausible {what} length {len}")));
+        }
+        self.need(len, what)?;
+        let bytes = self.buf.copy_to_bytes(len);
+        String::from_utf8(bytes.to_vec()).map_err(|_| ferr(format!("{what} is not UTF-8")))
+    }
+}
+
+/// Deserialize a graph from a buffer produced by [`encode_graph`].
+pub fn decode_graph(data: &[u8]) -> Result<HinGraph, GraphError> {
+    let mut c = Cursor { buf: data };
+    c.need(4, "magic")?;
+    let mut magic = [0u8; 4];
+    c.buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(ferr("not a HINB file (bad magic)"));
+    }
+    let version = c.u16("version")?;
+    if version != VERSION {
+        return Err(ferr(format!(
+            "unsupported HINB version {version} (supported: {VERSION})"
+        )));
+    }
+    let mut sb = SchemaBuilder::new();
+    let n_vtypes = c.u8("vertex type count")?;
+    let mut vtype_ids = Vec::with_capacity(n_vtypes as usize);
+    for _ in 0..n_vtypes {
+        let name = c.str("vertex type name")?;
+        vtype_ids.push(sb.vertex_type(name));
+    }
+    let n_etypes = c.u16("edge type count")?;
+    let mut etype_ids = Vec::with_capacity(n_etypes as usize);
+    for _ in 0..n_etypes {
+        let name = c.str("edge type name")?;
+        let src = c.u8("edge src type")? as usize;
+        let dst = c.u8("edge dst type")? as usize;
+        let (src, dst) = (
+            *vtype_ids
+                .get(src)
+                .ok_or_else(|| ferr("edge type references unknown src type"))?,
+            *vtype_ids
+                .get(dst)
+                .ok_or_else(|| ferr("edge type references unknown dst type"))?,
+        );
+        etype_ids.push(sb.edge_type(name, src, dst));
+    }
+    let schema = sb.build()?;
+    let mut gb = GraphBuilder::new(schema);
+    let n_vertices = c.u32("vertex count")?;
+    for _ in 0..n_vertices {
+        let t = c.u8("vertex type")? as usize;
+        let name = c.str("vertex name")?;
+        let t = *vtype_ids
+            .get(t)
+            .ok_or_else(|| ferr("vertex references unknown type"))?;
+        gb.add_vertex(t, name)?;
+    }
+    let n_edges = c.u64("edge count")?;
+    for _ in 0..n_edges {
+        let et = c.u16("edge type id")? as usize;
+        let src = VertexId(c.u32("edge src")?);
+        let dst = VertexId(c.u32("edge dst")?);
+        let et: EdgeTypeId = *etype_ids
+            .get(et)
+            .ok_or_else(|| ferr("edge references unknown edge type"))?;
+        gb.add_edge_typed(src, dst, et)?;
+    }
+    if c.buf.has_remaining() {
+        return Err(ferr(format!(
+            "{} trailing bytes after the edge list",
+            c.buf.remaining()
+        )));
+    }
+    Ok(gb.build())
+}
+
+/// Write `graph` in binary form.
+pub fn write_graph_binary<W: Write>(graph: &HinGraph, mut w: W) -> std::io::Result<()> {
+    w.write_all(&encode_graph(graph))
+}
+
+/// Read a binary graph.
+pub fn read_graph_binary<R: Read>(mut r: R) -> Result<HinGraph, GraphError> {
+    let mut data = Vec::new();
+    r.read_to_end(&mut data)
+        .map_err(|e| ferr(format!("I/O error: {e}")))?;
+    decode_graph(&data)
+}
+
+/// Save to a file.
+pub fn save_graph_binary(graph: &HinGraph, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_graph_binary(graph, std::io::BufWriter::new(f))
+}
+
+/// Load from a file.
+pub fn load_graph_binary(path: impl AsRef<Path>) -> Result<HinGraph, GraphError> {
+    let f = std::fs::File::open(&path).map_err(|e| {
+        ferr(format!("cannot open {}: {e}", path.as_ref().display()))
+    })?;
+    read_graph_binary(f)
+}
+
+/// Detect the format of a persisted network by its first bytes and load it:
+/// binary when the `HINB` magic is present, text otherwise.
+pub fn load_graph_auto(path: impl AsRef<Path>) -> Result<HinGraph, GraphError> {
+    let path = path.as_ref();
+    let mut f = std::fs::File::open(path)
+        .map_err(|e| ferr(format!("cannot open {}: {e}", path.display())))?;
+    let mut magic = [0u8; 4];
+    let is_binary = {
+        use std::io::Read as _;
+        match f.read_exact(&mut magic) {
+            Ok(()) => &magic == MAGIC,
+            Err(_) => false,
+        }
+    };
+    if is_binary {
+        load_graph_binary(path)
+    } else {
+        crate::io::load_graph(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metapath::MetaPath;
+    use crate::schema::bibliographic_schema;
+    use crate::traverse;
+
+    fn sample() -> HinGraph {
+        let schema = bibliographic_schema();
+        let author = schema.vertex_type_by_name("author").unwrap();
+        let paper = schema.vertex_type_by_name("paper").unwrap();
+        let venue = schema.vertex_type_by_name("venue").unwrap();
+        let mut gb = GraphBuilder::new(schema);
+        let a = gb.add_vertex(author, "Ann Example").unwrap();
+        let b = gb.add_vertex(author, "Bob — Ünïcode").unwrap();
+        let p1 = gb.add_vertex(paper, "p1").unwrap();
+        let p2 = gb.add_vertex(paper, "p2").unwrap();
+        let v = gb.add_vertex(venue, "KDD").unwrap();
+        gb.add_edge(a, p1).unwrap();
+        gb.add_edge(b, p1).unwrap();
+        gb.add_edge(b, p2).unwrap();
+        gb.add_edge(p1, v).unwrap();
+        gb.add_edge(p2, v).unwrap();
+        gb.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let g = sample();
+        let buf = encode_graph(&g);
+        let g2 = decode_graph(&buf).unwrap();
+        assert_eq!(g2.vertex_count(), g.vertex_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        // Ids and names identical.
+        for v in g.vertices() {
+            assert_eq!(g.vertex_name(v), g2.vertex_name(v));
+            assert_eq!(g.vertex_type(v), g2.vertex_type(v));
+        }
+        // Path counts identical.
+        let apv = MetaPath::parse("author.paper.venue", g2.schema()).unwrap();
+        let author = g2.schema().vertex_type_by_name("author").unwrap();
+        for &a in g2.vertices_of_type(author) {
+            assert_eq!(
+                traverse::neighbor_vector(&g, a, &apv).unwrap(),
+                traverse::neighbor_vector(&g2, a, &apv).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = decode_graph(b"NOPE....").unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let buf = encode_graph(&sample());
+        // Any strict prefix must fail cleanly, never panic.
+        for cut in 0..buf.len() {
+            assert!(
+                decode_graph(&buf[..cut]).is_err(),
+                "prefix of {cut} bytes unexpectedly decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut buf = encode_graph(&sample()).to_vec();
+        buf.push(0xFF);
+        let err = decode_graph(&buf).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let mut buf = encode_graph(&sample()).to_vec();
+        buf[4] = 99; // version low byte
+        let err = decode_graph(&buf).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn files_and_auto_detection() {
+        let dir = std::env::temp_dir().join("hin_binio_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = sample();
+        let bin_path = dir.join("g.hinb");
+        let txt_path = dir.join("g.hin");
+        save_graph_binary(&g, &bin_path).unwrap();
+        crate::io::save_graph(&g, &txt_path).unwrap();
+        let from_bin = load_graph_auto(&bin_path).unwrap();
+        let from_txt = load_graph_auto(&txt_path).unwrap();
+        assert_eq!(from_bin.vertex_count(), g.vertex_count());
+        assert_eq!(from_txt.vertex_count(), g.vertex_count());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = GraphBuilder::new(bibliographic_schema()).build();
+        let g2 = decode_graph(&encode_graph(&g)).unwrap();
+        assert_eq!(g2.vertex_count(), 0);
+        assert_eq!(g2.schema().vertex_type_count(), 4);
+    }
+}

@@ -1,0 +1,154 @@
+//! Error type for graph and meta-path operations.
+
+use crate::ids::{VertexId, VertexTypeId};
+use std::fmt;
+
+/// Errors produced by schema construction, graph construction, meta-path
+/// parsing/validation, and traversal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A vertex type name was declared twice in a schema.
+    DuplicateVertexType(String),
+    /// An edge type name was declared twice in a schema.
+    DuplicateEdgeType(String),
+    /// An edge type referenced a vertex type id that does not exist.
+    UnknownVertexTypeId(VertexTypeId),
+    /// A vertex type name was not found in the schema.
+    UnknownVertexTypeName(String),
+    /// Too many vertex types for the `u8` id space.
+    TooManyVertexTypes,
+    /// Too many edge types for the `u16` id space.
+    TooManyEdgeTypes,
+    /// Too many vertices for the `u32` id space.
+    TooManyVertices,
+    /// A vertex with the same (type, name) already exists.
+    DuplicateVertex {
+        /// Type of the duplicated vertex.
+        vtype: VertexTypeId,
+        /// Name of the duplicated vertex.
+        name: String,
+    },
+    /// An edge endpoint id is out of range.
+    UnknownVertex(VertexId),
+    /// No edge type in the schema connects the two endpoint types.
+    NoEdgeTypeBetween {
+        /// Source vertex type.
+        src: VertexTypeId,
+        /// Destination vertex type.
+        dst: VertexTypeId,
+    },
+    /// A meta-path string was empty or malformed.
+    EmptyMetaPath,
+    /// A meta-path mentions a vertex type missing from the schema.
+    MetaPathUnknownType(String),
+    /// Two consecutive meta-path types have no connecting edge type.
+    MetaPathBrokenLink {
+        /// Position of the first type of the broken link within the path.
+        position: usize,
+        /// First type of the broken link.
+        from: VertexTypeId,
+        /// Second type of the broken link.
+        to: VertexTypeId,
+    },
+    /// Meta-path concatenation requires the end type of the first path to
+    /// equal the start type of the second.
+    ConcatTypeMismatch {
+        /// End type of the left path.
+        left_end: VertexTypeId,
+        /// Start type of the right path.
+        right_start: VertexTypeId,
+    },
+    /// A traversal started from a vertex whose type does not match the
+    /// meta-path's first type.
+    StartTypeMismatch {
+        /// The vertex the traversal started from.
+        vertex: VertexId,
+        /// The vertex's actual type.
+        actual: VertexTypeId,
+        /// The type required by the meta-path.
+        expected: VertexTypeId,
+    },
+    /// An I/O-format error while reading a persisted network.
+    Format {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Explanation of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DuplicateVertexType(name) => {
+                write!(f, "duplicate vertex type name {name:?}")
+            }
+            GraphError::DuplicateEdgeType(name) => write!(f, "duplicate edge type name {name:?}"),
+            GraphError::UnknownVertexTypeId(t) => write!(f, "unknown vertex type id {t:?}"),
+            GraphError::UnknownVertexTypeName(name) => {
+                write!(f, "unknown vertex type name {name:?}")
+            }
+            GraphError::TooManyVertexTypes => write!(f, "more than 255 vertex types"),
+            GraphError::TooManyEdgeTypes => write!(f, "more than 65535 edge types"),
+            GraphError::TooManyVertices => write!(f, "more than u32::MAX vertices"),
+            GraphError::DuplicateVertex { vtype, name } => {
+                write!(f, "vertex {name:?} of type {vtype:?} already exists")
+            }
+            GraphError::UnknownVertex(v) => write!(f, "unknown vertex {v:?}"),
+            GraphError::NoEdgeTypeBetween { src, dst } => {
+                write!(f, "schema has no edge type between {src:?} and {dst:?}")
+            }
+            GraphError::EmptyMetaPath => write!(f, "meta-path must contain at least one type"),
+            GraphError::MetaPathUnknownType(name) => {
+                write!(f, "meta-path mentions unknown vertex type {name:?}")
+            }
+            GraphError::MetaPathBrokenLink { position, from, to } => write!(
+                f,
+                "meta-path link {from:?}-{to:?} at position {position} has no edge type in the schema"
+            ),
+            GraphError::ConcatTypeMismatch {
+                left_end,
+                right_start,
+            } => write!(
+                f,
+                "cannot concatenate: left path ends at {left_end:?} but right path starts at {right_start:?}"
+            ),
+            GraphError::StartTypeMismatch {
+                vertex,
+                actual,
+                expected,
+            } => write!(
+                f,
+                "vertex {vertex:?} has type {actual:?} but the meta-path starts at {expected:?}"
+            ),
+            GraphError::Format { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NoEdgeTypeBetween {
+            src: VertexTypeId(0),
+            dst: VertexTypeId(3),
+        };
+        assert!(e.to_string().contains("no edge type"));
+        let e = GraphError::Format {
+            line: 12,
+            message: "bad record".into(),
+        };
+        assert_eq!(e.to_string(), "line 12: bad record");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&GraphError::EmptyMetaPath);
+    }
+}

@@ -1,0 +1,705 @@
+//! The heterogeneous information network itself: typed vertices, named
+//! lookup, and per-edge-type CSR adjacency in both directions.
+
+use crate::error::GraphError;
+use crate::ids::{EdgeTypeId, VertexId, VertexTypeId};
+use crate::schema::Schema;
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// Direction of an adjacency lookup relative to an edge type's declared
+/// `src → dst` orientation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Forward,
+    Reverse,
+}
+
+/// Compressed sparse row adjacency for one `(edge type, direction)`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct Csr {
+    /// `offsets[v.index()]..offsets[v.index()+1]` indexes into `targets`.
+    offsets: Vec<u32>,
+    targets: Vec<VertexId>,
+}
+
+impl Csr {
+    fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let i = v.index();
+        if i + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+/// An immutable heterogeneous information network (Definition 1).
+///
+/// Construct with [`GraphBuilder`]. Every vertex has a type from the
+/// [`Schema`] and a name unique within its type. Adjacency is stored per edge
+/// type in both directions, so meta-path traversal can walk links either way
+/// (undirected semantics, as the paper's bibliographic network uses).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HinGraph {
+    schema: Schema,
+    vertex_types: Vec<VertexTypeId>,
+    vertex_names: Vec<String>,
+    /// Per vertex type: all vertex ids of that type, ascending.
+    by_type: Vec<Vec<VertexId>>,
+    /// Per vertex type: name → id.
+    #[serde(skip)]
+    name_index: Vec<FxHashMap<String, VertexId>>,
+    /// Per edge type: forward CSR (src → dst).
+    forward: Vec<Csr>,
+    /// Per edge type: reverse CSR (dst → src).
+    reverse: Vec<Csr>,
+    edge_count: usize,
+}
+
+impl HinGraph {
+    /// The schema this network conforms to.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_types.len()
+    }
+
+    /// Total number of edges (each undirected link counted once).
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The type of vertex `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn vertex_type(&self, v: VertexId) -> VertexTypeId {
+        self.vertex_types[v.index()]
+    }
+
+    /// The name of vertex `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn vertex_name(&self, v: VertexId) -> &str {
+        &self.vertex_names[v.index()]
+    }
+
+    /// Whether `v` is a valid vertex id in this graph.
+    pub fn contains(&self, v: VertexId) -> bool {
+        v.index() < self.vertex_types.len()
+    }
+
+    /// Look up a vertex by type and exact name.
+    pub fn vertex_by_name(&self, vtype: VertexTypeId, name: &str) -> Option<VertexId> {
+        self.name_index.get(vtype.index())?.get(name).copied()
+    }
+
+    /// All vertices of a type, in ascending id order.
+    pub fn vertices_of_type(&self, vtype: VertexTypeId) -> &[VertexId] {
+        self.by_type
+            .get(vtype.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of vertices of a type.
+    pub fn count_of_type(&self, vtype: VertexTypeId) -> usize {
+        self.vertices_of_type(vtype).len()
+    }
+
+    /// Iterate all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.vertex_types.len()).map(|i| VertexId(i as u32))
+    }
+
+    /// Neighbors of `v` along one specific edge type, in its forward
+    /// (`src → dst`) orientation.
+    pub fn neighbors_forward(&self, v: VertexId, et: EdgeTypeId) -> &[VertexId] {
+        self.forward[et.index()].neighbors(v)
+    }
+
+    /// Neighbors of `v` along one specific edge type, traversed backwards
+    /// (`dst → src`).
+    pub fn neighbors_reverse(&self, v: VertexId, et: EdgeTypeId) -> &[VertexId] {
+        self.reverse[et.index()].neighbors(v)
+    }
+
+    /// Plan the adjacency lists needed to step from a vertex of type `from`
+    /// to vertices of type `to`, considering every edge type in the schema
+    /// that connects the pair in either orientation.
+    fn step_plan(&self, from: VertexTypeId, to: VertexTypeId) -> Vec<(EdgeTypeId, Direction)> {
+        let mut plan = Vec::new();
+        for &et in self.schema.edge_types_from_to(from, to) {
+            plan.push((et, Direction::Forward));
+        }
+        for &et in self.schema.edge_types_from_to(to, from) {
+            // For a self-typed edge type (from == to) this adds the same edge
+            // type again with Reverse, which is required: a stored edge x→y
+            // appears in x's forward list and y's reverse list only, so both
+            // directions are needed for undirected semantics. Each edge is
+            // still seen exactly once per endpoint (a literal self-loop x→x
+            // is seen twice, the usual undirected-degree convention).
+            plan.push((et, Direction::Reverse));
+        }
+        plan
+    }
+
+    /// Iterate all neighbors of `v` that have type `to_type`, across every
+    /// connecting edge type (both orientations). Multiplicity is preserved:
+    /// parallel edges yield repeated ids.
+    ///
+    /// Returns an empty iterator when the schema has no link between the
+    /// types — callers validating meta-paths up front never hit that case.
+    pub fn step_neighbors<'g>(
+        &'g self,
+        v: VertexId,
+        to_type: VertexTypeId,
+    ) -> impl Iterator<Item = VertexId> + 'g {
+        let from = self.vertex_type(v);
+        let plan = self.step_plan(from, to_type);
+        plan.into_iter().flat_map(move |(et, dir)| {
+            match dir {
+                Direction::Forward => self.neighbors_forward(v, et),
+                Direction::Reverse => self.neighbors_reverse(v, et),
+            }
+            .iter()
+            .copied()
+        })
+    }
+
+    /// The number of `to_type`-typed neighbors of `v` (with multiplicity).
+    pub fn step_degree(&self, v: VertexId, to_type: VertexTypeId) -> usize {
+        let from = self.vertex_type(v);
+        self.step_plan(from, to_type)
+            .into_iter()
+            .map(|(et, dir)| match dir {
+                Direction::Forward => self.neighbors_forward(v, et).len(),
+                Direction::Reverse => self.neighbors_reverse(v, et).len(),
+            })
+            .sum()
+    }
+
+    /// A lightweight display-friendly view of a vertex.
+    pub fn vertex_ref(&self, v: VertexId) -> VertexRef<'_> {
+        VertexRef { graph: self, id: v }
+    }
+
+    /// Restore derived indexes after deserialization with `serde`.
+    pub fn rebuild_indexes(&mut self) {
+        self.schema.rebuild_indexes();
+        self.name_index = vec![FxHashMap::default(); self.schema.vertex_type_count()];
+        for (i, name) in self.vertex_names.iter().enumerate() {
+            let v = VertexId(i as u32);
+            let t = self.vertex_types[i];
+            self.name_index[t.index()].insert(name.clone(), v);
+        }
+    }
+}
+
+/// A borrowed view of one vertex, carrying its graph for name/type access.
+#[derive(Clone, Copy)]
+pub struct VertexRef<'g> {
+    graph: &'g HinGraph,
+    /// The vertex id this view refers to.
+    pub id: VertexId,
+}
+
+impl VertexRef<'_> {
+    /// The vertex's name.
+    pub fn name(&self) -> &str {
+        self.graph.vertex_name(self.id)
+    }
+
+    /// The vertex's type id.
+    pub fn vtype(&self) -> VertexTypeId {
+        self.graph.vertex_type(self.id)
+    }
+
+    /// The vertex's type name.
+    pub fn type_name(&self) -> &str {
+        self.graph.schema().vertex_type_name(self.vtype())
+    }
+}
+
+impl std::fmt::Debug for VertexRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{{{:?}}}", self.type_name(), self.name())
+    }
+}
+
+/// A resolved edge occurrence (used by iteration helpers and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRef {
+    /// Source endpoint (in the edge type's declared orientation).
+    pub src: VertexId,
+    /// Destination endpoint.
+    pub dst: VertexId,
+    /// The edge's type.
+    pub etype: EdgeTypeId,
+}
+
+/// Mutable builder for [`HinGraph`].
+#[derive(Debug)]
+pub struct GraphBuilder {
+    schema: Schema,
+    vertex_types: Vec<VertexTypeId>,
+    vertex_names: Vec<String>,
+    name_index: Vec<FxHashMap<String, VertexId>>,
+    edges: Vec<EdgeRef>,
+}
+
+impl GraphBuilder {
+    /// Start building a network over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let n = schema.vertex_type_count();
+        GraphBuilder {
+            schema,
+            vertex_types: Vec::new(),
+            vertex_names: Vec::new(),
+            name_index: vec![FxHashMap::default(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// The schema being built against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of vertices added so far.
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_types.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add a vertex of `vtype` named `name`. Names must be unique within a
+    /// type.
+    pub fn add_vertex(
+        &mut self,
+        vtype: VertexTypeId,
+        name: impl Into<String>,
+    ) -> Result<VertexId, GraphError> {
+        if vtype.index() >= self.schema.vertex_type_count() {
+            return Err(GraphError::UnknownVertexTypeId(vtype));
+        }
+        if self.vertex_types.len() >= u32::MAX as usize {
+            return Err(GraphError::TooManyVertices);
+        }
+        let name = name.into();
+        let id = VertexId(self.vertex_types.len() as u32);
+        match self.name_index[vtype.index()].entry(name.clone()) {
+            std::collections::hash_map::Entry::Occupied(_) => {
+                Err(GraphError::DuplicateVertex { vtype, name })
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(id);
+                self.vertex_types.push(vtype);
+                self.vertex_names.push(name);
+                Ok(id)
+            }
+        }
+    }
+
+    /// Add the vertex if absent, otherwise return the existing id.
+    pub fn get_or_add_vertex(
+        &mut self,
+        vtype: VertexTypeId,
+        name: &str,
+    ) -> Result<VertexId, GraphError> {
+        if let Some(&id) = self
+            .name_index
+            .get(vtype.index())
+            .and_then(|m| m.get(name))
+        {
+            return Ok(id);
+        }
+        self.add_vertex(vtype, name)
+    }
+
+    /// Look up a vertex added earlier.
+    pub fn vertex_by_name(&self, vtype: VertexTypeId, name: &str) -> Option<VertexId> {
+        self.name_index.get(vtype.index())?.get(name).copied()
+    }
+
+    /// Add an edge between `u` and `v`, inferring the edge type from the
+    /// endpoint types. Fails if the schema defines no edge type between the
+    /// two types. If the schema declares the type as `type(v) → type(u)`, the
+    /// edge is stored flipped so its orientation always matches its type.
+    ///
+    /// If multiple edge types connect the same type pair, the first declared
+    /// one is used; call [`GraphBuilder::add_edge_typed`] to disambiguate.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<EdgeTypeId, GraphError> {
+        let (ut, vt) = (self.vertex_type_of(u)?, self.vertex_type_of(v)?);
+        if let Some(&et) = self.schema.edge_types_from_to(ut, vt).first() {
+            self.edges.push(EdgeRef {
+                src: u,
+                dst: v,
+                etype: et,
+            });
+            return Ok(et);
+        }
+        if let Some(&et) = self.schema.edge_types_from_to(vt, ut).first() {
+            self.edges.push(EdgeRef {
+                src: v,
+                dst: u,
+                etype: et,
+            });
+            return Ok(et);
+        }
+        Err(GraphError::NoEdgeTypeBetween { src: ut, dst: vt })
+    }
+
+    /// Add an edge with an explicit edge type. `u` must have the type's
+    /// `src` type and `v` its `dst` type (or vice versa, in which case the
+    /// edge is stored flipped).
+    pub fn add_edge_typed(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        etype: EdgeTypeId,
+    ) -> Result<(), GraphError> {
+        let (ut, vt) = (self.vertex_type_of(u)?, self.vertex_type_of(v)?);
+        let info = self.schema.edge_type(etype);
+        if info.src == ut && info.dst == vt {
+            self.edges.push(EdgeRef {
+                src: u,
+                dst: v,
+                etype,
+            });
+            Ok(())
+        } else if info.src == vt && info.dst == ut {
+            self.edges.push(EdgeRef {
+                src: v,
+                dst: u,
+                etype,
+            });
+            Ok(())
+        } else {
+            Err(GraphError::NoEdgeTypeBetween { src: ut, dst: vt })
+        }
+    }
+
+    fn vertex_type_of(&self, v: VertexId) -> Result<VertexTypeId, GraphError> {
+        self.vertex_types
+            .get(v.index())
+            .copied()
+            .ok_or(GraphError::UnknownVertex(v))
+    }
+
+    /// Freeze into an immutable [`HinGraph`] with CSR adjacency.
+    pub fn build(self) -> HinGraph {
+        let n = self.vertex_types.len();
+        let et_count = self.schema.edge_type_count();
+
+        // Degree counting pass.
+        let mut fwd_deg = vec![vec![0u32; n]; et_count];
+        let mut rev_deg = vec![vec![0u32; n]; et_count];
+        for e in &self.edges {
+            fwd_deg[e.etype.index()][e.src.index()] += 1;
+            rev_deg[e.etype.index()][e.dst.index()] += 1;
+        }
+
+        let build_csr = |deg: &[u32], fill: &mut dyn FnMut(&mut Vec<u32>, &mut Vec<VertexId>)| {
+            let mut offsets = Vec::with_capacity(n + 1);
+            let mut total = 0u32;
+            offsets.push(0);
+            for &d in deg {
+                total += d;
+                offsets.push(total);
+            }
+            let mut targets = vec![VertexId(0); total as usize];
+            fill(&mut offsets, &mut targets);
+            Csr { offsets, targets }
+        };
+
+        let mut forward = Vec::with_capacity(et_count);
+        let mut reverse = Vec::with_capacity(et_count);
+        for et in 0..et_count {
+            // Forward
+            let mut cursor = {
+                let mut c = Vec::with_capacity(n + 1);
+                let mut acc = 0u32;
+                c.push(0);
+                for &d in &fwd_deg[et] {
+                    acc += d;
+                    c.push(acc);
+                }
+                c
+            };
+            let mut csr = build_csr(&fwd_deg[et], &mut |_off, targets| {
+                for e in &self.edges {
+                    if e.etype.index() != et {
+                        continue;
+                    }
+                    let slot = cursor[e.src.index()];
+                    targets[slot as usize] = e.dst;
+                    cursor[e.src.index()] += 1;
+                }
+            });
+            // Keep neighbor lists sorted for deterministic iteration.
+            sort_csr(&mut csr, n);
+            forward.push(csr);
+
+            let mut cursor = {
+                let mut c = Vec::with_capacity(n + 1);
+                let mut acc = 0u32;
+                c.push(0);
+                for &d in &rev_deg[et] {
+                    acc += d;
+                    c.push(acc);
+                }
+                c
+            };
+            let mut csr = build_csr(&rev_deg[et], &mut |_off, targets| {
+                for e in &self.edges {
+                    if e.etype.index() != et {
+                        continue;
+                    }
+                    let slot = cursor[e.dst.index()];
+                    targets[slot as usize] = e.src;
+                    cursor[e.dst.index()] += 1;
+                }
+            });
+            sort_csr(&mut csr, n);
+            reverse.push(csr);
+        }
+
+        let mut by_type = vec![Vec::new(); self.schema.vertex_type_count()];
+        for (i, t) in self.vertex_types.iter().enumerate() {
+            by_type[t.index()].push(VertexId(i as u32));
+        }
+
+        HinGraph {
+            schema: self.schema,
+            vertex_types: self.vertex_types,
+            vertex_names: self.vertex_names,
+            by_type,
+            name_index: self.name_index,
+            forward,
+            reverse,
+            edge_count: self.edges.len(),
+        }
+    }
+}
+
+fn sort_csr(csr: &mut Csr, n: usize) {
+    for v in 0..n {
+        let lo = csr.offsets[v] as usize;
+        let hi = csr.offsets[v + 1] as usize;
+        csr.targets[lo..hi].sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::bibliographic_schema;
+
+    /// Builds the instantiated network of Figure 1(b): authors Ava, Liam,
+    /// Zoe; venues ICDE, KDD; and enough papers that
+    /// |π_APA(Ava, Liam)| = 1, |π_APA(Liam, Zoe)| = 2,
+    /// Φ_APA(Zoe) = [Ava:1, Liam:2, Zoe:5], Φ_APV(Zoe) = [ICDE:2, KDD:3].
+    pub(crate) fn figure1_network() -> HinGraph {
+        let schema = bibliographic_schema();
+        let author = schema.vertex_type_by_name("author").unwrap();
+        let paper = schema.vertex_type_by_name("paper").unwrap();
+        let venue = schema.vertex_type_by_name("venue").unwrap();
+        let mut gb = GraphBuilder::new(schema);
+        let ava = gb.add_vertex(author, "Ava").unwrap();
+        let liam = gb.add_vertex(author, "Liam").unwrap();
+        let zoe = gb.add_vertex(author, "Zoe").unwrap();
+        let icde = gb.add_vertex(venue, "ICDE").unwrap();
+        let kdd = gb.add_vertex(venue, "KDD").unwrap();
+        // Zoe's 5 papers: p1 with Ava+Liam? — pick a layout satisfying the
+        // counts: p1 (Ava, Zoe) ICDE; p2, p3 (Liam, Zoe) in ICDE, KDD;
+        // p4, p5 (Zoe) KDD. Then π_APA(Ava,Zoe)=1, π_APA(Liam,Zoe)=2,
+        // Φ_APV(Zoe) = [ICDE:2, KDD:3]. For π_APA(Ava,Liam)=1 we need one
+        // joint Ava–Liam paper not involving Zoe: p6 (Ava, Liam) ICDE.
+        let mk = |gb: &mut GraphBuilder, name: &str, authors: &[VertexId], ven: VertexId| {
+            let p = gb.add_vertex(paper, name).unwrap();
+            for &a in authors {
+                gb.add_edge(a, p).unwrap();
+            }
+            gb.add_edge(p, ven).unwrap();
+            p
+        };
+        mk(&mut gb, "p1", &[ava, zoe], icde);
+        mk(&mut gb, "p2", &[liam, zoe], icde);
+        mk(&mut gb, "p3", &[liam, zoe], kdd);
+        mk(&mut gb, "p4", &[zoe], kdd);
+        mk(&mut gb, "p5", &[zoe], kdd);
+        mk(&mut gb, "p6", &[ava, liam], icde);
+        gb.build()
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let g = figure1_network();
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        let venue = g.schema().vertex_type_by_name("venue").unwrap();
+        assert_eq!(g.vertex_count(), 11);
+        assert_eq!(g.count_of_type(author), 3);
+        let zoe = g.vertex_by_name(author, "Zoe").unwrap();
+        assert_eq!(g.vertex_name(zoe), "Zoe");
+        assert_eq!(g.vertex_type(zoe), author);
+        assert!(g.vertex_by_name(venue, "Zoe").is_none());
+        assert!(g.vertex_by_name(author, "Nobody").is_none());
+    }
+
+    #[test]
+    fn step_neighbors_both_directions() {
+        let g = figure1_network();
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        let paper = g.schema().vertex_type_by_name("paper").unwrap();
+        let venue = g.schema().vertex_type_by_name("venue").unwrap();
+        let zoe = g.vertex_by_name(author, "Zoe").unwrap();
+        // Zoe wrote 5 papers (author -> paper is reverse of writes? no,
+        // forward: writes: author -> paper).
+        let zoe_papers: Vec<_> = g.step_neighbors(zoe, paper).collect();
+        assert_eq!(zoe_papers.len(), 5);
+        // A paper's authors traverse writes backwards.
+        let p2 = g.vertex_by_name(paper, "p2").unwrap();
+        let p2_authors: Vec<_> = g.step_neighbors(p2, author).collect();
+        assert_eq!(p2_authors.len(), 2);
+        // Venue -> papers traverses published_in backwards.
+        let kdd = g.vertex_by_name(venue, "KDD").unwrap();
+        assert_eq!(g.step_degree(kdd, paper), 3);
+        // No schema link author -> venue directly.
+        assert_eq!(g.step_degree(zoe, venue), 0);
+    }
+
+    #[test]
+    fn add_edge_infers_and_flips() {
+        let schema = bibliographic_schema();
+        let author = schema.vertex_type_by_name("author").unwrap();
+        let paper = schema.vertex_type_by_name("paper").unwrap();
+        let mut gb = GraphBuilder::new(schema);
+        let a = gb.add_vertex(author, "A").unwrap();
+        let p = gb.add_vertex(paper, "P").unwrap();
+        // Add in "wrong" order: paper first, author second — still works.
+        gb.add_edge(p, a).unwrap();
+        let g = gb.build();
+        assert_eq!(g.step_degree(a, paper), 1);
+        assert_eq!(g.step_degree(p, author), 1);
+    }
+
+    #[test]
+    fn add_edge_without_schema_link_fails() {
+        let schema = bibliographic_schema();
+        let author = schema.vertex_type_by_name("author").unwrap();
+        let venue = schema.vertex_type_by_name("venue").unwrap();
+        let mut gb = GraphBuilder::new(schema);
+        let a = gb.add_vertex(author, "A").unwrap();
+        let v = gb.add_vertex(venue, "V").unwrap();
+        assert!(matches!(
+            gb.add_edge(a, v),
+            Err(GraphError::NoEdgeTypeBetween { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_vertex_name_same_type_fails() {
+        let schema = bibliographic_schema();
+        let author = schema.vertex_type_by_name("author").unwrap();
+        let mut gb = GraphBuilder::new(schema);
+        gb.add_vertex(author, "A").unwrap();
+        assert!(matches!(
+            gb.add_vertex(author, "A"),
+            Err(GraphError::DuplicateVertex { .. })
+        ));
+    }
+
+    #[test]
+    fn same_name_different_types_ok() {
+        let schema = bibliographic_schema();
+        let author = schema.vertex_type_by_name("author").unwrap();
+        let term = schema.vertex_type_by_name("term").unwrap();
+        let mut gb = GraphBuilder::new(schema);
+        let a = gb.add_vertex(author, "graph").unwrap();
+        let t = gb.add_vertex(term, "graph").unwrap();
+        assert_ne!(a, t);
+    }
+
+    #[test]
+    fn get_or_add_vertex_is_idempotent() {
+        let schema = bibliographic_schema();
+        let author = schema.vertex_type_by_name("author").unwrap();
+        let mut gb = GraphBuilder::new(schema);
+        let a1 = gb.get_or_add_vertex(author, "A").unwrap();
+        let a2 = gb.get_or_add_vertex(author, "A").unwrap();
+        assert_eq!(a1, a2);
+        assert_eq!(gb.vertex_count(), 1);
+    }
+
+    #[test]
+    fn parallel_edges_preserved() {
+        let schema = bibliographic_schema();
+        let author = schema.vertex_type_by_name("author").unwrap();
+        let paper = schema.vertex_type_by_name("paper").unwrap();
+        let mut gb = GraphBuilder::new(schema);
+        let a = gb.add_vertex(author, "A").unwrap();
+        let p = gb.add_vertex(paper, "P").unwrap();
+        gb.add_edge(a, p).unwrap();
+        gb.add_edge(a, p).unwrap();
+        let g = gb.build();
+        assert_eq!(g.step_degree(a, paper), 2);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn add_edge_typed_validates_endpoints() {
+        let schema = bibliographic_schema();
+        let author = schema.vertex_type_by_name("author").unwrap();
+        let paper = schema.vertex_type_by_name("paper").unwrap();
+        let venue = schema.vertex_type_by_name("venue").unwrap();
+        let writes = schema.edge_type_by_name("writes").unwrap();
+        let mut gb = GraphBuilder::new(schema);
+        let a = gb.add_vertex(author, "A").unwrap();
+        let p = gb.add_vertex(paper, "P").unwrap();
+        let v = gb.add_vertex(venue, "V").unwrap();
+        gb.add_edge_typed(p, a, writes).unwrap(); // flipped ok
+        assert!(gb.add_edge_typed(a, v, writes).is_err());
+    }
+
+    #[test]
+    fn self_loop_edge_type_traversed_once() {
+        let mut sb = crate::schema::SchemaBuilder::new();
+        let person = sb.vertex_type("person");
+        sb.edge_type("knows", person, person);
+        let schema = sb.build().unwrap();
+        let mut gb = GraphBuilder::new(schema);
+        let x = gb.add_vertex(person, "x").unwrap();
+        let y = gb.add_vertex(person, "y").unwrap();
+        gb.add_edge(x, y).unwrap();
+        let g = gb.build();
+        // x -> y forward; y -> x only via reverse. Each seen exactly once.
+        assert_eq!(g.step_neighbors(x, person).collect::<Vec<_>>(), vec![y]);
+        assert_eq!(g.step_neighbors(y, person).collect::<Vec<_>>(), vec![x]);
+    }
+
+    #[test]
+    fn vertex_ref_formats() {
+        let g = figure1_network();
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        let zoe = g.vertex_by_name(author, "Zoe").unwrap();
+        let r = g.vertex_ref(zoe);
+        assert_eq!(r.name(), "Zoe");
+        assert_eq!(r.type_name(), "author");
+        assert_eq!(format!("{r:?}"), "author{\"Zoe\"}");
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = GraphBuilder::new(bibliographic_schema()).build();
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

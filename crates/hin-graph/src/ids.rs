@@ -1,0 +1,109 @@
+//! Strongly typed identifiers for vertices, vertex types, and edge types.
+//!
+//! All identifiers are small integer newtypes so they can be used as dense
+//! array indices on hot paths (per the Rust Performance Book guidance on
+//! smaller integers), while remaining impossible to confuse with one another
+//! at compile time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a vertex in a [`crate::HinGraph`].
+///
+/// Vertex ids are dense: a graph with `n` vertices uses ids `0..n`. The id
+/// space is shared across all vertex types (the type of a vertex is recovered
+/// via [`crate::HinGraph::vertex_type`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VertexId(pub u32);
+
+/// Identifier of a vertex *type* (e.g. `author`, `paper`) in a [`crate::Schema`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VertexTypeId(pub u8);
+
+/// Identifier of an edge *type* (e.g. `writes: author -> paper`) in a
+/// [`crate::Schema`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeTypeId(pub u16);
+
+impl VertexId {
+    /// The id as a `usize`, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl VertexTypeId {
+    /// The id as a `usize`, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeTypeId {
+    /// The id as a `usize`, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for VertexId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for VertexTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(VertexId::from(42u32), v);
+        assert_eq!(format!("{v:?}"), "v42");
+        assert_eq!(format!("{v}"), "42");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<VertexId> = [VertexId(3), VertexId(1), VertexId(2)].into();
+        let sorted: Vec<u32> = set.into_iter().map(|v| v.0).collect();
+        assert_eq!(sorted, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn type_ids_debug() {
+        assert_eq!(format!("{:?}", VertexTypeId(2)), "T2");
+        assert_eq!(format!("{:?}", EdgeTypeId(7)), "E7");
+    }
+}

@@ -1,0 +1,334 @@
+//! A simple line-oriented text format for persisting heterogeneous networks.
+//!
+//! The format is tab-separated so vertex names may contain spaces (author
+//! names do). Lines starting with `#` and blank lines are ignored.
+//!
+//! ```text
+//! vtype<TAB>author
+//! vtype<TAB>paper
+//! etype<TAB>writes<TAB>author<TAB>paper
+//! v<TAB>author<TAB>Christos Faloutsos
+//! v<TAB>paper<TAB>p123
+//! e<TAB>author<TAB>Christos Faloutsos<TAB>paper<TAB>p123
+//! ```
+//!
+//! Declarations must appear before use: `vtype`/`etype` lines define the
+//! schema, `v` lines add vertices, `e` lines add edges (edge type inferred
+//! from endpoint types, as in [`GraphBuilder::add_edge`]).
+
+use crate::error::GraphError;
+use crate::graph::{GraphBuilder, HinGraph};
+use crate::schema::SchemaBuilder;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+fn format_err(line: usize, message: impl Into<String>) -> GraphError {
+    GraphError::Format {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Write `graph` in the text format.
+pub fn write_graph<W: Write>(graph: &HinGraph, mut w: W) -> std::io::Result<()> {
+    let schema = graph.schema();
+    writeln!(w, "# hin-graph text format v1")?;
+    writeln!(
+        w,
+        "# {} vertices, {} edges",
+        graph.vertex_count(),
+        graph.edge_count()
+    )?;
+    for t in schema.vertex_type_ids() {
+        writeln!(w, "vtype\t{}", schema.vertex_type_name(t))?;
+    }
+    for t in schema.edge_type_ids() {
+        let info = schema.edge_type(t);
+        writeln!(
+            w,
+            "etype\t{}\t{}\t{}",
+            info.name,
+            schema.vertex_type_name(info.src),
+            schema.vertex_type_name(info.dst)
+        )?;
+    }
+    for v in graph.vertices() {
+        writeln!(
+            w,
+            "v\t{}\t{}",
+            schema.vertex_type_name(graph.vertex_type(v)),
+            graph.vertex_name(v)
+        )?;
+    }
+    // Edges: iterate each edge type's forward CSR exactly once.
+    for et in schema.edge_type_ids() {
+        let info = schema.edge_type(et);
+        for src in graph.vertices_of_type(info.src) {
+            for dst in graph.neighbors_forward(*src, et) {
+                writeln!(
+                    w,
+                    "e\t{}\t{}\t{}\t{}",
+                    schema.vertex_type_name(info.src),
+                    graph.vertex_name(*src),
+                    schema.vertex_type_name(info.dst),
+                    graph.vertex_name(*dst)
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Write `graph` to a file at `path`.
+pub fn save_graph(graph: &HinGraph, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_graph(graph, std::io::BufWriter::new(f))
+}
+
+/// Read a graph in the text format.
+///
+/// I/O failures surface as `GraphError::Format` with line 0.
+pub fn read_graph<R: Read>(r: R) -> Result<HinGraph, GraphError> {
+    let reader = BufReader::new(r);
+    // Pass 1 collects everything (schema lines may legally be interleaved
+    // before first use, but we keep it simple: schema lines must precede the
+    // first v/e line, which the writer guarantees).
+    let mut schema_builder = Some(SchemaBuilder::new());
+    let mut gb: Option<GraphBuilder> = None;
+    let mut line_no = 0usize;
+    for line in reader.lines() {
+        line_no += 1;
+        let line = line.map_err(|e| format_err(line_no, format!("I/O error: {e}")))?;
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields[0] {
+            "vtype" => {
+                let [_, name] = fields[..] else {
+                    return Err(format_err(line_no, "vtype expects 1 field"));
+                };
+                let Some(sb) = schema_builder.as_mut() else {
+                    return Err(format_err(line_no, "vtype after first v/e line"));
+                };
+                sb.vertex_type(name);
+            }
+            "etype" => {
+                let [_, name, src, dst] = fields[..] else {
+                    return Err(format_err(line_no, "etype expects 3 fields"));
+                };
+                let Some(sb) = schema_builder.as_mut() else {
+                    return Err(format_err(line_no, "etype after first v/e line"));
+                };
+                // Resolve type names against what the builder has seen so
+                // far. SchemaBuilder has no name lookup, so build a probe
+                // schema — cheap, schemas are tiny. Instead, defer: stash and
+                // resolve at build time would complicate; here we re-declare
+                // via a scratch list.
+                sb.edge_type_by_names(name, src, dst)
+                    .map_err(|m| format_err(line_no, m))?;
+            }
+            "v" => {
+                let [_, tname, vname] = fields[..] else {
+                    return Err(format_err(line_no, "v expects 2 fields"));
+                };
+                let gb = ensure_graph(&mut schema_builder, &mut gb, line_no)?;
+                let t = gb
+                    .schema()
+                    .vertex_type_by_name(tname)
+                    .ok_or_else(|| format_err(line_no, format!("unknown vertex type {tname:?}")))?;
+                gb.add_vertex(t, vname)
+                    .map_err(|e| format_err(line_no, e.to_string()))?;
+            }
+            "e" => {
+                let [_, t1, n1, t2, n2] = fields[..] else {
+                    return Err(format_err(line_no, "e expects 4 fields"));
+                };
+                let gb = ensure_graph(&mut schema_builder, &mut gb, line_no)?;
+                let lookup = |t: &str, n: &str| {
+                    let tid = gb
+                        .schema()
+                        .vertex_type_by_name(t)
+                        .ok_or_else(|| format_err(line_no, format!("unknown vertex type {t:?}")))?;
+                    gb.vertex_by_name(tid, n)
+                        .ok_or_else(|| format_err(line_no, format!("unknown vertex {t}:{n:?}")))
+                };
+                let u = lookup(t1, n1)?;
+                let v = lookup(t2, n2)?;
+                gb.add_edge(u, v)
+                    .map_err(|e| format_err(line_no, e.to_string()))?;
+            }
+            other => {
+                return Err(format_err(line_no, format!("unknown record kind {other:?}")));
+            }
+        }
+    }
+    match gb {
+        Some(gb) => Ok(gb.build()),
+        None => {
+            // A schema-only (or empty) file yields an empty graph.
+            let schema = schema_builder
+                .take()
+                .expect("builder present when graph never started")
+                .build()?;
+            Ok(GraphBuilder::new(schema).build())
+        }
+    }
+}
+
+/// Read a graph from a file at `path`.
+pub fn load_graph(path: impl AsRef<Path>) -> Result<HinGraph, GraphError> {
+    let f = std::fs::File::open(&path).map_err(|e| GraphError::Format {
+        line: 0,
+        message: format!("cannot open {}: {e}", path.as_ref().display()),
+    })?;
+    read_graph(f)
+}
+
+fn ensure_graph<'a>(
+    schema_builder: &mut Option<SchemaBuilder>,
+    gb: &'a mut Option<GraphBuilder>,
+    line_no: usize,
+) -> Result<&'a mut GraphBuilder, GraphError> {
+    if gb.is_none() {
+        let sb = schema_builder
+            .take()
+            .ok_or_else(|| format_err(line_no, "internal: schema already consumed"))?;
+        let schema = sb.build()?;
+        *gb = Some(GraphBuilder::new(schema));
+    }
+    Ok(gb.as_mut().expect("just ensured"))
+}
+
+impl SchemaBuilder {
+    /// Declare an edge type by endpoint type *names* (used by the reader;
+    /// names must already be declared).
+    fn edge_type_by_names(&mut self, name: &str, src: &str, dst: &str) -> Result<(), String> {
+        let find = |this: &SchemaBuilder, n: &str| {
+            this.declared_vertex_types()
+                .position(|t| t == n)
+                .map(|i| crate::ids::VertexTypeId(i as u8))
+                .ok_or_else(|| format!("unknown vertex type {n:?} in etype"))
+        };
+        let s = find(self, src)?;
+        let d = find(self, dst)?;
+        self.edge_type(name, s, d);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metapath::MetaPath;
+    use crate::schema::bibliographic_schema;
+    use crate::traverse::neighbor_vector;
+
+    fn sample() -> HinGraph {
+        let schema = bibliographic_schema();
+        let author = schema.vertex_type_by_name("author").unwrap();
+        let paper = schema.vertex_type_by_name("paper").unwrap();
+        let venue = schema.vertex_type_by_name("venue").unwrap();
+        let mut gb = GraphBuilder::new(schema);
+        let a = gb.add_vertex(author, "Ann Example").unwrap();
+        let b = gb.add_vertex(author, "Bob O'Brien").unwrap();
+        let p = gb.add_vertex(paper, "p1").unwrap();
+        let v = gb.add_vertex(venue, "KDD").unwrap();
+        gb.add_edge(a, p).unwrap();
+        gb.add_edge(b, p).unwrap();
+        gb.add_edge(p, v).unwrap();
+        gb.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(&buf[..]).unwrap();
+        assert_eq!(g2.vertex_count(), g.vertex_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        let author = g2.schema().vertex_type_by_name("author").unwrap();
+        let ann = g2.vertex_by_name(author, "Ann Example").unwrap();
+        let apv = MetaPath::parse("author.paper.venue", g2.schema()).unwrap();
+        let phi = neighbor_vector(&g2, ann, &apv).unwrap();
+        assert_eq!(phi.nnz(), 1);
+    }
+
+    #[test]
+    fn names_with_spaces_survive() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains("Ann Example"));
+        let g2 = read_graph(&buf[..]).unwrap();
+        let author = g2.schema().vertex_type_by_name("author").unwrap();
+        assert!(g2.vertex_by_name(author, "Bob O'Brien").is_some());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# hello\n\nvtype\tauthor\n\n# more\nv\tauthor\tX\n";
+        let g = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(g.vertex_count(), 1);
+    }
+
+    #[test]
+    fn schema_only_file_gives_empty_graph() {
+        let text = "vtype\tauthor\nvtype\tpaper\netype\twrites\tauthor\tpaper\n";
+        let g = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.schema().vertex_type_count(), 2);
+        assert_eq!(g.schema().edge_type_count(), 1);
+    }
+
+    #[test]
+    fn bad_record_kind_reports_line() {
+        let text = "vtype\tauthor\nxxx\tfoo\n";
+        let err = read_graph(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Format { line: 2, .. }));
+    }
+
+    #[test]
+    fn edge_to_unknown_vertex_fails() {
+        let text = "vtype\tauthor\nvtype\tpaper\netype\tw\tauthor\tpaper\n\
+                    v\tauthor\tA\ne\tauthor\tA\tpaper\tmissing\n";
+        let err = read_graph(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Format { line: 5, .. }));
+    }
+
+    #[test]
+    fn schema_line_after_data_fails() {
+        let text = "vtype\tauthor\nv\tauthor\tA\nvtype\tpaper\n";
+        let err = read_graph(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Format { line: 3, .. }));
+    }
+
+    #[test]
+    fn wrong_arity_fails() {
+        let text = "vtype\tauthor\textra\n";
+        assert!(read_graph(text.as_bytes()).is_err());
+        let text = "vtype\tauthor\nv\tauthor\n";
+        assert!(read_graph(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn save_and_load_files() {
+        let dir = std::env::temp_dir().join("hin_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.hin");
+        let g = sample();
+        save_graph(&g, &path).unwrap();
+        let g2 = load_graph(&path).unwrap();
+        assert_eq!(g2.vertex_count(), g.vertex_count());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_reports() {
+        let err = load_graph("/nonexistent/path/xyz.hin").unwrap_err();
+        assert!(matches!(err, GraphError::Format { line: 0, .. }));
+    }
+}

@@ -1,0 +1,339 @@
+//! Network schema: the closed set of vertex and edge types of a HIN.
+//!
+//! Definition 1 of the paper models a HIN as a graph with a vertex type
+//! mapping `φ : V → T`. The schema captures `T` together with the permitted
+//! link types between vertex types (the "network schema" of Sun & Han's HIN
+//! framework, which the paper builds on).
+
+use crate::error::GraphError;
+use crate::ids::{EdgeTypeId, VertexTypeId};
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// Metadata for a single vertex type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VertexTypeInfo {
+    /// Human-readable, schema-unique name (e.g. `"author"`).
+    pub name: String,
+}
+
+/// Metadata for a single edge type, connecting a source vertex type to a
+/// destination vertex type.
+///
+/// Undirected relations (the common case in bibliographic networks) are
+/// represented as a single edge type traversable in both directions; the
+/// graph stores adjacency for both directions regardless.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeTypeInfo {
+    /// Human-readable, schema-unique name (e.g. `"writes"`).
+    pub name: String,
+    /// Source vertex type.
+    pub src: VertexTypeId,
+    /// Destination vertex type.
+    pub dst: VertexTypeId,
+}
+
+/// Immutable description of a HIN's type system.
+///
+/// Built with [`SchemaBuilder`]. Lookup by name is `O(1)`; lookups of the
+/// edge types connecting an ordered pair of vertex types are `O(1)` via a
+/// precomputed table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Schema {
+    vertex_types: Vec<VertexTypeInfo>,
+    edge_types: Vec<EdgeTypeInfo>,
+    #[serde(skip)]
+    vertex_type_by_name: FxHashMap<String, VertexTypeId>,
+    #[serde(skip)]
+    edge_type_by_name: FxHashMap<String, EdgeTypeId>,
+    /// `pair_table[src][dst]` lists the edge types from `src` to `dst`
+    /// (forward) — reverse traversal is handled by the graph.
+    #[serde(skip)]
+    pair_table: Vec<Vec<Vec<EdgeTypeId>>>,
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.vertex_types == other.vertex_types && self.edge_types == other.edge_types
+    }
+}
+
+impl Schema {
+    /// (Re)build the derived lookup tables. Called by the builder and after
+    /// deserialization.
+    fn reindex(&mut self) {
+        self.vertex_type_by_name = self
+            .vertex_types
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.name.clone(), VertexTypeId(i as u8)))
+            .collect();
+        self.edge_type_by_name = self
+            .edge_types
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.name.clone(), EdgeTypeId(i as u16)))
+            .collect();
+        let n = self.vertex_types.len();
+        self.pair_table = vec![vec![Vec::new(); n]; n];
+        for (i, et) in self.edge_types.iter().enumerate() {
+            self.pair_table[et.src.index()][et.dst.index()].push(EdgeTypeId(i as u16));
+        }
+    }
+
+    /// Restore derived indexes after deserialization with `serde`.
+    pub fn rebuild_indexes(&mut self) {
+        self.reindex();
+    }
+
+    /// Number of vertex types.
+    pub fn vertex_type_count(&self) -> usize {
+        self.vertex_types.len()
+    }
+
+    /// Number of edge types.
+    pub fn edge_type_count(&self) -> usize {
+        self.edge_types.len()
+    }
+
+    /// All vertex type ids, in declaration order.
+    pub fn vertex_type_ids(&self) -> impl Iterator<Item = VertexTypeId> + '_ {
+        (0..self.vertex_types.len()).map(|i| VertexTypeId(i as u8))
+    }
+
+    /// All edge type ids, in declaration order.
+    pub fn edge_type_ids(&self) -> impl Iterator<Item = EdgeTypeId> + '_ {
+        (0..self.edge_types.len()).map(|i| EdgeTypeId(i as u16))
+    }
+
+    /// Metadata for a vertex type.
+    ///
+    /// # Panics
+    /// Panics if `t` is out of range (ids from this schema never are).
+    pub fn vertex_type(&self, t: VertexTypeId) -> &VertexTypeInfo {
+        &self.vertex_types[t.index()]
+    }
+
+    /// Metadata for an edge type.
+    ///
+    /// # Panics
+    /// Panics if `t` is out of range (ids from this schema never are).
+    pub fn edge_type(&self, t: EdgeTypeId) -> &EdgeTypeInfo {
+        &self.edge_types[t.index()]
+    }
+
+    /// Look up a vertex type by name.
+    pub fn vertex_type_by_name(&self, name: &str) -> Option<VertexTypeId> {
+        self.vertex_type_by_name.get(name).copied()
+    }
+
+    /// Look up an edge type by name.
+    pub fn edge_type_by_name(&self, name: &str) -> Option<EdgeTypeId> {
+        self.edge_type_by_name.get(name).copied()
+    }
+
+    /// The name of a vertex type (convenience accessor).
+    pub fn vertex_type_name(&self, t: VertexTypeId) -> &str {
+        &self.vertex_types[t.index()].name
+    }
+
+    /// Edge types whose *source* is `src` and *destination* is `dst`
+    /// (forward direction only).
+    pub fn edge_types_from_to(&self, src: VertexTypeId, dst: VertexTypeId) -> &[EdgeTypeId] {
+        &self.pair_table[src.index()][dst.index()]
+    }
+
+    /// Whether a meta-path link `from – to` is traversable: true when an edge
+    /// type exists in either direction between the two vertex types.
+    pub fn link_exists(&self, from: VertexTypeId, to: VertexTypeId) -> bool {
+        !self.edge_types_from_to(from, to).is_empty()
+            || !self.edge_types_from_to(to, from).is_empty()
+    }
+}
+
+/// Builder for [`Schema`].
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    vertex_types: Vec<VertexTypeInfo>,
+    edge_types: Vec<EdgeTypeInfo>,
+}
+
+impl SchemaBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a vertex type; returns its id. Declaring the same name twice
+    /// is reported at [`SchemaBuilder::build`] time.
+    pub fn vertex_type(&mut self, name: impl Into<String>) -> VertexTypeId {
+        let id = VertexTypeId(self.vertex_types.len() as u8);
+        self.vertex_types.push(VertexTypeInfo { name: name.into() });
+        id
+    }
+
+    /// Declare an edge type from `src` to `dst`; returns its id.
+    pub fn edge_type(
+        &mut self,
+        name: impl Into<String>,
+        src: VertexTypeId,
+        dst: VertexTypeId,
+    ) -> EdgeTypeId {
+        let id = EdgeTypeId(self.edge_types.len() as u16);
+        self.edge_types.push(EdgeTypeInfo {
+            name: name.into(),
+            src,
+            dst,
+        });
+        id
+    }
+
+    /// Names of the vertex types declared so far, in declaration order
+    /// (used by the text-format reader to resolve etype endpoint names).
+    pub(crate) fn declared_vertex_types(&self) -> impl Iterator<Item = &str> {
+        self.vertex_types.iter().map(|t| t.name.as_str())
+    }
+
+    /// Validate and freeze the schema.
+    pub fn build(self) -> Result<Schema, GraphError> {
+        if self.vertex_types.len() > u8::MAX as usize {
+            return Err(GraphError::TooManyVertexTypes);
+        }
+        if self.edge_types.len() > u16::MAX as usize {
+            return Err(GraphError::TooManyEdgeTypes);
+        }
+        let mut seen = FxHashMap::default();
+        for t in &self.vertex_types {
+            if seen.insert(t.name.clone(), ()).is_some() {
+                return Err(GraphError::DuplicateVertexType(t.name.clone()));
+            }
+        }
+        let mut seen = FxHashMap::default();
+        for t in &self.edge_types {
+            if seen.insert(t.name.clone(), ()).is_some() {
+                return Err(GraphError::DuplicateEdgeType(t.name.clone()));
+            }
+            for endpoint in [t.src, t.dst] {
+                if endpoint.index() >= self.vertex_types.len() {
+                    return Err(GraphError::UnknownVertexTypeId(endpoint));
+                }
+            }
+        }
+        let mut schema = Schema {
+            vertex_types: self.vertex_types,
+            edge_types: self.edge_types,
+            vertex_type_by_name: FxHashMap::default(),
+            edge_type_by_name: FxHashMap::default(),
+            pair_table: Vec::new(),
+        };
+        schema.reindex();
+        Ok(schema)
+    }
+}
+
+/// The canonical bibliographic schema used throughout the paper:
+/// vertex types `author`, `paper`, `venue`, `term` and edge types
+/// `writes: author→paper`, `published_in: paper→venue`,
+/// `has_term: paper→term`.
+pub fn bibliographic_schema() -> Schema {
+    let mut sb = SchemaBuilder::new();
+    let author = sb.vertex_type("author");
+    let paper = sb.vertex_type("paper");
+    let venue = sb.vertex_type("venue");
+    let term = sb.vertex_type("term");
+    sb.edge_type("writes", author, paper);
+    sb.edge_type("published_in", paper, venue);
+    sb.edge_type("has_term", paper, term);
+    sb.build().expect("bibliographic schema is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_bibliographic_schema() {
+        let s = bibliographic_schema();
+        assert_eq!(s.vertex_type_count(), 4);
+        assert_eq!(s.edge_type_count(), 3);
+        let a = s.vertex_type_by_name("author").unwrap();
+        let p = s.vertex_type_by_name("paper").unwrap();
+        let v = s.vertex_type_by_name("venue").unwrap();
+        assert_eq!(s.vertex_type_name(a), "author");
+        assert_eq!(s.edge_types_from_to(a, p).len(), 1);
+        assert_eq!(s.edge_types_from_to(p, a).len(), 0);
+        assert!(s.link_exists(p, a), "links are traversable both ways");
+        assert!(s.link_exists(a, p));
+        assert!(!s.link_exists(a, v), "author-venue has no direct link");
+    }
+
+    #[test]
+    fn duplicate_vertex_type_rejected() {
+        let mut sb = SchemaBuilder::new();
+        sb.vertex_type("x");
+        sb.vertex_type("x");
+        assert_eq!(
+            sb.build().unwrap_err(),
+            GraphError::DuplicateVertexType("x".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_edge_type_rejected() {
+        let mut sb = SchemaBuilder::new();
+        let a = sb.vertex_type("a");
+        let b = sb.vertex_type("b");
+        sb.edge_type("e", a, b);
+        sb.edge_type("e", b, a);
+        assert_eq!(
+            sb.build().unwrap_err(),
+            GraphError::DuplicateEdgeType("e".into())
+        );
+    }
+
+    #[test]
+    fn edge_type_with_bad_endpoint_rejected() {
+        let mut sb = SchemaBuilder::new();
+        let a = sb.vertex_type("a");
+        sb.edge_type("e", a, VertexTypeId(9));
+        assert_eq!(
+            sb.build().unwrap_err(),
+            GraphError::UnknownVertexTypeId(VertexTypeId(9))
+        );
+    }
+
+    #[test]
+    fn multiple_edge_types_between_same_pair() {
+        let mut sb = SchemaBuilder::new();
+        let a = sb.vertex_type("person");
+        let b = sb.vertex_type("movie");
+        sb.edge_type("acted_in", a, b);
+        sb.edge_type("directed", a, b);
+        let s = sb.build().unwrap();
+        assert_eq!(s.edge_types_from_to(a, b).len(), 2);
+    }
+
+    #[test]
+    fn name_lookup_misses_return_none() {
+        let s = bibliographic_schema();
+        assert!(s.vertex_type_by_name("conference").is_none());
+        assert!(s.edge_type_by_name("cites").is_none());
+    }
+
+    #[test]
+    fn self_loop_edge_type_allowed() {
+        let mut sb = SchemaBuilder::new();
+        let a = sb.vertex_type("author");
+        sb.edge_type("advises", a, a);
+        let s = sb.build().unwrap();
+        assert!(s.link_exists(a, a));
+    }
+
+    #[test]
+    fn schema_equality_ignores_indexes() {
+        let s1 = bibliographic_schema();
+        let mut s2 = bibliographic_schema();
+        s2.rebuild_indexes();
+        assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,526 @@
+//! Sparse vector and matrix kernels.
+//!
+//! Neighbor vectors (`Φ_P(v)`, Definition 7 of the paper) are sparse: an
+//! author connects to a handful of venues out of thousands. All outlierness
+//! computation in the engine reduces to dot products and vector–matrix
+//! products over these sparse structures, so they are kept deliberately
+//! simple and cache-friendly: sorted coordinate lists for vectors and CSR for
+//! matrices.
+
+use crate::ids::VertexId;
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// A sparse vector over vertex ids with `f64` values.
+///
+/// Entries are stored sorted by vertex id with no duplicates and no explicit
+/// zeros, which makes merges, dot products and equality `O(nnz)`.
+///
+/// Values are `f64` even though path counts are integral, because weighted
+/// feature meta-paths and normalized scores require real arithmetic.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SparseVec {
+    entries: Vec<(VertexId, f64)>,
+}
+
+impl SparseVec {
+    /// The empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A vector with a single unit entry (`{v: 1.0}`), the seed of a
+    /// meta-path propagation.
+    pub fn unit(v: VertexId) -> Self {
+        SparseVec {
+            entries: vec![(v, 1.0)],
+        }
+    }
+
+    /// Build from an arbitrary `(id, value)` list: entries are sorted,
+    /// duplicates summed, zeros dropped.
+    pub fn from_entries(mut entries: Vec<(VertexId, f64)>) -> Self {
+        entries.sort_unstable_by_key(|(v, _)| *v);
+        let mut out: Vec<(VertexId, f64)> = Vec::with_capacity(entries.len());
+        for (v, x) in entries {
+            match out.last_mut() {
+                Some((lv, lx)) if *lv == v => *lx += x,
+                _ => out.push((v, x)),
+            }
+        }
+        out.retain(|(_, x)| *x != 0.0);
+        SparseVec { entries: out }
+    }
+
+    /// Build from a hash-map accumulator.
+    pub fn from_map(map: FxHashMap<VertexId, f64>) -> Self {
+        let mut entries: Vec<(VertexId, f64)> =
+            map.into_iter().filter(|(_, x)| *x != 0.0).collect();
+        entries.sort_unstable_by_key(|(v, _)| *v);
+        SparseVec { entries }
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vector has no non-zero entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The value at `v` (`0.0` if absent). `O(log nnz)`.
+    pub fn get(&self, v: VertexId) -> f64 {
+        match self.entries.binary_search_by_key(&v, |(u, _)| *u) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterate `(id, value)` pairs in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// The ids with non-zero values, in increasing order. This is the
+    /// *neighborhood* `N_P(v)` of Definition 6 when the vector is `Φ_P(v)`.
+    pub fn support(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.entries.iter().map(|(v, _)| *v)
+    }
+
+    /// Dot product with another sparse vector: `O(nnz_a + nnz_b)` merge.
+    pub fn dot(&self, other: &SparseVec) -> f64 {
+        let (mut i, mut j) = (0usize, 0usize);
+        let (a, b) = (&self.entries, &other.entries);
+        let mut acc = 0.0;
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += a[i].1 * b[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Squared Euclidean norm, `‖x‖²`. Equals the *visibility* `χ(v, v)` of
+    /// Section 5.1 when the vector is `Φ_P(v)`.
+    pub fn norm2_sq(&self) -> f64 {
+        self.entries.iter().map(|(_, x)| x * x).sum()
+    }
+
+    /// Euclidean norm `‖x‖₂`.
+    pub fn norm2(&self) -> f64 {
+        self.norm2_sq().sqrt()
+    }
+
+    /// Sum of values, `‖x‖₁` for non-negative vectors (path counts).
+    pub fn sum(&self) -> f64 {
+        self.entries.iter().map(|(_, x)| x).sum()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    pub fn dist2_sq(&self, other: &SparseVec) -> f64 {
+        // ‖a‖² + ‖b‖² − 2·a·b computed entry-wise to avoid cancellation on
+        // near-identical vectors.
+        let (mut i, mut j) = (0usize, 0usize);
+        let (a, b) = (&self.entries, &other.entries);
+        let mut acc = 0.0;
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => {
+                    acc += a[i].1 * a[i].1;
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    acc += b[j].1 * b[j].1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    let d = a[i].1 - b[j].1;
+                    acc += d * d;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc += a[i..].iter().map(|(_, x)| x * x).sum::<f64>();
+        acc += b[j..].iter().map(|(_, x)| x * x).sum::<f64>();
+        acc
+    }
+
+    /// `self += other` (sparse merge).
+    pub fn add_assign(&mut self, other: &SparseVec) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            self.entries = other.entries.clone();
+            return;
+        }
+        let mut out = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        let (a, b) = (&self.entries, &other.entries);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    let x = a[i].1 + b[j].1;
+                    if x != 0.0 {
+                        out.push((a[i].0, x));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        self.entries = out;
+    }
+
+    /// `self *= s`. Scaling by zero empties the vector.
+    pub fn scale(&mut self, s: f64) {
+        if s == 0.0 {
+            self.entries.clear();
+        } else {
+            for (_, x) in &mut self.entries {
+                *x *= s;
+            }
+        }
+    }
+
+    /// Approximate heap footprint in bytes (used for index-size accounting,
+    /// Figure 5b of the paper).
+    pub fn size_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<(VertexId, f64)>()
+            + std::mem::size_of::<Self>()
+    }
+}
+
+impl FromIterator<(VertexId, f64)> for SparseVec {
+    fn from_iter<I: IntoIterator<Item = (VertexId, f64)>>(iter: I) -> Self {
+        SparseVec::from_entries(iter.into_iter().collect())
+    }
+}
+
+/// Accumulator for building a [`SparseVec`] by scattered additions.
+///
+/// Uses a hash map internally (FxHashMap: integer keys, hot path) and sorts
+/// once on [`SparseVecBuilder::finish`].
+#[derive(Debug, Default)]
+pub struct SparseVecBuilder {
+    map: FxHashMap<VertexId, f64>,
+}
+
+impl SparseVecBuilder {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create with capacity for `n` distinct ids.
+    pub fn with_capacity(n: usize) -> Self {
+        SparseVecBuilder {
+            map: FxHashMap::with_capacity_and_hasher(n, Default::default()),
+        }
+    }
+
+    /// `self[v] += x`.
+    #[inline]
+    pub fn add(&mut self, v: VertexId, x: f64) {
+        *self.map.entry(v).or_insert(0.0) += x;
+    }
+
+    /// Number of distinct ids accumulated so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Sort and freeze into a [`SparseVec`].
+    pub fn finish(self) -> SparseVec {
+        SparseVec::from_map(self.map)
+    }
+}
+
+/// A sparse matrix in CSR form, mapping *row* vertex ids to sparse rows over
+/// *column* vertex ids.
+///
+/// Rows are keyed by global vertex id but stored compactly: `row_index` maps
+/// a vertex id to a row slot (dense `Vec` over the full id space would waste
+/// memory for type-local matrices). Used to pre-materialize length-2
+/// meta-path relations (Section 6.2).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SparseMatrix {
+    /// Sorted list of row vertex ids present in the matrix.
+    rows: Vec<VertexId>,
+    /// CSR offsets: row `i` occupies `cols_vals[offsets[i]..offsets[i+1]]`.
+    offsets: Vec<u32>,
+    /// Concatenated (column id, value) pairs, sorted by column within a row.
+    cols_vals: Vec<(VertexId, f64)>,
+}
+
+impl SparseMatrix {
+    /// Build from per-row sparse vectors. `rows` need not be sorted;
+    /// duplicate row ids are rejected by debug assertion.
+    pub fn from_rows(mut rows: Vec<(VertexId, SparseVec)>) -> Self {
+        rows.sort_unstable_by_key(|(v, _)| *v);
+        debug_assert!(
+            rows.windows(2).all(|w| w[0].0 != w[1].0),
+            "duplicate row ids in SparseMatrix::from_rows"
+        );
+        let mut row_ids = Vec::with_capacity(rows.len());
+        let mut offsets = Vec::with_capacity(rows.len() + 1);
+        let total: usize = rows.iter().map(|(_, r)| r.nnz()).sum();
+        let mut cols_vals = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for (v, row) in rows {
+            row_ids.push(v);
+            cols_vals.extend(row.iter());
+            offsets.push(cols_vals.len() as u32);
+        }
+        SparseMatrix {
+            rows: row_ids,
+            offsets,
+            cols_vals,
+        }
+    }
+
+    /// Number of stored rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.cols_vals.len()
+    }
+
+    /// Whether the matrix stores a row for vertex `v`.
+    pub fn has_row(&self, v: VertexId) -> bool {
+        self.rows.binary_search(&v).is_ok()
+    }
+
+    /// The row of vertex `v` as a slice of `(column, value)` pairs, or `None`
+    /// if the row is not stored. A stored-but-empty row returns `Some(&[])`.
+    pub fn row(&self, v: VertexId) -> Option<&[(VertexId, f64)]> {
+        let i = self.rows.binary_search(&v).ok()?;
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        Some(&self.cols_vals[lo..hi])
+    }
+
+    /// The row of vertex `v` as an owned [`SparseVec`].
+    pub fn row_vec(&self, v: VertexId) -> Option<SparseVec> {
+        self.row(v)
+            .map(|slice| SparseVec::from_entries(slice.to_vec()))
+    }
+
+    /// Iterate stored rows as `(row id, row slice)`.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (VertexId, &[(VertexId, f64)])> + '_ {
+        self.rows.iter().enumerate().map(move |(i, v)| {
+            let lo = self.offsets[i] as usize;
+            let hi = self.offsets[i + 1] as usize;
+            (*v, &self.cols_vals[lo..hi])
+        })
+    }
+
+    /// Sparse vector–matrix product `x · M`: propagates a frontier one
+    /// materialized hop. Rows of `M` absent from the index contribute
+    /// nothing; callers that need exactness must ensure coverage (the SPM
+    /// engine falls back to traversal instead).
+    pub fn vec_mul(&self, x: &SparseVec) -> SparseVec {
+        let mut acc = SparseVecBuilder::new();
+        for (v, weight) in x.iter() {
+            if let Some(row) = self.row(v) {
+                for &(u, m) in row {
+                    acc.add(u, weight * m);
+                }
+            }
+        }
+        acc.finish()
+    }
+
+    /// Approximate heap footprint in bytes (Figure 5b accounting).
+    pub fn size_bytes(&self) -> usize {
+        self.rows.capacity() * std::mem::size_of::<VertexId>()
+            + self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.cols_vals.capacity() * std::mem::size_of::<(VertexId, f64)>()
+            + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(id: u32) -> VertexId {
+        VertexId(id)
+    }
+
+    fn sv(pairs: &[(u32, f64)]) -> SparseVec {
+        SparseVec::from_entries(pairs.iter().map(|&(i, x)| (v(i), x)).collect())
+    }
+
+    #[test]
+    fn from_entries_sorts_merges_drops_zeros() {
+        let x = sv(&[(3, 1.0), (1, 2.0), (3, 4.0), (2, 0.0)]);
+        assert_eq!(x.nnz(), 2);
+        assert_eq!(x.get(v(1)), 2.0);
+        assert_eq!(x.get(v(3)), 5.0);
+        assert_eq!(x.get(v(2)), 0.0);
+        let ids: Vec<u32> = x.support().map(|u| u.0).collect();
+        assert_eq!(ids, vec![1, 3]);
+    }
+
+    #[test]
+    fn unit_vector() {
+        let x = SparseVec::unit(v(7));
+        assert_eq!(x.nnz(), 1);
+        assert_eq!(x.get(v(7)), 1.0);
+        assert_eq!(x.sum(), 1.0);
+    }
+
+    #[test]
+    fn dot_product_merge() {
+        let a = sv(&[(1, 2.0), (3, 1.0), (5, 3.0)]);
+        let b = sv(&[(1, 4.0), (2, 9.0), (5, 6.0)]);
+        // 2*4 + 3*6 = 26
+        assert_eq!(a.dot(&b), 26.0);
+        assert_eq!(b.dot(&a), 26.0);
+        assert_eq!(a.dot(&SparseVec::new()), 0.0);
+    }
+
+    #[test]
+    fn norms() {
+        let a = sv(&[(1, 3.0), (2, 4.0)]);
+        assert_eq!(a.norm2_sq(), 25.0);
+        assert_eq!(a.norm2(), 5.0);
+        assert_eq!(a.sum(), 7.0);
+    }
+
+    #[test]
+    fn distance_squared() {
+        let a = sv(&[(1, 1.0), (2, 2.0)]);
+        let b = sv(&[(2, 2.0), (3, 3.0)]);
+        // (1-0)² + (2-2)² + (0-3)² = 10
+        assert_eq!(a.dist2_sq(&b), 10.0);
+        assert_eq!(b.dist2_sq(&a), 10.0);
+        assert_eq!(a.dist2_sq(&a), 0.0);
+    }
+
+    #[test]
+    fn add_assign_merges_and_cancels() {
+        let mut a = sv(&[(1, 1.0), (2, -3.0)]);
+        let b = sv(&[(2, 3.0), (4, 5.0)]);
+        a.add_assign(&b);
+        assert_eq!(a, sv(&[(1, 1.0), (4, 5.0)]));
+
+        let mut empty = SparseVec::new();
+        empty.add_assign(&b);
+        assert_eq!(empty, b);
+    }
+
+    #[test]
+    fn scale_and_zero_scale() {
+        let mut a = sv(&[(1, 2.0)]);
+        a.scale(3.0);
+        assert_eq!(a.get(v(1)), 6.0);
+        a.scale(0.0);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let mut b = SparseVecBuilder::new();
+        assert!(b.is_empty());
+        b.add(v(5), 1.0);
+        b.add(v(2), 2.0);
+        b.add(v(5), 1.5);
+        assert_eq!(b.len(), 2);
+        let x = b.finish();
+        assert_eq!(x, sv(&[(2, 2.0), (5, 2.5)]));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let x: SparseVec = [(v(2), 1.0), (v(1), 1.0)].into_iter().collect();
+        assert_eq!(x.nnz(), 2);
+    }
+
+    #[test]
+    fn matrix_rows_and_lookup() {
+        let m = SparseMatrix::from_rows(vec![
+            (v(10), sv(&[(1, 1.0), (2, 2.0)])),
+            (v(5), sv(&[(3, 3.0)])),
+        ]);
+        assert_eq!(m.row_count(), 2);
+        assert_eq!(m.nnz(), 3);
+        assert!(m.has_row(v(5)));
+        assert!(!m.has_row(v(6)));
+        assert_eq!(m.row(v(10)).unwrap(), &[(v(1), 1.0), (v(2), 2.0)]);
+        assert_eq!(m.row_vec(v(5)).unwrap(), sv(&[(3, 3.0)]));
+        assert!(m.row(v(99)).is_none());
+    }
+
+    #[test]
+    fn matrix_stored_empty_row_distinct_from_missing() {
+        let m = SparseMatrix::from_rows(vec![(v(1), SparseVec::new())]);
+        assert_eq!(m.row(v(1)).unwrap(), &[]);
+        assert!(m.row(v(2)).is_none());
+    }
+
+    #[test]
+    fn vec_mul_propagates() {
+        // M: row 1 -> {10:2}, row 2 -> {10:1, 11:3}
+        let m = SparseMatrix::from_rows(vec![
+            (v(1), sv(&[(10, 2.0)])),
+            (v(2), sv(&[(10, 1.0), (11, 3.0)])),
+        ]);
+        let x = sv(&[(1, 1.0), (2, 2.0)]);
+        let y = m.vec_mul(&x);
+        // y[10] = 1*2 + 2*1 = 4 ; y[11] = 2*3 = 6
+        assert_eq!(y, sv(&[(10, 4.0), (11, 6.0)]));
+    }
+
+    #[test]
+    fn vec_mul_missing_rows_contribute_nothing() {
+        let m = SparseMatrix::from_rows(vec![(v(1), sv(&[(10, 2.0)]))]);
+        let x = sv(&[(1, 1.0), (99, 5.0)]);
+        assert_eq!(m.vec_mul(&x), sv(&[(10, 2.0)]));
+    }
+
+    #[test]
+    fn size_accounting_nonzero() {
+        let m = SparseMatrix::from_rows(vec![(v(1), sv(&[(10, 2.0)]))]);
+        assert!(m.size_bytes() > 0);
+        assert!(sv(&[(1, 1.0)]).size_bytes() > 0);
+    }
+
+    #[test]
+    fn iter_rows_in_sorted_order() {
+        let m = SparseMatrix::from_rows(vec![
+            (v(9), sv(&[(1, 1.0)])),
+            (v(3), sv(&[(2, 2.0)])),
+        ]);
+        let order: Vec<u32> = m.iter_rows().map(|(r, _)| r.0).collect();
+        assert_eq!(order, vec![3, 9]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Descriptive statistics over a heterogeneous network — handy for sanity
+//! checks on generated data and for reporting experiment setups (the paper
+//! reports its network as "2,244,018 publications and 1,274,360 authors").
+
+use crate::graph::HinGraph;
+use crate::ids::VertexTypeId;
+use std::fmt;
+
+/// Per-vertex-type summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeStats {
+    /// The vertex type.
+    pub vtype: VertexTypeId,
+    /// The vertex type's name.
+    pub name: String,
+    /// Number of vertices of this type.
+    pub count: usize,
+}
+
+/// Degree summary for one `(source type, target type)` step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum step-degree over source vertices.
+    pub min: usize,
+    /// Maximum step-degree over source vertices.
+    pub max: usize,
+    /// Mean step-degree over source vertices.
+    pub mean: f64,
+    /// Number of source vertices with zero step-degree.
+    pub isolated: usize,
+}
+
+/// A full summary of a network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkStats {
+    /// One entry per vertex type.
+    pub types: Vec<TypeStats>,
+    /// Total vertices.
+    pub vertex_count: usize,
+    /// Total edges.
+    pub edge_count: usize,
+}
+
+/// Compute per-type counts and totals.
+pub fn network_stats(graph: &HinGraph) -> NetworkStats {
+    let schema = graph.schema();
+    let types = schema
+        .vertex_type_ids()
+        .map(|t| TypeStats {
+            vtype: t,
+            name: schema.vertex_type_name(t).to_string(),
+            count: graph.count_of_type(t),
+        })
+        .collect();
+    NetworkStats {
+        types,
+        vertex_count: graph.vertex_count(),
+        edge_count: graph.edge_count(),
+    }
+}
+
+/// Degree distribution of one traversal step `from → to` (with
+/// multiplicity), over all vertices of type `from`.
+pub fn degree_stats(graph: &HinGraph, from: VertexTypeId, to: VertexTypeId) -> DegreeStats {
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut sum = 0usize;
+    let mut isolated = 0usize;
+    let vertices = graph.vertices_of_type(from);
+    for &v in vertices {
+        let d = graph.step_degree(v, to);
+        min = min.min(d);
+        max = max.max(d);
+        sum += d;
+        if d == 0 {
+            isolated += 1;
+        }
+    }
+    if vertices.is_empty() {
+        min = 0;
+    }
+    DegreeStats {
+        min,
+        max,
+        mean: if vertices.is_empty() {
+            0.0
+        } else {
+            sum as f64 / vertices.len() as f64
+        },
+        isolated,
+    }
+}
+
+/// Log-2-bucketed degree histogram of one traversal step: bucket 0 counts
+/// isolated source vertices (`d = 0`); bucket `i ≥ 1` counts those with
+/// `2^(i-1) ≤ d < 2^i` (so bucket 1 is `d = 1`, bucket 2 is `d ∈ {2, 3}`,
+/// …).
+///
+/// Useful for eyeballing whether a generated network has the heavy-tailed
+/// activity real bibliographic networks show.
+pub fn degree_histogram(graph: &HinGraph, from: VertexTypeId, to: VertexTypeId) -> Vec<usize> {
+    let mut buckets: Vec<usize> = Vec::new();
+    for &v in graph.vertices_of_type(from) {
+        let d = graph.step_degree(v, to);
+        let bucket = (usize::BITS - d.leading_zeros()) as usize;
+        if bucket >= buckets.len() {
+            buckets.resize(bucket + 1, 0);
+        }
+        buckets[bucket] += 1;
+    }
+    buckets
+}
+
+impl fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} vertices, {} edges",
+            self.vertex_count, self.edge_count
+        )?;
+        for t in &self.types {
+            writeln!(f, "  {:<12} {:>10}", t.name, t.count)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::schema::bibliographic_schema;
+
+    fn sample() -> HinGraph {
+        let schema = bibliographic_schema();
+        let author = schema.vertex_type_by_name("author").unwrap();
+        let paper = schema.vertex_type_by_name("paper").unwrap();
+        let mut gb = GraphBuilder::new(schema);
+        let a = gb.add_vertex(author, "A").unwrap();
+        let b = gb.add_vertex(author, "B").unwrap();
+        let _lonely = gb.add_vertex(author, "C").unwrap();
+        let p1 = gb.add_vertex(paper, "p1").unwrap();
+        let p2 = gb.add_vertex(paper, "p2").unwrap();
+        gb.add_edge(a, p1).unwrap();
+        gb.add_edge(a, p2).unwrap();
+        gb.add_edge(b, p1).unwrap();
+        gb.build()
+    }
+
+    #[test]
+    fn counts_by_type() {
+        let g = sample();
+        let s = network_stats(&g);
+        assert_eq!(s.vertex_count, 5);
+        assert_eq!(s.edge_count, 3);
+        assert_eq!(s.types[0].name, "author");
+        assert_eq!(s.types[0].count, 3);
+        assert_eq!(s.types[1].count, 2);
+        let text = s.to_string();
+        assert!(text.contains("5 vertices"));
+        assert!(text.contains("author"));
+    }
+
+    #[test]
+    fn degree_distribution() {
+        let g = sample();
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        let paper = g.schema().vertex_type_by_name("paper").unwrap();
+        let d = degree_stats(&g, author, paper);
+        assert_eq!(d.min, 0);
+        assert_eq!(d.max, 2);
+        assert_eq!(d.isolated, 1);
+        assert!((d.mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let g = sample();
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        let paper = g.schema().vertex_type_by_name("paper").unwrap();
+        // A: d=2 -> bucket 2; B: d=1 -> bucket 1; C: d=0 -> bucket 0.
+        let h = degree_histogram(&g, author, paper);
+        assert_eq!(h, vec![1, 1, 1]);
+        // No papers from venues in this fixture.
+        let venue = g.schema().vertex_type_by_name("venue").unwrap();
+        assert_eq!(degree_histogram(&g, venue, paper), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn degree_stats_empty_type() {
+        let g = GraphBuilder::new(bibliographic_schema()).build();
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        let paper = g.schema().vertex_type_by_name("paper").unwrap();
+        let d = degree_stats(&g, author, paper);
+        assert_eq!(d.min, 0);
+        assert_eq!(d.max, 0);
+        assert_eq!(d.mean, 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests validating the sparse-propagation path counting against a
+//! brute-force DFS oracle on randomly generated networks.
+//!
+//! The oracle literally enumerates every instantiation of a meta-path
+//! (Definition 5) by depth-first search; `traverse::neighbor_vector` must
+//! produce identical counts on every graph and path we can throw at it.
+
+use hin_graph::{
+    traverse, GraphBuilder, HinGraph, MetaPath, Schema, SchemaBuilder, VertexId, VertexTypeId,
+};
+use proptest::prelude::*;
+use rustc_hash::FxHashMap;
+
+/// Brute-force `Φ_P(v)`: enumerate all instantiations by DFS.
+fn oracle_neighbor_vector(graph: &HinGraph, v: VertexId, path: &MetaPath) -> FxHashMap<VertexId, u64> {
+    fn dfs(
+        graph: &HinGraph,
+        current: VertexId,
+        remaining: &[VertexTypeId],
+        counts: &mut FxHashMap<VertexId, u64>,
+    ) {
+        match remaining.first() {
+            None => *counts.entry(current).or_insert(0) += 1,
+            Some(&next_type) => {
+                for n in graph.step_neighbors(current, next_type) {
+                    dfs(graph, n, &remaining[1..], counts);
+                }
+            }
+        }
+    }
+    let mut counts = FxHashMap::default();
+    dfs(graph, v, &path.types()[1..], &mut counts);
+    counts
+}
+
+/// A small random 3-type network: X–Y and Y–Z links.
+#[derive(Debug, Clone)]
+struct RandomNetwork {
+    graph: HinGraph,
+    x_type: VertexTypeId,
+}
+
+fn schema() -> (Schema, [VertexTypeId; 3]) {
+    let mut sb = SchemaBuilder::new();
+    let x = sb.vertex_type("x");
+    let y = sb.vertex_type("y");
+    let z = sb.vertex_type("z");
+    sb.edge_type("xy", x, y);
+    sb.edge_type("yz", y, z);
+    (sb.build().unwrap(), [x, y, z])
+}
+
+fn random_network_strategy() -> impl Strategy<Value = RandomNetwork> {
+    // Vertex counts per type and edge endpoint pairs by index.
+    (
+        1usize..6,
+        1usize..6,
+        1usize..6,
+        proptest::collection::vec((0usize..6, 0usize..6), 0..30),
+        proptest::collection::vec((0usize..6, 0usize..6), 0..30),
+    )
+        .prop_map(|(nx, ny, nz, xy_edges, yz_edges)| {
+            let (schema, [x, y, z]) = schema();
+            let mut gb = GraphBuilder::new(schema);
+            let xs: Vec<VertexId> = (0..nx)
+                .map(|i| gb.add_vertex(x, format!("x{i}")).unwrap())
+                .collect();
+            let ys: Vec<VertexId> = (0..ny)
+                .map(|i| gb.add_vertex(y, format!("y{i}")).unwrap())
+                .collect();
+            let zs: Vec<VertexId> = (0..nz)
+                .map(|i| gb.add_vertex(z, format!("z{i}")).unwrap())
+                .collect();
+            for (a, b) in xy_edges {
+                // Parallel edges are intentionally possible: multiplicity
+                // must be counted by both implementations.
+                gb.add_edge(xs[a % nx], ys[b % ny]).unwrap();
+            }
+            for (a, b) in yz_edges {
+                gb.add_edge(ys[a % ny], zs[b % nz]).unwrap();
+            }
+            RandomNetwork {
+                graph: gb.build(),
+                x_type: x,
+            }
+        })
+}
+
+fn check_against_oracle(net: &RandomNetwork, path_str: &str) -> Result<(), TestCaseError> {
+    let path = MetaPath::parse(path_str, net.graph.schema()).unwrap();
+    for &v in net.graph.vertices_of_type(path.source_type()) {
+        let fast = traverse::neighbor_vector(&net.graph, v, &path).unwrap();
+        let slow = oracle_neighbor_vector(&net.graph, v, &path);
+        prop_assert_eq!(
+            fast.nnz(),
+            slow.len(),
+            "support size mismatch for {:?} along {}",
+            v,
+            path_str
+        );
+        for (u, count) in fast.iter() {
+            prop_assert_eq!(
+                count,
+                *slow.get(&u).unwrap_or(&0) as f64,
+                "count mismatch at {:?} for {:?} along {}",
+                u,
+                v,
+                path_str
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sparse propagation equals DFS enumeration on every random graph, for
+    /// paths of length 1–4 including palindromes and the symmetric closure.
+    #[test]
+    fn propagation_matches_dfs_oracle(net in random_network_strategy()) {
+        for path_str in [
+            "x.y",
+            "x.y.x",
+            "x.y.z",
+            "x.y.z.y",
+            "x.y.z.y.x",
+            "y.x.y.z",
+        ] {
+            check_against_oracle(&net, path_str)?;
+        }
+    }
+
+    /// Connectivity is symmetric and equals the symmetric-path count.
+    #[test]
+    fn connectivity_consistency(net in random_network_strategy()) {
+        let g = &net.graph;
+        let path = MetaPath::parse("x.y.z", g.schema()).unwrap();
+        let xs = g.vertices_of_type(net.x_type);
+        for &u in xs {
+            for &v in xs {
+                let chi = traverse::connectivity(g, u, v, &path).unwrap();
+                prop_assert_eq!(chi, traverse::connectivity(g, v, u, &path).unwrap());
+                let sym = path.symmetric();
+                prop_assert_eq!(chi, traverse::path_count(g, u, v, &sym).unwrap());
+            }
+        }
+    }
+
+    /// Visibility is the squared L2 norm of the neighbor vector, and the
+    /// neighborhood is exactly the vector's support.
+    #[test]
+    fn visibility_and_neighborhood_consistency(net in random_network_strategy()) {
+        let g = &net.graph;
+        let path = MetaPath::parse("x.y", g.schema()).unwrap();
+        for &v in g.vertices_of_type(net.x_type) {
+            let phi = traverse::neighbor_vector(g, v, &path).unwrap();
+            prop_assert_eq!(
+                traverse::visibility(g, v, &path).unwrap(),
+                phi.norm2_sq()
+            );
+            let nb = traverse::neighborhood(g, v, &path).unwrap();
+            prop_assert_eq!(nb, phi.support().collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Abstract syntax tree for outlier queries, plus canonical pretty-printing.
+//!
+//! The AST is schema-agnostic: type names are raw strings. Binding against a
+//! [`hin_graph::Schema`] happens in [`crate::validate`].
+
+use crate::error::Span;
+use std::fmt;
+
+/// A parsed outlier query (Definition 8's `Q = (S_c, S_r, 𝒫, w)` plus the
+/// `TOP k` result bound).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The candidate set `S_c` (the `FROM` / `IN` clause).
+    pub candidate: SetExpr,
+    /// The reference set `S_r` (`COMPARED TO`); `None` means `S_r = S_c`.
+    pub reference: Option<SetExpr>,
+    /// Weighted feature meta-paths (`JUDGED BY`). Never empty.
+    pub features: Vec<FeaturePath>,
+    /// Number of outliers to return (`TOP k`); `None` returns all candidates
+    /// ranked.
+    pub top: Option<usize>,
+}
+
+/// One feature meta-path with its weight (`author.paper.venue : 2.0`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeaturePath {
+    /// Dot-separated vertex type names, in order. At least two entries
+    /// (a bare type would extract no features).
+    pub types: Vec<String>,
+    /// Importance weight; `1.0` when not written (paper Section 4.2).
+    pub weight: f64,
+    /// Source location, for validator diagnostics.
+    pub span: Span,
+}
+
+/// A vertex-set expression: primaries combined with `UNION` / `INTERSECT`
+/// (left-associative, equal precedence; use parentheses to group).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetExpr {
+    /// An anchored neighborhood (`venue{"EDBT"}.paper.author AS A WHERE …`).
+    Primary(SetPrimary),
+    /// Set union of two expressions of the same vertex type.
+    Union(Box<SetExpr>, Box<SetExpr>),
+    /// Set intersection of two expressions of the same vertex type.
+    Intersect(Box<SetExpr>, Box<SetExpr>),
+    /// Set difference (`a EXCEPT b`) of two expressions of the same vertex
+    /// type. An extension beyond the paper's grammar: handy for excluding an
+    /// anchor from its own neighborhood.
+    Except(Box<SetExpr>, Box<SetExpr>),
+}
+
+impl SetExpr {
+    /// The span covering the whole expression.
+    pub fn span(&self) -> Span {
+        match self {
+            SetExpr::Primary(p) => p.span,
+            SetExpr::Union(a, b) | SetExpr::Intersect(a, b) | SetExpr::Except(a, b) => {
+                a.span().merge(b.span())
+            }
+        }
+    }
+}
+
+/// An anchored set: a named vertex, a neighborhood meta-path from it, and an
+/// optional filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetPrimary {
+    /// Vertex type of the anchor (`venue` in `venue{"EDBT"}`).
+    pub anchor_type: String,
+    /// Name of the anchor vertex (`EDBT`).
+    pub anchor_name: String,
+    /// Types of the neighborhood walk after the anchor (`["paper",
+    /// "author"]`); empty means the set is the anchor vertex itself.
+    pub path: Vec<String>,
+    /// Alias introduced by `AS` for use inside `WHERE`.
+    pub alias: Option<String>,
+    /// Filter over set members.
+    pub filter: Option<Condition>,
+    /// Source location, for validator diagnostics.
+    pub span: Span,
+}
+
+/// A boolean filter over set members (`WHERE` clause).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// Both sub-conditions hold.
+    And(Box<Condition>, Box<Condition>),
+    /// At least one sub-condition holds.
+    Or(Box<Condition>, Box<Condition>),
+    /// The sub-condition does not hold.
+    Not(Box<Condition>),
+    /// `COUNT(alias.path…) <op> value`: compares the number of distinct
+    /// neighbors of the member along the meta-path.
+    Count {
+        /// The alias the count path starts from; must match the primary's
+        /// `AS` alias.
+        alias: String,
+        /// Types of the count walk after the alias (`["paper"]` in
+        /// `COUNT(A.paper)`).
+        path: Vec<String>,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand value.
+        value: f64,
+        /// Source location.
+        span: Span,
+    },
+}
+
+/// Comparison operators usable in `WHERE` conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// Apply the comparison.
+    pub fn eval(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+        })
+    }
+}
+
+/// Quote a string for the query language (`"` and `\` escaped).
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format a float the way the language reads it back (no trailing `.0` loss:
+/// integers print bare, others with their shortest representation).
+fn fmt_num(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+impl fmt::Display for Query {
+    /// Canonical form: parseable back into an equal AST (round-trip tested).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FIND OUTLIERS FROM {}", self.candidate)?;
+        if let Some(r) = &self.reference {
+            write!(f, " COMPARED TO {r}")?;
+        }
+        write!(f, " JUDGED BY ")?;
+        for (i, fp) in self.features.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{fp}")?;
+        }
+        if let Some(k) = self.top {
+            write!(f, " TOP {k}")?;
+        }
+        write!(f, ";")
+    }
+}
+
+impl fmt::Display for FeaturePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.types.join("."))?;
+        if self.weight != 1.0 {
+            write!(f, " : {}", fmt_num(self.weight))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SetExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetExpr::Primary(p) => write!(f, "{p}"),
+            SetExpr::Union(a, b) => write!(f, "({a} UNION {b})"),
+            SetExpr::Intersect(a, b) => write!(f, "({a} INTERSECT {b})"),
+            SetExpr::Except(a, b) => write!(f, "({a} EXCEPT {b})"),
+        }
+    }
+}
+
+impl fmt::Display for SetPrimary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{{{}}}", self.anchor_type, quote(&self.anchor_name))?;
+        for t in &self.path {
+            write!(f, ".{t}")?;
+        }
+        if let Some(a) = &self.alias {
+            write!(f, " AS {a}")?;
+        }
+        if let Some(c) = &self.filter {
+            write!(f, " WHERE {c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::And(a, b) => write!(f, "({a} AND {b})"),
+            Condition::Or(a, b) => write!(f, "({a} OR {b})"),
+            Condition::Not(c) => write!(f, "(NOT {c})"),
+            Condition::Count {
+                alias,
+                path,
+                op,
+                value,
+                ..
+            } => {
+                write!(f, "COUNT({alias}")?;
+                for t in path {
+                    write!(f, ".{t}")?;
+                }
+                write!(f, ") {op} {}", fmt_num(*value))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn primary(ty: &str, name: &str, path: &[&str]) -> SetExpr {
+        SetExpr::Primary(SetPrimary {
+            anchor_type: ty.into(),
+            anchor_name: name.into(),
+            path: path.iter().map(|s| s.to_string()).collect(),
+            alias: None,
+            filter: None,
+            span: Span::default(),
+        })
+    }
+
+    #[test]
+    fn display_simple_query() {
+        let q = Query {
+            candidate: primary("author", "Christos Faloutsos", &["paper", "author"]),
+            reference: None,
+            features: vec![FeaturePath {
+                types: vec!["author".into(), "paper".into(), "venue".into()],
+                weight: 1.0,
+                span: Span::default(),
+            }],
+            top: Some(10),
+        };
+        assert_eq!(
+            q.to_string(),
+            "FIND OUTLIERS FROM author{\"Christos Faloutsos\"}.paper.author \
+             JUDGED BY author.paper.venue TOP 10;"
+        );
+    }
+
+    #[test]
+    fn display_weights_and_reference() {
+        let q = Query {
+            candidate: primary("venue", "SIGMOD", &["paper", "author"]),
+            reference: Some(primary("venue", "KDD", &["paper", "author"])),
+            features: vec![
+                FeaturePath {
+                    types: vec!["author".into(), "paper".into(), "author".into()],
+                    weight: 1.0,
+                    span: Span::default(),
+                },
+                FeaturePath {
+                    types: vec!["author".into(), "paper".into(), "term".into()],
+                    weight: 3.0,
+                    span: Span::default(),
+                },
+            ],
+            top: None,
+        };
+        let s = q.to_string();
+        assert!(s.contains("COMPARED TO venue{\"KDD\"}.paper.author"));
+        assert!(s.contains("author.paper.term : 3"));
+        assert!(!s.contains("TOP"));
+    }
+
+    #[test]
+    fn display_quotes_special_chars() {
+        let q = primary("author", "A \"quoted\" \\name", &[]);
+        assert_eq!(
+            q.to_string(),
+            "author{\"A \\\"quoted\\\" \\\\name\"}"
+        );
+    }
+
+    #[test]
+    fn display_union_intersect_parenthesized() {
+        let e = SetExpr::Intersect(
+            Box::new(SetExpr::Union(
+                Box::new(primary("venue", "EDBT", &["paper", "author"])),
+                Box::new(primary("venue", "ICDE", &["paper", "author"])),
+            )),
+            Box::new(primary("venue", "KDD", &["paper", "author"])),
+        );
+        let s = e.to_string();
+        assert!(s.starts_with("(("));
+        assert!(s.contains("UNION"));
+        assert!(s.contains("INTERSECT"));
+    }
+
+    #[test]
+    fn display_condition() {
+        let c = Condition::And(
+            Box::new(Condition::Count {
+                alias: "A".into(),
+                path: vec!["paper".into()],
+                op: CmpOp::Ge,
+                value: 5.0,
+                span: Span::default(),
+            }),
+            Box::new(Condition::Not(Box::new(Condition::Count {
+                alias: "A".into(),
+                path: vec!["paper".into(), "venue".into()],
+                op: CmpOp::Lt,
+                value: 2.0,
+                span: Span::default(),
+            }))),
+        );
+        assert_eq!(
+            c.to_string(),
+            "(COUNT(A.paper) >= 5 AND (NOT COUNT(A.paper.venue) < 2))"
+        );
+    }
+
+    #[test]
+    fn cmp_op_eval() {
+        assert!(CmpOp::Lt.eval(1.0, 2.0));
+        assert!(CmpOp::Le.eval(2.0, 2.0));
+        assert!(CmpOp::Gt.eval(3.0, 2.0));
+        assert!(CmpOp::Ge.eval(2.0, 2.0));
+        assert!(CmpOp::Eq.eval(2.0, 2.0));
+        assert!(CmpOp::Ne.eval(1.0, 2.0));
+        assert!(!CmpOp::Lt.eval(2.0, 1.0));
+        assert!(!CmpOp::Eq.eval(1.0, 2.0));
+    }
+
+    #[test]
+    fn fractional_weight_roundtrips_in_display() {
+        let fp = FeaturePath {
+            types: vec!["a".into(), "b".into()],
+            weight: 2.5,
+            span: Span::default(),
+        };
+        assert_eq!(fp.to_string(), "a.b : 2.5");
+    }
+}

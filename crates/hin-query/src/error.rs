@@ -1,0 +1,164 @@
+//! Errors and source spans for the query language.
+
+use std::fmt;
+
+/// A byte range in the query source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Start byte offset (inclusive).
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+}
+
+impl Span {
+    /// Construct a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// Any error raised while lexing, parsing, or validating a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// A character sequence that is not a valid token.
+    Lex {
+        /// Where the bad input starts.
+        span: Span,
+        /// What went wrong.
+        message: String,
+    },
+    /// The token stream does not match the grammar.
+    Parse {
+        /// The offending token's span (or end of input).
+        span: Span,
+        /// What was found and what was expected.
+        message: String,
+    },
+    /// The query is grammatical but inconsistent with the schema.
+    Validate {
+        /// The span of the offending fragment, when known.
+        span: Option<Span>,
+        /// What constraint was violated.
+        message: String,
+    },
+}
+
+impl QueryError {
+    /// The span associated with the error, if any.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            QueryError::Lex { span, .. } | QueryError::Parse { span, .. } => Some(*span),
+            QueryError::Validate { span, .. } => *span,
+        }
+    }
+
+    /// Render the error with a source-line snippet and caret markers, for
+    /// terminal display:
+    ///
+    /// ```text
+    /// error: unknown vertex type "autor"
+    ///   | FIND OUTLIERS FROM autor{"X"}.paper
+    ///   |                    ^^^^^
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let headline = format!("error: {self}");
+        let Some(span) = self.span() else {
+            return headline;
+        };
+        // Locate the line containing span.start.
+        let start = span.start.min(source.len());
+        let line_start = source[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let line_end = source[start..]
+            .find('\n')
+            .map(|i| start + i)
+            .unwrap_or(source.len());
+        let line = &source[line_start..line_end];
+        let col = start - line_start;
+        let width = span.end.min(line_end).saturating_sub(start).max(1);
+        format!(
+            "{headline}\n  | {line}\n  | {}{}",
+            " ".repeat(col),
+            "^".repeat(width)
+        )
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { message, .. } => write!(f, "{message}"),
+            QueryError::Parse { message, .. } => write!(f, "{message}"),
+            QueryError::Validate { message, .. } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn render_points_at_offender() {
+        let src = "FIND OUTLIERS FROM autor{\"X\"}.paper";
+        let err = QueryError::Validate {
+            span: Some(Span::new(19, 24)),
+            message: "unknown vertex type \"autor\"".into(),
+        };
+        let rendered = err.render(src);
+        assert!(rendered.contains("error: unknown vertex type"));
+        assert!(rendered.contains("^^^^^"));
+        let caret_line = rendered.lines().last().unwrap();
+        assert_eq!(caret_line.find('^').unwrap() - "  | ".len(), 19);
+    }
+
+    #[test]
+    fn render_without_span() {
+        let err = QueryError::Validate {
+            span: None,
+            message: "boom".into(),
+        };
+        assert_eq!(err.render("src"), "error: boom");
+    }
+
+    #[test]
+    fn render_multiline_source() {
+        let src = "FIND OUTLIERS\nFROM x{\"y\"}\nJUDGED BY a.b";
+        // Span of "x" on line 2 (byte 19).
+        let err = QueryError::Parse {
+            span: Span::new(19, 20),
+            message: "bad".into(),
+        };
+        let rendered = err.render(src);
+        assert!(rendered.contains("FROM x{\"y\"}"));
+        assert!(!rendered.contains("JUDGED"));
+    }
+
+    #[test]
+    fn span_clamped_to_source() {
+        let err = QueryError::Parse {
+            span: Span::new(1000, 1001),
+            message: "eof".into(),
+        };
+        // Must not panic on out-of-range spans.
+        let _ = err.render("short");
+    }
+}

@@ -1,0 +1,461 @@
+//! Hand-written lexer for the outlier query language.
+
+use crate::error::{QueryError, Span};
+
+/// Token kinds. Keywords are recognized case-insensitively from identifiers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Keywords
+    Find,
+    Outliers,
+    From,
+    In,
+    Compared,
+    To,
+    Judged,
+    By,
+    Top,
+    As,
+    Where,
+    Count,
+    Union,
+    Intersect,
+    Except,
+    And,
+    Or,
+    Not,
+    // Literals and identifiers
+    Ident(String),
+    Str(String),
+    Number(f64),
+    // Punctuation
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Dot,
+    Comma,
+    Colon,
+    Semicolon,
+    // Comparison operators
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    /// End of input (synthesized once).
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier {s:?}"),
+            TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::Number(n) => format!("number {n}"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("{other:?}").to_uppercase(),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Where the token appears in the source.
+    pub span: Span,
+}
+
+fn keyword(ident: &str) -> Option<TokenKind> {
+    // Keywords are matched case-insensitively (the paper writes them
+    // uppercase; analysts at a prompt won't).
+    Some(match ident.to_ascii_uppercase().as_str() {
+        "FIND" => TokenKind::Find,
+        "OUTLIERS" => TokenKind::Outliers,
+        "FROM" => TokenKind::From,
+        "IN" => TokenKind::In,
+        "COMPARED" => TokenKind::Compared,
+        "TO" => TokenKind::To,
+        "JUDGED" => TokenKind::Judged,
+        "BY" => TokenKind::By,
+        "TOP" => TokenKind::Top,
+        "AS" => TokenKind::As,
+        "WHERE" => TokenKind::Where,
+        "COUNT" => TokenKind::Count,
+        "UNION" => TokenKind::Union,
+        "INTERSECT" => TokenKind::Intersect,
+        "EXCEPT" => TokenKind::Except,
+        "AND" => TokenKind::And,
+        "OR" => TokenKind::Or,
+        "NOT" => TokenKind::Not,
+        _ => return None,
+    })
+}
+
+/// Tokenize a query string. The returned stream always ends with one
+/// [`TokenKind::Eof`] token.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, QueryError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        // Decode a full char: `bytes[i] as char` would mis-handle multi-byte
+        // UTF-8 (and slicing mid-codepoint panics).
+        let c = src[i..].chars().next().expect("i is a char boundary");
+        let start = i;
+        match c {
+            c if c.is_whitespace() => {
+                i += c.len_utf8();
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // SQL-style line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                tokens.push(tok(TokenKind::LBrace, start, i + 1));
+                i += 1;
+            }
+            '}' => {
+                tokens.push(tok(TokenKind::RBrace, start, i + 1));
+                i += 1;
+            }
+            '(' => {
+                tokens.push(tok(TokenKind::LParen, start, i + 1));
+                i += 1;
+            }
+            ')' => {
+                tokens.push(tok(TokenKind::RParen, start, i + 1));
+                i += 1;
+            }
+            '.' => {
+                tokens.push(tok(TokenKind::Dot, start, i + 1));
+                i += 1;
+            }
+            ',' => {
+                tokens.push(tok(TokenKind::Comma, start, i + 1));
+                i += 1;
+            }
+            ':' => {
+                tokens.push(tok(TokenKind::Colon, start, i + 1));
+                i += 1;
+            }
+            ';' => {
+                tokens.push(tok(TokenKind::Semicolon, start, i + 1));
+                i += 1;
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(tok(TokenKind::Ge, start, i + 2));
+                    i += 2;
+                } else {
+                    tokens.push(tok(TokenKind::Gt, start, i + 1));
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(tok(TokenKind::Le, start, i + 2));
+                    i += 2;
+                } else {
+                    tokens.push(tok(TokenKind::Lt, start, i + 1));
+                    i += 1;
+                }
+            }
+            '=' => {
+                // Accept both `=` and `==`.
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(tok(TokenKind::Eq, start, i + 2));
+                    i += 2;
+                } else {
+                    tokens.push(tok(TokenKind::Eq, start, i + 1));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(tok(TokenKind::Ne, start, i + 2));
+                    i += 2;
+                } else {
+                    return Err(QueryError::Lex {
+                        span: Span::new(start, start + 1),
+                        message: "unexpected '!' (did you mean '!='?)".into(),
+                    });
+                }
+            }
+            '"' => {
+                let (s, next) = lex_string(src, i)?;
+                tokens.push(tok(TokenKind::Str(s), start, next));
+                i = next;
+            }
+            c if c.is_ascii_digit() => {
+                let (n, next) = lex_number(src, i)?;
+                tokens.push(tok(TokenKind::Number(n), start, next));
+                i = next;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let j = src[i..]
+                    .char_indices()
+                    .find(|&(_, c)| !(c.is_alphanumeric() || c == '_'))
+                    .map(|(off, _)| i + off)
+                    .unwrap_or(src.len());
+                let word = &src[i..j];
+                let kind = keyword(word).unwrap_or_else(|| TokenKind::Ident(word.to_string()));
+                tokens.push(tok(kind, start, j));
+                i = j;
+            }
+            other => {
+                return Err(QueryError::Lex {
+                    span: Span::new(start, start + other.len_utf8()),
+                    message: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    tokens.push(tok(TokenKind::Eof, src.len(), src.len()));
+    Ok(tokens)
+}
+
+fn tok(kind: TokenKind, start: usize, end: usize) -> Token {
+    Token {
+        kind,
+        span: Span::new(start, end),
+    }
+}
+
+/// Lex a double-quoted string starting at `start` (which must point at the
+/// opening quote). Supports `\"`, `\\`, `\n`, `\t` escapes.
+fn lex_string(src: &str, start: usize) -> Result<(String, usize), QueryError> {
+    let bytes = src.as_bytes();
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Ok((out, i + 1)),
+            b'\\' => {
+                let esc = bytes.get(i + 1).copied().ok_or_else(|| QueryError::Lex {
+                    span: Span::new(i, i + 1),
+                    message: "unterminated escape in string".into(),
+                })?;
+                out.push(match esc {
+                    b'"' => '"',
+                    b'\\' => '\\',
+                    b'n' => '\n',
+                    b't' => '\t',
+                    other => {
+                        return Err(QueryError::Lex {
+                            span: Span::new(i, i + 2),
+                            message: format!("unknown escape '\\{}'", other as char),
+                        })
+                    }
+                });
+                i += 2;
+            }
+            _ => {
+                // Multi-byte UTF-8 content passes through untouched.
+                let c = src[i..].chars().next().expect("in bounds");
+                out.push(c);
+                i += c.len_utf8();
+            }
+        }
+    }
+    Err(QueryError::Lex {
+        span: Span::new(start, src.len()),
+        message: "unterminated string literal".into(),
+    })
+}
+
+/// Lex a non-negative number (`10`, `2.5`).
+fn lex_number(src: &str, start: usize) -> Result<(f64, usize), QueryError> {
+    let bytes = src.as_bytes();
+    let mut i = start;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    src[start..i].parse::<f64>().map(|n| (n, i)).map_err(|e| {
+        QueryError::Lex {
+            span: Span::new(start, i),
+            message: format!("invalid number: {e}"),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            kinds("FIND find FiNd"),
+            vec![TokenKind::Find, TokenKind::Find, TokenKind::Find, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn full_query_tokens() {
+        let ks = kinds("FIND OUTLIERS FROM author{\"Christos Faloutsos\"}.paper.author TOP 10;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Find,
+                TokenKind::Outliers,
+                TokenKind::From,
+                TokenKind::Ident("author".into()),
+                TokenKind::LBrace,
+                TokenKind::Str("Christos Faloutsos".into()),
+                TokenKind::RBrace,
+                TokenKind::Dot,
+                TokenKind::Ident("paper".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("author".into()),
+                TokenKind::Top,
+                TokenKind::Number(10.0),
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("> >= < <= = == !="),
+            vec![
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Eq,
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("10 2.5 0.01"),
+            vec![
+                TokenKind::Number(10.0),
+                TokenKind::Number(2.5),
+                TokenKind::Number(0.01),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn number_then_dot_path_not_confused() {
+        // "author.paper" after a number: `TOP 10.` would be ambiguous, but
+        // `10.` without a following digit lexes as number 10 then Dot.
+        assert_eq!(
+            kinds("10.paper"),
+            vec![
+                TokenKind::Number(10.0),
+                TokenKind::Dot,
+                TokenKind::Ident("paper".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds(r#""a\"b" "c\\d" "e\nf""#),
+            vec![
+                TokenKind::Str("a\"b".into()),
+                TokenKind::Str("c\\d".into()),
+                TokenKind::Str("e\nf".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(
+            kinds("\"Jiawei Han — 韩家炜\""),
+            vec![TokenKind::Str("Jiawei Han — 韩家炜".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn line_comments_skipped() {
+        assert_eq!(
+            kinds("FIND -- the outliers\nOUTLIERS"),
+            vec![TokenKind::Find, TokenKind::Outliers, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_fails() {
+        let err = tokenize("\"abc").unwrap_err();
+        assert!(matches!(err, QueryError::Lex { .. }));
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn bad_escape_fails() {
+        assert!(tokenize(r#""a\qb""#).is_err());
+    }
+
+    #[test]
+    fn lone_bang_fails() {
+        let err = tokenize("COUNT(A.paper) ! 3").unwrap_err();
+        assert!(err.to_string().contains("'!='"));
+    }
+
+    #[test]
+    fn unexpected_character_fails() {
+        let err = tokenize("FIND @").unwrap_err();
+        assert!(matches!(err, QueryError::Lex { .. }));
+        assert_eq!(err.span().unwrap(), Span::new(5, 6));
+    }
+
+    #[test]
+    fn spans_cover_tokens() {
+        let toks = tokenize("FIND OUTLIERS").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 4));
+        assert_eq!(toks[1].span, Span::new(5, 13));
+        assert_eq!(toks[2].span, Span::new(13, 13)); // EOF
+    }
+
+    #[test]
+    fn identifiers_with_underscores() {
+        assert_eq!(
+            kinds("my_type _x x2"),
+            vec![
+                TokenKind::Ident("my_type".into()),
+                TokenKind::Ident("_x".into()),
+                TokenKind::Ident("x2".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier \"x\"");
+        assert_eq!(TokenKind::Find.describe(), "FIND");
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+    }
+}

@@ -1,0 +1,44 @@
+//! # hin-query
+//!
+//! The **outlier query language** of *Kuck et al., EDBT 2015* (Section 4).
+//! A query names a *candidate set* of vertices, an optional *reference set*,
+//! one or more weighted *feature meta-paths*, and the number of outliers to
+//! return:
+//!
+//! ```text
+//! FIND OUTLIERS
+//! FROM author{"Christos Faloutsos"}.paper.author
+//! COMPARED TO venue{"KDD"}.paper.author
+//! JUDGED BY author.paper.venue, author.paper.author : 2.0
+//! TOP 10;
+//! ```
+//!
+//! Sets are built from an *anchor vertex* (`type{"name"}`), an optional
+//! neighborhood meta-path (`.paper.author`), optional `AS alias WHERE …`
+//! filters (`COUNT(A.paper) >= 5`), and `UNION` / `INTERSECT` combinators.
+//!
+//! The pipeline is: [`parse`] (text → [`ast::Query`]) then
+//! [`validate::bind`] (AST + [`hin_graph::Schema`] → [`validate::BoundQuery`]
+//! with resolved type ids and checked [`hin_graph::MetaPath`]s). The
+//! execution engine in the `netout` crate consumes `BoundQuery`.
+//!
+//! Deviations from the paper, all deliberate (see DESIGN.md):
+//! * `FROM` and `IN` are accepted interchangeably (the paper's Table 4 uses
+//!   `IN` where its grammar section uses `FROM`).
+//! * Keywords are case-insensitive; type names and aliases are
+//!   case-sensitive identifiers.
+//! * `EXCEPT` (set difference) is supported alongside `UNION` and
+//!   `INTERSECT` — an extension, useful to exclude an anchor from its own
+//!   neighborhood.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ast;
+mod error;
+mod lexer;
+mod parser;
+pub mod validate;
+
+pub use error::{QueryError, Span};
+pub use parser::{parse, parse_script};

@@ -1,0 +1,645 @@
+//! Recursive-descent parser for the outlier query language.
+//!
+//! Grammar (keywords case-insensitive; `FROM` and `IN` interchangeable):
+//!
+//! ```text
+//! query      := FIND OUTLIERS (FROM | IN) setexpr
+//!               [COMPARED TO setexpr]
+//!               JUDGED BY feature ("," feature)*
+//!               [TOP number] [";"]
+//! setexpr    := setterm ((UNION | INTERSECT | EXCEPT) setterm)*  // left-assoc
+//! setterm    := "(" setexpr ")" | primary
+//! primary    := ident "{" string "}" ("." ident)*
+//!               [AS ident] [WHERE orcond]
+//! orcond     := andcond (OR andcond)*
+//! andcond    := atom (AND atom)*
+//! atom       := COUNT "(" ident ("." ident)+ ")" cmp number
+//!             | NOT atom
+//!             | "(" orcond ")"
+//! cmp        := "<" | "<=" | ">" | ">=" | "=" | "!="
+//! feature    := ident ("." ident)+ [":" number]
+//! ```
+
+use crate::ast::{CmpOp, Condition, FeaturePath, Query, SetExpr, SetPrimary};
+use crate::error::{QueryError, Span};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parse one outlier query. A trailing semicolon is optional; anything after
+/// it (or after the query when absent) is an error.
+pub fn parse(src: &str) -> Result<Query, QueryError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+/// Parse a script of semicolon-separated queries (e.g. a saved workload or
+/// an SPM initialization file). Comments (`-- …`) and blank lines between
+/// queries are fine; an empty script yields an empty vector.
+pub fn parse_script(src: &str) -> Result<Vec<Query>, QueryError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut queries = Vec::new();
+    while !p.check(&TokenKind::Eof) {
+        queries.push(p.query()?);
+    }
+    Ok(queries)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn check(&self, kind: &TokenKind) -> bool {
+        std::mem::discriminant(&self.peek().kind) == std::mem::discriminant(kind)
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.check(kind) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<Token, QueryError> {
+        if self.check(&kind) {
+            Ok(self.advance())
+        } else {
+            Err(self.error_here(format!(
+                "expected {what}, found {}",
+                self.peek().kind.describe()
+            )))
+        }
+    }
+
+    fn error_here(&self, message: String) -> QueryError {
+        QueryError::Parse {
+            span: self.peek().span,
+            message,
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), QueryError> {
+        if self.check(&TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!(
+                "unexpected {} after end of query",
+                self.peek().kind.describe()
+            )))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Span), QueryError> {
+        match &self.peek().kind {
+            TokenKind::Ident(_) => {
+                let t = self.advance();
+                let TokenKind::Ident(name) = t.kind else {
+                    unreachable!()
+                };
+                Ok((name, t.span))
+            }
+            _ => Err(self.error_here(format!(
+                "expected {what}, found {}",
+                self.peek().kind.describe()
+            ))),
+        }
+    }
+
+    fn number(&mut self, what: &str) -> Result<(f64, Span), QueryError> {
+        match self.peek().kind {
+            TokenKind::Number(n) => {
+                let t = self.advance();
+                Ok((n, t.span))
+            }
+            _ => Err(self.error_here(format!(
+                "expected {what}, found {}",
+                self.peek().kind.describe()
+            ))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, QueryError> {
+        self.expect(TokenKind::Find, "FIND")?;
+        self.expect(TokenKind::Outliers, "OUTLIERS")?;
+        if !self.eat(&TokenKind::From) && !self.eat(&TokenKind::In) {
+            return Err(self.error_here(format!(
+                "expected FROM or IN, found {}",
+                self.peek().kind.describe()
+            )));
+        }
+        let candidate = self.set_expr()?;
+        let reference = if self.eat(&TokenKind::Compared) {
+            self.expect(TokenKind::To, "TO after COMPARED")?;
+            Some(self.set_expr()?)
+        } else {
+            None
+        };
+        self.expect(TokenKind::Judged, "JUDGED")?;
+        self.expect(TokenKind::By, "BY after JUDGED")?;
+        let mut features = vec![self.feature()?];
+        while self.eat(&TokenKind::Comma) {
+            features.push(self.feature()?);
+        }
+        let top = if self.eat(&TokenKind::Top) {
+            let (n, span) = self.number("a count after TOP")?;
+            if n < 1.0 || n.fract() != 0.0 {
+                return Err(QueryError::Parse {
+                    span,
+                    message: format!("TOP expects a positive integer, got {n}"),
+                });
+            }
+            Some(n as usize)
+        } else {
+            None
+        };
+        self.eat(&TokenKind::Semicolon);
+        Ok(Query {
+            candidate,
+            reference,
+            features,
+            top,
+        })
+    }
+
+    fn set_expr(&mut self) -> Result<SetExpr, QueryError> {
+        let mut lhs = self.set_term()?;
+        loop {
+            if self.eat(&TokenKind::Union) {
+                let rhs = self.set_term()?;
+                lhs = SetExpr::Union(Box::new(lhs), Box::new(rhs));
+            } else if self.eat(&TokenKind::Intersect) {
+                let rhs = self.set_term()?;
+                lhs = SetExpr::Intersect(Box::new(lhs), Box::new(rhs));
+            } else if self.eat(&TokenKind::Except) {
+                let rhs = self.set_term()?;
+                lhs = SetExpr::Except(Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn set_term(&mut self) -> Result<SetExpr, QueryError> {
+        if self.eat(&TokenKind::LParen) {
+            let e = self.set_expr()?;
+            self.expect(TokenKind::RParen, "closing ')'")?;
+            Ok(e)
+        } else {
+            Ok(SetExpr::Primary(self.primary()?))
+        }
+    }
+
+    fn primary(&mut self) -> Result<SetPrimary, QueryError> {
+        let (anchor_type, start_span) = self.ident("a vertex type name")?;
+        self.expect(TokenKind::LBrace, "'{' after vertex type")?;
+        let anchor_name = match &self.peek().kind {
+            TokenKind::Str(_) => {
+                let t = self.advance();
+                let TokenKind::Str(s) = t.kind else {
+                    unreachable!()
+                };
+                s
+            }
+            _ => {
+                return Err(self.error_here(format!(
+                    "expected a quoted vertex name, found {}",
+                    self.peek().kind.describe()
+                )))
+            }
+        };
+        let brace = self.expect(TokenKind::RBrace, "'}' after vertex name")?;
+        let mut path = Vec::new();
+        let mut end_span = brace.span;
+        while self.eat(&TokenKind::Dot) {
+            let (t, span) = self.ident("a vertex type after '.'")?;
+            path.push(t);
+            end_span = span;
+        }
+        let alias = if self.eat(&TokenKind::As) {
+            let (a, span) = self.ident("an alias after AS")?;
+            end_span = span;
+            Some(a)
+        } else {
+            None
+        };
+        let filter = if self.eat(&TokenKind::Where) {
+            Some(self.or_condition()?)
+        } else {
+            None
+        };
+        Ok(SetPrimary {
+            anchor_type,
+            anchor_name,
+            path,
+            alias,
+            filter,
+            span: start_span.merge(end_span),
+        })
+    }
+
+    fn or_condition(&mut self) -> Result<Condition, QueryError> {
+        let mut lhs = self.and_condition()?;
+        while self.eat(&TokenKind::Or) {
+            let rhs = self.and_condition()?;
+            lhs = Condition::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_condition(&mut self) -> Result<Condition, QueryError> {
+        let mut lhs = self.condition_atom()?;
+        while self.eat(&TokenKind::And) {
+            let rhs = self.condition_atom()?;
+            lhs = Condition::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn condition_atom(&mut self) -> Result<Condition, QueryError> {
+        if self.eat(&TokenKind::Not) {
+            let inner = self.condition_atom()?;
+            return Ok(Condition::Not(Box::new(inner)));
+        }
+        if self.eat(&TokenKind::LParen) {
+            let c = self.or_condition()?;
+            self.expect(TokenKind::RParen, "closing ')' in condition")?;
+            return Ok(c);
+        }
+        let count_tok = self.expect(TokenKind::Count, "COUNT")?;
+        self.expect(TokenKind::LParen, "'(' after COUNT")?;
+        let (alias, _) = self.ident("an alias inside COUNT")?;
+        let mut path = Vec::new();
+        while self.eat(&TokenKind::Dot) {
+            let (t, _) = self.ident("a vertex type after '.'")?;
+            path.push(t);
+        }
+        if path.is_empty() {
+            return Err(self.error_here(
+                "COUNT needs a path after the alias, e.g. COUNT(A.paper)".to_string(),
+            ));
+        }
+        let rp = self.expect(TokenKind::RParen, "')' after COUNT path")?;
+        let op = self.cmp_op()?;
+        let (value, vspan) = self.number("a number after the comparison")?;
+        Ok(Condition::Count {
+            alias,
+            path,
+            op,
+            value,
+            span: count_tok.span.merge(rp.span).merge(vspan),
+        })
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, QueryError> {
+        let op = match self.peek().kind {
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            _ => {
+                return Err(self.error_here(format!(
+                    "expected a comparison operator, found {}",
+                    self.peek().kind.describe()
+                )))
+            }
+        };
+        self.advance();
+        Ok(op)
+    }
+
+    fn feature(&mut self) -> Result<FeaturePath, QueryError> {
+        let (first, start) = self.ident("a vertex type in JUDGED BY")?;
+        let mut types = vec![first];
+        let mut end = start;
+        while self.eat(&TokenKind::Dot) {
+            let (t, span) = self.ident("a vertex type after '.'")?;
+            types.push(t);
+            end = span;
+        }
+        if types.len() < 2 {
+            return Err(QueryError::Parse {
+                span: start,
+                message: "a feature meta-path needs at least two types (e.g. author.paper)"
+                    .to_string(),
+            });
+        }
+        let weight = if self.eat(&TokenKind::Colon) {
+            let (w, wspan) = self.number("a weight after ':'")?;
+            if w <= 0.0 {
+                return Err(QueryError::Parse {
+                    span: wspan,
+                    message: format!("feature weights must be positive, got {w}"),
+                });
+            }
+            end = wspan;
+            w
+        } else {
+            1.0
+        };
+        Ok(FeaturePath {
+            types,
+            weight,
+            span: start.merge(end),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Example 1 from the paper, verbatim.
+    const EXAMPLE_1: &str = r#"
+        FIND OUTLIERS
+        FROM author{"Christos Faloutsos"}.paper.author
+        JUDGED BY author.paper.venue
+        TOP 10;
+    "#;
+
+    /// Example 2 from the paper, verbatim.
+    const EXAMPLE_2: &str = r#"
+        FIND OUTLIERS
+        FROM
+            author{"Christos Faloutsos"}.paper.author
+        COMPARED TO
+            venue{"KDD"}.paper.author
+        JUDGED BY
+            author.paper.venue,
+            author.paper.author
+        TOP 10;
+    "#;
+
+    /// Example 3 from the paper, verbatim.
+    const EXAMPLE_3: &str = r#"
+        FIND OUTLIERS
+        FROM venue{"SIGMOD"}.paper.author AS A
+            WHERE COUNT(A.paper) >= 5
+        JUDGED BY
+            author.paper.author,
+            author.paper.term : 3.0
+        TOP 50;
+    "#;
+
+    #[test]
+    fn parses_paper_example_1() {
+        let q = parse(EXAMPLE_1).unwrap();
+        assert!(q.reference.is_none());
+        assert_eq!(q.top, Some(10));
+        assert_eq!(q.features.len(), 1);
+        assert_eq!(q.features[0].types, vec!["author", "paper", "venue"]);
+        let SetExpr::Primary(p) = &q.candidate else {
+            panic!("expected primary")
+        };
+        assert_eq!(p.anchor_type, "author");
+        assert_eq!(p.anchor_name, "Christos Faloutsos");
+        assert_eq!(p.path, vec!["paper", "author"]);
+    }
+
+    #[test]
+    fn parses_paper_example_2() {
+        let q = parse(EXAMPLE_2).unwrap();
+        let Some(SetExpr::Primary(r)) = &q.reference else {
+            panic!("expected reference set")
+        };
+        assert_eq!(r.anchor_type, "venue");
+        assert_eq!(r.anchor_name, "KDD");
+        assert_eq!(q.features.len(), 2);
+        assert_eq!(q.features[0].weight, 1.0);
+        assert_eq!(q.features[1].weight, 1.0);
+    }
+
+    #[test]
+    fn parses_paper_example_3() {
+        let q = parse(EXAMPLE_3).unwrap();
+        assert_eq!(q.top, Some(50));
+        let SetExpr::Primary(p) = &q.candidate else {
+            panic!()
+        };
+        assert_eq!(p.alias.as_deref(), Some("A"));
+        let Some(Condition::Count {
+            alias, path, op, value, ..
+        }) = &p.filter
+        else {
+            panic!("expected COUNT filter")
+        };
+        assert_eq!(alias, "A");
+        assert_eq!(path, &vec!["paper".to_string()]);
+        assert_eq!(*op, CmpOp::Ge);
+        assert_eq!(*value, 5.0);
+        assert_eq!(q.features[1].weight, 3.0);
+    }
+
+    #[test]
+    fn table4_templates_parse_with_in_keyword() {
+        // Q2 and Q3 of Table 4 use "FIND OUTLIERS IN".
+        let q2 = parse(
+            "FIND OUTLIERS IN author{\"x\"}.paper.venue \
+             JUDGED BY venue.paper.term TOP 10;",
+        )
+        .unwrap();
+        assert_eq!(q2.top, Some(10));
+        let q3 = parse(
+            "FIND OUTLIERS IN author{\"x\"}.paper.term \
+             JUDGED BY term.paper.venue TOP 10;",
+        )
+        .unwrap();
+        assert_eq!(q3.features[0].types, vec!["term", "paper", "venue"]);
+    }
+
+    #[test]
+    fn union_and_intersect_left_assoc() {
+        let q = parse(
+            "FIND OUTLIERS FROM venue{\"EDBT\"}.paper.author \
+             UNION venue{\"ICDE\"}.paper.author \
+             INTERSECT venue{\"KDD\"}.paper.author \
+             JUDGED BY author.paper.venue TOP 5;",
+        )
+        .unwrap();
+        // ((EDBT ∪ ICDE) ∩ KDD)
+        let SetExpr::Intersect(lhs, _) = &q.candidate else {
+            panic!("expected top-level INTERSECT, got {:?}", q.candidate)
+        };
+        assert!(matches!(**lhs, SetExpr::Union(_, _)));
+    }
+
+    #[test]
+    fn parentheses_override_assoc() {
+        let q = parse(
+            "FIND OUTLIERS FROM venue{\"EDBT\"}.paper.author \
+             UNION (venue{\"ICDE\"}.paper.author INTERSECT venue{\"KDD\"}.paper.author) \
+             JUDGED BY author.paper.venue;",
+        )
+        .unwrap();
+        let SetExpr::Union(_, rhs) = &q.candidate else {
+            panic!("expected top-level UNION")
+        };
+        assert!(matches!(**rhs, SetExpr::Intersect(_, _)));
+    }
+
+    #[test]
+    fn anchor_only_set() {
+        let q = parse("FIND OUTLIERS FROM venue{\"EDBT\"} JUDGED BY venue.paper;").unwrap();
+        let SetExpr::Primary(p) = &q.candidate else {
+            panic!()
+        };
+        assert!(p.path.is_empty());
+    }
+
+    #[test]
+    fn missing_top_means_all() {
+        let q = parse("FIND OUTLIERS FROM venue{\"EDBT\"} JUDGED BY venue.paper;").unwrap();
+        assert_eq!(q.top, None);
+    }
+
+    #[test]
+    fn semicolon_optional() {
+        assert!(parse("FIND OUTLIERS FROM venue{\"E\"} JUDGED BY venue.paper").is_ok());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let err =
+            parse("FIND OUTLIERS FROM venue{\"E\"} JUDGED BY venue.paper; garbage").unwrap_err();
+        assert!(err.to_string().contains("after end of query"));
+    }
+
+    #[test]
+    fn complex_where_clause() {
+        let q = parse(
+            "FIND OUTLIERS FROM venue{\"SIGMOD\"}.paper.author AS A \
+             WHERE COUNT(A.paper) >= 5 AND (COUNT(A.paper.venue) < 3 OR NOT COUNT(A.paper.term) = 0) \
+             JUDGED BY author.paper.venue TOP 5;",
+        )
+        .unwrap();
+        let SetExpr::Primary(p) = &q.candidate else {
+            panic!()
+        };
+        let Some(Condition::And(_, rhs)) = &p.filter else {
+            panic!("expected AND at top, got {:?}", p.filter)
+        };
+        assert!(matches!(**rhs, Condition::Or(_, _)));
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let q = parse(
+            "FIND OUTLIERS FROM venue{\"S\"}.paper.author AS A \
+             WHERE COUNT(A.paper) > 1 OR COUNT(A.paper) > 2 AND COUNT(A.paper) > 3 \
+             JUDGED BY author.paper.venue;",
+        )
+        .unwrap();
+        let SetExpr::Primary(p) = &q.candidate else {
+            panic!()
+        };
+        // a OR (b AND c)
+        assert!(matches!(p.filter, Some(Condition::Or(_, _))));
+    }
+
+    #[test]
+    fn error_messages_point_at_tokens() {
+        let err = parse("FIND OUTLIERS JUDGED BY a.b;").unwrap_err();
+        assert!(err.to_string().contains("expected FROM or IN"));
+        let err = parse("FIND OUTLIERS FROM venue{unquoted} JUDGED BY a.b;").unwrap_err();
+        assert!(err.to_string().contains("quoted vertex name"));
+    }
+
+    #[test]
+    fn top_must_be_positive_integer() {
+        assert!(parse("FIND OUTLIERS FROM v{\"x\"} JUDGED BY v.p TOP 0;").is_err());
+        assert!(parse("FIND OUTLIERS FROM v{\"x\"} JUDGED BY v.p TOP 2.5;").is_err());
+    }
+
+    #[test]
+    fn weight_must_be_positive() {
+        assert!(parse("FIND OUTLIERS FROM v{\"x\"} JUDGED BY v.p : 0;").is_err());
+    }
+
+    #[test]
+    fn single_type_feature_rejected() {
+        let err = parse("FIND OUTLIERS FROM v{\"x\"} JUDGED BY v;").unwrap_err();
+        assert!(err.to_string().contains("at least two types"));
+    }
+
+    #[test]
+    fn count_without_path_rejected() {
+        let err = parse(
+            "FIND OUTLIERS FROM v{\"x\"}.p AS A WHERE COUNT(A) > 1 JUDGED BY p.v;",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("COUNT needs a path"));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for src in [EXAMPLE_1, EXAMPLE_2, EXAMPLE_3] {
+            let q1 = parse(src).unwrap();
+            let printed = q1.to_string();
+            let q2 = parse(&printed).unwrap();
+            // Spans differ; compare the semantic content via re-printing.
+            assert_eq!(printed, q2.to_string());
+        }
+    }
+
+    #[test]
+    fn keywords_lowercase() {
+        let q = parse(
+            "find outliers from venue{\"EDBT\"}.paper.author \
+             judged by author.paper.venue top 3;",
+        )
+        .unwrap();
+        assert_eq!(q.top, Some(3));
+    }
+
+    #[test]
+    fn script_parses_multiple_queries() {
+        let script = "\
+            -- workload file\n\
+            FIND OUTLIERS FROM venue{\"A\"} JUDGED BY venue.paper;\n\
+            \n\
+            FIND OUTLIERS FROM venue{\"B\"} JUDGED BY venue.paper TOP 3;\n";
+        let queries = parse_script(script).unwrap();
+        assert_eq!(queries.len(), 2);
+        assert_eq!(queries[1].top, Some(3));
+    }
+
+    #[test]
+    fn empty_script_ok() {
+        assert!(parse_script("  -- nothing here\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn script_reports_error_in_later_query() {
+        let script = "FIND OUTLIERS FROM venue{\"A\"} JUDGED BY venue.paper; FIND GARBAGE;";
+        let err = parse_script(script).unwrap_err();
+        assert!(err.to_string().contains("OUTLIERS"), "{err}");
+    }
+
+    #[test]
+    fn comments_allowed() {
+        let q = parse(
+            "FIND OUTLIERS -- candidates\nFROM venue{\"E\"} -- anchor\nJUDGED BY venue.paper;",
+        )
+        .unwrap();
+        assert!(q.top.is_none());
+    }
+}

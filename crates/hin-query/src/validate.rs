@@ -1,0 +1,474 @@
+//! Schema-aware validation: binds a parsed [`Query`] to a concrete
+//! [`Schema`], resolving type names to ids and checking every meta-path.
+//!
+//! The checks implement the constraints the paper states after Definition 8:
+//! all vertices of `S_c ∪ S_r` must share one type, and every feature
+//! meta-path must start at that type.
+
+use crate::ast::{CmpOp, Condition, FeaturePath, Query, SetExpr, SetPrimary};
+use crate::error::{QueryError, Span};
+use hin_graph::{MetaPath, Schema, VertexTypeId};
+
+/// A fully resolved, schema-checked outlier query, ready for execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundQuery {
+    /// The candidate set `S_c`.
+    pub candidate: BoundSetExpr,
+    /// The reference set `S_r`; `None` means "same as candidate".
+    pub reference: Option<BoundSetExpr>,
+    /// The common vertex type of `S_c` and `S_r` members.
+    pub candidate_type: VertexTypeId,
+    /// Resolved feature meta-paths with their weights; all start at
+    /// `candidate_type`.
+    pub features: Vec<BoundFeature>,
+    /// `TOP k`; `None` returns the full ranking.
+    pub top: Option<usize>,
+}
+
+/// A resolved feature meta-path and weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundFeature {
+    /// The feature meta-path `P_i`.
+    pub path: MetaPath,
+    /// Its weight `w_i` (positive; defaults to 1).
+    pub weight: f64,
+}
+
+/// A resolved set expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundSetExpr {
+    /// Anchored neighborhood.
+    Primary(BoundSetPrimary),
+    /// Union of same-typed sets.
+    Union(Box<BoundSetExpr>, Box<BoundSetExpr>),
+    /// Intersection of same-typed sets.
+    Intersect(Box<BoundSetExpr>, Box<BoundSetExpr>),
+    /// Difference of same-typed sets (`EXCEPT`, language extension).
+    Except(Box<BoundSetExpr>, Box<BoundSetExpr>),
+}
+
+impl BoundSetExpr {
+    /// The vertex type of the set's members.
+    pub fn result_type(&self) -> VertexTypeId {
+        match self {
+            BoundSetExpr::Primary(p) => p.path.target_type(),
+            BoundSetExpr::Union(a, _)
+            | BoundSetExpr::Intersect(a, _)
+            | BoundSetExpr::Except(a, _) => a.result_type(),
+        }
+    }
+}
+
+/// A resolved anchored set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundSetPrimary {
+    /// Name of the anchor vertex (resolved to an id at execution time, since
+    /// validation has no graph, only a schema).
+    pub anchor_name: String,
+    /// The neighborhood meta-path, starting at the anchor's type. For an
+    /// anchor-only set this is the single-type identity path.
+    pub path: MetaPath,
+    /// Resolved filter.
+    pub filter: Option<BoundCondition>,
+}
+
+impl BoundSetPrimary {
+    /// The anchor vertex's type (first type of the path).
+    pub fn anchor_type(&self) -> VertexTypeId {
+        self.path.source_type()
+    }
+}
+
+/// A resolved filter condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundCondition {
+    /// Conjunction.
+    And(Box<BoundCondition>, Box<BoundCondition>),
+    /// Disjunction.
+    Or(Box<BoundCondition>, Box<BoundCondition>),
+    /// Negation.
+    Not(Box<BoundCondition>),
+    /// `COUNT(member.path…) <op> value` — the count walk starts at the set's
+    /// member type.
+    Count {
+        /// Meta-path of the count walk (starts at the member type).
+        path: MetaPath,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand value.
+        value: f64,
+    },
+}
+
+fn verr(span: Span, message: impl Into<String>) -> QueryError {
+    QueryError::Validate {
+        span: Some(span),
+        message: message.into(),
+    }
+}
+
+fn resolve_type(schema: &Schema, name: &str, span: Span) -> Result<VertexTypeId, QueryError> {
+    schema.vertex_type_by_name(name).ok_or_else(|| {
+        let known: Vec<&str> = schema
+            .vertex_type_ids()
+            .map(|t| schema.vertex_type_name(t))
+            .collect();
+        verr(
+            span,
+            format!(
+                "unknown vertex type {name:?} (schema has: {})",
+                known.join(", ")
+            ),
+        )
+    })
+}
+
+fn bind_metapath(
+    schema: &Schema,
+    names: impl IntoIterator<Item = String>,
+    span: Span,
+) -> Result<MetaPath, QueryError> {
+    let mut ids = Vec::new();
+    for name in names {
+        ids.push(resolve_type(schema, &name, span)?);
+    }
+    MetaPath::new(ids, schema).map_err(|e| verr(span, e.to_string()))
+}
+
+fn bind_condition(
+    schema: &Schema,
+    cond: &Condition,
+    alias: Option<&str>,
+    member_type: VertexTypeId,
+) -> Result<BoundCondition, QueryError> {
+    match cond {
+        Condition::And(a, b) => Ok(BoundCondition::And(
+            Box::new(bind_condition(schema, a, alias, member_type)?),
+            Box::new(bind_condition(schema, b, alias, member_type)?),
+        )),
+        Condition::Or(a, b) => Ok(BoundCondition::Or(
+            Box::new(bind_condition(schema, a, alias, member_type)?),
+            Box::new(bind_condition(schema, b, alias, member_type)?),
+        )),
+        Condition::Not(c) => Ok(BoundCondition::Not(Box::new(bind_condition(
+            schema,
+            c,
+            alias,
+            member_type,
+        )?))),
+        Condition::Count {
+            alias: used,
+            path,
+            op,
+            value,
+            span,
+        } => {
+            match alias {
+                Some(declared) if declared == used => {}
+                Some(declared) => {
+                    return Err(verr(
+                        *span,
+                        format!("COUNT refers to {used:?} but the set is aliased AS {declared}"),
+                    ))
+                }
+                None => {
+                    return Err(verr(
+                        *span,
+                        format!("COUNT refers to {used:?} but the set has no AS alias"),
+                    ))
+                }
+            }
+            // The count walk starts at the member type.
+            let full = std::iter::once(schema.vertex_type_name(member_type).to_string())
+                .chain(path.iter().cloned());
+            let path = bind_metapath(schema, full, *span)?;
+            Ok(BoundCondition::Count {
+                path,
+                op: *op,
+                value: *value,
+            })
+        }
+    }
+}
+
+fn bind_primary(schema: &Schema, p: &SetPrimary) -> Result<BoundSetPrimary, QueryError> {
+    let names =
+        std::iter::once(p.anchor_type.clone()).chain(p.path.iter().cloned());
+    let path = bind_metapath(schema, names, p.span)?;
+    let member_type = path.target_type();
+    let filter = p
+        .filter
+        .as_ref()
+        .map(|c| bind_condition(schema, c, p.alias.as_deref(), member_type))
+        .transpose()?;
+    Ok(BoundSetPrimary {
+        anchor_name: p.anchor_name.clone(),
+        path,
+        filter,
+    })
+}
+
+fn bind_set_expr(schema: &Schema, e: &SetExpr) -> Result<BoundSetExpr, QueryError> {
+    match e {
+        SetExpr::Primary(p) => Ok(BoundSetExpr::Primary(bind_primary(schema, p)?)),
+        SetExpr::Union(a, b) | SetExpr::Intersect(a, b) | SetExpr::Except(a, b) => {
+            let ba = bind_set_expr(schema, a)?;
+            let bb = bind_set_expr(schema, b)?;
+            if ba.result_type() != bb.result_type() {
+                return Err(verr(
+                    e.span(),
+                    format!(
+                        "set operands have different member types: {} vs {}",
+                        schema.vertex_type_name(ba.result_type()),
+                        schema.vertex_type_name(bb.result_type()),
+                    ),
+                ));
+            }
+            Ok(match e {
+                SetExpr::Union(..) => BoundSetExpr::Union(Box::new(ba), Box::new(bb)),
+                SetExpr::Intersect(..) => BoundSetExpr::Intersect(Box::new(ba), Box::new(bb)),
+                SetExpr::Except(..) => BoundSetExpr::Except(Box::new(ba), Box::new(bb)),
+                SetExpr::Primary(_) => unreachable!(),
+            })
+        }
+    }
+}
+
+fn bind_feature(
+    schema: &Schema,
+    f: &FeaturePath,
+    candidate_type: VertexTypeId,
+) -> Result<BoundFeature, QueryError> {
+    let path = bind_metapath(schema, f.types.iter().cloned(), f.span)?;
+    if path.source_type() != candidate_type {
+        return Err(verr(
+            f.span,
+            format!(
+                "feature meta-path starts at {} but the candidate set contains {} vertices",
+                schema.vertex_type_name(path.source_type()),
+                schema.vertex_type_name(candidate_type),
+            ),
+        ));
+    }
+    Ok(BoundFeature {
+        path,
+        weight: f.weight,
+    })
+}
+
+/// Bind a parsed query against a schema.
+///
+/// Checks performed (all constraints from Section 4.1):
+/// * every type name resolves;
+/// * every consecutive type pair in every meta-path is linked in the schema;
+/// * `UNION` / `INTERSECT` operands have the same member type;
+/// * candidate and reference sets have the same member type;
+/// * every feature meta-path starts at the candidate member type;
+/// * `COUNT` aliases match the primary's `AS` alias.
+pub fn bind(query: &Query, schema: &Schema) -> Result<BoundQuery, QueryError> {
+    let candidate = bind_set_expr(schema, &query.candidate)?;
+    let candidate_type = candidate.result_type();
+    let reference = query
+        .reference
+        .as_ref()
+        .map(|r| bind_set_expr(schema, r))
+        .transpose()?;
+    if let Some(r) = &reference {
+        if r.result_type() != candidate_type {
+            return Err(verr(
+                query.reference.as_ref().expect("checked").span(),
+                format!(
+                    "reference set contains {} vertices but the candidate set contains {}",
+                    schema.vertex_type_name(r.result_type()),
+                    schema.vertex_type_name(candidate_type),
+                ),
+            ));
+        }
+    }
+    let features = query
+        .features
+        .iter()
+        .map(|f| bind_feature(schema, f, candidate_type))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(BoundQuery {
+        candidate,
+        reference,
+        candidate_type,
+        features,
+        top: query.top,
+    })
+}
+
+/// Convenience: parse then bind in one call.
+pub fn parse_and_bind(src: &str, schema: &Schema) -> Result<BoundQuery, QueryError> {
+    bind(&crate::parse(src)?, schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hin_graph::bibliographic_schema;
+
+    fn bindq(src: &str) -> Result<BoundQuery, QueryError> {
+        parse_and_bind(src, &bibliographic_schema())
+    }
+
+    #[test]
+    fn binds_paper_example_1() {
+        let q = bindq(
+            "FIND OUTLIERS FROM author{\"Christos Faloutsos\"}.paper.author \
+             JUDGED BY author.paper.venue TOP 10;",
+        )
+        .unwrap();
+        let schema = bibliographic_schema();
+        let author = schema.vertex_type_by_name("author").unwrap();
+        assert_eq!(q.candidate_type, author);
+        assert_eq!(q.features.len(), 1);
+        assert_eq!(
+            q.features[0].path.display(&schema).to_string(),
+            "author.paper.venue"
+        );
+        assert!(q.reference.is_none());
+        assert_eq!(q.top, Some(10));
+    }
+
+    #[test]
+    fn anchor_only_set_has_identity_path() {
+        let q = bindq("FIND OUTLIERS FROM venue{\"EDBT\"} JUDGED BY venue.paper;").unwrap();
+        let BoundSetExpr::Primary(p) = &q.candidate else {
+            panic!()
+        };
+        assert!(p.path.is_empty());
+        assert_eq!(p.anchor_type(), q.candidate_type);
+    }
+
+    #[test]
+    fn unknown_type_reported_with_alternatives() {
+        let err = bindq("FIND OUTLIERS FROM autor{\"X\"}.paper JUDGED BY paper.author;")
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown vertex type \"autor\""));
+        assert!(msg.contains("author"), "suggests known types: {msg}");
+    }
+
+    #[test]
+    fn broken_link_in_set_path() {
+        // author–venue is not directly linked.
+        let err =
+            bindq("FIND OUTLIERS FROM author{\"X\"}.venue JUDGED BY venue.paper;").unwrap_err();
+        assert!(err.to_string().contains("no edge type"));
+    }
+
+    #[test]
+    fn feature_must_start_at_candidate_type() {
+        let err = bindq(
+            "FIND OUTLIERS FROM author{\"X\"}.paper.author JUDGED BY venue.paper.author;",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("feature meta-path starts at venue"));
+    }
+
+    #[test]
+    fn union_type_mismatch() {
+        let err = bindq(
+            "FIND OUTLIERS FROM venue{\"EDBT\"}.paper.author UNION venue{\"ICDE\"}.paper \
+             JUDGED BY author.paper.venue;",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("different member types"));
+    }
+
+    #[test]
+    fn reference_type_mismatch() {
+        let err = bindq(
+            "FIND OUTLIERS FROM venue{\"EDBT\"}.paper.author COMPARED TO venue{\"ICDE\"}.paper \
+             JUDGED BY author.paper.venue;",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("reference set contains paper"));
+    }
+
+    #[test]
+    fn count_alias_must_match() {
+        let err = bindq(
+            "FIND OUTLIERS FROM venue{\"S\"}.paper.author AS A WHERE COUNT(B.paper) > 1 \
+             JUDGED BY author.paper.venue;",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("aliased AS A"));
+
+        let err = bindq(
+            "FIND OUTLIERS FROM venue{\"S\"}.paper.author WHERE COUNT(A.paper) > 1 \
+             JUDGED BY author.paper.venue;",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no AS alias"));
+    }
+
+    #[test]
+    fn count_path_starts_at_member_type() {
+        let q = bindq(
+            "FIND OUTLIERS FROM venue{\"SIGMOD\"}.paper.author AS A \
+             WHERE COUNT(A.paper) >= 5 JUDGED BY author.paper.venue TOP 50;",
+        )
+        .unwrap();
+        let BoundSetExpr::Primary(p) = &q.candidate else {
+            panic!()
+        };
+        let Some(BoundCondition::Count { path, .. }) = &p.filter else {
+            panic!()
+        };
+        let schema = bibliographic_schema();
+        assert_eq!(path.display(&schema).to_string(), "author.paper");
+    }
+
+    #[test]
+    fn count_path_broken_link() {
+        let err = bindq(
+            "FIND OUTLIERS FROM venue{\"S\"}.paper.author AS A WHERE COUNT(A.venue) > 1 \
+             JUDGED BY author.paper.venue;",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no edge type"));
+    }
+
+    #[test]
+    fn nested_conditions_bind() {
+        let q = bindq(
+            "FIND OUTLIERS FROM venue{\"S\"}.paper.author AS A \
+             WHERE COUNT(A.paper) > 1 AND NOT (COUNT(A.paper.term) < 2 OR COUNT(A.paper) = 9) \
+             JUDGED BY author.paper.venue;",
+        )
+        .unwrap();
+        let BoundSetExpr::Primary(p) = &q.candidate else {
+            panic!()
+        };
+        assert!(matches!(p.filter, Some(BoundCondition::And(_, _))));
+    }
+
+    #[test]
+    fn multi_feature_weights_preserved() {
+        let q = bindq(
+            "FIND OUTLIERS FROM venue{\"S\"}.paper.author \
+             JUDGED BY author.paper.author, author.paper.term : 3.0 TOP 50;",
+        )
+        .unwrap();
+        assert_eq!(q.features[0].weight, 1.0);
+        assert_eq!(q.features[1].weight, 3.0);
+    }
+
+    #[test]
+    fn bound_expr_result_type_recurses() {
+        let q = bindq(
+            "FIND OUTLIERS FROM (venue{\"A\"}.paper.author UNION venue{\"B\"}.paper.author) \
+             INTERSECT venue{\"C\"}.paper.author \
+             JUDGED BY author.paper.venue;",
+        )
+        .unwrap();
+        let schema = bibliographic_schema();
+        assert_eq!(
+            q.candidate.result_type(),
+            schema.vertex_type_by_name("author").unwrap()
+        );
+    }
+}

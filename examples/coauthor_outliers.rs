@@ -1,0 +1,81 @@
+//! The paper's flagship scenario at scale: find outliers among a prolific
+//! author's coauthors, compare judgment criteria (venues vs. coauthors, the
+//! two queries of Table 5), and compare NetOut with the similarity-based
+//! measures (Table 3).
+//!
+//! Run with: `cargo run --release --example coauthor_outliers`
+
+use hin_datagen::dblp::{generate, SyntheticConfig};
+use netout::{MeasureKind, OutlierDetector};
+
+fn main() {
+    // A synthetic bibliographic network with planted cross-community
+    // authors (1% of authors publish in a foreign area's venues).
+    let net = generate(&SyntheticConfig {
+        seed: 2015,
+        outlier_fraction: 0.02,
+        ..SyntheticConfig::default()
+    });
+    println!(
+        "synthetic DBLP: {} vertices, {} edges, {} planted outliers\n",
+        net.graph.vertex_count(),
+        net.graph.edge_count(),
+        net.planted.len()
+    );
+
+    // Anchor on the hub (most prolific author) of area 0 — the synthetic
+    // "Christos Faloutsos".
+    let anchor = net.graph.vertex_name(net.hubs[0]).to_string();
+    println!("anchor author: {anchor}\n");
+    let detector = OutlierDetector::new(net.graph.clone());
+
+    // Query 1: judged by publishing venues.
+    let by_venue = format!(
+        "FIND OUTLIERS FROM author{{\"{anchor}\"}}.paper.author \
+         JUDGED BY author.paper.venue TOP 10;"
+    );
+    // Query 2: same candidates, judged by collaboration structure.
+    let by_coauthor = format!(
+        "FIND OUTLIERS FROM author{{\"{anchor}\"}}.paper.author \
+         JUDGED BY author.paper.author TOP 10;"
+    );
+
+    for (title, query) in [
+        ("judged by venues (APV)", &by_venue),
+        ("judged by coauthors (APA)", &by_coauthor),
+    ] {
+        let result = detector.query(query).expect("query runs");
+        println!("top outliers {title}:");
+        for (rank, o) in result.ranked.iter().enumerate() {
+            let mark = if net.is_planted(o.vertex) { "  <- planted" } else { "" };
+            println!("  {:2}. {:<24} Ω = {:>8.3}{mark}", rank + 1, o.name, o.score);
+        }
+        println!();
+    }
+    println!(
+        "As in the paper's Table 5, the two judgments give substantially \
+         different outliers:\nwithout a user-specified criterion the task \
+         would be ill-defined.\n"
+    );
+
+    // Table 3 flavor: PathSim and CosSim are biased toward low-visibility
+    // authors; show the paper counts of each measure's top-5.
+    let paper_t = net.graph.schema().vertex_type_by_name("paper").unwrap();
+    for kind in [MeasureKind::NetOut, MeasureKind::PathSim, MeasureKind::CosSim] {
+        let result = OutlierDetector::new(net.graph.clone())
+            .measure(kind)
+            .query(&by_venue)
+            .expect("query runs");
+        let counts: Vec<usize> = result
+            .ranked
+            .iter()
+            .take(5)
+            .map(|o| net.graph.step_degree(o.vertex, paper_t))
+            .collect();
+        println!("{:<8} top-5 paper counts: {counts:?}", result.measure);
+    }
+    println!(
+        "\nNetOut's top outliers span a range of visibilities; the similarity \
+         measures\nconcentrate on minimal-paper-count authors (the Table 3 effect)."
+    );
+}

@@ -1,0 +1,83 @@
+//! The framework is not tied to bibliographic data: define a movie network
+//! (user / movie / genre / director) and find rating outliers with the same
+//! query language — the generality the paper claims in Section 8
+//! ("our framework can easily be extended to a broader range of data sets").
+//!
+//! Run with: `cargo run --example custom_schema`
+
+use hin_graph::{GraphBuilder, SchemaBuilder, VertexId};
+use netout::OutlierDetector;
+
+fn main() {
+    // 1. A custom schema.
+    let mut sb = SchemaBuilder::new();
+    let user = sb.vertex_type("user");
+    let movie = sb.vertex_type("movie");
+    let genre = sb.vertex_type("genre");
+    let director = sb.vertex_type("director");
+    sb.edge_type("rated", user, movie);
+    sb.edge_type("belongs_to", movie, genre);
+    sb.edge_type("directed_by", movie, director);
+    let schema = sb.build().expect("valid schema");
+
+    // 2. A small rating network. Most of the club watches sci-fi;
+    //    Quentin-fan watches only westerns.
+    let mut gb = GraphBuilder::new(schema);
+    let users: Vec<VertexId> = ["Ana", "Bruno", "Cleo", "Quentin-fan"]
+        .iter()
+        .map(|n| gb.add_vertex(user, *n).unwrap())
+        .collect();
+    let scifi = gb.add_vertex(genre, "sci-fi").unwrap();
+    let western = gb.add_vertex(genre, "western").unwrap();
+    let nolan = gb.add_vertex(director, "Nolan").unwrap();
+    let leone = gb.add_vertex(director, "Leone").unwrap();
+
+    let movies: Vec<(&str, VertexId, VertexId)> = vec![
+        ("Interstellar", scifi, nolan),
+        ("Inception", scifi, nolan),
+        ("Tenet", scifi, nolan),
+        ("Dollars", western, leone),
+        ("GoodBadUgly", western, leone),
+    ];
+    let movie_ids: Vec<VertexId> = movies
+        .iter()
+        .map(|(name, g, d)| {
+            let m = gb.add_vertex(movie, *name).unwrap();
+            gb.add_edge(m, *g).unwrap();
+            gb.add_edge(m, *d).unwrap();
+            m
+        })
+        .collect();
+
+    // Ana, Bruno, Cleo rate the sci-fi titles; Quentin-fan rates westerns.
+    for &u in &users[..3] {
+        for &m in &movie_ids[..3] {
+            gb.add_edge(u, m).unwrap();
+        }
+    }
+    for &m in &movie_ids[3..] {
+        gb.add_edge(users[3], m).unwrap();
+    }
+    // Everyone saw Interstellar (shared context keeps the group connected).
+    gb.add_edge(users[3], movie_ids[0]).unwrap();
+    let graph = gb.build();
+
+    // 3. Same language, different domain: outliers among all users who
+    //    rated Interstellar, judged by the genres they consume.
+    let detector = OutlierDetector::new(graph);
+    let result = detector
+        .query(
+            "FIND OUTLIERS \
+             FROM movie{\"Interstellar\"}.user \
+             JUDGED BY user.movie.genre \
+             TOP 2;",
+        )
+        .expect("valid query");
+
+    println!("outliers among Interstellar's raters, judged by genre taste:\n");
+    for (rank, o) in result.ranked.iter().enumerate() {
+        println!("  {}. {:<12} Ω = {:.3}", rank + 1, o.name, o.score);
+    }
+    assert_eq!(result.ranked[0].name, "Quentin-fan");
+    println!("\nThe western devotee stands out — no bibliographic assumptions anywhere.");
+}

@@ -1,0 +1,62 @@
+//! Community-level analysis with pre-materialization: find venues whose
+//! vocabulary deviates from an author's usual communities (Table 4's Q2
+//! template) and terms used in unusual venues (Q3), comparing Baseline and
+//! PM execution times per query.
+//!
+//! Run with: `cargo run --release --example venue_communities`
+
+use hin_datagen::dblp::{generate, SyntheticConfig};
+use hin_datagen::workload::QueryTemplate;
+use netout::{IndexPolicy, OutlierDetector};
+use std::time::Instant;
+
+fn main() {
+    let net = generate(&SyntheticConfig {
+        seed: 7,
+        ..SyntheticConfig::default()
+    });
+    let anchor = net.graph.vertex_name(net.hubs[1]).to_string();
+    println!(
+        "network: {} vertices, {} edges; anchor: {anchor}\n",
+        net.graph.vertex_count(),
+        net.graph.edge_count()
+    );
+
+    let baseline = OutlierDetector::new(net.graph.clone());
+    let t = Instant::now();
+    let pm = OutlierDetector::with_index(net.graph.clone(), IndexPolicy::full())
+        .expect("PM build");
+    println!(
+        "PM index: {} bytes, built in {:?}\n",
+        pm.index_size_bytes(),
+        t.elapsed()
+    );
+
+    for template in [QueryTemplate::Q2, QueryTemplate::Q3] {
+        let query = template.instantiate(&anchor);
+        println!("{}: {query}", template.name());
+
+        let t = Instant::now();
+        let rb = baseline.query(&query).expect("baseline run");
+        let t_base = t.elapsed();
+        let t = Instant::now();
+        let rp = pm.query(&query).expect("pm run");
+        let t_pm = t.elapsed();
+
+        assert_eq!(rb.names(), rp.names(), "strategies agree");
+        println!(
+            "  baseline {t_base:?} vs PM {t_pm:?} ({:.1}x)",
+            t_base.as_secs_f64() / t_pm.as_secs_f64().max(1e-9)
+        );
+        for (rank, o) in rp.ranked.iter().enumerate().take(5) {
+            println!("  {:2}. {:<24} Ω = {:.3}", rank + 1, o.name, o.score);
+        }
+        println!();
+    }
+
+    println!(
+        "Q2 ranks the anchor's venues by how typical their vocabulary is for \
+         the set;\nQ3 ranks the anchor's title terms by the venues they appear \
+         in. Both reuse the\nsame engine — only the meta-paths change."
+    );
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the EDBT 2015 "Query-Based Outlier Detection in
+//! Heterogeneous Information Networks" reproduction.
+//!
+//! Re-exports the member crates so examples and integration tests can use a
+//! single dependency. Library users normally depend on the member crates
+//! directly:
+//!
+//! * [`hin_graph`] — the HIN data model, meta-paths, sparse kernels.
+//! * [`hin_query`] — the outlier query language.
+//! * [`netout`] — the NetOut measure and query execution engine.
+//! * [`hin_datagen`] — toy fixtures, synthetic networks, workloads.
+
+pub use hin_datagen;
+pub use hin_graph;
+pub use hin_query;
+pub use netout;

@@ -1,0 +1,170 @@
+//! End-to-end system tests: generate → persist → reload → index → query,
+//! with planted-outlier recovery as the acceptance criterion.
+
+use hin_datagen::dblp::{generate, SyntheticConfig};
+use hin_graph::io;
+use netout::{IndexPolicy, MeasureKind, OutlierDetector};
+
+fn sharp_config(seed: u64) -> SyntheticConfig {
+    SyntheticConfig {
+        outlier_fraction: 0.05,
+        outlier_strength: 1.0,
+        crossover_prob: 0.01,
+        authors: 500,
+        papers: 4_000,
+        ..SyntheticConfig::tiny(seed)
+    }
+}
+
+/// NetOut recovers planted cross-community authors among a hub's coauthors.
+#[test]
+fn planted_outliers_recovered_from_coauthor_query() {
+    let net = generate(&sharp_config(7));
+    let (anchor, planted_in_set) = bench_anchor(&net);
+    assert!(planted_in_set > 0, "fixture must plant outliers near the hub");
+    let detector = OutlierDetector::new(net.graph.clone());
+    let k = 10;
+    let result = detector
+        .query(&format!(
+            "FIND OUTLIERS FROM author{{\"{}\"}}.paper.author \
+             JUDGED BY author.paper.venue TOP {k};",
+            net.graph.vertex_name(anchor)
+        ))
+        .unwrap();
+    let ranking: Vec<_> = result.ranked.iter().map(|o| o.vertex).collect();
+    let p = net.precision_at_k(&ranking, k);
+    assert!(
+        p >= 0.3,
+        "precision@{k} = {p}, expected clear recovery of planted outliers"
+    );
+}
+
+/// Pick the hub whose coauthor set holds the most planted outliers.
+fn bench_anchor(
+    net: &hin_datagen::dblp::SyntheticNetwork,
+) -> (hin_graph::VertexId, usize) {
+    use hin_graph::{traverse, MetaPath};
+    let apa = MetaPath::parse("author.paper.author", net.graph.schema()).unwrap();
+    net.hubs
+        .iter()
+        .map(|&hub| {
+            let coauthors = traverse::neighborhood(&net.graph, hub, &apa).unwrap();
+            let planted = coauthors.iter().filter(|v| net.is_planted(**v)).count();
+            (hub, planted)
+        })
+        .max_by_key(|&(_, p)| p)
+        .unwrap()
+}
+
+/// Persisting to the text format and reloading preserves query results
+/// bit-for-bit (scores included).
+#[test]
+fn persistence_roundtrip_preserves_results() {
+    let net = generate(&SyntheticConfig::tiny(8));
+    let dir = std::env::temp_dir().join("hin_e2e_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("net.hin");
+    io::save_graph(&net.graph, &path).unwrap();
+    let reloaded = io::load_graph(&path).unwrap();
+    assert_eq!(reloaded.vertex_count(), net.graph.vertex_count());
+    assert_eq!(reloaded.edge_count(), net.graph.edge_count());
+
+    let query = format!(
+        "FIND OUTLIERS FROM author{{\"{}\"}}.paper.author \
+         JUDGED BY author.paper.venue TOP 10;",
+        net.graph.vertex_name(net.hubs[0])
+    );
+    let before = OutlierDetector::new(net.graph.clone()).query(&query).unwrap();
+    let after = OutlierDetector::new(reloaded).query(&query).unwrap();
+    assert_eq!(before.names(), after.names());
+    for (b, a) in before.ranked.iter().zip(&after.ranked) {
+        assert_eq!(b.score, a.score);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A full indexed pipeline: PM index, multi-feature weighted query,
+/// reference set different from candidate set, WHERE filter.
+#[test]
+fn complex_query_through_pm_index() {
+    let net = generate(&SyntheticConfig::tiny(9));
+    let g = &net.graph;
+    let venue_t = g.schema().vertex_type_by_name("venue").unwrap();
+    let venues = g.vertices_of_type(venue_t);
+    let (v1, v2) = (g.vertex_name(venues[0]), g.vertex_name(venues[1]));
+    let query = format!(
+        "FIND OUTLIERS FROM venue{{\"{v1}\"}}.paper.author AS A WHERE COUNT(A.paper) >= 2 \
+         COMPARED TO venue{{\"{v2}\"}}.paper.author \
+         JUDGED BY author.paper.venue : 2.0, author.paper.term \
+         TOP 15;"
+    );
+    let baseline = OutlierDetector::new(g.clone());
+    let pm = OutlierDetector::with_index(g.clone(), IndexPolicy::full()).unwrap();
+    let rb = baseline.query(&query).unwrap();
+    let rp = pm.query(&query).unwrap();
+    assert_eq!(rb.names(), rp.names());
+    assert!(rp.stats.indexed_count > 0, "PM must serve from the index");
+    assert!(rb.ranked.len() <= 15);
+    for w in rb.ranked.windows(2) {
+        assert!(w[0].score <= w[1].score, "ascending Ω ordering");
+    }
+}
+
+/// All five measures run end-to-end on the same query and produce
+/// internally consistent rankings.
+#[test]
+fn all_measures_end_to_end() {
+    let net = generate(&SyntheticConfig::tiny(10));
+    let query = format!(
+        "FIND OUTLIERS FROM author{{\"{}\"}}.paper.author \
+         JUDGED BY author.paper.venue TOP 8;",
+        net.graph.vertex_name(net.hubs[0])
+    );
+    for kind in [
+        MeasureKind::NetOut,
+        MeasureKind::PathSim,
+        MeasureKind::CosSim,
+        MeasureKind::Lof { k: 3 },
+        MeasureKind::KnnDist { k: 3 },
+    ] {
+        let detector = OutlierDetector::new(net.graph.clone()).measure(kind);
+        let r = detector.query(&query).unwrap_or_else(|e| {
+            panic!("{} failed: {e}", kind.name());
+        });
+        assert_eq!(r.measure, kind.name());
+        assert!(!r.ranked.is_empty(), "{} returned nothing", kind.name());
+        // Scores are sorted most-outlying first under the measure's order.
+        let ascending = matches!(
+            kind,
+            MeasureKind::NetOut | MeasureKind::PathSim | MeasureKind::CosSim
+        );
+        for w in r.ranked.windows(2) {
+            if ascending {
+                assert!(w[0].score <= w[1].score, "{}", kind.name());
+            } else {
+                assert!(w[0].score >= w[1].score, "{}", kind.name());
+            }
+        }
+    }
+}
+
+/// SPM built from a real workload answers that workload with index hits
+/// while staying smaller than full PM.
+#[test]
+fn spm_workload_locality() {
+    use hin_datagen::workload::{generate_queries, QueryTemplate};
+    let net = generate(&SyntheticConfig::tiny(11));
+    let queries = generate_queries(&net.graph, QueryTemplate::Q1, 40, 3);
+    let pm = OutlierDetector::with_index(net.graph.clone(), IndexPolicy::full()).unwrap();
+    let spm = OutlierDetector::with_index(
+        net.graph.clone(),
+        IndexPolicy::selective(queries.clone(), 0.01),
+    )
+    .unwrap();
+    assert!(spm.index_size_bytes() < pm.index_size_bytes());
+    let mut hits = 0u64;
+    for q in &queries {
+        hits += spm.query(q).unwrap().stats.indexed_count;
+    }
+    assert!(hits > 0, "SPM should serve its own workload from the index");
+}

@@ -1,0 +1,165 @@
+//! Property-based tests over randomly generated networks: every execution
+//! strategy must agree, the Equation (1) rewrite must match the naive
+//! definition, and the meta-path algebra must satisfy its laws.
+
+use hin_datagen::dblp::{generate, SyntheticConfig};
+use hin_datagen::workload::{generate_queries, QueryTemplate};
+use hin_graph::{traverse, MetaPath, SparseVec, VertexId};
+use hin_query::validate::parse_and_bind;
+use netout::measures::netout::{netout_scores_naive, NetOut};
+use netout::measures::OutlierMeasure;
+use netout::{IndexPolicy, OutlierDetector};
+use proptest::prelude::*;
+
+/// Baseline, PM, and SPM produce identical rankings and scores on arbitrary
+/// seeds and templates.
+#[test]
+fn strategies_agree_across_seeds_and_templates() {
+    for seed in [1u64, 17, 3000] {
+        let net = generate(&SyntheticConfig::tiny(seed));
+        let baseline = OutlierDetector::new(net.graph.clone());
+        let pm = OutlierDetector::with_index(net.graph.clone(), IndexPolicy::full()).unwrap();
+        for template in QueryTemplate::ALL {
+            let queries = generate_queries(&net.graph, template, 6, seed ^ 0xbeef);
+            let spm = OutlierDetector::with_index(
+                net.graph.clone(),
+                IndexPolicy::selective(queries.clone(), 0.1),
+            )
+            .unwrap();
+            for q in &queries {
+                let bound = parse_and_bind(q, net.graph.schema()).unwrap();
+                let rb = baseline.execute(&bound).unwrap();
+                let rp = pm.execute(&bound).unwrap();
+                let rs = spm.execute(&bound).unwrap();
+                assert_eq!(rb.names(), rp.names(), "PM diverged on {q}");
+                assert_eq!(rb.names(), rs.names(), "SPM diverged on {q}");
+                for ((b, p), s) in rb.ranked.iter().zip(&rp.ranked).zip(&rs.ranked) {
+                    assert!((b.score - p.score).abs() < 1e-9);
+                    assert!((b.score - s.score).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}
+
+/// Strategy for small sparse vectors.
+fn sparse_vec_strategy() -> impl Strategy<Value = SparseVec> {
+    proptest::collection::vec((0u32..64, 0.0f64..50.0), 0..12)
+        .prop_map(|pairs| pairs.into_iter().map(|(i, x)| (VertexId(i), x)).collect())
+}
+
+fn vector_set_strategy(max: usize) -> impl Strategy<Value = Vec<(VertexId, SparseVec)>> {
+    proptest::collection::vec(sparse_vec_strategy(), 1..max).prop_map(|vecs| {
+        vecs.into_iter()
+            .enumerate()
+            .map(|(i, phi)| (VertexId(1000 + i as u32), phi))
+            .collect()
+    })
+}
+
+proptest! {
+    /// Equation (1) equals the literal Definition 10 double loop.
+    #[test]
+    fn netout_eq1_matches_naive(
+        candidates in vector_set_strategy(12),
+        reference in vector_set_strategy(12),
+    ) {
+        let fast = NetOut.scores(&candidates, &reference).unwrap();
+        let slow = netout_scores_naive(&candidates, &reference);
+        for ((v1, a), (v2, b)) in fast.iter().zip(&slow) {
+            prop_assert_eq!(v1, v2);
+            if a.is_finite() || b.is_finite() {
+                prop_assert!((a - b).abs() <= 1e-6 * b.abs().max(1.0),
+                    "fast {} vs naive {}", a, b);
+            }
+        }
+    }
+
+    /// κ(v, v) = 1 whenever visibility is positive: a candidate that also
+    /// sits alone in the reference set scores exactly 1.
+    #[test]
+    fn netout_self_reference_is_one(phi in sparse_vec_strategy()) {
+        prop_assume!(!phi.is_empty());
+        let set = vec![(VertexId(1), phi)];
+        let scores = NetOut.scores(&set, &set).unwrap();
+        prop_assert!((scores[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    /// Sparse vector laws: dot symmetry, Cauchy–Schwarz, distance axioms.
+    #[test]
+    fn sparse_vector_laws(a in sparse_vec_strategy(), b in sparse_vec_strategy()) {
+        prop_assert_eq!(a.dot(&b), b.dot(&a));
+        let cs = a.dot(&b);
+        prop_assert!(cs * cs <= a.norm2_sq() * b.norm2_sq() * (1.0 + 1e-9));
+        prop_assert!(a.dist2_sq(&b) >= 0.0);
+        prop_assert_eq!(a.dist2_sq(&a), 0.0);
+        // ‖a−b‖² = ‖a‖² + ‖b‖² − 2a·b
+        let expanded = a.norm2_sq() + b.norm2_sq() - 2.0 * cs;
+        prop_assert!((a.dist2_sq(&b) - expanded).abs() < 1e-6 * expanded.abs().max(1.0));
+    }
+
+    /// add_assign agrees with entry-wise addition.
+    #[test]
+    fn sparse_add_assign_law(a in sparse_vec_strategy(), b in sparse_vec_strategy()) {
+        let mut sum = a.clone();
+        sum.add_assign(&b);
+        for v in (0u32..64).map(VertexId) {
+            let want = a.get(v) + b.get(v);
+            prop_assert!((sum.get(v) - want).abs() < 1e-12);
+        }
+    }
+}
+
+/// Meta-path algebra laws on the bibliographic schema.
+#[test]
+fn metapath_algebra_laws() {
+    let schema = hin_graph::bibliographic_schema();
+    let paths = [
+        "author.paper",
+        "author.paper.venue",
+        "author.paper.author",
+        "venue.paper.term",
+        "author.paper.venue.paper.author",
+    ];
+    for p in paths {
+        let mp = MetaPath::parse(p, &schema).unwrap();
+        // Reversal is an involution.
+        assert_eq!(mp.reversed().reversed(), mp);
+        // Symmetrization is symmetric and starts/ends at the source type.
+        let sym = mp.symmetric();
+        assert!(sym.is_symmetric());
+        assert_eq!(sym.source_type(), mp.source_type());
+        assert_eq!(sym.target_type(), mp.source_type());
+        assert_eq!(sym.len(), 2 * mp.len());
+        // Decomposition reassembles to the original.
+        let rebuilt = mp
+            .decompose_pairs()
+            .into_iter()
+            .reduce(|a, b| a.concat(&b).unwrap());
+        assert_eq!(rebuilt.unwrap(), mp);
+    }
+}
+
+/// On real traversals, connectivity is symmetric (χ(u,v) = χ(v,u)) and
+/// normalized connectivity respects the definition κ = χ/χ_self.
+#[test]
+fn connectivity_laws_on_synthetic_network() {
+    let net = generate(&SyntheticConfig::tiny(99));
+    let g = &net.graph;
+    let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
+    let author_t = g.schema().vertex_type_by_name("author").unwrap();
+    let authors = g.vertices_of_type(author_t);
+    let sample: Vec<_> = authors.iter().step_by(37).take(8).copied().collect();
+    for &u in &sample {
+        for &v in &sample {
+            let chi_uv = traverse::connectivity(g, u, v, &apv).unwrap();
+            let chi_vu = traverse::connectivity(g, v, u, &apv).unwrap();
+            assert_eq!(chi_uv, chi_vu);
+            let vis = traverse::visibility(g, u, &apv).unwrap();
+            match traverse::normalized_connectivity(g, u, v, &apv).unwrap() {
+                Some(kappa) => assert!((kappa - chi_uv / vis).abs() < 1e-12),
+                None => assert_eq!(vis, 0.0),
+            }
+        }
+    }
+}
