@@ -1,7 +1,7 @@
 //! Runs every experiment in paper order — the one-shot reproduction of the
 //! evaluation section. Configure scale with HIN_EXP_SCALE / HIN_EXP_QUERIES.
 fn main() {
-    let sections: [(&str, fn()); 5] = [
+    let sections: [(&str, fn()); 6] = [
         ("Tables 1-2 and Figure 2 (toy reproduction)", || {
             bench::experiments::toy::run()
         }),
@@ -12,10 +12,16 @@ fn main() {
         ("Figure 3 (Baseline vs PM vs SPM)", || {
             bench::experiments::fig3::run()
         }),
-        ("Figure 4 (SPM breakdown)", || bench::experiments::fig4::run()),
+        ("Figure 4 (SPM breakdown)", || {
+            bench::experiments::fig4::run()
+        }),
         ("Figure 5 (threshold sweep)", || {
             bench::experiments::fig5::run()
         }),
+        (
+            "Execution guardrails (budget overhead & deadline fidelity)",
+            || bench::experiments::guardrails::run(),
+        ),
     ];
     for (title, f) in sections {
         println!("\n######## {title} ########\n");

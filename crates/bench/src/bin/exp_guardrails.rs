@@ -1,0 +1,5 @@
+//! Budget enforcement overhead and wall-clock deadline fidelity
+//! (extension; backs the DESIGN.md §8 serving claims).
+fn main() {
+    bench::experiments::guardrails::run();
+}

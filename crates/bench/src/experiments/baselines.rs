@@ -74,8 +74,7 @@ pub fn measure(net: &SyntheticNetwork, measures: &[MeasureKind]) -> Vec<MeasureR
                     continue;
                 };
                 total_time += t.elapsed();
-                let ranking: Vec<VertexId> =
-                    result.ranked.iter().map(|o| o.vertex).collect();
+                let ranking: Vec<VertexId> = result.ranked.iter().map(|o| o.vertex).collect();
                 p5 += net.precision_at_k(&ranking, 5);
                 p10 += net.precision_at_k(&ranking, 10);
                 let hits10 = ranking

@@ -29,7 +29,11 @@ pub fn best_anchor(net: &SyntheticNetwork) -> (VertexId, usize) {
 /// The paper-count of an author (used to demonstrate the visibility bias of
 /// PathSim/CosSim in Table 3).
 fn paper_count(net: &SyntheticNetwork, v: VertexId) -> usize {
-    let paper_t = net.graph.schema().vertex_type_by_name("paper").expect("schema");
+    let paper_t = net
+        .graph
+        .schema()
+        .vertex_type_by_name("paper")
+        .expect("schema");
     net.graph.step_degree(v, paper_t)
 }
 
@@ -53,25 +57,29 @@ pub fn table3(net: &SyntheticNetwork, k: usize) -> Vec<(&'static str, Vec<Table3
          JUDGED BY author.paper.venue TOP {k};",
         net.graph.vertex_name(anchor)
     );
-    [MeasureKind::NetOut, MeasureKind::PathSim, MeasureKind::CosSim]
-        .into_iter()
-        .map(|kind| {
-            let result = run_query(net, &query, kind);
-            let rows = result
-                .ranked
-                .iter()
-                .map(|o| {
-                    (
-                        o.name.clone(),
-                        o.score,
-                        paper_count(net, o.vertex),
-                        net.is_planted(o.vertex),
-                    )
-                })
-                .collect();
-            (kind.name(), rows)
-        })
-        .collect()
+    [
+        MeasureKind::NetOut,
+        MeasureKind::PathSim,
+        MeasureKind::CosSim,
+    ]
+    .into_iter()
+    .map(|kind| {
+        let result = run_query(net, &query, kind);
+        let rows = result
+            .ranked
+            .iter()
+            .map(|o| {
+                (
+                    o.name.clone(),
+                    o.score,
+                    paper_count(net, o.vertex),
+                    net.is_planted(o.vertex),
+                )
+            })
+            .collect();
+        (kind.name(), rows)
+    })
+    .collect()
 }
 
 /// Median paper count of a measure's top rows — the paper's Table 3 point
@@ -88,8 +96,14 @@ pub fn table5_queries(net: &SyntheticNetwork) -> Vec<(String, QueryResult)> {
     let (anchor, _) = best_anchor(net);
     let anchor_name = net.graph.vertex_name(anchor);
     // A venue for the third query: the first venue of area 0.
-    let venue_t = net.graph.schema().vertex_type_by_name("venue").expect("schema");
-    let venue_name = net.graph.vertex_name(net.graph.vertices_of_type(venue_t)[0]);
+    let venue_t = net
+        .graph
+        .schema()
+        .vertex_type_by_name("venue")
+        .expect("schema");
+    let venue_name = net
+        .graph
+        .vertex_name(net.graph.vertices_of_type(venue_t)[0]);
     let queries = vec![
         format!(
             "FIND OUTLIERS FROM author{{\"{anchor_name}\"}}.paper.author \

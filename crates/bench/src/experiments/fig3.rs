@@ -74,8 +74,7 @@ pub fn detectors(
     let baseline = OutlierDetector::new(net.graph.clone());
     out.push(("baseline", baseline, t.elapsed()));
     let t = Instant::now();
-    let pm = OutlierDetector::with_index(net.graph.clone(), IndexPolicy::full())
-        .expect("PM build");
+    let pm = OutlierDetector::with_index(net.graph.clone(), IndexPolicy::full()).expect("PM build");
     out.push(("pm", pm, t.elapsed()));
     let t = Instant::now();
     let spm = OutlierDetector::with_index(
@@ -172,7 +171,16 @@ mod tests {
         // Results must be identical across strategies.
         let reference: Vec<Vec<String>> = bound
             .iter()
-            .map(|q| dets[0].1.execute(q).unwrap().names().iter().map(|s| s.to_string()).collect())
+            .map(|q| {
+                dets[0]
+                    .1
+                    .execute(q)
+                    .unwrap()
+                    .names()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect()
+            })
             .collect();
         for (name, det, _) in &dets[1..] {
             for (q, want) in bound.iter().zip(&reference) {

@@ -1,0 +1,207 @@
+//! Guardrail cost & fidelity (extension): what budget enforcement costs on
+//! the happy path, and how promptly a wall-clock deadline actually aborts.
+//!
+//! Two claims back the serving story of DESIGN.md §8: (1) budget checks are
+//! counter bumps plus an `Instant::now()` per propagation step, so a loose
+//! budget must be measurement-noise cheap on a full workload; (2) because
+//! checks run at propagation-step granularity, time-to-abort should track
+//! the requested deadline closely even when one meta-path walk takes far
+//! longer than the deadline.
+
+use crate::report::{ms, Table};
+use crate::setup;
+use hin_datagen::dblp::SyntheticNetwork;
+use hin_datagen::workload::{generate_queries, QueryTemplate};
+use hin_query::validate::{parse_and_bind, BoundQuery};
+use netout::{Budget, EngineError, OutlierDetector};
+use std::time::{Duration, Instant};
+
+/// One workload measurement: total time plus the budget-accounting counters
+/// summed over every query.
+#[derive(Debug, Clone)]
+pub struct OverheadPoint {
+    /// Which detector configuration produced this point.
+    pub label: &'static str,
+    /// Total workload time.
+    pub time: Duration,
+    /// Budget checkpoints executed (all phases).
+    pub checks: u64,
+    /// Largest intermediate frontier seen anywhere in the workload.
+    pub peak_nnz: u64,
+}
+
+/// Run `bound` through one detector configuration.
+fn run_workload(
+    label: &'static str,
+    detector: &OutlierDetector,
+    bound: &[BoundQuery],
+) -> OverheadPoint {
+    let mut checks = 0u64;
+    let mut peak_nnz = 0u64;
+    let t = Instant::now();
+    for q in bound {
+        let result = detector.execute(q).expect("workload query executes");
+        checks += result.stats.budget_checks();
+        peak_nnz = peak_nnz.max(result.stats.peak_frontier_nnz);
+    }
+    OverheadPoint {
+        label,
+        time: t.elapsed(),
+        checks,
+        peak_nnz,
+    }
+}
+
+/// Measure the same workload unbudgeted and under a loose (never-firing)
+/// budget; the delta is the enforcement overhead.
+pub fn measure_overhead(net: &SyntheticNetwork, bound: &[BoundQuery]) -> Vec<OverheadPoint> {
+    let unbudgeted = OutlierDetector::new(net.graph.clone());
+    let budgeted = OutlierDetector::new(net.graph.clone()).budget(
+        Budget::unbounded()
+            .with_timeout_ms(600_000)
+            .with_max_candidates(10_000_000)
+            .with_max_nnz(1_000_000_000),
+    );
+    vec![
+        run_workload("unbudgeted", &unbudgeted, bound),
+        run_workload("loose budget", &budgeted, bound),
+    ]
+}
+
+/// One deadline measurement on the best-effort path.
+#[derive(Debug, Clone)]
+pub struct DeadlinePoint {
+    /// The requested wall-clock deadline.
+    pub deadline_ms: u64,
+    /// Observed time until the call returned.
+    pub elapsed: Duration,
+    /// `(scored, total)` when the run degraded, `None` when it either
+    /// finished cleanly or aborted before scoring anything.
+    pub degraded: Option<(usize, usize)>,
+    /// Human-readable outcome for the table.
+    pub outcome: String,
+}
+
+/// Run `query` best-effort under each deadline and record time-to-return.
+pub fn measure_deadlines(
+    net: &SyntheticNetwork,
+    query: &str,
+    deadlines_ms: &[u64],
+) -> Vec<DeadlinePoint> {
+    deadlines_ms
+        .iter()
+        .map(|&deadline_ms| {
+            let detector = OutlierDetector::new(net.graph.clone())
+                .budget(Budget::unbounded().with_timeout_ms(deadline_ms));
+            let t = Instant::now();
+            let (degraded, outcome) = match detector.query_best_effort(query) {
+                Ok(r) => match &r.degraded {
+                    Some(d) => (
+                        Some((d.scored, d.total)),
+                        format!("partial top-k ({}/{} scored)", d.scored, d.total),
+                    ),
+                    None => (None, format!("completed ({} ranked)", r.ranked.len())),
+                },
+                Err(EngineError::BudgetExceeded { phase, .. }) => {
+                    (None, format!("aborted during {phase}"))
+                }
+                Err(e) => (None, format!("error: {e}")),
+            };
+            DeadlinePoint {
+                deadline_ms,
+                elapsed: t.elapsed(),
+                degraded,
+                outcome,
+            }
+        })
+        .collect()
+}
+
+/// A broad venue-population query that dwarfs small deadlines.
+pub fn broad_query(net: &SyntheticNetwork) -> String {
+    let g = &net.graph;
+    let venue_t = g
+        .schema()
+        .vertex_type_by_name("venue")
+        .expect("bibliographic schema has venues");
+    let venue = g.vertex_name(g.vertices_of_type(venue_t)[0]);
+    format!(
+        "FIND OUTLIERS FROM venue{{\"{venue}\"}}.paper.author \
+         JUDGED BY author.paper.venue, author.paper.term TOP 50;"
+    )
+}
+
+/// Print both tables.
+pub fn run() {
+    let net = setup::network();
+    let n = setup::workload_size().min(100);
+    let queries = generate_queries(&net.graph, QueryTemplate::Q1, n, setup::seed());
+    let bound: Vec<_> = queries
+        .iter()
+        .map(|q| parse_and_bind(q, net.graph.schema()).expect("binds"))
+        .collect();
+
+    let mut t = Table::new(
+        format!("Budget enforcement overhead — Q1 workload of {n} queries"),
+        &[
+            "configuration",
+            "time (ms)",
+            "budget checks",
+            "peak frontier nnz",
+        ],
+    );
+    for p in measure_overhead(&net, &bound) {
+        t.row(&[
+            p.label.to_string(),
+            ms(p.time),
+            p.checks.to_string(),
+            p.peak_nnz.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "note: a check is a counter bump + Instant::now() per propagation \
+         step; the loose-budget column should sit within noise of unbudgeted\n"
+    );
+
+    let query = broad_query(&net);
+    let mut t = Table::new(
+        "Deadline fidelity — best-effort broad query, time to return",
+        &["deadline (ms)", "returned after", "outcome"],
+    );
+    for p in measure_deadlines(&net, &query, &[1, 5, 20, 100, 1000]) {
+        t.row(&[p.deadline_ms.to_string(), ms(p.elapsed), p.outcome.clone()]);
+    }
+    t.print();
+    println!(
+        "note: checks run mid-meta-path, so time-to-abort tracks the \
+         deadline rather than the cost of a whole propagation step\n"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hin_datagen::dblp::{generate, SyntheticConfig};
+
+    #[test]
+    fn overhead_and_deadlines_measure() {
+        let net = generate(&SyntheticConfig::tiny(5));
+        let queries = generate_queries(&net.graph, QueryTemplate::Q1, 5, 5);
+        let bound: Vec<_> = queries
+            .iter()
+            .map(|q| parse_and_bind(q, net.graph.schema()).expect("binds"))
+            .collect();
+        let points = measure_overhead(&net, &bound);
+        assert_eq!(points.len(), 2);
+        // Both configurations consult the accounting counters.
+        assert!(points.iter().all(|p| p.checks > 0 && p.peak_nnz > 0));
+
+        let query = broad_query(&net);
+        let points = measure_deadlines(&net, &query, &[0, 60_000]);
+        assert_eq!(points.len(), 2);
+        // A zero deadline cannot complete; a minute-long one must.
+        assert!(!points[0].outcome.starts_with("completed"), "{points:?}");
+        assert!(points[1].outcome.starts_with("completed"), "{points:?}");
+    }
+}

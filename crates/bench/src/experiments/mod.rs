@@ -5,5 +5,6 @@ pub mod case_study;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod guardrails;
 pub mod scaling;
 pub mod toy;

@@ -60,7 +60,10 @@ pub fn measure(
     scales
         .iter()
         .map(|&scale| {
-            let base = SyntheticConfig { seed, ..SyntheticConfig::default() };
+            let base = SyntheticConfig {
+                seed,
+                ..SyntheticConfig::default()
+            };
             let config = match kind {
                 SweepKind::Size => base.scaled(scale),
                 SweepKind::Density => SyntheticConfig {

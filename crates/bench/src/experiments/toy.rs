@@ -28,7 +28,11 @@ const PAPER_TABLE2: [(&str, [f64; 3]); 5] = [
 pub fn table2() -> Vec<Table2Row> {
     let graph = toy::table1_network();
     let query = toy::table1_query();
-    let measures = [MeasureKind::NetOut, MeasureKind::PathSim, MeasureKind::CosSim];
+    let measures = [
+        MeasureKind::NetOut,
+        MeasureKind::PathSim,
+        MeasureKind::CosSim,
+    ];
     let mut scores: Vec<[f64; 3]> = vec![[0.0; 3]; PAPER_TABLE2.len()];
     for (mi, kind) in measures.into_iter().enumerate() {
         let engine = QueryEngine::baseline(&graph).measure(kind);

@@ -1,5 +1,6 @@
 //! High-level facade: own a network, optionally build an index, run queries.
 
+use crate::engine::budget::{Budget, ExecCtx};
 use crate::engine::cache::{CacheStats, CachedSource, VectorCache};
 use crate::engine::executor::{CombineStrategy, QueryEngine, QueryResult};
 use crate::engine::index::{select_frequent_vertices, ChunkSelection, PmIndex};
@@ -60,6 +61,11 @@ impl IndexPolicy {
     }
 }
 
+/// Scoring batch size used by [`OutlierDetector::query_best_effort`]: small
+/// enough that a tripped deadline wastes little work, large enough to
+/// amortize per-batch bookkeeping.
+const BEST_EFFORT_BATCH: usize = 64;
+
 /// A sensible build parallelism: available cores, capped.
 fn default_threads() -> usize {
     std::thread::available_parallelism()
@@ -89,6 +95,7 @@ pub struct OutlierDetector {
     source_name: &'static str,
     measure: MeasureKind,
     combine: CombineStrategy,
+    budget: Budget,
 }
 
 impl OutlierDetector {
@@ -101,6 +108,7 @@ impl OutlierDetector {
             source_name: "baseline",
             measure: MeasureKind::NetOut,
             combine: CombineStrategy::default(),
+            budget: Budget::default(),
         }
     }
 
@@ -108,10 +116,9 @@ impl OutlierDetector {
     pub fn with_index(graph: HinGraph, policy: IndexPolicy) -> Result<Self, EngineError> {
         let (index, source_name) = match policy {
             IndexPolicy::None => (None, "baseline"),
-            IndexPolicy::Full { selection, threads } => (
-                Some(PmIndex::build_full(&graph, selection, threads)),
-                "pm",
-            ),
+            IndexPolicy::Full { selection, threads } => {
+                (Some(PmIndex::build_full(&graph, selection, threads)), "pm")
+            }
             IndexPolicy::Selective {
                 selection,
                 threshold,
@@ -141,6 +148,7 @@ impl OutlierDetector {
             source_name,
             measure: MeasureKind::NetOut,
             combine: CombineStrategy::default(),
+            budget: Budget::default(),
         })
     }
 
@@ -169,6 +177,22 @@ impl OutlierDetector {
     pub fn combine_strategy(mut self, combine: CombineStrategy) -> Self {
         self.combine = combine;
         self
+    }
+
+    /// Set a default execution [`Budget`] applied to every query run through
+    /// this detector (default: unbounded). Strict entry points
+    /// ([`Self::query`], [`Self::execute`]) fail with
+    /// [`EngineError::BudgetExceeded`] when a limit trips;
+    /// [`Self::query_best_effort`] degrades to a partial result instead
+    /// whenever at least one candidate was scored.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The currently configured default budget.
+    pub fn current_budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// The underlying network.
@@ -200,11 +224,22 @@ impl OutlierDetector {
         QueryEngine::with_source(&self.graph, source)
             .measure(self.measure)
             .combine_strategy(self.combine)
+            .budget(self.budget.clone())
     }
 
     /// Parse, validate, and execute a query string.
     pub fn query(&self, src: &str) -> Result<QueryResult, EngineError> {
         self.engine().execute_str(src)
+    }
+
+    /// Parse, validate, and execute a query string, degrading gracefully
+    /// under budget pressure: when the configured [`Budget`] trips after at
+    /// least one candidate has been scored, the partial ranking is returned
+    /// with [`QueryResult::degraded`] set instead of an error. Budget
+    /// violations before any scoring (and all non-budget errors) still fail.
+    pub fn query_best_effort(&self, src: &str) -> Result<QueryResult, EngineError> {
+        let bound = parse_and_bind(src, self.graph.schema())?;
+        self.engine().execute_best_effort(&bound, BEST_EFFORT_BATCH)
     }
 
     /// Parse and validate a query string, returning its execution plan
@@ -245,14 +280,9 @@ impl OutlierDetector {
             })?;
         let path = hin_graph::MetaPath::parse(feature_path, schema)?;
         let engine = self.engine();
-        let mut stats = crate::engine::stats::ExecBreakdown::default();
-        let hits = crate::measures::similarity::pathsim_topk(
-            engine.source(),
-            v,
-            &path,
-            k,
-            &mut stats,
-        )?;
+        let mut ctx = ExecCtx::new(&self.budget);
+        let hits =
+            crate::measures::similarity::pathsim_topk(engine.source(), v, &path, k, &mut ctx)?;
         Ok(hits
             .into_iter()
             .map(|h| (self.graph.vertex_name(h.vertex).to_string(), h.similarity))
@@ -300,11 +330,9 @@ mod tests {
             toy::table1_network(),
             // Workload touching only Sarah's coauthor set.
             IndexPolicy::selective(
-                vec![
-                    "FIND OUTLIERS FROM author{\"Sarah\"}.paper.author \
+                vec!["FIND OUTLIERS FROM author{\"Sarah\"}.paper.author \
                      JUDGED BY author.paper.venue;"
-                        .to_string(),
-                ],
+                    .to_string()],
                 0.5,
             ),
         )
@@ -332,11 +360,12 @@ mod tests {
         )
         .unwrap();
         let r = spm
-            .query(
-                "FIND OUTLIERS FROM author{\"Zoe\"}.paper.author JUDGED BY author.paper.venue;",
-            )
+            .query("FIND OUTLIERS FROM author{\"Zoe\"}.paper.author JUDGED BY author.paper.venue;")
             .unwrap();
-        assert!(r.stats.indexed_count > 0, "feature vectors served from index");
+        assert!(
+            r.stats.indexed_count > 0,
+            "feature vectors served from index"
+        );
         assert!(r.stats.index_hit_rate().unwrap() > 0.0);
     }
 
@@ -370,15 +399,41 @@ mod tests {
 
     #[test]
     fn cache_composes_with_pm_index() {
-        let detector =
-            OutlierDetector::with_index(toy::figure1_network(), IndexPolicy::full())
-                .unwrap()
-                .with_vector_cache(64);
+        let detector = OutlierDetector::with_index(toy::figure1_network(), IndexPolicy::full())
+            .unwrap()
+            .with_vector_cache(64);
         let r1 = detector.query(icde_query()).unwrap();
         let r2 = detector.query(icde_query()).unwrap();
         assert_eq!(r1.names(), r2.names());
         assert!(detector.cache_stats().unwrap().hits > 0);
         assert_eq!(detector.strategy(), "pm");
+    }
+
+    #[test]
+    fn budget_threads_through_facade() {
+        use crate::engine::budget::{Budget, BudgetLimit};
+        // A candidate cap far below the real candidate-set size fails the
+        // strict path...
+        let d = OutlierDetector::new(toy::figure1_network())
+            .budget(Budget::default().with_max_candidates(1));
+        let err = d.query(icde_query()).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::BudgetExceeded {
+                limit: BudgetLimit::Candidates,
+                ..
+            }
+        ));
+        // ...while an ample budget changes nothing.
+        let roomy = OutlierDetector::new(toy::figure1_network())
+            .budget(Budget::default().with_max_candidates(1_000_000));
+        let r = roomy.query(icde_query()).unwrap();
+        assert!(r.degraded.is_none());
+        assert_eq!(r.ranked.len(), 3);
+        // Best-effort on an unbounded budget is identical to strict.
+        let b = roomy.query_best_effort(icde_query()).unwrap();
+        assert_eq!(r.names(), b.names());
+        assert!(b.degraded.is_none());
     }
 
     #[test]

@@ -1,0 +1,473 @@
+//! Execution budgets and cooperative cancellation.
+//!
+//! The paper's pitch (Section 6) is making ad-hoc outlier queries cheap
+//! enough to run interactively. In a serving setting that is not enough: a
+//! runaway query — huge candidate set, dense length-4 meta-path, LOF with a
+//! large `k` — must not be able to pin a core for minutes or exhaust memory.
+//! This module provides the guardrails:
+//!
+//! * [`Budget`] — declarative per-query limits: a wall-clock deadline,
+//!   maximum candidate/reference-set cardinality, a cap on intermediate
+//!   sparse-vector population (`nnz`, a memory proxy), and an optional
+//!   shared [`CancelToken`].
+//! * [`ExecCtx`] — the per-execution context threaded through set
+//!   evaluation, every [`VectorSource`](crate::engine::source::VectorSource)
+//!   strategy, and scoring. It owns the timing breakdown
+//!   ([`ExecBreakdown`]) and enforces the armed budget at
+//!   **propagation-step granularity**, so a deadline fires mid-meta-path
+//!   rather than only between phases.
+//! * [`Degraded`] — the marker attached to a
+//!   [`QueryResult`](crate::engine::executor::QueryResult) when the
+//!   progressive executor ran out of budget after scoring a prefix of the
+//!   candidates: callers get best-effort top-k instead of nothing.
+//!
+//! Violations surface as
+//! [`EngineError::BudgetExceeded`](crate::error::EngineError::BudgetExceeded)
+//! carrying which limit fired ([`BudgetLimit`]), the observed value, and the
+//! execution phase ([`BudgetPhase`]).
+
+use crate::engine::stats::ExecBreakdown;
+use crate::error::EngineError;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared flag for cooperative cancellation.
+///
+/// Cloning is cheap (an [`Arc`] bump) and every clone observes the same
+/// flag, so a serving layer can hand the engine a token and later cancel
+/// the query from another thread. The engine polls the token at every
+/// budget checkpoint — propagation steps, per-candidate set filtering, and
+/// per-feature scoring — and aborts with
+/// [`BudgetLimit::Cancelled`] once it is set.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Set the flag. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Has [`cancel`](CancelToken::cancel) been called on any clone?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Which limit of a [`Budget`] was exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetLimit {
+    /// The wall-clock deadline passed.
+    WallClock,
+    /// The candidate set was larger than allowed.
+    Candidates,
+    /// The reference set was larger than allowed.
+    Reference,
+    /// An intermediate sparse vector grew beyond the `nnz` cap.
+    FrontierNnz,
+    /// The shared [`CancelToken`] was triggered.
+    Cancelled,
+}
+
+impl fmt::Display for BudgetLimit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BudgetLimit::WallClock => "wall-clock deadline",
+            BudgetLimit::Candidates => "candidate-set cardinality",
+            BudgetLimit::Reference => "reference-set cardinality",
+            BudgetLimit::FrontierNnz => "frontier nnz",
+            BudgetLimit::Cancelled => "cooperative cancellation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The execution phase a budget check ran in.
+///
+/// Mirrors the buckets of [`ExecBreakdown`]: candidate/reference set
+/// retrieval, neighbor-vector materialization, and measure scoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BudgetPhase {
+    /// Evaluating candidate/reference set expressions.
+    #[default]
+    SetRetrieval,
+    /// Materializing neighbor vectors `Φ_P(v)`.
+    Materialization,
+    /// Computing outlierness scores.
+    Scoring,
+}
+
+impl fmt::Display for BudgetPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BudgetPhase::SetRetrieval => "set retrieval",
+            BudgetPhase::Materialization => "materialization",
+            BudgetPhase::Scoring => "scoring",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Declarative per-query execution limits.
+///
+/// The default budget is unbounded — every limit is `None` — so existing
+/// callers pay nothing. Limits compose; whichever fires first wins.
+///
+/// ```
+/// use netout::engine::budget::{Budget, CancelToken};
+/// use std::time::Duration;
+///
+/// let token = CancelToken::new();
+/// let budget = Budget::default()
+///     .with_timeout(Duration::from_millis(250))
+///     .with_max_candidates(50_000)
+///     .with_max_nnz(2_000_000)
+///     .with_cancel_token(token.clone());
+/// assert!(!budget.is_unbounded());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    /// Wall-clock limit for the whole execution (set retrieval through
+    /// scoring). Checked at every checkpoint; granularity is one
+    /// propagation step / one scored batch.
+    pub timeout: Option<Duration>,
+    /// Maximum candidate-set cardinality, checked right after candidate
+    /// retrieval.
+    pub max_candidates: Option<usize>,
+    /// Maximum reference-set cardinality, checked right after reference
+    /// retrieval. Defaults to `max_candidates` semantics: `None` = no cap.
+    pub max_reference: Option<usize>,
+    /// Maximum population (`nnz`) of any intermediate sparse vector during
+    /// traversal — a proxy for peak memory.
+    pub max_nnz: Option<usize>,
+    /// Cooperative cancellation flag shared with the caller.
+    pub cancel: Option<CancelToken>,
+}
+
+impl Budget {
+    /// An unbounded budget (the default).
+    pub fn unbounded() -> Budget {
+        Budget::default()
+    }
+
+    /// Set the wall-clock deadline.
+    pub fn with_timeout(mut self, timeout: Duration) -> Budget {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Set the wall-clock deadline in milliseconds.
+    pub fn with_timeout_ms(self, ms: u64) -> Budget {
+        self.with_timeout(Duration::from_millis(ms))
+    }
+
+    /// Cap the candidate-set cardinality.
+    pub fn with_max_candidates(mut self, max: usize) -> Budget {
+        self.max_candidates = Some(max);
+        self
+    }
+
+    /// Cap the reference-set cardinality.
+    pub fn with_max_reference(mut self, max: usize) -> Budget {
+        self.max_reference = Some(max);
+        self
+    }
+
+    /// Cap intermediate sparse-vector `nnz`.
+    pub fn with_max_nnz(mut self, max: usize) -> Budget {
+        self.max_nnz = Some(max);
+        self
+    }
+
+    /// Attach a cooperative cancellation token.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Budget {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// `true` when no limit of any kind is set.
+    pub fn is_unbounded(&self) -> bool {
+        self.timeout.is_none()
+            && self.max_candidates.is_none()
+            && self.max_reference.is_none()
+            && self.max_nnz.is_none()
+            && self.cancel.is_none()
+    }
+}
+
+/// A [`Budget`] armed at a point in time: the relative timeout has been
+/// converted into an absolute deadline.
+#[derive(Debug, Clone, Default)]
+struct ArmedBudget {
+    deadline: Option<Instant>,
+    max_candidates: Option<usize>,
+    max_reference: Option<usize>,
+    max_nnz: Option<usize>,
+    cancel: Option<CancelToken>,
+}
+
+/// Per-execution context: the timing breakdown plus the armed budget.
+///
+/// One `ExecCtx` lives for the duration of one query execution and is
+/// threaded by `&mut` through set evaluation, vector materialization, and
+/// scoring. All strategy code records timings into [`ExecCtx::stats`] and
+/// calls the `check*` methods at work-proportional intervals.
+#[derive(Debug, Clone, Default)]
+pub struct ExecCtx {
+    /// Per-phase timing and counter breakdown, exposed on
+    /// [`QueryResult`](crate::engine::executor::QueryResult).
+    pub stats: ExecBreakdown,
+    budget: ArmedBudget,
+    phase: BudgetPhase,
+}
+
+impl ExecCtx {
+    /// A context with no limits — checkpoints only count, never fail.
+    pub fn unbounded() -> ExecCtx {
+        ExecCtx::default()
+    }
+
+    /// Arm `budget` now: the relative timeout becomes an absolute deadline.
+    pub fn new(budget: &Budget) -> ExecCtx {
+        ExecCtx {
+            stats: ExecBreakdown::default(),
+            budget: ArmedBudget {
+                // `checked_add` so an absurd user-supplied timeout saturates
+                // to "no deadline" instead of panicking on Instant overflow.
+                deadline: budget.timeout.and_then(|t| Instant::now().checked_add(t)),
+                max_candidates: budget.max_candidates,
+                max_reference: budget.max_reference,
+                max_nnz: budget.max_nnz,
+                cancel: budget.cancel.clone(),
+            },
+            phase: BudgetPhase::SetRetrieval,
+        }
+    }
+
+    /// Mark which execution phase subsequent checkpoints belong to.
+    pub fn set_phase(&mut self, phase: BudgetPhase) {
+        self.phase = phase;
+    }
+
+    /// The phase subsequent checkpoints will be attributed to.
+    pub fn phase(&self) -> BudgetPhase {
+        self.phase
+    }
+
+    /// One budget checkpoint: bump the per-phase check counter, then poll
+    /// the cancellation token and the wall-clock deadline.
+    pub fn checkpoint(&mut self) -> Result<(), EngineError> {
+        match self.phase {
+            BudgetPhase::SetRetrieval => self.stats.set_retrieval_checks += 1,
+            BudgetPhase::Materialization => self.stats.materialization_checks += 1,
+            BudgetPhase::Scoring => self.stats.scoring_checks += 1,
+        }
+        if let Some(token) = &self.budget.cancel {
+            if token.is_cancelled() {
+                return Err(EngineError::BudgetExceeded {
+                    limit: BudgetLimit::Cancelled,
+                    observed: 0,
+                    phase: self.phase,
+                });
+            }
+        }
+        if let Some(deadline) = self.budget.deadline {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(EngineError::BudgetExceeded {
+                    limit: BudgetLimit::WallClock,
+                    observed: now.duration_since(deadline).as_millis() as u64,
+                    phase: self.phase,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Record an intermediate frontier of `nnz` populated entries, enforce
+    /// the `max_nnz` cap, then run a regular [`checkpoint`](ExecCtx::checkpoint).
+    pub fn check_frontier(&mut self, nnz: usize) -> Result<(), EngineError> {
+        self.stats.peak_frontier_nnz = self.stats.peak_frontier_nnz.max(nnz as u64);
+        if let Some(max) = self.budget.max_nnz {
+            if nnz > max {
+                return Err(EngineError::BudgetExceeded {
+                    limit: BudgetLimit::FrontierNnz,
+                    observed: nnz as u64,
+                    phase: self.phase,
+                });
+            }
+        }
+        self.checkpoint()
+    }
+
+    /// Enforce the candidate-set cardinality cap.
+    pub fn check_candidates(&mut self, n: usize) -> Result<(), EngineError> {
+        if let Some(max) = self.budget.max_candidates {
+            if n > max {
+                return Err(EngineError::BudgetExceeded {
+                    limit: BudgetLimit::Candidates,
+                    observed: n as u64,
+                    phase: BudgetPhase::SetRetrieval,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Enforce the reference-set cardinality cap.
+    pub fn check_reference(&mut self, n: usize) -> Result<(), EngineError> {
+        if let Some(max) = self.budget.max_reference {
+            if n > max {
+                return Err(EngineError::BudgetExceeded {
+                    limit: BudgetLimit::Reference,
+                    observed: n as u64,
+                    phase: BudgetPhase::SetRetrieval,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Attached to a [`QueryResult`](crate::engine::executor::QueryResult) when
+/// the progressive executor exhausted its budget after scoring a prefix of
+/// the candidate set: the ranking is best-effort over `scored` of `total`
+/// candidates rather than exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Degraded {
+    /// Which limit ended the run.
+    pub limit: BudgetLimit,
+    /// The phase the limit fired in.
+    pub phase: BudgetPhase,
+    /// How many candidates had been scored when the budget fired.
+    pub scored: usize,
+    /// Total candidate-set cardinality.
+    pub total: usize,
+}
+
+impl fmt::Display for Degraded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "degraded: {} hit during {} after scoring {}/{} candidates",
+            self.limit, self.phase, self.scored, self.total
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_fails() {
+        let mut ctx = ExecCtx::unbounded();
+        for _ in 0..1000 {
+            ctx.checkpoint().unwrap();
+            ctx.check_frontier(usize::MAX).unwrap();
+        }
+        ctx.check_candidates(usize::MAX).unwrap();
+        ctx.check_reference(usize::MAX).unwrap();
+        assert_eq!(ctx.stats.peak_frontier_nnz, u64::MAX);
+    }
+
+    #[test]
+    fn zero_timeout_fires_immediately() {
+        let budget = Budget::default().with_timeout_ms(0);
+        let mut ctx = ExecCtx::new(&budget);
+        let err = ctx.checkpoint().unwrap_err();
+        match err {
+            EngineError::BudgetExceeded { limit, .. } => {
+                assert_eq!(limit, BudgetLimit::WallClock);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+
+        let budget = Budget::default().with_cancel_token(clone);
+        let mut ctx = ExecCtx::new(&budget);
+        ctx.set_phase(BudgetPhase::Scoring);
+        match ctx.checkpoint().unwrap_err() {
+            EngineError::BudgetExceeded { limit, phase, .. } => {
+                assert_eq!(limit, BudgetLimit::Cancelled);
+                assert_eq!(phase, BudgetPhase::Scoring);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frontier_cap_enforced_and_peak_tracked() {
+        let budget = Budget::default().with_max_nnz(10);
+        let mut ctx = ExecCtx::new(&budget);
+        ctx.set_phase(BudgetPhase::Materialization);
+        ctx.check_frontier(10).unwrap();
+        let err = ctx.check_frontier(11).unwrap_err();
+        match err {
+            EngineError::BudgetExceeded {
+                limit, observed, ..
+            } => {
+                assert_eq!(limit, BudgetLimit::FrontierNnz);
+                assert_eq!(observed, 11);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert_eq!(ctx.stats.peak_frontier_nnz, 11);
+        assert_eq!(ctx.stats.materialization_checks, 1);
+    }
+
+    #[test]
+    fn cardinality_caps() {
+        let budget = Budget::default()
+            .with_max_candidates(5)
+            .with_max_reference(3);
+        let mut ctx = ExecCtx::new(&budget);
+        ctx.check_candidates(5).unwrap();
+        assert!(ctx.check_candidates(6).is_err());
+        ctx.check_reference(3).unwrap();
+        assert!(ctx.check_reference(4).is_err());
+    }
+
+    #[test]
+    fn budget_builder_and_unbounded_flag() {
+        assert!(Budget::unbounded().is_unbounded());
+        assert!(!Budget::default().with_timeout_ms(1).is_unbounded());
+        assert!(!Budget::default().with_max_candidates(1).is_unbounded());
+        assert!(!Budget::default().with_max_nnz(1).is_unbounded());
+        assert!(!Budget::default()
+            .with_cancel_token(CancelToken::new())
+            .is_unbounded());
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let d = Degraded {
+            limit: BudgetLimit::WallClock,
+            phase: BudgetPhase::Materialization,
+            scored: 12,
+            total: 99,
+        };
+        let s = d.to_string();
+        assert!(s.contains("wall-clock"));
+        assert!(s.contains("12/99"));
+        assert!(BudgetLimit::Cancelled.to_string().contains("cancellation"));
+        assert!(BudgetPhase::Scoring.to_string().contains("scoring"));
+    }
+}

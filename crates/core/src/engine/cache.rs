@@ -11,8 +11,8 @@
 //! is an in-memory load, exactly like a pre-materialized row — and are
 //! additionally counted in [`CacheStats`].
 
+use crate::engine::budget::ExecCtx;
 use crate::engine::source::VectorSource;
-use crate::engine::stats::ExecBreakdown;
 use crate::error::EngineError;
 use hin_graph::{MetaPath, SparseVec, VertexId};
 use parking_lot::Mutex;
@@ -180,16 +180,17 @@ impl VectorSource for CachedSource<'_> {
         &self,
         v: VertexId,
         path: &MetaPath,
-        stats: &mut ExecBreakdown,
+        ctx: &mut ExecCtx,
     ) -> Result<SparseVec, EngineError> {
         let key = (path.clone(), v);
         let t = Instant::now();
         if let Some(hit) = self.cache.get(&key) {
-            stats.indexed_vectors += t.elapsed();
-            stats.indexed_count += 1;
+            ctx.stats.indexed_vectors += t.elapsed();
+            ctx.stats.indexed_count += 1;
+            ctx.check_frontier(hit.nnz())?;
             return Ok(hit);
         }
-        let vec = self.inner.neighbor_vector(v, path, stats)?;
+        let vec = self.inner.neighbor_vector(v, path, ctx)?;
         self.cache.put(key, vec.clone());
         Ok(vec)
     }
@@ -230,17 +231,17 @@ mod tests {
         let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
         let author = g.schema().vertex_type_by_name("author").unwrap();
         let zoe = g.vertex_by_name(author, "Zoe").unwrap();
-        let mut stats = ExecBreakdown::default();
-        let first = source.neighbor_vector(zoe, &apv, &mut stats).unwrap();
-        let second = source.neighbor_vector(zoe, &apv, &mut stats).unwrap();
+        let mut ctx = ExecCtx::unbounded();
+        let first = source.neighbor_vector(zoe, &apv, &mut ctx).unwrap();
+        let second = source.neighbor_vector(zoe, &apv, &mut ctx).unwrap();
         assert_eq!(first, second);
         assert_eq!(first, traverse::neighbor_vector(&g, zoe, &apv).unwrap());
         let cs = cache.stats();
         assert_eq!(cs.hits, 1);
         assert_eq!(cs.misses, 1);
         // The hit was attributed to the indexed bucket.
-        assert_eq!(stats.indexed_count, 1);
-        assert_eq!(stats.unindexed_count, 1);
+        assert_eq!(ctx.stats.indexed_count, 1);
+        assert_eq!(ctx.stats.unindexed_count, 1);
     }
 
     #[test]
@@ -248,15 +249,15 @@ mod tests {
         let g = toy::figure1_network();
         let cache = VectorCache::new(16);
         let source = CachedSource::new(Box::new(TraversalSource::new(&g)), &cache);
-        let mut stats = ExecBreakdown::default();
+        let mut ctx = ExecCtx::unbounded();
         let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
         let apa = MetaPath::parse("author.paper.author", g.schema()).unwrap();
         let author = g.schema().vertex_type_by_name("author").unwrap();
         let zoe = g.vertex_by_name(author, "Zoe").unwrap();
         let ava = g.vertex_by_name(author, "Ava").unwrap();
-        source.neighbor_vector(zoe, &apv, &mut stats).unwrap();
-        source.neighbor_vector(zoe, &apa, &mut stats).unwrap();
-        source.neighbor_vector(ava, &apv, &mut stats).unwrap();
+        source.neighbor_vector(zoe, &apv, &mut ctx).unwrap();
+        source.neighbor_vector(zoe, &apa, &mut ctx).unwrap();
+        source.neighbor_vector(ava, &apv, &mut ctx).unwrap();
         assert_eq!(cache.stats().misses, 3);
         assert_eq!(cache.len(), 3);
     }

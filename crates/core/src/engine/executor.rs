@@ -1,6 +1,7 @@
 //! End-to-end query execution: set retrieval → vector materialization →
 //! scoring → top-k.
 
+use crate::engine::budget::{Budget, BudgetPhase, Degraded, ExecCtx};
 use crate::engine::set_eval::eval_set;
 use crate::engine::source::{TraversalSource, VectorSource};
 use crate::engine::stats::ExecBreakdown;
@@ -61,6 +62,11 @@ pub struct QueryResult {
     pub stats: ExecBreakdown,
     /// Name of the measure that produced the scores.
     pub measure: &'static str,
+    /// `Some` when the execution ran out of budget after scoring only a
+    /// prefix of the candidates: the ranking is best-effort, not exact.
+    /// Always `None` for the strict [`QueryEngine::execute`] path, which
+    /// returns [`EngineError::BudgetExceeded`] instead.
+    pub degraded: Option<Degraded>,
 }
 
 impl QueryResult {
@@ -77,6 +83,7 @@ pub struct QueryEngine<'g> {
     source: Box<dyn VectorSource + 'g>,
     combine: CombineStrategy,
     measure: MeasureKind,
+    pub(crate) budget: Budget,
 }
 
 impl<'g> QueryEngine<'g> {
@@ -87,6 +94,7 @@ impl<'g> QueryEngine<'g> {
             source: Box::new(TraversalSource::new(graph)),
             combine: CombineStrategy::default(),
             measure: MeasureKind::NetOut,
+            budget: Budget::default(),
         }
     }
 
@@ -97,6 +105,7 @@ impl<'g> QueryEngine<'g> {
             source,
             combine: CombineStrategy::default(),
             measure: MeasureKind::NetOut,
+            budget: Budget::default(),
         }
     }
 
@@ -109,6 +118,15 @@ impl<'g> QueryEngine<'g> {
     /// Set the outlierness measure.
     pub fn measure(mut self, measure: MeasureKind) -> Self {
         self.measure = measure;
+        self
+    }
+
+    /// Set the execution budget applied to every query this engine runs
+    /// (unbounded by default). The strict [`execute`](QueryEngine::execute)
+    /// path fails hard with [`EngineError::BudgetExceeded`]; the
+    /// progressive path degrades to a partial result when possible.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -135,7 +153,10 @@ impl<'g> QueryEngine<'g> {
     /// Build a human-readable execution plan for `query` without running
     /// it (anchor resolution is checked; set sizes are not computed). See
     /// [`crate::engine::explain`].
-    pub fn explain(&self, query: &hin_query::validate::BoundQuery) -> crate::engine::explain::Explain {
+    pub fn explain(
+        &self,
+        query: &hin_query::validate::BoundQuery,
+    ) -> crate::engine::explain::Explain {
         crate::engine::explain::explain(self, query)
     }
 
@@ -153,6 +174,20 @@ impl<'g> QueryEngine<'g> {
         batch_size: usize,
     ) -> Result<crate::engine::progressive::ProgressiveRun<'_, 'g>, EngineError> {
         crate::engine::progressive::ProgressiveRun::start(self, query, batch_size)
+    }
+
+    /// Execute with graceful degradation: run the progressive path in
+    /// batches of `batch_size` and, when the engine's [`Budget`] fires
+    /// after at least one candidate was scored, return a **partial**
+    /// best-effort result (with [`QueryResult::degraded`] set) instead of
+    /// an error. Budget violations before anything was scored — and all
+    /// non-budget errors — still fail.
+    pub fn execute_best_effort(
+        &self,
+        query: &BoundQuery,
+        batch_size: usize,
+    ) -> Result<QueryResult, EngineError> {
+        self.execute_progressive(query, batch_size)?.finish()
     }
 
     /// Bytes of index memory behind this engine (0 for baseline).
@@ -178,16 +213,18 @@ impl<'g> QueryEngine<'g> {
         query: &BoundQuery,
         measure: &dyn OutlierMeasure,
     ) -> Result<QueryResult, EngineError> {
-        let mut stats = ExecBreakdown::default();
+        let mut ctx = ExecCtx::new(&self.budget);
 
         // 1. Retrieve S_c and S_r.
-        let candidates = eval_set(self.graph, self.source.as_ref(), &query.candidate, &mut stats)?;
+        ctx.set_phase(BudgetPhase::SetRetrieval);
+        let candidates = eval_set(self.graph, self.source.as_ref(), &query.candidate, &mut ctx)?;
         if candidates.is_empty() {
             return Err(EngineError::EmptyCandidateSet);
         }
+        ctx.check_candidates(candidates.len())?;
         let reference: Vec<VertexId> = match &query.reference {
             Some(r) => {
-                let set = eval_set(self.graph, self.source.as_ref(), r, &mut stats)?;
+                let set = eval_set(self.graph, self.source.as_ref(), r, &mut ctx)?;
                 if set.is_empty() {
                     return Err(EngineError::EmptyReferenceSet);
                 }
@@ -195,42 +232,53 @@ impl<'g> QueryEngine<'g> {
             }
             None => candidates.clone(),
         };
+        ctx.check_reference(reference.len())?;
 
         // 2. Score per feature meta-path.
         let same_sets = reference == candidates;
         let mut per_feature: Vec<Vec<(VertexId, f64)>> = Vec::with_capacity(query.features.len());
         for feature in &query.features {
-            let cand_vecs = self.materialize(&candidates, &feature.path, &mut stats)?;
+            ctx.set_phase(BudgetPhase::Materialization);
+            let cand_vecs = self.materialize(&candidates, &feature.path, &mut ctx)?;
             let scores = if same_sets {
+                ctx.set_phase(BudgetPhase::Scoring);
+                ctx.checkpoint()?;
                 let t = Instant::now();
                 let s = measure.scores(&cand_vecs, &cand_vecs)?;
-                stats.scoring += t.elapsed();
+                ctx.stats.scoring += t.elapsed();
                 s
             } else {
                 let ref_vecs =
-                    self.materialize_with_cache(&reference, &feature.path, &cand_vecs, &mut stats)?;
+                    self.materialize_with_cache(&reference, &feature.path, &cand_vecs, &mut ctx)?;
+                ctx.set_phase(BudgetPhase::Scoring);
+                ctx.checkpoint()?;
                 let t = Instant::now();
                 let s = measure.scores(&cand_vecs, &ref_vecs)?;
-                stats.scoring += t.elapsed();
+                ctx.stats.scoring += t.elapsed();
                 s
             };
             per_feature.push(scores);
         }
 
         // 3. Combine, rank, split off undefined scores.
+        ctx.set_phase(BudgetPhase::Scoring);
+        ctx.checkpoint()?;
         let t = Instant::now();
         let weights: Vec<f64> = query.features.iter().map(|f| f.weight).collect();
-        let (combined, order) = combine_scores(&per_feature, &weights, self.combine, measure.order());
+        let (combined, order) =
+            combine_scores(&per_feature, &weights, self.combine, measure.order());
         let mut zero_visibility: Vec<VertexId> = combined
             .iter()
             .filter(|(_, s)| !s.is_finite())
             .map(|(v, _)| *v)
             .collect();
         zero_visibility.sort_unstable();
-        let finite: Vec<(VertexId, f64)> =
-            combined.into_iter().filter(|(_, s)| s.is_finite()).collect();
+        let finite: Vec<(VertexId, f64)> = combined
+            .into_iter()
+            .filter(|(_, s)| s.is_finite())
+            .collect();
         let ranked = top_k(finite, query.top, order);
-        stats.scoring += t.elapsed();
+        ctx.stats.scoring += t.elapsed();
 
         let ranked = ranked
             .into_iter()
@@ -246,8 +294,9 @@ impl<'g> QueryEngine<'g> {
             candidate_count: candidates.len(),
             reference_count: reference.len(),
             zero_visibility,
-            stats,
+            stats: ctx.stats,
             measure: measure.name(),
+            degraded: None,
         })
     }
 
@@ -256,10 +305,10 @@ impl<'g> QueryEngine<'g> {
         &self,
         ids: &[VertexId],
         path: &hin_graph::MetaPath,
-        stats: &mut ExecBreakdown,
+        ctx: &mut ExecCtx,
     ) -> Result<Vec<(VertexId, SparseVec)>, EngineError> {
         ids.iter()
-            .map(|&v| Ok((v, self.source.neighbor_vector(v, path, stats)?)))
+            .map(|&v| Ok((v, self.source.neighbor_vector(v, path, ctx)?)))
             .collect()
     }
 
@@ -270,7 +319,7 @@ impl<'g> QueryEngine<'g> {
         ids: &[VertexId],
         path: &hin_graph::MetaPath,
         cached: &[(VertexId, SparseVec)],
-        stats: &mut ExecBreakdown,
+        ctx: &mut ExecCtx,
     ) -> Result<Vec<(VertexId, SparseVec)>, EngineError> {
         let lookup: FxHashMap<VertexId, &SparseVec> =
             cached.iter().map(|(v, phi)| (*v, phi)).collect();
@@ -279,7 +328,7 @@ impl<'g> QueryEngine<'g> {
                 if let Some(&phi) = lookup.get(&v) {
                     Ok((v, phi.clone()))
                 } else {
-                    Ok((v, self.source.neighbor_vector(v, path, stats)?))
+                    Ok((v, self.source.neighbor_vector(v, path, ctx)?))
                 }
             })
             .collect()
@@ -335,10 +384,7 @@ fn combine_scores(
                     *acc.entry(v).or_insert(0.0) += w * rank as f64 / total_w;
                 }
             }
-            let combined = per_feature[0]
-                .iter()
-                .map(|&(v, _)| (v, acc[&v]))
-                .collect();
+            let combined = per_feature[0].iter().map(|&(v, _)| (v, acc[&v])).collect();
             (combined, ScoreOrder::AscendingIsOutlier)
         }
     }
@@ -473,8 +519,16 @@ mod tests {
             .unwrap();
         // Weighted average: (3·Ω_venue + 1·Ω_coauthor) / 4, per vertex.
         for o in &both.ranked {
-            let sv = venue_only.ranked.iter().find(|x| x.vertex == o.vertex).unwrap();
-            let sc = coauthor_only.ranked.iter().find(|x| x.vertex == o.vertex).unwrap();
+            let sv = venue_only
+                .ranked
+                .iter()
+                .find(|x| x.vertex == o.vertex)
+                .unwrap();
+            let sc = coauthor_only
+                .ranked
+                .iter()
+                .find(|x| x.vertex == o.vertex)
+                .unwrap();
             let want = (3.0 * sv.score + sc.score) / 4.0;
             assert!((o.score - want).abs() < 1e-9, "{} vs {want}", o.score);
         }
@@ -536,5 +590,59 @@ mod tests {
         assert!(r.stats.unindexed_count > 0);
         assert_eq!(r.stats.indexed_count, 0);
         assert!(r.stats.total() > std::time::Duration::ZERO);
+        assert!(r.stats.budget_checks() > 0);
+        assert!(r.stats.peak_frontier_nnz > 0);
+        assert!(r.degraded.is_none());
+    }
+
+    #[test]
+    fn strict_execute_fails_hard_on_budget() {
+        use crate::engine::budget::{Budget, BudgetLimit};
+        let g = toy::table1_network();
+        // 105 candidates against a cap of 10.
+        let err = QueryEngine::baseline(&g)
+            .budget(Budget::default().with_max_candidates(10))
+            .execute_str(&toy::table1_query())
+            .unwrap_err();
+        match err {
+            EngineError::BudgetExceeded {
+                limit, observed, ..
+            } => {
+                assert_eq!(limit, BudgetLimit::Candidates);
+                assert_eq!(observed, 105);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // A zero deadline fires at the very first checkpoint.
+        let err = QueryEngine::baseline(&g)
+            .budget(Budget::default().with_timeout_ms(0))
+            .execute_str(&toy::table1_query())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::BudgetExceeded {
+                limit: BudgetLimit::WallClock,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unbounded_budget_changes_nothing() {
+        let g = toy::table1_network();
+        let plain = QueryEngine::baseline(&g)
+            .execute_str(&toy::table1_query())
+            .unwrap();
+        let budgeted = QueryEngine::baseline(&g)
+            .budget(
+                crate::engine::budget::Budget::default()
+                    .with_timeout_ms(120_000)
+                    .with_max_candidates(1_000_000)
+                    .with_max_nnz(100_000_000),
+            )
+            .execute_str(&toy::table1_query())
+            .unwrap();
+        assert_eq!(plain.names(), budgeted.names());
+        assert_eq!(plain.zero_visibility, budgeted.zero_visibility);
     }
 }

@@ -140,6 +140,8 @@ fn explain_set(
                 BoundSetExpr::Union(..) => "UNION",
                 BoundSetExpr::Intersect(..) => "INTERSECT",
                 BoundSetExpr::Except(..) => "EXCEPT",
+                // Invariant: the outer match arm only binds the three
+                // binary-operator variants.
                 BoundSetExpr::Primary(_) => unreachable!(),
             };
             out.push(format!("{pad}{op}"));
@@ -205,7 +207,10 @@ mod tests {
         assert!(plan.contains("strategy baseline"));
         assert!(plan.contains("(traversal)"), "{plan}");
         assert!(plan.contains("EXCEPT"), "{plan}");
-        assert!(plan.contains("filter: COUNT over author.paper > 1"), "{plan}");
+        assert!(
+            plan.contains("filter: COUNT over author.paper > 1"),
+            "{plan}"
+        );
         assert!(plan.contains("top 4"), "{plan}");
         assert!(plan.contains("weight 2"), "{plan}");
         assert!(!plan.contains("NOT FOUND"), "{plan}");
@@ -218,13 +223,19 @@ mod tests {
         let plan = detector.explain(QUERY).unwrap().to_string();
         assert!(plan.contains("strategy pm"));
         // 3 authors in the network, all rows materialized.
-        assert!(plan.contains("author.paper.venue (index: 3/3 rows)"), "{plan}");
+        assert!(
+            plan.contains("author.paper.venue (index: 3/3 rows)"),
+            "{plan}"
+        );
         // The long feature decomposes into two chunks.
         assert!(
             plan.contains("author.paper.venue.paper.author = ["),
             "{plan}"
         );
-        assert!(plan.contains("venue.paper.author (index: 2/2 rows)"), "{plan}");
+        assert!(
+            plan.contains("venue.paper.author (index: 2/2 rows)"),
+            "{plan}"
+        );
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! stores rows only for vertices whose *relative frequency* of appearance in
 //! candidate sets of an initialization query workload reaches a threshold.
 
+use crate::engine::budget::ExecCtx;
 use crate::engine::set_eval::eval_set;
 use crate::engine::source::TraversalSource;
-use crate::engine::stats::ExecBreakdown;
 use hin_graph::{traverse, HinGraph, MetaPath, SparseMatrix, SparseVec, VertexId, VertexTypeId};
 use hin_query::validate::BoundQuery;
 use rustc_hash::{FxHashMap, FxHashSet};
@@ -56,10 +56,10 @@ pub fn all_length2_paths(graph: &HinGraph) -> Vec<MetaPath> {
                 if !schema.link_exists(t1, t2) {
                     continue;
                 }
-                out.push(
-                    MetaPath::new(vec![t0, t1, t2], schema)
-                        .expect("links verified above"),
-                );
+                // Invariant: both links were checked against the schema just
+                // above, so construction cannot fail.
+                #[allow(clippy::expect_used)]
+                out.push(MetaPath::new(vec![t0, t1, t2], schema).expect("links verified above"));
             }
         }
     }
@@ -134,9 +134,7 @@ impl PmIndex {
 
     /// Whether the row is materialized (without copying it).
     pub fn has_row(&self, chunk: &MetaPath, v: VertexId) -> bool {
-        self.matrices
-            .get(chunk)
-            .is_some_and(|m| m.has_row(v))
+        self.matrices.get(chunk).is_some_and(|m| m.has_row(v))
     }
 
     /// Number of indexed meta-paths.
@@ -171,6 +169,9 @@ fn materialize_rows(
     threads: usize,
 ) -> Vec<(VertexId, SparseVec)> {
     let compute = |v: VertexId| {
+        // Invariant: callers only pass vertices whose type matches the
+        // chunk's source type, so traversal cannot fail.
+        #[allow(clippy::expect_used)]
         let phi = traverse::neighbor_vector(graph, v, chunk)
             .expect("chunk starts at the vertex's type by construction");
         (v, phi)
@@ -190,6 +191,9 @@ fn materialize_rows(
             .map(|shard| scope.spawn(move || shard.iter().map(|&v| compute(v)).collect::<Vec<_>>()))
             .collect();
         for h in handles {
+            // Propagating a worker panic is the only sensible response here;
+            // swallowing it would silently drop index rows.
+            #[allow(clippy::expect_used)]
             out.extend(h.join().expect("row materialization panicked"));
         }
     });
@@ -211,8 +215,8 @@ pub fn select_frequent_vertices(
     let source = TraversalSource::new(graph);
     let mut counts: FxHashMap<VertexId, u32> = FxHashMap::default();
     for q in queries {
-        let mut stats = ExecBreakdown::default();
-        let Ok(members) = eval_set(graph, &source, &q.candidate, &mut stats) else {
+        let mut ctx = ExecCtx::unbounded();
+        let Ok(members) = eval_set(graph, &source, &q.candidate, &mut ctx) else {
             continue;
         };
         for v in members {

@@ -17,6 +17,7 @@
 //!   rows for vertices that appear frequently in the candidate sets of an
 //!   initialization query workload, falling back to traversal per vertex.
 
+pub mod budget;
 pub mod cache;
 pub mod executor;
 pub mod explain;

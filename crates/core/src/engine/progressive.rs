@@ -12,7 +12,8 @@
 //! `stability` is the fraction of batches since the top-k set last changed,
 //! a practical "keep going?" signal.
 
-use crate::engine::executor::OutlierResult;
+use crate::engine::budget::{BudgetPhase, Degraded, ExecCtx};
+use crate::engine::executor::{OutlierResult, QueryResult};
 use crate::engine::set_eval::eval_set;
 use crate::engine::stats::ExecBreakdown;
 use crate::engine::topk::top_k;
@@ -68,8 +69,12 @@ pub struct ProgressiveRun<'e, 'g> {
     batches_done: usize,
     batches_since_change: usize,
     last_top_ids: Vec<VertexId>,
-    /// Accumulated timing (exposed on [`ProgressiveRun::stats`]).
-    pub(crate) stats: ExecBreakdown,
+    /// Accumulated timing and budget state (exposed on
+    /// [`ProgressiveRun::stats`]).
+    pub(crate) ctx: ExecCtx,
+    /// The error that ended the stream early, if any (budget violations
+    /// land here so [`ProgressiveRun::finish`] can degrade gracefully).
+    error: Option<EngineError>,
 }
 
 impl<'e, 'g> ProgressiveRun<'e, 'g> {
@@ -83,16 +88,18 @@ impl<'e, 'g> ProgressiveRun<'e, 'g> {
                 "progressive batch size must be >= 1".into(),
             ));
         }
-        let mut stats = ExecBreakdown::default();
+        let mut ctx = ExecCtx::new(&engine.budget);
         let graph = engine.graph();
         let source = engine.source();
-        let candidates = eval_set(graph, source, &query.candidate, &mut stats)?;
+        ctx.set_phase(BudgetPhase::SetRetrieval);
+        let candidates = eval_set(graph, source, &query.candidate, &mut ctx)?;
         if candidates.is_empty() {
             return Err(EngineError::EmptyCandidateSet);
         }
+        ctx.check_candidates(candidates.len())?;
         let reference_ids = match &query.reference {
             Some(r) => {
-                let set = eval_set(graph, source, r, &mut stats)?;
+                let set = eval_set(graph, source, r, &mut ctx)?;
                 if set.is_empty() {
                     return Err(EngineError::EmptyReferenceSet);
                 }
@@ -100,21 +107,29 @@ impl<'e, 'g> ProgressiveRun<'e, 'g> {
             }
             None => candidates.clone(),
         };
+        ctx.check_reference(reference_ids.len())?;
         // Materialize reference vectors once per feature (the hoistable part
         // of Equation (1); batches only pay for their own candidates).
+        ctx.set_phase(BudgetPhase::Materialization);
         let mut features = query.features.iter();
-        let first = features.next().expect("validated queries have features");
+        let Some(first) = features.next() else {
+            // The validator guarantees at least one feature path; keep the
+            // invariant panic-free regardless.
+            return Err(EngineError::BadMeasureParameter(
+                "query has no feature meta-paths".into(),
+            ));
+        };
         let materialize_refs = |path: &hin_graph::MetaPath,
-                                stats: &mut ExecBreakdown|
+                                ctx: &mut ExecCtx|
          -> Result<Vec<(VertexId, SparseVec)>, EngineError> {
             reference_ids
                 .iter()
-                .map(|&v| Ok((v, source.neighbor_vector(v, path, stats)?)))
+                .map(|&v| Ok((v, source.neighbor_vector(v, path, ctx)?)))
                 .collect()
         };
-        let reference = materialize_refs(&first.path, &mut stats)?;
+        let reference = materialize_refs(&first.path, &mut ctx)?;
         let extra_reference = features
-            .map(|f| materialize_refs(&f.path, &mut stats))
+            .map(|f| materialize_refs(&f.path, &mut ctx))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(ProgressiveRun {
             measure: engine.measure_kind().instantiate(),
@@ -129,13 +144,21 @@ impl<'e, 'g> ProgressiveRun<'e, 'g> {
             batches_done: 0,
             batches_since_change: 0,
             last_top_ids: Vec::new(),
-            stats,
+            ctx,
+            error: None,
         })
     }
 
     /// Timing accumulated so far.
     pub fn stats(&self) -> ExecBreakdown {
-        self.stats
+        self.ctx.stats
+    }
+
+    /// The error that ended the stream early (budget violations included),
+    /// if any. Iteration simply stops on error; inspect this — or use
+    /// [`ProgressiveRun::finish`] — to distinguish completion from abort.
+    pub fn error(&self) -> Option<&EngineError> {
+        self.error.as_ref()
     }
 
     /// Whether every candidate has been scored.
@@ -163,13 +186,21 @@ impl<'e, 'g> ProgressiveRun<'e, 'g> {
         let features = &self.query.features;
         let mut combined: Vec<(VertexId, f64)> = Vec::with_capacity(batch.len());
         // First feature.
+        self.ctx.set_phase(BudgetPhase::Materialization);
         let vecs: Vec<(VertexId, SparseVec)> = batch
             .iter()
-            .map(|&v| Ok((v, source.neighbor_vector(v, &features[0].path, &mut self.stats)?)))
+            .map(|&v| {
+                Ok((
+                    v,
+                    source.neighbor_vector(v, &features[0].path, &mut self.ctx)?,
+                ))
+            })
             .collect::<Result<_, EngineError>>()?;
+        self.ctx.set_phase(BudgetPhase::Scoring);
+        self.ctx.checkpoint()?;
         let t = std::time::Instant::now();
         let mut scores = self.measure.scores(&vecs, &self.reference)?;
-        self.stats.scoring += t.elapsed();
+        self.ctx.stats.scoring += t.elapsed();
         let total_w: f64 = features.iter().map(|f| f.weight).sum();
         for (_, s) in &mut scores {
             *s *= features[0].weight / total_w;
@@ -177,13 +208,16 @@ impl<'e, 'g> ProgressiveRun<'e, 'g> {
         combined.extend(scores);
         // Remaining features, weighted-averaged in.
         for (fi, feature) in features.iter().enumerate().skip(1) {
+            self.ctx.set_phase(BudgetPhase::Materialization);
             let vecs: Vec<(VertexId, SparseVec)> = batch
                 .iter()
-                .map(|&v| Ok((v, source.neighbor_vector(v, &feature.path, &mut self.stats)?)))
+                .map(|&v| Ok((v, source.neighbor_vector(v, &feature.path, &mut self.ctx)?)))
                 .collect::<Result<_, EngineError>>()?;
+            self.ctx.set_phase(BudgetPhase::Scoring);
+            self.ctx.checkpoint()?;
             let t = std::time::Instant::now();
             let scores = self.measure.scores(&vecs, &self.extra_reference[fi - 1])?;
-            self.stats.scoring += t.elapsed();
+            self.ctx.stats.scoring += t.elapsed();
             for ((_, acc), (_, s)) in combined.iter_mut().zip(scores) {
                 *acc += s * feature.weight / total_w;
             }
@@ -232,6 +266,71 @@ impl<'e, 'g> ProgressiveRun<'e, 'g> {
             },
         }
     }
+
+    /// Drive the run to its end and produce a [`QueryResult`]:
+    ///
+    /// * no error → an exact result, `degraded: None`;
+    /// * a budget violation after at least one candidate was scored → a
+    ///   **partial** result ranked over the scored prefix, with
+    ///   [`QueryResult::degraded`] describing what was truncated and why;
+    /// * a budget violation before anything was scored, or any other
+    ///   error → `Err`.
+    pub fn finish(mut self) -> Result<QueryResult, EngineError> {
+        while self.next().is_some() {}
+        let total = self.candidates.len();
+        let scored_n = self.scored.len();
+        match self.error.take() {
+            None => Ok(self.into_result()),
+            Some(EngineError::BudgetExceeded { limit, phase, .. }) if scored_n > 0 => {
+                let mut result = self.into_result();
+                result.degraded = Some(Degraded {
+                    limit,
+                    phase,
+                    scored: scored_n,
+                    total,
+                });
+                Ok(result)
+            }
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Build a [`QueryResult`] from the scored (possibly partial) prefix,
+    /// mirroring the strict executor's ranking and zero-visibility split.
+    fn into_result(self) -> QueryResult {
+        let order = self.measure.order();
+        let mut zero_visibility: Vec<VertexId> = self
+            .scored
+            .iter()
+            .filter(|(_, s)| !s.is_finite())
+            .map(|(v, _)| *v)
+            .collect();
+        zero_visibility.sort_unstable();
+        let finite: Vec<(VertexId, f64)> = self
+            .scored
+            .iter()
+            .copied()
+            .filter(|(_, s)| s.is_finite())
+            .collect();
+        let ranked = top_k(finite, self.query.top, order);
+        let graph = self.engine.graph();
+        QueryResult {
+            ranked: ranked
+                .into_iter()
+                .map(|(vertex, score)| OutlierResult {
+                    vertex,
+                    name: graph.vertex_name(vertex).to_string(),
+                    score,
+                })
+                .collect(),
+            candidate_count: self.candidates.len(),
+            reference_count: self.reference.len(),
+            zero_visibility,
+            stats: self.ctx.stats,
+            measure: self.measure.name(),
+            degraded: None,
+        }
+    }
 }
 
 impl Iterator for ProgressiveRun<'_, '_> {
@@ -243,14 +342,14 @@ impl Iterator for ProgressiveRun<'_, '_> {
         }
         let end = (self.cursor + self.batch_size).min(self.candidates.len());
         let batch: Vec<VertexId> = self.candidates[self.cursor..end].to_vec();
-        // Errors mid-stream abort the run; start() already validated the
-        // query, so the only failures left are measure-parameter ones,
-        // surfaced by scoring the first batch eagerly in execute_progressive
-        // callers that need them. Here we conservatively stop the stream.
+        // Errors mid-stream (budget violations, measure-parameter problems)
+        // end the stream; the error is recorded so `error()`/`finish()` can
+        // distinguish an abort from completion and degrade gracefully.
         let scores = match self.score_batch(&batch) {
             Ok(s) => s,
-            Err(_) => {
+            Err(e) => {
                 self.cursor = self.candidates.len();
+                self.error = Some(e);
                 return None;
             }
         };
@@ -357,7 +456,12 @@ mod tests {
         let exact = engine.execute(&bound).unwrap();
         for (a, b) in last.top.iter().zip(&exact.ranked) {
             assert_eq!(a.vertex, b.vertex);
-            assert!((a.score - b.score).abs() < 1e-9, "{} vs {}", a.score, b.score);
+            assert!(
+                (a.score - b.score).abs() < 1e-9,
+                "{} vs {}",
+                a.score,
+                b.score
+            );
         }
     }
 
@@ -371,5 +475,65 @@ mod tests {
         )
         .unwrap();
         assert!(engine.execute_progressive(&bound, 0).is_err());
+    }
+
+    #[test]
+    fn finish_without_budget_matches_exact() {
+        let g = toy::table1_network();
+        let engine = QueryEngine::baseline(&g);
+        let bound = parse_and_bind(&toy::table1_query(), g.schema()).unwrap();
+        let result = engine
+            .execute_progressive(&bound, 16)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let exact = engine.execute(&bound).unwrap();
+        assert!(result.degraded.is_none());
+        assert_eq!(result.names(), exact.names());
+        assert_eq!(result.candidate_count, exact.candidate_count);
+        assert_eq!(result.zero_visibility, exact.zero_visibility);
+    }
+
+    #[test]
+    fn cancellation_mid_run_degrades_to_partial_result() {
+        use crate::engine::budget::{Budget, BudgetLimit, CancelToken};
+        let g = toy::table1_network();
+        let token = CancelToken::new();
+        let engine =
+            QueryEngine::baseline(&g).budget(Budget::default().with_cancel_token(token.clone()));
+        let bound = parse_and_bind(&toy::table1_query(), g.schema()).unwrap();
+        let mut run = engine.execute_progressive(&bound, 5).unwrap();
+        // Score one batch, then cancel from "another thread".
+        assert!(run.next().is_some());
+        token.cancel();
+        assert!(run.next().is_none(), "stream ends after cancellation");
+        assert!(matches!(
+            run.error(),
+            Some(EngineError::BudgetExceeded {
+                limit: BudgetLimit::Cancelled,
+                ..
+            })
+        ));
+        let result = run.finish().unwrap();
+        let degraded = result.degraded.expect("partial result is degraded");
+        assert_eq!(degraded.limit, BudgetLimit::Cancelled);
+        assert_eq!(degraded.scored, 5);
+        assert_eq!(degraded.total, 105);
+        assert!(!result.ranked.is_empty());
+    }
+
+    #[test]
+    fn budget_violation_before_any_score_is_an_error() {
+        use crate::engine::budget::{Budget, CancelToken};
+        let g = toy::table1_network();
+        let token = CancelToken::new();
+        token.cancel();
+        let engine = QueryEngine::baseline(&g).budget(Budget::default().with_cancel_token(token));
+        let bound = parse_and_bind(&toy::table1_query(), g.schema()).unwrap();
+        // Already cancelled: set retrieval fails at its first checkpoint.
+        assert!(matches!(
+            engine.execute_progressive(&bound, 5),
+            Err(EngineError::BudgetExceeded { .. })
+        ));
     }
 }

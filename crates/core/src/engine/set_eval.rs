@@ -5,8 +5,8 @@
 //! retrieval also benefits from pre-materialization — the paper notes this
 //! explicitly at the end of Section 6.2.
 
+use crate::engine::budget::ExecCtx;
 use crate::engine::source::VectorSource;
-use crate::engine::stats::ExecBreakdown;
 use crate::error::EngineError;
 use hin_graph::{HinGraph, VertexId};
 use hin_query::validate::{BoundCondition, BoundSetExpr, BoundSetPrimary};
@@ -14,38 +14,41 @@ use std::time::Instant;
 
 /// Evaluate a set expression to its member vertices (ascending id order).
 ///
-/// Set-algebra work is attributed to `stats.set_retrieval`; vector
-/// materialization inside walks is attributed by the source as usual.
+/// Set-algebra work is attributed to `ctx.stats.set_retrieval`; vector
+/// materialization inside walks is attributed by the source as usual. The
+/// context's budget is checked per set-algebra node, per filtered member,
+/// and — through the source — per propagation step.
 pub fn eval_set(
     graph: &HinGraph,
     source: &dyn VectorSource,
     expr: &BoundSetExpr,
-    stats: &mut ExecBreakdown,
+    ctx: &mut ExecCtx,
 ) -> Result<Vec<VertexId>, EngineError> {
+    ctx.checkpoint()?;
     match expr {
-        BoundSetExpr::Primary(p) => eval_primary(graph, source, p, stats),
+        BoundSetExpr::Primary(p) => eval_primary(graph, source, p, ctx),
         BoundSetExpr::Union(a, b) => {
-            let left = eval_set(graph, source, a, stats)?;
-            let right = eval_set(graph, source, b, stats)?;
+            let left = eval_set(graph, source, a, ctx)?;
+            let right = eval_set(graph, source, b, ctx)?;
             let t = Instant::now();
             let merged = union_sorted(&left, &right);
-            stats.set_retrieval += t.elapsed();
+            ctx.stats.set_retrieval += t.elapsed();
             Ok(merged)
         }
         BoundSetExpr::Intersect(a, b) => {
-            let left = eval_set(graph, source, a, stats)?;
-            let right = eval_set(graph, source, b, stats)?;
+            let left = eval_set(graph, source, a, ctx)?;
+            let right = eval_set(graph, source, b, ctx)?;
             let t = Instant::now();
             let merged = intersect_sorted(&left, &right);
-            stats.set_retrieval += t.elapsed();
+            ctx.stats.set_retrieval += t.elapsed();
             Ok(merged)
         }
         BoundSetExpr::Except(a, b) => {
-            let left = eval_set(graph, source, a, stats)?;
-            let right = eval_set(graph, source, b, stats)?;
+            let left = eval_set(graph, source, a, ctx)?;
+            let right = eval_set(graph, source, b, ctx)?;
             let t = Instant::now();
             let merged = difference_sorted(&left, &right);
-            stats.set_retrieval += t.elapsed();
+            ctx.stats.set_retrieval += t.elapsed();
             Ok(merged)
         }
     }
@@ -55,7 +58,7 @@ fn eval_primary(
     graph: &HinGraph,
     source: &dyn VectorSource,
     p: &BoundSetPrimary,
-    stats: &mut ExecBreakdown,
+    ctx: &mut ExecCtx,
 ) -> Result<Vec<VertexId>, EngineError> {
     let t = Instant::now();
     let anchor_type = p.anchor_type();
@@ -65,14 +68,14 @@ fn eval_primary(
             type_name: graph.schema().vertex_type_name(anchor_type).to_string(),
             name: p.anchor_name.clone(),
         })?;
-    stats.set_retrieval += t.elapsed();
+    ctx.stats.set_retrieval += t.elapsed();
 
     // The neighborhood N_P(anchor) is the support of Φ_P(anchor). For the
     // identity path this is just the anchor itself.
     let members: Vec<VertexId> = if p.path.is_empty() {
         vec![anchor]
     } else {
-        let phi = source.neighbor_vector(anchor, &p.path, stats)?;
+        let phi = source.neighbor_vector(anchor, &p.path, ctx)?;
         phi.support().collect()
     };
 
@@ -81,7 +84,9 @@ fn eval_primary(
     };
     let mut kept = Vec::with_capacity(members.len());
     for v in members {
-        if eval_condition(graph, source, filter, v, stats)? {
+        // Filtering can walk the graph per member; keep it cancellable.
+        ctx.checkpoint()?;
+        if eval_condition(graph, source, filter, v, ctx)? {
             kept.push(v);
         }
     }
@@ -93,14 +98,18 @@ fn eval_condition(
     source: &dyn VectorSource,
     cond: &BoundCondition,
     v: VertexId,
-    stats: &mut ExecBreakdown,
+    ctx: &mut ExecCtx,
 ) -> Result<bool, EngineError> {
     match cond {
-        BoundCondition::And(a, b) => Ok(eval_condition(graph, source, a, v, stats)?
-            && eval_condition(graph, source, b, v, stats)?),
-        BoundCondition::Or(a, b) => Ok(eval_condition(graph, source, a, v, stats)?
-            || eval_condition(graph, source, b, v, stats)?),
-        BoundCondition::Not(c) => Ok(!eval_condition(graph, source, c, v, stats)?),
+        BoundCondition::And(a, b) => {
+            Ok(eval_condition(graph, source, a, v, ctx)?
+                && eval_condition(graph, source, b, v, ctx)?)
+        }
+        BoundCondition::Or(a, b) => {
+            Ok(eval_condition(graph, source, a, v, ctx)?
+                || eval_condition(graph, source, b, v, ctx)?)
+        }
+        BoundCondition::Not(c) => Ok(!eval_condition(graph, source, c, v, ctx)?),
         BoundCondition::Count { path, op, value } => {
             // COUNT(alias.path) counts *distinct* reachable vertices
             // ("published at least 10 papers" — papers, not author-paper
@@ -109,15 +118,14 @@ fn eval_condition(
                 // Single hop: distinct neighbors directly, cheaper than a
                 // full vector build when multiplicity is 1 anyway.
                 let t = Instant::now();
-                let mut ns: Vec<VertexId> =
-                    graph.step_neighbors(v, path.target_type()).collect();
+                let mut ns: Vec<VertexId> = graph.step_neighbors(v, path.target_type()).collect();
                 ns.sort_unstable();
                 ns.dedup();
                 let n = ns.len();
-                stats.set_retrieval += t.elapsed();
+                ctx.stats.set_retrieval += t.elapsed();
                 n
             } else {
-                source.neighbor_vector(v, path, stats)?.nnz()
+                source.neighbor_vector(v, path, ctx)?.nnz()
             };
             Ok(op.eval(count as f64, *value))
         }
@@ -200,8 +208,8 @@ mod tests {
         let g = toy::figure1_network();
         let q = parse_and_bind(src, g.schema())?;
         let source = TraversalSource::new(&g);
-        let mut stats = ExecBreakdown::default();
-        let ids = eval_set(&g, &source, &q.candidate, &mut stats)?;
+        let mut ctx = ExecCtx::unbounded();
+        let ids = eval_set(&g, &source, &q.candidate, &mut ctx)?;
         Ok(ids
             .into_iter()
             .map(|v| g.vertex_name(v).to_string())
@@ -211,10 +219,9 @@ mod tests {
     #[test]
     fn neighborhood_walk() {
         // Authors with a KDD paper: Liam, Zoe.
-        let names = eval(
-            "FIND OUTLIERS FROM venue{\"KDD\"}.paper.author JUDGED BY author.paper.venue;",
-        )
-        .unwrap();
+        let names =
+            eval("FIND OUTLIERS FROM venue{\"KDD\"}.paper.author JUDGED BY author.paper.venue;")
+                .unwrap();
         assert_eq!(names, vec!["Liam", "Zoe"]);
     }
 
@@ -227,9 +234,8 @@ mod tests {
 
     #[test]
     fn unknown_anchor_error() {
-        let err =
-            eval("FIND OUTLIERS FROM author{\"Nobody\"} JUDGED BY author.paper.venue;")
-                .unwrap_err();
+        let err = eval("FIND OUTLIERS FROM author{\"Nobody\"} JUDGED BY author.paper.venue;")
+            .unwrap_err();
         assert!(matches!(err, EngineError::UnknownAnchor { .. }));
         assert!(err.to_string().contains("Nobody"));
     }

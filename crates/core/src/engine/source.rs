@@ -3,21 +3,27 @@
 //! A [`VectorSource`] produces neighbor vectors `Φ_P(v)` and records where
 //! the time went (index hit vs. traversal), which is the data behind the
 //! paper's Figures 3 and 4.
+//!
+//! Every strategy runs budget checkpoints through the [`ExecCtx`] at
+//! **propagation-step granularity**: a wall-clock deadline or `nnz` cap
+//! fires mid-meta-path, not only between whole vectors.
 
+use crate::engine::budget::ExecCtx;
 use crate::engine::index::PmIndex;
-use crate::engine::stats::ExecBreakdown;
 use crate::error::EngineError;
-use hin_graph::{traverse, HinGraph, MetaPath, SparseVec, VertexId};
+use hin_graph::{traverse, GraphError, HinGraph, MetaPath, SparseVec, VertexId};
 use std::time::Instant;
 
 /// A strategy for materializing neighbor vectors.
 pub trait VectorSource: Send + Sync {
-    /// Materialize `Φ_path(v)`, attributing elapsed time into `stats`.
+    /// Materialize `Φ_path(v)`, attributing elapsed time into `ctx.stats`
+    /// and honouring the context's budget (deadline, `nnz` cap,
+    /// cancellation) at propagation-step granularity.
     fn neighbor_vector(
         &self,
         v: VertexId,
         path: &MetaPath,
-        stats: &mut ExecBreakdown,
+        ctx: &mut ExecCtx,
     ) -> Result<SparseVec, EngineError>;
 
     /// Short strategy name for reports (`"baseline"`, `"pm"`, `"spm"`).
@@ -38,6 +44,42 @@ pub trait VectorSource: Send + Sync {
     }
 }
 
+/// Sparse traversal with budget checks after every propagation step.
+///
+/// Semantically identical to [`traverse::neighbor_vector`] (same start
+/// validation, same propagation), but interleaved with
+/// [`ExecCtx::check_frontier`] so a deadline, `nnz` cap, or cancellation
+/// fires between hops of a long meta-path.
+fn guarded_traversal(
+    graph: &HinGraph,
+    v: VertexId,
+    path: &MetaPath,
+    ctx: &mut ExecCtx,
+) -> Result<SparseVec, EngineError> {
+    if !graph.contains(v) {
+        return Err(GraphError::UnknownVertex(v).into());
+    }
+    let actual = graph.vertex_type(v);
+    if actual != path.source_type() {
+        return Err(GraphError::StartTypeMismatch {
+            vertex: v,
+            actual,
+            expected: path.source_type(),
+        }
+        .into());
+    }
+    let mut frontier = SparseVec::unit(v);
+    for link in path.types().windows(2) {
+        ctx.check_frontier(frontier.nnz())?;
+        frontier = traverse::propagate_step(graph, &frontier, link[1]);
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    ctx.check_frontier(frontier.nnz())?;
+    Ok(frontier)
+}
+
 /// The baseline strategy (Section 6.1): materialize every vector by sparse
 /// graph traversal, no precomputation.
 pub struct TraversalSource<'g> {
@@ -56,12 +98,12 @@ impl VectorSource for TraversalSource<'_> {
         &self,
         v: VertexId,
         path: &MetaPath,
-        stats: &mut ExecBreakdown,
+        ctx: &mut ExecCtx,
     ) -> Result<SparseVec, EngineError> {
         let t = Instant::now();
-        let phi = traverse::neighbor_vector(self.graph, v, path)?;
-        stats.unindexed_vectors += t.elapsed();
-        stats.unindexed_count += 1;
+        let phi = guarded_traversal(self.graph, v, path, ctx)?;
+        ctx.stats.unindexed_vectors += t.elapsed();
+        ctx.stats.unindexed_count += 1;
         Ok(phi)
     }
 
@@ -102,38 +144,41 @@ impl<'g> IndexedSource<'g> {
         &self,
         v: VertexId,
         chunk: &MetaPath,
-        stats: &mut ExecBreakdown,
+        ctx: &mut ExecCtx,
     ) -> Result<SparseVec, EngineError> {
         if chunk.len() == 2 {
             let t = Instant::now();
             if let Some(row) = self.index.row(chunk, v) {
                 let phi = row;
-                stats.indexed_vectors += t.elapsed();
-                stats.indexed_count += 1;
+                ctx.stats.indexed_vectors += t.elapsed();
+                ctx.stats.indexed_count += 1;
                 return Ok(phi);
             }
             // Not materialized for this vertex: fall back.
         }
         let t = Instant::now();
-        let phi = traverse::neighbor_vector(self.graph, v, chunk)?;
-        stats.unindexed_vectors += t.elapsed();
-        stats.unindexed_count += 1;
+        let phi = guarded_traversal(self.graph, v, chunk, ctx)?;
+        ctx.stats.unindexed_vectors += t.elapsed();
+        ctx.stats.unindexed_count += 1;
         Ok(phi)
     }
 
     /// Propagate a frontier through one chunk: for every frontier vertex use
-    /// its index row when present, traversal otherwise.
+    /// its index row when present, traversal otherwise. Budget-checked per
+    /// frontier vertex, so a huge frontier cannot run away between
+    /// checkpoints.
     fn frontier_chunk(
         &self,
         frontier: &SparseVec,
         chunk: &MetaPath,
-        stats: &mut ExecBreakdown,
+        ctx: &mut ExecCtx,
     ) -> Result<SparseVec, EngineError> {
         let mut acc = SparseVec::new();
         for (u, w) in frontier.iter() {
-            let mut phi = self.seed_chunk(u, chunk, stats)?;
+            let mut phi = self.seed_chunk(u, chunk, ctx)?;
             phi.scale(w);
             acc.add_assign(&phi);
+            ctx.check_frontier(acc.nnz())?;
         }
         Ok(acc)
     }
@@ -144,32 +189,45 @@ impl VectorSource for IndexedSource<'_> {
         &self,
         v: VertexId,
         path: &MetaPath,
-        stats: &mut ExecBreakdown,
+        ctx: &mut ExecCtx,
     ) -> Result<SparseVec, EngineError> {
-        // Type/start validation mirrors the traversal path.
         if path.is_empty() || path.len() == 1 {
             let t = Instant::now();
-            let phi = traverse::neighbor_vector(self.graph, v, path)?;
-            stats.unindexed_vectors += t.elapsed();
-            stats.unindexed_count += 1;
+            let phi = guarded_traversal(self.graph, v, path, ctx)?;
+            ctx.stats.unindexed_vectors += t.elapsed();
+            ctx.stats.unindexed_count += 1;
             return Ok(phi);
+        }
+        // Start validation up front, mirroring the traversal path's errors.
+        if !self.graph.contains(v) {
+            return Err(GraphError::UnknownVertex(v).into());
+        }
+        let actual = self.graph.vertex_type(v);
+        if actual != path.source_type() {
+            return Err(GraphError::StartTypeMismatch {
+                vertex: v,
+                actual,
+                expected: path.source_type(),
+            }
+            .into());
         }
         let chunks = path.decompose_pairs();
         let mut iter = chunks.iter();
-        let first = iter.next().expect("non-degenerate path has chunks");
-        // Validate the start type through the traversal machinery on the
-        // fallback path; on the index path, check explicitly.
-        if self.graph.vertex_type(v) != path.source_type() {
-            // Delegate to traversal for the canonical error.
-            return Ok(traverse::neighbor_vector(self.graph, v, path)?);
-        }
-        let mut frontier = self.seed_chunk(v, first, stats)?;
+        let Some(first) = iter.next() else {
+            // Non-degenerate paths always decompose into at least one
+            // chunk; if that invariant ever breaks, traversal is still
+            // correct.
+            return guarded_traversal(self.graph, v, path, ctx);
+        };
+        let mut frontier = self.seed_chunk(v, first, ctx)?;
         for chunk in iter {
             if frontier.is_empty() {
                 break;
             }
-            frontier = self.frontier_chunk(&frontier, chunk, stats)?;
+            ctx.check_frontier(frontier.nnz())?;
+            frontier = self.frontier_chunk(&frontier, chunk, ctx)?;
         }
+        ctx.check_frontier(frontier.nnz())?;
         Ok(frontier)
     }
 
@@ -191,6 +249,7 @@ impl VectorSource for IndexedSource<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::budget::{Budget, BudgetLimit};
     use crate::engine::index::{ChunkSelection, PmIndex};
     use hin_datagen::toy;
 
@@ -201,11 +260,13 @@ mod tests {
         let author = g.schema().vertex_type_by_name("author").unwrap();
         let zoe = g.vertex_by_name(author, "Zoe").unwrap();
         let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
-        let mut stats = ExecBreakdown::default();
-        let phi = src.neighbor_vector(zoe, &apv, &mut stats).unwrap();
+        let mut ctx = ExecCtx::unbounded();
+        let phi = src.neighbor_vector(zoe, &apv, &mut ctx).unwrap();
         assert_eq!(phi.sum(), 5.0);
-        assert_eq!(stats.unindexed_count, 1);
-        assert_eq!(stats.indexed_count, 0);
+        assert_eq!(ctx.stats.unindexed_count, 1);
+        assert_eq!(ctx.stats.indexed_count, 0);
+        assert!(ctx.stats.peak_frontier_nnz >= 1);
+        assert!(ctx.stats.budget_checks() > 0);
         assert_eq!(src.index_size_bytes(), 0);
         assert_eq!(src.name(), "baseline");
     }
@@ -218,11 +279,11 @@ mod tests {
         let author = g.schema().vertex_type_by_name("author").unwrap();
         let zoe = g.vertex_by_name(author, "Zoe").unwrap();
         let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
-        let mut stats = ExecBreakdown::default();
-        let phi = src.neighbor_vector(zoe, &apv, &mut stats).unwrap();
+        let mut ctx = ExecCtx::unbounded();
+        let phi = src.neighbor_vector(zoe, &apv, &mut ctx).unwrap();
         assert_eq!(phi.nnz(), 2);
-        assert_eq!(stats.unindexed_count, 0);
-        assert_eq!(stats.indexed_count, 1);
+        assert_eq!(ctx.stats.unindexed_count, 0);
+        assert_eq!(ctx.stats.indexed_count, 1);
         assert!(src.index_size_bytes() > 0);
     }
 
@@ -237,10 +298,10 @@ mod tests {
         let apvp = MetaPath::parse("author.paper.venue.paper", g.schema()).unwrap();
         for &a in g.vertices_of_type(author) {
             for path in [&apvpa, &apvp] {
-                let mut s1 = ExecBreakdown::default();
-                let mut s2 = ExecBreakdown::default();
-                let phi_i = idx_src.neighbor_vector(a, path, &mut s1).unwrap();
-                let phi_t = trv_src.neighbor_vector(a, path, &mut s2).unwrap();
+                let mut c1 = ExecCtx::unbounded();
+                let mut c2 = ExecCtx::unbounded();
+                let phi_i = idx_src.neighbor_vector(a, path, &mut c1).unwrap();
+                let phi_t = trv_src.neighbor_vector(a, path, &mut c2).unwrap();
                 assert_eq!(phi_i, phi_t, "path {path:?} vertex {a:?}");
             }
         }
@@ -255,10 +316,10 @@ mod tests {
         let zoe = g.vertex_by_name(author, "Zoe").unwrap();
         // Length-3 path: one indexed chunk + one single-hop tail.
         let apvp = MetaPath::parse("author.paper.venue.paper", g.schema()).unwrap();
-        let mut stats = ExecBreakdown::default();
-        src.neighbor_vector(zoe, &apvp, &mut stats).unwrap();
-        assert!(stats.indexed_count >= 1);
-        assert!(stats.unindexed_count >= 1, "tail hop is traversal");
+        let mut ctx = ExecCtx::unbounded();
+        src.neighbor_vector(zoe, &apvp, &mut ctx).unwrap();
+        assert!(ctx.stats.indexed_count >= 1);
+        assert!(ctx.stats.unindexed_count >= 1, "tail hop is traversal");
     }
 
     #[test]
@@ -269,10 +330,10 @@ mod tests {
         let author = g.schema().vertex_type_by_name("author").unwrap();
         let zoe = g.vertex_by_name(author, "Zoe").unwrap();
         let ap = MetaPath::parse("author.paper", g.schema()).unwrap();
-        let mut stats = ExecBreakdown::default();
-        let phi = src.neighbor_vector(zoe, &ap, &mut stats).unwrap();
+        let mut ctx = ExecCtx::unbounded();
+        let phi = src.neighbor_vector(zoe, &ap, &mut ctx).unwrap();
         assert_eq!(phi.sum(), 5.0);
-        assert_eq!(stats.indexed_count, 0);
+        assert_eq!(ctx.stats.indexed_count, 0);
     }
 
     #[test]
@@ -283,7 +344,39 @@ mod tests {
         let venue = g.schema().vertex_type_by_name("venue").unwrap();
         let icde = g.vertex_by_name(venue, "ICDE").unwrap();
         let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
-        let mut stats = ExecBreakdown::default();
-        assert!(src.neighbor_vector(icde, &apv, &mut stats).is_err());
+        let mut ctx = ExecCtx::unbounded();
+        assert!(src.neighbor_vector(icde, &apv, &mut ctx).is_err());
+    }
+
+    #[test]
+    fn guarded_traversal_matches_unguarded() {
+        let g = toy::figure1_network();
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        let apvpa = MetaPath::parse("author.paper.venue.paper.author", g.schema()).unwrap();
+        for &a in g.vertices_of_type(author) {
+            let mut ctx = ExecCtx::unbounded();
+            let guarded = guarded_traversal(&g, a, &apvpa, &mut ctx).unwrap();
+            let plain = traverse::neighbor_vector(&g, a, &apvpa).unwrap();
+            assert_eq!(guarded, plain);
+        }
+    }
+
+    #[test]
+    fn nnz_cap_fires_mid_path() {
+        let g = toy::figure1_network();
+        let src = TraversalSource::new(&g);
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        let zoe = g.vertex_by_name(author, "Zoe").unwrap();
+        let apvpa = MetaPath::parse("author.paper.venue.paper.author", g.schema()).unwrap();
+        let mut ctx = ExecCtx::new(&Budget::default().with_max_nnz(1));
+        match src.neighbor_vector(zoe, &apvpa, &mut ctx).unwrap_err() {
+            EngineError::BudgetExceeded {
+                limit, observed, ..
+            } => {
+                assert_eq!(limit, BudgetLimit::FrontierNnz);
+                assert!(observed > 1);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 }

@@ -27,6 +27,16 @@ pub struct ExecBreakdown {
     pub unindexed_count: u64,
     /// Number of feature vectors served from the index.
     pub indexed_count: u64,
+    /// Budget checkpoints run while evaluating set expressions.
+    pub set_retrieval_checks: u64,
+    /// Budget checkpoints run while materializing neighbor vectors (one
+    /// per propagation step / index chunk — the enforcement granularity).
+    pub materialization_checks: u64,
+    /// Budget checkpoints run while scoring.
+    pub scoring_checks: u64,
+    /// Largest intermediate sparse-vector population (`nnz`) observed
+    /// during traversal — the value compared against `Budget::max_nnz`.
+    pub peak_frontier_nnz: u64,
 }
 
 impl ExecBreakdown {
@@ -34,6 +44,13 @@ impl ExecBreakdown {
     /// larger due to unattributed glue work.)
     pub fn total(&self) -> Duration {
         self.set_retrieval + self.unindexed_vectors + self.indexed_vectors + self.scoring
+    }
+
+    /// Total budget checkpoints run across all phases. Each checkpoint
+    /// polls the cancellation token and wall-clock deadline, so this is
+    /// also the enforcement granularity of the run.
+    pub fn budget_checks(&self) -> u64 {
+        self.set_retrieval_checks + self.materialization_checks + self.scoring_checks
     }
 
     /// Fraction of materialized vectors served from the index, in `[0, 1]`.
@@ -59,6 +76,10 @@ impl Add for ExecBreakdown {
             scoring: self.scoring + rhs.scoring,
             unindexed_count: self.unindexed_count + rhs.unindexed_count,
             indexed_count: self.indexed_count + rhs.indexed_count,
+            set_retrieval_checks: self.set_retrieval_checks + rhs.set_retrieval_checks,
+            materialization_checks: self.materialization_checks + rhs.materialization_checks,
+            scoring_checks: self.scoring_checks + rhs.scoring_checks,
+            peak_frontier_nnz: self.peak_frontier_nnz.max(rhs.peak_frontier_nnz),
         }
     }
 }
@@ -96,6 +117,7 @@ mod tests {
             scoring: Duration::from_millis(4 * ms),
             unindexed_count: misses,
             indexed_count: hits,
+            ..ExecBreakdown::default()
         }
     }
 
@@ -127,5 +149,26 @@ mod tests {
         let s = sample(1, 5, 7).to_string();
         assert!(s.contains("(5)"));
         assert!(s.contains("(7)"));
+    }
+
+    #[test]
+    fn budget_accounting_sums_and_maxes() {
+        let a = ExecBreakdown {
+            set_retrieval_checks: 1,
+            materialization_checks: 2,
+            scoring_checks: 3,
+            peak_frontier_nnz: 100,
+            ..ExecBreakdown::default()
+        };
+        let b = ExecBreakdown {
+            set_retrieval_checks: 10,
+            materialization_checks: 20,
+            scoring_checks: 30,
+            peak_frontier_nnz: 7,
+            ..ExecBreakdown::default()
+        };
+        let c = a + b;
+        assert_eq!(c.budget_checks(), 66);
+        assert_eq!(c.peak_frontier_nnz, 100);
     }
 }

@@ -22,7 +22,12 @@ impl ScoreOrder {
     /// Non-finite scores (`Ω = +∞` for zero-visibility vertices) always sort
     /// last; ties break by vertex id for determinism.
     pub fn compare(self, a: &(VertexId, f64), b: &(VertexId, f64)) -> Ordering {
-        rank_key(self, a).partial_cmp(&rank_key(self, b)).expect("keys are finite or handled")
+        // Invariant: `rank_key` maps every score (including NaN/±∞) to a
+        // finite key, so `partial_cmp` always succeeds.
+        #[allow(clippy::expect_used)]
+        rank_key(self, a)
+            .partial_cmp(&rank_key(self, b))
+            .expect("keys are finite or handled")
             .then(a.0.cmp(&b.0))
     }
 }
@@ -90,8 +95,7 @@ pub fn top_k(
                     heap.pop(); // evict the least outlying
                 }
             }
-            let mut out: Vec<(VertexId, f64)> =
-                heap.into_iter().map(|h| h.entry).collect();
+            let mut out: Vec<(VertexId, f64)> = heap.into_iter().map(|h| h.entry).collect();
             out.sort_by(|a, b| order.compare(a, b));
             out
         }
@@ -143,7 +147,10 @@ mod tests {
 
     #[test]
     fn infinite_scores_sort_last_under_both_orders() {
-        for order in [ScoreOrder::AscendingIsOutlier, ScoreOrder::DescendingIsOutlier] {
+        for order in [
+            ScoreOrder::AscendingIsOutlier,
+            ScoreOrder::DescendingIsOutlier,
+        ] {
             let scores = vec![(v(1), f64::INFINITY), (v(2), 2.0), (v(3), f64::NAN)];
             let all = top_k(scores, None, order);
             assert_eq!(all[0].0, v(2), "finite score first under {order:?}");
@@ -163,7 +170,10 @@ mod tests {
         let scores: Vec<(VertexId, f64)> = (0..100)
             .map(|i| (v(i), ((i * 37) % 100) as f64 / 3.0))
             .collect();
-        for order in [ScoreOrder::AscendingIsOutlier, ScoreOrder::DescendingIsOutlier] {
+        for order in [
+            ScoreOrder::AscendingIsOutlier,
+            ScoreOrder::DescendingIsOutlier,
+        ] {
             let full = top_k(scores.clone(), None, order);
             let heap = top_k(scores.clone(), Some(10), order);
             assert_eq!(heap, full[..10].to_vec());

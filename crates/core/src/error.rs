@@ -1,5 +1,6 @@
 //! Error type for query execution.
 
+use crate::engine::budget::{BudgetLimit, BudgetPhase};
 use hin_graph::GraphError;
 use hin_query::QueryError;
 use std::fmt;
@@ -26,6 +27,18 @@ pub enum EngineError {
     /// A measure received parameters it cannot work with (e.g. LOF with
     /// `k = 0`, or `k` larger than the reference set).
     BadMeasureParameter(String),
+    /// An execution [`Budget`](crate::engine::budget::Budget) limit was
+    /// exceeded (wall-clock deadline, set cardinality, frontier `nnz`, or
+    /// cooperative cancellation).
+    BudgetExceeded {
+        /// Which limit fired.
+        limit: BudgetLimit,
+        /// The observed value: milliseconds past the deadline, the
+        /// offending cardinality or `nnz`, or `0` for cancellation.
+        observed: u64,
+        /// The execution phase the check ran in.
+        phase: BudgetPhase,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -39,6 +52,14 @@ impl fmt::Display for EngineError {
             EngineError::EmptyCandidateSet => write!(f, "the candidate set is empty"),
             EngineError::EmptyReferenceSet => write!(f, "the reference set is empty"),
             EngineError::BadMeasureParameter(msg) => write!(f, "bad measure parameter: {msg}"),
+            EngineError::BudgetExceeded {
+                limit,
+                observed,
+                phase,
+            } => write!(
+                f,
+                "budget exceeded during {phase}: {limit} limit hit (observed {observed})"
+            ),
         }
     }
 }
@@ -76,7 +97,18 @@ mod tests {
             name: "Nobody".into(),
         };
         assert_eq!(e.to_string(), "no vertex author{\"Nobody\"} in the network");
-        assert!(EngineError::EmptyCandidateSet.to_string().contains("candidate"));
+        assert!(EngineError::EmptyCandidateSet
+            .to_string()
+            .contains("candidate"));
+        let e = EngineError::BudgetExceeded {
+            limit: BudgetLimit::WallClock,
+            observed: 17,
+            phase: BudgetPhase::Materialization,
+        };
+        let s = e.to_string();
+        assert!(s.contains("wall-clock"));
+        assert!(s.contains("materialization"));
+        assert!(s.contains("17"));
     }
 
     #[test]

@@ -34,6 +34,10 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+// Library code paths must report failures as `EngineError`, never panic;
+// tests are free to unwrap. Intentional invariants carry local `#[allow]`s
+// with a justification comment.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod engine;
 pub mod measures;
@@ -42,6 +46,7 @@ mod detector;
 mod error;
 
 pub use detector::{IndexPolicy, OutlierDetector};
+pub use engine::budget::{Budget, BudgetLimit, BudgetPhase, CancelToken, Degraded, ExecCtx};
 pub use engine::cache::{CacheStats, CachedSource, VectorCache};
 pub use engine::executor::{CombineStrategy, OutlierResult, QueryEngine, QueryResult};
 pub use engine::explain::Explain;

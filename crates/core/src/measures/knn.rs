@@ -125,8 +125,8 @@ mod tests {
     fn far_point_scores_higher() {
         let reference = refs(&[&[(0, 1.0)], &[(0, 2.0)], &[(0, 3.0)]]);
         let candidates = vec![
-            (VertexId(0), sv(&[(0, 2.0)])),   // central
-            (VertexId(1), sv(&[(0, 50.0)])),  // far away
+            (VertexId(0), sv(&[(0, 2.0)])),  // central
+            (VertexId(1), sv(&[(0, 50.0)])), // far away
         ];
         let scores = KnnDist::new(1).scores(&candidates, &reference).unwrap();
         assert!(scores[1].1 > scores[0].1);

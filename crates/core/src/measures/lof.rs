@@ -74,7 +74,12 @@ fn build_model(reference: &VectorSet, k: usize) -> Option<LofModel> {
     let mut neighbors: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
     for (i, (u, phi)) in reference.iter().enumerate() {
         let nn = knn_of(*u, phi, reference, k)?;
-        k_dist[i] = nn.last().expect("k >= 1").1;
+        // Invariant: `knn_of` returns `None` rather than an empty list when
+        // fewer than `k ≥ 1` neighbors exist, so `nn` is non-empty here.
+        #[allow(clippy::expect_used)]
+        {
+            k_dist[i] = nn.last().expect("k >= 1").1;
+        }
         neighbors.push(nn);
     }
     let lrd: Vec<f64> = neighbors
@@ -127,7 +132,9 @@ impl OutlierMeasure for Lof {
         reference: &VectorSet,
     ) -> Result<Vec<(VertexId, f64)>, EngineError> {
         if self.k == 0 {
-            return Err(EngineError::BadMeasureParameter("LOF requires k >= 1".into()));
+            return Err(EngineError::BadMeasureParameter(
+                "LOF requires k >= 1".into(),
+            ));
         }
         let model = build_model(reference, self.k).ok_or_else(|| {
             EngineError::BadMeasureParameter(format!(
@@ -188,7 +195,10 @@ mod tests {
             .collect();
         let scores = Lof::new(2).scores(&candidates, &reference).unwrap();
         for (_, lof) in scores {
-            assert!((0.5..2.0).contains(&lof), "uniform data ⇒ LOF ≈ 1, got {lof}");
+            assert!(
+                (0.5..2.0).contains(&lof),
+                "uniform data ⇒ LOF ≈ 1, got {lof}"
+            );
         }
     }
 

@@ -64,10 +64,7 @@ impl OutlierMeasure for NetOut {
 /// `O(|S_r| × |S_c|)`. Used to validate the Equation (1) rewrite (they must
 /// agree to floating-point reassociation error) and by the baseline-cost
 /// microbenchmark.
-pub fn netout_scores_naive(
-    candidates: &VectorSet,
-    reference: &VectorSet,
-) -> Vec<(VertexId, f64)> {
+pub fn netout_scores_naive(candidates: &VectorSet, reference: &VectorSet) -> Vec<(VertexId, f64)> {
     candidates
         .iter()
         .map(|(v, phi)| {
@@ -99,7 +96,12 @@ mod tests {
 
     fn table1() -> Fixture {
         let reference: Vec<_> = (0..100)
-            .map(|i| (VertexId(100 + i), sv(&[(0, 10.0), (1, 10.0), (2, 1.0), (3, 1.0)])))
+            .map(|i| {
+                (
+                    VertexId(100 + i),
+                    sv(&[(0, 10.0), (1, 10.0), (2, 1.0), (3, 1.0)]),
+                )
+            })
             .collect();
         let candidates = vec![
             (VertexId(0), sv(&[(0, 10.0), (1, 10.0), (2, 1.0), (3, 1.0)])), // Sarah

@@ -71,11 +71,11 @@ mod tests {
         let r = sv(&[(0, 10.0), (1, 10.0), (2, 1.0), (3, 1.0)]);
         let reference: Vec<_> = (0..100).map(|i| (VertexId(100 + i), r.clone())).collect();
         let candidates = vec![
-            (VertexId(0), r),                                      // Sarah
-            (VertexId(1), sv(&[(1, 1.0), (2, 20.0), (3, 20.0)])),  // Rob
-            (VertexId(2), sv(&[(1, 5.0), (2, 10.0), (3, 10.0)])),  // Lucy
-            (VertexId(3), sv(&[(3, 2.0)])),                        // Joe
-            (VertexId(4), sv(&[(3, 30.0)])),                       // Emma
+            (VertexId(0), r),                                     // Sarah
+            (VertexId(1), sv(&[(1, 1.0), (2, 20.0), (3, 20.0)])), // Rob
+            (VertexId(2), sv(&[(1, 5.0), (2, 10.0), (3, 10.0)])), // Lucy
+            (VertexId(3), sv(&[(3, 2.0)])),                       // Joe
+            (VertexId(4), sv(&[(3, 30.0)])),                      // Emma
         ];
         (candidates, reference)
     }

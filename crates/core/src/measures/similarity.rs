@@ -8,8 +8,8 @@
 //! cheap: only vertices connected to the query along `P_sym` can have
 //! non-zero PathSim, and those are precisely the support of `Φ_{P_sym}(v)`.
 
+use crate::engine::budget::ExecCtx;
 use crate::engine::source::VectorSource;
-use crate::engine::stats::ExecBreakdown;
 use crate::engine::topk::{top_k, ScoreOrder};
 use crate::error::EngineError;
 use crate::measures::pathsim::pathsim;
@@ -33,9 +33,9 @@ pub fn pathsim_topk(
     query: VertexId,
     feature_path: &MetaPath,
     k: usize,
-    stats: &mut ExecBreakdown,
+    ctx: &mut ExecCtx,
 ) -> Result<Vec<SimilarVertex>, EngineError> {
-    let phi_q = source.neighbor_vector(query, feature_path, stats)?;
+    let phi_q = source.neighbor_vector(query, feature_path, ctx)?;
     if phi_q.is_empty() {
         // No path instances ⇒ PathSim 0 with everyone.
         return Ok(Vec::new());
@@ -43,12 +43,12 @@ pub fn pathsim_topk(
     // Candidates: support of Φ_{P_sym}(query) — exactly the vertices with
     // non-zero connectivity to the query.
     let sym = feature_path.symmetric();
-    let reachable = source.neighbor_vector(query, &sym, stats)?;
+    let reachable = source.neighbor_vector(query, &sym, ctx)?;
     let scored = reachable
         .support()
         .filter(|&u| u != query)
         .map(|u| {
-            let phi_u = source.neighbor_vector(u, feature_path, stats)?;
+            let phi_u = source.neighbor_vector(u, feature_path, ctx)?;
             Ok((u, pathsim(&phi_q, &phi_u)))
         })
         .collect::<Result<Vec<_>, EngineError>>()?;
@@ -72,8 +72,8 @@ mod tests {
         let v = g.vertex_by_name(author, name).unwrap();
         let p = MetaPath::parse(path, g.schema()).unwrap();
         let source = TraversalSource::new(g);
-        let mut stats = ExecBreakdown::default();
-        pathsim_topk(&source, v, &p, k, &mut stats)
+        let mut ctx = ExecCtx::unbounded();
+        pathsim_topk(&source, v, &p, k, &mut ctx)
             .unwrap()
             .into_iter()
             .map(|s| (g.vertex_name(s.vertex).to_string(), s.similarity))
@@ -141,11 +141,11 @@ mod tests {
         let author = g.schema().vertex_type_by_name("author").unwrap();
         let zoe = g.vertex_by_name(author, "Zoe").unwrap();
         let p = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
-        let mut s1 = ExecBreakdown::default();
-        let mut s2 = ExecBreakdown::default();
-        let a = pathsim_topk(&idx_source, zoe, &p, 5, &mut s1).unwrap();
-        let b = pathsim_topk(&trv_source, zoe, &p, 5, &mut s2).unwrap();
+        let mut c1 = ExecCtx::unbounded();
+        let mut c2 = ExecCtx::unbounded();
+        let a = pathsim_topk(&idx_source, zoe, &p, 5, &mut c1).unwrap();
+        let b = pathsim_topk(&trv_source, zoe, &p, 5, &mut c2).unwrap();
         assert_eq!(a, b);
-        assert!(s1.indexed_count > 0);
+        assert!(c1.stats.indexed_count > 0);
     }
 }

@@ -50,8 +50,21 @@ impl Args {
     {
         match self.get(key) {
             None => Ok(default),
+            Some(s) => s.parse().map_err(|e| format!("bad value for --{key}: {e}")),
+        }
+    }
+
+    /// An optional numeric flag: `Ok(None)` when absent, an error when
+    /// present but unparsable.
+    pub fn get_opt_num<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(None),
             Some(s) => s
                 .parse()
+                .map(Some)
                 .map_err(|e| format!("bad value for --{key}: {e}")),
         }
     }
@@ -132,6 +145,15 @@ mod tests {
     fn bad_number_reported() {
         let a = Args::parse(&argv(&["--n", "five"])).unwrap();
         assert!(a.get_num::<usize>("n", 0).is_err());
+    }
+
+    #[test]
+    fn optional_numbers() {
+        let a = Args::parse(&argv(&["--timeout-ms", "250"])).unwrap();
+        assert_eq!(a.get_opt_num::<u64>("timeout-ms").unwrap(), Some(250));
+        assert_eq!(a.get_opt_num::<u64>("max-nnz").unwrap(), None);
+        let bad = Args::parse(&argv(&["--timeout-ms", "soon"])).unwrap();
+        assert!(bad.get_opt_num::<u64>("timeout-ms").is_err());
     }
 
     #[test]

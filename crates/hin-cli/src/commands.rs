@@ -3,7 +3,7 @@
 use crate::args::Args;
 use hin_datagen::dblp::{generate, SyntheticConfig};
 use hin_graph::{io, stats, HinGraph};
-use netout::{IndexPolicy, MeasureKind, OutlierDetector, QueryResult};
+use netout::{Budget, IndexPolicy, MeasureKind, OutlierDetector, QueryResult};
 use std::io::{BufRead, Write};
 
 const USAGE: &str = "\
@@ -16,14 +16,26 @@ USAGE:
   hinout stats --graph FILE
   hinout query --graph FILE (--query 'FIND OUTLIERS …' | --query-file FILE)
                [--index none|pm] [--measure netout|pathsim|cossim|lof:K|knn:K]
+               [--timeout-ms N] [--max-candidates N] [--max-nnz N]
   hinout explain --graph FILE (--query '…' | --query-file FILE) [--index none|pm]
+               [--timeout-ms N] [--max-candidates N] [--max-nnz N]
   hinout similar --graph FILE --type author --name 'X' --path author.paper.venue [--top K]
+               [--timeout-ms N] [--max-candidates N] [--max-nnz N]
   hinout repl --graph FILE [--index none|pm]
+               [--timeout-ms N] [--max-candidates N] [--max-nnz N]
   hinout index-info --graph FILE
   hinout workload --graph FILE --template q1|q2|q3 --n N [--seed S] [--out FILE]
+               [--run strict|best-effort] [--timeout-ms N] [--max-candidates N] [--max-nnz N]
 
 A --query-file may hold several semicolon-separated queries; each runs in
-order.
+order — a failing query is reported and skipped, and the process exits
+nonzero at the end listing the failed indices.
+
+Budget flags bound each query's execution: --timeout-ms is a wall-clock
+deadline, --max-candidates caps the candidate/reference set sizes, and
+--max-nnz caps intermediate sparse-vector size (a memory proxy). When a
+budget trips after some candidates were already scored, query/repl print the
+partial ranking with a DEGRADED note instead of failing.
 
 The query language (EDBT 2015):
   FIND OUTLIERS FROM author{\"Christos Faloutsos\"}.paper.author
@@ -92,8 +104,7 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     print!("{}", stats::network_stats(&net.graph));
     println!("planted outliers: {}", net.planted.len());
     if let Some(truth) = args.get("truth") {
-        let mut f =
-            std::fs::File::create(truth).map_err(|e| format!("creating {truth}: {e}"))?;
+        let mut f = std::fs::File::create(truth).map_err(|e| format!("creating {truth}: {e}"))?;
         for &v in &net.planted {
             writeln!(
                 f,
@@ -166,6 +177,34 @@ fn parse_measure(s: &str) -> Result<MeasureKind, String> {
     }
 }
 
+/// Budget flags shared by the executing subcommands.
+const BUDGET_FLAGS: [&str; 3] = ["timeout-ms", "max-candidates", "max-nnz"];
+
+/// `check_known` with the budget flags appended to `base`.
+fn check_known_with_budget(args: &Args, base: &[&str]) -> Result<(), String> {
+    let mut allowed: Vec<&str> = base.to_vec();
+    allowed.extend_from_slice(&BUDGET_FLAGS);
+    args.check_known(&allowed)
+}
+
+/// Build an execution [`Budget`] from `--timeout-ms`, `--max-candidates`,
+/// and `--max-nnz` (all optional; absent flags leave that limit unbounded).
+fn parse_budget(args: &Args) -> Result<Budget, String> {
+    let mut budget = Budget::unbounded();
+    if let Some(ms) = args.get_opt_num::<u64>("timeout-ms")? {
+        budget = budget.with_timeout_ms(ms);
+    }
+    if let Some(n) = args.get_opt_num::<usize>("max-candidates")? {
+        // One cap for both set cardinalities: they bound the same kind of
+        // work (per-member materialization and scoring).
+        budget = budget.with_max_candidates(n).with_max_reference(n);
+    }
+    if let Some(n) = args.get_opt_num::<usize>("max-nnz")? {
+        budget = budget.with_max_nnz(n);
+    }
+    Ok(budget)
+}
+
 fn build_detector(graph: HinGraph, args: &Args) -> Result<OutlierDetector, String> {
     let index = args.get("index").unwrap_or("none");
     let policy = match index {
@@ -173,12 +212,11 @@ fn build_detector(graph: HinGraph, args: &Args) -> Result<OutlierDetector, Strin
         "pm" => IndexPolicy::full(),
         other => return Err(format!("unknown index {other:?} (none|pm)")),
     };
-    let mut detector =
-        OutlierDetector::with_index(graph, policy).map_err(|e| e.to_string())?;
+    let mut detector = OutlierDetector::with_index(graph, policy).map_err(|e| e.to_string())?;
     if let Some(m) = args.get("measure") {
         detector = detector.measure(parse_measure(m)?);
     }
-    Ok(detector)
+    Ok(detector.budget(parse_budget(args)?))
 }
 
 fn print_result(result: &QueryResult) {
@@ -196,6 +234,57 @@ fn print_result(result: &QueryResult) {
             result.zero_visibility.len()
         );
     }
+    if let Some(d) = &result.degraded {
+        println!("DEGRADED: {d}");
+    }
+}
+
+/// Execute each query in order, continuing past failures; on any failure
+/// the final error lists the 1-based indices that failed so the process
+/// exits nonzero while later queries still ran.
+fn run_queries<Q: std::fmt::Display>(
+    detector: &OutlierDetector,
+    queries: &[Q],
+    strict: bool,
+) -> Result<(), String> {
+    let mut failed: Vec<usize> = Vec::new();
+    for (i, query) in queries.iter().enumerate() {
+        if queries.len() > 1 {
+            println!("-- query {} of {}:\n   {query}", i + 1, queries.len());
+        }
+        let src = query.to_string();
+        let outcome = if strict {
+            detector.query(&src)
+        } else {
+            detector.query_best_effort(&src)
+        };
+        match outcome {
+            Ok(result) => print_result(&result),
+            Err(netout::EngineError::Query(qe)) => {
+                eprintln!("query {} failed:\n{}", i + 1, qe.render(&src));
+                failed.push(i + 1);
+            }
+            Err(e) => {
+                eprintln!("query {} failed: {e}", i + 1);
+                failed.push(i + 1);
+            }
+        }
+        println!();
+    }
+    if failed.is_empty() {
+        Ok(())
+    } else {
+        let list = failed
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        Err(format!(
+            "{} of {} queries failed (indices: {list})",
+            failed.len(),
+            queries.len()
+        ))
+    }
 }
 
 fn read_query_text(args: &Args) -> Result<String, String> {
@@ -210,30 +299,22 @@ fn read_query_text(args: &Args) -> Result<String, String> {
 
 fn cmd_query(args: &Args) -> Result<(), String> {
     args.expect_no_positional()?;
-    args.check_known(&["graph", "query", "query-file", "index", "measure"])?;
+    check_known_with_budget(args, &["graph", "query", "query-file", "index", "measure"])?;
     let query_text = read_query_text(args)?;
     let detector = build_detector(load(args)?, args)?;
     let queries = hin_query::parse_script(&query_text).map_err(|e| e.render(&query_text))?;
     if queries.is_empty() {
         return Err("no queries found in input".into());
     }
-    for (i, query) in queries.iter().enumerate() {
-        if queries.len() > 1 {
-            println!("-- query {} of {}:\n   {query}", i + 1, queries.len());
-        }
-        match detector.query(&query.to_string()) {
-            Ok(result) => print_result(&result),
-            Err(netout::EngineError::Query(qe)) => return Err(qe.to_string()),
-            Err(e) => return Err(e.to_string()),
-        }
-        println!();
-    }
-    Ok(())
+    // A bounded budget implies the operator prefers partial rankings over
+    // hard failures, so budgeted runs take the best-effort path.
+    let strict = detector.current_budget().is_unbounded();
+    run_queries(&detector, &queries, strict)
 }
 
 fn cmd_explain(args: &Args) -> Result<(), String> {
     args.expect_no_positional()?;
-    args.check_known(&["graph", "query", "query-file", "index", "measure"])?;
+    check_known_with_budget(args, &["graph", "query", "query-file", "index", "measure"])?;
     let query_text = read_query_text(args)?;
     let detector = build_detector(load(args)?, args)?;
     let queries = hin_query::parse_script(&query_text).map_err(|e| e.render(&query_text))?;
@@ -250,7 +331,7 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
 
 fn cmd_similar(args: &Args) -> Result<(), String> {
     args.expect_no_positional()?;
-    args.check_known(&["graph", "type", "name", "path", "top", "index"])?;
+    check_known_with_budget(args, &["graph", "type", "name", "path", "top", "index"])?;
     let detector = build_detector(load(args)?, args)?;
     let k = args.get_num("top", 10usize)?;
     let hits = detector
@@ -270,7 +351,12 @@ fn cmd_similar(args: &Args) -> Result<(), String> {
 
 fn cmd_workload(args: &Args) -> Result<(), String> {
     args.expect_no_positional()?;
-    args.check_known(&["graph", "template", "n", "seed", "out"])?;
+    check_known_with_budget(
+        args,
+        &[
+            "graph", "template", "n", "seed", "out", "run", "index", "measure",
+        ],
+    )?;
     let graph = load(args)?;
     let template = match args.require("template")?.to_ascii_lowercase().as_str() {
         "q1" => hin_datagen::workload::QueryTemplate::Q1,
@@ -289,21 +375,28 @@ fn cmd_workload(args: &Args) -> Result<(), String> {
         }
         Some(path) => {
             use std::io::Write as _;
-            let mut f =
-                std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+            let mut f = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
             for q in &queries {
                 writeln!(f, "{q}").map_err(|e| e.to_string())?;
             }
             println!("wrote {n} {} queries to {path}", template.name());
         }
     }
-    Ok(())
+    match args.get("run") {
+        None => Ok(()),
+        Some(mode @ ("strict" | "best-effort")) => {
+            let detector = build_detector(graph, args)?;
+            run_queries(&detector, &queries, mode == "strict")
+        }
+        Some(other) => Err(format!("unknown --run mode {other:?} (strict|best-effort)")),
+    }
 }
 
 fn cmd_repl(args: &Args) -> Result<(), String> {
     args.expect_no_positional()?;
-    args.check_known(&["graph", "index", "measure"])?;
+    check_known_with_budget(args, &["graph", "index", "measure"])?;
     let detector = build_detector(load(args)?, args)?;
+    let strict = detector.current_budget().is_unbounded();
     println!(
         "hinout repl — {} strategy; terminate queries with ';', exit with 'quit' or Ctrl-D",
         detector.strategy()
@@ -321,14 +414,28 @@ fn cmd_repl(args: &Args) -> Result<(), String> {
         buffer.push_str(&line);
         buffer.push('\n');
         if trimmed.ends_with(';') {
-            match detector.query(&buffer) {
+            // Every failure — parse error, unknown anchor, budget trip —
+            // is printed and the session stays alive.
+            let outcome = if strict {
+                detector.query(&buffer)
+            } else {
+                detector.query_best_effort(&buffer)
+            };
+            match outcome {
                 Ok(result) => print_result(&result),
                 Err(netout::EngineError::Query(qe)) => eprintln!("{}", qe.render(&buffer)),
                 Err(e) => eprintln!("error: {e}"),
             }
             buffer.clear();
         }
-        print!("{}", if buffer.is_empty() { "hinout> " } else { "   ...> " });
+        print!(
+            "{}",
+            if buffer.is_empty() {
+                "hinout> "
+            } else {
+                "   ...> "
+            }
+        );
         std::io::stdout().flush().ok();
     }
     Ok(())
@@ -556,6 +663,127 @@ mod tests {
             wl_path.to_str().unwrap().into(),
         ])
         .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multi_query_script_continues_past_failures() {
+        let dir = std::env::temp_dir().join("hinout_cli_resilience_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net_path = dir.join("net.hin");
+        run(&[
+            "generate".into(),
+            "--out".into(),
+            net_path.to_str().unwrap().into(),
+            "--scale".into(),
+            "0.05".into(),
+            "--seed".into(),
+            "11".into(),
+        ])
+        .unwrap();
+        let graph = hin_graph::io::load_graph(&net_path).unwrap();
+        let author = graph.schema().vertex_type_by_name("author").unwrap();
+        let paper = graph.schema().vertex_type_by_name("paper").unwrap();
+        let anchor = graph
+            .vertices_of_type(author)
+            .iter()
+            .find(|&&a| graph.step_degree(a, paper) >= 2)
+            .copied()
+            .unwrap();
+        let name = graph.vertex_name(anchor);
+        // Query 1 references a nonexistent anchor and fails at binding;
+        // query 2 must still execute, and the final error lists index 1.
+        let script = format!(
+            "FIND OUTLIERS FROM author{{\"no such author zzz\"}}.paper.author \
+             JUDGED BY author.paper.venue TOP 3;\n\
+             FIND OUTLIERS FROM author{{\"{name}\"}}.paper.author \
+             JUDGED BY author.paper.venue TOP 3;"
+        );
+        let script_path = dir.join("queries.oql");
+        std::fs::write(&script_path, &script).unwrap();
+        let err = run(&[
+            "query".into(),
+            "--graph".into(),
+            net_path.to_str().unwrap().into(),
+            "--query-file".into(),
+            script_path.to_str().unwrap().into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("1 of 2 queries failed"), "got: {err}");
+        assert!(err.contains("indices: 1"), "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn budget_flags_accepted_and_workload_run_modes() {
+        let dir = std::env::temp_dir().join("hinout_cli_budget_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net_path = dir.join("net.hin");
+        run(&[
+            "generate".into(),
+            "--out".into(),
+            net_path.to_str().unwrap().into(),
+            "--scale".into(),
+            "0.05".into(),
+            "--seed".into(),
+            "13".into(),
+        ])
+        .unwrap();
+        let graph = hin_graph::io::load_graph(&net_path).unwrap();
+        let author = graph.schema().vertex_type_by_name("author").unwrap();
+        let paper = graph.schema().vertex_type_by_name("paper").unwrap();
+        let anchor = graph
+            .vertices_of_type(author)
+            .iter()
+            .find(|&&a| graph.step_degree(a, paper) >= 2)
+            .copied()
+            .unwrap();
+        let q = format!(
+            "FIND OUTLIERS FROM author{{\"{}\"}}.paper.author \
+             JUDGED BY author.paper.venue TOP 3;",
+            graph.vertex_name(anchor)
+        );
+        // A generous budget succeeds on the best-effort path.
+        run(&[
+            "query".into(),
+            "--graph".into(),
+            net_path.to_str().unwrap().into(),
+            "--query".into(),
+            q,
+            "--timeout-ms".into(),
+            "60000".into(),
+            "--max-nnz".into(),
+            "100000000".into(),
+        ])
+        .unwrap();
+        // workload --run executes the generated queries in-process.
+        run(&[
+            "workload".into(),
+            "--graph".into(),
+            net_path.to_str().unwrap().into(),
+            "--template".into(),
+            "q1".into(),
+            "--n".into(),
+            "2".into(),
+            "--run".into(),
+            "best-effort".into(),
+            "--timeout-ms".into(),
+            "60000".into(),
+        ])
+        .unwrap();
+        let err = run(&[
+            "workload".into(),
+            "--graph".into(),
+            net_path.to_str().unwrap().into(),
+            "--template".into(),
+            "q1".into(),
+            "--n".into(),
+            "1".into(),
+            "--run".into(),
+            "eventually".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown --run mode"), "got: {err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -41,9 +41,7 @@ fn put_str(buf: &mut BytesMut, s: &str) {
 /// Serialize `graph` to an in-memory buffer.
 pub fn encode_graph(graph: &HinGraph) -> BytesMut {
     let schema = graph.schema();
-    let mut buf = BytesMut::with_capacity(
-        64 + graph.vertex_count() * 16 + graph.edge_count() * 10,
-    );
+    let mut buf = BytesMut::with_capacity(64 + graph.vertex_count() * 16 + graph.edge_count() * 10);
     buf.put_slice(MAGIC);
     buf.put_u16_le(VERSION);
     buf.put_u8(schema.vertex_type_count() as u8);
@@ -118,7 +116,35 @@ impl Cursor<'_> {
         let bytes = self.buf.copy_to_bytes(len);
         String::from_utf8(bytes.to_vec()).map_err(|_| ferr(format!("{what} is not UTF-8")))
     }
+
+    /// Validate a record count against the remaining buffer *before* any
+    /// allocation or decode loop: `count` records of at least `min_bytes`
+    /// each must still fit. A corrupt count field is rejected here in O(1)
+    /// instead of reserving huge buffers or looping toward the eventual
+    /// truncation error.
+    fn need_records(&self, count: u64, min_bytes: u64, what: &str) -> Result<(), GraphError> {
+        let needed = count
+            .checked_mul(min_bytes)
+            .ok_or_else(|| ferr(format!("implausible {what} {count}")))?;
+        if (self.buf.remaining() as u64) < needed {
+            return Err(ferr(format!(
+                "{what} {count} needs at least {needed} bytes but only {} remain",
+                self.buf.remaining()
+            )));
+        }
+        Ok(())
+    }
 }
+
+/// Minimum encoded size of each record kind, used to sanity-check count
+/// fields up front: a vertex-type record is a u32 name length (4); an
+/// edge-type record adds two u8 endpoint types (6); a vertex record is a u8
+/// type plus a u32 name length (5); an edge record is exactly
+/// u16 + u32 + u32 (10).
+const MIN_VTYPE_RECORD: u64 = 4;
+const MIN_ETYPE_RECORD: u64 = 6;
+const MIN_VERTEX_RECORD: u64 = 5;
+const EDGE_RECORD: u64 = 10;
 
 /// Deserialize a graph from a buffer produced by [`encode_graph`].
 pub fn decode_graph(data: &[u8]) -> Result<HinGraph, GraphError> {
@@ -137,12 +163,14 @@ pub fn decode_graph(data: &[u8]) -> Result<HinGraph, GraphError> {
     }
     let mut sb = SchemaBuilder::new();
     let n_vtypes = c.u8("vertex type count")?;
+    c.need_records(n_vtypes as u64, MIN_VTYPE_RECORD, "vertex type count")?;
     let mut vtype_ids = Vec::with_capacity(n_vtypes as usize);
     for _ in 0..n_vtypes {
         let name = c.str("vertex type name")?;
         vtype_ids.push(sb.vertex_type(name));
     }
     let n_etypes = c.u16("edge type count")?;
+    c.need_records(n_etypes as u64, MIN_ETYPE_RECORD, "edge type count")?;
     let mut etype_ids = Vec::with_capacity(n_etypes as usize);
     for _ in 0..n_etypes {
         let name = c.str("edge type name")?;
@@ -158,18 +186,23 @@ pub fn decode_graph(data: &[u8]) -> Result<HinGraph, GraphError> {
         );
         etype_ids.push(sb.edge_type(name, src, dst));
     }
-    let schema = sb.build()?;
+    let schema = sb
+        .build()
+        .map_err(|e| ferr(format!("invalid schema: {e}")))?;
     let mut gb = GraphBuilder::new(schema);
     let n_vertices = c.u32("vertex count")?;
+    c.need_records(n_vertices as u64, MIN_VERTEX_RECORD, "vertex count")?;
     for _ in 0..n_vertices {
         let t = c.u8("vertex type")? as usize;
         let name = c.str("vertex name")?;
         let t = *vtype_ids
             .get(t)
             .ok_or_else(|| ferr("vertex references unknown type"))?;
-        gb.add_vertex(t, name)?;
+        gb.add_vertex(t, name)
+            .map_err(|e| ferr(format!("invalid vertex record: {e}")))?;
     }
     let n_edges = c.u64("edge count")?;
+    c.need_records(n_edges, EDGE_RECORD, "edge count")?;
     for _ in 0..n_edges {
         let et = c.u16("edge type id")? as usize;
         let src = VertexId(c.u32("edge src")?);
@@ -177,7 +210,8 @@ pub fn decode_graph(data: &[u8]) -> Result<HinGraph, GraphError> {
         let et: EdgeTypeId = *etype_ids
             .get(et)
             .ok_or_else(|| ferr("edge references unknown edge type"))?;
-        gb.add_edge_typed(src, dst, et)?;
+        gb.add_edge_typed(src, dst, et)
+            .map_err(|e| ferr(format!("invalid edge record: {e}")))?;
     }
     if c.buf.has_remaining() {
         return Err(ferr(format!(
@@ -209,9 +243,8 @@ pub fn save_graph_binary(graph: &HinGraph, path: impl AsRef<Path>) -> std::io::R
 
 /// Load from a file.
 pub fn load_graph_binary(path: impl AsRef<Path>) -> Result<HinGraph, GraphError> {
-    let f = std::fs::File::open(&path).map_err(|e| {
-        ferr(format!("cannot open {}: {e}", path.as_ref().display()))
-    })?;
+    let f = std::fs::File::open(&path)
+        .map_err(|e| ferr(format!("cannot open {}: {e}", path.as_ref().display())))?;
     read_graph_binary(f)
 }
 
@@ -333,6 +366,85 @@ mod tests {
         assert_eq!(from_bin.vertex_count(), g.vertex_count());
         assert_eq!(from_txt.vertex_count(), g.vertex_count());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Hand-assemble a buffer: valid magic + version, then `body`.
+    fn raw(body: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::from(&MAGIC[..]);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(body);
+        buf
+    }
+
+    fn put_len_str(body: &mut Vec<u8>, s: &str) {
+        body.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        body.extend_from_slice(s.as_bytes());
+    }
+
+    #[test]
+    fn huge_name_length_rejected_without_allocation() {
+        // One vertex type whose name claims u32::MAX bytes.
+        let mut body = vec![1u8];
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_graph(&raw(&body)).unwrap_err();
+        assert!(matches!(err, GraphError::Format { .. }), "{err}");
+        assert!(err.to_string().contains("implausible"));
+    }
+
+    #[test]
+    fn huge_counts_rejected_before_looping() {
+        // Valid empty schema, then a vertex count of u32::MAX with no data
+        // behind it: rejected up front, not after ~4 billion iterations.
+        let mut body = vec![0u8];
+        body.extend_from_slice(&0u16.to_le_bytes());
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_graph(&raw(&body)).unwrap_err();
+        assert!(err.to_string().contains("vertex count"), "{err}");
+        // Same for an edge count that overflows the size computation.
+        let mut body = vec![0u8];
+        body.extend_from_slice(&0u16.to_le_bytes());
+        body.extend_from_slice(&0u32.to_le_bytes());
+        body.extend_from_slice(&u64::MAX.to_le_bytes());
+        let err = decode_graph(&raw(&body)).unwrap_err();
+        assert!(err.to_string().contains("edge count"), "{err}");
+    }
+
+    #[test]
+    fn edge_with_out_of_range_vertex_rejected() {
+        // Schema: types "a", "b" linked by "ab"; one vertex of each; then an
+        // edge whose src id 99 does not exist.
+        let mut body = vec![2u8];
+        put_len_str(&mut body, "a");
+        put_len_str(&mut body, "b");
+        body.extend_from_slice(&1u16.to_le_bytes());
+        put_len_str(&mut body, "ab");
+        body.push(0);
+        body.push(1);
+        body.extend_from_slice(&2u32.to_le_bytes());
+        body.push(0);
+        put_len_str(&mut body, "x");
+        body.push(1);
+        put_len_str(&mut body, "y");
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&0u16.to_le_bytes());
+        body.extend_from_slice(&99u32.to_le_bytes());
+        body.extend_from_slice(&1u32.to_le_bytes());
+        let err = decode_graph(&raw(&body)).unwrap_err();
+        assert!(matches!(err, GraphError::Format { .. }), "{err}");
+        assert!(err.to_string().contains("invalid edge record"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_type_names_rejected() {
+        let mut body = vec![2u8];
+        put_len_str(&mut body, "a");
+        put_len_str(&mut body, "a");
+        body.extend_from_slice(&0u16.to_le_bytes());
+        body.extend_from_slice(&0u32.to_le_bytes());
+        body.extend_from_slice(&0u64.to_le_bytes());
+        let err = decode_graph(&raw(&body)).unwrap_err();
+        assert!(matches!(err, GraphError::Format { .. }), "{err}");
+        assert!(err.to_string().contains("invalid schema"), "{err}");
     }
 
     #[test]

@@ -314,11 +314,7 @@ impl GraphBuilder {
         vtype: VertexTypeId,
         name: &str,
     ) -> Result<VertexId, GraphError> {
-        if let Some(&id) = self
-            .name_index
-            .get(vtype.index())
-            .and_then(|m| m.get(name))
-        {
+        if let Some(&id) = self.name_index.get(vtype.index()).and_then(|m| m.get(name)) {
             return Ok(id);
         }
         self.add_vertex(vtype, name)

@@ -85,20 +85,66 @@ pub fn save_graph(graph: &HinGraph, path: impl AsRef<Path>) -> std::io::Result<(
     write_graph(graph, std::io::BufWriter::new(f))
 }
 
+/// Longest line the reader accepts. Legitimate records are tiny (a few
+/// names and tabs); anything longer is corrupt or adversarial input that
+/// would otherwise buffer without bound.
+const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Read one `\n`-terminated line into `buf`, stopping early once `cap`
+/// bytes have accumulated (the caller then rejects the line). Bounds memory
+/// to roughly `cap` regardless of input size, unlike `BufRead::read_until`.
+fn read_line_capped<R: BufRead>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    cap: usize,
+) -> std::io::Result<usize> {
+    buf.clear();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Ok(buf.len()); // EOF
+        }
+        if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+            buf.extend_from_slice(&available[..=pos]);
+            reader.consume(pos + 1);
+            return Ok(buf.len());
+        }
+        buf.extend_from_slice(available);
+        let consumed = available.len();
+        reader.consume(consumed);
+        if buf.len() > cap {
+            return Ok(buf.len());
+        }
+    }
+}
+
 /// Read a graph in the text format.
 ///
 /// I/O failures surface as `GraphError::Format` with line 0.
 pub fn read_graph<R: Read>(r: R) -> Result<HinGraph, GraphError> {
-    let reader = BufReader::new(r);
+    let mut reader = BufReader::new(r);
     // Pass 1 collects everything (schema lines may legally be interleaved
     // before first use, but we keep it simple: schema lines must precede the
     // first v/e line, which the writer guarantees).
     let mut schema_builder = Some(SchemaBuilder::new());
     let mut gb: Option<GraphBuilder> = None;
     let mut line_no = 0usize;
-    for line in reader.lines() {
+    let mut raw = Vec::new();
+    loop {
         line_no += 1;
-        let line = line.map_err(|e| format_err(line_no, format!("I/O error: {e}")))?;
+        let n = read_line_capped(&mut reader, &mut raw, MAX_LINE_BYTES)
+            .map_err(|e| format_err(line_no, format!("I/O error: {e}")))?;
+        if n == 0 {
+            break;
+        }
+        if n > MAX_LINE_BYTES {
+            return Err(format_err(
+                line_no,
+                format!("line exceeds {MAX_LINE_BYTES} bytes"),
+            ));
+        }
+        let line = std::str::from_utf8(&raw)
+            .map_err(|_| format_err(line_no, "line is not valid UTF-8"))?;
         let line = line.trim_end_matches(['\r', '\n']);
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -160,18 +206,25 @@ pub fn read_graph<R: Read>(r: R) -> Result<HinGraph, GraphError> {
                     .map_err(|e| format_err(line_no, e.to_string()))?;
             }
             other => {
-                return Err(format_err(line_no, format!("unknown record kind {other:?}")));
+                return Err(format_err(
+                    line_no,
+                    format!("unknown record kind {other:?}"),
+                ));
             }
         }
     }
     match gb {
         Some(gb) => Ok(gb.build()),
         None => {
-            // A schema-only (or empty) file yields an empty graph.
-            let schema = schema_builder
+            // A schema-only (or empty) file yields an empty graph. The
+            // builder is still present because `ensure_graph` (the only
+            // taker) also sets `gb`.
+            let sb = schema_builder
                 .take()
-                .expect("builder present when graph never started")
-                .build()?;
+                .ok_or_else(|| format_err(0, "internal: schema builder missing"))?;
+            let schema = sb
+                .build()
+                .map_err(|e| format_err(0, format!("invalid schema: {e}")))?;
             Ok(GraphBuilder::new(schema).build())
         }
     }
@@ -195,10 +248,13 @@ fn ensure_graph<'a>(
         let sb = schema_builder
             .take()
             .ok_or_else(|| format_err(line_no, "internal: schema already consumed"))?;
-        let schema = sb.build()?;
+        let schema = sb
+            .build()
+            .map_err(|e| format_err(line_no, format!("invalid schema: {e}")))?;
         *gb = Some(GraphBuilder::new(schema));
     }
-    Ok(gb.as_mut().expect("just ensured"))
+    gb.as_mut()
+        .ok_or_else(|| format_err(line_no, "internal: graph builder missing"))
 }
 
 impl SchemaBuilder {
@@ -312,6 +368,25 @@ mod tests {
         assert!(read_graph(text.as_bytes()).is_err());
         let text = "vtype\tauthor\nv\tauthor\n";
         assert!(read_graph(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn oversized_line_rejected_with_bounded_memory() {
+        // A single multi-megabyte "line" (no newline at all) is rejected as
+        // soon as the cap trips rather than buffered whole.
+        let mut data = b"vtype\tauthor\nv\tauthor\t".to_vec();
+        data.extend(std::iter::repeat(b'x').take(MAX_LINE_BYTES + 128));
+        let err = read_graph(&data[..]).unwrap_err();
+        assert!(matches!(err, GraphError::Format { line: 2, .. }), "{err}");
+        assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn non_utf8_line_rejected() {
+        let data = b"vtype\tauthor\nv\tauthor\t\xFF\xFE\n";
+        let err = read_graph(&data[..]).unwrap_err();
+        assert!(matches!(err, GraphError::Format { line: 2, .. }), "{err}");
+        assert!(err.to_string().contains("UTF-8"), "{err}");
     }
 
     #[test]

@@ -56,14 +56,18 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+// Library code paths must report failures as `GraphError`, never panic;
+// tests are free to unwrap. Intentional invariants carry local `#[allow]`s
+// with a justification comment.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod binio;
 mod error;
 mod graph;
 mod ids;
+pub mod io;
 mod metapath;
 mod schema;
-pub mod binio;
-pub mod io;
 pub mod sparse;
 pub mod stats;
 pub mod traverse;

@@ -85,6 +85,9 @@ impl MetaPath {
 
     /// Last type `T_l` — the type of vertices the path reaches.
     pub fn target_type(&self) -> VertexTypeId {
+        // Invariant: every constructor rejects empty type sequences
+        // (`EmptyMetaPath`), so `types` is never empty.
+        #[allow(clippy::expect_used)]
         *self.types.last().expect("meta-path is non-empty")
     }
 
@@ -113,6 +116,9 @@ impl MetaPath {
     /// The symmetric path `P_sym = (P P⁻¹)` used to compare two vertices of
     /// the source type (Section 5.1).
     pub fn symmetric(&self) -> MetaPath {
+        // Invariant: `self.target_type()` equals `reversed().source_type()`
+        // by construction, so concatenation cannot mismatch.
+        #[allow(clippy::expect_used)]
         self.concat(&self.reversed())
             .expect("P and P⁻¹ always share the pivot type")
     }
@@ -202,10 +208,7 @@ mod tests {
         let p = MetaPath::parse("author.paper.venue", &s).unwrap();
         assert_eq!(p.len(), 2);
         assert_eq!(p.display(&s).to_string(), "author.paper.venue");
-        assert_eq!(
-            p.source_type(),
-            s.vertex_type_by_name("author").unwrap()
-        );
+        assert_eq!(p.source_type(), s.vertex_type_by_name("author").unwrap());
         assert_eq!(p.target_type(), s.vertex_type_by_name("venue").unwrap());
     }
 
@@ -230,7 +233,10 @@ mod tests {
         let s = schema();
         // author–venue has no direct edge type.
         let err = MetaPath::parse("author.venue", &s).unwrap_err();
-        assert!(matches!(err, GraphError::MetaPathBrokenLink { position: 0, .. }));
+        assert!(matches!(
+            err,
+            GraphError::MetaPathBrokenLink { position: 0, .. }
+        ));
     }
 
     #[test]
@@ -268,7 +274,10 @@ mod tests {
         let apv = MetaPath::parse("author.paper.venue", &s).unwrap();
         let vpt = MetaPath::parse("venue.paper.term", &s).unwrap();
         let joined = apv.concat(&vpt).unwrap();
-        assert_eq!(joined.display(&s).to_string(), "author.paper.venue.paper.term");
+        assert_eq!(
+            joined.display(&s).to_string(),
+            "author.paper.venue.paper.term"
+        );
         // Mismatched concat rejected.
         assert!(matches!(
             vpt.concat(&apv),
@@ -281,7 +290,10 @@ mod tests {
         let s = schema();
         let apv = MetaPath::parse("author.paper.venue", &s).unwrap();
         let sym = apv.symmetric();
-        assert_eq!(sym.display(&s).to_string(), "author.paper.venue.paper.author");
+        assert_eq!(
+            sym.display(&s).to_string(),
+            "author.paper.venue.paper.author"
+        );
         assert!(sym.is_symmetric());
         assert!(!apv.is_symmetric());
         let apa = MetaPath::parse("author.paper.author", &s).unwrap();
@@ -291,7 +303,9 @@ mod tests {
     #[test]
     fn decompose_even_length() {
         let s = schema();
-        let sym = MetaPath::parse("author.paper.venue", &s).unwrap().symmetric();
+        let sym = MetaPath::parse("author.paper.venue", &s)
+            .unwrap()
+            .symmetric();
         let chunks = sym.decompose_pairs();
         assert_eq!(chunks.len(), 2);
         assert_eq!(chunks[0].display(&s).to_string(), "author.paper.venue");

@@ -516,10 +516,7 @@ mod tests {
 
     #[test]
     fn iter_rows_in_sorted_order() {
-        let m = SparseMatrix::from_rows(vec![
-            (v(9), sv(&[(1, 1.0)])),
-            (v(3), sv(&[(2, 2.0)])),
-        ]);
+        let m = SparseMatrix::from_rows(vec![(v(9), sv(&[(1, 1.0)])), (v(3), sv(&[(2, 2.0)]))]);
         let order: Vec<u32> = m.iter_rows().map(|(r, _)| r.0).collect();
         assert_eq!(order, vec![3, 9]);
     }

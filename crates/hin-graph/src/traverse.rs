@@ -267,14 +267,20 @@ mod tests {
         let (ava, _, zoe, _, _) = ids(&g);
         let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
         // Ava: [ICDE:2]; Zoe: [ICDE:2, KDD:3]. χ(Ava,Zoe)=4.
-        let k_az = normalized_connectivity(&g, ava, zoe, &apv).unwrap().unwrap();
-        let k_za = normalized_connectivity(&g, zoe, ava, &apv).unwrap().unwrap();
+        let k_az = normalized_connectivity(&g, ava, zoe, &apv)
+            .unwrap()
+            .unwrap();
+        let k_za = normalized_connectivity(&g, zoe, ava, &apv)
+            .unwrap()
+            .unwrap();
         assert_eq!(k_az, 4.0 / 4.0);
         assert_eq!(k_za, 4.0 / 13.0);
         assert_ne!(k_az, k_za);
         // κ(v, v) = 1 always (when defined).
         assert_eq!(
-            normalized_connectivity(&g, zoe, zoe, &apv).unwrap().unwrap(),
+            normalized_connectivity(&g, zoe, zoe, &apv)
+                .unwrap()
+                .unwrap(),
             1.0
         );
     }

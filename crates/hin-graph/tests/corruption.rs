@@ -1,0 +1,139 @@
+//! Corruption robustness: feeding damaged serialized graphs (binary and
+//! text) to the loaders must produce `Err`, never a panic or a huge
+//! allocation. Each property runs under an unwind-catching harness so a
+//! latent panic in the decoder shows up as a test failure with the exact
+//! corrupted offset, not an abort.
+
+use hin_graph::{binio, io, GraphBuilder, HinGraph};
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn sample_graph() -> HinGraph {
+    let schema = hin_graph::bibliographic_schema();
+    let author = schema.vertex_type_by_name("author").expect("schema type");
+    let paper = schema.vertex_type_by_name("paper").expect("schema type");
+    let venue = schema.vertex_type_by_name("venue").expect("schema type");
+    let mut gb = GraphBuilder::new(schema);
+    let a = gb.add_vertex(author, "Ann Example").expect("vertex");
+    let b = gb.add_vertex(author, "Bob — Ünïcode").expect("vertex");
+    let p1 = gb.add_vertex(paper, "p1").expect("vertex");
+    let p2 = gb.add_vertex(paper, "p2").expect("vertex");
+    let v = gb.add_vertex(venue, "KDD").expect("vertex");
+    gb.add_edge(a, p1).expect("edge");
+    gb.add_edge(b, p1).expect("edge");
+    gb.add_edge(b, p2).expect("edge");
+    gb.add_edge(p1, v).expect("edge");
+    gb.add_edge(p2, v).expect("edge");
+    gb.build()
+}
+
+fn encoded_binary() -> Vec<u8> {
+    binio::encode_graph(&sample_graph()).to_vec()
+}
+
+fn encoded_text() -> Vec<u8> {
+    let mut buf = Vec::new();
+    io::write_graph(&sample_graph(), &mut buf).expect("in-memory write");
+    buf
+}
+
+/// Run `f` under `catch_unwind`; `Err` means the decoder panicked.
+fn no_panic(f: impl FnOnce()) -> bool {
+    catch_unwind(AssertUnwindSafe(f)).is_ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn binary_byte_flip_never_panics(idx in 0usize..10_000, flip in 1u8..=255) {
+        let mut buf = encoded_binary();
+        let i = idx % buf.len();
+        buf[i] ^= flip;
+        prop_assert!(
+            no_panic(|| {
+                let _ = binio::decode_graph(&buf);
+            }),
+            "decode_graph panicked after flipping byte {i} with {flip:#04x}"
+        );
+    }
+
+    #[test]
+    fn binary_truncation_errors_without_panic(idx in 0usize..10_000) {
+        let buf = encoded_binary();
+        let cut = idx % buf.len(); // strict prefix
+        let mut panicked = false;
+        let mut decoded_ok = false;
+        if no_panic(|| {
+            decoded_ok = binio::decode_graph(&buf[..cut]).is_ok();
+        }) {
+            prop_assert!(!decoded_ok, "prefix of {cut} bytes unexpectedly decoded");
+        } else {
+            panicked = true;
+        }
+        prop_assert!(!panicked, "decode_graph panicked on a {cut}-byte prefix");
+    }
+
+    #[test]
+    fn binary_random_garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert!(
+            no_panic(|| {
+                let _ = binio::decode_graph(&data);
+            }),
+            "decode_graph panicked on random garbage"
+        );
+    }
+
+    #[test]
+    fn text_byte_flip_never_panics(idx in 0usize..10_000, flip in 1u8..=255) {
+        let mut buf = encoded_text();
+        let i = idx % buf.len();
+        buf[i] ^= flip;
+        prop_assert!(
+            no_panic(|| {
+                let _ = io::read_graph(&buf[..]);
+            }),
+            "read_graph panicked after flipping byte {i} with {flip:#04x}"
+        );
+    }
+
+    #[test]
+    fn text_truncation_never_panics(idx in 0usize..10_000) {
+        // A truncated text file may still be a *valid smaller* graph when
+        // the cut lands on a line boundary, so only panics are failures.
+        let buf = encoded_text();
+        let cut = idx % buf.len();
+        prop_assert!(
+            no_panic(|| {
+                let _ = io::read_graph(&buf[..cut]);
+            }),
+            "read_graph panicked on a {cut}-byte prefix"
+        );
+    }
+}
+
+#[test]
+fn binary_every_prefix_rejected() {
+    // Exhaustive (not sampled) sweep: every strict prefix must fail cleanly.
+    let buf = encoded_binary();
+    for cut in 0..buf.len() {
+        let ok = no_panic(|| {
+            assert!(
+                binio::decode_graph(&buf[..cut]).is_err(),
+                "prefix of {cut} bytes unexpectedly decoded"
+            );
+        });
+        assert!(ok, "panic on a {cut}-byte prefix");
+    }
+}
+
+#[test]
+fn text_every_prefix_never_panics() {
+    let buf = encoded_text();
+    for cut in 0..buf.len() {
+        let ok = no_panic(|| {
+            let _ = io::read_graph(&buf[..cut]);
+        });
+        assert!(ok, "panic on a {cut}-byte prefix");
+    }
+}
