@@ -1,7 +1,7 @@
 //! Runs every experiment in paper order — the one-shot reproduction of the
 //! evaluation section. Configure scale with HIN_EXP_SCALE / HIN_EXP_QUERIES.
 fn main() {
-    let sections: [(&str, fn()); 6] = [
+    let sections: [(&str, fn()); 7] = [
         ("Tables 1-2 and Figure 2 (toy reproduction)", || {
             bench::experiments::toy::run()
         }),
@@ -22,6 +22,9 @@ fn main() {
             "Execution guardrails (budget overhead & deadline fidelity)",
             || bench::experiments::guardrails::run(),
         ),
+        ("Service throughput vs workers (hin-service)", || {
+            bench::experiments::service::run()
+        }),
     ];
     for (title, f) in sections {
         println!("\n######## {title} ########\n");

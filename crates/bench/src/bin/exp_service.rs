@@ -1,0 +1,5 @@
+//! Serving throughput/latency vs worker count over an embedded hin-service
+//! server (extension; backs DESIGN.md §9). Emits BENCH_service.json.
+fn main() {
+    bench::experiments::service::run();
+}

@@ -7,4 +7,5 @@ pub mod fig4;
 pub mod fig5;
 pub mod guardrails;
 pub mod scaling;
+pub mod service;
 pub mod toy;

@@ -1,0 +1,216 @@
+//! Serving throughput and latency vs. worker count (extension; backs the
+//! DESIGN.md §9 serving claims).
+//!
+//! An embedded [`hin_service::Server`] is started per worker count on an
+//! ephemeral port over the synthetic DBLP network, and the crate's own
+//! closed-loop load generator drives it with a Q1 workload. The client-side
+//! percentiles are exact (full sample set); the server-side histograms in
+//! the emitted snapshot are log₂-bucketed. Results are printed as a table
+//! and written to `BENCH_service.json` for machine consumption.
+
+use crate::report::Table;
+use crate::setup;
+use hin_datagen::dblp::SyntheticNetwork;
+use hin_datagen::workload::{generate_queries, QueryTemplate};
+use hin_service::client::{run_closed_loop, LoadReport};
+use hin_service::{Client, LoadSpec, Server, ServerConfig, StatsSnapshot};
+use netout::OutlierDetector;
+use serde::Serialize;
+
+/// One worker-count measurement: the client-observed load report plus the
+/// server's final statistics snapshot.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServicePoint {
+    /// Worker threads the server ran with.
+    pub workers: usize,
+    /// Client-side view: throughput and exact latency percentiles.
+    pub client: LoadReport,
+    /// Server-side view: counters, gauges, bucketed latency summaries.
+    pub server: StatsSnapshot,
+}
+
+/// The `BENCH_service.json` document.
+#[derive(Debug, Serialize)]
+pub struct ServiceReport {
+    /// Network scale factor the experiment ran at.
+    pub scale: f64,
+    /// Concurrent client connections per run.
+    pub clients: usize,
+    /// Requests each client sent per run.
+    pub requests_per_client: usize,
+    /// Distinct query lines in the round-robin workload.
+    pub distinct_queries: usize,
+    /// One measurement per worker count.
+    pub points: Vec<ServicePoint>,
+}
+
+/// Build wire lines for a Q1 workload over `net` (flattened to one line
+/// per query — the protocol is line-framed).
+pub fn workload_lines(net: &SyntheticNetwork, n: usize, seed: u64) -> Vec<String> {
+    generate_queries(&net.graph, QueryTemplate::Q1, n, seed)
+        .iter()
+        .map(|q| format!("QUERY {}", q.replace('\n', " ")))
+        .collect()
+}
+
+/// Start a server with `workers` workers over `net`, drive it with a
+/// closed loop of `clients` connections × `requests_per_client` requests,
+/// shut it down, and return both sides' measurements.
+pub fn measure_one(
+    net: &SyntheticNetwork,
+    workers: usize,
+    clients: usize,
+    requests_per_client: usize,
+    lines: &[String],
+) -> ServicePoint {
+    let detector = OutlierDetector::new(net.graph.clone()).with_vector_cache(4096);
+    let server = Server::bind(
+        detector,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers,
+            queue_cap: (clients * 2).max(8),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    let report = run_closed_loop(
+        addr,
+        &LoadSpec {
+            clients,
+            requests_per_client,
+            lines: lines.to_vec(),
+        },
+    );
+    let mut closer = Client::connect(addr).expect("connect for shutdown");
+    closer.send_line("SHUTDOWN").expect("shutdown");
+    let snapshot = handle.join().expect("server thread");
+    ServicePoint {
+        workers,
+        client: report,
+        server: snapshot,
+    }
+}
+
+/// Sweep worker counts over one shared workload.
+pub fn measure(
+    net: &SyntheticNetwork,
+    worker_counts: &[usize],
+    clients: usize,
+    requests_per_client: usize,
+    lines: &[String],
+) -> Vec<ServicePoint> {
+    worker_counts
+        .iter()
+        .map(|&w| measure_one(net, w, clients, requests_per_client, lines))
+        .collect()
+}
+
+/// Serialize the report document to compact JSON.
+pub fn to_json(report: &ServiceReport) -> String {
+    hin_service::json::to_string(report).expect("report serializes")
+}
+
+/// Print the sweep table and write `BENCH_service.json`.
+pub fn run() {
+    let net = setup::network();
+    let lines = workload_lines(&net, setup::workload_size().min(50), setup::seed());
+    let clients = 8;
+    let requests_per_client = (setup::workload_size() / clients).clamp(10, 100);
+    let worker_counts = [1usize, 2, 4, 8];
+
+    let points = measure(&net, &worker_counts, clients, requests_per_client, &lines);
+
+    let mut t = Table::new(
+        format!(
+            "Service throughput vs workers — {clients} clients × \
+             {requests_per_client} requests, Q1 workload"
+        ),
+        &[
+            "workers",
+            "req/s",
+            "p50 (µs)",
+            "p95 (µs)",
+            "p99 (µs)",
+            "busy",
+            "degraded",
+            "cache hit %",
+        ],
+    );
+    for p in &points {
+        let hit = p
+            .server
+            .cache
+            .hit_ratio
+            .map(|r| format!("{:.1}", r * 100.0))
+            .unwrap_or_else(|| "-".to_string());
+        t.row(&[
+            p.workers.to_string(),
+            format!("{:.1}", p.client.throughput_rps),
+            p.client.p50_us.to_string(),
+            p.client.p95_us.to_string(),
+            p.client.p99_us.to_string(),
+            p.client.busy.to_string(),
+            p.server.degraded.to_string(),
+            hit,
+        ]);
+    }
+    t.print();
+    println!(
+        "note: closed loop — each client waits for its response before \
+         sending the next request, so req/s saturates once workers cover \
+         the offered concurrency\n"
+    );
+
+    let report = ServiceReport {
+        scale: setup::scale(),
+        clients,
+        requests_per_client,
+        distinct_queries: lines.len(),
+        points,
+    };
+    let path = "BENCH_service.json";
+    match std::fs::write(path, to_json(&report) + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hin_datagen::dblp::{generate, SyntheticConfig};
+
+    #[test]
+    fn sweep_measures_and_serializes() {
+        let net = generate(&SyntheticConfig::tiny(3));
+        let lines = workload_lines(&net, 4, 3);
+        assert!(!lines.is_empty());
+        assert!(lines.iter().all(|l| l.starts_with("QUERY ")));
+
+        let points = measure(&net, &[1, 2], 2, 3, &lines);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            // Every request got a response (closed loop, no drops).
+            assert_eq!(p.client.requests, 6, "{p:?}");
+            assert_eq!(p.client.io_errors, 0, "{p:?}");
+            // The server agrees it served them (plus the SHUTDOWN line).
+            assert_eq!(p.server.requests, 7, "{p:?}");
+            assert_eq!(p.server.in_flight, 0, "{p:?}");
+            assert_eq!(p.server.queue_depth, 0, "{p:?}");
+        }
+
+        let json = to_json(&ServiceReport {
+            scale: 0.1,
+            clients: 2,
+            requests_per_client: 3,
+            distinct_queries: lines.len(),
+            points,
+        });
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"workers\":1"), "{json}");
+        assert!(json.contains("\"throughput_rps\":"), "{json}");
+    }
+}

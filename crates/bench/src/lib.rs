@@ -12,6 +12,7 @@
 //! | Figure 5 | `exp_fig5` (+ criterion `fig5_threshold`) | [`experiments::fig5`] |
 //! | Section 8 LOF discussion | `exp_baselines` | [`experiments::baselines`] |
 //! | scale sweep (extension) | `exp_scaling` | [`experiments::scaling`] |
+//! | serving sweep (extension) | `exp_service` → `BENCH_service.json` | [`experiments::service`] |
 //! | everything, in order | `exp_all` | — |
 //!
 //! Experiment scale is controlled by environment variables so the same

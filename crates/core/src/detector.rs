@@ -9,6 +9,7 @@ use crate::error::EngineError;
 use crate::measures::MeasureKind;
 use hin_graph::HinGraph;
 use hin_query::validate::{parse_and_bind, BoundQuery};
+use std::sync::Arc;
 
 /// Indexing policy for an [`OutlierDetector`], mirroring the three
 /// implementations compared in the paper's Section 7 (Baseline / PM / SPM).
@@ -91,7 +92,7 @@ fn default_threads() -> usize {
 pub struct OutlierDetector {
     graph: HinGraph,
     index: Option<PmIndex>,
-    cache: Option<VectorCache>,
+    cache: Option<Arc<VectorCache>>,
     source_name: &'static str,
     measure: MeasureKind,
     combine: CombineStrategy,
@@ -156,14 +157,27 @@ impl OutlierDetector {
     /// `capacity` vectors — pays off when an analyst iterates on related
     /// queries (see [`crate::engine::cache`]). Composes with any index
     /// policy.
-    pub fn with_vector_cache(mut self, capacity: usize) -> Self {
-        self.cache = Some(VectorCache::new(capacity));
+    pub fn with_vector_cache(self, capacity: usize) -> Self {
+        self.with_shared_cache(Arc::new(VectorCache::new(capacity)))
+    }
+
+    /// Use an existing shared cache instance. The cache is `Send + Sync`
+    /// (interior mutability behind a `parking_lot::Mutex`), so several
+    /// detectors/engines — e.g. every worker of a query server — can share
+    /// one instance and serve each other's warm vectors.
+    pub fn with_shared_cache(mut self, cache: Arc<VectorCache>) -> Self {
+        self.cache = Some(cache);
         self
+    }
+
+    /// The shared vector-cache instance, when enabled.
+    pub fn shared_cache(&self) -> Option<&Arc<VectorCache>> {
+        self.cache.as_ref()
     }
 
     /// Hit/miss counters of the vector cache (`None` when disabled).
     pub fn cache_stats(&self) -> Option<CacheStats> {
-        self.cache.as_ref().map(VectorCache::stats)
+        self.cache.as_deref().map(VectorCache::stats)
     }
 
     /// Change the outlierness measure (default: NetOut).
@@ -219,7 +233,7 @@ impl OutlierDetector {
         };
         let source: Box<dyn crate::engine::source::VectorSource + '_> = match &self.cache {
             None => base,
-            Some(cache) => Box::new(CachedSource::new(base, cache)),
+            Some(cache) => Box::new(CachedSource::new(base, cache.as_ref())),
         };
         QueryEngine::with_source(&self.graph, source)
             .measure(self.measure)

@@ -208,6 +208,18 @@ impl VectorSource for CachedSource<'_> {
     }
 }
 
+// Compile-time assertion: the cache is shareable across threads as-is
+// (interior mutability is confined to the `parking_lot::Mutex`). Concurrent
+// engines — e.g. the workers of `hin-service` — rely on this to share one
+// instance behind an `Arc`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn _check() {
+        assert_send_sync::<VectorCache>();
+        assert_send_sync::<CacheStats>();
+    }
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +322,39 @@ mod tests {
         let path = MetaPath::parse("author.paper", toy::figure1_network().schema()).unwrap();
         cache.put((path.clone(), VertexId(0)), SparseVec::unit(VertexId(9)));
         cache.put((path.clone(), VertexId(1)), SparseVec::unit(VertexId(9)));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        use std::sync::Arc;
+        let g = Arc::new(toy::figure1_network());
+        let cache = Arc::new(VectorCache::new(64));
+        let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        let zoe = g.vertex_by_name(author, "Zoe").unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                let cache = Arc::clone(&cache);
+                let apv = apv.clone();
+                std::thread::spawn(move || {
+                    let source = CachedSource::new(Box::new(TraversalSource::new(&g)), &cache);
+                    let mut ctx = ExecCtx::unbounded();
+                    source.neighbor_vector(zoe, &apv, &mut ctx).unwrap()
+                })
+            })
+            .collect();
+        let vectors: Vec<SparseVec> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for v in &vectors[1..] {
+            assert_eq!(v, &vectors[0]);
+        }
+        let cs = cache.stats();
+        // Every thread asked for the same key; all lookups resolved through
+        // one shared instance (hits + misses == 4, at least one of each
+        // except in the degenerate all-raced case).
+        assert_eq!(cs.hits + cs.misses, 4);
+        assert!(cs.misses >= 1);
         assert_eq!(cache.len(), 1);
     }
 

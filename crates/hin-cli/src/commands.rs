@@ -3,6 +3,8 @@
 use crate::args::Args;
 use hin_datagen::dblp::{generate, SyntheticConfig};
 use hin_graph::{io, stats, HinGraph};
+use hin_service::protocol::{Response, ResultBody};
+use hin_service::{ExecMode, LoadSpec, Server, ServerConfig};
 use netout::{Budget, IndexPolicy, MeasureKind, OutlierDetector, QueryResult};
 use std::io::{BufRead, Write};
 
@@ -17,8 +19,10 @@ USAGE:
   hinout query --graph FILE (--query 'FIND OUTLIERS …' | --query-file FILE)
                [--index none|pm] [--measure netout|pathsim|cossim|lof:K|knn:K]
                [--timeout-ms N] [--max-candidates N] [--max-nnz N]
+               [--format text|json]
   hinout explain --graph FILE (--query '…' | --query-file FILE) [--index none|pm]
                [--timeout-ms N] [--max-candidates N] [--max-nnz N]
+               [--format text|json]
   hinout similar --graph FILE --type author --name 'X' --path author.paper.venue [--top K]
                [--timeout-ms N] [--max-candidates N] [--max-nnz N]
   hinout repl --graph FILE [--index none|pm]
@@ -26,10 +30,24 @@ USAGE:
   hinout index-info --graph FILE
   hinout workload --graph FILE --template q1|q2|q3 --n N [--seed S] [--out FILE]
                [--run strict|best-effort] [--timeout-ms N] [--max-candidates N] [--max-nnz N]
+  hinout serve --graph FILE [--addr HOST:PORT] [--workers N] [--queue-cap N]
+               [--index none|pm] [--measure …] [--mode strict|best-effort]
+               [--cache-cap N] [--port-file FILE]
+               [--timeout-ms N] [--max-candidates N] [--max-nnz N]
+  hinout bench-client --addr HOST:PORT [--clients N] [--requests N]
+               [--query '…' | --query-file FILE] [--format text|json]
 
 A --query-file may hold several semicolon-separated queries; each runs in
 order — a failing query is reported and skipped, and the process exits
 nonzero at the end listing the failed indices.
+
+serve loads the graph once and answers PING/STATS/QUERY/EXPLAIN/SHUTDOWN
+over newline-delimited TCP (one compact-JSON response line per request; see
+DESIGN.md §9). Budget flags set the server-wide default budget; clients may
+tighten it per request with key=value options after the verb. bench-client
+runs a closed loop of N concurrent connections against a server and prints
+throughput plus p50/p95/p99 latency. --format json emits the same response
+lines the server speaks, one per query.
 
 Budget flags bound each query's execution: --timeout-ms is a wall-clock
 deadline, --max-candidates caps the candidate/reference set sizes, and
@@ -60,6 +78,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "workload" => cmd_workload(&Args::parse(rest)?),
         "repl" => cmd_repl(&Args::parse(rest)?),
         "index-info" => cmd_index_info(&Args::parse(rest)?),
+        "serve" => cmd_serve(&Args::parse(rest)?),
+        "bench-client" => cmd_bench_client(&Args::parse(rest)?),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -219,6 +239,22 @@ fn build_detector(graph: HinGraph, args: &Args) -> Result<OutlierDetector, Strin
     Ok(detector.budget(parse_budget(args)?))
 }
 
+/// Output rendering for `query`/`explain`: human-readable text, or the same
+/// compact-JSON response lines the `serve` protocol speaks (one per query).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    Text,
+    Json,
+}
+
+fn parse_format(args: &Args) -> Result<OutputFormat, String> {
+    match args.get("format").unwrap_or("text") {
+        "text" => Ok(OutputFormat::Text),
+        "json" => Ok(OutputFormat::Json),
+        other => Err(format!("unknown format {other:?} (text|json)")),
+    }
+}
+
 fn print_result(result: &QueryResult) {
     println!(
         "measure {} | candidates {} | reference {} | {}",
@@ -246,30 +282,46 @@ fn run_queries<Q: std::fmt::Display>(
     detector: &OutlierDetector,
     queries: &[Q],
     strict: bool,
+    format: OutputFormat,
 ) -> Result<(), String> {
     let mut failed: Vec<usize> = Vec::new();
     for (i, query) in queries.iter().enumerate() {
-        if queries.len() > 1 {
+        if format == OutputFormat::Text && queries.len() > 1 {
             println!("-- query {} of {}:\n   {query}", i + 1, queries.len());
         }
         let src = query.to_string();
+        let started = std::time::Instant::now();
         let outcome = if strict {
             detector.query(&src)
         } else {
             detector.query_best_effort(&src)
         };
-        match outcome {
-            Ok(result) => print_result(&result),
-            Err(netout::EngineError::Query(qe)) => {
+        match (outcome, format) {
+            (Ok(result), OutputFormat::Text) => {
+                print_result(&result);
+                println!();
+            }
+            (Ok(result), OutputFormat::Json) => {
+                let body = ResultBody::from_query_result(&result, started.elapsed());
+                println!("{}", Response::Result(body).to_json_line());
+            }
+            (Err(e), OutputFormat::Json) => {
+                // Failures stay machine-readable: an `err` line on stdout,
+                // with the nonzero exit deferred to the end as in text mode.
+                println!("{}", Response::from_engine_error(&e).to_json_line());
+                failed.push(i + 1);
+            }
+            (Err(netout::EngineError::Query(qe)), OutputFormat::Text) => {
                 eprintln!("query {} failed:\n{}", i + 1, qe.render(&src));
                 failed.push(i + 1);
+                println!();
             }
-            Err(e) => {
+            (Err(e), OutputFormat::Text) => {
                 eprintln!("query {} failed: {e}", i + 1);
                 failed.push(i + 1);
+                println!();
             }
         }
-        println!();
     }
     if failed.is_empty() {
         Ok(())
@@ -299,7 +351,11 @@ fn read_query_text(args: &Args) -> Result<String, String> {
 
 fn cmd_query(args: &Args) -> Result<(), String> {
     args.expect_no_positional()?;
-    check_known_with_budget(args, &["graph", "query", "query-file", "index", "measure"])?;
+    check_known_with_budget(
+        args,
+        &["graph", "query", "query-file", "index", "measure", "format"],
+    )?;
+    let format = parse_format(args)?;
     let query_text = read_query_text(args)?;
     let detector = build_detector(load(args)?, args)?;
     let queries = hin_query::parse_script(&query_text).map_err(|e| e.render(&query_text))?;
@@ -309,22 +365,36 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     // A bounded budget implies the operator prefers partial rankings over
     // hard failures, so budgeted runs take the best-effort path.
     let strict = detector.current_budget().is_unbounded();
-    run_queries(&detector, &queries, strict)
+    run_queries(&detector, &queries, strict, format)
 }
 
 fn cmd_explain(args: &Args) -> Result<(), String> {
     args.expect_no_positional()?;
-    check_known_with_budget(args, &["graph", "query", "query-file", "index", "measure"])?;
+    check_known_with_budget(
+        args,
+        &["graph", "query", "query-file", "index", "measure", "format"],
+    )?;
+    let format = parse_format(args)?;
     let query_text = read_query_text(args)?;
     let detector = build_detector(load(args)?, args)?;
     let queries = hin_query::parse_script(&query_text).map_err(|e| e.render(&query_text))?;
     for query in &queries {
         match detector.explain(&query.to_string()) {
-            Ok(plan) => print!("{plan}"),
+            Ok(plan) => match format {
+                OutputFormat::Text => {
+                    print!("{plan}");
+                    println!();
+                }
+                OutputFormat::Json => {
+                    let response = Response::Explain {
+                        plan: plan.to_string(),
+                    };
+                    println!("{}", response.to_json_line());
+                }
+            },
             Err(netout::EngineError::Query(qe)) => return Err(qe.to_string()),
             Err(e) => return Err(e.to_string()),
         }
-        println!();
     }
     Ok(())
 }
@@ -386,7 +456,7 @@ fn cmd_workload(args: &Args) -> Result<(), String> {
         None => Ok(()),
         Some(mode @ ("strict" | "best-effort")) => {
             let detector = build_detector(graph, args)?;
-            run_queries(&detector, &queries, mode == "strict")
+            run_queries(&detector, &queries, mode == "strict", OutputFormat::Text)
         }
         Some(other) => Err(format!("unknown --run mode {other:?} (strict|best-effort)")),
     }
@@ -437,6 +507,120 @@ fn cmd_repl(args: &Args) -> Result<(), String> {
             }
         );
         std::io::stdout().flush().ok();
+    }
+    Ok(())
+}
+
+/// `hinout serve` — load the graph once and serve queries over TCP until a
+/// client sends `SHUTDOWN` (the final statistics snapshot is printed as one
+/// JSON line on exit).
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    args.expect_no_positional()?;
+    check_known_with_budget(
+        args,
+        &[
+            "graph",
+            "index",
+            "measure",
+            "addr",
+            "workers",
+            "queue-cap",
+            "mode",
+            "cache-cap",
+            "port-file",
+        ],
+    )?;
+    let mut detector = build_detector(load(args)?, args)?;
+    // Concurrent engines share one neighbor-vector cache; 0 disables it.
+    let cache_cap: usize = args.get_num("cache-cap", 4096)?;
+    if cache_cap > 0 {
+        detector = detector.with_vector_cache(cache_cap);
+    }
+    let mut config = ServerConfig::default();
+    if let Some(w) = args.get_opt_num::<usize>("workers")? {
+        config.workers = w;
+    }
+    if let Some(q) = args.get_opt_num::<usize>("queue-cap")? {
+        config.queue_cap = q;
+    }
+    if let Some(mode) = args.get("mode") {
+        config.default_mode = match mode {
+            "strict" => ExecMode::Strict,
+            "best-effort" => ExecMode::BestEffort,
+            other => return Err(format!("unknown mode {other:?} (strict|best-effort)")),
+        };
+    }
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+    let server =
+        Server::bind(detector, addr, config.clone()).map_err(|e| format!("binding {addr}: {e}"))?;
+    let bound = server.local_addr();
+    println!(
+        "hin-service listening on {bound} ({} workers, queue capacity {}, {} default; \
+         send SHUTDOWN to stop)",
+        config.workers.max(1),
+        config.queue_cap.max(1),
+        match config.default_mode {
+            ExecMode::Strict => "strict",
+            ExecMode::BestEffort => "best-effort",
+        }
+    );
+    // For scripts and tests binding port 0: the resolved address, on disk.
+    if let Some(path) = args.get("port-file") {
+        std::fs::write(path, bound.to_string()).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    let final_stats = server.run();
+    println!(
+        "{}",
+        hin_service::json::to_string(&final_stats)
+            .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+    );
+    Ok(())
+}
+
+/// `hinout bench-client` — closed-loop load generator against a running
+/// server: N connections, each sending requests back-to-back.
+fn cmd_bench_client(args: &Args) -> Result<(), String> {
+    args.expect_no_positional()?;
+    args.check_known(&[
+        "addr",
+        "clients",
+        "requests",
+        "query",
+        "query-file",
+        "format",
+    ])?;
+    let addr = args.require("addr")?;
+    let clients: usize = args.get_num("clients", 8)?;
+    let requests: usize = args.get_num("requests", 100)?;
+    let format = parse_format(args)?;
+    let lines: Vec<String> = match (args.get("query"), args.get("query-file")) {
+        // Without a query the loop measures pure protocol/dispatch overhead.
+        (None, None) => vec!["PING".to_string()],
+        _ => {
+            let text = read_query_text(args)?;
+            let queries = hin_query::parse_script(&text).map_err(|e| e.render(&text))?;
+            if queries.is_empty() {
+                return Err("no queries found in input".into());
+            }
+            // The wire is line-framed: multi-line query text must flatten.
+            queries
+                .iter()
+                .map(|q| format!("QUERY {}", q.to_string().replace('\n', " ")))
+                .collect()
+        }
+    };
+    let spec = LoadSpec {
+        clients,
+        requests_per_client: requests,
+        lines,
+    };
+    let report = hin_service::client::run_closed_loop(addr, &spec);
+    match format {
+        OutputFormat::Text => print!("{}", hin_service::client::render_report(&report)),
+        OutputFormat::Json => println!("{}", hin_service::client::report_to_json(&report)),
+    }
+    if report.requests == 0 && report.io_errors > 0 {
+        return Err(format!("could not reach {addr}: all requests failed"));
     }
     Ok(())
 }
@@ -785,6 +969,142 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("unknown --run mode"), "got: {err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_format_on_query_and_explain() {
+        let dir = std::env::temp_dir().join("hinout_cli_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net_path = dir.join("net.hin");
+        run(&[
+            "generate".into(),
+            "--out".into(),
+            net_path.to_str().unwrap().into(),
+            "--scale".into(),
+            "0.05".into(),
+            "--seed".into(),
+            "17".into(),
+        ])
+        .unwrap();
+        let graph = hin_graph::io::load_graph(&net_path).unwrap();
+        let author = graph.schema().vertex_type_by_name("author").unwrap();
+        let paper = graph.schema().vertex_type_by_name("paper").unwrap();
+        let anchor = graph
+            .vertices_of_type(author)
+            .iter()
+            .find(|&&a| graph.step_degree(a, paper) >= 2)
+            .copied()
+            .unwrap();
+        let q = format!(
+            "FIND OUTLIERS FROM author{{\"{}\"}}.paper.author \
+             JUDGED BY author.paper.venue TOP 3;",
+            graph.vertex_name(anchor)
+        );
+        for cmd in ["query", "explain"] {
+            run(&[
+                cmd.into(),
+                "--graph".into(),
+                net_path.to_str().unwrap().into(),
+                "--query".into(),
+                q.clone(),
+                "--format".into(),
+                "json".into(),
+            ])
+            .unwrap();
+        }
+        let err = run(&[
+            "query".into(),
+            "--graph".into(),
+            net_path.to_str().unwrap().into(),
+            "--query".into(),
+            q,
+            "--format".into(),
+            "yaml".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown format"), "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_and_bench_client_end_to_end() {
+        let dir = std::env::temp_dir().join("hinout_cli_serve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net_path = dir.join("net.hin");
+        run(&[
+            "generate".into(),
+            "--out".into(),
+            net_path.to_str().unwrap().into(),
+            "--scale".into(),
+            "0.05".into(),
+            "--seed".into(),
+            "19".into(),
+        ])
+        .unwrap();
+        let port_file = dir.join("port.txt");
+        let serve_argv: Vec<String> = [
+            "serve",
+            "--graph",
+            net_path.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--queue-cap",
+            "4",
+            "--port-file",
+            port_file.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let server = std::thread::spawn(move || run(&serve_argv));
+        // The port file appears once the listener is bound.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        let addr = loop {
+            if let Ok(s) = std::fs::read_to_string(&port_file) {
+                if let Ok(a) = s.trim().parse::<std::net::SocketAddr>() {
+                    break a;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server never wrote its port file"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        run(&[
+            "bench-client".into(),
+            "--addr".into(),
+            addr.to_string(),
+            "--clients".into(),
+            "2".into(),
+            "--requests".into(),
+            "5".into(),
+            "--format".into(),
+            "json".into(),
+        ])
+        .unwrap();
+        let mut client = hin_service::Client::connect(addr).unwrap();
+        let bye = client.send_line("SHUTDOWN").unwrap();
+        assert!(bye.starts_with(r#"{"bye""#), "{bye}");
+        server.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_client_unreachable_server_errors() {
+        let err = run(&[
+            "bench-client".into(),
+            "--addr".into(),
+            "127.0.0.1:1".into(),
+            "--clients".into(),
+            "1".into(),
+            "--requests".into(),
+            "1".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("could not reach"), "got: {err}");
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! hinout query    --graph net.hin --query 'FIND OUTLIERS …' [--index pm] [--measure pathsim]
 //! hinout repl     --graph net.hin [--index pm]
 //! hinout index-info --graph net.hin
+//! hinout serve    --graph net.hin [--workers 4 --queue-cap 64]
+//! hinout bench-client --addr 127.0.0.1:7878 [--clients 8 --requests 100]
 //! ```
 
 mod args;

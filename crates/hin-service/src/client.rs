@@ -1,0 +1,306 @@
+//! Blocking client for the wire protocol, plus a closed-loop load
+//! generator used by `hin bench-client` and the `exp_service` benchmark.
+
+use crate::json;
+use crate::protocol::Request;
+use serde::Serialize;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// A blocking, single-connection protocol client.
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { stream, reader })
+    }
+
+    /// Send one raw request line and read one response line (the JSON,
+    /// without the trailing newline).
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<String> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    /// Send a typed [`Request`].
+    pub fn send(&mut self, request: &Request) -> std::io::Result<String> {
+        self.send_line(&request.to_line())
+    }
+
+    /// Write a request line without waiting for the response (pipelining /
+    /// abandonment tests).
+    pub fn send_no_wait(&mut self, line: &str) -> std::io::Result<()> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()
+    }
+
+    /// Read the next response line.
+    pub fn read_response(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end().to_string())
+    }
+}
+
+/// The kind tag of a response line (`"result"`, `"busy"`, `"err"`, …):
+/// the first JSON object key. `None` when the line is not shaped like a
+/// response.
+pub fn response_kind(line: &str) -> Option<&str> {
+    let rest = line.strip_prefix("{\"")?;
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Scan a flat JSON line for `"field":<integer>` and return the integer.
+/// A shallow convenience for tests and load generators (first match wins);
+/// not a JSON parser.
+pub fn json_u64_field(line: &str, field: &str) -> Option<u64> {
+    let needle = format!("\"{field}\":");
+    let at = line.find(&needle)? + needle.len();
+    let digits: String = line[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Closed-loop load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests each client sends before disconnecting.
+    pub requests_per_client: usize,
+    /// Request lines, assigned round-robin across the whole run.
+    pub lines: Vec<String>,
+}
+
+/// Aggregated result of a load-generation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadReport {
+    /// Concurrent connections used.
+    pub clients: usize,
+    /// Requests that received any response.
+    pub requests: u64,
+    /// `result`/`explain`/`slept` responses.
+    pub ok: u64,
+    /// `busy` rejections.
+    pub busy: u64,
+    /// `err` responses.
+    pub errors: u64,
+    /// Degraded (partial) results among `ok`.
+    pub degraded: u64,
+    /// Transport failures (connect/read/write).
+    pub io_errors: u64,
+    /// Wall-clock duration of the whole run, milliseconds.
+    pub elapsed_ms: u64,
+    /// Completed requests per second (all response kinds).
+    pub throughput_rps: f64,
+    /// Client-observed latency percentiles, microseconds (exact, computed
+    /// from the full sample set — unlike the server's bucketed histograms).
+    pub p50_us: u64,
+    /// 95th percentile latency (µs).
+    pub p95_us: u64,
+    /// 99th percentile latency (µs).
+    pub p99_us: u64,
+    /// Mean latency (µs).
+    pub mean_us: u64,
+}
+
+/// Exact percentile over a sorted latency sample (nearest-rank).
+fn percentile_us(sorted: &[Duration], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1].as_micros() as u64
+}
+
+/// Run a closed loop: `clients` connections each send
+/// `requests_per_client` lines back-to-back (next request only after the
+/// previous response), then the per-request latencies are aggregated.
+pub fn run_closed_loop(addr: impl ToSocketAddrs, spec: &LoadSpec) -> LoadReport {
+    let addrs: Vec<_> = addr
+        .to_socket_addrs()
+        .map(|a| a.collect())
+        .unwrap_or_default();
+    let started = Instant::now();
+    let per_client: Vec<(Vec<Duration>, u64, u64, u64, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..spec.clients)
+            .map(|c| {
+                let addrs = addrs.clone();
+                let lines = &spec.lines;
+                let n = spec.requests_per_client;
+                scope.spawn(move || {
+                    let mut latencies = Vec::with_capacity(n);
+                    let (mut ok, mut busy, mut errors, mut degraded, mut io_errors) =
+                        (0u64, 0u64, 0u64, 0u64, 0u64);
+                    let mut client = match Client::connect(addrs.as_slice()) {
+                        Ok(cl) => cl,
+                        Err(_) => {
+                            return (latencies, ok, busy, errors, degraded, n as u64);
+                        }
+                    };
+                    for i in 0..n {
+                        let line = &lines[(c * n + i) % lines.len()];
+                        let t = Instant::now();
+                        match client.send_line(line) {
+                            Ok(response) => {
+                                latencies.push(t.elapsed());
+                                match response_kind(&response) {
+                                    Some("busy") => busy += 1,
+                                    Some("err") => errors += 1,
+                                    Some(_) => {
+                                        ok += 1;
+                                        if response.contains("\"degraded\":{") {
+                                            degraded += 1;
+                                        }
+                                    }
+                                    None => errors += 1,
+                                }
+                            }
+                            Err(_) => {
+                                io_errors += 1;
+                                break;
+                            }
+                        }
+                    }
+                    (latencies, ok, busy, errors, degraded, io_errors)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| (Vec::new(), 0, 0, 0, 0, 1)))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut all: Vec<Duration> = Vec::new();
+    let (mut ok, mut busy, mut errors, mut degraded, mut io_errors) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    for (lat, o, b, e, d, io) in per_client {
+        all.extend(lat);
+        ok += o;
+        busy += b;
+        errors += e;
+        degraded += d;
+        io_errors += io;
+    }
+    all.sort_unstable();
+    let requests = all.len() as u64;
+    let mean_us = if all.is_empty() {
+        0
+    } else {
+        (all.iter().map(Duration::as_micros).sum::<u128>() / all.len() as u128) as u64
+    };
+    LoadReport {
+        clients: spec.clients,
+        requests,
+        ok,
+        busy,
+        errors,
+        degraded,
+        io_errors,
+        elapsed_ms: elapsed.as_millis() as u64,
+        throughput_rps: if elapsed.as_secs_f64() > 0.0 {
+            requests as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        },
+        p50_us: percentile_us(&all, 0.50),
+        p95_us: percentile_us(&all, 0.95),
+        p99_us: percentile_us(&all, 0.99),
+        mean_us,
+    }
+}
+
+/// Render a [`LoadReport`] as a human-readable block (the JSON form is
+/// [`json::to_string`]).
+pub fn render_report(r: &LoadReport) -> String {
+    format!(
+        "clients {:>3} | {:>7} requests in {:>6} ms | {:>9.1} req/s | \
+         ok {} busy {} err {} degraded {} io-err {}\n\
+         latency µs: mean {} p50 {} p95 {} p99 {}\n",
+        r.clients,
+        r.requests,
+        r.elapsed_ms,
+        r.throughput_rps,
+        r.ok,
+        r.busy,
+        r.errors,
+        r.degraded,
+        r.io_errors,
+        r.mean_us,
+        r.p50_us,
+        r.p95_us,
+        r.p99_us
+    )
+}
+
+/// Serialize a [`LoadReport`] to compact JSON.
+pub fn report_to_json(r: &LoadReport) -> String {
+    json::to_string(r).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_kind_extraction() {
+        assert_eq!(response_kind(r#"{"pong":{"uptime_ms":1}}"#), Some("pong"));
+        assert_eq!(response_kind(r#"{"err":{"code":"Query"}}"#), Some("err"));
+        assert_eq!(response_kind("not json"), None);
+        assert_eq!(response_kind(""), None);
+    }
+
+    #[test]
+    fn u64_field_scan() {
+        let line = r#"{"stats":{"cancelled":7,"completed":12}}"#;
+        assert_eq!(json_u64_field(line, "cancelled"), Some(7));
+        assert_eq!(json_u64_field(line, "completed"), Some(12));
+        assert_eq!(json_u64_field(line, "missing"), None);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let sorted: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        assert_eq!(percentile_us(&sorted, 0.50), 50);
+        assert_eq!(percentile_us(&sorted, 0.95), 95);
+        assert_eq!(percentile_us(&sorted, 0.99), 99);
+        assert_eq!(percentile_us(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let spec = LoadSpec {
+            clients: 1,
+            requests_per_client: 0,
+            lines: vec!["PING".into()],
+        };
+        // Closed loop against a dead address: all IO errors, no panic.
+        let report = run_closed_loop("127.0.0.1:1", &spec);
+        assert_eq!(report.requests, 0);
+        let json = report_to_json(&report);
+        assert!(json.contains("\"clients\":1"), "{json}");
+        assert!(!render_report(&report).is_empty());
+    }
+}

@@ -1,0 +1,452 @@
+//! A hand-rolled compact JSON serializer for [`serde::Serialize`] types.
+//!
+//! The workspace deliberately avoids heavyweight external dependencies;
+//! `serde` (derive only) is already in the tree, so the wire format is
+//! produced by this ~300-line [`serde::Serializer`] instead of `serde_json`.
+//! Output is compact (no whitespace), UTF-8, one value per call — exactly
+//! what the newline-delimited protocol needs.
+//!
+//! Representation choices (all standard serde defaults):
+//!
+//! * structs and maps → objects, sequences/tuples → arrays;
+//! * `Option::None` and unit → `null`;
+//! * unit enum variants → `"Name"`, data-carrying variants →
+//!   `{"Name": …}` (externally tagged);
+//! * non-finite floats → `null` (JSON has no NaN/Infinity);
+//! * strings escaped per RFC 8259 (control characters as `\u00XX`).
+
+use serde::ser::{self, Serialize};
+use std::fmt;
+
+/// Serialization failure (a custom `Serialize` impl reported an error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl ser::Error for JsonError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        JsonError(msg.to_string())
+    }
+}
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, JsonError> {
+    let mut ser = Serializer { out: String::new() };
+    value.serialize(&mut ser)?;
+    Ok(ser.out)
+}
+
+/// Append `s` to `out` as a JSON string literal.
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Serializer {
+    out: String,
+}
+
+impl Serializer {
+    fn write_f64(&mut self, v: f64) {
+        if v.is_finite() {
+            // Rust's Display for floats is the shortest representation that
+            // round-trips, which is valid JSON for finite values.
+            self.out.push_str(&v.to_string());
+        } else {
+            self.out.push_str("null");
+        }
+    }
+}
+
+/// Writes `,`-separated elements inside a `[`…`]` or `{`…`}` opened by the
+/// parent call.
+struct Compound<'a> {
+    ser: &'a mut Serializer,
+    first: bool,
+    close: char,
+}
+
+impl Compound<'_> {
+    fn comma(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.ser.out.push(',');
+        }
+    }
+}
+
+impl<'a> ser::Serializer for &'a mut Serializer {
+    type Ok = ();
+    type Error = JsonError;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), JsonError> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<(), JsonError> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), JsonError> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), JsonError> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), JsonError> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), JsonError> {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), JsonError> {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), JsonError> {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), JsonError> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), JsonError> {
+        self.write_f64(v as f64);
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), JsonError> {
+        self.write_f64(v);
+        Ok(())
+    }
+    fn serialize_char(self, v: char) -> Result<(), JsonError> {
+        escape_into(&mut self.out, &v.to_string());
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> Result<(), JsonError> {
+        escape_into(&mut self.out, v);
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), JsonError> {
+        // Byte strings serialize as arrays of numbers (serde's fallback).
+        let mut seq = self.serialize_seq(Some(v.len()))?;
+        for b in v {
+            ser::SerializeSeq::serialize_element(&mut seq, b)?;
+        }
+        ser::SerializeSeq::end(seq)
+    }
+
+    fn serialize_none(self) -> Result<(), JsonError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), JsonError> {
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), JsonError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), JsonError> {
+        self.serialize_unit()
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+    ) -> Result<(), JsonError> {
+        self.serialize_str(variant)
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        self.out.push('{');
+        escape_into(&mut self.out, variant);
+        self.out.push(':');
+        value.serialize(&mut *self)?;
+        self.out.push('}');
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>, JsonError> {
+        self.out.push('[');
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: ']',
+        })
+    }
+    fn serialize_tuple(self, len: usize) -> Result<Compound<'a>, JsonError> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<Compound<'a>, JsonError> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, JsonError> {
+        self.out.push('{');
+        escape_into(&mut self.out, variant);
+        self.out.push_str(":[");
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: ']',
+        })
+    }
+    fn serialize_map(self, _len: Option<usize>) -> Result<Compound<'a>, JsonError> {
+        self.out.push('{');
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: '}',
+        })
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>, JsonError> {
+        self.serialize_map(None)
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, JsonError> {
+        self.out.push('{');
+        escape_into(&mut self.out, variant);
+        self.out.push_str(":{");
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: '}',
+        })
+    }
+}
+
+impl ser::SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        self.comma();
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.ser.out.push(self.close);
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl ser::SerializeTupleStruct for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl ser::SerializeTupleVariant for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.ser.out.push(self.close);
+        self.ser.out.push('}');
+        Ok(())
+    }
+}
+
+impl ser::SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), JsonError> {
+        self.comma();
+        // JSON object keys must be strings; serialize the key and require
+        // that it came out as a string literal.
+        let start = self.ser.out.len();
+        key.serialize(&mut *self.ser)?;
+        if !self.ser.out[start..].starts_with('"') {
+            return Err(ser::Error::custom("map key must serialize to a string"));
+        }
+        Ok(())
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), JsonError> {
+        self.ser.out.push(':');
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.ser.out.push(self.close);
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        self.comma();
+        escape_into(&mut self.ser.out, key);
+        self.ser.out.push(':');
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.ser.out.push(self.close);
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        ser::SerializeStruct::serialize_field(self, key, value)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.ser.out.push(self.close);
+        self.ser.out.push('}');
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+    use std::collections::BTreeMap;
+
+    #[derive(Serialize)]
+    struct Nested {
+        name: String,
+        score: f64,
+        tags: Vec<u32>,
+        missing: Option<i32>,
+        present: Option<bool>,
+    }
+
+    #[derive(Serialize)]
+    enum Kind {
+        Unit,
+        Newtype(u64),
+        Tuple(u8, u8),
+        Struct { a: i32 },
+    }
+
+    #[test]
+    fn scalars_and_structs() {
+        let v = Nested {
+            name: "he said \"hi\"\n".into(),
+            score: 2.5,
+            tags: vec![1, 2, 3],
+            missing: None,
+            present: Some(true),
+        };
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"name":"he said \"hi\"\n","score":2.5,"tags":[1,2,3],"missing":null,"present":true}"#
+        );
+    }
+
+    #[test]
+    fn enum_representations() {
+        assert_eq!(to_string(&Kind::Unit).unwrap(), r#""Unit""#);
+        assert_eq!(to_string(&Kind::Newtype(7)).unwrap(), r#"{"Newtype":7}"#);
+        assert_eq!(to_string(&Kind::Tuple(1, 2)).unwrap(), r#"{"Tuple":[1,2]}"#);
+        assert_eq!(
+            to_string(&Kind::Struct { a: -3 }).unwrap(),
+            r#"{"Struct":{"a":-3}}"#
+        );
+    }
+
+    #[test]
+    fn maps_and_floats() {
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), 1.0f64);
+        assert_eq!(to_string(&m).unwrap(), r#"{"k":1}"#);
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert_eq!(to_string(&1.5e300f64).unwrap(), "1.5e300");
+    }
+
+    #[test]
+    fn control_characters_escaped() {
+        assert_eq!(to_string("\u{1}\t").unwrap(), r#""\t""#);
+    }
+
+    #[test]
+    fn non_string_map_key_rejected() {
+        let mut m = BTreeMap::new();
+        m.insert(3u32, "x");
+        assert!(to_string(&m).is_err());
+    }
+}

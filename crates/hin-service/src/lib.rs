@@ -1,0 +1,48 @@
+//! # hin-service — a concurrent query-serving subsystem
+//!
+//! The paper frames outlier queries as an interactive, analyst-facing
+//! workload (Section 4.2's query language, Section 6's latency study), and
+//! the one-shot CLI pays full process startup and graph load per query.
+//! This crate turns the engine into a **long-running, multi-threaded
+//! server**: the graph (plus optional PM/SPM index and the shared
+//! neighbor-vector cache) is loaded once, and many clients are served
+//! concurrently over a newline-delimited text protocol on TCP — `std::net`
+//! only, no async runtime.
+//!
+//! Architecture (DESIGN.md §9):
+//!
+//! * [`server::Server`] — acceptor + per-connection handler threads + a
+//!   fixed worker pool fed by a bounded crossbeam channel;
+//! * admission control — a full queue answers a structured `busy` response
+//!   (backpressure instead of unbounded memory growth); per-request
+//!   [`netout::Budget`]s derive from server defaults with per-request
+//!   overrides; client disconnects trip the request's
+//!   [`netout::CancelToken`];
+//! * [`protocol`] — `QUERY` / `EXPLAIN` / `STATS` / `PING` / `SHUTDOWN`
+//!   (plus `SLEEP` for drills) with machine-readable compact-JSON
+//!   responses including degraded/partial-result markers;
+//! * [`stats::ServerStats`] — per-phase latency histograms, queue depth,
+//!   in-flight count, cache hit ratio, rejected/cancelled/degraded
+//!   counters, served via `STATS` and returned on graceful shutdown;
+//! * [`client`] — a blocking client plus the closed-loop load generator
+//!   behind `hin bench-client` and the `exp_service` benchmark;
+//! * [`json`] — the hand-rolled compact serde JSON serializer shared by
+//!   the server and the one-shot CLI's `--format json`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+// Library code paths must report failures as structured responses, never
+// panic; tests are free to unwrap. Intentional invariants carry local
+// `#[allow]`s with a justification comment.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use client::{Client, LoadReport, LoadSpec};
+pub use protocol::{ExecMode, Request, RequestOptions, Response};
+pub use server::{Server, ServerConfig};
+pub use stats::{ServerStats, StatsSnapshot};

@@ -1,0 +1,660 @@
+//! The newline-delimited request/response wire protocol.
+//!
+//! Requests are single lines of UTF-8 text; responses are single lines of
+//! compact JSON (see [`crate::json`]). The grammar (§9 of DESIGN.md):
+//!
+//! ```text
+//! request    := "PING" | "STATS" | "SHUTDOWN"
+//!             | "SLEEP" SP ms
+//!             | ("QUERY" | "EXPLAIN") (SP option)* SP oql-text
+//! option     := key "=" value    ; keys: timeout-ms, max-candidates,
+//!                                ;       max-nnz, mode (strict|best-effort)
+//! oql-text   := the EDBT 2015 outlier query, ending with ";"
+//! ```
+//!
+//! Option tokens are recognized only before the first token that is not a
+//! `key=value` pair, so query text containing `=` is never misparsed.
+//! `SLEEP` occupies a worker for the given duration (cancellable); it exists
+//! for integration tests and operational drills (e.g. verifying `BUSY`
+//! backpressure against a live deployment without crafting an expensive
+//! query).
+//!
+//! Every response is one of the [`Response`] variants, serialized
+//! externally tagged: `{"result":{…}}`, `{"busy":{…}}`, `{"err":{…}}`, ….
+//! Parsing failures yield a structured `err` response with a stable
+//! [`ErrorCode`], never a panic.
+
+use netout::{Budget, Degraded, EngineError, QueryResult};
+use serde::Serialize;
+use std::fmt;
+use std::time::Duration;
+
+/// Hard cap on request line length, mirroring the text graph loader's
+/// capped reader: a client cannot make the server buffer unboundedly.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Per-request budget overrides carried by `QUERY`/`EXPLAIN` options.
+/// `None` fields fall back to the server's default budget.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RequestOptions {
+    /// `timeout-ms=N` — wall-clock deadline override.
+    pub timeout_ms: Option<u64>,
+    /// `max-candidates=N` — candidate/reference cardinality cap override.
+    pub max_candidates: Option<usize>,
+    /// `max-nnz=N` — intermediate frontier population cap override.
+    pub max_nnz: Option<usize>,
+    /// `mode=strict|best-effort` — whether a tripped budget fails the
+    /// request or degrades to a partial ranking (server default:
+    /// best-effort).
+    pub mode: Option<ExecMode>,
+}
+
+impl RequestOptions {
+    /// Apply these overrides on top of `default` (the server-wide budget).
+    pub fn budget_over(&self, default: &Budget) -> Budget {
+        let mut b = default.clone();
+        if let Some(ms) = self.timeout_ms {
+            b = b.with_timeout(Duration::from_millis(ms));
+        }
+        if let Some(n) = self.max_candidates {
+            b = b.with_max_candidates(n).with_max_reference(n);
+        }
+        if let Some(n) = self.max_nnz {
+            b = b.with_max_nnz(n);
+        }
+        b
+    }
+
+    fn is_empty(&self) -> bool {
+        *self == RequestOptions::default()
+    }
+}
+
+/// Strict vs. best-effort execution (see
+/// [`netout::OutlierDetector::query_best_effort`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ExecMode {
+    /// A tripped budget fails the request with an `err` response.
+    Strict,
+    /// A tripped budget returns the partial ranking with a `degraded`
+    /// marker when at least one candidate was scored.
+    BestEffort,
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered inline (never queued).
+    Ping,
+    /// Server statistics snapshot; answered inline.
+    Stats,
+    /// Graceful drain-and-shutdown.
+    Shutdown,
+    /// Occupy a worker for `ms` milliseconds (cancellable; for tests and
+    /// operational drills).
+    Sleep {
+        /// How long to hold the worker.
+        ms: u64,
+    },
+    /// Execute an outlier query.
+    Query {
+        /// Budget/mode overrides.
+        options: RequestOptions,
+        /// The OQL text.
+        text: String,
+    },
+    /// Plan a query without executing it.
+    Explain {
+        /// Budget/mode overrides (accepted for symmetry; unused).
+        options: RequestOptions,
+        /// The OQL text.
+        text: String,
+    },
+}
+
+/// Why a request line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+fn parse_err(message: impl Into<String>) -> ParseError {
+    ParseError {
+        message: message.into(),
+    }
+}
+
+impl Request {
+    /// Parse one request line. Never panics: any malformed input — wrong
+    /// verb, bad option value, over-long or empty line — is a [`ParseError`].
+    pub fn parse(line: &str) -> Result<Request, ParseError> {
+        if line.len() > MAX_LINE_BYTES {
+            return Err(parse_err(format!(
+                "request line exceeds {MAX_LINE_BYTES} bytes"
+            )));
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            return Err(parse_err("empty request line"));
+        }
+        let (verb, rest) = match line.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim_start()),
+            None => (line, ""),
+        };
+        match verb.to_ascii_uppercase().as_str() {
+            "PING" => Self::expect_no_args("PING", rest).map(|()| Request::Ping),
+            "STATS" => Self::expect_no_args("STATS", rest).map(|()| Request::Stats),
+            "SHUTDOWN" => Self::expect_no_args("SHUTDOWN", rest).map(|()| Request::Shutdown),
+            "SLEEP" => {
+                let ms: u64 = rest
+                    .parse()
+                    .map_err(|_| parse_err(format!("SLEEP expects milliseconds, got {rest:?}")))?;
+                Ok(Request::Sleep { ms })
+            }
+            "QUERY" => {
+                let (options, text) = parse_options(rest)?;
+                if text.is_empty() {
+                    return Err(parse_err("QUERY expects a query text"));
+                }
+                Ok(Request::Query {
+                    options,
+                    text: text.to_string(),
+                })
+            }
+            "EXPLAIN" => {
+                let (options, text) = parse_options(rest)?;
+                if text.is_empty() {
+                    return Err(parse_err("EXPLAIN expects a query text"));
+                }
+                Ok(Request::Explain {
+                    options,
+                    text: text.to_string(),
+                })
+            }
+            other => Err(parse_err(format!(
+                "unknown verb {other:?} (PING|STATS|SHUTDOWN|SLEEP|QUERY|EXPLAIN)"
+            ))),
+        }
+    }
+
+    fn expect_no_args(verb: &str, rest: &str) -> Result<(), ParseError> {
+        if rest.is_empty() {
+            Ok(())
+        } else {
+            Err(parse_err(format!(
+                "{verb} takes no arguments, got {rest:?}"
+            )))
+        }
+    }
+
+    /// Serialize back to a wire line. `Request::parse(&req.to_line())`
+    /// round-trips (modulo whitespace normalization inside query text).
+    pub fn to_line(&self) -> String {
+        fn opts_prefix(options: &RequestOptions) -> String {
+            let mut s = String::new();
+            if let Some(ms) = options.timeout_ms {
+                s.push_str(&format!("timeout-ms={ms} "));
+            }
+            if let Some(n) = options.max_candidates {
+                s.push_str(&format!("max-candidates={n} "));
+            }
+            if let Some(n) = options.max_nnz {
+                s.push_str(&format!("max-nnz={n} "));
+            }
+            if let Some(mode) = options.mode {
+                s.push_str(&format!(
+                    "mode={} ",
+                    match mode {
+                        ExecMode::Strict => "strict",
+                        ExecMode::BestEffort => "best-effort",
+                    }
+                ));
+            }
+            s
+        }
+        match self {
+            Request::Ping => "PING".to_string(),
+            Request::Stats => "STATS".to_string(),
+            Request::Shutdown => "SHUTDOWN".to_string(),
+            Request::Sleep { ms } => format!("SLEEP {ms}"),
+            Request::Query { options, text } => {
+                format!("QUERY {}{}", opts_prefix(options), text)
+            }
+            Request::Explain { options, text } => {
+                format!("EXPLAIN {}{}", opts_prefix(options), text)
+            }
+        }
+    }
+
+    /// Whether this request is dispatched to the worker pool (vs. answered
+    /// inline by the connection handler).
+    pub fn needs_worker(&self) -> bool {
+        matches!(
+            self,
+            Request::Query { .. } | Request::Explain { .. } | Request::Sleep { .. }
+        )
+    }
+}
+
+/// Split leading `key=value` option tokens off `rest`; the remainder is the
+/// query text. An unknown option key or malformed value is an error; the
+/// first token without `=` ends option parsing, so query text containing
+/// `=` later on is untouched.
+fn parse_options(rest: &str) -> Result<(RequestOptions, &str), ParseError> {
+    let mut options = RequestOptions::default();
+    let mut cursor = rest;
+    loop {
+        let trimmed = cursor.trim_start();
+        let token = trimmed.split_whitespace().next().unwrap_or("");
+        let Some((key, value)) = token.split_once('=') else {
+            return Ok((options, trimmed));
+        };
+        // Query text never starts with a bare `key=value` token (OQL starts
+        // with FIND), so a token with '=' before the text is an option.
+        match key {
+            "timeout-ms" => {
+                options.timeout_ms = Some(parse_num(key, value)?);
+            }
+            "max-candidates" => {
+                options.max_candidates = Some(parse_num(key, value)?);
+            }
+            "max-nnz" => {
+                options.max_nnz = Some(parse_num(key, value)?);
+            }
+            "mode" => {
+                options.mode = Some(match value {
+                    "strict" => ExecMode::Strict,
+                    "best-effort" => ExecMode::BestEffort,
+                    other => {
+                        return Err(parse_err(format!(
+                            "mode must be strict or best-effort, got {other:?}"
+                        )))
+                    }
+                });
+            }
+            other => {
+                return Err(parse_err(format!(
+                    "unknown option {other:?} (timeout-ms|max-candidates|max-nnz|mode)"
+                )))
+            }
+        }
+        cursor = &trimmed[token.len()..];
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, ParseError> {
+    value
+        .parse()
+        .map_err(|_| parse_err(format!("bad value for option {key}: {value:?}")))
+}
+
+/// Stable machine-readable error classes for `err` responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ErrorCode {
+    /// The request line itself was malformed.
+    Protocol,
+    /// The query failed to parse or validate against the schema.
+    Query,
+    /// A budget limit fired before any candidate was scored (strict mode,
+    /// or degradation impossible).
+    Budget,
+    /// Any other engine failure (empty sets, unknown anchors, …).
+    Engine,
+    /// The worker executing the request panicked (the worker survives).
+    Internal,
+}
+
+/// One ranked outlier row in a `result` response.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RankedRow {
+    /// 1-based rank, most outlying first.
+    pub rank: usize,
+    /// Vertex display name.
+    pub name: String,
+    /// Combined outlierness score.
+    pub score: f64,
+}
+
+/// The degraded/partial-result marker on a `result` response.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DegradedInfo {
+    /// Which budget limit ended the run (display form of
+    /// [`netout::BudgetLimit`]).
+    pub limit: String,
+    /// The phase it fired in.
+    pub phase: String,
+    /// Candidates scored before the budget fired.
+    pub scored: usize,
+    /// Total candidate-set cardinality.
+    pub total: usize,
+}
+
+impl From<&Degraded> for DegradedInfo {
+    fn from(d: &Degraded) -> Self {
+        DegradedInfo {
+            limit: d.limit.to_string(),
+            phase: d.phase.to_string(),
+            scored: d.scored,
+            total: d.total,
+        }
+    }
+}
+
+/// A successful query execution.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ResultBody {
+    /// The measure that produced the scores (`"NetOut"`, …).
+    pub measure: String,
+    /// Candidate-set cardinality.
+    pub candidates: usize,
+    /// Reference-set cardinality.
+    pub reference: usize,
+    /// Ranked outliers, most outlying first.
+    pub ranked: Vec<RankedRow>,
+    /// Candidates with undefined scores (zero visibility), count only.
+    pub zero_visibility: usize,
+    /// `Some` when the ranking is best-effort over a scored prefix.
+    pub degraded: Option<DegradedInfo>,
+    /// Server-side execution time in microseconds (queue wait excluded).
+    pub exec_us: u64,
+}
+
+impl ResultBody {
+    /// Build from an engine [`QueryResult`].
+    pub fn from_query_result(r: &QueryResult, exec: Duration) -> ResultBody {
+        ResultBody {
+            measure: r.measure.to_string(),
+            candidates: r.candidate_count,
+            reference: r.reference_count,
+            ranked: r
+                .ranked
+                .iter()
+                .enumerate()
+                .map(|(i, o)| RankedRow {
+                    rank: i + 1,
+                    name: o.name.clone(),
+                    score: o.score,
+                })
+                .collect(),
+            zero_visibility: r.zero_visibility.len(),
+            degraded: r.degraded.as_ref().map(DegradedInfo::from),
+            exec_us: exec.as_micros() as u64,
+        }
+    }
+}
+
+/// An `err` response body.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ErrBody {
+    /// Stable machine-readable class.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// A `busy` (admission rejected) response body.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BusyBody {
+    /// Jobs queued when admission was refused.
+    pub queue_depth: usize,
+    /// The configured queue capacity.
+    pub queue_cap: usize,
+}
+
+/// One response line, externally tagged in JSON.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+#[allow(clippy::large_enum_variant)] // responses are built once and serialized immediately
+pub enum Response {
+    /// Successful query execution (possibly degraded).
+    #[serde(rename = "result")]
+    Result(ResultBody),
+    /// Successful EXPLAIN; the rendered plan.
+    #[serde(rename = "explain")]
+    Explain {
+        /// Human-readable plan text.
+        plan: String,
+    },
+    /// Liveness answer.
+    #[serde(rename = "pong")]
+    Pong {
+        /// Server uptime in milliseconds.
+        uptime_ms: u64,
+    },
+    /// Statistics snapshot (the body is
+    /// [`crate::stats::StatsSnapshot`], pre-serialized).
+    #[serde(rename = "stats")]
+    Stats(crate::stats::StatsSnapshot),
+    /// Admission control rejected the request: the queue is full.
+    #[serde(rename = "busy")]
+    Busy(BusyBody),
+    /// The request failed.
+    #[serde(rename = "err")]
+    Err(ErrBody),
+    /// `SLEEP` completed (or was cancelled early).
+    #[serde(rename = "slept")]
+    Slept {
+        /// Milliseconds actually slept.
+        ms: u64,
+        /// Whether the sleep was cut short by cancellation.
+        cancelled: bool,
+    },
+    /// Shutdown acknowledged; the server is draining.
+    #[serde(rename = "bye")]
+    Bye {
+        /// Jobs still queued at shutdown time (they will be drained).
+        draining: usize,
+    },
+}
+
+impl Response {
+    /// Build an `err` response.
+    pub fn err(code: ErrorCode, message: impl Into<String>) -> Response {
+        Response::Err(ErrBody {
+            code,
+            message: message.into(),
+        })
+    }
+
+    /// Classify an [`EngineError`] into an `err` response.
+    pub fn from_engine_error(e: &EngineError) -> Response {
+        let code = match e {
+            EngineError::Query(_) => ErrorCode::Query,
+            EngineError::BudgetExceeded { .. } => ErrorCode::Budget,
+            _ => ErrorCode::Engine,
+        };
+        Response::err(code, e.to_string())
+    }
+
+    /// Serialize to one compact-JSON wire line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        crate::json::to_string(self).unwrap_or_else(|e| {
+            // Serialization of our own derive'd types cannot fail, but the
+            // wire must never go silent if it somehow does.
+            format!("{{\"err\":{{\"code\":\"Internal\",\"message\":{}}}}}", {
+                let mut s = String::new();
+                crate::json::escape_into(&mut s, &e.to_string());
+                s
+            })
+        })
+    }
+
+    /// The response kind tag as it appears on the wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Response::Result(_) => "result",
+            Response::Explain { .. } => "explain",
+            Response::Pong { .. } => "pong",
+            Response::Stats(_) => "stats",
+            Response::Busy(_) => "busy",
+            Response::Err(_) => "err",
+            Response::Slept { .. } => "slept",
+            Response::Bye { .. } => "bye",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_verbs() {
+        assert_eq!(Request::parse("PING").unwrap(), Request::Ping);
+        assert_eq!(Request::parse("  stats  ").unwrap(), Request::Stats);
+        assert_eq!(Request::parse("Shutdown").unwrap(), Request::Shutdown);
+        assert_eq!(
+            Request::parse("SLEEP 250").unwrap(),
+            Request::Sleep { ms: 250 }
+        );
+    }
+
+    #[test]
+    fn query_with_options() {
+        let r = Request::parse(
+            "QUERY timeout-ms=100 max-candidates=50 mode=strict FIND OUTLIERS FROM a.b JUDGED BY a.b;",
+        )
+        .unwrap();
+        match r {
+            Request::Query { options, text } => {
+                assert_eq!(options.timeout_ms, Some(100));
+                assert_eq!(options.max_candidates, Some(50));
+                assert_eq!(options.mode, Some(ExecMode::Strict));
+                assert_eq!(options.max_nnz, None);
+                assert_eq!(text, "FIND OUTLIERS FROM a.b JUDGED BY a.b;");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_text_with_equals_sign_preserved() {
+        // Options stop at the first non-option token; '=' later in the text
+        // is query content. (OQL has no '=' today, but the framing must not
+        // care.)
+        let r = Request::parse("QUERY FIND OUTLIERS FROM x{\"a=b\"} JUDGED BY p;").unwrap();
+        match r {
+            Request::Query { options, text } => {
+                assert!(options.is_empty());
+                assert!(text.contains("a=b"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_errors_not_panics() {
+        for line in [
+            "",
+            "   ",
+            "FROB",
+            "PING extra",
+            "SLEEP",
+            "SLEEP forever",
+            "SLEEP -1",
+            "QUERY",
+            "QUERY timeout-ms=abc FIND;",
+            "QUERY frobs=1 FIND;",
+            "QUERY mode=later FIND;",
+            "EXPLAIN   ",
+        ] {
+            assert!(Request::parse(line).is_err(), "line {line:?} parsed");
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_request() {
+        let reqs = [
+            Request::Ping,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Sleep { ms: 42 },
+            Request::Query {
+                options: RequestOptions {
+                    timeout_ms: Some(9),
+                    max_candidates: None,
+                    max_nnz: Some(1000),
+                    mode: Some(ExecMode::BestEffort),
+                },
+                text: "FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author JUDGED BY a.p.v;"
+                    .to_string(),
+            },
+            Request::Explain {
+                options: RequestOptions::default(),
+                text: "FIND OUTLIERS FROM a.b JUDGED BY c.d;".to_string(),
+            },
+        ];
+        for req in reqs {
+            assert_eq!(Request::parse(&req.to_line()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn budget_overrides_layer_over_defaults() {
+        let default = Budget::unbounded().with_timeout_ms(5000).with_max_nnz(10);
+        let opts = RequestOptions {
+            timeout_ms: Some(100),
+            max_candidates: Some(7),
+            max_nnz: None,
+            mode: None,
+        };
+        let b = opts.budget_over(&default);
+        assert_eq!(b.timeout, Some(Duration::from_millis(100)));
+        assert_eq!(b.max_candidates, Some(7));
+        assert_eq!(b.max_reference, Some(7));
+        assert_eq!(b.max_nnz, Some(10), "default survives");
+    }
+
+    #[test]
+    fn responses_serialize_with_stable_tags() {
+        let r = Response::Pong { uptime_ms: 12 };
+        assert_eq!(r.to_json_line(), r#"{"pong":{"uptime_ms":12}}"#);
+        let r = Response::Busy(BusyBody {
+            queue_depth: 4,
+            queue_cap: 4,
+        });
+        assert_eq!(
+            r.to_json_line(),
+            r#"{"busy":{"queue_depth":4,"queue_cap":4}}"#
+        );
+        let r = Response::err(ErrorCode::Protocol, "bad verb");
+        assert_eq!(
+            r.to_json_line(),
+            r#"{"err":{"code":"Protocol","message":"bad verb"}}"#
+        );
+        assert_eq!(r.kind(), "err");
+    }
+
+    #[test]
+    fn result_body_from_query_result_marks_degradation() {
+        use netout::OutlierDetector;
+        let d = OutlierDetector::new(hin_datagen::toy::figure1_network());
+        let r = d
+            .query("FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author JUDGED BY author.paper.venue;")
+            .unwrap();
+        let body = ResultBody::from_query_result(&r, Duration::from_micros(55));
+        assert_eq!(body.measure, "NetOut");
+        assert_eq!(body.ranked.len(), r.ranked.len());
+        assert_eq!(body.ranked[0].rank, 1);
+        assert!(body.degraded.is_none());
+        assert_eq!(body.exec_us, 55);
+        let line = Response::Result(body).to_json_line();
+        assert!(
+            line.starts_with(r#"{"result":{"measure":"NetOut""#),
+            "{line}"
+        );
+        assert!(line.contains(r#""degraded":null"#));
+    }
+
+    #[test]
+    fn oversized_line_rejected() {
+        let line = format!("QUERY {}", "x".repeat(MAX_LINE_BYTES + 1));
+        assert!(Request::parse(&line).is_err());
+    }
+}

@@ -1,0 +1,734 @@
+//! The long-running, multi-threaded query server.
+//!
+//! One process loads the graph (plus optional PM/SPM index) once and serves
+//! many clients over newline-delimited TCP:
+//!
+//! * an **acceptor** loop takes connections and spawns one handler thread
+//!   per connection;
+//! * connection handlers parse request lines and either answer inline
+//!   (`PING`, `STATS`, `SHUTDOWN`) or submit a [`Job`] to a **bounded
+//!   crossbeam channel** feeding a fixed **worker pool**;
+//! * **admission control**: when the queue is full, the request is rejected
+//!   immediately with a structured `busy` response instead of queueing
+//!   unboundedly;
+//! * while a job is queued/executing, the connection handler keeps polling
+//!   the socket; a client that hangs up trips the job's
+//!   [`netout::CancelToken`], so abandoned queries stop consuming workers
+//!   at the next budget checkpoint;
+//! * `SHUTDOWN` drains: the acceptor stops, queued jobs finish, workers
+//!   exit, and [`Server::run`] returns the final statistics snapshot.
+//!
+//! All execution state shared across threads is either immutable
+//! (`HinGraph`, `PmIndex`), atomic (counters), or lock-protected
+//! (`VectorCache`, histograms) — see the compile-time `Send + Sync`
+//! assertions at the bottom of this file.
+
+use crate::protocol::{
+    BusyBody, ErrorCode, ExecMode, Request, RequestOptions, Response, ResultBody, MAX_LINE_BYTES,
+};
+use crate::stats::{CacheSnapshot, ServerStats, StatsSnapshot};
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use netout::{BudgetLimit, CancelToken, EngineError, OutlierDetector};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Scoring batch size for best-effort execution (matches the detector's
+/// internal default: small enough to notice cancellation promptly).
+const BATCH: usize = 64;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing queries (≥ 1).
+    pub workers: usize,
+    /// Admission queue capacity; a full queue answers `busy` (≥ 1).
+    pub queue_cap: usize,
+    /// Execution mode when a request does not say otherwise.
+    pub default_mode: ExecMode,
+    /// How often waiting connection handlers poll for client disconnect
+    /// and shutdown. Smaller = faster cancellation, more syscalls.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(2),
+            queue_cap: 64,
+            default_mode: ExecMode::BestEffort,
+            poll_interval: Duration::from_millis(20),
+        }
+    }
+}
+
+/// A unit of work queued for the worker pool.
+struct Job {
+    request: Request,
+    cancel: CancelToken,
+    respond: Sender<Response>,
+    admitted: Instant,
+}
+
+/// State shared by the acceptor, connection handlers, and workers.
+struct Shared {
+    detector: OutlierDetector,
+    stats: ServerStats,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    /// Receiver clone used only for queue-depth reporting (crossbeam
+    /// channels are MPMC; holding a receiver does not keep the queue alive
+    /// from the sender side).
+    queue_probe: Receiver<Job>,
+}
+
+impl Shared {
+    fn queue_depth(&self) -> usize {
+        self.queue_probe.len()
+    }
+
+    fn cache_snapshot(&self) -> CacheSnapshot {
+        match (self.detector.cache_stats(), self.detector.shared_cache()) {
+            (Some(stats), Some(cache)) => {
+                let mut snap = CacheSnapshot::from(stats);
+                snap.len = cache.len();
+                snap
+            }
+            _ => CacheSnapshot::default(),
+        }
+    }
+
+    fn stats_response(&self) -> Response {
+        Response::Stats(self.stats.snapshot(
+            self.queue_depth(),
+            self.config.queue_cap,
+            self.cache_snapshot(),
+        ))
+    }
+}
+
+/// A bound, not-yet-running query server. Construct with [`Server::bind`],
+/// then call [`Server::run`] (blocking) — typically from a dedicated
+/// thread when embedding (tests, benches).
+pub struct Server {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    job_tx: Sender<Job>,
+    job_rx: Receiver<Job>,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and prepare
+    /// the worker pool around `detector` (whose graph, index, cache, budget,
+    /// and measure configuration the server serves).
+    pub fn bind(
+        detector: OutlierDetector,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let config = ServerConfig {
+            workers: config.workers.max(1),
+            queue_cap: config.queue_cap.max(1),
+            ..config
+        };
+        let (job_tx, job_rx) = channel::bounded::<Job>(config.queue_cap);
+        let shared = Arc::new(Shared {
+            detector,
+            stats: ServerStats::new(),
+            config,
+            shutdown: AtomicBool::new(false),
+            queue_probe: job_rx.clone(),
+        });
+        Ok(Server {
+            shared,
+            listener,
+            job_tx,
+            job_rx,
+            addr,
+        })
+    }
+
+    /// The bound address (resolves the port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serve until a client sends `SHUTDOWN`. Returns the final statistics
+    /// snapshot after draining queued work and joining every worker.
+    pub fn run(self) -> StatsSnapshot {
+        let Server {
+            shared,
+            listener,
+            job_tx,
+            job_rx,
+            addr: _,
+        } = self;
+
+        let workers: Vec<_> = (0..shared.config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = job_rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("hin-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .unwrap_or_else(|e| {
+                        // Thread spawn failing at startup is unrecoverable
+                        // for a server; surface it loudly.
+                        panic!("spawning worker {i}: {e}")
+                    })
+            })
+            .collect();
+        drop(job_rx);
+
+        listener
+            .set_nonblocking(true)
+            .unwrap_or_else(|e| panic!("set_nonblocking on listener: {e}"));
+        let mut handlers = Vec::new();
+        while !shared.shutdown.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    shared.stats.inc(&shared.stats.connections);
+                    let shared = Arc::clone(&shared);
+                    let tx = job_tx.clone();
+                    if let Ok(h) = std::thread::Builder::new()
+                        .name("hin-conn".to_string())
+                        .spawn(move || handle_connection(&shared, stream, &tx))
+                    {
+                        handlers.push(h);
+                    }
+                    // Occasionally reap finished handler threads so a
+                    // long-lived server does not accumulate join handles.
+                    if handlers.len() >= 128 {
+                        handlers.retain(|h| !h.is_finished());
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+
+        // Drain: release our sender; workers exit once every connection
+        // handler (each holding a clone) has finished its in-flight work.
+        drop(job_tx);
+        for h in handlers {
+            let _ = h.join();
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        shared.stats.snapshot(
+            shared.queue_depth(),
+            shared.config.queue_cap,
+            shared.cache_snapshot(),
+        )
+    }
+}
+
+/// The worker loop: execute jobs until the channel closes.
+fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
+    for job in rx.iter() {
+        let queue_wait = job.admitted.elapsed();
+        shared.stats.inc(&shared.stats.in_flight);
+        let exec_started = Instant::now();
+        // A panic in measure/engine code must not kill the worker: convert
+        // it into a structured `err` response and keep serving. The engine
+        // state is per-request, so no shared invariants are at risk.
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_request(shared, &job.request, &job.cancel)
+        }))
+        .unwrap_or_else(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked".to_string());
+            shared.stats.inc(&shared.stats.errors);
+            Response::err(ErrorCode::Internal, msg)
+        });
+        let exec = exec_started.elapsed();
+        shared
+            .stats
+            .record_latencies(queue_wait, exec, job.admitted.elapsed());
+        shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        // The connection handler may have hung up; that is fine.
+        let _ = job.respond.send(response);
+    }
+}
+
+/// Execute one worker-pool request, updating outcome counters.
+fn execute_request(shared: &Shared, request: &Request, cancel: &CancelToken) -> Response {
+    match request {
+        Request::Sleep { ms } => {
+            let started = Instant::now();
+            let deadline = started + Duration::from_millis(*ms);
+            let mut cancelled = false;
+            while Instant::now() < deadline {
+                if cancel.is_cancelled() {
+                    cancelled = true;
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2).min(shared.config.poll_interval));
+            }
+            if cancelled {
+                shared.stats.inc(&shared.stats.cancelled);
+            } else {
+                shared.stats.inc(&shared.stats.completed);
+            }
+            Response::Slept {
+                ms: started.elapsed().as_millis() as u64,
+                cancelled,
+            }
+        }
+        Request::Query { options, text } => {
+            let exec_started = Instant::now();
+            let outcome = run_query(shared, options, text, cancel);
+            match outcome {
+                Ok(result) => {
+                    if let Some(d) = &result.degraded {
+                        shared.stats.inc(&shared.stats.degraded);
+                        if d.limit == BudgetLimit::Cancelled {
+                            shared.stats.inc(&shared.stats.cancelled);
+                        }
+                    }
+                    shared.stats.inc(&shared.stats.completed);
+                    Response::Result(ResultBody::from_query_result(
+                        &result,
+                        exec_started.elapsed(),
+                    ))
+                }
+                Err(e) => {
+                    if matches!(
+                        e,
+                        EngineError::BudgetExceeded {
+                            limit: BudgetLimit::Cancelled,
+                            ..
+                        }
+                    ) {
+                        shared.stats.inc(&shared.stats.cancelled);
+                    }
+                    shared.stats.inc(&shared.stats.errors);
+                    Response::from_engine_error(&e)
+                }
+            }
+        }
+        Request::Explain { options: _, text } => {
+            match hin_query::validate::parse_and_bind(text, shared.detector.graph().schema()) {
+                Ok(bound) => {
+                    let plan = shared.detector.engine().explain(&bound).to_string();
+                    shared.stats.inc(&shared.stats.completed);
+                    Response::Explain { plan }
+                }
+                Err(e) => {
+                    shared.stats.inc(&shared.stats.errors);
+                    Response::err(ErrorCode::Query, e.to_string())
+                }
+            }
+        }
+        // Inline requests never reach the pool.
+        Request::Ping | Request::Stats | Request::Shutdown => {
+            Response::err(ErrorCode::Internal, "inline request reached worker pool")
+        }
+    }
+}
+
+/// Parse, bind, and execute one query with the per-request budget.
+fn run_query(
+    shared: &Shared,
+    options: &RequestOptions,
+    text: &str,
+    cancel: &CancelToken,
+) -> Result<netout::QueryResult, EngineError> {
+    let bound = hin_query::validate::parse_and_bind(text, shared.detector.graph().schema())?;
+    let budget = options
+        .budget_over(shared.detector.current_budget())
+        .with_cancel_token(cancel.clone());
+    let engine = shared.detector.engine().budget(budget);
+    match options.mode.unwrap_or(shared.config.default_mode) {
+        ExecMode::Strict => engine.execute(&bound),
+        ExecMode::BestEffort => engine.execute_best_effort(&bound, BATCH),
+    }
+}
+
+/// Buffered line framing over a [`TcpStream`] with timeout-based polling,
+/// a line-length cap, and liveness probing.
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    /// Set while skipping the remainder of an over-long line.
+    discarding: bool,
+    eof: bool,
+}
+
+enum LineEvent {
+    /// A complete request line (without the newline).
+    Line(String),
+    /// A complete line that was not valid UTF-8 or exceeded the cap —
+    /// report an error to the client, framing stays synchronized.
+    Malformed(&'static str),
+    /// Client closed the connection (or a hard socket error).
+    Eof,
+    /// The server is shutting down.
+    Shutdown,
+}
+
+impl LineReader {
+    fn new(stream: TcpStream) -> LineReader {
+        LineReader {
+            stream,
+            buf: Vec::new(),
+            discarding: false,
+            eof: false,
+        }
+    }
+
+    /// Pull the next buffered line, if a full one is present.
+    fn take_buffered_line(&mut self) -> Option<LineEvent> {
+        loop {
+            let nl = self.buf.iter().position(|&b| b == b'\n');
+            match nl {
+                Some(i) => {
+                    let line: Vec<u8> = self.buf.drain(..=i).collect();
+                    if self.discarding {
+                        self.discarding = false;
+                        return Some(LineEvent::Malformed("request line too long"));
+                    }
+                    let line = &line[..line.len() - 1];
+                    let line = line.strip_suffix(b"\r").unwrap_or(line);
+                    if line.is_empty() {
+                        continue; // skip blank lines silently
+                    }
+                    return match std::str::from_utf8(line) {
+                        Ok(s) => Some(LineEvent::Line(s.to_string())),
+                        Err(_) => Some(LineEvent::Malformed("request line is not valid UTF-8")),
+                    };
+                }
+                None => {
+                    if self.buf.len() > MAX_LINE_BYTES {
+                        // Cap exceeded without a newline: drop what we have
+                        // and discard until the line ends.
+                        self.buf.clear();
+                        self.discarding = true;
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Read one byte chunk with `timeout`. Returns `false` on EOF/hard
+    /// error, `true` otherwise (including "nothing arrived yet").
+    fn fill(&mut self, timeout: Duration) -> bool {
+        if self.eof {
+            return false;
+        }
+        let _ = self
+            .stream
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))));
+        let mut chunk = [0u8; 8192];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => {
+                self.eof = true;
+                false
+            }
+            Ok(n) => {
+                if self.discarding {
+                    // While discarding we only care about the newline.
+                    if let Some(i) = chunk[..n].iter().position(|&b| b == b'\n') {
+                        self.buf.extend_from_slice(&chunk[i..n]);
+                    }
+                } else {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                true
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => true,
+            Err(e) if e.kind() == ErrorKind::Interrupted => true,
+            Err(_) => {
+                self.eof = true;
+                false
+            }
+        }
+    }
+
+    /// Block until the next line, EOF, or shutdown, polling at
+    /// `poll_interval`.
+    fn next_line(&mut self, shutdown: &AtomicBool, poll_interval: Duration) -> LineEvent {
+        loop {
+            if let Some(event) = self.take_buffered_line() {
+                return event;
+            }
+            if shutdown.load(Ordering::Relaxed) {
+                return LineEvent::Shutdown;
+            }
+            if !self.fill(poll_interval) {
+                return LineEvent::Eof;
+            }
+        }
+    }
+
+    /// Probe whether the client is still connected, consuming any pipelined
+    /// bytes into the buffer. Used while a job is queued or executing.
+    fn still_connected(&mut self) -> bool {
+        if self.eof {
+            return false;
+        }
+        self.fill(Duration::from_millis(1))
+    }
+
+    fn write_response(&mut self, response: &Response) -> bool {
+        let mut line = response.to_json_line();
+        line.push('\n');
+        self.stream.write_all(line.as_bytes()).is_ok() && self.stream.flush().is_ok()
+    }
+}
+
+/// Per-connection request loop.
+fn handle_connection(shared: &Shared, stream: TcpStream, job_tx: &Sender<Job>) {
+    let _ = stream.set_nodelay(true);
+    let mut reader = LineReader::new(stream);
+    loop {
+        let line = match reader.next_line(&shared.shutdown, shared.config.poll_interval) {
+            LineEvent::Line(line) => line,
+            LineEvent::Malformed(why) => {
+                shared.stats.inc(&shared.stats.requests);
+                shared.stats.inc(&shared.stats.errors);
+                if !reader.write_response(&Response::err(ErrorCode::Protocol, why)) {
+                    return;
+                }
+                continue;
+            }
+            LineEvent::Eof | LineEvent::Shutdown => return,
+        };
+        shared.stats.inc(&shared.stats.requests);
+        let request = match Request::parse(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                shared.stats.inc(&shared.stats.errors);
+                if !reader.write_response(&Response::err(ErrorCode::Protocol, e.to_string())) {
+                    return;
+                }
+                continue;
+            }
+        };
+        let response = match &request {
+            Request::Ping => Some(Response::Pong {
+                uptime_ms: shared.stats.uptime().as_millis() as u64,
+            }),
+            Request::Stats => Some(shared.stats_response()),
+            Request::Shutdown => {
+                let draining = shared.queue_depth();
+                shared.shutdown.store(true, Ordering::Relaxed);
+                reader.write_response(&Response::Bye { draining });
+                return;
+            }
+            _ => None,
+        };
+        if let Some(response) = response {
+            if !reader.write_response(&response) {
+                return;
+            }
+            continue;
+        }
+        // Worker-pool requests: admission control, then wait for the
+        // response while watching the socket for client disconnect.
+        if !dispatch_job(shared, &mut reader, job_tx, request) {
+            return;
+        }
+    }
+}
+
+/// Submit `request` to the pool and shepherd it to completion. Returns
+/// `false` when the connection is done (client hung up or write failed).
+fn dispatch_job(
+    shared: &Shared,
+    reader: &mut LineReader,
+    job_tx: &Sender<Job>,
+    request: Request,
+) -> bool {
+    debug_assert!(request.needs_worker());
+    let cancel = CancelToken::new();
+    let (respond, response_rx) = channel::bounded::<Response>(1);
+    let job = Job {
+        request,
+        cancel: cancel.clone(),
+        respond,
+        admitted: Instant::now(),
+    };
+    match job_tx.try_send(job) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            shared.stats.inc(&shared.stats.rejected_busy);
+            return reader.write_response(&Response::Busy(BusyBody {
+                queue_depth: shared.queue_depth(),
+                queue_cap: shared.config.queue_cap,
+            }));
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            shared.stats.inc(&shared.stats.errors);
+            return reader
+                .write_response(&Response::err(ErrorCode::Engine, "server is shutting down"));
+        }
+    }
+    let mut client_gone = false;
+    loop {
+        match response_rx.recv_timeout(shared.config.poll_interval) {
+            Ok(response) => {
+                if client_gone {
+                    return false;
+                }
+                return reader.write_response(&response);
+            }
+            Err(channel::RecvTimeoutError::Timeout) => {
+                if !client_gone && !reader.still_connected() {
+                    // The client hung up: stop the query cooperatively, but
+                    // keep waiting for the worker so accounting stays exact.
+                    cancel.cancel();
+                    client_gone = true;
+                }
+            }
+            Err(channel::RecvTimeoutError::Disconnected) => {
+                // Worker dropped the sender without responding — only
+                // possible if the worker died mid-job.
+                shared.stats.inc(&shared.stats.errors);
+                return !client_gone
+                    && reader.write_response(&Response::err(
+                        ErrorCode::Internal,
+                        "worker dropped the request",
+                    ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compile-time thread-safety audit: everything shared across server threads
+// must be Send + Sync. `QueryEngine` is built per-request inside one worker
+// and only needs Send/Sync of its ingredients, but we assert it too so a
+// future non-thread-safe `VectorSource` impl fails here, loudly.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_all() {
+        assert_send_sync::<hin_graph::HinGraph>();
+        assert_send_sync::<OutlierDetector>();
+        assert_send_sync::<netout::VectorCache>();
+        assert_send_sync::<netout::Budget>();
+        assert_send_sync::<CancelToken>();
+        assert_send_sync::<Shared>();
+        assert_send_sync::<ServerStats>();
+    }
+    let _ = assert_all;
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hin_datagen::toy;
+    use netout::Budget;
+
+    fn toy_server(config: ServerConfig) -> (SocketAddr, std::thread::JoinHandle<StatsSnapshot>) {
+        let detector = OutlierDetector::new(toy::figure1_network()).with_vector_cache(256);
+        let server = Server::bind(detector, "127.0.0.1:0", config).expect("bind");
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+        (addr, handle)
+    }
+
+    fn send_lines(addr: SocketAddr, lines: &[&str]) -> Vec<String> {
+        let mut client = crate::client::Client::connect(addr).expect("connect");
+        lines
+            .iter()
+            .map(|l| client.send_line(l).expect("request"))
+            .collect()
+    }
+
+    #[test]
+    fn ping_query_stats_shutdown_cycle() {
+        let (addr, handle) = toy_server(ServerConfig {
+            workers: 2,
+            queue_cap: 4,
+            ..ServerConfig::default()
+        });
+        let responses = send_lines(
+            addr,
+            &[
+                "PING",
+                "QUERY FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author JUDGED BY author.paper.venue;",
+                "NOT A VERB",
+                "STATS",
+            ],
+        );
+        assert!(responses[0].starts_with(r#"{"pong""#), "{}", responses[0]);
+        assert!(responses[1].starts_with(r#"{"result""#), "{}", responses[1]);
+        assert!(responses[1].contains(r#""measure":"NetOut""#));
+        assert!(responses[2].starts_with(r#"{"err""#), "{}", responses[2]);
+        assert!(responses[3].starts_with(r#"{"stats""#), "{}", responses[3]);
+        let bye = send_lines(addr, &["SHUTDOWN"]);
+        assert!(bye[0].starts_with(r#"{"bye""#), "{}", bye[0]);
+        let final_stats = handle.join().expect("server thread");
+        assert_eq!(final_stats.completed, 1);
+        assert!(final_stats.errors >= 1);
+        assert!(final_stats.connections >= 2);
+    }
+
+    #[test]
+    fn per_request_budget_overrides_server_default() {
+        let detector = OutlierDetector::new(toy::table1_network())
+            .with_vector_cache(64)
+            .budget(Budget::unbounded().with_timeout_ms(60_000));
+        let server = Server::bind(
+            detector,
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 1,
+                queue_cap: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+        let q = toy::table1_query();
+        // Strict mode + tiny candidate cap → structured budget error.
+        let responses = send_lines(
+            addr,
+            &[
+                &format!("QUERY max-candidates=2 mode=strict {q}"),
+                &format!("QUERY {q}"),
+                "SHUTDOWN",
+            ],
+        );
+        assert!(
+            responses[0].contains(r#""code":"Budget""#),
+            "{}",
+            responses[0]
+        );
+        assert!(responses[1].starts_with(r#"{"result""#), "{}", responses[1]);
+        handle.join().expect("server thread");
+    }
+
+    #[test]
+    fn cache_is_shared_across_requests() {
+        let (addr, handle) = toy_server(ServerConfig {
+            workers: 2,
+            queue_cap: 8,
+            ..ServerConfig::default()
+        });
+        let q =
+            "QUERY FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author JUDGED BY author.paper.venue;";
+        let _ = send_lines(addr, &[q, q, q]);
+        let stats = send_lines(addr, &["STATS", "SHUTDOWN"]);
+        // The second and third runs hit vectors cached by the first.
+        let hits: u64 = crate::client::json_u64_field(&stats[0], "hits").unwrap_or(0);
+        assert!(hits > 0, "shared cache saw no hits: {}", stats[0]);
+        handle.join().expect("server thread");
+    }
+}

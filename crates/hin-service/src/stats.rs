@@ -1,0 +1,340 @@
+//! Live server statistics: counters, gauges, and latency histograms.
+//!
+//! A single [`ServerStats`] registry is shared (behind an `Arc`) by the
+//! acceptor, every connection handler, and every worker. Counters and
+//! gauges are atomics; histograms sit behind a [`parking_lot::Mutex`] and
+//! record microsecond latencies into power-of-two buckets, so a `STATS`
+//! request assembles a consistent [`StatsSnapshot`] without stopping the
+//! world.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of power-of-two latency buckets: bucket `i` counts latencies in
+/// `[2^i, 2^(i+1))` microseconds; the last bucket is open-ended. 40 buckets
+/// cover up to ~2^40 µs ≈ 12.7 days.
+const BUCKETS: usize = 40;
+
+/// A log₂-bucketed latency histogram over microseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket_of(us: u64) -> usize {
+        // 0 and 1 µs land in bucket 0; otherwise floor(log2(us)).
+        (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, d: Duration) {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.buckets[Self::bucket_of(us)] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Upper bound (exclusive) of the bucket holding the `q`-quantile
+    /// observation, in microseconds; `None` before any observation. The
+    /// log₂ bucketing bounds the error to 2× — fine for ops dashboards.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the q-quantile observation, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(1u64 << (i + 1).min(63));
+            }
+        }
+        Some(self.max_us)
+    }
+
+    /// Mean latency in microseconds (`None` before any observation).
+    pub fn mean_us(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum_us / self.count)
+        }
+    }
+
+    fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean_us: self.mean_us().unwrap_or(0),
+            p50_us: self.quantile_us(0.50).unwrap_or(0),
+            p95_us: self.quantile_us(0.95).unwrap_or(0),
+            p99_us: self.quantile_us(0.99).unwrap_or(0),
+            max_us: self.max_us,
+        }
+    }
+}
+
+/// Serializable summary of one latency histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct LatencySummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Mean latency (µs).
+    pub mean_us: u64,
+    /// Median (µs, bucket upper bound).
+    pub p50_us: u64,
+    /// 95th percentile (µs, bucket upper bound).
+    pub p95_us: u64,
+    /// 99th percentile (µs, bucket upper bound).
+    pub p99_us: u64,
+    /// Largest observation (µs, exact).
+    pub max_us: u64,
+}
+
+#[derive(Debug, Default)]
+struct Histograms {
+    /// Time from admission to a worker picking the job up.
+    queue_wait: LatencyHistogram,
+    /// Worker execution time (parse+bind+execute).
+    exec: LatencyHistogram,
+    /// Admission to response written.
+    total: LatencyHistogram,
+}
+
+/// The shared statistics registry.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted over the server lifetime.
+    pub connections: AtomicU64,
+    /// Requests read and parsed (including malformed ones).
+    pub requests: AtomicU64,
+    /// Requests answered with `result`.
+    pub completed: AtomicU64,
+    /// Requests rejected with `busy` by admission control.
+    pub rejected_busy: AtomicU64,
+    /// Requests whose budget tripped cooperative cancellation (client
+    /// disconnect or drain).
+    pub cancelled: AtomicU64,
+    /// `result` responses carrying a degraded/partial marker.
+    pub degraded: AtomicU64,
+    /// Requests answered with `err` (any code).
+    pub errors: AtomicU64,
+    /// Jobs currently executing in workers.
+    pub in_flight: AtomicU64,
+    histograms: Mutex<Histograms>,
+    started: Mutex<Option<Instant>>,
+}
+
+impl ServerStats {
+    /// A fresh registry; the uptime clock starts now.
+    pub fn new() -> ServerStats {
+        let stats = ServerStats::default();
+        *stats.started.lock() = Some(Instant::now());
+        stats
+    }
+
+    /// Server uptime.
+    pub fn uptime(&self) -> Duration {
+        self.started
+            .lock()
+            .map(|t| t.elapsed())
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Record one completed job's latency split.
+    pub fn record_latencies(&self, queue_wait: Duration, exec: Duration, total: Duration) {
+        let mut h = self.histograms.lock();
+        h.queue_wait.record(queue_wait);
+        h.exec.record(exec);
+        h.total.record(total);
+    }
+
+    /// Bump a counter by one.
+    pub fn inc(&self, counter: &AtomicU64) -> u64 {
+        counter.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Assemble a consistent snapshot. `queue_depth` and `cache` are owned
+    /// by the server (channel length / shared [`netout::VectorCache`]) and
+    /// passed in.
+    pub fn snapshot(
+        &self,
+        queue_depth: usize,
+        queue_cap: usize,
+        cache: CacheSnapshot,
+    ) -> StatsSnapshot {
+        let h = self.histograms.lock();
+        StatsSnapshot {
+            uptime_ms: self.uptime().as_millis() as u64,
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            queue_depth,
+            queue_cap,
+            cache,
+            queue_wait: h.queue_wait.summary(),
+            exec: h.exec.summary(),
+            total: h.total.summary(),
+        }
+    }
+}
+
+/// Shared neighbor-vector cache counters at snapshot time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct CacheSnapshot {
+    /// Vectors served from the cache.
+    pub hits: u64,
+    /// Vectors computed and inserted.
+    pub misses: u64,
+    /// Entries evicted.
+    pub evictions: u64,
+    /// Hit ratio in `[0,1]`; `null` before any lookup.
+    pub hit_ratio: Option<f64>,
+    /// Cached vectors right now.
+    pub len: usize,
+}
+
+impl From<netout::CacheStats> for CacheSnapshot {
+    fn from(s: netout::CacheStats) -> Self {
+        CacheSnapshot {
+            hits: s.hits,
+            misses: s.misses,
+            evictions: s.evictions,
+            hit_ratio: s.hit_rate(),
+            len: 0,
+        }
+    }
+}
+
+/// The `STATS` response body: every counter, gauge, and histogram summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct StatsSnapshot {
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests parsed.
+    pub requests: u64,
+    /// Requests answered with `result`.
+    pub completed: u64,
+    /// Requests rejected with `busy`.
+    pub rejected_busy: u64,
+    /// Requests cancelled cooperatively.
+    pub cancelled: u64,
+    /// Degraded (partial) results served.
+    pub degraded: u64,
+    /// `err` responses.
+    pub errors: u64,
+    /// Jobs executing right now.
+    pub in_flight: u64,
+    /// Jobs waiting in the admission queue right now.
+    pub queue_depth: usize,
+    /// Admission queue capacity.
+    pub queue_cap: usize,
+    /// Shared vector-cache counters.
+    pub cache: CacheSnapshot,
+    /// Admission → worker-pickup latency.
+    pub queue_wait: LatencySummary,
+    /// Worker execution latency.
+    pub exec: LatencySummary,
+    /// Admission → response-written latency.
+    pub total: LatencySummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), None);
+        assert_eq!(h.mean_us(), None);
+        for us in [1u64, 2, 4, 8, 100, 1000, 10_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 7);
+        // p50 of 7 observations is the 4th (8 µs) → bucket bound 16.
+        assert_eq!(h.quantile_us(0.5), Some(16));
+        // p99 is the largest (10 000 µs) → its bucket bound 16384.
+        assert_eq!(h.quantile_us(0.99), Some(16_384));
+        assert_eq!(h.max_us, 10_000);
+        assert!(h.mean_us().unwrap() > 0);
+    }
+
+    #[test]
+    fn bucket_of_edges() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 0);
+        assert_eq!(LatencyHistogram::bucket_of(2), 1);
+        assert_eq!(LatencyHistogram::bucket_of(3), 1);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 10);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let stats = ServerStats::new();
+        stats.inc(&stats.requests);
+        stats.inc(&stats.requests);
+        stats.inc(&stats.completed);
+        stats.inc(&stats.cancelled);
+        stats.record_latencies(
+            Duration::from_micros(10),
+            Duration::from_micros(100),
+            Duration::from_micros(120),
+        );
+        let snap = stats.snapshot(3, 8, CacheSnapshot::default());
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.cancelled, 1);
+        assert_eq!(snap.queue_depth, 3);
+        assert_eq!(snap.queue_cap, 8);
+        assert_eq!(snap.total.count, 1);
+        assert!(snap.exec.p50_us >= 100);
+        // Snapshot serializes to one JSON object line.
+        let line = crate::json::to_string(&snap).unwrap();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"cancelled\":1"));
+    }
+
+    #[test]
+    fn cache_snapshot_from_core_stats() {
+        let s = netout::CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
+        let c = CacheSnapshot::from(s);
+        assert_eq!(c.hit_ratio, Some(0.75));
+    }
+}

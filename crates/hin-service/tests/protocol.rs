@@ -1,0 +1,126 @@
+//! Property tests for the wire protocol: parse/serialize round-trips and
+//! robustness against corrupted request lines (byte flips, truncations,
+//! oversized lines). `Request::parse` must classify every input as a
+//! request or a `ParseError` — never panic.
+
+use hin_service::protocol::{ErrorCode, Response, MAX_LINE_BYTES};
+use hin_service::{ExecMode, Request, RequestOptions};
+use proptest::prelude::*;
+
+/// Query text that survives a wire round-trip verbatim: starts with a token
+/// containing no `=` (so option scanning stops immediately), no newlines
+/// (line framing), no leading/trailing whitespace (the parser trims).
+fn query_text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z0-9 .,;:{}\"'()=]{0,80}")
+        .expect("valid regex")
+        .prop_map(|s| format!("FIND {}", s.trim()).trim().to_string())
+}
+
+fn options() -> impl Strategy<Value = RequestOptions> {
+    (
+        proptest::option::of(0u64..=1_000_000),
+        proptest::option::of(0usize..=1_000_000),
+        proptest::option::of(0usize..=1_000_000),
+        proptest::option::of(prop_oneof![
+            Just(ExecMode::Strict),
+            Just(ExecMode::BestEffort)
+        ]),
+    )
+        .prop_map(
+            |(timeout_ms, max_candidates, max_nnz, mode)| RequestOptions {
+                timeout_ms,
+                max_candidates,
+                max_nnz,
+                mode,
+            },
+        )
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::Ping),
+        Just(Request::Stats),
+        Just(Request::Shutdown),
+        (0u64..=100_000).prop_map(|ms| Request::Sleep { ms }),
+        (options(), query_text()).prop_map(|(options, text)| Request::Query { options, text }),
+        (options(), query_text()).prop_map(|(options, text)| Request::Explain { options, text }),
+    ]
+}
+
+proptest! {
+    /// Serializing a request and parsing the line yields the same request.
+    #[test]
+    fn round_trips_through_the_wire(req in request()) {
+        let line = req.to_line();
+        let parsed = Request::parse(&line);
+        prop_assert_eq!(parsed.as_ref(), Ok(&req), "line {:?}", line);
+    }
+
+    /// Arbitrary text — including control characters and non-ASCII — is
+    /// either a valid request or a structured error; parsing never panics.
+    #[test]
+    fn arbitrary_lines_never_panic(line in any::<String>()) {
+        let _ = Request::parse(&line);
+    }
+
+    /// Flipping one byte of a valid request line cannot panic the parser,
+    /// and whatever still parses serializes back to a parseable line.
+    #[test]
+    fn single_byte_flips_are_handled(
+        req in request(),
+        at in 0usize..200,
+        xor in 1u8..=255,
+    ) {
+        let line = req.to_line();
+        let mut bytes = line.into_bytes();
+        let at = at % bytes.len();
+        bytes[at] ^= xor;
+        let corrupted = String::from_utf8_lossy(&bytes).into_owned();
+        if let Ok(reparsed) = Request::parse(&corrupted) {
+            prop_assert!(Request::parse(&reparsed.to_line()).is_ok());
+        }
+    }
+
+    /// Every truncation prefix of a valid request line parses or errors
+    /// cleanly (a client cut off mid-line must not wedge the server).
+    #[test]
+    fn truncations_are_handled(req in request(), keep in 0usize..200) {
+        let line = req.to_line();
+        let keep = keep.min(line.len());
+        // Cut on a char boundary; the wire reader validates UTF-8 upstream.
+        let mut end = keep;
+        while !line.is_char_boundary(end) {
+            end -= 1;
+        }
+        let _ = Request::parse(&line[..end]);
+    }
+
+    /// Option values at numeric extremes parse or fail without panicking.
+    #[test]
+    fn numeric_option_extremes(value in "\\-?[0-9]{1,40}") {
+        let _ = Request::parse(&format!("QUERY timeout-ms={value} FIND x;"));
+        let _ = Request::parse(&format!("SLEEP {value}"));
+    }
+}
+
+#[test]
+fn oversized_lines_rejected_with_structured_error() {
+    let line = format!("QUERY {}", "a".repeat(MAX_LINE_BYTES + 10));
+    let err = Request::parse(&line).expect_err("oversized line must fail");
+    assert!(err.to_string().contains("exceeds"), "{err}");
+    // The failure surfaces on the wire as a structured err response.
+    let response = Response::err(ErrorCode::Protocol, err.to_string());
+    let json = response.to_json_line();
+    assert!(json.starts_with(r#"{"err""#), "{json}");
+    assert!(json.contains(r#""code":"Protocol""#), "{json}");
+}
+
+#[test]
+fn responses_for_malformed_requests_are_valid_json_lines() {
+    for line in ["", "FROB x", "SLEEP banana", "QUERY mode=? FIND x;"] {
+        let err = Request::parse(line).expect_err("must fail");
+        let json = Response::err(ErrorCode::Protocol, err.to_string()).to_json_line();
+        assert!(!json.contains('\n'), "response must be one line: {json}");
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    }
+}

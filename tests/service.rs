@@ -1,0 +1,406 @@
+//! Integration tests for the `hin-service` query server: concurrent
+//! clients over one shared graph, admission-control backpressure,
+//! per-request budgets, client-disconnect cancellation, and graceful
+//! drain-shutdown. Every test binds an ephemeral port, so tests run in
+//! parallel without interfering.
+
+use hin_datagen::dblp::{generate, SyntheticConfig};
+use hin_service::client::{json_u64_field, response_kind};
+use hin_service::{Client, ExecMode, Server, ServerConfig};
+use netout::{Budget, OutlierDetector};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// A small synthetic DBLP network plus a valid anchored query against it.
+fn fixture(seed: u64) -> (OutlierDetector, String) {
+    let net = generate(&SyntheticConfig::tiny(seed));
+    let author = net.graph.schema().vertex_type_by_name("author").unwrap();
+    let paper = net.graph.schema().vertex_type_by_name("paper").unwrap();
+    let anchor = net
+        .graph
+        .vertices_of_type(author)
+        .iter()
+        .find(|&&a| net.graph.step_degree(a, paper) >= 3)
+        .copied()
+        .unwrap();
+    let query = format!(
+        "FIND OUTLIERS FROM author{{\"{}\"}}.paper.author \
+         JUDGED BY author.paper.venue TOP 5;",
+        net.graph.vertex_name(anchor)
+    );
+    let detector = OutlierDetector::new(net.graph).with_vector_cache(1024);
+    // The over-budget tests assume the candidate set exceeds tiny caps.
+    let probe = detector.query(&query).expect("fixture query must run");
+    assert!(
+        probe.candidate_count >= 3,
+        "fixture anchor too small: {} candidates",
+        probe.candidate_count
+    );
+    (detector, query)
+}
+
+fn spawn(
+    detector: OutlierDetector,
+    config: ServerConfig,
+) -> (
+    SocketAddr,
+    std::thread::JoinHandle<hin_service::StatsSnapshot>,
+) {
+    let server = Server::bind(detector, "127.0.0.1:0", config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn shutdown(addr: SocketAddr) {
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    let bye = client.send_line("SHUTDOWN").expect("shutdown");
+    assert!(bye.starts_with(r#"{"bye""#), "{bye}");
+}
+
+/// ≥8 concurrent clients over one shared graph, mixing valid queries,
+/// invalid queries, protocol garbage, and over-budget requests: every
+/// request gets exactly one response, and an over-budget client's failure
+/// never leaks into other clients' results.
+#[test]
+fn concurrent_clients_each_get_exactly_one_response_per_request() {
+    let (detector, query) = fixture(23);
+    let (addr, server) = spawn(
+        detector,
+        ServerConfig {
+            workers: 4,
+            queue_cap: 64,
+            ..ServerConfig::default()
+        },
+    );
+
+    const CLIENTS: usize = 9;
+    const ROUNDS: usize = 6;
+    let per_client: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let query = query.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut responses = Vec::new();
+                    for round in 0..ROUNDS {
+                        let line = match (c + round) % 4 {
+                            // Valid query; must produce a full ranking.
+                            0 => format!("QUERY {query}"),
+                            // Over-budget strict request; must fail with a
+                            // structured Budget error, nothing else.
+                            1 => format!("QUERY max-candidates=1 mode=strict {query}"),
+                            // Invalid OQL; structured Query error.
+                            2 => "QUERY FIND OUTLIERS FROM nowhere;".to_string(),
+                            // Protocol garbage; structured Protocol error.
+                            _ => "BOGUS VERB".to_string(),
+                        };
+                        responses.push(client.send_line(&line).expect("one response per request"));
+                    }
+                    responses
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (c, responses) in per_client.iter().enumerate() {
+        assert_eq!(responses.len(), ROUNDS);
+        for (round, response) in responses.iter().enumerate() {
+            let kind = response_kind(response).unwrap_or("?");
+            match (c + round) % 4 {
+                0 => {
+                    assert_eq!(kind, "result", "client {c} round {round}: {response}");
+                    assert!(
+                        response.contains(r#""degraded":null"#),
+                        "valid query degraded by a neighbor's budget: {response}"
+                    );
+                }
+                1 => {
+                    assert_eq!(kind, "err", "client {c} round {round}: {response}");
+                    assert!(response.contains(r#""code":"Budget""#), "{response}");
+                }
+                2 => {
+                    assert_eq!(kind, "err", "client {c} round {round}: {response}");
+                    assert!(response.contains(r#""code":"Query""#), "{response}");
+                }
+                _ => {
+                    assert_eq!(kind, "err", "client {c} round {round}: {response}");
+                    assert!(response.contains(r#""code":"Protocol""#), "{response}");
+                }
+            }
+        }
+    }
+
+    shutdown(addr);
+    let stats = server.join().expect("server thread");
+    let expected = (CLIENTS * ROUNDS) as u64 + 1; // +1 for SHUTDOWN
+    assert_eq!(stats.requests, expected, "{stats:?}");
+    assert!(stats.completed >= (CLIENTS * ROUNDS / 4) as u64);
+    assert!(stats.errors > 0);
+    assert_eq!(stats.rejected_busy, 0, "queue 64 must not reject here");
+}
+
+/// With one worker held by a long SLEEP and a queue of one, the third
+/// worker-pool request is rejected with `busy` — and the rejection is
+/// immediate, not queued behind the sleeper.
+#[test]
+fn queue_overflow_answers_busy() {
+    let (detector, _) = fixture(29);
+    let (addr, server) = spawn(
+        detector,
+        ServerConfig {
+            workers: 1,
+            queue_cap: 1,
+            ..ServerConfig::default()
+        },
+    );
+
+    // Occupy the single worker.
+    let mut sleeper = Client::connect(addr).expect("connect");
+    sleeper.send_no_wait("SLEEP 3000").expect("send");
+    // Wait until the worker has actually picked the job up (in_flight=1),
+    // so the queue slot below is genuinely free.
+    let mut probe = Client::connect(addr).expect("connect");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = probe.send_line("STATS").expect("stats");
+        if json_u64_field(&stats, "in_flight") == Some(1) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "worker never picked up the job");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Fill the queue's only slot, and wait until STATS shows it occupied —
+    // admission happens on the filler's connection thread, asynchronously.
+    let mut filler = Client::connect(addr).expect("connect");
+    filler.send_no_wait("SLEEP 10").expect("send");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = probe.send_line("STATS").expect("stats");
+        if json_u64_field(&stats, "queue_depth") == Some(1) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "filler job never queued");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Worker busy + queue full: the next worker-pool request must be
+    // rejected immediately, not queued behind the sleeper.
+    let mut overflow = Client::connect(addr).expect("connect");
+    let busy = overflow.send_line("SLEEP 10").expect("response");
+    assert_eq!(response_kind(&busy), Some("busy"), "{busy}");
+    assert!(busy.contains(r#""queue_cap":1"#), "{busy}");
+
+    // The sleeper and filler still complete normally.
+    assert_eq!(
+        response_kind(&sleeper.read_response().unwrap()),
+        Some("slept")
+    );
+    assert_eq!(
+        response_kind(&filler.read_response().unwrap()),
+        Some("slept")
+    );
+
+    shutdown(addr);
+    let stats = server.join().expect("server thread");
+    assert!(stats.rejected_busy >= 1, "{stats:?}");
+}
+
+/// A client that disconnects while its request is queued or executing trips
+/// the request's cancel token: the worker stops early and the `cancelled`
+/// counter becomes visible through `STATS`.
+#[test]
+fn disconnected_client_cancels_its_request() {
+    let (detector, _) = fixture(31);
+    let (addr, server) = spawn(
+        detector,
+        ServerConfig {
+            workers: 1,
+            queue_cap: 4,
+            poll_interval: Duration::from_millis(5),
+            ..ServerConfig::default()
+        },
+    );
+
+    let started = Instant::now();
+    {
+        // Send a 30-second sleep, then hang up without reading the response.
+        let mut abandoner = Client::connect(addr).expect("connect");
+        abandoner.send_no_wait("SLEEP 30000").expect("send");
+        std::thread::sleep(Duration::from_millis(100));
+    } // drop = disconnect
+
+    let mut probe = Client::connect(addr).expect("connect");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let stats = probe.send_line("STATS").expect("stats");
+        if json_u64_field(&stats, "cancelled") == Some(1) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "cancellation never surfaced in STATS: {stats}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // The worker was freed by cancellation, not by sleeping out the 30 s.
+    assert!(
+        started.elapsed() < Duration::from_secs(15),
+        "cancellation took {:?}",
+        started.elapsed()
+    );
+
+    // The freed worker serves new requests promptly.
+    let slept = probe.send_line("SLEEP 1").expect("sleep");
+    assert_eq!(response_kind(&slept), Some("slept"));
+
+    shutdown(addr);
+    let stats = server.join().expect("server thread");
+    assert_eq!(stats.cancelled, 1, "{stats:?}");
+}
+
+/// Per-request budget overrides layer over the server's default budget;
+/// over-budget requests are always marked (degraded result or Budget
+/// error) and unbudgeted requests on the same server stay unaffected.
+#[test]
+fn per_request_budgets_and_degraded_results() {
+    let (detector, query) = fixture(37);
+    let detector = detector.budget(Budget::unbounded().with_timeout_ms(120_000));
+    let (addr, server) = spawn(
+        detector,
+        ServerConfig {
+            workers: 2,
+            queue_cap: 8,
+            default_mode: ExecMode::BestEffort,
+            ..ServerConfig::default()
+        },
+    );
+
+    let mut client = Client::connect(addr).expect("connect");
+    // Best-effort + tiny candidate cap: a degraded partial ranking when a
+    // prefix was scored, or a structured Budget error when the cap fired
+    // before scoring — never a silent full result, never a panic. (The
+    // candidate cap is checked at set retrieval, so here it errors; the
+    // invariant tested is "over-budget is always marked".)
+    let over = client
+        .send_line(&format!("QUERY max-candidates=2 {query}"))
+        .expect("over-budget query");
+    match response_kind(&over) {
+        Some("result") => assert!(over.contains(r#""degraded":{"#), "{over}"),
+        Some("err") => assert!(over.contains(r#""code":"Budget""#), "{over}"),
+        other => panic!("unexpected response kind {other:?}: {over}"),
+    }
+    // The same cap in strict mode → structured Budget error, always.
+    let strict = client
+        .send_line(&format!("QUERY max-candidates=2 mode=strict {query}"))
+        .expect("strict query");
+    assert_eq!(response_kind(&strict), Some("err"), "{strict}");
+    assert!(strict.contains(r#""code":"Budget""#), "{strict}");
+    // No overrides → the generous server default; full result.
+    let full = client
+        .send_line(&format!("QUERY {query}"))
+        .expect("full query");
+    assert_eq!(response_kind(&full), Some("result"), "{full}");
+    assert!(full.contains(r#""degraded":null"#), "{full}");
+
+    shutdown(addr);
+    let stats = server.join().expect("server thread");
+    assert!(stats.errors + stats.degraded >= 1, "{stats:?}");
+}
+
+/// Corrupt bytes on the wire — invalid UTF-8, oversized lines, binary noise
+/// — each produce one structured `err` response, and the same connection
+/// keeps working afterwards (no worker death, framing stays synchronized).
+#[test]
+fn wire_garbage_yields_structured_errors_and_server_survives() {
+    use std::io::Write as _;
+    use std::net::TcpStream;
+
+    let (detector, query) = fixture(41);
+    let (addr, server) = spawn(
+        detector,
+        ServerConfig {
+            workers: 2,
+            queue_cap: 8,
+            ..ServerConfig::default()
+        },
+    );
+
+    let mut raw = TcpStream::connect(addr).expect("connect");
+    let mut reader = std::io::BufReader::new(raw.try_clone().expect("clone"));
+    let mut read_line = || {
+        use std::io::BufRead as _;
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        line.trim_end().to_string()
+    };
+
+    // Invalid UTF-8.
+    raw.write_all(b"QUERY \xff\xfe garbage\n").expect("write");
+    let response = read_line();
+    assert!(response.contains(r#""code":"Protocol""#), "{response}");
+    assert!(response.contains("UTF-8"), "{response}");
+
+    // A 2 MiB line (over the 1 MiB cap) without a newline until the end.
+    let mut oversized = vec![b'x'; 2 << 20];
+    oversized.push(b'\n');
+    raw.write_all(&oversized).expect("write");
+    let response = read_line();
+    assert!(response.contains(r#""code":"Protocol""#), "{response}");
+    assert!(response.contains("too long"), "{response}");
+
+    // Binary noise that still frames as a line.
+    raw.write_all(&[0, 1, 2, 3, 254, 255, b'\n'])
+        .expect("write");
+    let response = read_line();
+    assert!(response.contains(r#""code":"Protocol""#), "{response}");
+
+    // Framing is resynchronized: a valid request on the same connection.
+    raw.write_all(format!("QUERY {query}\n").as_bytes())
+        .expect("write");
+    let response = read_line();
+    assert!(response.starts_with(r#"{"result""#), "{response}");
+
+    shutdown(addr);
+    server.join().expect("server thread");
+}
+
+/// SHUTDOWN drains: requests already admitted finish and their responses
+/// are delivered before the server exits.
+#[test]
+fn shutdown_drains_in_flight_work() {
+    let (detector, query) = fixture(43);
+    let (addr, server) = spawn(
+        detector,
+        ServerConfig {
+            workers: 1,
+            queue_cap: 8,
+            ..ServerConfig::default()
+        },
+    );
+
+    let mut slow = Client::connect(addr).expect("connect");
+    slow.send_no_wait("SLEEP 300").expect("send");
+    let mut worker_bound = Client::connect(addr).expect("connect");
+    worker_bound
+        .send_no_wait(&format!("QUERY {query}"))
+        .expect("send");
+    // Give both jobs time to be admitted before the shutdown request.
+    std::thread::sleep(Duration::from_millis(50));
+
+    shutdown(addr);
+
+    // Both in-flight requests still get their responses.
+    let slept = slow.read_response().expect("drained sleep response");
+    assert_eq!(response_kind(&slept), Some("slept"), "{slept}");
+    let result = worker_bound
+        .read_response()
+        .expect("drained query response");
+    assert_eq!(response_kind(&result), Some("result"), "{result}");
+
+    let stats = server.join().expect("server thread");
+    assert_eq!(stats.queue_depth, 0, "queue must be drained: {stats:?}");
+    assert_eq!(stats.in_flight, 0, "{stats:?}");
+    assert!(stats.completed >= 2, "{stats:?}");
+}
