@@ -1,7 +1,7 @@
 //! Runs every experiment in paper order — the one-shot reproduction of the
 //! evaluation section. Configure scale with HIN_EXP_SCALE / HIN_EXP_QUERIES.
 fn main() {
-    let sections: [(&str, fn()); 7] = [
+    let sections: [(&str, fn()); 8] = [
         ("Tables 1-2 and Figure 2 (toy reproduction)", || {
             bench::experiments::toy::run()
         }),
@@ -24,6 +24,9 @@ fn main() {
         ),
         ("Service throughput vs workers (hin-service)", || {
             bench::experiments::service::run()
+        }),
+        ("Intra-query parallel scaling & kernel comparison", || {
+            bench::experiments::parallel::run(false)
         }),
     ];
     for (title, f) in sections {

@@ -6,6 +6,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod guardrails;
+pub mod parallel;
 pub mod scaling;
 pub mod service;
 pub mod toy;

@@ -13,6 +13,7 @@
 //! | Section 8 LOF discussion | `exp_baselines` | [`experiments::baselines`] |
 //! | scale sweep (extension) | `exp_scaling` | [`experiments::scaling`] |
 //! | serving sweep (extension) | `exp_service` → `BENCH_service.json` | [`experiments::service`] |
+//! | parallel scaling (extension) | `exp_parallel` → `BENCH_parallel.json` | [`experiments::parallel`] |
 //! | everything, in order | `exp_all` | — |
 //!
 //! Experiment scale is controlled by environment variables so the same

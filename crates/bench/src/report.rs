@@ -95,10 +95,7 @@ mod tests {
         // header + sep + 2 rows + title
         assert_eq!(lines.len(), 5);
         // All body lines same display width.
-        assert_eq!(
-            lines[1].chars().count(),
-            lines[3].chars().count(),
-        );
+        assert_eq!(lines[1].chars().count(), lines[3].chars().count(),);
     }
 
     #[test]

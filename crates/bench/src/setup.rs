@@ -43,11 +43,13 @@ pub fn network() -> SyntheticNetwork {
 /// A smaller network for criterion microbenchmarks, independent of
 /// `HIN_EXP_SCALE` so `cargo bench` stays fast.
 pub fn criterion_network() -> SyntheticNetwork {
-    generate(&SyntheticConfig {
-        seed: 7,
-        ..SyntheticConfig::default()
-    }
-    .scaled(0.25))
+    generate(
+        &SyntheticConfig {
+            seed: 7,
+            ..SyntheticConfig::default()
+        }
+        .scaled(0.25),
+    )
 }
 
 #[cfg(test)]

@@ -97,6 +97,7 @@ pub struct OutlierDetector {
     measure: MeasureKind,
     combine: CombineStrategy,
     budget: Budget,
+    threads: usize,
 }
 
 impl OutlierDetector {
@@ -110,6 +111,7 @@ impl OutlierDetector {
             measure: MeasureKind::NetOut,
             combine: CombineStrategy::default(),
             budget: Budget::default(),
+            threads: 1,
         }
     }
 
@@ -150,6 +152,7 @@ impl OutlierDetector {
             measure: MeasureKind::NetOut,
             combine: CombineStrategy::default(),
             budget: Budget::default(),
+            threads: 1,
         })
     }
 
@@ -209,6 +212,20 @@ impl OutlierDetector {
         &self.budget
     }
 
+    /// Set the number of worker threads used *within* each query (default 1
+    /// = fully serial). `0` picks a sensible automatic value (available
+    /// cores, capped at 16). Results are bit-identical for every thread
+    /// count — see [`crate::engine::parallel`].
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = if n == 0 { default_threads() } else { n };
+        self
+    }
+
+    /// The configured intra-query thread count.
+    pub fn current_threads(&self) -> usize {
+        self.threads
+    }
+
     /// The underlying network.
     pub fn graph(&self) -> &HinGraph {
         &self.graph
@@ -239,6 +256,7 @@ impl OutlierDetector {
             .measure(self.measure)
             .combine_strategy(self.combine)
             .budget(self.budget.clone())
+            .threads(self.threads)
     }
 
     /// Parse, validate, and execute a query string.
@@ -295,6 +313,7 @@ impl OutlierDetector {
         let path = hin_graph::MetaPath::parse(feature_path, schema)?;
         let engine = self.engine();
         let mut ctx = ExecCtx::new(&self.budget);
+        ctx.set_threads(self.threads);
         let hits =
             crate::measures::similarity::pathsim_topk(engine.source(), v, &path, k, &mut ctx)?;
         Ok(hits
@@ -448,6 +467,23 @@ mod tests {
         let b = roomy.query_best_effort(icde_query()).unwrap();
         assert_eq!(r.names(), b.names());
         assert!(b.degraded.is_none());
+    }
+
+    #[test]
+    fn threads_builder_is_bit_identical_to_serial() {
+        let serial = OutlierDetector::new(toy::table1_network());
+        let parallel = OutlierDetector::new(toy::table1_network()).with_threads(4);
+        assert_eq!(parallel.current_threads(), 4);
+        let rs = serial.query(&toy::table1_query()).unwrap();
+        let rp = parallel.query(&toy::table1_query()).unwrap();
+        assert_eq!(rs.names(), rp.names());
+        for (a, b) in rs.ranked.iter().zip(&rp.ranked) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        // 0 = automatic (cores, capped): always at least one thread.
+        let auto = OutlierDetector::new(toy::figure1_network()).with_threads(0);
+        assert!(auto.current_threads() >= 1);
+        assert!(auto.current_threads() <= 16);
     }
 
     #[test]

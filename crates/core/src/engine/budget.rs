@@ -28,8 +28,9 @@
 
 use crate::engine::stats::ExecBreakdown;
 use crate::error::EngineError;
+use hin_graph::DenseAccumulator;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -215,6 +216,27 @@ struct ArmedBudget {
     cancel: Option<CancelToken>,
 }
 
+/// State shared by all shards of one parallel execution.
+///
+/// * `stop` — raised by a shard that hit a budget error so its siblings
+///   abandon work early instead of running to their own deadline.
+/// * `peak_nnz` — fleet-wide peak intermediate sparse-vector population,
+///   maintained with `fetch_max` so budget accounting composes across
+///   threads (each shard still enforces `max_nnz` against its own frontier,
+///   which is the per-vector semantics of the serial engine).
+#[derive(Debug, Default)]
+pub(crate) struct ShardShared {
+    stop: AtomicBool,
+    peak_nnz: AtomicU64,
+}
+
+impl ShardShared {
+    /// Fleet-wide peak frontier `nnz` observed so far.
+    pub(crate) fn peak_nnz(&self) -> u64 {
+        self.peak_nnz.load(Ordering::Relaxed)
+    }
+}
+
 /// Per-execution context: the timing breakdown plus the armed budget.
 ///
 /// One `ExecCtx` lives for the duration of one query execution and is
@@ -228,6 +250,19 @@ pub struct ExecCtx {
     pub stats: ExecBreakdown,
     budget: ArmedBudget,
     phase: BudgetPhase,
+    /// Worker-thread target for intra-query parallel stages (`0` = unset,
+    /// treated as 1 by [`ExecCtx::threads`]).
+    threads: usize,
+    /// Reusable dense-accumulator workspace for sparse propagation; owned
+    /// per context so every shard scatters into its own buffer.
+    workspace: DenseAccumulator,
+    /// Present only in forked shard contexts (and their parent while a
+    /// parallel stage runs).
+    shared: Option<Arc<ShardShared>>,
+    /// Set when a checkpoint aborted because a *sibling* shard raised the
+    /// stop flag; such errors are bookkeeping, not a real budget violation
+    /// of this shard, and are filtered out during merge.
+    stopped_by_peer: bool,
 }
 
 impl ExecCtx {
@@ -239,7 +274,6 @@ impl ExecCtx {
     /// Arm `budget` now: the relative timeout becomes an absolute deadline.
     pub fn new(budget: &Budget) -> ExecCtx {
         ExecCtx {
-            stats: ExecBreakdown::default(),
             budget: ArmedBudget {
                 // `checked_add` so an absurd user-supplied timeout saturates
                 // to "no deadline" instead of panicking on Instant overflow.
@@ -249,7 +283,70 @@ impl ExecCtx {
                 max_nnz: budget.max_nnz,
                 cancel: budget.cancel.clone(),
             },
-            phase: BudgetPhase::SetRetrieval,
+            ..ExecCtx::default()
+        }
+    }
+
+    /// Set the worker-thread target for intra-query parallel stages.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// Worker-thread target for intra-query parallel stages (at least 1).
+    pub fn threads(&self) -> usize {
+        self.threads.max(1)
+    }
+
+    /// Detach the reusable dense-accumulator workspace.
+    ///
+    /// Take/restore (rather than borrowing a field) lets callers pass the
+    /// workspace to `hin-graph` kernels while still holding `&mut self` for
+    /// budget checkpoints.
+    pub(crate) fn take_workspace(&mut self) -> DenseAccumulator {
+        std::mem::take(&mut self.workspace)
+    }
+
+    /// Return the workspace taken with [`ExecCtx::take_workspace`]. Clears
+    /// it defensively: an error path may have abandoned a scatter midway.
+    pub(crate) fn restore_workspace(&mut self, mut ws: DenseAccumulator) {
+        ws.clear();
+        self.workspace = ws;
+    }
+
+    /// Create a single-threaded shard context for one worker of a parallel
+    /// stage: same armed budget (the *absolute* deadline and the shared
+    /// cancellation flag carry over), same phase, fresh stats and workspace,
+    /// wired to `shared` for peer-stop signalling and fleet-wide `nnz`
+    /// accounting.
+    pub(crate) fn fork(&self, shared: Arc<ShardShared>) -> ExecCtx {
+        ExecCtx {
+            stats: ExecBreakdown::default(),
+            budget: self.budget.clone(),
+            phase: self.phase,
+            threads: 1,
+            workspace: DenseAccumulator::new(),
+            shared: Some(shared),
+            stopped_by_peer: false,
+        }
+    }
+
+    /// Merge a finished shard's accounting into this context: durations and
+    /// counters sum, peak `nnz` maxes (see [`ExecBreakdown`]'s `Add`).
+    pub(crate) fn absorb(&mut self, shard: &ExecCtx) {
+        self.stats += shard.stats;
+    }
+
+    /// Did this shard abort because a sibling raised the stop flag (rather
+    /// than hitting a budget limit itself)?
+    pub(crate) fn stopped_by_peer(&self) -> bool {
+        self.stopped_by_peer
+    }
+
+    /// Raise the shared stop flag so sibling shards abandon work at their
+    /// next checkpoint. No-op outside a parallel stage.
+    pub(crate) fn signal_peers(&self) {
+        if let Some(shared) = &self.shared {
+            shared.stop.store(true, Ordering::Relaxed);
         }
     }
 
@@ -290,6 +387,18 @@ impl ExecCtx {
                 });
             }
         }
+        // Checked last so a genuine budget violation of this shard is never
+        // misreported as a peer stop.
+        if let Some(shared) = &self.shared {
+            if shared.stop.load(Ordering::Relaxed) {
+                self.stopped_by_peer = true;
+                return Err(EngineError::BudgetExceeded {
+                    limit: BudgetLimit::Cancelled,
+                    observed: 0,
+                    phase: self.phase,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -297,6 +406,9 @@ impl ExecCtx {
     /// the `max_nnz` cap, then run a regular [`checkpoint`](ExecCtx::checkpoint).
     pub fn check_frontier(&mut self, nnz: usize) -> Result<(), EngineError> {
         self.stats.peak_frontier_nnz = self.stats.peak_frontier_nnz.max(nnz as u64);
+        if let Some(shared) = &self.shared {
+            shared.peak_nnz.fetch_max(nnz as u64, Ordering::Relaxed);
+        }
         if let Some(max) = self.budget.max_nnz {
             if nnz > max {
                 return Err(EngineError::BudgetExceeded {
@@ -454,6 +566,94 @@ mod tests {
         assert!(!Budget::default()
             .with_cancel_token(CancelToken::new())
             .is_unbounded());
+    }
+
+    #[test]
+    fn fork_preserves_budget_and_phase() {
+        let token = CancelToken::new();
+        let budget = Budget::default()
+            .with_timeout(Duration::from_secs(3600))
+            .with_max_nnz(10)
+            .with_cancel_token(token.clone());
+        let mut parent = ExecCtx::new(&budget);
+        parent.set_phase(BudgetPhase::Scoring);
+        parent.set_threads(4);
+        let shared = Arc::new(ShardShared::default());
+        let mut shard = parent.fork(Arc::clone(&shared));
+        assert_eq!(shard.phase(), BudgetPhase::Scoring);
+        assert_eq!(shard.threads(), 1);
+        // Limits carry over: the nnz cap still fires in the shard.
+        assert!(shard.check_frontier(11).is_err());
+        assert!(!shard.stopped_by_peer());
+        // And so does the shared cancel token.
+        token.cancel();
+        assert!(shard.checkpoint().is_err());
+        assert!(!shard.stopped_by_peer());
+    }
+
+    #[test]
+    fn peer_stop_aborts_siblings_and_is_marked() {
+        let parent = ExecCtx::unbounded();
+        let shared = Arc::new(ShardShared::default());
+        let mut a = parent.fork(Arc::clone(&shared));
+        let mut b = parent.fork(Arc::clone(&shared));
+        a.checkpoint().unwrap();
+        b.checkpoint().unwrap();
+        a.signal_peers();
+        match b.checkpoint().unwrap_err() {
+            EngineError::BudgetExceeded { limit, .. } => {
+                assert_eq!(limit, BudgetLimit::Cancelled);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(b.stopped_by_peer());
+    }
+
+    #[test]
+    fn shared_peak_nnz_composes_across_shards() {
+        let parent = ExecCtx::unbounded();
+        let shared = Arc::new(ShardShared::default());
+        let mut a = parent.fork(Arc::clone(&shared));
+        let mut b = parent.fork(Arc::clone(&shared));
+        a.check_frontier(100).unwrap();
+        b.check_frontier(40).unwrap();
+        assert_eq!(shared.peak_nnz(), 100);
+        assert_eq!(a.stats.peak_frontier_nnz, 100);
+        assert_eq!(b.stats.peak_frontier_nnz, 40);
+        // Parent absorb: counters sum, peaks max.
+        let mut parent = parent;
+        parent.absorb(&a);
+        parent.absorb(&b);
+        assert_eq!(parent.stats.peak_frontier_nnz, 100);
+        assert_eq!(parent.stats.budget_checks(), 2);
+    }
+
+    #[test]
+    fn workspace_take_restore_round_trips() {
+        let mut ctx = ExecCtx::unbounded();
+        let mut ws = ctx.take_workspace();
+        ws.add(hin_graph::VertexId(3), 1.5);
+        // Restore mid-scatter: the context must hand back a clean workspace
+        // next time.
+        ctx.restore_workspace(ws);
+        let mut ws = ctx.take_workspace();
+        assert!(ws.is_empty());
+        ws.add(hin_graph::VertexId(7), 2.0);
+        let v = ws.finish();
+        assert_eq!(v.get(hin_graph::VertexId(7)), 2.0);
+        assert_eq!(v.nnz(), 1);
+        ctx.restore_workspace(ws);
+    }
+
+    #[test]
+    fn threads_default_to_one() {
+        let ctx = ExecCtx::unbounded();
+        assert_eq!(ctx.threads(), 1);
+        let mut ctx = ExecCtx::unbounded();
+        ctx.set_threads(0);
+        assert_eq!(ctx.threads(), 1);
+        ctx.set_threads(8);
+        assert_eq!(ctx.threads(), 8);
     }
 
     #[test]

@@ -47,6 +47,10 @@ impl CacheStats {
 
 struct Entry {
     vec: SparseVec,
+    /// `‖vec‖²` (the vertex's visibility along the key's path), computed
+    /// once on insertion so CosSim/NetOut/PathSim denominators are never
+    /// re-derived for a cached vector.
+    norm2_sq: f64,
     stamp: u64,
 }
 
@@ -124,6 +128,11 @@ impl VectorCache {
     }
 
     fn get(&self, key: &Key) -> Option<SparseVec> {
+        self.get_with_norm(key).map(|(vec, _)| vec)
+    }
+
+    /// Cached vector plus its precomputed `‖Φ‖²`.
+    fn get_with_norm(&self, key: &Key) -> Option<(SparseVec, f64)> {
         let mut inner = self.inner.lock();
         let stamp = inner.next_stamp;
         inner.next_stamp += 1;
@@ -133,17 +142,30 @@ impl VectorCache {
         };
         entry.stamp = stamp;
         let vec = entry.vec.clone();
+        let norm2_sq = entry.norm2_sq;
         inner.log.push_back((key.clone(), stamp));
         inner.stats.hits += 1;
-        Some(vec)
+        Some((vec, norm2_sq))
     }
 
     fn put(&self, key: Key, vec: SparseVec) {
+        let norm2_sq = vec.norm2_sq();
+        self.put_with_norm(key, vec, norm2_sq);
+    }
+
+    fn put_with_norm(&self, key: Key, vec: SparseVec, norm2_sq: f64) {
         let mut inner = self.inner.lock();
         let stamp = inner.next_stamp;
         inner.next_stamp += 1;
         inner.log.push_back((key.clone(), stamp));
-        inner.map.insert(key, Entry { vec, stamp });
+        inner.map.insert(
+            key,
+            Entry {
+                vec,
+                norm2_sq,
+                stamp,
+            },
+        );
         while inner.map.len() > self.capacity {
             let Some((old_key, old_stamp)) = inner.log.pop_front() else {
                 break; // unreachable: map is non-empty so the log is too
@@ -182,17 +204,29 @@ impl VectorSource for CachedSource<'_> {
         path: &MetaPath,
         ctx: &mut ExecCtx,
     ) -> Result<SparseVec, EngineError> {
+        self.neighbor_vector_with_norm(v, path, ctx)
+            .map(|(vec, _)| vec)
+    }
+
+    fn neighbor_vector_with_norm(
+        &self,
+        v: VertexId,
+        path: &MetaPath,
+        ctx: &mut ExecCtx,
+    ) -> Result<(SparseVec, f64), EngineError> {
         let key = (path.clone(), v);
         let t = Instant::now();
-        if let Some(hit) = self.cache.get(&key) {
+        if let Some((hit, norm2_sq)) = self.cache.get_with_norm(&key) {
             ctx.stats.indexed_vectors += t.elapsed();
             ctx.stats.indexed_count += 1;
             ctx.check_frontier(hit.nnz())?;
-            return Ok(hit);
+            return Ok((hit, norm2_sq));
         }
-        let vec = self.inner.neighbor_vector(v, path, ctx)?;
-        self.cache.put(key, vec.clone());
-        Ok(vec)
+        // Miss: materialize through the inner source (which may itself have
+        // the norm precomputed, e.g. a PM index row) and cache both.
+        let (vec, norm2_sq) = self.inner.neighbor_vector_with_norm(v, path, ctx)?;
+        self.cache.put_with_norm(key, vec.clone(), norm2_sq);
+        Ok((vec, norm2_sq))
     }
 
     fn name(&self) -> &'static str {
@@ -254,6 +288,27 @@ mod tests {
         // The hit was attributed to the indexed bucket.
         assert_eq!(ctx.stats.indexed_count, 1);
         assert_eq!(ctx.stats.unindexed_count, 1);
+    }
+
+    #[test]
+    fn cached_norms_round_trip() {
+        let g = toy::figure1_network();
+        let cache = VectorCache::new(16);
+        let source = CachedSource::new(Box::new(TraversalSource::new(&g)), &cache);
+        let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        let zoe = g.vertex_by_name(author, "Zoe").unwrap();
+        let mut ctx = ExecCtx::unbounded();
+        let (miss_vec, miss_norm) = source
+            .neighbor_vector_with_norm(zoe, &apv, &mut ctx)
+            .unwrap();
+        let (hit_vec, hit_norm) = source
+            .neighbor_vector_with_norm(zoe, &apv, &mut ctx)
+            .unwrap();
+        assert_eq!(miss_vec, hit_vec);
+        assert_eq!(miss_norm.to_bits(), hit_norm.to_bits());
+        assert_eq!(miss_norm.to_bits(), miss_vec.norm2_sq().to_bits());
+        assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! scoring → top-k.
 
 use crate::engine::budget::{Budget, BudgetPhase, Degraded, ExecCtx};
+use crate::engine::parallel::run_sharded;
 use crate::engine::set_eval::eval_set;
 use crate::engine::source::{TraversalSource, VectorSource};
 use crate::engine::stats::ExecBreakdown;
@@ -84,6 +85,7 @@ pub struct QueryEngine<'g> {
     combine: CombineStrategy,
     measure: MeasureKind,
     pub(crate) budget: Budget,
+    pub(crate) threads: usize,
 }
 
 impl<'g> QueryEngine<'g> {
@@ -95,6 +97,7 @@ impl<'g> QueryEngine<'g> {
             combine: CombineStrategy::default(),
             measure: MeasureKind::NetOut,
             budget: Budget::default(),
+            threads: 1,
         }
     }
 
@@ -106,6 +109,7 @@ impl<'g> QueryEngine<'g> {
             combine: CombineStrategy::default(),
             measure: MeasureKind::NetOut,
             budget: Budget::default(),
+            threads: 1,
         }
     }
 
@@ -118,6 +122,15 @@ impl<'g> QueryEngine<'g> {
     /// Set the outlierness measure.
     pub fn measure(mut self, measure: MeasureKind) -> Self {
         self.measure = measure;
+        self
+    }
+
+    /// Set the number of worker threads used *within* one query (1 = fully
+    /// serial, the default). Candidate materialization and scoring shard
+    /// across a scoped thread pool; results are bit-identical to the serial
+    /// run for any thread count (see [`crate::engine::parallel`]).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
         self
     }
 
@@ -214,6 +227,7 @@ impl<'g> QueryEngine<'g> {
         measure: &dyn OutlierMeasure,
     ) -> Result<QueryResult, EngineError> {
         let mut ctx = ExecCtx::new(&self.budget);
+        ctx.set_threads(self.threads);
 
         // 1. Retrieve S_c and S_r.
         ctx.set_phase(BudgetPhase::SetRetrieval);
@@ -241,21 +255,11 @@ impl<'g> QueryEngine<'g> {
             ctx.set_phase(BudgetPhase::Materialization);
             let cand_vecs = self.materialize(&candidates, &feature.path, &mut ctx)?;
             let scores = if same_sets {
-                ctx.set_phase(BudgetPhase::Scoring);
-                ctx.checkpoint()?;
-                let t = Instant::now();
-                let s = measure.scores(&cand_vecs, &cand_vecs)?;
-                ctx.stats.scoring += t.elapsed();
-                s
+                self.score_feature(measure, &cand_vecs, &cand_vecs, &mut ctx)?
             } else {
                 let ref_vecs =
                     self.materialize_with_cache(&reference, &feature.path, &cand_vecs, &mut ctx)?;
-                ctx.set_phase(BudgetPhase::Scoring);
-                ctx.checkpoint()?;
-                let t = Instant::now();
-                let s = measure.scores(&cand_vecs, &ref_vecs)?;
-                ctx.stats.scoring += t.elapsed();
-                s
+                self.score_feature(measure, &cand_vecs, &ref_vecs, &mut ctx)?
             };
             per_feature.push(scores);
         }
@@ -300,16 +304,45 @@ impl<'g> QueryEngine<'g> {
         })
     }
 
-    /// Materialize feature vectors for `ids`, in order.
-    fn materialize(
+    /// Score one feature path: prepare the measure once against the
+    /// reference vectors (serial — reference sums, k-NN models), then score
+    /// the candidate vectors, sharded across the context's threads.
+    pub(crate) fn score_feature(
+        &self,
+        measure: &dyn OutlierMeasure,
+        cand_vecs: &[(VertexId, SparseVec)],
+        ref_vecs: &[(VertexId, SparseVec)],
+        ctx: &mut ExecCtx,
+    ) -> Result<Vec<(VertexId, f64)>, EngineError> {
+        ctx.set_phase(BudgetPhase::Scoring);
+        ctx.checkpoint()?;
+        let t = Instant::now();
+        let prepared = measure.prepare(ref_vecs)?;
+        ctx.stats.scoring += t.elapsed();
+        run_sharded(cand_vecs, ctx, |shard, sctx| {
+            sctx.checkpoint()?;
+            let t = Instant::now();
+            let out = prepared.score_slice(shard);
+            sctx.stats.scoring += t.elapsed();
+            out
+        })
+    }
+
+    /// Materialize feature vectors for `ids`, in order, sharded across the
+    /// context's threads (the output is identical to the serial order — see
+    /// [`crate::engine::parallel`]).
+    pub(crate) fn materialize(
         &self,
         ids: &[VertexId],
         path: &hin_graph::MetaPath,
         ctx: &mut ExecCtx,
     ) -> Result<Vec<(VertexId, SparseVec)>, EngineError> {
-        ids.iter()
-            .map(|&v| Ok((v, self.source.neighbor_vector(v, path, ctx)?)))
-            .collect()
+        run_sharded(ids, ctx, |shard, sctx| {
+            shard
+                .iter()
+                .map(|&v| Ok((v, self.source.neighbor_vector(v, path, sctx)?)))
+                .collect()
+        })
     }
 
     /// Materialize feature vectors for `ids`, reusing any vectors already
@@ -323,15 +356,18 @@ impl<'g> QueryEngine<'g> {
     ) -> Result<Vec<(VertexId, SparseVec)>, EngineError> {
         let lookup: FxHashMap<VertexId, &SparseVec> =
             cached.iter().map(|(v, phi)| (*v, phi)).collect();
-        ids.iter()
-            .map(|&v| {
-                if let Some(&phi) = lookup.get(&v) {
-                    Ok((v, phi.clone()))
-                } else {
-                    Ok((v, self.source.neighbor_vector(v, path, ctx)?))
-                }
-            })
-            .collect()
+        run_sharded(ids, ctx, |shard, sctx| {
+            shard
+                .iter()
+                .map(|&v| {
+                    if let Some(&phi) = lookup.get(&v) {
+                        Ok((v, phi.clone()))
+                    } else {
+                        Ok((v, self.source.neighbor_vector(v, path, sctx)?))
+                    }
+                })
+                .collect()
+        })
     }
 }
 
@@ -625,6 +661,27 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical_to_serial() {
+        let g = toy::table1_network();
+        let serial = QueryEngine::baseline(&g)
+            .execute_str(&toy::table1_query())
+            .unwrap();
+        for threads in [2, 4, 9] {
+            let parallel = QueryEngine::baseline(&g)
+                .threads(threads)
+                .execute_str(&toy::table1_query())
+                .unwrap();
+            assert_eq!(parallel.ranked.len(), serial.ranked.len());
+            for (a, b) in serial.ranked.iter().zip(&parallel.ranked) {
+                assert_eq!(a.vertex, b.vertex, "{threads} threads reordered");
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+            assert_eq!(parallel.zero_visibility, serial.zero_visibility);
+            assert_eq!(parallel.candidate_count, serial.candidate_count);
+        }
     }
 
     #[test]

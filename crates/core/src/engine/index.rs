@@ -70,6 +70,10 @@ pub fn all_length2_paths(graph: &HinGraph) -> Vec<MetaPath> {
 #[derive(Debug, Default)]
 pub struct PmIndex {
     matrices: FxHashMap<MetaPath, SparseMatrix>,
+    /// `‖Φ_chunk(v)‖²` per materialized row, computed once at build time so
+    /// measure denominators (visibility) are never re-derived from an
+    /// indexed vector.
+    norms: FxHashMap<MetaPath, FxHashMap<VertexId, f64>>,
 }
 
 impl PmIndex {
@@ -83,12 +87,14 @@ impl PmIndex {
     pub fn build_full(graph: &HinGraph, selection: ChunkSelection, threads: usize) -> Self {
         let chunks = selection.resolve(graph);
         let mut matrices = FxHashMap::default();
+        let mut norms = FxHashMap::default();
         for chunk in chunks {
             let vertices = graph.vertices_of_type(chunk.source_type());
             let rows = materialize_rows(graph, &chunk, vertices, threads);
+            norms.insert(chunk.clone(), row_norms(&rows));
             matrices.insert(chunk, SparseMatrix::from_rows(rows));
         }
-        PmIndex { matrices }
+        PmIndex { matrices, norms }
     }
 
     /// Build a **selective (SPM)** index: rows only for `selected` vertices,
@@ -109,21 +115,29 @@ impl PmIndex {
             list.sort_unstable();
         }
         let mut matrices = FxHashMap::default();
+        let mut norms = FxHashMap::default();
         for chunk in chunks {
             let vertices = by_type
                 .get(&chunk.source_type())
                 .map(Vec::as_slice)
                 .unwrap_or(&[]);
             let rows = materialize_rows(graph, &chunk, vertices, threads);
+            norms.insert(chunk.clone(), row_norms(&rows));
             matrices.insert(chunk, SparseMatrix::from_rows(rows));
         }
-        PmIndex { matrices }
+        PmIndex { matrices, norms }
     }
 
     /// Look up `Φ_chunk(v)`. `None` when either the chunk or the row is not
     /// materialized.
     pub fn row(&self, chunk: &MetaPath, v: VertexId) -> Option<SparseVec> {
         self.matrices.get(chunk)?.row_vec(v)
+    }
+
+    /// Precomputed `‖Φ_chunk(v)‖²` for a materialized row. `None` exactly
+    /// when [`PmIndex::row`] would be `None`.
+    pub fn row_norm(&self, chunk: &MetaPath, v: VertexId) -> Option<f64> {
+        self.norms.get(chunk)?.get(&v).copied()
     }
 
     /// Number of materialized rows for `chunk`, or `None` when the chunk is
@@ -152,13 +166,28 @@ impl PmIndex {
         self.matrices.values().map(SparseMatrix::nnz).sum()
     }
 
-    /// Approximate heap footprint in bytes (the y-axis of Figure 5b).
+    /// Approximate heap footprint in bytes (the y-axis of Figure 5b),
+    /// including the per-row norm side table.
     pub fn size_bytes(&self) -> usize {
-        self.matrices
+        let matrices: usize = self
+            .matrices
             .iter()
             .map(|(k, m)| m.size_bytes() + k.types().len())
-            .sum()
+            .sum();
+        let norms: usize = self
+            .norms
+            .values()
+            .map(|per_row| {
+                per_row.len() * (std::mem::size_of::<VertexId>() + std::mem::size_of::<f64>())
+            })
+            .sum();
+        matrices + norms
     }
+}
+
+/// `‖Φ‖²` per materialized row, computed once at index-build time.
+fn row_norms(rows: &[(VertexId, SparseVec)]) -> FxHashMap<VertexId, f64> {
+    rows.iter().map(|(v, phi)| (*v, phi.norm2_sq())).collect()
 }
 
 /// Materialize `Φ_chunk(v)` for each vertex, optionally in parallel.
@@ -330,6 +359,22 @@ mod tests {
         for &a in g.vertices_of_type(author) {
             assert_eq!(seq.row(&apv, a), par.row(&apv, a));
         }
+    }
+
+    #[test]
+    fn row_norms_match_recomputation() {
+        let g = toy::figure1_network();
+        let idx = PmIndex::build_full(&g, ChunkSelection::All, 1);
+        let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        for &a in g.vertices_of_type(author) {
+            let row = idx.row(&apv, a).unwrap();
+            let norm = idx.row_norm(&apv, a).unwrap();
+            assert_eq!(norm.to_bits(), row.norm2_sq().to_bits());
+        }
+        // Missing rows have no norm either.
+        assert!(idx.row_norm(&apv, VertexId(u32::MAX)).is_none());
+        assert!(PmIndex::empty().row_norm(&apv, VertexId(0)).is_none());
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod cache;
 pub mod executor;
 pub mod explain;
 pub mod index;
+pub mod parallel;
 pub mod progressive;
 pub mod set_eval;
 pub mod source;

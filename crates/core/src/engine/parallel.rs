@@ -1,0 +1,244 @@
+//! Intra-query parallel execution: shard a slice of work items across a
+//! scoped thread pool and merge the results deterministically.
+//!
+//! The engine's per-candidate work — neighbor-vector materialization and
+//! measure scoring — is embarrassingly parallel: every item is evaluated
+//! against immutable shared state (the graph, the index, a prepared
+//! measure). [`run_sharded`] splits the item slice into at most
+//! [`ExecCtx::threads`] contiguous shards, runs one worker per shard on a
+//! [`std::thread::scope`] (no runtime, no detached threads), and
+//! concatenates the per-shard outputs **in shard order**, which reproduces
+//! the serial output exactly:
+//!
+//! * shards are contiguous, so concatenation preserves input order;
+//! * every worker computes each item with the same bit-identical kernels
+//!   and shared read-only state, so the floats match the serial run.
+//!
+//! ## Budget semantics under parallelism
+//!
+//! Each worker gets a [`fork`](ExecCtx::fork) of the query context: the
+//! *absolute* wall-clock deadline, the shared [`CancelToken`], and all
+//! cardinality/`nnz` caps carry over, and all shards additionally share a
+//! [`ShardShared`] atomics block. A shard that hits a budget error raises
+//! the shared stop flag so its siblings abandon work at their next
+//! checkpoint instead of running to the common deadline. When workers are
+//! joined (in shard order):
+//!
+//! * per-shard [`ExecBreakdown`](crate::engine::stats::ExecBreakdown)s are
+//!   absorbed into the parent (durations and counters sum, peak `nnz`
+//!   maxes);
+//! * the reported error is the first error **by shard index** from a shard
+//!   that was *not* stopped by a peer — peer-stop aborts are bookkeeping,
+//!   not real violations, so error selection is deterministic and
+//!   independent of thread scheduling.
+//!
+//! [`CancelToken`]: crate::engine::budget::CancelToken
+
+use crate::engine::budget::{ExecCtx, ShardShared};
+use crate::error::EngineError;
+use std::sync::Arc;
+
+/// Run `work` over `items`, split into at most `ctx.threads()` contiguous
+/// shards, and return the concatenated outputs in input order.
+///
+/// `work` is called once per shard with the shard's items and a forked
+/// single-threaded [`ExecCtx`]; it must return one output per item, in
+/// item order. With one effective thread (or one item), `work` runs inline
+/// on the parent context — no threads are spawned and no atomics are
+/// touched, so the serial path is exactly the pre-parallel engine.
+pub(crate) fn run_sharded<T, R, F>(
+    items: &[T],
+    ctx: &mut ExecCtx,
+    work: F,
+) -> Result<Vec<R>, EngineError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T], &mut ExecCtx) -> Result<Vec<R>, EngineError> + Sync,
+{
+    let threads = ctx.threads().min(items.len()).max(1);
+    if threads == 1 {
+        return work(items, ctx);
+    }
+    let shard_len = items.len().div_ceil(threads);
+    let shared = Arc::new(ShardShared::default());
+
+    // (result, shard context) per shard, in shard order.
+    let outcomes: Vec<(Result<Vec<R>, EngineError>, ExecCtx)> = std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = items
+            .chunks(shard_len)
+            .map(|chunk| {
+                let mut shard_ctx = ctx.fork(Arc::clone(&shared));
+                scope.spawn(move || {
+                    let result = work(chunk, &mut shard_ctx);
+                    // A shard that failed on its own behalf tells the others
+                    // to stop; a shard that was *told* to stop must not
+                    // re-signal (it would mask nothing, but keep the intent
+                    // clear: only genuine violations broadcast).
+                    if result.is_err() && !shard_ctx.stopped_by_peer() {
+                        shard_ctx.signal_peers();
+                    }
+                    (result, shard_ctx)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(outcome) => outcome,
+                // A worker panic is a bug, not a budget event: re-raise it
+                // on the coordinating thread.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    let mut merged: Vec<R> = Vec::with_capacity(items.len());
+    let mut first_err: Option<EngineError> = None;
+    let mut peer_err: Option<EngineError> = None;
+    for (result, shard_ctx) in outcomes {
+        ctx.absorb(&shard_ctx);
+        match result {
+            Ok(mut part) => merged.append(&mut part),
+            Err(e) => {
+                if shard_ctx.stopped_by_peer() {
+                    // Only reported if no genuine violation exists (which
+                    // cannot happen by construction — the stop flag is only
+                    // raised by a genuinely failing shard — but never
+                    // swallow an error on a code path we cannot prove cold).
+                    peer_err.get_or_insert(e);
+                } else {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+    }
+    match first_err.or(peer_err) {
+        Some(e) => Err(e),
+        None => Ok(merged),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::budget::{Budget, BudgetLimit, BudgetPhase, CancelToken};
+
+    fn ctx_with_threads(threads: usize) -> ExecCtx {
+        let mut ctx = ExecCtx::unbounded();
+        ctx.set_threads(threads);
+        ctx
+    }
+
+    #[test]
+    fn sharded_output_matches_serial_in_order() {
+        let items: Vec<u64> = (0..103).collect();
+        let work = |chunk: &[u64], ctx: &mut ExecCtx| {
+            chunk
+                .iter()
+                .map(|&x| {
+                    ctx.checkpoint()?;
+                    Ok(x * 3 + 1)
+                })
+                .collect::<Result<Vec<u64>, EngineError>>()
+        };
+        let serial = run_sharded(&items, &mut ctx_with_threads(1), work).unwrap();
+        for threads in [2, 3, 4, 16] {
+            let mut ctx = ctx_with_threads(threads);
+            let parallel = run_sharded(&items, &mut ctx, work).unwrap();
+            assert_eq!(parallel, serial, "{threads} threads diverged");
+            // Same total work ⇒ same total checkpoint count.
+            assert_eq!(ctx.stats.budget_checks(), items.len() as u64);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items = [1u32, 2, 3];
+        let out = run_sharded(&items, &mut ctx_with_threads(64), |chunk, _| {
+            Ok(chunk.to_vec())
+        })
+        .unwrap();
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_items_yield_empty_output() {
+        let items: [u32; 0] = [];
+        let out = run_sharded(&items, &mut ctx_with_threads(4), |chunk, _| {
+            Ok(chunk.to_vec())
+        })
+        .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn error_selection_is_deterministic_by_shard_index() {
+        // Every shard fails immediately (pre-cancelled token): the reported
+        // error must be a genuine cancellation, never a peer-stop artifact,
+        // regardless of scheduling.
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::default().with_cancel_token(token);
+        for _ in 0..20 {
+            let mut ctx = ExecCtx::new(&budget);
+            ctx.set_threads(4);
+            let items: Vec<u32> = (0..100).collect();
+            let err = run_sharded(&items, &mut ctx, |chunk, sctx| {
+                for _ in chunk {
+                    sctx.checkpoint()?;
+                }
+                Ok(chunk.to_vec())
+            })
+            .unwrap_err();
+            match err {
+                EngineError::BudgetExceeded { limit, phase, .. } => {
+                    assert_eq!(limit, BudgetLimit::Cancelled);
+                    assert_eq!(phase, BudgetPhase::SetRetrieval);
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn failing_shard_stops_siblings() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // Shard 0 fails on its first item; the other shards spin on
+        // checkpoints until the stop flag reaches them. If peer-stop did not
+        // work this test would hang.
+        let done = AtomicU64::new(0);
+        let items: Vec<u32> = (0..64).collect();
+        let mut ctx = ctx_with_threads(4);
+        let err = run_sharded(&items, &mut ctx, |chunk, sctx| {
+            if chunk[0] == 0 {
+                return Err(EngineError::EmptyCandidateSet);
+            }
+            loop {
+                sctx.checkpoint()?;
+                std::thread::yield_now();
+                done.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, EngineError::EmptyCandidateSet);
+    }
+
+    #[test]
+    fn stats_absorbed_from_all_shards_even_on_error() {
+        let items: Vec<u32> = (0..40).collect();
+        let mut ctx = ctx_with_threads(4);
+        let _ = run_sharded(&items, &mut ctx, |chunk, sctx| {
+            for _ in chunk {
+                sctx.checkpoint()?;
+            }
+            if chunk[0] == 0 {
+                return Err(EngineError::EmptyCandidateSet);
+            }
+            Ok(chunk.to_vec())
+        });
+        // All four shards ran their checkpoints before the error surfaced.
+        assert_eq!(ctx.stats.budget_checks(), items.len() as u64);
+    }
+}

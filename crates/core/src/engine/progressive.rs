@@ -89,6 +89,7 @@ impl<'e, 'g> ProgressiveRun<'e, 'g> {
             ));
         }
         let mut ctx = ExecCtx::new(&engine.budget);
+        ctx.set_threads(engine.threads);
         let graph = engine.graph();
         let source = engine.source();
         ctx.set_phase(BudgetPhase::SetRetrieval);
@@ -119,17 +120,9 @@ impl<'e, 'g> ProgressiveRun<'e, 'g> {
                 "query has no feature meta-paths".into(),
             ));
         };
-        let materialize_refs = |path: &hin_graph::MetaPath,
-                                ctx: &mut ExecCtx|
-         -> Result<Vec<(VertexId, SparseVec)>, EngineError> {
-            reference_ids
-                .iter()
-                .map(|&v| Ok((v, source.neighbor_vector(v, path, ctx)?)))
-                .collect()
-        };
-        let reference = materialize_refs(&first.path, &mut ctx)?;
+        let reference = engine.materialize(&reference_ids, &first.path, &mut ctx)?;
         let extra_reference = features
-            .map(|f| materialize_refs(&f.path, &mut ctx))
+            .map(|f| engine.materialize(&reference_ids, &f.path, &mut ctx))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(ProgressiveRun {
             measure: engine.measure_kind().instantiate(),
@@ -182,25 +175,21 @@ impl<'e, 'g> ProgressiveRun<'e, 'g> {
     }
 
     fn score_batch(&mut self, batch: &[VertexId]) -> Result<Vec<(VertexId, f64)>, EngineError> {
-        let source = self.engine.source();
         let features = &self.query.features;
         let mut combined: Vec<(VertexId, f64)> = Vec::with_capacity(batch.len());
-        // First feature.
+        // First feature. Both materialization and scoring shard across the
+        // engine's threads (batches stay atomic: any shard error discards
+        // the whole batch, exactly like the serial path).
         self.ctx.set_phase(BudgetPhase::Materialization);
-        let vecs: Vec<(VertexId, SparseVec)> = batch
-            .iter()
-            .map(|&v| {
-                Ok((
-                    v,
-                    source.neighbor_vector(v, &features[0].path, &mut self.ctx)?,
-                ))
-            })
-            .collect::<Result<_, EngineError>>()?;
-        self.ctx.set_phase(BudgetPhase::Scoring);
-        self.ctx.checkpoint()?;
-        let t = std::time::Instant::now();
-        let mut scores = self.measure.scores(&vecs, &self.reference)?;
-        self.ctx.stats.scoring += t.elapsed();
+        let vecs = self
+            .engine
+            .materialize(batch, &features[0].path, &mut self.ctx)?;
+        let mut scores = self.engine.score_feature(
+            self.measure.as_ref(),
+            &vecs,
+            &self.reference,
+            &mut self.ctx,
+        )?;
         let total_w: f64 = features.iter().map(|f| f.weight).sum();
         for (_, s) in &mut scores {
             *s *= features[0].weight / total_w;
@@ -209,15 +198,15 @@ impl<'e, 'g> ProgressiveRun<'e, 'g> {
         // Remaining features, weighted-averaged in.
         for (fi, feature) in features.iter().enumerate().skip(1) {
             self.ctx.set_phase(BudgetPhase::Materialization);
-            let vecs: Vec<(VertexId, SparseVec)> = batch
-                .iter()
-                .map(|&v| Ok((v, source.neighbor_vector(v, &feature.path, &mut self.ctx)?)))
-                .collect::<Result<_, EngineError>>()?;
-            self.ctx.set_phase(BudgetPhase::Scoring);
-            self.ctx.checkpoint()?;
-            let t = std::time::Instant::now();
-            let scores = self.measure.scores(&vecs, &self.extra_reference[fi - 1])?;
-            self.ctx.stats.scoring += t.elapsed();
+            let vecs = self
+                .engine
+                .materialize(batch, &feature.path, &mut self.ctx)?;
+            let scores = self.engine.score_feature(
+                self.measure.as_ref(),
+                &vecs,
+                &self.extra_reference[fi - 1],
+                &mut self.ctx,
+            )?;
             for ((_, acc), (_, s)) in combined.iter_mut().zip(scores) {
                 *acc += s * feature.weight / total_w;
             }

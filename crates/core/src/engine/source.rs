@@ -26,6 +26,23 @@ pub trait VectorSource: Send + Sync {
         ctx: &mut ExecCtx,
     ) -> Result<SparseVec, EngineError>;
 
+    /// Materialize `Φ_path(v)` together with its visibility `‖Φ_path(v)‖²`.
+    ///
+    /// Sources that store norms alongside vectors (the LRU cache, the PM
+    /// index) override this to return the precomputed value; the default
+    /// computes it from the fresh vector, which is still once per vector —
+    /// never once per candidate pair.
+    fn neighbor_vector_with_norm(
+        &self,
+        v: VertexId,
+        path: &MetaPath,
+        ctx: &mut ExecCtx,
+    ) -> Result<(SparseVec, f64), EngineError> {
+        let phi = self.neighbor_vector(v, path, ctx)?;
+        let norm2_sq = phi.norm2_sq();
+        Ok((phi, norm2_sq))
+    }
+
     /// Short strategy name for reports (`"baseline"`, `"pm"`, `"spm"`).
     fn name(&self) -> &'static str;
 
@@ -49,7 +66,10 @@ pub trait VectorSource: Send + Sync {
 /// Semantically identical to [`traverse::neighbor_vector`] (same start
 /// validation, same propagation), but interleaved with
 /// [`ExecCtx::check_frontier`] so a deadline, `nnz` cap, or cancellation
-/// fires between hops of a long meta-path.
+/// fires between hops of a long meta-path. Propagation scatters through the
+/// context's reusable [`DenseAccumulator`](hin_graph::DenseAccumulator)
+/// workspace, so repeated materializations on one context (or shard)
+/// allocate nothing on the hot path.
 fn guarded_traversal(
     graph: &HinGraph,
     v: VertexId,
@@ -68,16 +88,23 @@ fn guarded_traversal(
         }
         .into());
     }
-    let mut frontier = SparseVec::unit(v);
-    for link in path.types().windows(2) {
-        ctx.check_frontier(frontier.nnz())?;
-        frontier = traverse::propagate_step(graph, &frontier, link[1]);
-        if frontier.is_empty() {
-            break;
+    let mut ws = ctx.take_workspace();
+    let result = (|| {
+        let mut frontier = SparseVec::unit(v);
+        for link in path.types().windows(2) {
+            ctx.check_frontier(frontier.nnz())?;
+            frontier = traverse::propagate_step_with(graph, &frontier, link[1], &mut ws);
+            if frontier.is_empty() {
+                break;
+            }
         }
-    }
-    ctx.check_frontier(frontier.nnz())?;
-    Ok(frontier)
+        ctx.check_frontier(frontier.nnz())?;
+        Ok(frontier)
+    })();
+    // Restore even on error: `restore_workspace` clears any abandoned
+    // scatter so the next traversal starts clean.
+    ctx.restore_workspace(ws);
+    result
 }
 
 /// The baseline strategy (Section 6.1): materialize every vector by sparse
@@ -231,6 +258,29 @@ impl VectorSource for IndexedSource<'_> {
         Ok(frontier)
     }
 
+    fn neighbor_vector_with_norm(
+        &self,
+        v: VertexId,
+        path: &MetaPath,
+        ctx: &mut ExecCtx,
+    ) -> Result<(SparseVec, f64), EngineError> {
+        // Single-chunk feature paths are the common case in the paper's
+        // workloads; their norms were precomputed at index-build time.
+        if path.len() == 2 {
+            if let Some(norm2_sq) = self.index.row_norm(path, v) {
+                let t = Instant::now();
+                if let Some(row) = self.index.row(path, v) {
+                    ctx.stats.indexed_vectors += t.elapsed();
+                    ctx.stats.indexed_count += 1;
+                    return Ok((row, norm2_sq));
+                }
+            }
+        }
+        let phi = self.neighbor_vector(v, path, ctx)?;
+        let norm2_sq = phi.norm2_sq();
+        Ok((phi, norm2_sq))
+    }
+
     fn name(&self) -> &'static str {
         self.name
     }
@@ -359,6 +409,36 @@ mod tests {
             let plain = traverse::neighbor_vector(&g, a, &apvpa).unwrap();
             assert_eq!(guarded, plain);
         }
+    }
+
+    #[test]
+    fn with_norm_agrees_with_plain_materialization() {
+        let g = toy::figure1_network();
+        let index = PmIndex::build_full(&g, ChunkSelection::All, 1);
+        let idx_src = IndexedSource::new(&g, &index, "pm");
+        let trv_src = TraversalSource::new(&g);
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
+        let apvpa = MetaPath::parse("author.paper.venue.paper.author", g.schema()).unwrap();
+        for &a in g.vertices_of_type(author) {
+            for path in [&apv, &apvpa] {
+                let mut c1 = ExecCtx::unbounded();
+                let mut c2 = ExecCtx::unbounded();
+                let (phi_i, n_i) = idx_src.neighbor_vector_with_norm(a, path, &mut c1).unwrap();
+                let (phi_t, n_t) = trv_src.neighbor_vector_with_norm(a, path, &mut c2).unwrap();
+                assert_eq!(phi_i, phi_t);
+                assert_eq!(n_i.to_bits(), n_t.to_bits());
+                assert_eq!(n_i.to_bits(), phi_i.norm2_sq().to_bits());
+            }
+        }
+        // The single-chunk path was served with its precomputed norm.
+        let zoe = g.vertex_by_name(author, "Zoe").unwrap();
+        let mut ctx = ExecCtx::unbounded();
+        idx_src
+            .neighbor_vector_with_norm(zoe, &apv, &mut ctx)
+            .unwrap();
+        assert_eq!(ctx.stats.indexed_count, 1);
+        assert_eq!(ctx.stats.unindexed_count, 0);
     }
 
     #[test]

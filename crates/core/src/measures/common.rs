@@ -9,6 +9,22 @@ use hin_graph::{SparseVec, VertexId};
 /// Materialization happens once in the executor; measures only read.
 pub type VectorSet = [(VertexId, SparseVec)];
 
+/// A measure that has absorbed its reference set and is ready to score
+/// candidate shards independently.
+///
+/// `prepare` runs once per query (serially), doing all reference-side work:
+/// summing reference vectors, building k-NN models, precomputing norms. The
+/// resulting scorer is `Send + Sync` so the parallel executor can hand the
+/// same prepared state to every shard; because each candidate is scored
+/// purely from that shared immutable state, sharded execution is
+/// bit-identical to serial execution by construction.
+pub trait PreparedScorer: Send + Sync {
+    /// Score a contiguous slice of candidates. Output order matches input
+    /// order; concatenating shard outputs in shard order reproduces the
+    /// serial output exactly.
+    fn score_slice(&self, candidates: &VectorSet) -> Result<Vec<(VertexId, f64)>, EngineError>;
+}
+
 /// An outlierness measure: maps candidate vectors against a reference set of
 /// vectors to one score per candidate.
 pub trait OutlierMeasure: Send + Sync {
@@ -18,16 +34,34 @@ pub trait OutlierMeasure: Send + Sync {
     /// Which end of the score scale is most outlying.
     fn order(&self) -> ScoreOrder;
 
+    /// Absorb the reference set, performing all per-query precomputation
+    /// (reference sums, k-NN models, cached norms), and return a scorer
+    /// that can evaluate candidate shards independently.
+    ///
+    /// Errors that depend only on the measure's parameters or the reference
+    /// set (e.g. `k == 0`, too few reference points) surface here, before
+    /// any candidate work is spent.
+    fn prepare<'a>(
+        &'a self,
+        reference: &'a VectorSet,
+    ) -> Result<Box<dyn PreparedScorer + 'a>, EngineError>;
+
     /// Score every candidate. Output order matches input order.
     ///
     /// Implementations must tolerate empty vectors (vertices with no path
     /// instances); what score they assign is measure-specific and
     /// documented per measure.
+    ///
+    /// Provided in terms of [`OutlierMeasure::prepare`]; the parallel
+    /// executor calls `prepare` directly so reference-side work happens
+    /// once, not once per shard.
     fn scores(
         &self,
         candidates: &VectorSet,
         reference: &VectorSet,
-    ) -> Result<Vec<(VertexId, f64)>, EngineError>;
+    ) -> Result<Vec<(VertexId, f64)>, EngineError> {
+        self.prepare(reference)?.score_slice(candidates)
+    }
 }
 
 /// Sum of all reference vectors — the `Σ_{v_j ∈ S_r} Φ_P(v_j)` term that

@@ -9,7 +9,7 @@
 //! matter how much they published — Joe and Emma tie in Table 2, which is
 //! exactly the failure mode the paper highlights.
 
-use super::common::{OutlierMeasure, VectorSet};
+use super::common::{OutlierMeasure, PreparedScorer, VectorSet};
 use crate::engine::topk::ScoreOrder;
 use crate::error::EngineError;
 use hin_graph::{SparseVec, VertexId};
@@ -28,6 +28,28 @@ pub fn cosine(phi_i: &SparseVec, phi_j: &SparseVec) -> f64 {
     }
 }
 
+/// CosSim with the unit reference sum hoisted out.
+struct CosSimPrepared {
+    unit_sum: SparseVec,
+}
+
+impl PreparedScorer for CosSimPrepared {
+    fn score_slice(&self, candidates: &VectorSet) -> Result<Vec<(VertexId, f64)>, EngineError> {
+        Ok(candidates
+            .iter()
+            .map(|(v, phi)| {
+                let n = phi.norm2();
+                let omega = if n == 0.0 {
+                    0.0
+                } else {
+                    phi.dot(&self.unit_sum) / n
+                };
+                (*v, omega)
+            })
+            .collect())
+    }
+}
+
 impl OutlierMeasure for CosSimMeasure {
     fn name(&self) -> &'static str {
         "CosSim"
@@ -37,11 +59,10 @@ impl OutlierMeasure for CosSimMeasure {
         ScoreOrder::AscendingIsOutlier
     }
 
-    fn scores(
-        &self,
-        candidates: &VectorSet,
-        reference: &VectorSet,
-    ) -> Result<Vec<(VertexId, f64)>, EngineError> {
+    fn prepare<'a>(
+        &'a self,
+        reference: &'a VectorSet,
+    ) -> Result<Box<dyn PreparedScorer + 'a>, EngineError> {
         // Cosine against each reference vector is a dot with the *unit*
         // reference vector, so the normalized reference sum can be hoisted —
         // unlike PathSim, CosSim admits the same O(|S_r|+|S_c|) trick.
@@ -54,18 +75,7 @@ impl OutlierMeasure for CosSimMeasure {
                 unit_sum.add_assign(&u);
             }
         }
-        Ok(candidates
-            .iter()
-            .map(|(v, phi)| {
-                let n = phi.norm2();
-                let omega = if n == 0.0 {
-                    0.0
-                } else {
-                    phi.dot(&unit_sum) / n
-                };
-                (*v, omega)
-            })
-            .collect())
+        Ok(Box::new(CosSimPrepared { unit_sum }))
     }
 }
 

@@ -7,7 +7,7 @@
 //! `S_r = S_c` query), its own entry is excluded from the neighbor search —
 //! otherwise every candidate's 1-NN distance would be zero.
 
-use super::common::{OutlierMeasure, VectorSet};
+use super::common::{OutlierMeasure, PreparedScorer, VectorSet};
 use crate::engine::topk::ScoreOrder;
 use crate::error::EngineError;
 use hin_graph::VertexId;
@@ -79,20 +79,35 @@ impl OutlierMeasure for KnnDist {
         ScoreOrder::DescendingIsOutlier
     }
 
-    fn scores(
-        &self,
-        candidates: &VectorSet,
-        reference: &VectorSet,
-    ) -> Result<Vec<(VertexId, f64)>, EngineError> {
+    fn prepare<'a>(
+        &'a self,
+        reference: &'a VectorSet,
+    ) -> Result<Box<dyn PreparedScorer + 'a>, EngineError> {
         if self.k == 0 {
             return Err(EngineError::BadMeasureParameter(
                 "kNN-dist requires k >= 1".into(),
             ));
         }
+        Ok(Box::new(KnnPrepared {
+            reference,
+            k: self.k,
+        }))
+    }
+}
+
+/// kNN-dist bound to its reference set; each candidate's neighbor search is
+/// independent, so shards share this state read-only.
+struct KnnPrepared<'a> {
+    reference: &'a VectorSet,
+    k: usize,
+}
+
+impl PreparedScorer for KnnPrepared<'_> {
+    fn score_slice(&self, candidates: &VectorSet) -> Result<Vec<(VertexId, f64)>, EngineError> {
         candidates
             .iter()
             .map(|(v, phi)| {
-                let d2 = kth_nn_dist2(*v, phi, reference, self.k).ok_or_else(|| {
+                let d2 = kth_nn_dist2(*v, phi, self.reference, self.k).ok_or_else(|| {
                     EngineError::BadMeasureParameter(format!(
                         "kNN-dist needs at least k={} reference vertices besides the candidate",
                         self.k

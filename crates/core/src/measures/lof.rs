@@ -19,7 +19,7 @@
 //! LOF(p)           = mean_{o ∈ kNN(p)} lrd(o) / lrd(p)
 //! ```
 
-use super::common::{OutlierMeasure, VectorSet};
+use super::common::{OutlierMeasure, PreparedScorer, VectorSet};
 use super::knn::OrdF64;
 use crate::engine::topk::ScoreOrder;
 use crate::error::EngineError;
@@ -126,11 +126,10 @@ impl OutlierMeasure for Lof {
         ScoreOrder::DescendingIsOutlier
     }
 
-    fn scores(
-        &self,
-        candidates: &VectorSet,
-        reference: &VectorSet,
-    ) -> Result<Vec<(VertexId, f64)>, EngineError> {
+    fn prepare<'a>(
+        &'a self,
+        reference: &'a VectorSet,
+    ) -> Result<Box<dyn PreparedScorer + 'a>, EngineError> {
         if self.k == 0 {
             return Err(EngineError::BadMeasureParameter(
                 "LOF requires k >= 1".into(),
@@ -142,16 +141,34 @@ impl OutlierMeasure for Lof {
                 self.k + 1
             ))
         })?;
+        Ok(Box::new(LofPrepared {
+            reference,
+            model,
+            k: self.k,
+        }))
+    }
+}
+
+/// LOF with the reference-side model (k-distances and local reachability
+/// densities) built once; candidates then only need their own kNN query.
+struct LofPrepared<'a> {
+    reference: &'a VectorSet,
+    model: LofModel,
+    k: usize,
+}
+
+impl PreparedScorer for LofPrepared<'_> {
+    fn score_slice(&self, candidates: &VectorSet) -> Result<Vec<(VertexId, f64)>, EngineError> {
         candidates
             .iter()
             .map(|(v, phi)| {
-                let nn = knn_of(*v, phi, reference, self.k).ok_or_else(|| {
+                let nn = knn_of(*v, phi, self.reference, self.k).ok_or_else(|| {
                     EngineError::BadMeasureParameter(format!(
                         "LOF needs at least k = {} reference vertices besides the candidate",
                         self.k
                     ))
                 })?;
-                Ok((*v, lof_of(&nn, &model)))
+                Ok((*v, lof_of(&nn, &self.model)))
             })
             .collect()
     }

@@ -25,7 +25,7 @@ pub mod netout;
 pub mod pathsim;
 pub mod similarity;
 
-pub use common::{OutlierMeasure, VectorSet};
+pub use common::{OutlierMeasure, PreparedScorer, VectorSet};
 
 use crate::engine::topk::ScoreOrder;
 

@@ -21,14 +21,36 @@
 //! least outlying, after every finite score. The executor also reports them
 //! separately so an analyst can inspect them.
 
-use super::common::{reference_sum, OutlierMeasure, VectorSet};
+use super::common::{reference_sum, OutlierMeasure, PreparedScorer, VectorSet};
 use crate::engine::topk::ScoreOrder;
 use crate::error::EngineError;
-use hin_graph::VertexId;
+use hin_graph::{SparseVec, VertexId};
 
 /// The NetOut measure (Definition 10, computed via Equation (1)).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NetOut;
+
+/// NetOut with the Equation (1) reference sum hoisted out.
+struct NetOutPrepared {
+    ref_sum: SparseVec,
+}
+
+impl PreparedScorer for NetOutPrepared {
+    fn score_slice(&self, candidates: &VectorSet) -> Result<Vec<(VertexId, f64)>, EngineError> {
+        Ok(candidates
+            .iter()
+            .map(|(v, phi)| {
+                let visibility = phi.norm2_sq();
+                let omega = if visibility == 0.0 {
+                    f64::INFINITY
+                } else {
+                    phi.dot(&self.ref_sum) / visibility
+                };
+                (*v, omega)
+            })
+            .collect())
+    }
+}
 
 impl OutlierMeasure for NetOut {
     fn name(&self) -> &'static str {
@@ -39,24 +61,13 @@ impl OutlierMeasure for NetOut {
         ScoreOrder::AscendingIsOutlier
     }
 
-    fn scores(
-        &self,
-        candidates: &VectorSet,
-        reference: &VectorSet,
-    ) -> Result<Vec<(VertexId, f64)>, EngineError> {
-        let ref_sum = reference_sum(reference);
-        Ok(candidates
-            .iter()
-            .map(|(v, phi)| {
-                let visibility = phi.norm2_sq();
-                let omega = if visibility == 0.0 {
-                    f64::INFINITY
-                } else {
-                    phi.dot(&ref_sum) / visibility
-                };
-                (*v, omega)
-            })
-            .collect())
+    fn prepare<'a>(
+        &'a self,
+        reference: &'a VectorSet,
+    ) -> Result<Box<dyn PreparedScorer + 'a>, EngineError> {
+        Ok(Box::new(NetOutPrepared {
+            ref_sum: reference_sum(reference),
+        }))
     }
 }
 

@@ -13,7 +13,7 @@
 //! The per-pair denominator depends on *both* endpoints, so the reference
 //! sum cannot be hoisted: scoring is inherently `O(|S_r| × |S_c|)`.
 
-use super::common::{OutlierMeasure, VectorSet};
+use super::common::{OutlierMeasure, PreparedScorer, VectorSet};
 use crate::engine::topk::ScoreOrder;
 use crate::error::EngineError;
 use hin_graph::{SparseVec, VertexId};
@@ -33,6 +33,42 @@ pub fn pathsim(phi_i: &SparseVec, phi_j: &SparseVec) -> f64 {
     }
 }
 
+/// PathSim with every reference visibility `χ(v_j, v_j) = ‖Φ(v_j)‖²`
+/// precomputed once; the per-pair denominator then reuses it instead of
+/// re-walking each reference vector for every candidate.
+struct PathSimPrepared<'a> {
+    reference: &'a VectorSet,
+    ref_norms: Vec<f64>,
+}
+
+impl PreparedScorer for PathSimPrepared<'_> {
+    fn score_slice(&self, candidates: &VectorSet) -> Result<Vec<(VertexId, f64)>, EngineError> {
+        Ok(candidates
+            .iter()
+            .map(|(v, phi)| {
+                let cand_norm = phi.norm2_sq();
+                let omega: f64 = self
+                    .reference
+                    .iter()
+                    .zip(&self.ref_norms)
+                    .map(|((_, psi), &ref_norm)| {
+                        // Same arithmetic as `pathsim`, with both norms
+                        // hoisted: `norm2_sq` is deterministic, so the
+                        // result is bit-identical to the unhoisted form.
+                        let denom = cand_norm + ref_norm;
+                        if denom == 0.0 {
+                            0.0
+                        } else {
+                            2.0 * phi.dot(psi) / denom
+                        }
+                    })
+                    .sum();
+                (*v, omega)
+            })
+            .collect())
+    }
+}
+
 impl OutlierMeasure for PathSimMeasure {
     fn name(&self) -> &'static str {
         "PathSim"
@@ -42,18 +78,15 @@ impl OutlierMeasure for PathSimMeasure {
         ScoreOrder::AscendingIsOutlier
     }
 
-    fn scores(
-        &self,
-        candidates: &VectorSet,
-        reference: &VectorSet,
-    ) -> Result<Vec<(VertexId, f64)>, EngineError> {
-        Ok(candidates
-            .iter()
-            .map(|(v, phi)| {
-                let omega: f64 = reference.iter().map(|(_, psi)| pathsim(phi, psi)).sum();
-                (*v, omega)
-            })
-            .collect())
+    fn prepare<'a>(
+        &'a self,
+        reference: &'a VectorSet,
+    ) -> Result<Box<dyn PreparedScorer + 'a>, EngineError> {
+        let ref_norms = reference.iter().map(|(_, psi)| psi.norm2_sq()).collect();
+        Ok(Box::new(PathSimPrepared {
+            reference,
+            ref_norms,
+        }))
     }
 }
 

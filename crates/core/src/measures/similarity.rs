@@ -9,10 +9,10 @@
 //! non-zero PathSim, and those are precisely the support of `Φ_{P_sym}(v)`.
 
 use crate::engine::budget::ExecCtx;
+use crate::engine::parallel::run_sharded;
 use crate::engine::source::VectorSource;
 use crate::engine::topk::{top_k, ScoreOrder};
 use crate::error::EngineError;
-use crate::measures::pathsim::pathsim;
 use hin_graph::{MetaPath, VertexId};
 
 /// One similarity-search hit.
@@ -35,7 +35,7 @@ pub fn pathsim_topk(
     k: usize,
     ctx: &mut ExecCtx,
 ) -> Result<Vec<SimilarVertex>, EngineError> {
-    let phi_q = source.neighbor_vector(query, feature_path, ctx)?;
+    let (phi_q, norm_q) = source.neighbor_vector_with_norm(query, feature_path, ctx)?;
     if phi_q.is_empty() {
         // No path instances ⇒ PathSim 0 with everyone.
         return Ok(Vec::new());
@@ -44,14 +44,26 @@ pub fn pathsim_topk(
     // non-zero connectivity to the query.
     let sym = feature_path.symmetric();
     let reachable = source.neighbor_vector(query, &sym, ctx)?;
-    let scored = reachable
-        .support()
-        .filter(|&u| u != query)
-        .map(|u| {
-            let phi_u = source.neighbor_vector(u, feature_path, ctx)?;
-            Ok((u, pathsim(&phi_q, &phi_u)))
-        })
-        .collect::<Result<Vec<_>, EngineError>>()?;
+    let candidates: Vec<VertexId> = reachable.support().filter(|&u| u != query).collect();
+    // Score every candidate, sharded across the context's threads. The
+    // query's visibility `‖Φ_q‖²` is hoisted out of the loop; the per-pair
+    // arithmetic is unchanged from [`pathsim`](crate::measures::pathsim::pathsim),
+    // so the hoisted form is bit-identical.
+    let scored = run_sharded(&candidates, ctx, |shard, sctx| {
+        shard
+            .iter()
+            .map(|&u| {
+                let (phi_u, norm_u) = source.neighbor_vector_with_norm(u, feature_path, sctx)?;
+                let denom = norm_q + norm_u;
+                let sim = if denom == 0.0 {
+                    0.0
+                } else {
+                    2.0 * phi_q.dot(&phi_u) / denom
+                };
+                Ok((u, sim))
+            })
+            .collect::<Result<Vec<_>, EngineError>>()
+    })?;
     // PathSim: larger = more similar, so rank descending.
     let ranked = top_k(scored, Some(k), ScoreOrder::DescendingIsOutlier);
     Ok(ranked
@@ -128,6 +140,27 @@ mod tests {
         let g = toy::table1_network();
         assert_eq!(topk(&g, "Sarah", "author.paper.venue", 1).len(), 1);
         assert!(topk(&g, "Sarah", "author.paper.venue", 1000).len() >= 100);
+    }
+
+    #[test]
+    fn parallel_search_is_bit_identical_to_serial() {
+        let g = toy::table1_network();
+        let source = TraversalSource::new(&g);
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        let sarah = g.vertex_by_name(author, "Sarah").unwrap();
+        let p = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
+        let mut serial_ctx = ExecCtx::unbounded();
+        let serial = pathsim_topk(&source, sarah, &p, 20, &mut serial_ctx).unwrap();
+        for threads in [2, 4] {
+            let mut ctx = ExecCtx::unbounded();
+            ctx.set_threads(threads);
+            let parallel = pathsim_topk(&source, sarah, &p, 20, &mut ctx).unwrap();
+            assert_eq!(serial.len(), parallel.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.vertex, b.vertex, "{threads} threads reordered");
+                assert_eq!(a.similarity.to_bits(), b.similarity.to_bits());
+            }
+        }
     }
 
     #[test]

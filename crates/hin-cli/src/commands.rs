@@ -18,21 +18,22 @@ USAGE:
   hinout stats --graph FILE
   hinout query --graph FILE (--query 'FIND OUTLIERS …' | --query-file FILE)
                [--index none|pm] [--measure netout|pathsim|cossim|lof:K|knn:K]
-               [--timeout-ms N] [--max-candidates N] [--max-nnz N]
+               [--threads N] [--timeout-ms N] [--max-candidates N] [--max-nnz N]
                [--format text|json]
   hinout explain --graph FILE (--query '…' | --query-file FILE) [--index none|pm]
-               [--timeout-ms N] [--max-candidates N] [--max-nnz N]
+               [--threads N] [--timeout-ms N] [--max-candidates N] [--max-nnz N]
                [--format text|json]
   hinout similar --graph FILE --type author --name 'X' --path author.paper.venue [--top K]
-               [--timeout-ms N] [--max-candidates N] [--max-nnz N]
+               [--threads N] [--timeout-ms N] [--max-candidates N] [--max-nnz N]
   hinout repl --graph FILE [--index none|pm]
                [--timeout-ms N] [--max-candidates N] [--max-nnz N]
   hinout index-info --graph FILE
   hinout workload --graph FILE --template q1|q2|q3 --n N [--seed S] [--out FILE]
-               [--run strict|best-effort] [--timeout-ms N] [--max-candidates N] [--max-nnz N]
+               [--run strict|best-effort] [--threads N]
+               [--timeout-ms N] [--max-candidates N] [--max-nnz N]
   hinout serve --graph FILE [--addr HOST:PORT] [--workers N] [--queue-cap N]
                [--index none|pm] [--measure …] [--mode strict|best-effort]
-               [--cache-cap N] [--port-file FILE]
+               [--cache-cap N] [--port-file FILE] [--threads-per-query N]
                [--timeout-ms N] [--max-candidates N] [--max-nnz N]
   hinout bench-client --addr HOST:PORT [--clients N] [--requests N]
                [--query '…' | --query-file FILE] [--format text|json]
@@ -54,6 +55,12 @@ deadline, --max-candidates caps the candidate/reference set sizes, and
 --max-nnz caps intermediate sparse-vector size (a memory proxy). When a
 budget trips after some candidates were already scored, query/repl print the
 partial ranking with a DEGRADED note instead of failing.
+
+--threads N runs each query's materialization and scoring on N worker
+threads (default 1; 0 = auto-detect cores, capped at 16). Results are
+bit-identical for every thread count. For serve, --threads-per-query sets
+the same knob on every worker engine: total parallelism is then
+workers × threads-per-query, so keep the product near the core count.
 
 The query language (EDBT 2015):
   FIND OUTLIERS FROM author{\"Christos Faloutsos\"}.paper.author
@@ -236,6 +243,9 @@ fn build_detector(graph: HinGraph, args: &Args) -> Result<OutlierDetector, Strin
     if let Some(m) = args.get("measure") {
         detector = detector.measure(parse_measure(m)?);
     }
+    if let Some(n) = args.get_opt_num::<usize>("threads")? {
+        detector = detector.with_threads(n);
+    }
     Ok(detector.budget(parse_budget(args)?))
 }
 
@@ -353,7 +363,15 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     args.expect_no_positional()?;
     check_known_with_budget(
         args,
-        &["graph", "query", "query-file", "index", "measure", "format"],
+        &[
+            "graph",
+            "query",
+            "query-file",
+            "index",
+            "measure",
+            "format",
+            "threads",
+        ],
     )?;
     let format = parse_format(args)?;
     let query_text = read_query_text(args)?;
@@ -372,7 +390,15 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
     args.expect_no_positional()?;
     check_known_with_budget(
         args,
-        &["graph", "query", "query-file", "index", "measure", "format"],
+        &[
+            "graph",
+            "query",
+            "query-file",
+            "index",
+            "measure",
+            "format",
+            "threads",
+        ],
     )?;
     let format = parse_format(args)?;
     let query_text = read_query_text(args)?;
@@ -401,7 +427,10 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
 
 fn cmd_similar(args: &Args) -> Result<(), String> {
     args.expect_no_positional()?;
-    check_known_with_budget(args, &["graph", "type", "name", "path", "top", "index"])?;
+    check_known_with_budget(
+        args,
+        &["graph", "type", "name", "path", "top", "index", "threads"],
+    )?;
     let detector = build_detector(load(args)?, args)?;
     let k = args.get_num("top", 10usize)?;
     let hits = detector
@@ -424,7 +453,7 @@ fn cmd_workload(args: &Args) -> Result<(), String> {
     check_known_with_budget(
         args,
         &[
-            "graph", "template", "n", "seed", "out", "run", "index", "measure",
+            "graph", "template", "n", "seed", "out", "run", "index", "measure", "threads",
         ],
     )?;
     let graph = load(args)?;
@@ -525,6 +554,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             "addr",
             "workers",
             "queue-cap",
+            "threads-per-query",
             "mode",
             "cache-cap",
             "port-file",
@@ -543,6 +573,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     if let Some(q) = args.get_opt_num::<usize>("queue-cap")? {
         config.queue_cap = q;
     }
+    if let Some(t) = args.get_opt_num::<usize>("threads-per-query")? {
+        config.threads_per_query = t;
+    }
     if let Some(mode) = args.get("mode") {
         config.default_mode = match mode {
             "strict" => ExecMode::Strict,
@@ -555,9 +588,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         Server::bind(detector, addr, config.clone()).map_err(|e| format!("binding {addr}: {e}"))?;
     let bound = server.local_addr();
     println!(
-        "hin-service listening on {bound} ({} workers, queue capacity {}, {} default; \
-         send SHUTDOWN to stop)",
+        "hin-service listening on {bound} ({} workers x {} threads/query, queue capacity {}, \
+         {} default; send SHUTDOWN to stop)",
         config.workers.max(1),
+        config.threads_per_query.max(1),
         config.queue_cap.max(1),
         match config.default_mode {
             ExecMode::Strict => "strict",

@@ -77,4 +77,4 @@ pub use graph::{EdgeRef, GraphBuilder, HinGraph, VertexRef};
 pub use ids::{EdgeTypeId, VertexId, VertexTypeId};
 pub use metapath::MetaPath;
 pub use schema::{bibliographic_schema, EdgeTypeInfo, Schema, SchemaBuilder, VertexTypeInfo};
-pub use sparse::{SparseMatrix, SparseVec};
+pub use sparse::{DenseAccumulator, SparseMatrix, SparseVec};

@@ -53,6 +53,10 @@ impl SparseVec {
     }
 
     /// Build from a hash-map accumulator.
+    ///
+    /// Retained for tests and IO paths only: internal propagation goes
+    /// through [`DenseAccumulator`], which produces identical output without
+    /// hashing or re-sorting overhead on the hot path.
     pub fn from_map(map: FxHashMap<VertexId, f64>) -> Self {
         let mut entries: Vec<(VertexId, f64)> =
             map.into_iter().filter(|(_, x)| *x != 0.0).collect();
@@ -89,8 +93,33 @@ impl SparseVec {
         self.entries.iter().map(|(v, _)| *v)
     }
 
-    /// Dot product with another sparse vector: `O(nnz_a + nnz_b)` merge.
+    /// Dot product with another sparse vector.
+    ///
+    /// Dispatches between a linear merge and a galloping search: when one
+    /// operand's support is much larger than the other's (degree-skewed DBLP
+    /// vectors — a prolific author against a niche one), probing the large
+    /// side in `O(nnz_small · log nnz_large)` beats walking it linearly.
+    /// Both paths accumulate matched products in ascending id order, so the
+    /// result is bit-identical regardless of which path runs.
     pub fn dot(&self, other: &SparseVec) -> f64 {
+        let (small, large) = if self.nnz() <= other.nnz() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        if !small.is_empty() && large.nnz() >= GALLOP_FACTOR * small.nnz() {
+            dot_gallop(&small.entries, &large.entries)
+        } else {
+            self.dot_merge(other)
+        }
+    }
+
+    /// Dot product via the classic two-pointer merge: `O(nnz_a + nnz_b)`.
+    ///
+    /// The reference implementation [`SparseVec::dot`] dispatches to (and is
+    /// property-tested against); exposed so benchmarks and tests can pin the
+    /// kernel variant.
+    pub fn dot_merge(&self, other: &SparseVec) -> f64 {
         let (mut i, mut j) = (0usize, 0usize);
         let (a, b) = (&self.entries, &other.entries);
         let mut acc = 0.0;
@@ -216,10 +245,174 @@ impl FromIterator<(VertexId, f64)> for SparseVec {
     }
 }
 
+/// Nnz ratio above which [`SparseVec::dot`] switches from the linear merge
+/// to galloping search of the larger operand.
+const GALLOP_FACTOR: usize = 8;
+
+/// Galloping dot product: for each entry of `small`, exponentially probe
+/// forward in `large` from the last match position, then binary-search the
+/// bracketed window. Matches are accumulated in ascending id order — the
+/// same order as the merge — so the floating-point sum is identical.
+fn dot_gallop(small: &[(VertexId, f64)], large: &[(VertexId, f64)]) -> f64 {
+    let mut acc = 0.0;
+    let mut base = 0usize;
+    for &(id, x) in small {
+        if base >= large.len() {
+            break;
+        }
+        // Probe offsets base, base+1, base+3, base+7, … until we pass `id`
+        // or run off the end. Invariant: every index below `lo` holds a
+        // column id `< id`.
+        let mut lo = base;
+        let mut hi = base;
+        let mut step = 1usize;
+        while hi < large.len() && large[hi].0 < id {
+            lo = hi + 1;
+            hi = base + step;
+            step = step.saturating_mul(2);
+        }
+        let upper = if hi < large.len() {
+            hi + 1
+        } else {
+            large.len()
+        };
+        match large[lo..upper].binary_search_by_key(&id, |(u, _)| *u) {
+            Ok(k) => {
+                acc += x * large[lo + k].1;
+                base = lo + k + 1;
+            }
+            Err(k) => base = lo + k,
+        }
+    }
+    acc
+}
+
+/// Reusable dense scatter workspace for building [`SparseVec`]s on the hot
+/// propagation path.
+///
+/// Additions scatter into a dense `values` array indexed by raw vertex id; a
+/// `touched` list records which slots are live so [`DenseAccumulator::finish`]
+/// can gather them back in sorted order without scanning the whole id space.
+/// An epoch counter makes reuse O(touched) instead of O(id space): slots
+/// stamped with an older epoch read as absent, so nothing needs re-zeroing
+/// between queries.
+///
+/// Produces output identical to the [`SparseVecBuilder`] hash-map kernel
+/// (same per-id addition order, id-sorted, exact zeros dropped) while
+/// avoiding hashing and allocation once warm.
+#[derive(Debug, Clone)]
+pub struct DenseAccumulator {
+    /// Dense value per raw vertex id; valid only when the epoch matches.
+    values: Vec<f64>,
+    /// Epoch stamp per slot; `epochs[i] == epoch` means `values[i]` is live.
+    epochs: Vec<u32>,
+    /// Current generation. Starts at 1 so zero-initialized slots are stale.
+    epoch: u32,
+    /// Raw ids of live slots, in first-touch order (sorted on `finish`).
+    touched: Vec<u32>,
+}
+
+impl Default for DenseAccumulator {
+    fn default() -> Self {
+        DenseAccumulator {
+            values: Vec::new(),
+            epochs: Vec::new(),
+            epoch: 1,
+            touched: Vec::new(),
+        }
+    }
+}
+
+impl DenseAccumulator {
+    /// Create an empty workspace. Slots grow on demand as ids are touched.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create with slots preallocated for ids `0..n`.
+    pub fn with_capacity(n: usize) -> Self {
+        DenseAccumulator {
+            values: vec![0.0; n],
+            epochs: vec![0; n],
+            epoch: 1,
+            touched: Vec::new(),
+        }
+    }
+
+    /// `self[v] += x`.
+    #[inline]
+    pub fn add(&mut self, v: VertexId, x: f64) {
+        let i = v.0 as usize;
+        if i >= self.values.len() {
+            self.values.resize(i + 1, 0.0);
+            self.epochs.resize(i + 1, 0);
+        }
+        if self.epochs[i] == self.epoch {
+            self.values[i] += x;
+        } else {
+            self.epochs[i] = self.epoch;
+            self.values[i] = x;
+            self.touched.push(v.0);
+        }
+    }
+
+    /// Number of distinct ids touched this generation. An upper bound on the
+    /// nnz of the vector [`DenseAccumulator::finish`] would produce (touched
+    /// slots that cancelled to exactly zero still count).
+    pub fn len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Whether nothing has been accumulated this generation.
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+
+    /// Gather the accumulated entries into a [`SparseVec`] (id-sorted, exact
+    /// zeros dropped) and reset the workspace for reuse.
+    pub fn finish(&mut self) -> SparseVec {
+        self.touched.sort_unstable();
+        let mut entries = Vec::with_capacity(self.touched.len());
+        for &i in &self.touched {
+            let x = self.values[i as usize];
+            if x != 0.0 {
+                entries.push((VertexId(i), x));
+            }
+        }
+        self.clear();
+        SparseVec { entries }
+    }
+
+    /// Discard everything accumulated this generation, making the workspace
+    /// ready for reuse. O(touched), except once every `u32::MAX` generations
+    /// when the epoch wraps and every stamp is rewritten.
+    pub fn clear(&mut self) {
+        self.touched.clear();
+        if self.epoch == u32::MAX {
+            for e in &mut self.epochs {
+                *e = 0;
+            }
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.values.capacity() * std::mem::size_of::<f64>()
+            + self.epochs.capacity() * std::mem::size_of::<u32>()
+            + self.touched.capacity() * std::mem::size_of::<u32>()
+            + std::mem::size_of::<Self>()
+    }
+}
+
 /// Accumulator for building a [`SparseVec`] by scattered additions.
 ///
-/// Uses a hash map internally (FxHashMap: integer keys, hot path) and sorts
-/// once on [`SparseVecBuilder::finish`].
+/// Uses a hash map internally and sorts once on
+/// [`SparseVecBuilder::finish`]. Retained for tests, IO, and as the
+/// benchmark baseline kernel; hot-path propagation uses the reusable
+/// [`DenseAccumulator`] workspace instead.
 #[derive(Debug, Default)]
 pub struct SparseVecBuilder {
     map: FxHashMap<VertexId, f64>,
@@ -347,15 +540,20 @@ impl SparseMatrix {
     /// nothing; callers that need exactness must ensure coverage (the SPM
     /// engine falls back to traversal instead).
     pub fn vec_mul(&self, x: &SparseVec) -> SparseVec {
-        let mut acc = SparseVecBuilder::new();
+        self.vec_mul_with(x, &mut DenseAccumulator::new())
+    }
+
+    /// [`SparseMatrix::vec_mul`] scattering through a caller-provided
+    /// workspace, so repeated products reuse one allocation.
+    pub fn vec_mul_with(&self, x: &SparseVec, ws: &mut DenseAccumulator) -> SparseVec {
         for (v, weight) in x.iter() {
             if let Some(row) = self.row(v) {
                 for &(u, m) in row {
-                    acc.add(u, weight * m);
+                    ws.add(u, weight * m);
                 }
             }
         }
-        acc.finish()
+        ws.finish()
     }
 
     /// Approximate heap footprint in bytes (Figure 5b accounting).
@@ -512,6 +710,90 @@ mod tests {
         let m = SparseMatrix::from_rows(vec![(v(1), sv(&[(10, 2.0)]))]);
         assert!(m.size_bytes() > 0);
         assert!(sv(&[(1, 1.0)]).size_bytes() > 0);
+    }
+
+    #[test]
+    fn dense_accumulator_matches_builder() {
+        let adds = [(5u32, 1.0), (2, 2.0), (5, 1.5), (9, -4.0), (2, -2.0)];
+        let mut dense = DenseAccumulator::new();
+        let mut hashed = SparseVecBuilder::new();
+        for &(i, x) in &adds {
+            dense.add(v(i), x);
+            hashed.add(v(i), x);
+        }
+        assert_eq!(dense.len(), 3);
+        // id 2 cancelled to exactly zero: dropped by both kernels.
+        assert_eq!(dense.finish(), hashed.finish());
+    }
+
+    #[test]
+    fn dense_accumulator_reuse_is_clean() {
+        let mut ws = DenseAccumulator::new();
+        ws.add(v(3), 7.0);
+        ws.add(v(1), 1.0);
+        assert_eq!(ws.finish(), sv(&[(1, 1.0), (3, 7.0)]));
+        // Second generation must not see first-generation residue.
+        assert!(ws.is_empty());
+        ws.add(v(3), 2.0);
+        assert_eq!(ws.finish(), sv(&[(3, 2.0)]));
+        // Cleared mid-accumulation: nothing leaks into the next finish.
+        ws.add(v(5), 9.0);
+        ws.clear();
+        ws.add(v(6), 1.0);
+        assert_eq!(ws.finish(), sv(&[(6, 1.0)]));
+    }
+
+    #[test]
+    fn dense_accumulator_epoch_wrap() {
+        let mut ws = DenseAccumulator::with_capacity(4);
+        ws.add(v(2), 5.0);
+        let _ = ws.finish();
+        // Force the wrap: the next clear() must rewrite stale stamps so old
+        // generations cannot alias the restarted epoch.
+        ws.epoch = u32::MAX;
+        ws.add(v(2), 1.0);
+        ws.add(v(3), 2.0);
+        assert_eq!(ws.finish(), sv(&[(2, 1.0), (3, 2.0)]));
+        assert_eq!(ws.epoch, 1);
+        ws.add(v(3), 4.0);
+        assert_eq!(ws.finish(), sv(&[(3, 4.0)]));
+    }
+
+    #[test]
+    fn vec_mul_with_reuses_workspace() {
+        let m = SparseMatrix::from_rows(vec![
+            (v(1), sv(&[(10, 2.0)])),
+            (v(2), sv(&[(10, 1.0), (11, 3.0)])),
+        ]);
+        let mut ws = DenseAccumulator::new();
+        let x = sv(&[(1, 1.0), (2, 2.0)]);
+        assert_eq!(m.vec_mul_with(&x, &mut ws), m.vec_mul(&x));
+        // Reuse for a different frontier.
+        let y = sv(&[(2, 1.0)]);
+        assert_eq!(m.vec_mul_with(&y, &mut ws), sv(&[(10, 1.0), (11, 3.0)]));
+    }
+
+    #[test]
+    fn dot_gallop_matches_merge_on_skewed_operands() {
+        // `large` has 128 entries, `small` has 3 → gallop path taken.
+        let large = SparseVec::from_entries((0..128).map(|i| (v(i * 3), 0.5 + i as f64)).collect());
+        let small = sv(&[(0, 2.0), (9, 1.0), (300, 4.0)]);
+        assert!(large.nnz() >= GALLOP_FACTOR * small.nnz());
+        let expected = small.dot_merge(&large);
+        assert_eq!(small.dot(&large), expected);
+        assert_eq!(large.dot(&small), expected);
+        // Disjoint supports gallop to zero.
+        let disjoint = sv(&[(1, 1.0), (2, 1.0), (400, 1.0)]);
+        assert_eq!(disjoint.dot(&large), 0.0);
+    }
+
+    #[test]
+    fn dot_gallop_small_past_end_of_large() {
+        let large = SparseVec::from_entries((0..64).map(|i| (v(i), 1.0)).collect());
+        // Entries beyond the large vector's id range must not probe out of
+        // bounds; the one overlapping id still counts.
+        let small = sv(&[(63, 2.0), (100, 5.0), (200, 5.0)]);
+        assert_eq!(small.dot(&large), 2.0);
     }
 
     #[test]

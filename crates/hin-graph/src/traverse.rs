@@ -14,7 +14,7 @@ use crate::error::GraphError;
 use crate::graph::HinGraph;
 use crate::ids::VertexId;
 use crate::metapath::MetaPath;
-use crate::sparse::{SparseVec, SparseVecBuilder};
+use crate::sparse::{DenseAccumulator, SparseVec, SparseVecBuilder};
 
 /// Check that `v` can be the start of an instantiation of `path`.
 fn check_start(graph: &HinGraph, v: VertexId, path: &MetaPath) -> Result<(), GraphError> {
@@ -34,7 +34,37 @@ fn check_start(graph: &HinGraph, v: VertexId, path: &MetaPath) -> Result<(), Gra
 
 /// Propagate a sparse frontier one hop: every entry `(u, w)` scatters `w`
 /// into each `to_type`-typed neighbor of `u` (with multiplicity).
+///
+/// Allocates a fresh workspace; hot loops should hold a
+/// [`DenseAccumulator`] and call [`propagate_step_with`] instead.
 pub fn propagate_step(
+    graph: &HinGraph,
+    frontier: &SparseVec,
+    to_type: crate::ids::VertexTypeId,
+) -> SparseVec {
+    propagate_step_with(graph, frontier, to_type, &mut DenseAccumulator::new())
+}
+
+/// [`propagate_step`] scattering through a caller-provided workspace, so
+/// repeated hops reuse one allocation.
+pub fn propagate_step_with(
+    graph: &HinGraph,
+    frontier: &SparseVec,
+    to_type: crate::ids::VertexTypeId,
+    ws: &mut DenseAccumulator,
+) -> SparseVec {
+    for (u, w) in frontier.iter() {
+        for n in graph.step_neighbors(u, to_type) {
+            ws.add(n, w);
+        }
+    }
+    ws.finish()
+}
+
+/// [`propagate_step`] through the legacy hash-map accumulator. Produces
+/// identical output to the dense-workspace kernel; kept as the baseline for
+/// kernel benchmarks (`exp_parallel`) and equivalence tests.
+pub fn propagate_step_hashmap(
     graph: &HinGraph,
     frontier: &SparseVec,
     to_type: crate::ids::VertexTypeId,
@@ -57,10 +87,21 @@ pub fn neighbor_vector(
     v: VertexId,
     path: &MetaPath,
 ) -> Result<SparseVec, GraphError> {
+    neighbor_vector_with(graph, v, path, &mut DenseAccumulator::new())
+}
+
+/// [`neighbor_vector`] propagating through a caller-provided workspace, so
+/// one allocation serves every hop of every vertex in a batch.
+pub fn neighbor_vector_with(
+    graph: &HinGraph,
+    v: VertexId,
+    path: &MetaPath,
+    ws: &mut DenseAccumulator,
+) -> Result<SparseVec, GraphError> {
     check_start(graph, v, path)?;
     let mut frontier = SparseVec::unit(v);
     for link in path.types().windows(2) {
-        frontier = propagate_step(graph, &frontier, link[1]);
+        frontier = propagate_step_with(graph, &frontier, link[1], ws);
         if frontier.is_empty() {
             break;
         }
@@ -324,6 +365,37 @@ mod tests {
             neighbor_vector(&g, VertexId(9999), &apv),
             Err(GraphError::UnknownVertex(_))
         ));
+    }
+
+    #[test]
+    fn dense_and_hashmap_kernels_agree() {
+        // The workspace kernel must be bit-identical to the legacy hash-map
+        // kernel on every hop, including shared-workspace reuse across
+        // vertices and paths.
+        let g = figure1();
+        let mut ws = DenseAccumulator::new();
+        for path in [
+            "author.paper.author",
+            "author.paper.venue",
+            "author.paper.venue.paper.author",
+        ] {
+            let p = MetaPath::parse(path, g.schema()).unwrap();
+            for v in 0..g.vertex_count() as u32 {
+                let v = VertexId(v);
+                if g.vertex_type(v) != p.source_type() {
+                    continue;
+                }
+                let dense = neighbor_vector_with(&g, v, &p, &mut ws).unwrap();
+                let mut frontier = SparseVec::unit(v);
+                for link in p.types().windows(2) {
+                    frontier = propagate_step_hashmap(&g, &frontier, link[1]);
+                    if frontier.is_empty() {
+                        break;
+                    }
+                }
+                assert_eq!(dense, frontier, "{path} Φ({v:?})");
+            }
+        }
     }
 
     #[test]

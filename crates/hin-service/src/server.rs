@@ -46,6 +46,14 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Admission queue capacity; a full queue answers `busy` (≥ 1).
     pub queue_cap: usize,
+    /// Intra-query worker threads for each executing query (≥ 1; default 1
+    /// = serial queries). Overrides the detector's own thread setting. Total
+    /// CPU parallelism is up to `workers × threads_per_query`, so keep the
+    /// product near the core count: many concurrent queries want
+    /// `workers = cores, threads_per_query = 1`; a few latency-sensitive
+    /// clients want the opposite split. Results are bit-identical either
+    /// way.
+    pub threads_per_query: usize,
     /// Execution mode when a request does not say otherwise.
     pub default_mode: ExecMode,
     /// How often waiting connection handlers poll for client disconnect
@@ -60,6 +68,7 @@ impl Default for ServerConfig {
                 .map(|n| n.get().min(8))
                 .unwrap_or(2),
             queue_cap: 64,
+            threads_per_query: 1,
             default_mode: ExecMode::BestEffort,
             poll_interval: Duration::from_millis(20),
         }
@@ -136,6 +145,7 @@ impl Server {
         let config = ServerConfig {
             workers: config.workers.max(1),
             queue_cap: config.queue_cap.max(1),
+            threads_per_query: config.threads_per_query.max(1),
             ..config
         };
         let (job_tx, job_rx) = channel::bounded::<Job>(config.queue_cap);
@@ -351,7 +361,11 @@ fn run_query(
     let budget = options
         .budget_over(shared.detector.current_budget())
         .with_cancel_token(cancel.clone());
-    let engine = shared.detector.engine().budget(budget);
+    let engine = shared
+        .detector
+        .engine()
+        .budget(budget)
+        .threads(shared.config.threads_per_query);
     match options.mode.unwrap_or(shared.config.default_mode) {
         ExecMode::Strict => engine.execute(&bound),
         ExecMode::BestEffort => engine.execute_best_effort(&bound, BATCH),
@@ -713,6 +727,39 @@ mod tests {
         );
         assert!(responses[1].starts_with(r#"{"result""#), "{}", responses[1]);
         handle.join().expect("server thread");
+    }
+
+    #[test]
+    fn threads_per_query_matches_serial_results() {
+        let q =
+            "QUERY FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author JUDGED BY author.paper.venue;";
+        let extract = |response: &str| {
+            // Strip the per-request timing field; everything else — scores
+            // included — must be identical between thread counts.
+            let mut s = response.to_string();
+            if let Some(start) = s.find(r#""exec_us":"#) {
+                let end = s[start..]
+                    .find(|c: char| c == ',' || c == '}')
+                    .map(|i| start + i)
+                    .unwrap_or(s.len());
+                s.replace_range(start..end, r#""exec_us":0"#);
+            }
+            s
+        };
+        let mut outputs = Vec::new();
+        for threads in [1, 4] {
+            let (addr, handle) = toy_server(ServerConfig {
+                workers: 2,
+                queue_cap: 4,
+                threads_per_query: threads,
+                ..ServerConfig::default()
+            });
+            let responses = send_lines(addr, &[q, "SHUTDOWN"]);
+            assert!(responses[0].starts_with(r#"{"result""#), "{}", responses[0]);
+            outputs.push(extract(&responses[0]));
+            handle.join().expect("server thread");
+        }
+        assert_eq!(outputs[0], outputs[1], "thread count changed the ranking");
     }
 
     #[test]

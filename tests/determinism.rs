@@ -1,0 +1,215 @@
+//! Tier-1 determinism tests for the intra-query parallel engine: for every
+//! thread count, a query must produce exactly the answer the serial engine
+//! produces — same ranked order (ties included), bit-identical scores, same
+//! zero-visibility sets, and the same degraded/partial outcome under tight
+//! budgets. Candidates are sharded contiguously and shard results are
+//! concatenated in shard order, so nothing here is allowed to be "close":
+//! everything is compared exactly.
+
+use hin_datagen::dblp::{generate, SyntheticConfig, SyntheticNetwork};
+use hin_datagen::toy;
+use hin_datagen::workload::{generate_queries, QueryTemplate};
+use netout::{
+    Budget, BudgetLimit, CancelToken, EngineError, MeasureKind, OutlierDetector, QueryResult,
+};
+
+const THREAD_COUNTS: [usize; 3] = [2, 4, 7];
+
+fn fixture(scale: f64) -> SyntheticNetwork {
+    generate(&SyntheticConfig::default().scaled(scale))
+}
+
+/// Everything about a result that must be invariant under thread count.
+/// Timing stats are the one legitimate difference, so they are excluded.
+fn fingerprint(r: &QueryResult) -> impl PartialEq + std::fmt::Debug {
+    (
+        r.measure,
+        r.candidate_count,
+        r.reference_count,
+        r.zero_visibility.clone(),
+        r.ranked
+            .iter()
+            .map(|o| (o.vertex, o.name.clone(), o.score.to_bits()))
+            .collect::<Vec<_>>(),
+        r.degraded.as_ref().map(|d| (d.scored, d.total, d.limit)),
+    )
+}
+
+/// A mixed workload across all three templates, small enough to keep the
+/// suite fast but broad enough to hit anchors with very different fan-out.
+fn workload(net: &SyntheticNetwork, per_template: usize) -> Vec<String> {
+    QueryTemplate::ALL
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &t)| generate_queries(&net.graph, t, per_template, 42 + i as u64))
+        .collect()
+}
+
+#[test]
+fn workload_is_bit_identical_across_thread_counts() {
+    let net = fixture(0.25);
+    let queries = workload(&net, 4);
+    let serial = OutlierDetector::new(net.graph.clone());
+    for query in &queries {
+        let baseline = fingerprint(&serial.query(query).expect("serial run succeeds"));
+        for threads in THREAD_COUNTS {
+            let detector = OutlierDetector::new(net.graph.clone()).with_threads(threads);
+            let result = fingerprint(&detector.query(query).expect("parallel run succeeds"));
+            assert!(
+                baseline == result,
+                "{threads}-thread result diverged from serial on {query}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_measure_is_deterministic_under_parallelism() {
+    let net = fixture(0.25);
+    let queries = workload(&net, 1);
+    let measures = [
+        MeasureKind::NetOut,
+        MeasureKind::PathSim,
+        MeasureKind::CosSim,
+        MeasureKind::Lof { k: 5 },
+        MeasureKind::KnnDist { k: 3 },
+    ];
+    for measure in measures {
+        let serial = OutlierDetector::new(net.graph.clone()).measure(measure);
+        for query in &queries {
+            let baseline = fingerprint(&serial.query(query).expect("serial run succeeds"));
+            for threads in [2, 4] {
+                let detector = OutlierDetector::new(net.graph.clone())
+                    .measure(measure)
+                    .with_threads(threads);
+                let result = fingerprint(&detector.query(query).expect("parallel run succeeds"));
+                assert!(
+                    baseline == result,
+                    "{measure:?} diverged at {threads} threads on {query}"
+                );
+            }
+        }
+    }
+}
+
+/// The Table 1 network ends in ~100 cloned reference authors with exactly
+/// equal scores: if the parallel merge used an unstable order anywhere, the
+/// tie run would be the first place it shows.
+#[test]
+fn tie_breaks_survive_parallel_merge() {
+    let g = toy::table1_network();
+    let query = toy::table1_query();
+    let serial = OutlierDetector::new(g.clone());
+    let baseline = serial.query(&query).expect("serial run succeeds");
+    // The fixture really does produce ties — otherwise this test is vacuous.
+    let has_tie = baseline
+        .ranked
+        .windows(2)
+        .any(|w| w[0].score.to_bits() == w[1].score.to_bits());
+    assert!(has_tie, "expected tied scores in the Table 1 ranking");
+    let baseline = fingerprint(&baseline);
+    for threads in THREAD_COUNTS {
+        let detector = OutlierDetector::new(g.clone()).with_threads(threads);
+        let result = fingerprint(&detector.query(&query).expect("parallel run succeeds"));
+        assert!(
+            baseline == result,
+            "tie-break order changed at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn similarity_search_is_deterministic_under_parallelism() {
+    let g = toy::table1_network();
+    let serial = OutlierDetector::new(g.clone());
+    let baseline = serial
+        .similar("author", "Sarah", "author.paper.venue", 25)
+        .expect("serial search succeeds");
+    for threads in THREAD_COUNTS {
+        let detector = OutlierDetector::new(g.clone()).with_threads(threads);
+        let hits = detector
+            .similar("author", "Sarah", "author.paper.venue", 25)
+            .expect("parallel search succeeds");
+        assert_eq!(baseline.len(), hits.len());
+        for (a, b) in baseline.iter().zip(&hits) {
+            assert_eq!(a.0, b.0, "{threads} threads reordered the hits");
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+}
+
+/// Deterministic budgets (cardinality and frontier-nnz caps — everything
+/// except wall clock) must produce the *same outcome* at every thread
+/// count: the same answer, the same degraded marker, or the same error
+/// limit. Shards are contiguous and the merge reports the first failing
+/// shard in order, so the serial trip point is also the parallel one.
+#[test]
+fn tight_budgets_degrade_identically_across_thread_counts() {
+    let net = fixture(0.25);
+    let queries = workload(&net, 2);
+    let budgets = [
+        Budget::unbounded().with_max_nnz(1),
+        Budget::unbounded().with_max_nnz(512),
+        Budget::unbounded().with_max_nnz(1_000_000_000),
+        Budget::unbounded().with_max_candidates(3),
+        Budget::unbounded().with_max_candidates(1_000_000),
+    ];
+    for budget in &budgets {
+        for query in &queries {
+            let serial = OutlierDetector::new(net.graph.clone()).budget(budget.clone());
+            for strict in [true, false] {
+                let run = |d: &OutlierDetector| {
+                    if strict {
+                        d.query(query)
+                    } else {
+                        d.query_best_effort(query)
+                    }
+                };
+                let baseline = run(&serial);
+                for threads in [2, 4] {
+                    let detector = OutlierDetector::new(net.graph.clone())
+                        .budget(budget.clone())
+                        .with_threads(threads);
+                    match (&baseline, &run(&detector)) {
+                        (Ok(a), Ok(b)) => {
+                            assert!(
+                                fingerprint(a) == fingerprint(b),
+                                "{threads}-thread budgeted result diverged on {query}"
+                            );
+                        }
+                        (
+                            Err(EngineError::BudgetExceeded { limit: a, .. }),
+                            Err(EngineError::BudgetExceeded { limit: b, .. }),
+                        ) => {
+                            assert_eq!(a, b, "different budget limit tripped on {query}");
+                        }
+                        (a, b) => panic!(
+                            "outcome changed with {threads} threads on {query}: \
+                             serial {a:?} vs parallel {b:?}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A pre-cancelled token aborts identically regardless of thread count.
+#[test]
+fn cancellation_is_deterministic_across_thread_counts() {
+    let net = fixture(0.1);
+    let query = &workload(&net, 1)[0];
+    for threads in [1, 4] {
+        let token = CancelToken::new();
+        token.cancel();
+        let detector = OutlierDetector::new(net.graph.clone())
+            .budget(Budget::unbounded().with_cancel_token(token))
+            .with_threads(threads);
+        match detector.query(query) {
+            Err(EngineError::BudgetExceeded { limit, .. }) => {
+                assert_eq!(limit, BudgetLimit::Cancelled);
+            }
+            other => panic!("expected cancellation at {threads} threads, got {other:?}"),
+        }
+    }
+}
