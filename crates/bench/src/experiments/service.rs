@@ -82,6 +82,7 @@ pub fn measure_one(
             clients,
             requests_per_client,
             lines: lines.to_vec(),
+            retry: None,
         },
     );
     let mut closer = Client::connect(addr).expect("connect for shutdown");

@@ -450,6 +450,24 @@ impl ExecCtx {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Unwind-safety audit. Serving layers (hin-service workers) and the parallel
+// engine catch panics around code that holds these types. The assertions
+// document — at compile time — that the budget machinery is structurally
+// unwind-safe: `CancelToken` and `ShardShared` are bare atomics (every write
+// is a single store, no half-updated invariant is observable), and `Budget`
+// is plain data plus a token. `ExecCtx` is deliberately NOT asserted: it is
+// per-request state that panic handlers must discard, never reuse.
+const _: () = {
+    const fn assert_unwind_safe<T: std::panic::UnwindSafe + std::panic::RefUnwindSafe>() {}
+    const fn assert_all() {
+        assert_unwind_safe::<CancelToken>();
+        assert_unwind_safe::<Budget>();
+        assert_unwind_safe::<ShardShared>();
+    }
+    let _ = assert_all;
+};
+
 /// Attached to a [`QueryResult`](crate::engine::executor::QueryResult) when
 /// the progressive executor exhausted its budget after scoring a prefix of
 /// the candidate set: the ranking is best-effort over `scored` of `total`

@@ -32,10 +32,24 @@
 //!   not real violations, so error selection is deterministic and
 //!   independent of thread scheduling.
 //!
+//! ## Panic isolation
+//!
+//! A panic inside shard work is caught at the shard boundary
+//! (`catch_unwind`) and converted into a structured
+//! [`EngineError::Panicked`] instead of unwinding across the scope join and
+//! tearing down the calling thread. The shard raises the shared stop flag
+//! first, so sibling shards abandon work promptly. **Unwind-safety audit**
+//! (why `AssertUnwindSafe` is sound here): the closure touches only (a) the
+//! shard's own `ExecCtx`, which is discarded wholesale on panic except for
+//! its plain-counter stats, (b) immutable shared state (graph, index,
+//! prepared measures), and (c) the `ShardShared` atomics, whose every write
+//! is a single atomic store — no invariant can be observed half-updated.
+//!
 //! [`CancelToken`]: crate::engine::budget::CancelToken
 
 use crate::engine::budget::{ExecCtx, ShardShared};
 use crate::error::EngineError;
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 
 /// Run `work` over `items`, split into at most `ctx.threads()` contiguous
@@ -71,7 +85,12 @@ where
             .map(|chunk| {
                 let mut shard_ctx = ctx.fork(Arc::clone(&shared));
                 scope.spawn(move || {
-                    let result = work(chunk, &mut shard_ctx);
+                    // Panic isolation: a panicking shard becomes a
+                    // structured error, never an unwind across the scope
+                    // join (see the module-level unwind-safety audit).
+                    let result =
+                        std::panic::catch_unwind(AssertUnwindSafe(|| work(chunk, &mut shard_ctx)))
+                            .unwrap_or_else(|payload| Err(EngineError::from_panic(payload)));
                     // A shard that failed on its own behalf tells the others
                     // to stop; a shard that was *told* to stop must not
                     // re-signal (it would mask nothing, but keep the intent
@@ -87,8 +106,9 @@ where
             .into_iter()
             .map(|h| match h.join() {
                 Ok(outcome) => outcome,
-                // A worker panic is a bug, not a budget event: re-raise it
-                // on the coordinating thread.
+                // Unreachable: the closure body is fully wrapped in
+                // catch_unwind above. Kept as a defensive re-raise so a
+                // future edit cannot silently swallow a panic.
                 Err(payload) => std::panic::resume_unwind(payload),
             })
             .collect()
@@ -223,6 +243,49 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(err, EngineError::EmptyCandidateSet);
+    }
+
+    #[test]
+    fn shard_panic_becomes_structured_error_and_stops_siblings() {
+        // Shard 0 panics on its first item; the panic must surface as
+        // EngineError::Panicked (not unwind), and the spinning siblings must
+        // be stopped by the peer flag — if isolation or peer-stop failed,
+        // this test would abort the process or hang.
+        let items: Vec<u32> = (0..64).collect();
+        for threads in [2, 4] {
+            let mut ctx = ctx_with_threads(threads);
+            let err = run_sharded(&items, &mut ctx, |chunk, sctx| {
+                if chunk[0] == 0 {
+                    panic!("injected shard panic");
+                }
+                loop {
+                    sctx.checkpoint()?;
+                    std::thread::yield_now();
+                }
+            })
+            .unwrap_err();
+            match err {
+                EngineError::Panicked { message } => {
+                    assert!(message.contains("injected shard panic"), "{message}");
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn serial_path_panics_propagate_unchanged() {
+        // With one thread the work runs inline: no catch_unwind wrapper, so
+        // the caller's own isolation boundary (e.g. a serving worker) sees
+        // the raw panic. Pin that contract.
+        let items = [0u32];
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut ctx = ctx_with_threads(1);
+            let _ = run_sharded(&items, &mut ctx, |_, _| -> Result<Vec<u32>, EngineError> {
+                panic!("serial panic")
+            });
+        }));
+        assert!(caught.is_err());
     }
 
     #[test]

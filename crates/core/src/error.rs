@@ -39,6 +39,35 @@ pub enum EngineError {
         /// The execution phase the check ran in.
         phase: BudgetPhase,
     },
+    /// Execution code panicked and the panic was caught at an isolation
+    /// boundary (a parallel shard, or a serving-layer worker). The engine
+    /// state for the request is discarded; shared state (graph, index,
+    /// caches) is immutable or lock-protected and unaffected.
+    Panicked {
+        /// The panic payload, rendered as text when possible.
+        message: String,
+    },
+}
+
+/// Render a caught panic payload (`&str` or `String` payloads; anything
+/// else becomes a generic marker). Shared by every `catch_unwind` isolation
+/// boundary so panic text is reported uniformly.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "execution panicked (non-string payload)".to_string())
+}
+
+impl EngineError {
+    /// Build a [`EngineError::Panicked`] from a payload caught by
+    /// `std::panic::catch_unwind`.
+    pub fn from_panic(payload: Box<dyn std::any::Any + Send>) -> EngineError {
+        EngineError::Panicked {
+            message: panic_message(payload.as_ref()),
+        }
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -60,6 +89,9 @@ impl fmt::Display for EngineError {
                 f,
                 "budget exceeded during {phase}: {limit} limit hit (observed {observed})"
             ),
+            EngineError::Panicked { message } => {
+                write!(f, "execution panicked (isolated): {message}")
+            }
         }
     }
 }
@@ -109,6 +141,21 @@ mod tests {
         assert!(s.contains("wall-clock"));
         assert!(s.contains("materialization"));
         assert!(s.contains("17"));
+    }
+
+    #[test]
+    fn panic_payloads_render_as_text() {
+        assert_eq!(panic_message(&"boom"), "boom");
+        assert_eq!(panic_message(&"boom".to_string()), "boom");
+        assert!(panic_message(&42u32).contains("non-string"));
+        let e = EngineError::from_panic(Box::new("shard died"));
+        assert_eq!(
+            e,
+            EngineError::Panicked {
+                message: "shard died".into()
+            }
+        );
+        assert!(e.to_string().contains("isolated"));
     }
 
     #[test]

@@ -52,5 +52,5 @@ pub use engine::executor::{CombineStrategy, OutlierResult, QueryEngine, QueryRes
 pub use engine::explain::Explain;
 pub use engine::progressive::{ProgressSnapshot, ProgressiveRun};
 pub use engine::stats::ExecBreakdown;
-pub use error::EngineError;
+pub use error::{panic_message, EngineError};
 pub use measures::MeasureKind;

@@ -4,7 +4,7 @@ use crate::args::Args;
 use hin_datagen::dblp::{generate, SyntheticConfig};
 use hin_graph::{io, stats, HinGraph};
 use hin_service::protocol::{Response, ResultBody};
-use hin_service::{ExecMode, LoadSpec, Server, ServerConfig};
+use hin_service::{ExecMode, FaultPlan, LoadSpec, RetryPolicy, Server, ServerConfig};
 use netout::{Budget, IndexPolicy, MeasureKind, OutlierDetector, QueryResult};
 use std::io::{BufRead, Write};
 
@@ -35,8 +35,10 @@ USAGE:
                [--index none|pm] [--measure …] [--mode strict|best-effort]
                [--cache-cap N] [--port-file FILE] [--threads-per-query N]
                [--timeout-ms N] [--max-candidates N] [--max-nnz N]
+               [--fault-plan SPEC] [--dedup-cap N] [--hang-timeout-ms N]
   hinout bench-client --addr HOST:PORT [--clients N] [--requests N]
                [--query '…' | --query-file FILE] [--format text|json]
+               [--retry-attempts N] [--retry-deadline-ms N] [--retry-seed S]
 
 A --query-file may hold several semicolon-separated queries; each runs in
 order — a failing query is reported and skipped, and the process exits
@@ -49,6 +51,17 @@ tighten it per request with key=value options after the verb. bench-client
 runs a closed loop of N concurrent connections against a server and prints
 throughput plus p50/p95/p99 latency. --format json emits the same response
 lines the server speaks, one per query.
+
+Fault tolerance (DESIGN.md §11): serve isolates request panics (structured
+PANIC responses), supervises its worker pool (dead workers are respawned;
+--hang-timeout-ms N also replaces workers stuck on one request longer than
+N ms), and deduplicates requests carrying an id= option (--dedup-cap N
+responses cached, 0 disables). --fault-plan installs deterministic chaos for
+drills, e.g. 'seed=7;panic@3;drop~50' = panic request index 3, drop every
+~50th connection (also settable at runtime via the FAULTS verb). Any
+bench-client --retry-* flag switches the load generator to the self-healing
+client: reconnect-on-drop, seeded full-jitter backoff under an overall
+deadline, idempotency ids deduplicated server-side.
 
 Budget flags bound each query's execution: --timeout-ms is a wall-clock
 deadline, --max-candidates caps the candidate/reference set sizes, and
@@ -558,6 +571,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             "mode",
             "cache-cap",
             "port-file",
+            "fault-plan",
+            "dedup-cap",
+            "hang-timeout-ms",
         ],
     )?;
     let mut detector = build_detector(load(args)?, args)?;
@@ -583,9 +599,27 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             other => return Err(format!("unknown mode {other:?} (strict|best-effort)")),
         };
     }
+    // Fault-tolerance knobs (DESIGN.md §11).
+    if let Some(spec) = args.get("fault-plan") {
+        config.fault_plan = Some(FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?);
+    }
+    if let Some(cap) = args.get_opt_num::<usize>("dedup-cap")? {
+        config.dedup_cap = cap;
+    }
+    if let Some(ms) = args.get_opt_num::<u64>("hang-timeout-ms")? {
+        config.hang_timeout = Some(std::time::Duration::from_millis(ms));
+    }
     let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
-    let server =
-        Server::bind(detector, addr, config.clone()).map_err(|e| format!("binding {addr}: {e}"))?;
+    // Ride out a lingering previous instance (TIME_WAIT, slow shutdown):
+    // retry EADDRINUSE with bounded backoff instead of failing outright.
+    let server = Server::bind_retry(
+        detector,
+        addr,
+        config.clone(),
+        8,
+        std::time::Duration::from_millis(50),
+    )
+    .map_err(|e| format!("binding {addr}: {e}"))?;
     let bound = server.local_addr();
     println!(
         "hin-service listening on {bound} ({} workers x {} threads/query, queue capacity {}, \
@@ -599,8 +633,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         }
     );
     // For scripts and tests binding port 0: the resolved address, on disk.
+    // Written atomically (temp file + rename) so a polling reader never
+    // observes a half-written address.
     if let Some(path) = args.get("port-file") {
-        std::fs::write(path, bound.to_string()).map_err(|e| format!("writing {path}: {e}"))?;
+        let tmp = format!("{path}.tmp.{}", std::process::id());
+        std::fs::write(&tmp, bound.to_string()).map_err(|e| format!("writing {tmp}: {e}"))?;
+        std::fs::rename(&tmp, path).map_err(|e| format!("renaming {tmp} to {path}: {e}"))?;
     }
     let final_stats = server.run();
     println!(
@@ -622,10 +660,32 @@ fn cmd_bench_client(args: &Args) -> Result<(), String> {
         "query",
         "query-file",
         "format",
+        "retry-attempts",
+        "retry-deadline-ms",
+        "retry-seed",
     ])?;
     let addr = args.require("addr")?;
     let clients: usize = args.get_num("clients", 8)?;
     let requests: usize = args.get_num("requests", 100)?;
+    // Any --retry-* flag switches the load generator to the self-healing
+    // client (reconnect + seeded-backoff retries + idempotency ids).
+    let retry = if ["retry-attempts", "retry-deadline-ms", "retry-seed"]
+        .iter()
+        .any(|k| args.get(k).is_some())
+    {
+        let defaults = RetryPolicy::default();
+        Some(RetryPolicy {
+            max_attempts: args.get_num("retry-attempts", defaults.max_attempts)?,
+            overall_deadline: std::time::Duration::from_millis(args.get_num(
+                "retry-deadline-ms",
+                defaults.overall_deadline.as_millis() as u64,
+            )?),
+            seed: args.get_num("retry-seed", defaults.seed)?,
+            ..defaults
+        })
+    } else {
+        None
+    };
     let format = parse_format(args)?;
     let lines: Vec<String> = match (args.get("query"), args.get("query-file")) {
         // Without a query the loop measures pure protocol/dispatch overhead.
@@ -647,6 +707,7 @@ fn cmd_bench_client(args: &Args) -> Result<(), String> {
         clients,
         requests_per_client: requests,
         lines,
+        retry,
     };
     let report = hin_service::client::run_closed_loop(addr, &spec);
     match format {

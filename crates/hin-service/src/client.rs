@@ -1,11 +1,21 @@
-//! Blocking client for the wire protocol, plus a closed-loop load
-//! generator used by `hin bench-client` and the `exp_service` benchmark.
+//! Blocking client for the wire protocol, plus a self-healing
+//! [`RetryClient`] and a closed-loop load generator used by
+//! `hin bench-client` and the `exp_service` benchmark.
+//!
+//! The retry layer (DESIGN.md §11) recovers from dropped connections and
+//! transient failures without double-executing work: every request gets an
+//! idempotency id, attempts are spaced by exponential backoff with **full
+//! jitter** (deterministic, seeded — no wall-clock entropy), each attempt
+//! gets a deadline carved out of the caller's overall budget, and a retry
+//! of a request the server already executed is answered byte-identically
+//! from the server's dedup cache.
 
+use crate::fault::XorShift64;
 use crate::json;
 use crate::protocol::Request;
 use serde::Serialize;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 /// A blocking, single-connection protocol client.
@@ -18,9 +28,32 @@ impl Client {
     /// Connect to a running server.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        Client::from_stream(stream)
+    }
+
+    /// Connect with a bound on how long connection establishment may take.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> std::io::Result<Client> {
+        let stream = TcpStream::connect_timeout(addr, timeout.max(Duration::from_millis(1)))?;
+        Client::from_stream(stream)
+    }
+
+    fn from_stream(stream: TcpStream) -> std::io::Result<Client> {
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client { stream, reader })
+    }
+
+    /// Bound how long a single read/write may block (`None` = forever).
+    /// A timed-out read leaves the connection in an unknown framing state —
+    /// callers should drop and reconnect, as [`RetryClient`] does.
+    pub fn set_io_timeouts(
+        &mut self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> std::io::Result<()> {
+        let floor = |d: Duration| d.max(Duration::from_millis(1));
+        self.stream.set_read_timeout(read.map(floor))?;
+        self.stream.set_write_timeout(write.map(floor))
     }
 
     /// Send one raw request line and read one response line (the JSON,
@@ -59,6 +92,224 @@ impl Client {
     }
 }
 
+/// Retry behavior for [`RetryClient`]: bounded attempts under one overall
+/// deadline, spaced by exponential backoff with full jitter.
+///
+/// All randomness comes from a seeded [`XorShift64`], so a retry schedule
+/// is reproducible from `(policy, seed)` alone. **Give each concurrent
+/// client a distinct `seed`** — the seed also drives idempotency-id
+/// assignment, and two clients on the same seed would collide in the
+/// server's dedup cache and receive each other's responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff envelope before attempt `n+1` is `base_backoff · 2ⁿ`…
+    pub base_backoff: Duration,
+    /// …capped at this.
+    pub backoff_cap: Duration,
+    /// Overall budget for one `send_idempotent` call: connects, request
+    /// attempts, and backoff sleeps all draw from it.
+    pub overall_deadline: Duration,
+    /// Seed for jitter and idempotency ids.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            overall_deadline: Duration::from_secs(10),
+            seed: 1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The deterministic backoff envelope for 0-based `attempt`:
+    /// `min(backoff_cap, base_backoff · 2^attempt)`. Monotone
+    /// non-decreasing in `attempt`.
+    pub fn envelope(&self, attempt: u32) -> Duration {
+        let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        let nanos = self
+            .base_backoff
+            .as_nanos()
+            .saturating_mul(u128::from(factor));
+        let envelope = if nanos > u128::from(u64::MAX) {
+            Duration::from_nanos(u64::MAX)
+        } else {
+            Duration::from_nanos(nanos as u64)
+        };
+        envelope.min(self.backoff_cap)
+    }
+
+    /// Full jitter: a uniform draw from `[0, envelope(attempt)]`. Full (as
+    /// opposed to partial) jitter decorrelates clients that fail at the
+    /// same moment, so they do not retry in lockstep against a recovering
+    /// server.
+    pub fn jitter(&self, attempt: u32, rng: &mut XorShift64) -> Duration {
+        let envelope_us = self.envelope(attempt).as_micros() as u64;
+        Duration::from_micros(rng.next_below(envelope_us.saturating_add(1)))
+    }
+
+    /// Carve a per-attempt deadline out of the remaining overall budget:
+    /// an even split across the attempts still available, floored at 1 ms
+    /// (zero socket timeouts are rejected by the OS).
+    pub fn attempt_timeout(remaining: Duration, attempts_left: u32) -> Duration {
+        (remaining / attempts_left.max(1)).max(Duration::from_millis(1))
+    }
+}
+
+/// A self-healing client: wraps [`Client`] with reconnect-on-drop,
+/// deadline-bounded retries, and idempotency ids (see [`RetryPolicy`]).
+pub struct RetryClient {
+    addrs: Vec<SocketAddr>,
+    policy: RetryPolicy,
+    rng: XorShift64,
+    conn: Option<Client>,
+}
+
+impl RetryClient {
+    /// Resolve `addr` and prepare a client. Connection is lazy: the first
+    /// `send_idempotent` connects (and reconnects whenever the transport
+    /// fails mid-request).
+    pub fn new(addr: impl ToSocketAddrs, policy: RetryPolicy) -> std::io::Result<RetryClient> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            ));
+        }
+        let rng = XorShift64::new(policy.seed);
+        Ok(RetryClient {
+            addrs,
+            policy,
+            rng,
+            conn: None,
+        })
+    }
+
+    /// Send one request line, retrying transport failures and `busy`
+    /// rejections until a definitive response arrives, the attempt budget
+    /// is spent, or the overall deadline passes.
+    ///
+    /// Worker-pool requests (`QUERY`/`EXPLAIN`/`SLEEP`) that do not already
+    /// carry an `id=` option get a fresh idempotency id, so a retry of a
+    /// request the server already executed is replayed from the server's
+    /// dedup cache **byte-identically** instead of running twice. Inline
+    /// verbs are naturally idempotent and sent as-is.
+    ///
+    /// On deadline/attempt exhaustion: the last `busy` response is returned
+    /// if one was seen (the server was alive, just saturated), otherwise
+    /// the last transport error.
+    pub fn send_idempotent(&mut self, line: &str) -> std::io::Result<String> {
+        let request_id = self.rng.next_u64();
+        let line = inject_id(line, request_id);
+        let deadline = Instant::now() + self.policy.overall_deadline;
+        let max_attempts = self.policy.max_attempts.max(1);
+        let mut last_err: Option<std::io::Error> = None;
+        let mut last_busy: Option<String> = None;
+        for attempt in 0..max_attempts {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                break;
+            };
+            let per_attempt = RetryPolicy::attempt_timeout(remaining, max_attempts - attempt);
+            match self.try_once(&line, per_attempt) {
+                Ok(response) => {
+                    if response_kind(&response) == Some("busy") {
+                        last_busy = Some(response);
+                    } else {
+                        return Ok(response);
+                    }
+                }
+                Err(e) => {
+                    // The transport is suspect (dropped, timed out, framing
+                    // unknown): heal by reconnecting on the next attempt.
+                    self.conn = None;
+                    last_err = Some(e);
+                }
+            }
+            if attempt + 1 < max_attempts {
+                let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                    break;
+                };
+                let backoff = self.policy.jitter(attempt, &mut self.rng).min(remaining);
+                std::thread::sleep(backoff);
+            }
+        }
+        if let Some(busy) = last_busy {
+            return Ok(busy);
+        }
+        Err(last_err
+            .unwrap_or_else(|| std::io::Error::new(ErrorKind::TimedOut, "retry budget exhausted")))
+    }
+
+    /// One attempt under its own deadline slice: connect if needed, send,
+    /// read one response line.
+    fn try_once(&mut self, line: &str, per_attempt: Duration) -> std::io::Result<String> {
+        let attempt_deadline = Instant::now() + per_attempt;
+        if self.conn.is_none() {
+            let mut connect_err: Option<std::io::Error> = None;
+            for addr in &self.addrs {
+                let budget = attempt_deadline
+                    .checked_duration_since(Instant::now())
+                    .unwrap_or(Duration::from_millis(1));
+                match Client::connect_timeout(addr, budget) {
+                    Ok(client) => {
+                        self.conn = Some(client);
+                        connect_err = None;
+                        break;
+                    }
+                    Err(e) => connect_err = Some(e),
+                }
+            }
+            if let Some(e) = connect_err {
+                return Err(e);
+            }
+        }
+        let Some(conn) = self.conn.as_mut() else {
+            return Err(std::io::Error::new(
+                ErrorKind::NotConnected,
+                "no connection",
+            ));
+        };
+        let io_budget = attempt_deadline
+            .checked_duration_since(Instant::now())
+            .unwrap_or(Duration::from_millis(1));
+        conn.set_io_timeouts(Some(io_budget), Some(io_budget))?;
+        conn.send_line(line)
+    }
+}
+
+/// Inject `id=<id>` into a worker-pool request line that does not already
+/// carry one. Inline verbs and unparseable lines pass through untouched
+/// (the server will answer the latter with a protocol error — retrying
+/// that is harmless).
+fn inject_id(line: &str, id: u64) -> String {
+    match Request::parse(line) {
+        Ok(mut request) => {
+            match &mut request {
+                Request::Query { options, .. } | Request::Explain { options, .. } => {
+                    if options.id.is_none() {
+                        options.id = Some(id);
+                    }
+                }
+                Request::Sleep { id: slot, .. } => {
+                    if slot.is_none() {
+                        *slot = Some(id);
+                    }
+                }
+                _ => return line.to_string(),
+            }
+            request.to_line()
+        }
+        Err(_) => line.to_string(),
+    }
+}
+
 /// The kind tag of a response line (`"result"`, `"busy"`, `"err"`, …):
 /// the first JSON object key. `None` when the line is not shaped like a
 /// response.
@@ -90,6 +341,11 @@ pub struct LoadSpec {
     pub requests_per_client: usize,
     /// Request lines, assigned round-robin across the whole run.
     pub lines: Vec<String>,
+    /// When set, each client sends through a [`RetryClient`] (seeded
+    /// `policy.seed + client_index` so idempotency ids never collide)
+    /// instead of a bare [`Client`]; transport failures are retried rather
+    /// than ending the client's run.
+    pub retry: Option<RetryPolicy>,
 }
 
 /// Aggregated result of a load-generation run.
@@ -133,6 +389,12 @@ fn percentile_us(sorted: &[Duration], q: f64) -> u64 {
     sorted[rank - 1].as_micros() as u64
 }
 
+/// One load-generator connection: bare, or wrapped in the retry layer.
+enum LoadConn {
+    Plain(Client),
+    Retry(RetryClient),
+}
+
 /// Run a closed loop: `clients` connections each send
 /// `requests_per_client` lines back-to-back (next request only after the
 /// previous response), then the per-request latencies are aggregated.
@@ -148,20 +410,41 @@ pub fn run_closed_loop(addr: impl ToSocketAddrs, spec: &LoadSpec) -> LoadReport 
                 let addrs = addrs.clone();
                 let lines = &spec.lines;
                 let n = spec.requests_per_client;
+                let retry = spec.retry.clone();
                 scope.spawn(move || {
                     let mut latencies = Vec::with_capacity(n);
                     let (mut ok, mut busy, mut errors, mut degraded, mut io_errors) =
                         (0u64, 0u64, 0u64, 0u64, 0u64);
-                    let mut client = match Client::connect(addrs.as_slice()) {
-                        Ok(cl) => cl,
-                        Err(_) => {
-                            return (latencies, ok, busy, errors, degraded, n as u64);
+                    let mut conn = match retry {
+                        Some(policy) => {
+                            // Distinct per-client seed: ids must not collide
+                            // across clients (see `RetryPolicy::seed`).
+                            let policy = RetryPolicy {
+                                seed: policy.seed.wrapping_add(c as u64),
+                                ..policy
+                            };
+                            match RetryClient::new(addrs.as_slice(), policy) {
+                                Ok(rc) => LoadConn::Retry(rc),
+                                Err(_) => {
+                                    return (latencies, ok, busy, errors, degraded, n as u64);
+                                }
+                            }
                         }
+                        None => match Client::connect(addrs.as_slice()) {
+                            Ok(cl) => LoadConn::Plain(cl),
+                            Err(_) => {
+                                return (latencies, ok, busy, errors, degraded, n as u64);
+                            }
+                        },
                     };
                     for i in 0..n {
                         let line = &lines[(c * n + i) % lines.len()];
                         let t = Instant::now();
-                        match client.send_line(line) {
+                        let sent = match &mut conn {
+                            LoadConn::Plain(client) => client.send_line(line),
+                            LoadConn::Retry(client) => client.send_idempotent(line),
+                        };
+                        match sent {
                             Ok(response) => {
                                 latencies.push(t.elapsed());
                                 match response_kind(&response) {
@@ -178,7 +461,12 @@ pub fn run_closed_loop(addr: impl ToSocketAddrs, spec: &LoadSpec) -> LoadReport 
                             }
                             Err(_) => {
                                 io_errors += 1;
-                                break;
+                                // A retrying client heals its own transport:
+                                // keep going. A bare client's framing is
+                                // unknown after an error: stop.
+                                if matches!(conn, LoadConn::Plain(_)) {
+                                    break;
+                                }
                             }
                         }
                     }
@@ -295,6 +583,7 @@ mod tests {
             clients: 1,
             requests_per_client: 0,
             lines: vec!["PING".into()],
+            retry: None,
         };
         // Closed loop against a dead address: all IO errors, no panic.
         let report = run_closed_loop("127.0.0.1:1", &spec);
@@ -302,5 +591,83 @@ mod tests {
         let json = report_to_json(&report);
         assert!(json.contains("\"clients\":1"), "{json}");
         assert!(!render_report(&report).is_empty());
+    }
+
+    #[test]
+    fn envelope_doubles_then_caps() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(70),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(policy.envelope(0), Duration::from_millis(10));
+        assert_eq!(policy.envelope(1), Duration::from_millis(20));
+        assert_eq!(policy.envelope(2), Duration::from_millis(40));
+        assert_eq!(policy.envelope(3), Duration::from_millis(70));
+        assert_eq!(policy.envelope(40), Duration::from_millis(70));
+        // Shift overflow saturates instead of wrapping back down.
+        assert_eq!(policy.envelope(200), Duration::from_millis(70));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_within_envelope() {
+        let policy = RetryPolicy::default();
+        let mut a = XorShift64::new(9);
+        let mut b = XorShift64::new(9);
+        for attempt in 0..6 {
+            let ja = policy.jitter(attempt, &mut a);
+            assert_eq!(ja, policy.jitter(attempt, &mut b));
+            assert!(ja <= policy.envelope(attempt), "attempt {attempt}: {ja:?}");
+        }
+    }
+
+    #[test]
+    fn attempt_timeout_splits_budget_with_floor() {
+        let t = RetryPolicy::attempt_timeout(Duration::from_millis(100), 4);
+        assert_eq!(t, Duration::from_millis(25));
+        // Exhausted budget still yields the 1 ms socket-timeout floor.
+        assert_eq!(
+            RetryPolicy::attempt_timeout(Duration::ZERO, 3),
+            Duration::from_millis(1)
+        );
+        assert_eq!(
+            RetryPolicy::attempt_timeout(Duration::from_secs(1), 0),
+            Duration::from_secs(1)
+        );
+    }
+
+    #[test]
+    fn inject_id_covers_pool_verbs_only() {
+        assert_eq!(inject_id("SLEEP 5", 7), "SLEEP id=7 5");
+        let q = inject_id("QUERY FIND paper P1;", 7);
+        assert!(q.contains("id=7"), "{q}");
+        // An explicit id is the caller's: never overwritten.
+        assert_eq!(inject_id("SLEEP id=3 5", 7), "SLEEP id=3 5");
+        // Inline verbs and garbage pass through untouched.
+        assert_eq!(inject_id("PING", 7), "PING");
+        assert_eq!(inject_id("no such verb", 7), "no such verb");
+    }
+
+    #[test]
+    fn retry_client_reports_last_error_on_dead_server() {
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            overall_deadline: Duration::from_millis(300),
+            seed: 3,
+        };
+        // TEST-NET address: connects fail fast and exercise the retry loop.
+        let mut client = match RetryClient::new("127.0.0.1:1", policy) {
+            Ok(c) => c,
+            Err(e) => panic!("resolve failed: {e}"),
+        };
+        let err = match client.send_idempotent("PING") {
+            Err(e) => e,
+            Ok(r) => panic!("dead server answered: {r}"),
+        };
+        // Whatever the OS error, it must be the transport's, not our
+        // "budget exhausted" placeholder (a real attempt was made).
+        assert_ne!(err.to_string(), "retry budget exhausted");
     }
 }

@@ -1,0 +1,564 @@
+//! Deterministic fault injection for chaos testing, plus the server-side
+//! request-id dedup cache.
+//!
+//! A [`FaultPlan`] is parsed from a compact text spec (DESIGN.md §11) and
+//! decides — **purely from the request index and a seed** — whether a
+//! worker-pool request gets a fault injected. No wall clock, no global RNG:
+//! the same plan against the same request sequence produces the same fault
+//! set on every run, the same way `tests/determinism.rs` pins parallelism.
+//!
+//! ```text
+//! spec  := entry (';' entry)*            ; whitespace around entries ignored
+//! entry := 'seed=' u64                   ; seed for '~' entries (default 0)
+//!        | kind '@' index (':' millis)?  ; fire at request #index (0-based)
+//!        | kind '~' n (':' millis)?      ; fire ~once per n requests, seeded
+//! kind  := 'panic'                       ; request execution panics
+//!        | 'kill'                        ; the worker thread itself dies
+//!        | 'drop'                        ; connection closed, response eaten
+//!        | 'alloc'                       ; forced allocation-cap failure
+//!        | 'delay'                       ; delayed execution (millis required)
+//! ```
+//!
+//! `millis` is required for `delay` and rejected for every other kind. The
+//! first matching entry (in spec order) wins. Only worker-pool requests
+//! (`QUERY`/`EXPLAIN`/`SLEEP`) consume request indices; inline verbs and
+//! dedup-cache hits do not, so planned indices stay predictable for test
+//! orchestration.
+
+use serde::Serialize;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A tiny, fast xorshift64* PRNG. Deterministic, seedable, `no_std`-grade —
+/// used for fault-plan sampling and client retry jitter so neither depends
+/// on wall-clock entropy.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seed the generator; a zero seed is remapped to a fixed odd constant
+    /// (xorshift has an all-zero fixed point).
+    pub fn new(seed: u64) -> XorShift64 {
+        XorShift64 {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits → the full double mantissa.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform integer in `[0, n)`; returns 0 when `n == 0`.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        // Modulo bias is ≤ 2⁻⁴⁰ for any plausible n; fine for jitter and
+        // fault sampling (not cryptography).
+        self.next_u64() % n
+    }
+}
+
+/// Stateless mix of `(seed, lane, index)` into 64 uniform-ish bits.
+///
+/// Used for per-index sampling (`kind~n` entries): the decision for request
+/// `i` must not depend on how many other requests were sampled before it,
+/// otherwise concurrent arrival order would change the fault set.
+pub fn mix(seed: u64, lane: u64, index: u64) -> u64 {
+    let mut rng = XorShift64::new(
+        seed ^ lane.wrapping_mul(0xA076_1D64_78BD_642F) ^ index.wrapping_mul(0xE703_7ED1_A0B4_28DB),
+    );
+    // A few rounds decorrelate consecutive indices.
+    rng.next_u64();
+    rng.next_u64();
+    rng.next_u64()
+}
+
+/// What kind of fault to inject into one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside request execution: the worker's `catch_unwind` converts
+    /// it into a structured `PANIC` error response; the worker survives.
+    PanicRequest,
+    /// Panic *outside* the per-request isolation boundary: the worker thread
+    /// dies and the supervisor must respawn it.
+    KillWorker,
+    /// Close the connection after executing the request, without delivering
+    /// the response (the response is still dedup-cached when the request
+    /// carried an id).
+    DropConnection,
+    /// Tighten the request budget to a zero allocation cap (`max_nnz = 0`),
+    /// forcing a structured Budget error through the real enforcement path.
+    AllocCap,
+    /// Sleep for the given milliseconds before executing (cancellation-aware).
+    Delay(u64),
+}
+
+impl FaultKind {
+    fn name(&self) -> &'static str {
+        match self {
+            FaultKind::PanicRequest => "panic",
+            FaultKind::KillWorker => "kill",
+            FaultKind::DropConnection => "drop",
+            FaultKind::AllocCap => "alloc",
+            FaultKind::Delay(_) => "delay",
+        }
+    }
+}
+
+/// When one plan entry fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Trigger {
+    /// At exactly this 0-based request index.
+    At(u64),
+    /// Pseudo-randomly, ~once per `n` requests, decided per-index from the
+    /// plan seed (deterministic and order-independent).
+    Rate(u64),
+}
+
+/// One `kind@index` / `kind~n` entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    kind: FaultKind,
+    trigger: Trigger,
+}
+
+/// A parsed, immutable fault-injection plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    entries: Vec<Entry>,
+}
+
+impl FaultPlan {
+    /// Parse a plan spec (see the module docs for the grammar). Never
+    /// panics; malformed specs return a human-readable error.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut seed = 0u64;
+        let mut entries = Vec::new();
+        for raw in spec.split(';') {
+            let item = raw.trim();
+            if item.is_empty() {
+                continue;
+            }
+            if let Some(value) = item.strip_prefix("seed=") {
+                seed = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad seed value {value:?}"))?;
+                continue;
+            }
+            let (kind_str, sep, rest) = match (item.find('@'), item.find('~')) {
+                (Some(a), Some(t)) if a < t => (&item[..a], '@', &item[a + 1..]),
+                (Some(a), None) => (&item[..a], '@', &item[a + 1..]),
+                (_, Some(t)) => (&item[..t], '~', &item[t + 1..]),
+                (None, None) => {
+                    return Err(format!(
+                        "fault entry {item:?} needs '@index' or '~n' (or 'seed=N')"
+                    ))
+                }
+            };
+            let (num_str, millis) = match rest.split_once(':') {
+                Some((n, ms)) => {
+                    let ms: u64 = ms
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad delay millis in {item:?}"))?;
+                    (n.trim(), Some(ms))
+                }
+                None => (rest.trim(), None),
+            };
+            let num: u64 = num_str
+                .parse()
+                .map_err(|_| format!("bad index/rate in fault entry {item:?}"))?;
+            let kind = match (kind_str.trim(), millis) {
+                ("panic", None) => FaultKind::PanicRequest,
+                ("kill", None) => FaultKind::KillWorker,
+                ("drop", None) => FaultKind::DropConnection,
+                ("alloc", None) => FaultKind::AllocCap,
+                ("delay", Some(ms)) => FaultKind::Delay(ms),
+                ("delay", None) => return Err(format!("delay entry {item:?} needs ':millis'")),
+                (k @ ("panic" | "kill" | "drop" | "alloc"), Some(_)) => {
+                    return Err(format!("{k} entry {item:?} does not take ':millis'"))
+                }
+                (other, _) => {
+                    return Err(format!(
+                        "unknown fault kind {other:?} (panic|kill|drop|alloc|delay)"
+                    ))
+                }
+            };
+            let trigger = match sep {
+                '@' => Trigger::At(num),
+                _ => {
+                    if num == 0 {
+                        return Err(format!("rate in {item:?} must be >= 1"));
+                    }
+                    Trigger::Rate(num)
+                }
+            };
+            entries.push(Entry { kind, trigger });
+        }
+        if entries.is_empty() {
+            return Err("fault plan has no entries".to_string());
+        }
+        Ok(FaultPlan { seed, entries })
+    }
+
+    /// Decide the fault (if any) for the request at `index`. Pure: the same
+    /// `(plan, index)` always yields the same decision. The first matching
+    /// entry in spec order wins.
+    pub fn decide(&self, index: u64) -> Option<FaultKind> {
+        self.entries
+            .iter()
+            .enumerate()
+            .find(|(lane, e)| match e.trigger {
+                Trigger::At(i) => i == index,
+                Trigger::Rate(n) => mix(self.seed, *lane as u64, index) % n == 0,
+            })
+            .map(|(_, e)| e.kind)
+    }
+
+    /// The canonical spec string (round-trips through [`FaultPlan::parse`]).
+    pub fn spec(&self) -> String {
+        let mut parts = vec![format!("seed={}", self.seed)];
+        for e in &self.entries {
+            let head = match e.trigger {
+                Trigger::At(i) => format!("{}@{i}", e.kind.name()),
+                Trigger::Rate(n) => format!("{}~{n}", e.kind.name()),
+            };
+            match e.kind {
+                FaultKind::Delay(ms) => parts.push(format!("{head}:{ms}")),
+                _ => parts.push(head),
+            }
+        }
+        parts.join(";")
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.spec())
+    }
+}
+
+/// Injection counters, by fault kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct FaultCounts {
+    /// Request-scoped panics injected.
+    pub panics: u64,
+    /// Worker kills injected.
+    pub kills: u64,
+    /// Connection drops injected.
+    pub drops: u64,
+    /// Allocation-cap failures injected.
+    pub allocs: u64,
+    /// Execution delays injected.
+    pub delays: u64,
+}
+
+impl FaultCounts {
+    /// Total faults injected across all kinds.
+    pub fn total(&self) -> u64 {
+        self.panics + self.kills + self.drops + self.allocs + self.delays
+    }
+}
+
+/// Live fault-injection state shared by every connection handler and worker:
+/// the installed plan (swappable at runtime via the `FAULTS` verb), the
+/// request-index sequence, and per-kind injection counters.
+#[derive(Debug, Default)]
+pub struct FaultState {
+    plan: parking_lot::Mutex<Option<Arc<FaultPlan>>>,
+    seq: AtomicU64,
+    panics: AtomicU64,
+    kills: AtomicU64,
+    drops: AtomicU64,
+    allocs: AtomicU64,
+    delays: AtomicU64,
+}
+
+impl FaultState {
+    /// Fresh state with an optional initial plan (from `serve --fault-plan`).
+    pub fn new(initial: Option<FaultPlan>) -> FaultState {
+        let state = FaultState::default();
+        *state.plan.lock() = initial.map(Arc::new);
+        state
+    }
+
+    /// Install (or, with `None`, clear) the active plan. Resets the request
+    /// sequence and the injection counters so planned indices and expected
+    /// counts are predictable from this point on.
+    pub fn install(&self, plan: Option<FaultPlan>) {
+        let mut guard = self.plan.lock();
+        *guard = plan.map(Arc::new);
+        // Reset under the lock so a concurrent `claim` cannot interleave an
+        // old-plan decision with the new sequence.
+        self.seq.store(0, Ordering::Relaxed);
+        for c in [
+            &self.panics,
+            &self.kills,
+            &self.drops,
+            &self.allocs,
+            &self.delays,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Claim the next request index and decide its fault. Bumps the
+    /// matching injection counter. Without an installed plan this still
+    /// advances the sequence (indices must reflect real request order).
+    pub fn claim(&self) -> Option<FaultKind> {
+        let plan = self.plan.lock().clone();
+        let index = self.seq.fetch_add(1, Ordering::Relaxed);
+        let fault = plan.as_ref().and_then(|p| p.decide(index));
+        if let Some(kind) = fault {
+            let counter = match kind {
+                FaultKind::PanicRequest => &self.panics,
+                FaultKind::KillWorker => &self.kills,
+                FaultKind::DropConnection => &self.drops,
+                FaultKind::AllocCap => &self.allocs,
+                FaultKind::Delay(_) => &self.delays,
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+        fault
+    }
+
+    /// The active plan's canonical spec, if one is installed.
+    pub fn spec(&self) -> Option<String> {
+        self.plan.lock().as_ref().map(|p| p.spec())
+    }
+
+    /// Worker-pool requests sequenced since the last (re)install.
+    pub fn requests_seen(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Injection counters since the last (re)install.
+    pub fn counts(&self) -> FaultCounts {
+        FaultCounts {
+            panics: self.panics.load(Ordering::Relaxed),
+            kills: self.kills.load(Ordering::Relaxed),
+            drops: self.drops.load(Ordering::Relaxed),
+            allocs: self.allocs.load(Ordering::Relaxed),
+            delays: self.delays.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A small LRU of `request id → serialized response line`, used to
+/// deduplicate client retries of already-executed idempotent requests: a
+/// replay returns the **byte-identical** response the original produced.
+#[derive(Debug)]
+pub struct DedupCache {
+    cap: usize,
+    map: HashMap<u64, String>,
+    /// Recency order, oldest first. O(cap) maintenance — fine for the small
+    /// caps this cache runs at (hundreds).
+    order: VecDeque<u64>,
+}
+
+impl DedupCache {
+    /// A cache holding at most `cap` responses (`0` disables caching).
+    pub fn new(cap: usize) -> DedupCache {
+        DedupCache {
+            cap,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// Look up a cached response, refreshing its recency.
+    pub fn get(&mut self, id: u64) -> Option<String> {
+        let line = self.map.get(&id).cloned()?;
+        self.touch(id);
+        Some(line)
+    }
+
+    /// Insert (or overwrite) the response for `id`, evicting the least
+    /// recently used entry when over capacity.
+    pub fn insert(&mut self, id: u64, line: String) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.map.insert(id, line).is_some() {
+            self.touch(id);
+            return;
+        }
+        self.order.push_back(id);
+        while self.map.len() > self.cap {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(&oldest);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn touch(&mut self, id: u64) {
+        if let Some(pos) = self.order.iter().position(|&x| x == id) {
+            self.order.remove(pos);
+            self.order.push_back(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic_and_nonzero() {
+        let mut a = XorShift64::new(7);
+        let mut b = XorShift64::new(7);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.iter().any(|&x| x != xs[0]), "generator is stuck");
+        // Zero seed is remapped, not a fixed point.
+        let mut z = XorShift64::new(0);
+        assert_ne!(z.next_u64(), 0);
+        for _ in 0..1000 {
+            let f = z.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            assert!(z.next_below(10) < 10);
+        }
+        assert_eq!(XorShift64::new(1).next_below(0), 0);
+    }
+
+    #[test]
+    fn parse_decide_round_trip() {
+        let plan =
+            FaultPlan::parse("seed=9; panic@3; kill@5; drop@0; alloc@2; delay@1:150").unwrap();
+        assert_eq!(plan.decide(0), Some(FaultKind::DropConnection));
+        assert_eq!(plan.decide(1), Some(FaultKind::Delay(150)));
+        assert_eq!(plan.decide(2), Some(FaultKind::AllocCap));
+        assert_eq!(plan.decide(3), Some(FaultKind::PanicRequest));
+        assert_eq!(plan.decide(4), None);
+        assert_eq!(plan.decide(5), Some(FaultKind::KillWorker));
+        let reparsed = FaultPlan::parse(&plan.spec()).unwrap();
+        assert_eq!(reparsed, plan);
+        assert_eq!(reparsed.spec(), plan.spec());
+    }
+
+    #[test]
+    fn first_matching_entry_wins() {
+        let plan = FaultPlan::parse("panic@2;kill@2").unwrap();
+        assert_eq!(plan.decide(2), Some(FaultKind::PanicRequest));
+    }
+
+    #[test]
+    fn rate_entries_are_deterministic_and_order_independent() {
+        let plan = FaultPlan::parse("seed=42;panic~10").unwrap();
+        let forward: Vec<bool> = (0..500).map(|i| plan.decide(i).is_some()).collect();
+        let backward: Vec<bool> = (0..500).rev().map(|i| plan.decide(i).is_some()).collect();
+        let backward_forward: Vec<bool> = backward.into_iter().rev().collect();
+        assert_eq!(forward, backward_forward, "decisions depend on query order");
+        let fired = forward.iter().filter(|&&b| b).count();
+        // ~1 in 10 over 500 draws: a loose band that still catches a broken
+        // sampler (always / never firing).
+        assert!((10..=150).contains(&fired), "fired {fired}/500");
+        // A different seed gives a different fault set.
+        let other = FaultPlan::parse("seed=43;panic~10").unwrap();
+        let other_fired: Vec<bool> = (0..500).map(|i| other.decide(i).is_some()).collect();
+        assert_ne!(forward, other_fired);
+    }
+
+    #[test]
+    fn malformed_specs_are_errors_not_panics() {
+        for bad in [
+            "",
+            "  ;  ",
+            "panic",
+            "panic@",
+            "panic@x",
+            "panic@1:50",
+            "kill~0",
+            "delay@3",
+            "delay@3:soon",
+            "frob@1",
+            "seed=abc;panic@1",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "spec {bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn fault_state_claims_count_and_reset() {
+        let state = FaultState::new(Some(FaultPlan::parse("panic@0;drop@2").unwrap()));
+        assert_eq!(state.claim(), Some(FaultKind::PanicRequest));
+        assert_eq!(state.claim(), None);
+        assert_eq!(state.claim(), Some(FaultKind::DropConnection));
+        assert_eq!(state.requests_seen(), 3);
+        let counts = state.counts();
+        assert_eq!(counts.panics, 1);
+        assert_eq!(counts.drops, 1);
+        assert_eq!(counts.total(), 2);
+        // Reinstall resets the sequence and the counters.
+        state.install(Some(FaultPlan::parse("kill@0").unwrap()));
+        assert_eq!(state.requests_seen(), 0);
+        assert_eq!(state.counts().total(), 0);
+        assert_eq!(state.claim(), Some(FaultKind::KillWorker));
+        assert_eq!(state.spec().as_deref(), Some("seed=0;kill@0"));
+        // Clearing stops injection but the sequence still advances.
+        state.install(None);
+        assert_eq!(state.claim(), None);
+        assert_eq!(state.requests_seen(), 1);
+        assert_eq!(state.spec(), None);
+    }
+
+    #[test]
+    fn dedup_cache_lru_semantics() {
+        let mut cache = DedupCache::new(2);
+        assert!(cache.is_empty());
+        cache.insert(1, "one".into());
+        cache.insert(2, "two".into());
+        assert_eq!(cache.get(1).as_deref(), Some("one"));
+        // 2 is now least-recent; inserting 3 evicts it.
+        cache.insert(3, "three".into());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(2), None);
+        assert_eq!(cache.get(1).as_deref(), Some("one"));
+        assert_eq!(cache.get(3).as_deref(), Some("three"));
+        // Overwrite refreshes, never grows.
+        cache.insert(1, "uno".into());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(1).as_deref(), Some("uno"));
+        // cap 0 disables storage entirely.
+        let mut off = DedupCache::new(0);
+        off.insert(9, "x".into());
+        assert_eq!(off.get(9), None);
+        assert!(off.is_empty());
+    }
+}

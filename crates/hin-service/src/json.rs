@@ -449,4 +449,31 @@ mod tests {
         m.insert(3u32, "x");
         assert!(to_string(&m).is_err());
     }
+
+    /// The `FAULTS` status body round-trips through the serializer: nested
+    /// counter struct, `Option<String>` spec in both states.
+    #[test]
+    fn faults_body_serializes() {
+        use crate::fault::FaultCounts;
+        use crate::protocol::FaultsBody;
+
+        let body = FaultsBody {
+            spec: Some("seed=7;panic@3;drop~50".to_string()),
+            requests_seen: 9,
+            injected: FaultCounts {
+                panics: 1,
+                ..FaultCounts::default()
+            },
+        };
+        assert_eq!(
+            to_string(&body).unwrap(),
+            r#"{"spec":"seed=7;panic@3;drop~50","requests_seen":9,"injected":{"panics":1,"kills":0,"drops":0,"allocs":0,"delays":0}}"#
+        );
+        let cleared = FaultsBody {
+            spec: None,
+            requests_seen: 0,
+            injected: FaultCounts::default(),
+        };
+        assert!(to_string(&cleared).unwrap().starts_with(r#"{"spec":null"#));
+    }
 }

@@ -28,6 +28,18 @@
 //!   behind `hin bench-client` and the `exp_service` benchmark;
 //! * [`json`] — the hand-rolled compact serde JSON serializer shared by
 //!   the server and the one-shot CLI's `--format json`.
+//!
+//! Fault tolerance (DESIGN.md §11):
+//!
+//! * [`fault`] — deterministic, seeded fault injection ([`FaultPlan`],
+//!   `serve --fault-plan` / the `FAULTS` verb) plus the server-side
+//!   idempotency [`fault::DedupCache`];
+//! * [`supervisor`] — heartbeat-based worker supervision: dead workers are
+//!   respawned, hung workers replaced, so the admission queue keeps
+//!   draining through panics;
+//! * [`client::RetryClient`] — the self-healing client: reconnect-on-drop,
+//!   seeded full-jitter exponential backoff, per-attempt deadlines carved
+//!   from an overall budget, and idempotency ids the server deduplicates.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -37,12 +49,16 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod client;
+pub mod fault;
 pub mod json;
 pub mod protocol;
 pub mod server;
 pub mod stats;
+pub mod supervisor;
 
-pub use client::{Client, LoadReport, LoadSpec};
-pub use protocol::{ExecMode, Request, RequestOptions, Response};
+pub use client::{Client, LoadReport, LoadSpec, RetryClient, RetryPolicy};
+pub use fault::{DedupCache, FaultCounts, FaultKind, FaultPlan, FaultState, XorShift64};
+pub use protocol::{ExecMode, FaultCommand, FaultsBody, Request, RequestOptions, Response};
 pub use server::{Server, ServerConfig};
 pub use stats::{ServerStats, StatsSnapshot};
+pub use supervisor::{SupervisorConfig, WorkerSlot};

@@ -6,10 +6,13 @@
 //! ```text
 //! request    := "PING" | "STATS" | "SHUTDOWN"
 //!             | "SLEEP" SP ms
+//!             | "FAULTS" (SP ("OFF" | fault-spec))?
 //!             | ("QUERY" | "EXPLAIN") (SP option)* SP oql-text
 //! option     := key "=" value    ; keys: timeout-ms, max-candidates,
-//!                                ;       max-nnz, mode (strict|best-effort)
+//!                                ;       max-nnz, mode (strict|best-effort),
+//!                                ;       id (u64 idempotency key)
 //! oql-text   := the EDBT 2015 outlier query, ending with ";"
+//! fault-spec := see [`crate::fault::FaultPlan`]
 //! ```
 //!
 //! Option tokens are recognized only before the first token that is not a
@@ -17,13 +20,18 @@
 //! `SLEEP` occupies a worker for the given duration (cancellable); it exists
 //! for integration tests and operational drills (e.g. verifying `BUSY`
 //! backpressure against a live deployment without crafting an expensive
-//! query).
+//! query). `FAULTS` (answered inline) inspects, installs, or clears the
+//! deterministic fault-injection plan — chaos drills against a live server
+//! without restarting it. An `id=N` option marks a request idempotent: the
+//! server remembers the response under that id, and a retry carrying the
+//! same id replays it byte-identically instead of re-executing.
 //!
 //! Every response is one of the [`Response`] variants, serialized
 //! externally tagged: `{"result":{…}}`, `{"busy":{…}}`, `{"err":{…}}`, ….
 //! Parsing failures yield a structured `err` response with a stable
 //! [`ErrorCode`], never a panic.
 
+use crate::fault::{FaultCounts, FaultPlan};
 use netout::{Budget, Degraded, EngineError, QueryResult};
 use serde::Serialize;
 use std::fmt;
@@ -47,6 +55,9 @@ pub struct RequestOptions {
     /// request or degrades to a partial ranking (server default:
     /// best-effort).
     pub mode: Option<ExecMode>,
+    /// `id=N` — client-chosen idempotency key. Responses are cached under
+    /// the id and replayed byte-identically on retry.
+    pub id: Option<u64>,
 }
 
 impl RequestOptions {
@@ -95,7 +106,11 @@ pub enum Request {
     Sleep {
         /// How long to hold the worker.
         ms: u64,
+        /// Idempotency key (`SLEEP` accepts `id=N` before the duration).
+        id: Option<u64>,
     },
+    /// Inspect or change the fault-injection plan; answered inline.
+    Faults(FaultCommand),
     /// Execute an outlier query.
     Query {
         /// Budget/mode overrides.
@@ -110,6 +125,18 @@ pub enum Request {
         /// The OQL text.
         text: String,
     },
+}
+
+/// What a `FAULTS` request asks the server to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultCommand {
+    /// `FAULTS` — report the active plan and injection counters.
+    Status,
+    /// `FAULTS OFF` — clear the plan (injection stops; counters reset).
+    Clear,
+    /// `FAULTS <spec>` — install a new plan (resets the request sequence
+    /// and counters). The spec is validated at parse time.
+    Install(FaultPlan),
 }
 
 /// Why a request line failed to parse.
@@ -153,11 +180,26 @@ impl Request {
             "STATS" => Self::expect_no_args("STATS", rest).map(|()| Request::Stats),
             "SHUTDOWN" => Self::expect_no_args("SHUTDOWN", rest).map(|()| Request::Shutdown),
             "SLEEP" => {
-                let ms: u64 = rest
-                    .parse()
-                    .map_err(|_| parse_err(format!("SLEEP expects milliseconds, got {rest:?}")))?;
-                Ok(Request::Sleep { ms })
+                let (options, ms_text) = parse_options(rest)?;
+                if options.timeout_ms.is_some()
+                    || options.max_candidates.is_some()
+                    || options.max_nnz.is_some()
+                    || options.mode.is_some()
+                {
+                    return Err(parse_err("SLEEP accepts only the id= option"));
+                }
+                let ms: u64 = ms_text.parse().map_err(|_| {
+                    parse_err(format!("SLEEP expects milliseconds, got {ms_text:?}"))
+                })?;
+                Ok(Request::Sleep { ms, id: options.id })
             }
+            "FAULTS" => match rest {
+                "" => Ok(Request::Faults(FaultCommand::Status)),
+                off if off.eq_ignore_ascii_case("off") => Ok(Request::Faults(FaultCommand::Clear)),
+                spec => FaultPlan::parse(spec)
+                    .map(|plan| Request::Faults(FaultCommand::Install(plan)))
+                    .map_err(|e| parse_err(format!("bad fault plan: {e}"))),
+            },
             "QUERY" => {
                 let (options, text) = parse_options(rest)?;
                 if text.is_empty() {
@@ -179,7 +221,7 @@ impl Request {
                 })
             }
             other => Err(parse_err(format!(
-                "unknown verb {other:?} (PING|STATS|SHUTDOWN|SLEEP|QUERY|EXPLAIN)"
+                "unknown verb {other:?} (PING|STATS|SHUTDOWN|SLEEP|FAULTS|QUERY|EXPLAIN)"
             ))),
         }
     }
@@ -217,13 +259,22 @@ impl Request {
                     }
                 ));
             }
+            if let Some(id) = options.id {
+                s.push_str(&format!("id={id} "));
+            }
             s
         }
         match self {
             Request::Ping => "PING".to_string(),
             Request::Stats => "STATS".to_string(),
             Request::Shutdown => "SHUTDOWN".to_string(),
-            Request::Sleep { ms } => format!("SLEEP {ms}"),
+            Request::Sleep { ms, id: None } => format!("SLEEP {ms}"),
+            Request::Sleep { ms, id: Some(id) } => format!("SLEEP id={id} {ms}"),
+            Request::Faults(FaultCommand::Status) => "FAULTS".to_string(),
+            Request::Faults(FaultCommand::Clear) => "FAULTS OFF".to_string(),
+            Request::Faults(FaultCommand::Install(plan)) => {
+                format!("FAULTS {}", plan.spec())
+            }
             Request::Query { options, text } => {
                 format!("QUERY {}{}", opts_prefix(options), text)
             }
@@ -240,6 +291,15 @@ impl Request {
             self,
             Request::Query { .. } | Request::Explain { .. } | Request::Sleep { .. }
         )
+    }
+
+    /// The idempotency key, if the request carries one.
+    pub fn id(&self) -> Option<u64> {
+        match self {
+            Request::Query { options, .. } | Request::Explain { options, .. } => options.id,
+            Request::Sleep { id, .. } => *id,
+            _ => None,
+        }
     }
 }
 
@@ -268,6 +328,9 @@ fn parse_options(rest: &str) -> Result<(RequestOptions, &str), ParseError> {
             "max-nnz" => {
                 options.max_nnz = Some(parse_num(key, value)?);
             }
+            "id" => {
+                options.id = Some(parse_num(key, value)?);
+            }
             "mode" => {
                 options.mode = Some(match value {
                     "strict" => ExecMode::Strict,
@@ -281,7 +344,7 @@ fn parse_options(rest: &str) -> Result<(RequestOptions, &str), ParseError> {
             }
             other => {
                 return Err(parse_err(format!(
-                    "unknown option {other:?} (timeout-ms|max-candidates|max-nnz|mode)"
+                    "unknown option {other:?} (timeout-ms|max-candidates|max-nnz|mode|id)"
                 )))
             }
         }
@@ -307,7 +370,10 @@ pub enum ErrorCode {
     Budget,
     /// Any other engine failure (empty sets, unknown anchors, …).
     Engine,
-    /// The worker executing the request panicked (the worker survives).
+    /// Request execution panicked and was isolated: the request failed but
+    /// the worker (or parallel shard) survived and keeps serving.
+    Panic,
+    /// A server-side invariant broke (bug); the request failed.
     Internal,
 }
 
@@ -408,6 +474,17 @@ pub struct BusyBody {
     pub queue_cap: usize,
 }
 
+/// A `faults` response body: the fault-injection plan and its counters.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultsBody {
+    /// Canonical spec of the active plan; `null` when injection is off.
+    pub spec: Option<String>,
+    /// Worker-pool requests sequenced since the plan was (re)installed.
+    pub requests_seen: u64,
+    /// Faults injected since the plan was (re)installed, by kind.
+    pub injected: FaultCounts,
+}
+
 /// One response line, externally tagged in JSON.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 #[allow(clippy::large_enum_variant)] // responses are built once and serialized immediately
@@ -451,6 +528,9 @@ pub enum Response {
         /// Jobs still queued at shutdown time (they will be drained).
         draining: usize,
     },
+    /// `FAULTS` answer: the active plan (if any) and injection counters.
+    #[serde(rename = "faults")]
+    Faults(FaultsBody),
 }
 
 impl Response {
@@ -467,6 +547,7 @@ impl Response {
         let code = match e {
             EngineError::Query(_) => ErrorCode::Query,
             EngineError::BudgetExceeded { .. } => ErrorCode::Budget,
+            EngineError::Panicked { .. } => ErrorCode::Panic,
             _ => ErrorCode::Engine,
         };
         Response::err(code, e.to_string())
@@ -496,6 +577,7 @@ impl Response {
             Response::Err(_) => "err",
             Response::Slept { .. } => "slept",
             Response::Bye { .. } => "bye",
+            Response::Faults(_) => "faults",
         }
     }
 }
@@ -511,8 +593,37 @@ mod tests {
         assert_eq!(Request::parse("Shutdown").unwrap(), Request::Shutdown);
         assert_eq!(
             Request::parse("SLEEP 250").unwrap(),
-            Request::Sleep { ms: 250 }
+            Request::Sleep { ms: 250, id: None }
         );
+        assert_eq!(
+            Request::parse("SLEEP id=7 250").unwrap(),
+            Request::Sleep {
+                ms: 250,
+                id: Some(7)
+            }
+        );
+    }
+
+    #[test]
+    fn parses_faults_verb() {
+        assert_eq!(
+            Request::parse("FAULTS").unwrap(),
+            Request::Faults(FaultCommand::Status)
+        );
+        assert_eq!(
+            Request::parse("FAULTS off").unwrap(),
+            Request::Faults(FaultCommand::Clear)
+        );
+        match Request::parse("FAULTS seed=3;panic@1;delay~10:50").unwrap() {
+            Request::Faults(FaultCommand::Install(plan)) => {
+                assert_eq!(plan.spec(), "seed=3;panic@1;delay~10:50");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = Request::parse("FAULTS frob@1").unwrap_err();
+        assert!(err.message.contains("bad fault plan"), "{err}");
+        // FAULTS never reaches the worker pool.
+        assert!(!Request::parse("FAULTS").unwrap().needs_worker());
     }
 
     #[test]
@@ -558,6 +669,11 @@ mod tests {
             "SLEEP",
             "SLEEP forever",
             "SLEEP -1",
+            "SLEEP id=x 10",
+            "SLEEP timeout-ms=5 10",
+            "QUERY id=-3 FIND;",
+            "FAULTS frob@1",
+            "FAULTS panic@",
             "QUERY",
             "QUERY timeout-ms=abc FIND;",
             "QUERY frobs=1 FIND;",
@@ -574,13 +690,23 @@ mod tests {
             Request::Ping,
             Request::Stats,
             Request::Shutdown,
-            Request::Sleep { ms: 42 },
+            Request::Sleep { ms: 42, id: None },
+            Request::Sleep {
+                ms: 9,
+                id: Some(u64::MAX),
+            },
+            Request::Faults(FaultCommand::Status),
+            Request::Faults(FaultCommand::Clear),
+            Request::Faults(FaultCommand::Install(
+                FaultPlan::parse("seed=5;kill@2;drop~3").unwrap(),
+            )),
             Request::Query {
                 options: RequestOptions {
                     timeout_ms: Some(9),
                     max_candidates: None,
                     max_nnz: Some(1000),
                     mode: Some(ExecMode::BestEffort),
+                    id: Some(77),
                 },
                 text: "FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author JUDGED BY a.p.v;"
                     .to_string(),
@@ -603,6 +729,7 @@ mod tests {
             max_candidates: Some(7),
             max_nnz: None,
             mode: None,
+            id: None,
         };
         let b = opts.budget_over(&default);
         assert_eq!(b.timeout, Some(Duration::from_millis(100)));
@@ -629,6 +756,41 @@ mod tests {
             r#"{"err":{"code":"Protocol","message":"bad verb"}}"#
         );
         assert_eq!(r.kind(), "err");
+        let r = Response::Faults(FaultsBody {
+            spec: Some("seed=1;panic@0".to_string()),
+            requests_seen: 4,
+            injected: FaultCounts {
+                panics: 1,
+                ..FaultCounts::default()
+            },
+        });
+        let line = r.to_json_line();
+        assert!(
+            line.starts_with(r#"{"faults":{"spec":"seed=1;panic@0","requests_seen":4"#),
+            "{line}"
+        );
+        assert!(line.contains(r#""panics":1"#));
+        assert_eq!(r.kind(), "faults");
+        let off = Response::Faults(FaultsBody {
+            spec: None,
+            requests_seen: 0,
+            injected: FaultCounts::default(),
+        });
+        assert!(off.to_json_line().contains(r#""spec":null"#));
+    }
+
+    #[test]
+    fn engine_panic_maps_to_panic_code() {
+        let e = EngineError::Panicked {
+            message: "boom".into(),
+        };
+        match Response::from_engine_error(&e) {
+            Response::Err(body) => {
+                assert_eq!(body.code, ErrorCode::Panic);
+                assert!(body.message.contains("boom"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -18,17 +18,37 @@
 //! * `SHUTDOWN` drains: the acceptor stops, queued jobs finish, workers
 //!   exit, and [`Server::run`] returns the final statistics snapshot.
 //!
+//! ## Fault tolerance (DESIGN.md §11)
+//!
+//! * each request executes inside a `catch_unwind` boundary: a panic in
+//!   engine/measure code becomes a structured `PANIC` error response and
+//!   the worker keeps serving;
+//! * a **supervisor** thread ([`crate::supervisor`]) owns the worker pool
+//!   and respawns workers that die outright (or, optionally, hang), so the
+//!   admission queue keeps draining no matter what happens to individual
+//!   workers;
+//! * a deterministic **fault-injection plan** ([`crate::fault`]) can be
+//!   installed at startup (`ServerConfig::fault_plan`) or at runtime (the
+//!   `FAULTS` verb) to drill exactly these paths;
+//! * requests carrying an `id=N` option are **idempotent**: the serialized
+//!   response is remembered in a small LRU and a retry of the same id is
+//!   replayed byte-identically without re-executing.
+//!
 //! All execution state shared across threads is either immutable
 //! (`HinGraph`, `PmIndex`), atomic (counters), or lock-protected
-//! (`VectorCache`, histograms) — see the compile-time `Send + Sync`
-//! assertions at the bottom of this file.
+//! (`VectorCache`, histograms, the dedup cache) — see the compile-time
+//! `Send + Sync` assertions at the bottom of this file.
 
+use crate::fault::{DedupCache, FaultKind, FaultPlan, FaultState};
 use crate::protocol::{
-    BusyBody, ErrorCode, ExecMode, Request, RequestOptions, Response, ResultBody, MAX_LINE_BYTES,
+    BusyBody, ErrorCode, ExecMode, FaultCommand, FaultsBody, Request, RequestOptions, Response,
+    ResultBody, MAX_LINE_BYTES,
 };
 use crate::stats::{CacheSnapshot, ServerStats, StatsSnapshot};
+use crate::supervisor::{self, SupervisorConfig, WorkerSlot};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use netout::{BudgetLimit, CancelToken, EngineError, OutlierDetector};
+use parking_lot::Mutex;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -59,6 +79,16 @@ pub struct ServerConfig {
     /// How often waiting connection handlers poll for client disconnect
     /// and shutdown. Smaller = faster cancellation, more syscalls.
     pub poll_interval: Duration,
+    /// Deterministic fault-injection plan installed at startup (chaos
+    /// drills; `None` in production). Swappable at runtime via `FAULTS`.
+    pub fault_plan: Option<FaultPlan>,
+    /// Capacity of the idempotent-request dedup cache (`id=N` responses
+    /// replayed byte-identically on retry); `0` disables deduplication.
+    pub dedup_cap: usize,
+    /// Replace a worker stuck on a single job for longer than this (`None`
+    /// disables hang detection — see
+    /// [`SupervisorConfig`](crate::supervisor::SupervisorConfig)).
+    pub hang_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +101,9 @@ impl Default for ServerConfig {
             threads_per_query: 1,
             default_mode: ExecMode::BestEffort,
             poll_interval: Duration::from_millis(20),
+            fault_plan: None,
+            dedup_cap: 256,
+            hang_timeout: None,
         }
     }
 }
@@ -81,6 +114,9 @@ struct Job {
     cancel: CancelToken,
     respond: Sender<Response>,
     admitted: Instant,
+    /// Fault injected into this request (claimed at admission time from the
+    /// plan's request sequence), if any.
+    fault: Option<FaultKind>,
 }
 
 /// State shared by the acceptor, connection handlers, and workers.
@@ -89,6 +125,12 @@ struct Shared {
     stats: ServerStats,
     config: ServerConfig,
     shutdown: AtomicBool,
+    /// Fault-injection plan + request sequence + injection counters.
+    faults: FaultState,
+    /// Idempotent-request response cache (`id=N` → serialized line).
+    dedup: Mutex<DedupCache>,
+    /// Server start instant; worker heartbeats are milliseconds since this.
+    epoch: Instant,
     /// Receiver clone used only for queue-depth reporting (crossbeam
     /// channels are MPMC; holding a receiver does not keep the queue alive
     /// from the sender side).
@@ -118,6 +160,14 @@ impl Shared {
             self.cache_snapshot(),
         ))
     }
+
+    fn faults_response(&self) -> Response {
+        Response::Faults(FaultsBody {
+            spec: self.faults.spec(),
+            requests_seen: self.faults.requests_seen(),
+            injected: self.faults.counts(),
+        })
+    }
 }
 
 /// A bound, not-yet-running query server. Construct with [`Server::bind`],
@@ -141,6 +191,45 @@ impl Server {
         config: ServerConfig,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        Server::from_listener(detector, listener, config)
+    }
+
+    /// Like [`Server::bind`], but retry `AddrInUse` up to `attempts` times
+    /// with doubling backoff (starting at `initial_backoff`, capped at 2 s).
+    /// A restarting server often races its predecessor's socket still in
+    /// `TIME_WAIT`; retrying with backoff rides that out. Other bind errors
+    /// (permission, bad address) fail immediately.
+    pub fn bind_retry(
+        detector: OutlierDetector,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        attempts: usize,
+        initial_backoff: Duration,
+    ) -> std::io::Result<Server> {
+        let attempts = attempts.max(1);
+        let mut backoff = initial_backoff.max(Duration::from_millis(1));
+        let mut attempt = 0;
+        let listener = loop {
+            match TcpListener::bind(&addr) {
+                Ok(listener) => break listener,
+                Err(e) if e.kind() == ErrorKind::AddrInUse && attempt + 1 < attempts => {
+                    attempt += 1;
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_secs(2));
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        Server::from_listener(detector, listener, config)
+    }
+
+    /// Wrap an already-bound listener (useful when the caller wants to
+    /// manage socket options or binding strategy itself).
+    pub fn from_listener(
+        detector: OutlierDetector,
+        listener: TcpListener,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
         let addr = listener.local_addr()?;
         let config = ServerConfig {
             workers: config.workers.max(1),
@@ -149,11 +238,16 @@ impl Server {
             ..config
         };
         let (job_tx, job_rx) = channel::bounded::<Job>(config.queue_cap);
+        let faults = FaultState::new(config.fault_plan.clone());
+        let dedup = Mutex::new(DedupCache::new(config.dedup_cap));
         let shared = Arc::new(Shared {
             detector,
             stats: ServerStats::new(),
             config,
             shutdown: AtomicBool::new(false),
+            faults,
+            dedup,
+            epoch: Instant::now(),
             queue_probe: job_rx.clone(),
         });
         Ok(Server {
@@ -181,20 +275,41 @@ impl Server {
             addr: _,
         } = self;
 
-        let workers: Vec<_> = (0..shared.config.workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                let rx = job_rx.clone();
-                std::thread::Builder::new()
-                    .name(format!("hin-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &rx))
-                    .unwrap_or_else(|e| {
-                        // Thread spawn failing at startup is unrecoverable
-                        // for a server; surface it loudly.
-                        panic!("spawning worker {i}: {e}")
-                    })
-            })
-            .collect();
+        // The supervisor thread owns the worker pool: it spawns the initial
+        // workers, respawns any that die (worker-kill faults, engine bugs
+        // escaping request isolation), replaces hung ones, and joins them
+        // all once the job channel disconnects at drain.
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            let rx = job_rx.clone();
+            let sup_config = SupervisorConfig {
+                poll: shared.config.poll_interval.min(Duration::from_millis(10)),
+                hang_timeout: shared.config.hang_timeout,
+                ..SupervisorConfig::default()
+            };
+            std::thread::Builder::new()
+                .name("hin-supervisor".to_string())
+                .spawn(move || {
+                    supervisor::supervise(
+                        shared.config.workers,
+                        &sup_config,
+                        shared.epoch,
+                        &shared.stats,
+                        |id, slot| {
+                            let shared = Arc::clone(&shared);
+                            let rx = rx.clone();
+                            std::thread::Builder::new()
+                                .name(format!("hin-worker-{id}"))
+                                .spawn(move || worker_loop(&shared, &rx, &slot))
+                        },
+                    );
+                })
+                .unwrap_or_else(|e| {
+                    // Thread spawn failing at startup is unrecoverable for
+                    // a server; surface it loudly.
+                    panic!("spawning supervisor: {e}")
+                })
+        };
         drop(job_rx);
 
         listener
@@ -226,15 +341,15 @@ impl Server {
             }
         }
 
-        // Drain: release our sender; workers exit once every connection
-        // handler (each holding a clone) has finished its in-flight work.
+        // Drain: release our sender; the job channel disconnects once every
+        // connection handler (each holding a clone) has finished its
+        // in-flight work, workers then exit cleanly, and the supervisor —
+        // seeing clean exits, not deaths — joins them and returns.
         drop(job_tx);
         for h in handlers {
             let _ = h.join();
         }
-        for w in workers {
-            let _ = w.join();
-        }
+        let _ = supervisor.join();
         shared.stats.snapshot(
             shared.queue_depth(),
             shared.config.queue_cap,
@@ -244,63 +359,127 @@ impl Server {
 }
 
 /// The worker loop: execute jobs until the channel closes.
-fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
-    for job in rx.iter() {
+///
+/// Liveness protocol with the supervisor: the loop heartbeats its
+/// [`WorkerSlot`] on every queue poll, marks itself busy for the span of
+/// each job, and sets the clean-exit flag as its very last act — so a
+/// finished thread *without* that flag is a worker that died by panic and
+/// must be respawned.
+fn worker_loop(shared: &Shared, rx: &Receiver<Job>, slot: &WorkerSlot) {
+    let epoch = shared.epoch;
+    loop {
+        slot.beat(epoch);
+        let job = match rx.recv_timeout(shared.config.poll_interval) {
+            Ok(job) => job,
+            Err(channel::RecvTimeoutError::Timeout) => continue,
+            Err(channel::RecvTimeoutError::Disconnected) => break,
+        };
+        slot.set_busy(epoch);
         let queue_wait = job.admitted.elapsed();
         shared.stats.inc(&shared.stats.in_flight);
         let exec_started = Instant::now();
-        // A panic in measure/engine code must not kill the worker: convert
-        // it into a structured `err` response and keep serving. The engine
-        // state is per-request, so no shared invariants are at risk.
+
+        // Worker-kill fault: die *outside* the per-request isolation
+        // boundary, exercising the supervisor's respawn path end to end.
+        // The job is dropped first so its response channel disconnects and
+        // the connection handler reports "worker dropped the request" to
+        // that one client instead of waiting forever.
+        if job.fault == Some(FaultKind::KillWorker) {
+            shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+            drop(job);
+            panic!("fault injection: worker killed");
+        }
+        // Delay fault: stall before executing, cancellation-aware so a
+        // disconnected client still releases the worker promptly.
+        if let Some(FaultKind::Delay(ms)) = job.fault {
+            let _ = cancellable_sleep(
+                Duration::from_millis(ms),
+                &job.cancel,
+                shared.config.poll_interval,
+            );
+        }
+
+        // Per-request panic isolation: a panic in measure/engine code (or
+        // an injected one) must not kill the worker. It becomes a
+        // structured `PANIC` error response and the worker keeps serving.
+        // Unwind safety: request execution only touches immutable shared
+        // state (graph, index), lock-protected caches whose guards restore
+        // invariants on unwind, and per-request values dropped here.
         let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute_request(shared, &job.request, &job.cancel)
+            execute_request(shared, &job.request, &job.cancel, job.fault)
         }))
-        .unwrap_or_else(|panic| {
-            let msg = panic
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "worker panicked".to_string());
+        .unwrap_or_else(|payload| {
+            shared.stats.inc(&shared.stats.panics);
             shared.stats.inc(&shared.stats.errors);
-            Response::err(ErrorCode::Internal, msg)
+            Response::from_engine_error(&EngineError::from_panic(payload))
         });
         let exec = exec_started.elapsed();
+
+        // Idempotency: remember the serialized response before answering,
+        // so a client retry of the same id replays it byte-identically —
+        // even when the original response line is lost to a dropped
+        // connection right after this.
+        if let Some(id) = job.request.id() {
+            shared.dedup.lock().insert(id, response.to_json_line());
+        }
         shared
             .stats
             .record_latencies(queue_wait, exec, job.admitted.elapsed());
         shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
         // The connection handler may have hung up; that is fine.
         let _ = job.respond.send(response);
+        slot.set_idle(epoch);
     }
+    slot.mark_clean_exit();
+}
+
+/// Sleep for `total`, polling `cancel` in small slices. Returns `false` if
+/// the sleep was cut short by cancellation. Shared by the `SLEEP` verb and
+/// the delay fault so both honor client disconnect the same way.
+fn cancellable_sleep(total: Duration, cancel: &CancelToken, poll_interval: Duration) -> bool {
+    let deadline = Instant::now() + total;
+    while Instant::now() < deadline {
+        if cancel.is_cancelled() {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(2).min(poll_interval));
+    }
+    true
 }
 
 /// Execute one worker-pool request, updating outcome counters.
-fn execute_request(shared: &Shared, request: &Request, cancel: &CancelToken) -> Response {
+fn execute_request(
+    shared: &Shared,
+    request: &Request,
+    cancel: &CancelToken,
+    fault: Option<FaultKind>,
+) -> Response {
+    // Request-panic fault: detonate inside the isolation boundary; the
+    // caller's catch_unwind turns this into a structured PANIC response.
+    if fault == Some(FaultKind::PanicRequest) {
+        panic!("fault injection: request panic");
+    }
     match request {
-        Request::Sleep { ms } => {
+        Request::Sleep { ms, .. } => {
             let started = Instant::now();
-            let deadline = started + Duration::from_millis(*ms);
-            let mut cancelled = false;
-            while Instant::now() < deadline {
-                if cancel.is_cancelled() {
-                    cancelled = true;
-                    break;
-                }
-                std::thread::sleep(Duration::from_millis(2).min(shared.config.poll_interval));
-            }
-            if cancelled {
-                shared.stats.inc(&shared.stats.cancelled);
-            } else {
+            let completed = cancellable_sleep(
+                Duration::from_millis(*ms),
+                cancel,
+                shared.config.poll_interval,
+            );
+            if completed {
                 shared.stats.inc(&shared.stats.completed);
+            } else {
+                shared.stats.inc(&shared.stats.cancelled);
             }
             Response::Slept {
                 ms: started.elapsed().as_millis() as u64,
-                cancelled,
+                cancelled: !completed,
             }
         }
         Request::Query { options, text } => {
             let exec_started = Instant::now();
-            let outcome = run_query(shared, options, text, cancel);
+            let outcome = run_query(shared, options, text, cancel, fault);
             match outcome {
                 Ok(result) => {
                     if let Some(d) = &result.degraded {
@@ -344,7 +523,7 @@ fn execute_request(shared: &Shared, request: &Request, cancel: &CancelToken) -> 
             }
         }
         // Inline requests never reach the pool.
-        Request::Ping | Request::Stats | Request::Shutdown => {
+        Request::Ping | Request::Stats | Request::Shutdown | Request::Faults(_) => {
             Response::err(ErrorCode::Internal, "inline request reached worker pool")
         }
     }
@@ -356,11 +535,18 @@ fn run_query(
     options: &RequestOptions,
     text: &str,
     cancel: &CancelToken,
+    fault: Option<FaultKind>,
 ) -> Result<netout::QueryResult, EngineError> {
     let bound = hin_query::validate::parse_and_bind(text, shared.detector.graph().schema())?;
-    let budget = options
+    let mut budget = options
         .budget_over(shared.detector.current_budget())
         .with_cancel_token(cancel.clone());
+    // Allocation-cap fault: zero the frontier-nnz budget so the request
+    // fails through the engine's *real* budget-enforcement path — the
+    // failure mode is genuine, only its trigger is injected.
+    if fault == Some(FaultKind::AllocCap) {
+        budget = budget.with_max_nnz(0);
+    }
     let engine = shared
         .detector
         .engine()
@@ -498,10 +684,16 @@ impl LineReader {
         self.fill(Duration::from_millis(1))
     }
 
+    /// Write one pre-serialized response line (newline appended).
+    fn write_line(&mut self, line: &str) -> bool {
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.stream.write_all(framed.as_bytes()).is_ok() && self.stream.flush().is_ok()
+    }
+
     fn write_response(&mut self, response: &Response) -> bool {
-        let mut line = response.to_json_line();
-        line.push('\n');
-        self.stream.write_all(line.as_bytes()).is_ok() && self.stream.flush().is_ok()
+        self.write_line(&response.to_json_line())
     }
 }
 
@@ -544,6 +736,14 @@ fn handle_connection(shared: &Shared, stream: TcpStream, job_tx: &Sender<Job>) {
                 reader.write_response(&Response::Bye { draining });
                 return;
             }
+            Request::Faults(cmd) => {
+                match cmd {
+                    FaultCommand::Status => {}
+                    FaultCommand::Clear => shared.faults.install(None),
+                    FaultCommand::Install(plan) => shared.faults.install(Some(plan.clone())),
+                }
+                Some(shared.faults_response())
+            }
             _ => None,
         };
         if let Some(response) = response {
@@ -551,6 +751,20 @@ fn handle_connection(shared: &Shared, stream: TcpStream, job_tx: &Sender<Job>) {
                 return;
             }
             continue;
+        }
+        // Idempotency replay: a retry of an already-executed request id is
+        // answered byte-identically from the dedup cache — no worker, no
+        // fault-sequence index (so planned fault indices stay stable under
+        // client retries).
+        if let Some(id) = request.id() {
+            let cached: Option<String> = shared.dedup.lock().get(id);
+            if let Some(line) = cached {
+                shared.stats.inc(&shared.stats.deduped);
+                if !reader.write_line(&line) {
+                    return;
+                }
+                continue;
+            }
         }
         // Worker-pool requests: admission control, then wait for the
         // response while watching the socket for client disconnect.
@@ -569,6 +783,10 @@ fn dispatch_job(
     request: Request,
 ) -> bool {
     debug_assert!(request.needs_worker());
+    // Claim this request's fault-sequence index. Claimed at admission time
+    // — before the busy check — so the index order equals the order pool
+    // requests arrive, independent of queue depth and worker scheduling.
+    let fault = shared.faults.claim();
     let cancel = CancelToken::new();
     let (respond, response_rx) = channel::bounded::<Response>(1);
     let job = Job {
@@ -576,6 +794,7 @@ fn dispatch_job(
         cancel: cancel.clone(),
         respond,
         admitted: Instant::now(),
+        fault,
     };
     match job_tx.try_send(job) {
         Ok(()) => {}
@@ -596,6 +815,15 @@ fn dispatch_job(
     loop {
         match response_rx.recv_timeout(shared.config.poll_interval) {
             Ok(response) => {
+                // Connection-drop fault: the request executed (and its
+                // response is dedup-cached when it carried an id), but the
+                // response line is eaten and the socket closed — the
+                // client sees a mid-request disconnect and must recover by
+                // reconnect + retry.
+                if fault == Some(FaultKind::DropConnection) {
+                    shared.stats.inc(&shared.stats.dropped_conns);
+                    return false;
+                }
                 if client_gone {
                     return false;
                 }
@@ -638,6 +866,9 @@ const _: () = {
         assert_send_sync::<CancelToken>();
         assert_send_sync::<Shared>();
         assert_send_sync::<ServerStats>();
+        assert_send_sync::<FaultState>();
+        assert_send_sync::<Mutex<DedupCache>>();
+        assert_send_sync::<WorkerSlot>();
     }
     let _ = assert_all;
 };
@@ -760,6 +991,168 @@ mod tests {
             handle.join().expect("server thread");
         }
         assert_eq!(outputs[0], outputs[1], "thread count changed the ranking");
+    }
+
+    #[test]
+    fn cancellable_sleep_completes_and_cancels() {
+        let token = CancelToken::new();
+        let started = Instant::now();
+        assert!(cancellable_sleep(
+            Duration::from_millis(20),
+            &token,
+            Duration::from_millis(5)
+        ));
+        assert!(started.elapsed() >= Duration::from_millis(20));
+        token.cancel();
+        let started = Instant::now();
+        assert!(!cancellable_sleep(
+            Duration::from_millis(5000),
+            &token,
+            Duration::from_millis(5)
+        ));
+        assert!(started.elapsed() < Duration::from_secs(2), "did not cancel");
+    }
+
+    #[test]
+    fn bind_retry_rides_out_addr_in_use() {
+        let occupant = TcpListener::bind("127.0.0.1:0").expect("occupy");
+        let addr = occupant.local_addr().expect("addr");
+        let release = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(60));
+            drop(occupant);
+        });
+        let detector = OutlierDetector::new(toy::figure1_network());
+        let server = Server::bind_retry(
+            detector,
+            addr,
+            ServerConfig::default(),
+            20,
+            Duration::from_millis(10),
+        )
+        .expect("bind_retry should win once the occupant releases the port");
+        assert_eq!(server.local_addr(), addr);
+        release.join().expect("release thread");
+        // A non-AddrInUse error fails immediately, no retry loop.
+        let detector = OutlierDetector::new(toy::figure1_network());
+        let started = Instant::now();
+        let err = Server::bind_retry(
+            detector,
+            "203.0.113.1:1", // TEST-NET address: bind cannot succeed
+            ServerConfig::default(),
+            50,
+            Duration::from_millis(100),
+        )
+        .expect_err("binding a non-local address must fail");
+        assert_ne!(err.kind(), ErrorKind::AddrInUse);
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "retried a non-retryable error"
+        );
+    }
+
+    #[test]
+    fn faults_verb_installs_and_panic_is_isolated() {
+        let (addr, handle) = toy_server(ServerConfig {
+            workers: 2,
+            queue_cap: 8,
+            ..ServerConfig::default()
+        });
+        let q =
+            "QUERY FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author JUDGED BY author.paper.venue;";
+        let responses = send_lines(
+            addr,
+            &[
+                "FAULTS",
+                "FAULTS seed=1;panic@0",
+                q, // index 0 → panics inside the worker, isolated
+                q, // index 1 → served normally by the same pool
+                "FAULTS",
+                "FAULTS OFF",
+                "STATS",
+            ],
+        );
+        assert!(responses[0].contains(r#""spec":null"#), "{}", responses[0]);
+        assert!(
+            responses[1].contains(r#""spec":"seed=1;panic@0""#),
+            "{}",
+            responses[1]
+        );
+        assert!(
+            responses[2].contains(r#""code":"Panic""#) && responses[2].contains("fault injection"),
+            "{}",
+            responses[2]
+        );
+        assert!(responses[3].starts_with(r#"{"result""#), "{}", responses[3]);
+        assert!(
+            responses[4].contains(r#""panics":1"#) && responses[4].contains(r#""requests_seen":2"#),
+            "{}",
+            responses[4]
+        );
+        assert!(responses[5].contains(r#""spec":null"#), "{}", responses[5]);
+        assert!(responses[6].contains(r#""panics":1"#), "{}", responses[6]);
+        send_lines(addr, &["SHUTDOWN"]);
+        let final_stats = handle.join().expect("server thread");
+        assert_eq!(final_stats.panics, 1);
+        assert_eq!(
+            final_stats.respawns, 0,
+            "isolated panic must not kill the worker"
+        );
+        assert_eq!(final_stats.completed, 1);
+    }
+
+    #[test]
+    fn killed_worker_is_respawned_and_serving_continues() {
+        let detector = OutlierDetector::new(toy::figure1_network()).with_vector_cache(256);
+        let server = Server::bind(
+            detector,
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 1, // the kill takes out the whole pool
+                queue_cap: 8,
+                poll_interval: Duration::from_millis(5),
+                fault_plan: Some(FaultPlan::parse("kill@0").expect("plan")),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+        let q =
+            "QUERY FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author JUDGED BY author.paper.venue;";
+        let responses = send_lines(addr, &[q, q, q, "SHUTDOWN"]);
+        assert!(
+            responses[0].contains("worker dropped the request"),
+            "{}",
+            responses[0]
+        );
+        assert!(responses[1].starts_with(r#"{"result""#), "{}", responses[1]);
+        assert!(responses[2].starts_with(r#"{"result""#), "{}", responses[2]);
+        let final_stats = handle.join().expect("server thread");
+        assert_eq!(final_stats.respawns, 1);
+        assert_eq!(final_stats.completed, 2);
+    }
+
+    #[test]
+    fn idempotent_requests_are_deduplicated_byte_identically() {
+        let (addr, handle) = toy_server(ServerConfig {
+            workers: 2,
+            queue_cap: 8,
+            ..ServerConfig::default()
+        });
+        let q = "QUERY id=42 FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author JUDGED BY author.paper.venue;";
+        let responses = send_lines(addr, &[q, q, q, "STATS", "SHUTDOWN"]);
+        assert!(responses[0].starts_with(r#"{"result""#), "{}", responses[0]);
+        // Replays are byte-identical — including exec_us, which would differ
+        // had the query actually re-executed.
+        assert_eq!(responses[0], responses[1]);
+        assert_eq!(responses[0], responses[2]);
+        assert!(responses[3].contains(r#""deduped":2"#), "{}", responses[3]);
+        let final_stats = handle.join().expect("server thread");
+        assert_eq!(final_stats.deduped, 2);
+        assert_eq!(
+            final_stats.completed, 1,
+            "the query must execute exactly once"
+        );
     }
 
     #[test]

@@ -145,6 +145,17 @@ pub struct ServerStats {
     pub errors: AtomicU64,
     /// Jobs currently executing in workers.
     pub in_flight: AtomicU64,
+    /// Request executions that panicked and were isolated (answered with a
+    /// structured `PANIC` error instead of tearing down the worker).
+    pub panics: AtomicU64,
+    /// Worker threads respawned by the supervisor (after a worker death or
+    /// a hung-worker replacement).
+    pub respawns: AtomicU64,
+    /// Requests answered from the idempotent-request dedup cache (retries
+    /// of an already-executed request id).
+    pub deduped: AtomicU64,
+    /// Connections dropped server-side by fault injection.
+    pub dropped_conns: AtomicU64,
     histograms: Mutex<Histograms>,
     started: Mutex<Option<Instant>>,
 }
@@ -198,6 +209,10 @@ impl ServerStats {
             degraded: self.degraded.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            respawns: self.respawns.load(Ordering::Relaxed),
+            deduped: self.deduped.load(Ordering::Relaxed),
+            dropped_conns: self.dropped_conns.load(Ordering::Relaxed),
             queue_depth,
             queue_cap,
             cache,
@@ -256,6 +271,14 @@ pub struct StatsSnapshot {
     pub errors: u64,
     /// Jobs executing right now.
     pub in_flight: u64,
+    /// Isolated request panics.
+    pub panics: u64,
+    /// Workers respawned by the supervisor.
+    pub respawns: u64,
+    /// Responses replayed from the idempotency dedup cache.
+    pub deduped: u64,
+    /// Connections dropped by fault injection.
+    pub dropped_conns: u64,
     /// Jobs waiting in the admission queue right now.
     pub queue_depth: usize,
     /// Admission queue capacity.
@@ -313,8 +336,16 @@ mod tests {
             Duration::from_micros(100),
             Duration::from_micros(120),
         );
+        stats.inc(&stats.panics);
+        stats.inc(&stats.respawns);
+        stats.inc(&stats.deduped);
+        stats.inc(&stats.dropped_conns);
         let snap = stats.snapshot(3, 8, CacheSnapshot::default());
         assert_eq!(snap.requests, 2);
+        assert_eq!(snap.panics, 1);
+        assert_eq!(snap.respawns, 1);
+        assert_eq!(snap.deduped, 1);
+        assert_eq!(snap.dropped_conns, 1);
         assert_eq!(snap.completed, 1);
         assert_eq!(snap.cancelled, 1);
         assert_eq!(snap.queue_depth, 3);

@@ -1,0 +1,416 @@
+//! Worker supervision: keep the pool at full strength even when workers
+//! die or wedge.
+//!
+//! Each worker owns a [`WorkerSlot`] — a tiny atomics block it updates as
+//! it runs: a heartbeat timestamp (touched on every queue poll and job
+//! boundary), a busy-since timestamp while a job executes, and a
+//! clean-exit flag set as the very last statement of a normal return. The
+//! supervisor thread polls the roster and:
+//!
+//! * **dead worker** (thread finished without the clean-exit flag — i.e.
+//!   the worker loop panicked outside the per-request isolation boundary):
+//!   joined and replaced with a fresh worker, so the admission queue keeps
+//!   draining. Queued jobs are untouched (the MPMC channel is shared);
+//!   only the job the dead worker held is lost, and its connection handler
+//!   reports `worker dropped the request` to that one client.
+//! * **hung worker** (optional, off by default: busy on a single job for
+//!   longer than `hang_timeout`): a *replacement* is spawned so capacity
+//!   recovers, and the wedged thread is parked on a zombie list. If it
+//!   ever finishes it is reaped; at shutdown, zombies get a bounded grace
+//!   period and are then detached rather than blocking shutdown forever.
+//! * **clean exit** (the job channel disconnected — server drain): joined
+//!   and *not* replaced; when the roster empties the supervisor returns.
+//!
+//! Respawns and replacements are counted in
+//! [`ServerStats::respawns`](crate::stats::ServerStats). The supervisor
+//! never blocks on a worker that has not finished, so one wedged thread
+//! cannot stall supervision of the others.
+
+use crate::stats::ServerStats;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Supervision knobs.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Roster poll interval.
+    pub poll: Duration,
+    /// Replace a worker busy on one job for longer than this (`None`
+    /// disables hang detection — a long-running query under a generous
+    /// budget is indistinguishable from a wedge, so this is opt-in).
+    pub hang_timeout: Option<Duration>,
+    /// At shutdown, how long to wait for zombie (hung-then-replaced)
+    /// workers to finish before detaching them.
+    pub zombie_grace: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            poll: Duration::from_millis(10),
+            hang_timeout: None,
+            zombie_grace: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Liveness state one worker shares with the supervisor. All fields are
+/// plain atomics: workers write, the supervisor reads, nothing blocks.
+#[derive(Debug, Default)]
+pub struct WorkerSlot {
+    /// Milliseconds since the server epoch of the last sign of life
+    /// (queue poll, job pickup, job completion, sleep slice).
+    heartbeat_ms: AtomicU64,
+    /// `0` when idle; `ms + 1` since the epoch when the current job
+    /// started (the `+1` keeps `0` unambiguous).
+    busy_since_ms: AtomicU64,
+    /// Set as the final statement of a normal worker-loop return. A
+    /// finished thread without this flag died by panic.
+    exited_clean: AtomicBool,
+}
+
+fn now_ms(epoch: Instant) -> u64 {
+    epoch.elapsed().as_millis() as u64
+}
+
+impl WorkerSlot {
+    /// A fresh slot, shared between one worker and the supervisor.
+    pub fn new() -> Arc<WorkerSlot> {
+        Arc::new(WorkerSlot::default())
+    }
+
+    /// Record a sign of life.
+    pub fn beat(&self, epoch: Instant) {
+        self.heartbeat_ms.store(now_ms(epoch), Ordering::Relaxed);
+    }
+
+    /// Mark the start of a job (also beats).
+    pub fn set_busy(&self, epoch: Instant) {
+        let now = now_ms(epoch);
+        self.heartbeat_ms.store(now, Ordering::Relaxed);
+        self.busy_since_ms.store(now + 1, Ordering::Relaxed);
+    }
+
+    /// Mark the end of a job (also beats).
+    pub fn set_idle(&self, epoch: Instant) {
+        self.busy_since_ms.store(0, Ordering::Relaxed);
+        self.heartbeat_ms.store(now_ms(epoch), Ordering::Relaxed);
+    }
+
+    /// Record a normal (non-panic) worker-loop return. Must be the last
+    /// thing the loop does.
+    pub fn mark_clean_exit(&self) {
+        self.exited_clean.store(true, Ordering::Release);
+    }
+
+    /// Did the worker loop return normally?
+    pub fn exited_clean(&self) -> bool {
+        self.exited_clean.load(Ordering::Acquire)
+    }
+
+    /// How long the current job has been executing (`None` when idle).
+    pub fn busy_for(&self, epoch: Instant) -> Option<Duration> {
+        let v = self.busy_since_ms.load(Ordering::Relaxed);
+        if v == 0 {
+            return None;
+        }
+        Some(Duration::from_millis(now_ms(epoch).saturating_sub(v - 1)))
+    }
+
+    /// Milliseconds since the epoch of the last heartbeat.
+    pub fn last_beat_ms(&self) -> u64 {
+        self.heartbeat_ms.load(Ordering::Relaxed)
+    }
+}
+
+struct Member {
+    slot: Arc<WorkerSlot>,
+    handle: JoinHandle<()>,
+}
+
+/// Give up on a respawn after this many consecutive spawn failures (spawn
+/// failing means thread creation itself errors — resource exhaustion). The
+/// cap keeps a shutdown from spinning forever if spawning never recovers.
+const MAX_SPAWN_FAILURES: u32 = 1000;
+
+/// Run the supervision loop (call on a dedicated thread). Spawns the
+/// initial `workers` workers via `spawn(worker_id, slot)`, then supervises
+/// until every live worker has exited cleanly (which happens exactly when
+/// the job channel disconnects at server drain). Returns after reaping —
+/// or, past the grace period, detaching — any zombies.
+///
+/// # Panics
+///
+/// Panics if an *initial* worker cannot be spawned: a server that cannot
+/// start its pool is unrecoverable. Later respawn failures are retried.
+pub fn supervise<F>(
+    workers: usize,
+    config: &SupervisorConfig,
+    epoch: Instant,
+    stats: &ServerStats,
+    spawn: F,
+) where
+    F: Fn(usize, Arc<WorkerSlot>) -> std::io::Result<JoinHandle<()>>,
+{
+    let mut next_id = 0usize;
+    let mut roster: Vec<Member> = (0..workers)
+        .map(|_| {
+            let slot = WorkerSlot::new();
+            let id = next_id;
+            next_id += 1;
+            let handle = spawn(id, Arc::clone(&slot))
+                .unwrap_or_else(|e| panic!("spawning initial worker {id}: {e}"));
+            Member { slot, handle }
+        })
+        .collect();
+    let mut zombies: Vec<Member> = Vec::new();
+    let mut pending_respawns = 0usize;
+    let mut spawn_failures = 0u32;
+
+    loop {
+        // Reap finished workers. Dead ones (no clean-exit flag) queue a
+        // respawn; clean ones shrink the roster (server drain).
+        let mut i = 0;
+        while i < roster.len() {
+            if roster[i].handle.is_finished() {
+                let member = roster.swap_remove(i);
+                let clean = member.slot.exited_clean();
+                let _ = member.handle.join(); // panic payload already accounted
+                if !clean {
+                    pending_respawns += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+
+        // Hung workers: move to the zombie list and queue a replacement.
+        if let Some(timeout) = config.hang_timeout {
+            let mut i = 0;
+            while i < roster.len() {
+                let hung = roster[i]
+                    .slot
+                    .busy_for(epoch)
+                    .is_some_and(|busy| busy > timeout);
+                if hung {
+                    zombies.push(roster.swap_remove(i));
+                    pending_respawns += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        // Respawn. Failures are retried next tick (bounded).
+        while pending_respawns > 0 {
+            let slot = WorkerSlot::new();
+            let id = next_id;
+            match spawn(id, Arc::clone(&slot)) {
+                Ok(handle) => {
+                    next_id += 1;
+                    roster.push(Member { slot, handle });
+                    pending_respawns -= 1;
+                    spawn_failures = 0;
+                    stats.inc(&stats.respawns);
+                }
+                Err(_) => {
+                    spawn_failures += 1;
+                    if spawn_failures >= MAX_SPAWN_FAILURES {
+                        // Give up on this replacement rather than spin
+                        // forever; the pool runs degraded.
+                        pending_respawns -= 1;
+                        spawn_failures = 0;
+                    }
+                    break;
+                }
+            }
+        }
+
+        // Reap any zombie that came back to life and finished.
+        reap_finished(&mut zombies);
+
+        if roster.is_empty() && pending_respawns == 0 {
+            break;
+        }
+        std::thread::sleep(config.poll);
+    }
+
+    // Drain zombies with a bounded grace period, then detach the rest —
+    // a truly wedged thread must not block server shutdown.
+    let deadline = Instant::now() + config.zombie_grace;
+    while !zombies.is_empty() && Instant::now() < deadline {
+        reap_finished(&mut zombies);
+        if zombies.is_empty() {
+            break;
+        }
+        std::thread::sleep(config.poll.min(Duration::from_millis(10)));
+    }
+    drop(zombies); // detach whatever is left
+}
+
+fn reap_finished(zombies: &mut Vec<Member>) {
+    let mut i = 0;
+    while i < zombies.len() {
+        if zombies[i].handle.is_finished() {
+            let member = zombies.swap_remove(i);
+            let _ = member.handle.join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel;
+
+    /// Drive the supervisor with toy workers that pull `u64` jobs from a
+    /// channel: `0` = do nothing, `1` = panic (die), `2` = wedge busy
+    /// until told to stop.
+    struct Harness {
+        tx: channel::Sender<u64>,
+        rx: channel::Receiver<u64>,
+        stats: Arc<ServerStats>,
+        epoch: Instant,
+        processed: Arc<AtomicU64>,
+        release_wedged: Arc<AtomicBool>,
+    }
+
+    impl Harness {
+        fn new() -> Harness {
+            let (tx, rx) = channel::bounded::<u64>(64);
+            Harness {
+                tx,
+                rx,
+                stats: Arc::new(ServerStats::new()),
+                epoch: Instant::now(),
+                processed: Arc::new(AtomicU64::new(0)),
+                release_wedged: Arc::new(AtomicBool::new(false)),
+            }
+        }
+
+        fn start(&self, workers: usize, config: SupervisorConfig) -> JoinHandle<()> {
+            let rx = self.rx.clone();
+            let stats = Arc::clone(&self.stats);
+            let epoch = self.epoch;
+            let processed = Arc::clone(&self.processed);
+            let release = Arc::clone(&self.release_wedged);
+            std::thread::spawn(move || {
+                supervise(workers, &config, epoch, &stats, |id, slot| {
+                    let rx = rx.clone();
+                    let processed = Arc::clone(&processed);
+                    let release = Arc::clone(&release);
+                    std::thread::Builder::new()
+                        .name(format!("test-worker-{id}"))
+                        .spawn(move || {
+                            loop {
+                                slot.beat(epoch);
+                                match rx.recv_timeout(Duration::from_millis(5)) {
+                                    Ok(job) => {
+                                        slot.set_busy(epoch);
+                                        match job {
+                                            1 => panic!("injected worker death"),
+                                            2 => {
+                                                while !release.load(Ordering::Relaxed) {
+                                                    std::thread::sleep(Duration::from_millis(2));
+                                                }
+                                            }
+                                            _ => {}
+                                        }
+                                        processed.fetch_add(1, Ordering::Relaxed);
+                                        slot.set_idle(epoch);
+                                    }
+                                    Err(channel::RecvTimeoutError::Timeout) => {}
+                                    Err(channel::RecvTimeoutError::Disconnected) => break,
+                                }
+                            }
+                            slot.mark_clean_exit();
+                        })
+                })
+            })
+        }
+
+        fn wait_processed(&self, n: u64) {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while self.processed.load(Ordering::Relaxed) < n {
+                assert!(Instant::now() < deadline, "timed out waiting for {n} jobs");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+
+    #[test]
+    fn clean_drain_joins_all_workers_without_respawns() {
+        let h = Harness::new();
+        let sup = h.start(3, SupervisorConfig::default());
+        for _ in 0..10 {
+            h.tx.send(0).unwrap();
+        }
+        h.wait_processed(10);
+        drop(h.tx); // disconnect → workers exit clean → supervisor returns
+        sup.join().expect("supervisor");
+        assert_eq!(h.stats.respawns.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn dead_workers_are_respawned_and_queue_keeps_draining() {
+        let h = Harness::new();
+        let sup = h.start(2, SupervisorConfig::default());
+        // Kill both workers twice over, interleaved with real work. Without
+        // respawn the pool would die and the later jobs would strand.
+        for job in [0u64, 1, 1, 0, 1, 1, 0, 0] {
+            h.tx.send(job).unwrap();
+        }
+        h.wait_processed(4); // the four `0` jobs all complete
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while h.stats.respawns.load(Ordering::Relaxed) < 4 {
+            assert!(Instant::now() < deadline, "respawns never reached 4");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        drop(h.tx);
+        sup.join().expect("supervisor");
+        assert_eq!(h.stats.respawns.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn hung_worker_gets_replacement_and_detaches_at_shutdown() {
+        let h = Harness::new();
+        let sup = h.start(
+            1,
+            SupervisorConfig {
+                poll: Duration::from_millis(5),
+                hang_timeout: Some(Duration::from_millis(40)),
+                zombie_grace: Duration::from_millis(300),
+            },
+        );
+        h.tx.send(2).unwrap(); // wedge the only worker
+        h.tx.send(0).unwrap(); // must still complete via the replacement
+        h.wait_processed(1);
+        assert!(h.stats.respawns.load(Ordering::Relaxed) >= 1);
+        // Let the zombie recover inside the grace window, then drain.
+        h.release_wedged.store(true, Ordering::Relaxed);
+        h.wait_processed(2);
+        drop(h.tx);
+        sup.join().expect("supervisor");
+    }
+
+    #[test]
+    fn slot_busy_and_heartbeat_accounting() {
+        let epoch = Instant::now();
+        let slot = WorkerSlot::new();
+        assert_eq!(slot.busy_for(epoch), None);
+        assert!(!slot.exited_clean());
+        slot.set_busy(epoch);
+        std::thread::sleep(Duration::from_millis(15));
+        let busy = slot.busy_for(epoch).expect("busy");
+        assert!(busy >= Duration::from_millis(10), "{busy:?}");
+        slot.set_idle(epoch);
+        assert_eq!(slot.busy_for(epoch), None);
+        assert!(slot.last_beat_ms() <= epoch.elapsed().as_millis() as u64);
+        slot.mark_clean_exit();
+        assert!(slot.exited_clean());
+    }
+}

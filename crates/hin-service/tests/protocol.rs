@@ -3,8 +3,8 @@
 //! oversized lines). `Request::parse` must classify every input as a
 //! request or a `ParseError` — never panic.
 
-use hin_service::protocol::{ErrorCode, Response, MAX_LINE_BYTES};
-use hin_service::{ExecMode, Request, RequestOptions};
+use hin_service::protocol::{ErrorCode, FaultCommand, Response, MAX_LINE_BYTES};
+use hin_service::{ExecMode, FaultPlan, Request, RequestOptions};
 use proptest::prelude::*;
 
 /// Query text that survives a wire round-trip verbatim: starts with a token
@@ -25,15 +25,57 @@ fn options() -> impl Strategy<Value = RequestOptions> {
             Just(ExecMode::Strict),
             Just(ExecMode::BestEffort)
         ]),
+        proptest::option::of(any::<u64>()),
     )
         .prop_map(
-            |(timeout_ms, max_candidates, max_nnz, mode)| RequestOptions {
+            |(timeout_ms, max_candidates, max_nnz, mode, id)| RequestOptions {
                 timeout_ms,
                 max_candidates,
                 max_nnz,
                 mode,
+                id,
             },
         )
+}
+
+/// A fault plan built from its canonical spec string — `parse` is the only
+/// constructor, so generate specs and keep the ones that parse.
+fn fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        proptest::collection::vec(
+            (
+                prop_oneof![
+                    Just("panic".to_string()),
+                    Just("kill".to_string()),
+                    Just("drop".to_string()),
+                    Just("alloc".to_string()),
+                    Just("delay".to_string()),
+                ],
+                prop_oneof![Just('@'), Just('~')],
+                0u64..=1_000_000,
+                1u64..=100_000,
+            ),
+            1..5,
+        ),
+    )
+        .prop_map(|(seed, entries)| {
+            let mut spec = format!("seed={seed}");
+            for (kind, sep, n, millis) in entries {
+                let n = if sep == '~' { n.max(1) } else { n };
+                spec.push(';');
+                spec.push_str(&kind);
+                spec.push(sep);
+                spec.push_str(&n.to_string());
+                if kind == "delay" {
+                    spec.push_str(&format!(":{millis}"));
+                }
+            }
+            match FaultPlan::parse(&spec) {
+                Ok(plan) => plan,
+                Err(e) => panic!("generated spec {spec:?} must parse: {e}"),
+            }
+        })
 }
 
 fn request() -> impl Strategy<Value = Request> {
@@ -41,7 +83,11 @@ fn request() -> impl Strategy<Value = Request> {
         Just(Request::Ping),
         Just(Request::Stats),
         Just(Request::Shutdown),
-        (0u64..=100_000).prop_map(|ms| Request::Sleep { ms }),
+        Just(Request::Faults(FaultCommand::Status)),
+        Just(Request::Faults(FaultCommand::Clear)),
+        fault_plan().prop_map(|plan| Request::Faults(FaultCommand::Install(plan))),
+        (0u64..=100_000, proptest::option::of(any::<u64>()))
+            .prop_map(|(ms, id)| Request::Sleep { ms, id }),
         (options(), query_text()).prop_map(|(options, text)| Request::Query { options, text }),
         (options(), query_text()).prop_map(|(options, text)| Request::Explain { options, text }),
     ]
@@ -117,7 +163,15 @@ fn oversized_lines_rejected_with_structured_error() {
 
 #[test]
 fn responses_for_malformed_requests_are_valid_json_lines() {
-    for line in ["", "FROB x", "SLEEP banana", "QUERY mode=? FIND x;"] {
+    for line in [
+        "",
+        "FROB x",
+        "SLEEP banana",
+        "QUERY mode=? FIND x;",
+        "FAULTS frob@1",
+        "FAULTS panic@",
+        "SLEEP timeout-ms=5 10",
+    ] {
         let err = Request::parse(line).expect_err("must fail");
         let json = Response::err(ErrorCode::Protocol, err.to_string()).to_json_line();
         assert!(!json.contains('\n'), "response must be one line: {json}");

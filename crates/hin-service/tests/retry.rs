@@ -1,0 +1,155 @@
+//! Property tests for the self-healing retry layer (DESIGN.md §11): the
+//! backoff envelope is monotone and capped, jitter stays inside the
+//! envelope and is reproducible from its seed, per-attempt deadlines never
+//! exceed the remaining overall budget, a full worst-case retry schedule
+//! fits the caller's deadline, and the dedup cache replays byte-identical
+//! responses under LRU eviction.
+
+use hin_service::{DedupCache, RetryPolicy, XorShift64};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn policy() -> impl Strategy<Value = RetryPolicy> {
+    (
+        1u32..=8,
+        1u64..=1_000,
+        1u64..=5_000,
+        1u64..=60_000,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(max_attempts, base_ms, cap_ms, deadline_ms, seed)| RetryPolicy {
+                max_attempts,
+                base_backoff: Duration::from_millis(base_ms),
+                backoff_cap: Duration::from_millis(cap_ms),
+                overall_deadline: Duration::from_millis(deadline_ms),
+                seed,
+            },
+        )
+}
+
+proptest! {
+    /// The backoff envelope never shrinks as attempts grow, never exceeds
+    /// the cap, and starts at `min(base, cap)`.
+    #[test]
+    fn envelope_is_monotone_and_capped(policy in policy(), attempts in 1u32..200) {
+        let mut previous = Duration::ZERO;
+        for attempt in 0..attempts {
+            let env = policy.envelope(attempt);
+            prop_assert!(env >= previous, "attempt {attempt}: {env:?} < {previous:?}");
+            prop_assert!(env <= policy.backoff_cap);
+            previous = env;
+        }
+        prop_assert_eq!(
+            policy.envelope(0),
+            policy.base_backoff.min(policy.backoff_cap)
+        );
+    }
+
+    /// Jitter is uniform-bounded — always within `[0, envelope]` — and
+    /// fully determined by the seed: two rngs on the same seed produce the
+    /// same schedule (reproducible chaos, debuggable retries).
+    #[test]
+    fn jitter_within_envelope_and_seed_deterministic(
+        policy in policy(),
+        rounds in 1usize..50,
+    ) {
+        let mut a = XorShift64::new(policy.seed);
+        let mut b = XorShift64::new(policy.seed);
+        for round in 0..rounds {
+            let attempt = (round % 12) as u32;
+            let ja = policy.jitter(attempt, &mut a);
+            prop_assert!(ja <= policy.envelope(attempt), "round {round}: {ja:?}");
+            prop_assert_eq!(ja, policy.jitter(attempt, &mut b));
+        }
+    }
+
+    /// A per-attempt deadline never exceeds the remaining budget (modulo
+    /// the 1 ms floor the OS demands of socket timeouts) and is never zero.
+    #[test]
+    fn attempt_timeout_respects_remaining_budget(
+        remaining_ms in 0u64..120_000,
+        attempts_left in 0u32..16,
+    ) {
+        let remaining = Duration::from_millis(remaining_ms);
+        let t = RetryPolicy::attempt_timeout(remaining, attempts_left);
+        prop_assert!(t >= Duration::from_millis(1), "{t:?}");
+        prop_assert!(
+            t <= remaining.max(Duration::from_millis(1)),
+            "{t:?} exceeds remaining {remaining:?}"
+        );
+    }
+
+    /// Simulate the worst-case schedule of a full `send_idempotent` call:
+    /// every attempt spends its whole per-attempt deadline and every
+    /// backoff draws its jitter, with both clamped to the remaining budget
+    /// exactly as the client clamps them. The total never exceeds
+    /// `overall_deadline` plus the 1 ms floor per attempt.
+    #[test]
+    fn worst_case_retry_schedule_fits_the_overall_deadline(policy in policy()) {
+        let mut rng = XorShift64::new(policy.seed);
+        let total_budget = policy.overall_deadline;
+        let mut spent = Duration::ZERO;
+        let attempts = policy.max_attempts.max(1);
+        for attempt in 0..attempts {
+            let Some(remaining) = total_budget.checked_sub(spent) else { break };
+            if remaining.is_zero() {
+                break;
+            }
+            spent += RetryPolicy::attempt_timeout(remaining, attempts - attempt);
+            if attempt + 1 < attempts {
+                let Some(remaining) = total_budget.checked_sub(spent) else { break };
+                spent += policy.jitter(attempt, &mut rng).min(remaining);
+            }
+        }
+        // Each attempt may overshoot its share only by the 1 ms floor.
+        let slack = Duration::from_millis(u64::from(attempts));
+        prop_assert!(
+            spent <= total_budget + slack,
+            "schedule {spent:?} exceeds deadline {total_budget:?} + {slack:?}"
+        );
+    }
+
+    /// The dedup cache replays exactly the bytes inserted, holds at most
+    /// `cap` entries evicting least-recently-used first, and a `cap` of 0
+    /// disables it entirely.
+    #[test]
+    fn dedup_cache_is_byte_faithful_lru(
+        cap in 0usize..8,
+        inserts in proptest::collection::vec((any::<u64>(), "[a-z]{0,12}"), 0..32),
+    ) {
+        let mut cache = DedupCache::new(cap);
+        let mut reference: Vec<(u64, String)> = Vec::new();
+        for (id, body) in &inserts {
+            let line = format!("{{\"result\":\"{body}\"}}");
+            cache.insert(*id, line.clone());
+            reference.retain(|(k, _)| k != id);
+            reference.push((*id, line));
+            if reference.len() > cap {
+                reference.remove(0); // oldest = least recently used
+            }
+            prop_assert!(cache.len() <= cap, "{} > cap {cap}", cache.len());
+            // Every retained entry replays byte-identically.
+            for (k, v) in &reference {
+                prop_assert_eq!(cache.get(*k).as_deref(), Some(v.as_str()));
+            }
+        }
+        if cap == 0 {
+            prop_assert!(cache.is_empty());
+        }
+    }
+}
+
+/// `get` refreshes recency: after touching the oldest entry, an insert
+/// past capacity evicts the *second*-oldest instead.
+#[test]
+fn dedup_get_refreshes_recency() {
+    let mut cache = DedupCache::new(2);
+    cache.insert(1, "one".into());
+    cache.insert(2, "two".into());
+    assert_eq!(cache.get(1).as_deref(), Some("one")); // 1 is now most recent
+    cache.insert(3, "three".into()); // evicts 2, not 1
+    assert_eq!(cache.get(1).as_deref(), Some("one"));
+    assert_eq!(cache.get(2), None);
+    assert_eq!(cache.get(3).as_deref(), Some("three"));
+}

@@ -1,0 +1,341 @@
+//! Chaos-under-load integration tests (DESIGN.md §11): deterministic fault
+//! injection drives worker panics, worker kills, and dropped connections
+//! through a live server, and the suite proves the fault-tolerance
+//! invariants end to end — panics are isolated into structured responses,
+//! killed workers are respawned and the queue keeps draining, the
+//! self-healing client recovers dropped responses byte-identically from the
+//! server-side dedup cache, and the final statistics ledger balances.
+//!
+//! Every fault decision comes from a seeded plan keyed on the request
+//! admission index, so each run injects *exactly* the planned faults and
+//! the assertions can demand equality, not bounds.
+
+use hin_datagen::dblp::{generate, SyntheticConfig};
+use hin_service::client::{response_kind, run_closed_loop};
+use hin_service::{
+    Client, FaultPlan, LoadSpec, RetryClient, RetryPolicy, Server, ServerConfig, StatsSnapshot,
+};
+use netout::OutlierDetector;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// A small synthetic DBLP network plus a valid anchored query against it.
+fn fixture(seed: u64) -> (OutlierDetector, String) {
+    let net = generate(&SyntheticConfig::tiny(seed));
+    let author = net.graph.schema().vertex_type_by_name("author").unwrap();
+    let paper = net.graph.schema().vertex_type_by_name("paper").unwrap();
+    let anchor = net
+        .graph
+        .vertices_of_type(author)
+        .iter()
+        .find(|&&a| net.graph.step_degree(a, paper) >= 3)
+        .copied()
+        .unwrap();
+    let query = format!(
+        "FIND OUTLIERS FROM author{{\"{}\"}}.paper.author \
+         JUDGED BY author.paper.venue TOP 5;",
+        net.graph.vertex_name(anchor)
+    );
+    (
+        OutlierDetector::new(net.graph).with_vector_cache(1024),
+        query,
+    )
+}
+
+fn spawn(
+    detector: OutlierDetector,
+    config: ServerConfig,
+) -> (SocketAddr, std::thread::JoinHandle<StatsSnapshot>) {
+    let server = Server::bind(detector, "127.0.0.1:0", config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn shutdown(addr: SocketAddr) {
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    let bye = client.send_line("SHUTDOWN").expect("shutdown");
+    assert!(bye.starts_with(r#"{"bye""#), "{bye}");
+}
+
+/// Run one sequential pass of `n` SLEEP requests against a fresh server
+/// carrying `plan`, returning the response kind observed at each request
+/// index plus the final statistics snapshot.
+fn sequential_pass(plan: &str, n: usize) -> (Vec<String>, StatsSnapshot) {
+    let (detector, _) = fixture(51);
+    let (addr, server) = spawn(
+        detector,
+        ServerConfig {
+            workers: 1,
+            queue_cap: 16,
+            poll_interval: Duration::from_millis(5),
+            fault_plan: Some(FaultPlan::parse(plan).expect("plan parses")),
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = Client::connect(addr).expect("connect");
+    let mut kinds = Vec::with_capacity(n);
+    for _ in 0..n {
+        let response = client.send_line("SLEEP 1").expect("one response");
+        let kind = match response_kind(&response) {
+            Some("err") if response.contains(r#""code":"Panic""#) => "panic".to_string(),
+            Some("err") if response.contains("worker dropped the request") => "killed".to_string(),
+            Some(k) => k.to_string(),
+            None => panic!("unclassifiable response: {response}"),
+        };
+        kinds.push(kind);
+    }
+    shutdown(addr);
+    (kinds, server.join().expect("server thread"))
+}
+
+/// The same fault plan injects the same faults at the same request indices
+/// on every run — chaos is reproducible, so failures found under it are
+/// debuggable. A worker panic at index 1 and a worker kill at index 3 are
+/// both proven non-fatal: later requests on the same connection succeed.
+#[test]
+fn fault_injection_is_deterministic_and_panics_are_not_fatal() {
+    let plan = "seed=5;panic@1;kill@3";
+    let (first, stats) = sequential_pass(plan, 6);
+    assert_eq!(
+        first,
+        vec!["slept", "panic", "slept", "killed", "slept", "slept"],
+        "planned faults must land exactly at their indices"
+    );
+    assert_eq!(stats.panics, 1, "{stats:?}");
+    assert_eq!(
+        stats.respawns, 1,
+        "killed worker must be respawned: {stats:?}"
+    );
+    assert_eq!(stats.errors, 2, "one panic + one kill: {stats:?}");
+    assert_eq!(stats.in_flight, 0, "{stats:?}");
+    assert_eq!(stats.queue_depth, 0, "{stats:?}");
+
+    // Second run, fresh server, same plan: byte-for-byte the same schedule.
+    let (second, _) = sequential_pass(plan, 6);
+    assert_eq!(first, second, "fault schedule must be reproducible");
+}
+
+/// Concurrent chaos with the self-healing client: every injected connection
+/// drop is healed by retry + server-side dedup (no lost or double-executed
+/// requests), every injected panic/kill surfaces as exactly one structured
+/// error, and the final ledger balances: ok + errors = all requests, zero
+/// hung connections, nothing left in flight.
+#[test]
+fn chaos_under_concurrency_accounts_for_every_request() {
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 10;
+    const TOTAL: u64 = (CLIENTS * PER_CLIENT) as u64;
+
+    let (detector, _) = fixture(53);
+    let plan = FaultPlan::parse("seed=9;panic~6;kill~11;drop~4").expect("plan parses");
+    let (addr, server) = spawn(
+        detector,
+        ServerConfig {
+            workers: 4,
+            queue_cap: 64,
+            poll_interval: Duration::from_millis(5),
+            fault_plan: Some(plan),
+            ..ServerConfig::default()
+        },
+    );
+
+    let report = run_closed_loop(
+        addr,
+        &LoadSpec {
+            clients: CLIENTS,
+            requests_per_client: PER_CLIENT,
+            lines: vec!["SLEEP 1".to_string()],
+            retry: Some(RetryPolicy {
+                max_attempts: 5,
+                base_backoff: Duration::from_millis(2),
+                backoff_cap: Duration::from_millis(20),
+                overall_deadline: Duration::from_secs(20),
+                seed: 77,
+            }),
+        },
+    );
+
+    // What did the plan actually inject? Ask the server.
+    let mut probe = Client::connect(addr).expect("connect");
+    let faults = probe.send_line("FAULTS").expect("status");
+    let field = |name: &str| {
+        hin_service::client::json_u64_field(&faults, name)
+            .unwrap_or_else(|| panic!("missing {name} in {faults}"))
+    };
+    let (panics, kills, drops) = (field("panics"), field("kills"), field("drops"));
+    // Exactly one fault decision per pool request: retries of dropped
+    // responses are served from the dedup cache and never re-claim.
+    assert_eq!(field("requests_seen"), TOTAL, "{faults}");
+    assert!(panics + kills > 0, "plan injected nothing: {faults}");
+    assert!(drops > 0, "plan injected no drops: {faults}");
+    drop(probe);
+
+    // Every request got exactly one definitive response…
+    assert_eq!(report.requests, TOTAL, "{report:?}");
+    assert_eq!(
+        report.io_errors, 0,
+        "drops must be healed by retry: {report:?}"
+    );
+    assert_eq!(report.busy, 0, "queue 64 must not reject here: {report:?}");
+    // …and the split is exactly the injected faults: drops recovered (ok),
+    // panics and kills surfaced as structured errors.
+    assert_eq!(report.errors, panics + kills, "{report:?}\n{faults}");
+    assert_eq!(report.ok, TOTAL - panics - kills, "{report:?}\n{faults}");
+
+    shutdown(addr);
+    let stats = server.join().expect("server thread");
+    assert_eq!(stats.panics, panics, "{stats:?}");
+    assert_eq!(stats.respawns, kills, "every kill respawned: {stats:?}");
+    assert_eq!(stats.dropped_conns, drops, "{stats:?}");
+    assert_eq!(
+        stats.deduped, drops,
+        "each drop retried exactly once: {stats:?}"
+    );
+    assert_eq!(stats.in_flight, 0, "{stats:?}");
+    assert_eq!(stats.queue_depth, 0, "{stats:?}");
+}
+
+/// A response lost to a dropped connection is recovered **byte-identically**
+/// (same `exec_us`, same ranking bytes) by retrying with the same
+/// idempotency id: the server executed the request once, cached the
+/// serialized response, and replays it for every retry.
+#[test]
+fn dropped_response_recovers_byte_identically_within_deadline() {
+    let (detector, query) = fixture(59);
+    let (addr, server) = spawn(
+        detector,
+        ServerConfig {
+            workers: 2,
+            queue_cap: 8,
+            fault_plan: Some(FaultPlan::parse("seed=1;drop@0").expect("plan parses")),
+            ..ServerConfig::default()
+        },
+    );
+
+    // Explicit id so the recovered response can be cross-checked below.
+    let line = format!("QUERY id=424242 {query}");
+    let policy = RetryPolicy {
+        max_attempts: 4,
+        base_backoff: Duration::from_millis(2),
+        backoff_cap: Duration::from_millis(20),
+        overall_deadline: Duration::from_secs(10),
+        seed: 13,
+    };
+    let deadline = policy.overall_deadline;
+    let mut healing = RetryClient::new(addr, policy).expect("resolve");
+    let started = Instant::now();
+    let recovered = healing.send_idempotent(&line).expect("recovered response");
+    assert!(
+        started.elapsed() < deadline,
+        "recovery blew the caller deadline: {:?}",
+        started.elapsed()
+    );
+    assert_eq!(response_kind(&recovered), Some("result"), "{recovered}");
+
+    // The same id through a plain client replays the identical bytes —
+    // including `exec_us`, which a re-execution could never reproduce.
+    let mut plain = Client::connect(addr).expect("connect");
+    let replayed = plain.send_line(&line).expect("replay");
+    assert_eq!(recovered, replayed, "dedup replay must be byte-identical");
+
+    shutdown(addr);
+    let stats = server.join().expect("server thread");
+    assert_eq!(stats.dropped_conns, 1, "{stats:?}");
+    assert!(
+        stats.deduped >= 2,
+        "retry + replay both hit the cache: {stats:?}"
+    );
+    assert_eq!(stats.completed, 1, "the query ran exactly once: {stats:?}");
+}
+
+/// With a hang timeout configured, a worker stuck on one request is
+/// detected by the supervisor and a replacement is spawned: new requests
+/// are served promptly instead of queueing behind the wedge, and the
+/// stuck request still completes and delivers its response.
+#[test]
+fn hung_worker_gets_a_replacement_and_service_continues() {
+    let (detector, _) = fixture(61);
+    let (addr, server) = spawn(
+        detector,
+        ServerConfig {
+            workers: 1,
+            queue_cap: 8,
+            poll_interval: Duration::from_millis(5),
+            hang_timeout: Some(Duration::from_millis(100)),
+            ..ServerConfig::default()
+        },
+    );
+
+    // Wedge the only worker on a long sleep (cooperative, but well past the
+    // hang timeout — indistinguishable from a stuck request).
+    let mut sleeper = Client::connect(addr).expect("connect");
+    sleeper.send_no_wait("SLEEP 3000").expect("send");
+
+    // A second request would normally wait ~3 s behind the sleeper. The
+    // supervisor's replacement worker must serve it far sooner.
+    let mut prompt = Client::connect(addr).expect("connect");
+    let started = Instant::now();
+    let slept = prompt.send_line("SLEEP 1").expect("served by replacement");
+    assert_eq!(response_kind(&slept), Some("slept"), "{slept}");
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "request queued behind a hung worker for {:?}",
+        started.elapsed()
+    );
+
+    // The wedged request is not abandoned: its response still arrives.
+    let woke = sleeper.read_response().expect("sleeper response");
+    assert_eq!(response_kind(&woke), Some("slept"), "{woke}");
+
+    shutdown(addr);
+    let stats = server.join().expect("server thread");
+    assert!(stats.respawns >= 1, "no replacement spawned: {stats:?}");
+    assert_eq!(stats.completed, 2, "{stats:?}");
+    assert_eq!(stats.in_flight, 0, "{stats:?}");
+}
+
+/// The `FAULTS` verb reconfigures injection at runtime: install a plan,
+/// watch it fire and count, clear it, and the server returns to normal
+/// service with a fresh sequence (each (re)install resets the ledger so
+/// planned indices are predictable from that point).
+#[test]
+fn faults_verb_installs_fires_and_clears_at_runtime() {
+    let (detector, _) = fixture(67);
+    let (addr, server) = spawn(
+        detector,
+        ServerConfig {
+            workers: 1,
+            queue_cap: 8,
+            poll_interval: Duration::from_millis(5),
+            ..ServerConfig::default()
+        },
+    );
+
+    let mut client = Client::connect(addr).expect("connect");
+    // No plan installed.
+    let status = client.send_line("FAULTS").expect("status");
+    assert!(status.contains(r#""spec":null"#), "{status}");
+
+    // Install: the next pool request (index 0) panics.
+    let installed = client.send_line("FAULTS seed=3;panic@0").expect("install");
+    assert!(
+        installed.contains(r#""spec":"seed=3;panic@0""#),
+        "{installed}"
+    );
+    let hit = client.send_line("SLEEP 1").expect("response");
+    assert!(hit.contains(r#""code":"Panic""#), "{hit}");
+    let status = client.send_line("FAULTS").expect("status");
+    assert!(status.contains(r#""panics":1"#), "{status}");
+    assert!(status.contains(r#""requests_seen":1"#), "{status}");
+
+    // Clear: service is normal again; the injection ledger starts fresh.
+    let cleared = client.send_line("FAULTS OFF").expect("clear");
+    assert!(cleared.contains(r#""spec":null"#), "{cleared}");
+    assert!(cleared.contains(r#""requests_seen":0"#), "{cleared}");
+    let ok = client.send_line("SLEEP 1").expect("response");
+    assert_eq!(response_kind(&ok), Some("slept"), "{ok}");
+
+    shutdown(addr);
+    let stats = server.join().expect("server thread");
+    assert_eq!(stats.panics, 1, "{stats:?}");
+}
