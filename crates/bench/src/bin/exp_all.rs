@@ -1,7 +1,7 @@
 //! Runs every experiment in paper order — the one-shot reproduction of the
 //! evaluation section. Configure scale with HIN_EXP_SCALE / HIN_EXP_QUERIES.
 fn main() {
-    let sections: [(&str, fn()); 8] = [
+    let sections: [(&str, fn()); 9] = [
         ("Tables 1-2 and Figure 2 (toy reproduction)", || {
             bench::experiments::toy::run()
         }),
@@ -27,6 +27,9 @@ fn main() {
         }),
         ("Intra-query parallel scaling & kernel comparison", || {
             bench::experiments::parallel::run(false)
+        }),
+        ("Telemetry overhead (tracing & span costs)", || {
+            bench::experiments::telemetry::run(false)
         }),
     ];
     for (title, f) in sections {

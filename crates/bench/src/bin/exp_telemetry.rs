@@ -1,0 +1,8 @@
+//! Telemetry overhead: traced-vs-untraced workload, disabled-span cost,
+//! and span recording cost (extension; backs DESIGN.md §12). Emits
+//! BENCH_telemetry.json. `--quick` shrinks iteration counts for CI smoke
+//! runs.
+fn main() {
+    let quick = std::env::args().skip(1).any(|a| a == "--quick");
+    bench::experiments::telemetry::run(quick);
+}

@@ -9,4 +9,5 @@ pub mod guardrails;
 pub mod parallel;
 pub mod scaling;
 pub mod service;
+pub mod telemetry;
 pub mod toy;

@@ -1,0 +1,278 @@
+//! Telemetry overhead measurement (extension; backs the DESIGN.md §12
+//! claim that tracing is safe to leave available in production builds).
+//!
+//! Three measurements:
+//!
+//! 1. **Workload overhead** — the Figure-4-style Q1 workload runs once
+//!    untraced and once with a span tracer installed around every query
+//!    (install → execute → take, exactly the server's slow-query path).
+//!    Reps are interleaved and the best rep per mode is kept; the delta is
+//!    the end-to-end tracing overhead. Ranked results must stay
+//!    bit-identical — tracing may never perturb execution.
+//! 2. **Disabled span cost** — the per-span price when no tracer is
+//!    installed (one relaxed atomic load), in nanoseconds.
+//! 3. **Recording cost** — nanoseconds per span actually recorded into an
+//!    installed buffer, measured in buffer-capacity batches so every span
+//!    in a batch is recorded rather than dropped.
+//!
+//! Results are printed as tables and written to `BENCH_telemetry.json`.
+
+use crate::report::Table;
+use crate::setup;
+use hin_datagen::dblp::SyntheticNetwork;
+use hin_datagen::workload::{generate_queries, QueryTemplate};
+use hin_graph::VertexId;
+use hin_query::validate::{parse_and_bind, BoundQuery};
+use netout::{OutlierDetector, QueryResult};
+use serde::Serialize;
+use std::time::Instant;
+
+/// The `BENCH_telemetry.json` document.
+#[derive(Debug, Serialize)]
+pub struct TelemetryReport {
+    /// Network scale factor the experiment ran at.
+    pub scale: f64,
+    /// Queries in the workload.
+    pub queries: usize,
+    /// Interleaved repetitions per mode (best rep kept).
+    pub reps: usize,
+    /// Best whole-workload wall time without a tracer, milliseconds.
+    pub untraced_ms: f64,
+    /// Best whole-workload wall time with install/execute/take, ms.
+    pub traced_ms: f64,
+    /// `(traced - untraced) / untraced`, percent. The DESIGN.md §12 target
+    /// is < 5%.
+    pub overhead_pct: f64,
+    /// Whether traced and untraced rankings were bit-identical.
+    pub identical: bool,
+    /// Spans recorded across one traced workload pass.
+    pub spans_per_workload: u64,
+    /// Per-span cost with no tracer installed, nanoseconds.
+    pub disabled_span_ns: f64,
+    /// Per-span cost when actually recording, nanoseconds.
+    pub recorded_span_ns: f64,
+}
+
+/// Everything about a [`QueryResult`] that must be invariant under
+/// tracing: set sizes, the zero-visibility list, and the exact ranked
+/// order with bit-exact scores.
+fn fingerprint(r: &QueryResult) -> (usize, usize, Vec<VertexId>, Vec<(VertexId, u64)>) {
+    (
+        r.candidate_count,
+        r.reference_count,
+        r.zero_visibility.clone(),
+        r.ranked
+            .iter()
+            .map(|o| (o.vertex, o.score.to_bits()))
+            .collect(),
+    )
+}
+
+/// Workload timings: `(untraced_ms, traced_ms, identical, spans)`. Reps
+/// are interleaved (untraced, traced, untraced, …) so cache warm-up and
+/// clock drift hit both modes equally; the best rep per mode is kept.
+pub fn measure_workload(
+    net: &SyntheticNetwork,
+    bound: &[BoundQuery],
+    reps: usize,
+) -> (f64, f64, bool, u64) {
+    let detector = OutlierDetector::new(net.graph.clone());
+    let mut untraced_best = f64::INFINITY;
+    let mut traced_best = f64::INFINITY;
+    let mut baseline: Option<Vec<_>> = None;
+    let mut identical = true;
+    let mut spans = 0u64;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let prints: Vec<_> = bound
+            .iter()
+            .map(|q| fingerprint(&detector.execute(q).expect("workload query executes")))
+            .collect();
+        untraced_best = untraced_best.min(t.elapsed().as_secs_f64() * 1e3);
+        match &baseline {
+            Some(b) => identical &= *b == prints,
+            None => baseline = Some(prints),
+        }
+
+        let t = Instant::now();
+        let mut traced_prints = Vec::with_capacity(bound.len());
+        let mut rep_spans = 0u64;
+        for q in bound {
+            hin_telemetry::trace::install();
+            let r = detector.execute(q).expect("workload query executes");
+            let buf = hin_telemetry::trace::take().expect("tracer was installed");
+            rep_spans += buf.len() as u64;
+            traced_prints.push(fingerprint(&r));
+        }
+        traced_best = traced_best.min(t.elapsed().as_secs_f64() * 1e3);
+        identical &= baseline.as_deref() == Some(&traced_prints[..]);
+        spans = rep_spans;
+    }
+    (untraced_best, traced_best, identical, spans)
+}
+
+/// Nanoseconds per span when no tracer is installed on this thread: the
+/// span must reduce to one relaxed atomic load plus guard bookkeeping.
+pub fn measure_disabled_span_ns(iters: u64) -> f64 {
+    let iters = iters.max(1);
+    let t = Instant::now();
+    for i in 0..iters {
+        let span = hin_telemetry::span!("noop", i = i);
+        std::hint::black_box(&span);
+    }
+    t.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Nanoseconds per span actually recorded. Spans are issued in batches of
+/// `batch` under a freshly installed buffer so none hit the drop path
+/// (the buffer caps at 4096 spans).
+pub fn measure_recorded_span_ns(batch: u64, batches: u64) -> f64 {
+    let batch = batch.clamp(1, 4096);
+    let batches = batches.max(1);
+    let mut total_ns = 0u128;
+    for _ in 0..batches {
+        hin_telemetry::trace::install();
+        let t = Instant::now();
+        for i in 0..batch {
+            let span = hin_telemetry::span!("bench", i = i);
+            std::hint::black_box(&span);
+        }
+        total_ns += t.elapsed().as_nanos();
+        let buf = hin_telemetry::trace::take().expect("tracer was installed");
+        assert_eq!(buf.dropped(), 0, "batch exceeded the span buffer");
+        std::hint::black_box(buf);
+    }
+    total_ns as f64 / (batch * batches) as f64
+}
+
+/// Serialize the report document to compact JSON.
+pub fn to_json(report: &TelemetryReport) -> String {
+    hin_service::json::to_string(report).expect("report serializes")
+}
+
+/// Print all three measurements and write `BENCH_telemetry.json`.
+/// `quick` shrinks the workload and iteration counts for CI smoke runs.
+pub fn run(quick: bool) {
+    let net = setup::network();
+    let reps = if quick { 2 } else { 5 };
+    let n = setup::workload_size().min(if quick { 12 } else { 100 });
+    let disabled_iters: u64 = if quick { 1_000_000 } else { 10_000_000 };
+    let span_batches: u64 = if quick { 64 } else { 512 };
+
+    let queries = generate_queries(&net.graph, QueryTemplate::Q1, n, setup::seed());
+    let bound: Vec<_> = queries
+        .iter()
+        .map(|q| parse_and_bind(q, net.graph.schema()).expect("binds"))
+        .collect();
+    let (untraced_ms, traced_ms, identical, spans) = measure_workload(&net, &bound, reps);
+    let overhead_pct = (traced_ms - untraced_ms) / untraced_ms.max(1e-9) * 100.0;
+
+    let disabled_span_ns = measure_disabled_span_ns(disabled_iters);
+    let recorded_span_ns = measure_recorded_span_ns(4096, span_batches);
+
+    let mut t = Table::new(
+        format!("Tracing overhead — Q1 workload of {n} queries, best of {reps}"),
+        &["mode", "total (ms)", "identical"],
+    );
+    t.row(&[
+        "untraced".to_string(),
+        format!("{untraced_ms:.2}"),
+        "—".to_string(),
+    ]);
+    t.row(&[
+        "traced".to_string(),
+        format!("{traced_ms:.2}"),
+        identical.to_string(),
+    ]);
+    t.print();
+    println!(
+        "note: overhead {overhead_pct:+.2}% ({spans} spans/workload); \
+         DESIGN.md §12 targets < 5%{}\n",
+        if overhead_pct < 5.0 {
+            ""
+        } else {
+            " — EXCEEDED on this run"
+        }
+    );
+
+    let mut t = Table::new("Per-span cost".to_string(), &["path", "ns/span"]);
+    t.row(&[
+        "disabled (no tracer)".to_string(),
+        format!("{disabled_span_ns:.1}"),
+    ]);
+    t.row(&[
+        "recorded (installed)".to_string(),
+        format!("{recorded_span_ns:.1}"),
+    ]);
+    t.print();
+    println!(
+        "note: a disabled span is one relaxed atomic load; recording appends \
+         to a thread-local buffer capped at 4096 spans\n"
+    );
+
+    let report = TelemetryReport {
+        scale: setup::scale(),
+        queries: n,
+        reps,
+        untraced_ms,
+        traced_ms,
+        overhead_pct,
+        identical,
+        spans_per_workload: spans,
+        disabled_span_ns,
+        recorded_span_ns,
+    };
+    let path = "BENCH_telemetry.json";
+    match std::fs::write(path, to_json(&report) + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hin_datagen::dblp::{generate, SyntheticConfig};
+
+    #[test]
+    fn traced_workload_is_identical_and_records_spans() {
+        let net = generate(&SyntheticConfig::tiny(3));
+        let queries = generate_queries(&net.graph, QueryTemplate::Q1, 3, 3);
+        let bound: Vec<_> = queries
+            .iter()
+            .map(|q| parse_and_bind(q, net.graph.schema()).expect("binds"))
+            .collect();
+        let (untraced_ms, traced_ms, identical, spans) = measure_workload(&net, &bound, 2);
+        assert!(untraced_ms >= 0.0 && traced_ms >= 0.0);
+        assert!(identical, "tracing perturbed query results");
+        // Every query opens at least a root query span plus phase spans.
+        assert!(spans >= 2 * bound.len() as u64, "spans = {spans}");
+    }
+
+    #[test]
+    fn span_microbenches_produce_positive_costs() {
+        let disabled = measure_disabled_span_ns(10_000);
+        let recorded = measure_recorded_span_ns(256, 4);
+        assert!(disabled > 0.0);
+        assert!(recorded > 0.0);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let json = to_json(&TelemetryReport {
+            scale: 1.0,
+            queries: 10,
+            reps: 2,
+            untraced_ms: 100.0,
+            traced_ms: 103.0,
+            overhead_pct: 3.0,
+            identical: true,
+            spans_per_workload: 420,
+            disabled_span_ns: 1.5,
+            recorded_span_ns: 90.0,
+        });
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"overhead_pct\":3"), "{json}");
+        assert!(json.contains("\"identical\":true"), "{json}");
+    }
+}

@@ -14,6 +14,7 @@
 //! | scale sweep (extension) | `exp_scaling` | [`experiments::scaling`] |
 //! | serving sweep (extension) | `exp_service` → `BENCH_service.json` | [`experiments::service`] |
 //! | parallel scaling (extension) | `exp_parallel` → `BENCH_parallel.json` | [`experiments::parallel`] |
+//! | telemetry overhead (extension) | `exp_telemetry` → `BENCH_telemetry.json` | [`experiments::telemetry`] |
 //! | everything, in order | `exp_all` | — |
 //!
 //! Experiment scale is controlled by environment variables so the same

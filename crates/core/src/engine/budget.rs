@@ -263,12 +263,22 @@ pub struct ExecCtx {
     /// stop flag; such errors are bookkeeping, not a real budget violation
     /// of this shard, and are filtered out during merge.
     stopped_by_peer: bool,
+    /// Snapshot of `hin_telemetry::trace::installed()` taken when the
+    /// context was created: the creating thread had a trace buffer, so
+    /// forked shard workers must install one of their own and hand it back.
+    tracing: bool,
+    /// A finished shard's trace buffer, parked here by the shard worker for
+    /// the coordinating thread to merge (in shard order) during absorb.
+    trace_out: Option<hin_telemetry::trace::TraceBuf>,
 }
 
 impl ExecCtx {
     /// A context with no limits — checkpoints only count, never fail.
     pub fn unbounded() -> ExecCtx {
-        ExecCtx::default()
+        ExecCtx {
+            tracing: hin_telemetry::trace::installed(),
+            ..ExecCtx::default()
+        }
     }
 
     /// Arm `budget` now: the relative timeout becomes an absolute deadline.
@@ -283,6 +293,7 @@ impl ExecCtx {
                 max_nnz: budget.max_nnz,
                 cancel: budget.cancel.clone(),
             },
+            tracing: hin_telemetry::trace::installed(),
             ..ExecCtx::default()
         }
     }
@@ -327,13 +338,32 @@ impl ExecCtx {
             workspace: DenseAccumulator::new(),
             shared: Some(shared),
             stopped_by_peer: false,
+            tracing: self.tracing,
+            trace_out: None,
         }
     }
 
     /// Merge a finished shard's accounting into this context: durations and
-    /// counters sum, peak `nnz` maxes (see [`ExecBreakdown`]'s `Add`).
-    pub(crate) fn absorb(&mut self, shard: &ExecCtx) {
+    /// counters sum, peak `nnz` maxes (see [`ExecBreakdown`]'s `Add`), and
+    /// the shard's trace buffer (if any) attaches under the calling
+    /// thread's currently-open span. Called in shard-index order, which is
+    /// what keeps merged span trees deterministic.
+    pub(crate) fn absorb(&mut self, shard: &mut ExecCtx) {
         self.stats += shard.stats;
+        if let Some(buf) = shard.trace_out.take() {
+            hin_telemetry::trace::absorb(buf);
+        }
+    }
+
+    /// Is this execution being traced? Shard workers use this to decide
+    /// whether to install a thread-local trace buffer of their own.
+    pub(crate) fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Park a shard's finished trace buffer for the coordinator to merge.
+    pub(crate) fn set_trace_out(&mut self, buf: Option<hin_telemetry::trace::TraceBuf>) {
+        self.trace_out = buf;
     }
 
     /// Did this shard abort because a sibling raised the stop flag (rather
@@ -640,10 +670,31 @@ mod tests {
         assert_eq!(b.stats.peak_frontier_nnz, 40);
         // Parent absorb: counters sum, peaks max.
         let mut parent = parent;
-        parent.absorb(&a);
-        parent.absorb(&b);
+        parent.absorb(&mut a);
+        parent.absorb(&mut b);
         assert_eq!(parent.stats.peak_frontier_nnz, 100);
         assert_eq!(parent.stats.budget_checks(), 2);
+    }
+
+    #[test]
+    fn fork_carries_tracing_flag_and_absorb_consumes_trace() {
+        // No buffer installed: contexts are created untraced and forks agree.
+        let ctx = ExecCtx::unbounded();
+        assert!(!ctx.tracing());
+        let shared = Arc::new(ShardShared::default());
+        assert!(!ctx.fork(Arc::clone(&shared)).tracing());
+
+        // With a buffer installed the flag propagates through fork, and
+        // absorb drains the shard's parked buffer into the thread-local one.
+        hin_telemetry::trace::install();
+        let mut parent = ExecCtx::unbounded();
+        assert!(parent.tracing());
+        let mut shard = parent.fork(Arc::clone(&shared));
+        assert!(shard.tracing());
+        shard.set_trace_out(Some(hin_telemetry::trace::TraceBuf::new()));
+        parent.absorb(&mut shard);
+        assert!(shard.trace_out.is_none());
+        let _ = hin_telemetry::trace::take();
     }
 
     #[test]

@@ -170,6 +170,7 @@ impl<'g> QueryEngine<'g> {
         &self,
         query: &hin_query::validate::BoundQuery,
     ) -> crate::engine::explain::Explain {
+        let _span = hin_telemetry::span!("explain", features = query.features.len());
         crate::engine::explain::explain(self, query)
     }
 
@@ -228,9 +229,15 @@ impl<'g> QueryEngine<'g> {
     ) -> Result<QueryResult, EngineError> {
         let mut ctx = ExecCtx::new(&self.budget);
         ctx.set_threads(self.threads);
+        let mut query_span = hin_telemetry::span!("query", threads = self.threads);
+        if query_span.recording() {
+            query_span.field("source", self.source.name());
+            query_span.field("measure", measure.name());
+        }
 
         // 1. Retrieve S_c and S_r.
         ctx.set_phase(BudgetPhase::SetRetrieval);
+        let retrieval_span = hin_telemetry::span!("set_retrieval");
         let candidates = eval_set(self.graph, self.source.as_ref(), &query.candidate, &mut ctx)?;
         if candidates.is_empty() {
             return Err(EngineError::EmptyCandidateSet);
@@ -247,11 +254,21 @@ impl<'g> QueryEngine<'g> {
             None => candidates.clone(),
         };
         ctx.check_reference(reference.len())?;
+        drop(retrieval_span);
+        query_span.field("candidates", candidates.len());
+        query_span.field("reference", reference.len());
 
         // 2. Score per feature meta-path.
         let same_sets = reference == candidates;
         let mut per_feature: Vec<Vec<(VertexId, f64)>> = Vec::with_capacity(query.features.len());
-        for feature in &query.features {
+        for (fi, feature) in query.features.iter().enumerate() {
+            let mut feature_span = hin_telemetry::span!("feature", index = fi);
+            if feature_span.recording() {
+                feature_span.field(
+                    "path",
+                    feature.path.display(self.graph.schema()).to_string(),
+                );
+            }
             ctx.set_phase(BudgetPhase::Materialization);
             let cand_vecs = self.materialize(&candidates, &feature.path, &mut ctx)?;
             let scores = if same_sets {
@@ -267,6 +284,7 @@ impl<'g> QueryEngine<'g> {
         // 3. Combine, rank, split off undefined scores.
         ctx.set_phase(BudgetPhase::Scoring);
         ctx.checkpoint()?;
+        let combine_span = hin_telemetry::span!("combine");
         let t = Instant::now();
         let weights: Vec<f64> = query.features.iter().map(|f| f.weight).collect();
         let (combined, order) =
@@ -283,6 +301,7 @@ impl<'g> QueryEngine<'g> {
             .collect();
         let ranked = top_k(finite, query.top, order);
         ctx.stats.scoring += t.elapsed();
+        drop(combine_span);
 
         let ranked = ranked
             .into_iter()
@@ -292,6 +311,27 @@ impl<'g> QueryEngine<'g> {
                 score,
             })
             .collect();
+
+        // The trace tree subsumes the breakdown: the root span carries the
+        // same phase totals `ExecBreakdown` reports, so a trace alone
+        // answers "where did the time go".
+        if query_span.recording() {
+            query_span.field(
+                "set_retrieval_us",
+                ctx.stats.set_retrieval.as_micros() as u64,
+            );
+            query_span.field(
+                "unindexed_vectors_us",
+                ctx.stats.unindexed_vectors.as_micros() as u64,
+            );
+            query_span.field(
+                "indexed_vectors_us",
+                ctx.stats.indexed_vectors.as_micros() as u64,
+            );
+            query_span.field("scoring_us", ctx.stats.scoring.as_micros() as u64);
+            query_span.field("budget_checks", ctx.stats.budget_checks());
+            query_span.field("peak_frontier_nnz", ctx.stats.peak_frontier_nnz);
+        }
 
         Ok(QueryResult {
             ranked,
@@ -316,6 +356,12 @@ impl<'g> QueryEngine<'g> {
     ) -> Result<Vec<(VertexId, f64)>, EngineError> {
         ctx.set_phase(BudgetPhase::Scoring);
         ctx.checkpoint()?;
+        // Shard spans from run_sharded attach under this span when tracing.
+        let _span = hin_telemetry::span!(
+            "score",
+            candidates = cand_vecs.len(),
+            reference = ref_vecs.len()
+        );
         let t = Instant::now();
         let prepared = measure.prepare(ref_vecs)?;
         ctx.stats.scoring += t.elapsed();
@@ -337,6 +383,7 @@ impl<'g> QueryEngine<'g> {
         path: &hin_graph::MetaPath,
         ctx: &mut ExecCtx,
     ) -> Result<Vec<(VertexId, SparseVec)>, EngineError> {
+        let _span = hin_telemetry::span!("materialize", vertices = ids.len());
         run_sharded(ids, ctx, |shard, sctx| {
             shard
                 .iter()
@@ -356,6 +403,8 @@ impl<'g> QueryEngine<'g> {
     ) -> Result<Vec<(VertexId, SparseVec)>, EngineError> {
         let lookup: FxHashMap<VertexId, &SparseVec> =
             cached.iter().map(|(v, phi)| (*v, phi)).collect();
+        let _span =
+            hin_telemetry::span!("materialize", vertices = ids.len(), reusable = cached.len());
         run_sharded(ids, ctx, |shard, sctx| {
             shard
                 .iter()
@@ -682,6 +731,53 @@ mod tests {
             assert_eq!(parallel.zero_visibility, serial.zero_visibility);
             assert_eq!(parallel.candidate_count, serial.candidate_count);
         }
+    }
+
+    #[test]
+    fn traced_execution_yields_phase_tree_and_identical_results() {
+        let g = toy::table1_network();
+        let untraced = QueryEngine::baseline(&g)
+            .execute_str(&toy::table1_query())
+            .unwrap();
+
+        hin_telemetry::trace::install();
+        let traced = QueryEngine::baseline(&g)
+            .threads(4)
+            .execute_str(&toy::table1_query())
+            .unwrap();
+        let buf = hin_telemetry::trace::take().expect("trace buffer installed");
+
+        // Tracing observes, never perturbs: same ranking, same scores.
+        assert_eq!(traced.names(), untraced.names());
+        for (a, b) in untraced.ranked.iter().zip(&traced.ranked) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+
+        let tree = buf.tree();
+        assert_eq!(tree.len(), 1, "{tree:?}");
+        let root = &tree[0];
+        assert_eq!(root.name, "query");
+        let phases: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(phases[0], "set_retrieval");
+        assert!(phases.contains(&"feature"));
+        assert!(phases.contains(&"combine"));
+        let feature = root.children.iter().find(|c| c.name == "feature").unwrap();
+        let stages: Vec<&str> = feature.children.iter().map(|c| c.name.as_str()).collect();
+        // S_c != S_r in the Table 1 query, so the reference set gets its own
+        // (cache-aware) materialization stage.
+        assert_eq!(stages, ["materialize", "materialize", "score"]);
+        // 105 candidates across 4 threads: shard spans under both stages.
+        for stage in &feature.children {
+            assert_eq!(stage.children.len(), 4, "{stage:?}");
+            assert!(stage.children.iter().all(|c| c.name == "shard"));
+        }
+        // The root span carries the breakdown totals.
+        assert!(root.fields.iter().any(|(k, _)| k == "budget_checks"));
+        assert!(root.fields.iter().any(|(k, _)| k == "scoring_us"));
+        assert!(root
+            .fields
+            .iter()
+            .any(|(k, v)| k == "candidates" && v == "105"));
     }
 
     #[test]

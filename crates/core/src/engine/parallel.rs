@@ -82,15 +82,27 @@ where
         let work = &work;
         let handles: Vec<_> = items
             .chunks(shard_len)
-            .map(|chunk| {
+            .enumerate()
+            .map(|(shard_idx, chunk)| {
                 let mut shard_ctx = ctx.fork(Arc::clone(&shared));
                 scope.spawn(move || {
+                    // A traced query traces its shards too: each worker
+                    // records into its own thread-local buffer, parked on
+                    // the shard context afterwards (even on error/panic) so
+                    // the coordinator can merge buffers in shard order.
+                    if shard_ctx.tracing() {
+                        hin_telemetry::trace::install();
+                    }
+                    let span =
+                        hin_telemetry::span!("shard", index = shard_idx, items = chunk.len());
                     // Panic isolation: a panicking shard becomes a
                     // structured error, never an unwind across the scope
                     // join (see the module-level unwind-safety audit).
                     let result =
                         std::panic::catch_unwind(AssertUnwindSafe(|| work(chunk, &mut shard_ctx)))
                             .unwrap_or_else(|payload| Err(EngineError::from_panic(payload)));
+                    drop(span);
+                    shard_ctx.set_trace_out(hin_telemetry::trace::take());
                     // A shard that failed on its own behalf tells the others
                     // to stop; a shard that was *told* to stop must not
                     // re-signal (it would mask nothing, but keep the intent
@@ -117,8 +129,8 @@ where
     let mut merged: Vec<R> = Vec::with_capacity(items.len());
     let mut first_err: Option<EngineError> = None;
     let mut peer_err: Option<EngineError> = None;
-    for (result, shard_ctx) in outcomes {
-        ctx.absorb(&shard_ctx);
+    for (result, mut shard_ctx) in outcomes {
+        ctx.absorb(&mut shard_ctx);
         match result {
             Ok(mut part) => merged.append(&mut part),
             Err(e) => {
@@ -286,6 +298,36 @@ mod tests {
             });
         }));
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn traced_runs_merge_shard_spans_in_index_order() {
+        // Install a trace buffer *before* creating the context so the
+        // tracing flag propagates to shard workers.
+        hin_telemetry::trace::install();
+        let items: Vec<u64> = (0..40).collect();
+        let mut ctx = ctx_with_threads(4);
+        let out = run_sharded(&items, &mut ctx, |chunk, _| Ok(chunk.to_vec())).unwrap();
+        assert_eq!(out, items);
+        let buf = hin_telemetry::trace::take().expect("buffer still installed");
+        let tree = buf.tree();
+        // One root per shard, merged in shard-index order regardless of
+        // which worker finished first.
+        assert_eq!(tree.len(), 4, "{tree:?}");
+        for (i, node) in tree.iter().enumerate() {
+            assert_eq!(node.name, "shard");
+            assert_eq!(node.fields[0], ("index".to_string(), i.to_string()));
+            assert_eq!(node.fields[1], ("items".to_string(), "10".to_string()));
+        }
+    }
+
+    #[test]
+    fn untraced_runs_record_nothing() {
+        let items: Vec<u64> = (0..16).collect();
+        let mut ctx = ctx_with_threads(4);
+        let out = run_sharded(&items, &mut ctx, |chunk, _| Ok(chunk.to_vec())).unwrap();
+        assert_eq!(out, items);
+        assert!(hin_telemetry::trace::take().is_none());
     }
 
     #[test]

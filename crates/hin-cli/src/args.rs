@@ -13,24 +13,41 @@ impl Args {
     /// Parse `argv` (without the program/subcommand names). Every token
     /// starting with `--` consumes the next token as its value.
     pub fn parse(argv: &[String]) -> Result<Args, String> {
+        Args::parse_with_switches(argv, &[])
+    }
+
+    /// Like [`Args::parse`], but any flag named in `switches` is a bare
+    /// switch (`--trace`): it consumes no value and is queried with
+    /// [`Args::has`].
+    pub fn parse_with_switches(argv: &[String], switches: &[&str]) -> Result<Args, String> {
         let mut args = Args::default();
         let mut i = 0;
         while i < argv.len() {
             let tok = &argv[i];
             if let Some(key) = tok.strip_prefix("--") {
-                let value = argv
-                    .get(i + 1)
-                    .ok_or_else(|| format!("flag --{key} expects a value"))?;
-                if args.flags.insert(key.to_string(), value.clone()).is_some() {
+                let value = if switches.contains(&key) {
+                    i += 1;
+                    "true".to_string()
+                } else {
+                    i += 2;
+                    argv.get(i - 1)
+                        .ok_or_else(|| format!("flag --{key} expects a value"))?
+                        .clone()
+                };
+                if args.flags.insert(key.to_string(), value).is_some() {
                     return Err(format!("flag --{key} given twice"));
                 }
-                i += 2;
             } else {
                 args.positional.push(tok.clone());
                 i += 1;
             }
         }
         Ok(args)
+    }
+
+    /// `true` when a flag or bare switch was given.
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
     }
 
     /// A string flag.
@@ -154,6 +171,22 @@ mod tests {
         assert_eq!(a.get_opt_num::<u64>("max-nnz").unwrap(), None);
         let bad = Args::parse(&argv(&["--timeout-ms", "soon"])).unwrap();
         assert!(bad.get_opt_num::<u64>("timeout-ms").is_err());
+    }
+
+    #[test]
+    fn bare_switches() {
+        let a =
+            Args::parse_with_switches(&argv(&["--trace", "--graph", "g.hin"]), &["trace"]).unwrap();
+        assert!(a.has("trace"));
+        assert!(a.has("graph"));
+        assert!(!a.has("summary"));
+        assert_eq!(a.get("graph"), Some("g.hin"));
+        // Switch at the end consumes nothing.
+        let b =
+            Args::parse_with_switches(&argv(&["--graph", "g.hin", "--trace"]), &["trace"]).unwrap();
+        assert!(b.has("trace"));
+        // Duplicated switch is still rejected.
+        assert!(Args::parse_with_switches(&argv(&["--trace", "--trace"]), &["trace"]).is_err());
     }
 
     #[test]

@@ -19,23 +19,24 @@ USAGE:
   hinout query --graph FILE (--query 'FIND OUTLIERS …' | --query-file FILE)
                [--index none|pm] [--measure netout|pathsim|cossim|lof:K|knn:K]
                [--threads N] [--timeout-ms N] [--max-candidates N] [--max-nnz N]
-               [--format text|json]
+               [--format text|json] [--trace]
   hinout explain --graph FILE (--query '…' | --query-file FILE) [--index none|pm]
                [--threads N] [--timeout-ms N] [--max-candidates N] [--max-nnz N]
-               [--format text|json]
+               [--format text|json] [--trace]
   hinout similar --graph FILE --type author --name 'X' --path author.paper.venue [--top K]
                [--threads N] [--timeout-ms N] [--max-candidates N] [--max-nnz N]
   hinout repl --graph FILE [--index none|pm]
                [--timeout-ms N] [--max-candidates N] [--max-nnz N]
   hinout index-info --graph FILE
   hinout workload --graph FILE --template q1|q2|q3 --n N [--seed S] [--out FILE]
-               [--run strict|best-effort] [--threads N]
+               [--run strict|best-effort] [--summary] [--threads N]
                [--timeout-ms N] [--max-candidates N] [--max-nnz N]
   hinout serve --graph FILE [--addr HOST:PORT] [--workers N] [--queue-cap N]
                [--index none|pm] [--measure …] [--mode strict|best-effort]
                [--cache-cap N] [--port-file FILE] [--threads-per-query N]
                [--timeout-ms N] [--max-candidates N] [--max-nnz N]
                [--fault-plan SPEC] [--dedup-cap N] [--hang-timeout-ms N]
+               [--slow-query-ms N]
   hinout bench-client --addr HOST:PORT [--clients N] [--requests N]
                [--query '…' | --query-file FILE] [--format text|json]
                [--retry-attempts N] [--retry-deadline-ms N] [--retry-seed S]
@@ -62,6 +63,16 @@ drills, e.g. 'seed=7;panic@3;drop~50' = panic request index 3, drop every
 bench-client --retry-* flag switches the load generator to the self-healing
 client: reconnect-on-drop, seeded full-jitter backoff under an overall
 deadline, idempotency ids deduplicated server-side.
+
+Observability (DESIGN.md §12): serve answers METRICS with Prometheus text
+exposition (METRICS JSON for a JSON snapshot) covering request counters,
+queue/exec/total latency histograms, cache hit ratio, and per-phase engine
+totals. --slow-query-ms N traces every query slower than N ms (0 = all)
+into a bounded server-side ring: TRACE lists the retained entries, TRACE ID
+returns one entry's full span tree. query/explain --trace print the same
+span tree locally after each query. workload --run … --summary replaces
+per-query rankings with an aggregate report: summed per-phase timings plus
+latency quantiles from the shared log2 histogram.
 
 Budget flags bound each query's execution: --timeout-ms is a wall-clock
 deadline, --max-candidates caps the candidate/reference set sizes, and
@@ -92,10 +103,10 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     match cmd.as_str() {
         "generate" => cmd_generate(&Args::parse(rest)?),
         "stats" => cmd_stats(&Args::parse(rest)?),
-        "query" => cmd_query(&Args::parse(rest)?),
-        "explain" => cmd_explain(&Args::parse(rest)?),
+        "query" => cmd_query(&Args::parse_with_switches(rest, &["trace"])?),
+        "explain" => cmd_explain(&Args::parse_with_switches(rest, &["trace"])?),
         "similar" => cmd_similar(&Args::parse(rest)?),
-        "workload" => cmd_workload(&Args::parse(rest)?),
+        "workload" => cmd_workload(&Args::parse_with_switches(rest, &["summary"])?),
         "repl" => cmd_repl(&Args::parse(rest)?),
         "index-info" => cmd_index_info(&Args::parse(rest)?),
         "serve" => cmd_serve(&Args::parse(rest)?),
@@ -298,14 +309,33 @@ fn print_result(result: &QueryResult) {
     }
 }
 
+/// Print a completed query's span tree (`--trace`). Text mode prints to
+/// stdout alongside the ranking; JSON mode keeps stdout one response line
+/// per query, so the tree goes to stderr.
+fn print_trace(buf: &hin_telemetry::TraceBuf, format: OutputFormat) {
+    let rendered = hin_telemetry::trace::render_tree(&buf.tree());
+    let body = if rendered.is_empty() {
+        "(no spans recorded)\n"
+    } else {
+        rendered.as_str()
+    };
+    match format {
+        OutputFormat::Text => print!("trace:\n{body}"),
+        OutputFormat::Json => eprint!("trace:\n{body}"),
+    }
+}
+
 /// Execute each query in order, continuing past failures; on any failure
 /// the final error lists the 1-based indices that failed so the process
-/// exits nonzero while later queries still ran.
+/// exits nonzero while later queries still ran. With `trace`, each query
+/// runs under an installed span tracer and its tree is printed after the
+/// result.
 fn run_queries<Q: std::fmt::Display>(
     detector: &OutlierDetector,
     queries: &[Q],
     strict: bool,
     format: OutputFormat,
+    trace: bool,
 ) -> Result<(), String> {
     let mut failed: Vec<usize> = Vec::new();
     for (i, query) in queries.iter().enumerate() {
@@ -313,12 +343,19 @@ fn run_queries<Q: std::fmt::Display>(
             println!("-- query {} of {}:\n   {query}", i + 1, queries.len());
         }
         let src = query.to_string();
+        if trace {
+            hin_telemetry::trace::install();
+        }
         let started = std::time::Instant::now();
         let outcome = if strict {
             detector.query(&src)
         } else {
             detector.query_best_effort(&src)
         };
+        // Take unconditionally so a buffer never leaks into the next query.
+        if let Some(buf) = hin_telemetry::trace::take() {
+            print_trace(&buf, format);
+        }
         match (outcome, format) {
             (Ok(result), OutputFormat::Text) => {
                 print_result(&result);
@@ -384,6 +421,7 @@ fn cmd_query(args: &Args) -> Result<(), String> {
             "measure",
             "format",
             "threads",
+            "trace",
         ],
     )?;
     let format = parse_format(args)?;
@@ -396,7 +434,7 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     // A bounded budget implies the operator prefers partial rankings over
     // hard failures, so budgeted runs take the best-effort path.
     let strict = detector.current_budget().is_unbounded();
-    run_queries(&detector, &queries, strict, format)
+    run_queries(&detector, &queries, strict, format, args.has("trace"))
 }
 
 fn cmd_explain(args: &Args) -> Result<(), String> {
@@ -411,14 +449,23 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
             "measure",
             "format",
             "threads",
+            "trace",
         ],
     )?;
     let format = parse_format(args)?;
     let query_text = read_query_text(args)?;
     let detector = build_detector(load(args)?, args)?;
     let queries = hin_query::parse_script(&query_text).map_err(|e| e.render(&query_text))?;
+    let trace = args.has("trace");
     for query in &queries {
-        match detector.explain(&query.to_string()) {
+        if trace {
+            hin_telemetry::trace::install();
+        }
+        let outcome = detector.explain(&query.to_string());
+        if let Some(buf) = hin_telemetry::trace::take() {
+            print_trace(&buf, format);
+        }
+        match outcome {
             Ok(plan) => match format {
                 OutputFormat::Text => {
                     print!("{plan}");
@@ -466,7 +513,8 @@ fn cmd_workload(args: &Args) -> Result<(), String> {
     check_known_with_budget(
         args,
         &[
-            "graph", "template", "n", "seed", "out", "run", "index", "measure", "threads",
+            "graph", "template", "n", "seed", "out", "run", "summary", "index", "measure",
+            "threads",
         ],
     )?;
     let graph = load(args)?;
@@ -495,12 +543,83 @@ fn cmd_workload(args: &Args) -> Result<(), String> {
         }
     }
     match args.get("run") {
+        None if args.has("summary") => {
+            Err("--summary requires --run (it summarizes executed queries)".into())
+        }
         None => Ok(()),
         Some(mode @ ("strict" | "best-effort")) => {
             let detector = build_detector(graph, args)?;
-            run_queries(&detector, &queries, mode == "strict", OutputFormat::Text)
+            if args.has("summary") {
+                run_workload_summary(&detector, &queries, mode == "strict")
+            } else {
+                run_queries(
+                    &detector,
+                    &queries,
+                    mode == "strict",
+                    OutputFormat::Text,
+                    false,
+                )
+            }
         }
         Some(other) => Err(format!("unknown --run mode {other:?} (strict|best-effort)")),
+    }
+}
+
+/// `workload --run … --summary`: execute every query but print one
+/// aggregate report instead of per-query rankings — summed per-phase
+/// [`netout::ExecBreakdown`] timings plus end-to-end latency quantiles
+/// from the shared log2 histogram (the same bucketing the server's
+/// `METRICS` histograms use; quantiles are bucket upper bounds).
+fn run_workload_summary<Q: std::fmt::Display>(
+    detector: &OutlierDetector,
+    queries: &[Q],
+    strict: bool,
+) -> Result<(), String> {
+    let hist = hin_telemetry::Histogram::new();
+    let mut phases = netout::ExecBreakdown::default();
+    let mut failed = 0usize;
+    let mut degraded = 0usize;
+    let started = std::time::Instant::now();
+    for (i, query) in queries.iter().enumerate() {
+        let src = query.to_string();
+        let t = std::time::Instant::now();
+        let outcome = if strict {
+            detector.query(&src)
+        } else {
+            detector.query_best_effort(&src)
+        };
+        hist.record(t.elapsed());
+        match outcome {
+            Ok(result) => {
+                phases += result.stats;
+                if result.degraded.is_some() {
+                    degraded += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("query {} failed: {e}", i + 1);
+                failed += 1;
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+    let s = hist.summary();
+    println!(
+        "workload summary: {} queries in {:.1?} ({} failed, {} degraded)",
+        queries.len(),
+        elapsed,
+        failed,
+        degraded
+    );
+    println!("phases: {phases}");
+    println!(
+        "latency: mean {}us | p50 {}us | p95 {}us | p99 {}us | max {}us",
+        s.mean_us, s.p50_us, s.p95_us, s.p99_us, s.max_us
+    );
+    if failed > 0 {
+        Err(format!("{failed} of {} queries failed", queries.len()))
+    } else {
+        Ok(())
     }
 }
 
@@ -574,6 +693,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             "fault-plan",
             "dedup-cap",
             "hang-timeout-ms",
+            "slow-query-ms",
         ],
     )?;
     let mut detector = build_detector(load(args)?, args)?;
@@ -608,6 +728,11 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     }
     if let Some(ms) = args.get_opt_num::<u64>("hang-timeout-ms")? {
         config.hang_timeout = Some(std::time::Duration::from_millis(ms));
+    }
+    // Observability (DESIGN.md §12): trace queries slower than N ms into
+    // the TRACE ring (0 traces everything).
+    if let Some(ms) = args.get_opt_num::<u64>("slow-query-ms")? {
+        config.slow_query = Some(std::time::Duration::from_millis(ms));
     }
     let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
     // Ride out a lingering previous instance (TIME_WAIT, slow shutdown):
@@ -1147,6 +1272,8 @@ mod tests {
             "2",
             "--queue-cap",
             "4",
+            "--slow-query-ms",
+            "0",
             "--port-file",
             port_file.to_str().unwrap(),
         ]
@@ -1181,9 +1308,88 @@ mod tests {
         ])
         .unwrap();
         let mut client = hin_service::Client::connect(addr).unwrap();
+        // --slow-query-ms 0 means the PINGs above were not traced (only
+        // QUERY/EXPLAIN are), but METRICS still serves the counters.
+        let metrics = client.send_line("METRICS JSON").unwrap();
+        assert!(metrics.contains("hin_requests_total"), "{metrics}");
+        let traces = client.send_line("TRACE").unwrap();
+        assert!(traces.starts_with(r#"{"traces""#), "{traces}");
         let bye = client.send_line("SHUTDOWN").unwrap();
         assert!(bye.starts_with(r#"{"bye""#), "{bye}");
         server.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_flag_and_workload_summary() {
+        let dir = std::env::temp_dir().join("hinout_cli_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net_path = dir.join("net.hin");
+        run(&[
+            "generate".into(),
+            "--out".into(),
+            net_path.to_str().unwrap().into(),
+            "--scale".into(),
+            "0.05".into(),
+            "--seed".into(),
+            "23".into(),
+        ])
+        .unwrap();
+        let graph = hin_graph::io::load_graph(&net_path).unwrap();
+        let author = graph.schema().vertex_type_by_name("author").unwrap();
+        let paper = graph.schema().vertex_type_by_name("paper").unwrap();
+        let anchor = graph
+            .vertices_of_type(author)
+            .iter()
+            .find(|&&a| graph.step_degree(a, paper) >= 2)
+            .copied()
+            .unwrap();
+        let q = format!(
+            "FIND OUTLIERS FROM author{{\"{}\"}}.paper.author \
+             JUDGED BY author.paper.venue TOP 3;",
+            graph.vertex_name(anchor)
+        );
+        // --trace on query and explain must not disturb results or leak a
+        // buffer into later untraced runs (take() is unconditional).
+        for cmd in ["query", "explain"] {
+            run(&[
+                cmd.into(),
+                "--graph".into(),
+                net_path.to_str().unwrap().into(),
+                "--query".into(),
+                q.clone(),
+                "--trace".into(),
+            ])
+            .unwrap();
+        }
+        assert!(!hin_telemetry::trace::installed());
+        // Aggregated workload report.
+        run(&[
+            "workload".into(),
+            "--graph".into(),
+            net_path.to_str().unwrap().into(),
+            "--template".into(),
+            "q1".into(),
+            "--n".into(),
+            "2".into(),
+            "--run".into(),
+            "best-effort".into(),
+            "--summary".into(),
+        ])
+        .unwrap();
+        // --summary without --run is a usage error.
+        let err = run(&[
+            "workload".into(),
+            "--graph".into(),
+            net_path.to_str().unwrap().into(),
+            "--template".into(),
+            "q1".into(),
+            "--n".into(),
+            "1".into(),
+            "--summary".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("--summary requires --run"), "got: {err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

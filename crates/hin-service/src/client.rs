@@ -380,15 +380,6 @@ pub struct LoadReport {
     pub mean_us: u64,
 }
 
-/// Exact percentile over a sorted latency sample (nearest-rank).
-fn percentile_us(sorted: &[Duration], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1].as_micros() as u64
-}
-
 /// One load-generator connection: bare, or wrapped in the retry layer.
 enum LoadConn {
     Plain(Client),
@@ -493,6 +484,11 @@ pub fn run_closed_loop(addr: impl ToSocketAddrs, spec: &LoadSpec) -> LoadReport 
         io_errors += io;
     }
     all.sort_unstable();
+    // Nearest-rank quantiles over the exact sorted sample, via the shared
+    // telemetry helper (the same definition the bucketed server histograms
+    // approximate — see `hin_telemetry::histogram`).
+    let all_us: Vec<u64> = all.iter().map(|d| d.as_micros() as u64).collect();
+    let quantile = |q: f64| hin_telemetry::exact_quantile_us(&all_us, q).unwrap_or(0);
     let requests = all.len() as u64;
     let mean_us = if all.is_empty() {
         0
@@ -513,9 +509,9 @@ pub fn run_closed_loop(addr: impl ToSocketAddrs, spec: &LoadSpec) -> LoadReport 
         } else {
             0.0
         },
-        p50_us: percentile_us(&all, 0.50),
-        p95_us: percentile_us(&all, 0.95),
-        p99_us: percentile_us(&all, 0.99),
+        p50_us: quantile(0.50),
+        p95_us: quantile(0.95),
+        p99_us: quantile(0.99),
         mean_us,
     }
 }
@@ -570,11 +566,14 @@ mod tests {
 
     #[test]
     fn percentiles_nearest_rank() {
-        let sorted: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
-        assert_eq!(percentile_us(&sorted, 0.50), 50);
-        assert_eq!(percentile_us(&sorted, 0.95), 95);
-        assert_eq!(percentile_us(&sorted, 0.99), 99);
-        assert_eq!(percentile_us(&[], 0.5), 0);
+        // The client reports exact nearest-rank quantiles via the shared
+        // telemetry helper; pin the definition here so the wire fields
+        // (p50_us/p95_us/p99_us) keep their meaning.
+        let sorted_us: Vec<u64> = (1..=100).collect();
+        assert_eq!(hin_telemetry::exact_quantile_us(&sorted_us, 0.50), Some(50));
+        assert_eq!(hin_telemetry::exact_quantile_us(&sorted_us, 0.95), Some(95));
+        assert_eq!(hin_telemetry::exact_quantile_us(&sorted_us, 0.99), Some(99));
+        assert_eq!(hin_telemetry::exact_quantile_us(&[], 0.5), None);
     }
 
     #[test]

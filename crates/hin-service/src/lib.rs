@@ -40,6 +40,19 @@
 //! * [`client::RetryClient`] — the self-healing client: reconnect-on-drop,
 //!   seeded full-jitter exponential backoff, per-attempt deadlines carved
 //!   from an overall budget, and idempotency ids the server deduplicates.
+//!
+//! Observability (DESIGN.md §12):
+//!
+//! * [`stats::ServerStats`] now fronts a `hin_telemetry::Registry` — the
+//!   `METRICS` verb serves Prometheus text exposition (or a JSON snapshot
+//!   with `METRICS JSON`) built from the same counters and histograms that
+//!   back `STATS`;
+//! * `serve --slow-query-ms` installs the `hin_telemetry` span tracer
+//!   around query execution; completed slow queries land in a bounded
+//!   server-side ring with their full phase tree, query text, and cache
+//!   state, listed and fetched via the `TRACE` verb;
+//! * worker lifecycle and fault events emit structured logfmt lines
+//!   (`hin_telemetry::logfmt!`) on stderr.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -58,7 +71,10 @@ pub mod supervisor;
 
 pub use client::{Client, LoadReport, LoadSpec, RetryClient, RetryPolicy};
 pub use fault::{DedupCache, FaultCounts, FaultKind, FaultPlan, FaultState, XorShift64};
-pub use protocol::{ExecMode, FaultCommand, FaultsBody, Request, RequestOptions, Response};
+pub use protocol::{
+    ExecMode, FaultCommand, FaultsBody, Request, RequestOptions, Response, TraceBody,
+    TraceListEntry,
+};
 pub use server::{Server, ServerConfig};
 pub use stats::{ServerStats, StatsSnapshot};
 pub use supervisor::{SupervisorConfig, WorkerSlot};

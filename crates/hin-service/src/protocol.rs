@@ -5,6 +5,8 @@
 //!
 //! ```text
 //! request    := "PING" | "STATS" | "SHUTDOWN"
+//!             | "METRICS" (SP "JSON")?
+//!             | "TRACE" (SP id)?
 //!             | "SLEEP" SP ms
 //!             | "FAULTS" (SP ("OFF" | fault-spec))?
 //!             | ("QUERY" | "EXPLAIN") (SP option)* SP oql-text
@@ -22,7 +24,14 @@
 //! backpressure against a live deployment without crafting an expensive
 //! query). `FAULTS` (answered inline) inspects, installs, or clears the
 //! deterministic fault-injection plan — chaos drills against a live server
-//! without restarting it. An `id=N` option marks a request idempotent: the
+//! without restarting it. `METRICS` (answered inline) scrapes every
+//! registered metric: the bare form answers with raw Prometheus text
+//! exposition terminated by a blank line (the one non-JSON response in the
+//! protocol, so a stock Prometheus scraper can consume it through a
+//! one-line shim); `METRICS JSON` answers with a one-line JSON snapshot
+//! like every other verb. `TRACE` lists the server's slow-query log;
+//! `TRACE <id>` returns one logged entry with its full span tree. An
+//! `id=N` option marks a request idempotent: the
 //! server remembers the response under that id, and a retry carrying the
 //! same id replays it byte-identically instead of re-executing.
 //!
@@ -99,6 +108,19 @@ pub enum Request {
     Ping,
     /// Server statistics snapshot; answered inline.
     Stats,
+    /// Metrics scrape; answered inline. `json` selects the one-line JSON
+    /// snapshot; otherwise the server answers with raw Prometheus text
+    /// exposition terminated by a blank line.
+    Metrics {
+        /// `METRICS JSON` — answer as a one-line JSON response.
+        json: bool,
+    },
+    /// Slow-query log lookup; answered inline. `None` lists the logged
+    /// entries; `Some(id)` returns one entry with its span tree.
+    Trace {
+        /// The slow-query entry to fetch.
+        id: Option<u64>,
+    },
     /// Graceful drain-and-shutdown.
     Shutdown,
     /// Occupy a worker for `ms` milliseconds (cancellable; for tests and
@@ -178,6 +200,22 @@ impl Request {
         match verb.to_ascii_uppercase().as_str() {
             "PING" => Self::expect_no_args("PING", rest).map(|()| Request::Ping),
             "STATS" => Self::expect_no_args("STATS", rest).map(|()| Request::Stats),
+            "METRICS" => match rest {
+                "" => Ok(Request::Metrics { json: false }),
+                j if j.eq_ignore_ascii_case("json") => Ok(Request::Metrics { json: true }),
+                other => Err(parse_err(format!(
+                    "METRICS takes no argument or JSON, got {other:?}"
+                ))),
+            },
+            "TRACE" => match rest {
+                "" => Ok(Request::Trace { id: None }),
+                id_text => id_text
+                    .parse()
+                    .map(|id| Request::Trace { id: Some(id) })
+                    .map_err(|_| {
+                        parse_err(format!("TRACE expects a numeric entry id, got {id_text:?}"))
+                    }),
+            },
             "SHUTDOWN" => Self::expect_no_args("SHUTDOWN", rest).map(|()| Request::Shutdown),
             "SLEEP" => {
                 let (options, ms_text) = parse_options(rest)?;
@@ -221,7 +259,7 @@ impl Request {
                 })
             }
             other => Err(parse_err(format!(
-                "unknown verb {other:?} (PING|STATS|SHUTDOWN|SLEEP|FAULTS|QUERY|EXPLAIN)"
+                "unknown verb {other:?} (PING|STATS|METRICS|TRACE|SHUTDOWN|SLEEP|FAULTS|QUERY|EXPLAIN)"
             ))),
         }
     }
@@ -267,6 +305,10 @@ impl Request {
         match self {
             Request::Ping => "PING".to_string(),
             Request::Stats => "STATS".to_string(),
+            Request::Metrics { json: false } => "METRICS".to_string(),
+            Request::Metrics { json: true } => "METRICS JSON".to_string(),
+            Request::Trace { id: None } => "TRACE".to_string(),
+            Request::Trace { id: Some(id) } => format!("TRACE {id}"),
             Request::Shutdown => "SHUTDOWN".to_string(),
             Request::Sleep { ms, id: None } => format!("SLEEP {ms}"),
             Request::Sleep { ms, id: Some(id) } => format!("SLEEP id={id} {ms}"),
@@ -474,6 +516,41 @@ pub struct BusyBody {
     pub queue_cap: usize,
 }
 
+/// One slow-query log entry, as returned by `TRACE <id>`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TraceBody {
+    /// Entry id (the request's idempotency id when present, else a
+    /// server-assigned sequence number).
+    pub id: u64,
+    /// The request line as received.
+    pub request: String,
+    /// Admission → worker-pickup, µs.
+    pub queue_wait_us: u64,
+    /// Worker execution, µs.
+    pub exec_us: u64,
+    /// Admission → response written, µs.
+    pub total_us: u64,
+    /// Whether the response carried a degraded/partial marker.
+    pub degraded: bool,
+    /// Shared vector-cache counters when the entry was logged.
+    pub cache: crate::stats::CacheSnapshot,
+    /// Spans recorded but rejected because the trace buffer was full.
+    pub spans_dropped: u64,
+    /// The recorded span tree (roots in open order).
+    pub spans: Vec<hin_telemetry::TraceNode>,
+}
+
+/// One row in the `TRACE` (no id) slow-query listing.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TraceListEntry {
+    /// Entry id, usable with `TRACE <id>`.
+    pub id: u64,
+    /// Admission → response written, µs.
+    pub total_us: u64,
+    /// The request line as received.
+    pub request: String,
+}
+
 /// A `faults` response body: the fault-injection plan and its counters.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct FaultsBody {
@@ -531,6 +608,18 @@ pub enum Response {
     /// `FAULTS` answer: the active plan (if any) and injection counters.
     #[serde(rename = "faults")]
     Faults(FaultsBody),
+    /// `METRICS JSON` answer: every registered metric sample.
+    #[serde(rename = "metrics")]
+    Metrics(hin_telemetry::MetricsSnapshot),
+    /// `TRACE <id>` answer: one slow-query log entry with its span tree.
+    #[serde(rename = "trace")]
+    Trace(TraceBody),
+    /// `TRACE` answer: the slow-query log listing, most recent last.
+    #[serde(rename = "traces")]
+    Traces {
+        /// Logged entries (bounded ring; oldest evicted first).
+        entries: Vec<TraceListEntry>,
+    },
 }
 
 impl Response {
@@ -578,6 +667,9 @@ impl Response {
             Response::Slept { .. } => "slept",
             Response::Bye { .. } => "bye",
             Response::Faults(_) => "faults",
+            Response::Metrics(_) => "metrics",
+            Response::Trace(_) => "trace",
+            Response::Traces { .. } => "traces",
         }
     }
 }
@@ -602,6 +694,31 @@ mod tests {
                 id: Some(7)
             }
         );
+    }
+
+    #[test]
+    fn parses_metrics_and_trace_verbs() {
+        assert_eq!(
+            Request::parse("METRICS").unwrap(),
+            Request::Metrics { json: false }
+        );
+        assert_eq!(
+            Request::parse("metrics json").unwrap(),
+            Request::Metrics { json: true }
+        );
+        assert_eq!(
+            Request::parse("TRACE").unwrap(),
+            Request::Trace { id: None }
+        );
+        assert_eq!(
+            Request::parse("TRACE 42").unwrap(),
+            Request::Trace { id: Some(42) }
+        );
+        assert!(Request::parse("METRICS yaml").is_err());
+        assert!(Request::parse("TRACE abc").is_err());
+        // Both are answered inline by the connection handler.
+        assert!(!Request::Metrics { json: false }.needs_worker());
+        assert!(!Request::Trace { id: Some(1) }.needs_worker());
     }
 
     #[test]
@@ -689,6 +806,10 @@ mod tests {
         let reqs = [
             Request::Ping,
             Request::Stats,
+            Request::Metrics { json: false },
+            Request::Metrics { json: true },
+            Request::Trace { id: None },
+            Request::Trace { id: Some(9000) },
             Request::Shutdown,
             Request::Sleep { ms: 42, id: None },
             Request::Sleep {
@@ -777,6 +898,36 @@ mod tests {
             injected: FaultCounts::default(),
         });
         assert!(off.to_json_line().contains(r#""spec":null"#));
+    }
+
+    #[test]
+    fn trace_responses_serialize_with_stable_tags() {
+        let r = Response::Traces {
+            entries: vec![TraceListEntry {
+                id: 3,
+                total_us: 1500,
+                request: "QUERY FIND;".to_string(),
+            }],
+        };
+        assert_eq!(
+            r.to_json_line(),
+            r#"{"traces":{"entries":[{"id":3,"total_us":1500,"request":"QUERY FIND;"}]}}"#
+        );
+        let r = Response::Trace(TraceBody {
+            id: 3,
+            request: "QUERY FIND;".to_string(),
+            queue_wait_us: 10,
+            exec_us: 1400,
+            total_us: 1500,
+            degraded: false,
+            cache: crate::stats::CacheSnapshot::default(),
+            spans_dropped: 0,
+            spans: Vec::new(),
+        });
+        let line = r.to_json_line();
+        assert!(line.starts_with(r#"{"trace":{"id":3"#), "{line}");
+        assert!(line.contains(r#""spans":[]"#));
+        assert_eq!(r.kind(), "trace");
     }
 
     #[test]

@@ -42,7 +42,7 @@
 use crate::fault::{DedupCache, FaultKind, FaultPlan, FaultState};
 use crate::protocol::{
     BusyBody, ErrorCode, ExecMode, FaultCommand, FaultsBody, Request, RequestOptions, Response,
-    ResultBody, MAX_LINE_BYTES,
+    ResultBody, TraceBody, TraceListEntry, MAX_LINE_BYTES,
 };
 use crate::stats::{CacheSnapshot, ServerStats, StatsSnapshot};
 use crate::supervisor::{self, SupervisorConfig, WorkerSlot};
@@ -89,6 +89,12 @@ pub struct ServerConfig {
     /// disables hang detection — see
     /// [`SupervisorConfig`](crate::supervisor::SupervisorConfig)).
     pub hang_timeout: Option<Duration>,
+    /// Slow-query threshold: worker-pool queries are span-traced and those
+    /// whose admission-to-completion time reaches this land in the
+    /// slow-query log (inspect with `TRACE`). `None` disables tracing
+    /// entirely — the engine's span hooks reduce to one atomic load each.
+    /// `Some(ZERO)` traces and logs every query.
+    pub slow_query: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -104,9 +110,14 @@ impl Default for ServerConfig {
             fault_plan: None,
             dedup_cap: 256,
             hang_timeout: None,
+            slow_query: None,
         }
     }
 }
+
+/// Slow-query log capacity: the `TRACE` verb serves the most recent
+/// entries; older ones are evicted.
+const SLOW_LOG_CAP: usize = 32;
 
 /// A unit of work queued for the worker pool.
 struct Job {
@@ -135,6 +146,10 @@ struct Shared {
     /// channels are MPMC; holding a receiver does not keep the queue alive
     /// from the sender side).
     queue_probe: Receiver<Job>,
+    /// Ring of the last [`SLOW_LOG_CAP`] slow-query entries, oldest first.
+    slow_log: Mutex<std::collections::VecDeque<TraceBody>>,
+    /// Server-assigned entry ids for slow queries without an `id=N` option.
+    slow_seq: std::sync::atomic::AtomicU64,
 }
 
 impl Shared {
@@ -167,6 +182,93 @@ impl Shared {
             requests_seen: self.faults.requests_seen(),
             injected: self.faults.counts(),
         })
+    }
+
+    /// The `METRICS` text form: Prometheus exposition of every metric.
+    fn metrics_text(&self) -> String {
+        self.stats.render_metrics(
+            self.queue_depth(),
+            self.config.queue_cap,
+            self.cache_snapshot(),
+        )
+    }
+
+    /// The `METRICS JSON` form.
+    fn metrics_response(&self) -> Response {
+        Response::Metrics(self.stats.metrics_snapshot(
+            self.queue_depth(),
+            self.config.queue_cap,
+            self.cache_snapshot(),
+        ))
+    }
+
+    /// Answer `TRACE` (list the slow-query log) or `TRACE <id>` (one entry
+    /// with its span tree).
+    fn trace_response(&self, id: Option<u64>) -> Response {
+        let log = self.slow_log.lock();
+        match id {
+            None => Response::Traces {
+                entries: log
+                    .iter()
+                    .map(|e| TraceListEntry {
+                        id: e.id,
+                        total_us: e.total_us,
+                        request: e.request.clone(),
+                    })
+                    .collect(),
+            },
+            Some(id) => match log.iter().rev().find(|e| e.id == id) {
+                Some(e) => Response::Trace(e.clone()),
+                None => Response::err(
+                    ErrorCode::Protocol,
+                    format!("no slow-query entry with id {id} (TRACE lists available entries)"),
+                ),
+            },
+        }
+    }
+
+    /// Append one slow query to the log (evicting the oldest past
+    /// capacity) and emit a structured log line.
+    fn log_slow_query(
+        &self,
+        request: &Request,
+        queue_wait: Duration,
+        exec: Duration,
+        total: Duration,
+        response: &Response,
+        trace: hin_telemetry::TraceBuf,
+    ) {
+        let id = request.id().unwrap_or_else(|| {
+            self.slow_seq
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        });
+        let degraded = matches!(response, Response::Result(b) if b.degraded.is_some());
+        let total_us = total.as_micros() as u64;
+        let entry = TraceBody {
+            id,
+            request: request.to_line(),
+            queue_wait_us: queue_wait.as_micros() as u64,
+            exec_us: exec.as_micros() as u64,
+            total_us,
+            degraded,
+            cache: self.cache_snapshot(),
+            spans_dropped: trace.dropped(),
+            spans: trace.tree(),
+        };
+        hin_telemetry::logfmt!(
+            "slow_query",
+            id = id,
+            total_us = total_us,
+            queue_wait_us = entry.queue_wait_us,
+            exec_us = entry.exec_us,
+            degraded = degraded,
+            spans = entry.spans.len()
+        );
+        let mut log = self.slow_log.lock();
+        if log.len() >= SLOW_LOG_CAP {
+            log.pop_front();
+        }
+        log.push_back(entry);
     }
 }
 
@@ -249,6 +351,8 @@ impl Server {
             dedup,
             epoch: Instant::now(),
             queue_probe: job_rx.clone(),
+            slow_log: Mutex::new(std::collections::VecDeque::new()),
+            slow_seq: std::sync::atomic::AtomicU64::new(1),
         });
         Ok(Server {
             shared,
@@ -272,8 +376,19 @@ impl Server {
             listener,
             job_tx,
             job_rx,
-            addr: _,
+            addr,
         } = self;
+        hin_telemetry::logfmt!(
+            "server_start",
+            addr = addr,
+            workers = shared.config.workers,
+            queue_cap = shared.config.queue_cap,
+            slow_query_ms = shared
+                .config
+                .slow_query
+                .map(|d| d.as_millis() as i64)
+                .unwrap_or(-1)
+        );
 
         // The supervisor thread owns the worker pool: it spawns the initial
         // workers, respawns any that die (worker-kill faults, engine bugs
@@ -350,11 +465,20 @@ impl Server {
             let _ = h.join();
         }
         let _ = supervisor.join();
-        shared.stats.snapshot(
+        let snapshot = shared.stats.snapshot(
             shared.queue_depth(),
             shared.config.queue_cap,
             shared.cache_snapshot(),
-        )
+        );
+        hin_telemetry::logfmt!(
+            "server_stop",
+            addr = addr,
+            uptime_ms = snapshot.uptime_ms,
+            requests = snapshot.requests,
+            completed = snapshot.completed,
+            errors = snapshot.errors
+        );
+        snapshot
     }
 }
 
@@ -376,7 +500,7 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>, slot: &WorkerSlot) {
         };
         slot.set_busy(epoch);
         let queue_wait = job.admitted.elapsed();
-        shared.stats.inc(&shared.stats.in_flight);
+        shared.stats.in_flight.inc();
         let exec_started = Instant::now();
 
         // Worker-kill fault: die *outside* the per-request isolation
@@ -385,7 +509,7 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>, slot: &WorkerSlot) {
         // the connection handler reports "worker dropped the request" to
         // that one client instead of waiting forever.
         if job.fault == Some(FaultKind::KillWorker) {
-            shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+            shared.stats.in_flight.dec();
             drop(job);
             panic!("fault injection: worker killed");
         }
@@ -397,6 +521,16 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>, slot: &WorkerSlot) {
                 &job.cancel,
                 shared.config.poll_interval,
             );
+        }
+
+        // Span tracing: install a per-job trace buffer when the slow-query
+        // log is enabled, so a query that turns out slow can be explained
+        // after the fact. The engine picks the buffer up through its
+        // thread-local hooks (shards report through fork/absorb).
+        let tracing = shared.config.slow_query.is_some()
+            && matches!(job.request, Request::Query { .. } | Request::Explain { .. });
+        if tracing {
+            hin_telemetry::trace::install();
         }
 
         // Per-request panic isolation: a panic in measure/engine code (or
@@ -411,8 +545,17 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>, slot: &WorkerSlot) {
         .unwrap_or_else(|payload| {
             shared.stats.inc(&shared.stats.panics);
             shared.stats.inc(&shared.stats.errors);
-            Response::from_engine_error(&EngineError::from_panic(payload))
+            let e = EngineError::from_panic(payload);
+            hin_telemetry::logfmt!("request_panic_isolated", error = e);
+            Response::from_engine_error(&e)
         });
+        // Uninstall unconditionally (also after a panic, so a poisoned
+        // buffer never leaks into the next job on this worker).
+        let trace = if tracing {
+            hin_telemetry::trace::take()
+        } else {
+            None
+        };
         let exec = exec_started.elapsed();
 
         // Idempotency: remember the serialized response before answering,
@@ -422,10 +565,14 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>, slot: &WorkerSlot) {
         if let Some(id) = job.request.id() {
             shared.dedup.lock().insert(id, response.to_json_line());
         }
-        shared
-            .stats
-            .record_latencies(queue_wait, exec, job.admitted.elapsed());
-        shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        let total = job.admitted.elapsed();
+        shared.stats.record_latencies(queue_wait, exec, total);
+        if let (Some(threshold), Some(buf)) = (shared.config.slow_query, trace) {
+            if total >= threshold {
+                shared.log_slow_query(&job.request, queue_wait, exec, total, &response, buf);
+            }
+        }
+        shared.stats.in_flight.dec();
         // The connection handler may have hung up; that is fine.
         let _ = job.respond.send(response);
         slot.set_idle(epoch);
@@ -482,6 +629,7 @@ fn execute_request(
             let outcome = run_query(shared, options, text, cancel, fault);
             match outcome {
                 Ok(result) => {
+                    shared.stats.record_breakdown(&result.stats);
                     if let Some(d) = &result.degraded {
                         shared.stats.inc(&shared.stats.degraded);
                         if d.limit == BudgetLimit::Cancelled {
@@ -523,7 +671,12 @@ fn execute_request(
             }
         }
         // Inline requests never reach the pool.
-        Request::Ping | Request::Stats | Request::Shutdown | Request::Faults(_) => {
+        Request::Ping
+        | Request::Stats
+        | Request::Metrics { .. }
+        | Request::Trace { .. }
+        | Request::Shutdown
+        | Request::Faults(_) => {
             Response::err(ErrorCode::Internal, "inline request reached worker pool")
         }
     }
@@ -695,6 +848,19 @@ impl LineReader {
     fn write_response(&mut self, response: &Response) -> bool {
         self.write_line(&response.to_json_line())
     }
+
+    /// Write a multi-line text block (each line already `\n`-terminated)
+    /// followed by one blank line marking its end. Used by the `METRICS`
+    /// text form — the single non-JSON response in the protocol.
+    fn write_text_block(&mut self, text: &str) -> bool {
+        let mut framed = String::with_capacity(text.len() + 2);
+        framed.push_str(text);
+        if !framed.ends_with('\n') {
+            framed.push('\n');
+        }
+        framed.push('\n');
+        self.stream.write_all(framed.as_bytes()).is_ok() && self.stream.flush().is_ok()
+    }
 }
 
 /// Per-connection request loop.
@@ -725,11 +891,21 @@ fn handle_connection(shared: &Shared, stream: TcpStream, job_tx: &Sender<Job>) {
                 continue;
             }
         };
+        // METRICS text form: raw Prometheus exposition terminated by a
+        // blank line — the one response that is not a single JSON line.
+        if request == (Request::Metrics { json: false }) {
+            if !reader.write_text_block(&shared.metrics_text()) {
+                return;
+            }
+            continue;
+        }
         let response = match &request {
             Request::Ping => Some(Response::Pong {
                 uptime_ms: shared.stats.uptime().as_millis() as u64,
             }),
             Request::Stats => Some(shared.stats_response()),
+            Request::Metrics { .. } => Some(shared.metrics_response()),
+            Request::Trace { id } => Some(shared.trace_response(*id)),
             Request::Shutdown => {
                 let draining = shared.queue_depth();
                 shared.shutdown.store(true, Ordering::Relaxed);
@@ -1153,6 +1329,92 @@ mod tests {
             final_stats.completed, 1,
             "the query must execute exactly once"
         );
+    }
+
+    #[test]
+    fn metrics_and_trace_verbs_surface_telemetry() {
+        let (addr, handle) = toy_server(ServerConfig {
+            workers: 2,
+            queue_cap: 8,
+            slow_query: Some(Duration::ZERO), // log every query
+            ..ServerConfig::default()
+        });
+        let q =
+            "QUERY FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author JUDGED BY author.paper.venue;";
+        let responses = send_lines(addr, &[q, "METRICS JSON", "TRACE"]);
+        assert!(responses[0].starts_with(r#"{"result""#), "{}", responses[0]);
+        assert!(
+            responses[1].starts_with(r#"{"metrics""#)
+                && responses[1].contains("hin_requests_total")
+                && responses[1].contains("hin_queue_wait_us")
+                && responses[1].contains("hin_engine_scoring_us_total"),
+            "{}",
+            responses[1]
+        );
+        assert!(
+            responses[2].starts_with(r#"{"traces""#) && responses[2].contains(r#""entries":[{"#),
+            "{}",
+            responses[2]
+        );
+        // Fetch the logged entry and check its span tree reaches the
+        // engine phases.
+        let id = crate::client::json_u64_field(&responses[2], "id").expect("entry id");
+        let trace = send_lines(addr, &[&format!("TRACE {id}"), "TRACE 999999999"]);
+        assert!(
+            trace[0].starts_with(r#"{"trace""#)
+                && trace[0].contains(r#""name":"query""#)
+                && trace[0].contains(r#""name":"set_retrieval""#),
+            "{}",
+            trace[0]
+        );
+        assert!(trace[1].contains(r#""code":"Protocol""#), "{}", trace[1]);
+
+        // The bare METRICS form answers with raw Prometheus exposition
+        // terminated by a blank line, not JSON.
+        use std::io::BufRead;
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        writer.write_all(b"METRICS\n").expect("send");
+        let mut text = String::new();
+        for line in std::io::BufReader::new(stream).lines() {
+            let line = line.expect("read");
+            if line.is_empty() {
+                break;
+            }
+            text.push('\n');
+            text.push_str(&line);
+        }
+        let samples = hin_telemetry::parse_exposition(&text).expect("valid exposition");
+        for name in [
+            "hin_requests_total",
+            "hin_completed_total",
+            "hin_queue_wait_us_count",
+            "hin_exec_us_count",
+            "hin_total_us_count",
+            "hin_cache_hit_ratio",
+            "hin_engine_set_retrieval_us_total",
+        ] {
+            assert!(
+                samples.iter().any(|s| s.name == name),
+                "missing {name} in:\n{text}"
+            );
+        }
+        send_lines(addr, &["SHUTDOWN"]);
+        handle.join().expect("server thread");
+    }
+
+    #[test]
+    fn slow_query_log_disabled_without_threshold() {
+        let (addr, handle) = toy_server(ServerConfig {
+            workers: 1,
+            queue_cap: 4,
+            ..ServerConfig::default() // slow_query: None
+        });
+        let q =
+            "QUERY FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author JUDGED BY author.paper.venue;";
+        let responses = send_lines(addr, &[q, "TRACE", "SHUTDOWN"]);
+        assert!(responses[1].contains(r#""entries":[]"#), "{}", responses[1]);
+        handle.join().expect("server thread");
     }
 
     #[test]

@@ -1,192 +1,223 @@
 //! Live server statistics: counters, gauges, and latency histograms.
 //!
-//! A single [`ServerStats`] registry is shared (behind an `Arc`) by the
-//! acceptor, every connection handler, and every worker. Counters and
-//! gauges are atomics; histograms sit behind a [`parking_lot::Mutex`] and
-//! record microsecond latencies into power-of-two buckets, so a `STATS`
-//! request assembles a consistent [`StatsSnapshot`] without stopping the
-//! world.
+//! A single [`ServerStats`] block is shared (behind an `Arc`) by the
+//! acceptor, every connection handler, and every worker. All storage
+//! lives in a [`hin_telemetry::Registry`], so the same atomics feed both
+//! the legacy `STATS` snapshot and the Prometheus/JSON `METRICS`
+//! exposition — there is exactly one histogram implementation and one
+//! copy of every counter in the process.
 
-use parking_lot::Mutex;
+use hin_telemetry::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 use serde::Serialize;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Number of power-of-two latency buckets: bucket `i` counts latencies in
-/// `[2^i, 2^(i+1))` microseconds; the last bucket is open-ended. 40 buckets
-/// cover up to ~2^40 µs ≈ 12.7 days.
-const BUCKETS: usize = 40;
+pub use hin_telemetry::LatencySummary;
 
-/// A log₂-bucketed latency histogram over microseconds.
+/// The shared statistics block. Counter and gauge fields are cheap
+/// clonable handles into the embedded registry; hot paths never touch the
+/// registry lock.
 #[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [u64; BUCKETS],
-    count: u64,
-    sum_us: u64,
-    max_us: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: [0; BUCKETS],
-            count: 0,
-            sum_us: 0,
-            max_us: 0,
-        }
-    }
-}
-
-impl LatencyHistogram {
-    fn bucket_of(us: u64) -> usize {
-        // 0 and 1 µs land in bucket 0; otherwise floor(log2(us)).
-        (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1)
-    }
-
-    /// Record one observation.
-    pub fn record(&mut self, d: Duration) {
-        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
-        self.buckets[Self::bucket_of(us)] += 1;
-        self.count += 1;
-        self.sum_us = self.sum_us.saturating_add(us);
-        self.max_us = self.max_us.max(us);
-    }
-
-    /// Observations recorded so far.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Upper bound (exclusive) of the bucket holding the `q`-quantile
-    /// observation, in microseconds; `None` before any observation. The
-    /// log₂ bucketing bounds the error to 2× — fine for ops dashboards.
-    pub fn quantile_us(&self, q: f64) -> Option<u64> {
-        if self.count == 0 {
-            return None;
-        }
-        let q = q.clamp(0.0, 1.0);
-        // Rank of the q-quantile observation, 1-based.
-        let rank = ((q * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return Some(1u64 << (i + 1).min(63));
-            }
-        }
-        Some(self.max_us)
-    }
-
-    /// Mean latency in microseconds (`None` before any observation).
-    pub fn mean_us(&self) -> Option<u64> {
-        if self.count == 0 {
-            None
-        } else {
-            Some(self.sum_us / self.count)
-        }
-    }
-
-    fn summary(&self) -> LatencySummary {
-        LatencySummary {
-            count: self.count,
-            mean_us: self.mean_us().unwrap_or(0),
-            p50_us: self.quantile_us(0.50).unwrap_or(0),
-            p95_us: self.quantile_us(0.95).unwrap_or(0),
-            p99_us: self.quantile_us(0.99).unwrap_or(0),
-            max_us: self.max_us,
-        }
-    }
-}
-
-/// Serializable summary of one latency histogram.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
-pub struct LatencySummary {
-    /// Observations recorded.
-    pub count: u64,
-    /// Mean latency (µs).
-    pub mean_us: u64,
-    /// Median (µs, bucket upper bound).
-    pub p50_us: u64,
-    /// 95th percentile (µs, bucket upper bound).
-    pub p95_us: u64,
-    /// 99th percentile (µs, bucket upper bound).
-    pub p99_us: u64,
-    /// Largest observation (µs, exact).
-    pub max_us: u64,
-}
-
-#[derive(Debug, Default)]
-struct Histograms {
-    /// Time from admission to a worker picking the job up.
-    queue_wait: LatencyHistogram,
-    /// Worker execution time (parse+bind+execute).
-    exec: LatencyHistogram,
-    /// Admission to response written.
-    total: LatencyHistogram,
-}
-
-/// The shared statistics registry.
-#[derive(Debug, Default)]
 pub struct ServerStats {
     /// Connections accepted over the server lifetime.
-    pub connections: AtomicU64,
+    pub connections: Counter,
     /// Requests read and parsed (including malformed ones).
-    pub requests: AtomicU64,
+    pub requests: Counter,
     /// Requests answered with `result`.
-    pub completed: AtomicU64,
+    pub completed: Counter,
     /// Requests rejected with `busy` by admission control.
-    pub rejected_busy: AtomicU64,
+    pub rejected_busy: Counter,
     /// Requests whose budget tripped cooperative cancellation (client
     /// disconnect or drain).
-    pub cancelled: AtomicU64,
+    pub cancelled: Counter,
     /// `result` responses carrying a degraded/partial marker.
-    pub degraded: AtomicU64,
+    pub degraded: Counter,
     /// Requests answered with `err` (any code).
-    pub errors: AtomicU64,
+    pub errors: Counter,
     /// Jobs currently executing in workers.
-    pub in_flight: AtomicU64,
+    pub in_flight: Gauge,
     /// Request executions that panicked and were isolated (answered with a
     /// structured `PANIC` error instead of tearing down the worker).
-    pub panics: AtomicU64,
+    pub panics: Counter,
     /// Worker threads respawned by the supervisor (after a worker death or
     /// a hung-worker replacement).
-    pub respawns: AtomicU64,
+    pub respawns: Counter,
     /// Requests answered from the idempotent-request dedup cache (retries
     /// of an already-executed request id).
-    pub deduped: AtomicU64,
+    pub deduped: Counter,
     /// Connections dropped server-side by fault injection.
-    pub dropped_conns: AtomicU64,
-    histograms: Mutex<Histograms>,
-    started: Mutex<Option<Instant>>,
+    pub dropped_conns: Counter,
+    /// Time from admission to a worker picking the job up.
+    queue_wait: Arc<Histogram>,
+    /// Worker execution time (parse+bind+execute).
+    exec: Arc<Histogram>,
+    /// Admission to response written.
+    total: Arc<Histogram>,
+    // Engine phase totals, accumulated from each query's ExecBreakdown.
+    engine_set_retrieval_us: Counter,
+    engine_unindexed_us: Counter,
+    engine_indexed_us: Counter,
+    engine_scoring_us: Counter,
+    // Scrape-time gauges: owned by the server (queue, shared cache) and
+    // refreshed immediately before each exposition render.
+    uptime_ms: Gauge,
+    queue_depth: Gauge,
+    queue_cap: Gauge,
+    cache_hits: Gauge,
+    cache_misses: Gauge,
+    cache_evictions: Gauge,
+    cache_hit_ratio: Gauge,
+    cache_len: Gauge,
+    registry: Registry,
+    started: Instant,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats::new()
+    }
 }
 
 impl ServerStats {
-    /// A fresh registry; the uptime clock starts now.
+    /// A fresh statistics block; the uptime clock starts now.
     pub fn new() -> ServerStats {
-        let stats = ServerStats::default();
-        *stats.started.lock() = Some(Instant::now());
-        stats
+        let registry = Registry::new();
+        ServerStats {
+            connections: registry.counter("hin_connections_total", "Connections accepted."),
+            requests: registry.counter("hin_requests_total", "Requests read and parsed."),
+            completed: registry.counter("hin_completed_total", "Requests answered with result."),
+            rejected_busy: registry.counter(
+                "hin_rejected_busy_total",
+                "Requests rejected by admission control.",
+            ),
+            cancelled: registry.counter(
+                "hin_cancelled_total",
+                "Requests cancelled cooperatively (disconnect or drain).",
+            ),
+            degraded: registry.counter(
+                "hin_degraded_total",
+                "Degraded (partial) results served under budget pressure.",
+            ),
+            errors: registry.counter("hin_errors_total", "Requests answered with err."),
+            in_flight: registry.gauge("hin_in_flight", "Jobs currently executing in workers."),
+            panics: registry.counter("hin_panics_total", "Isolated request panics."),
+            respawns: registry.counter(
+                "hin_respawns_total",
+                "Worker threads respawned by the supervisor.",
+            ),
+            deduped: registry.counter(
+                "hin_deduped_total",
+                "Responses replayed from the idempotency dedup cache.",
+            ),
+            dropped_conns: registry.counter(
+                "hin_dropped_conns_total",
+                "Connections dropped by fault injection.",
+            ),
+            queue_wait: registry.histogram(
+                "hin_queue_wait_us",
+                "Admission to worker-pickup latency, microseconds.",
+            ),
+            exec: registry.histogram("hin_exec_us", "Worker execution latency, microseconds."),
+            total: registry.histogram(
+                "hin_total_us",
+                "Admission to response-written latency, microseconds.",
+            ),
+            engine_set_retrieval_us: registry.counter(
+                "hin_engine_set_retrieval_us_total",
+                "Engine time in query-set retrieval, microseconds.",
+            ),
+            engine_unindexed_us: registry.counter(
+                "hin_engine_unindexed_vectors_us_total",
+                "Engine time materializing unindexed vectors, microseconds.",
+            ),
+            engine_indexed_us: registry.counter(
+                "hin_engine_indexed_vectors_us_total",
+                "Engine time serving vectors from indexes, microseconds.",
+            ),
+            engine_scoring_us: registry.counter(
+                "hin_engine_scoring_us_total",
+                "Engine time scoring candidates, microseconds.",
+            ),
+            uptime_ms: registry.gauge("hin_uptime_ms", "Milliseconds since the server started."),
+            queue_depth: registry.gauge("hin_queue_depth", "Jobs waiting in the admission queue."),
+            queue_cap: registry.gauge("hin_queue_cap", "Admission queue capacity."),
+            cache_hits: registry.gauge("hin_cache_hits", "Vectors served from the shared cache."),
+            cache_misses: registry.gauge("hin_cache_misses", "Vectors computed and inserted."),
+            cache_evictions: registry.gauge("hin_cache_evictions", "Cache entries evicted."),
+            cache_hit_ratio: registry.gauge(
+                "hin_cache_hit_ratio",
+                "Shared cache hit ratio in [0,1]; NaN before any lookup.",
+            ),
+            cache_len: registry.gauge("hin_cache_len", "Vectors cached right now."),
+            registry,
+            started: Instant::now(),
+        }
     }
 
     /// Server uptime.
     pub fn uptime(&self) -> Duration {
-        self.started
-            .lock()
-            .map(|t| t.elapsed())
-            .unwrap_or(Duration::ZERO)
+        self.started.elapsed()
     }
 
     /// Record one completed job's latency split.
     pub fn record_latencies(&self, queue_wait: Duration, exec: Duration, total: Duration) {
-        let mut h = self.histograms.lock();
-        h.queue_wait.record(queue_wait);
-        h.exec.record(exec);
-        h.total.record(total);
+        self.queue_wait.record(queue_wait);
+        self.exec.record(exec);
+        self.total.record(total);
     }
 
-    /// Bump a counter by one.
-    pub fn inc(&self, counter: &AtomicU64) -> u64 {
-        counter.fetch_add(1, Ordering::Relaxed) + 1
+    /// Fold one query's phase breakdown into the engine-phase totals.
+    pub fn record_breakdown(&self, b: &netout::ExecBreakdown) {
+        self.engine_set_retrieval_us
+            .add(b.set_retrieval.as_micros() as u64);
+        self.engine_unindexed_us
+            .add(b.unindexed_vectors.as_micros() as u64);
+        self.engine_indexed_us
+            .add(b.indexed_vectors.as_micros() as u64);
+        self.engine_scoring_us.add(b.scoring.as_micros() as u64);
+    }
+
+    /// Bump a counter by one. Kept for call-site symmetry with the old
+    /// atomic-field API; equivalent to `counter.inc()`.
+    pub fn inc(&self, counter: &Counter) -> u64 {
+        counter.inc()
+    }
+
+    /// Refresh the scrape-time gauges from server-owned state.
+    fn set_scrape_gauges(&self, queue_depth: usize, queue_cap: usize, cache: &CacheSnapshot) {
+        self.uptime_ms.set(self.uptime().as_millis() as f64);
+        self.queue_depth.set(queue_depth as f64);
+        self.queue_cap.set(queue_cap as f64);
+        self.cache_hits.set(cache.hits as f64);
+        self.cache_misses.set(cache.misses as f64);
+        self.cache_evictions.set(cache.evictions as f64);
+        self.cache_hit_ratio
+            .set(cache.hit_ratio.unwrap_or(f64::NAN));
+        self.cache_len.set(cache.len as f64);
+    }
+
+    /// Render the Prometheus text exposition of every metric (the `METRICS`
+    /// verb's text form). `queue_depth` and `cache` are owned by the server
+    /// and passed in, as for [`ServerStats::snapshot`].
+    pub fn render_metrics(
+        &self,
+        queue_depth: usize,
+        queue_cap: usize,
+        cache: CacheSnapshot,
+    ) -> String {
+        self.set_scrape_gauges(queue_depth, queue_cap, &cache);
+        self.registry.render_prometheus()
+    }
+
+    /// The JSON form of a metrics scrape (the `METRICS JSON` verb).
+    pub fn metrics_snapshot(
+        &self,
+        queue_depth: usize,
+        queue_cap: usize,
+        cache: CacheSnapshot,
+    ) -> MetricsSnapshot {
+        self.set_scrape_gauges(queue_depth, queue_cap, &cache);
+        self.registry.snapshot()
     }
 
     /// Assemble a consistent snapshot. `queue_depth` and `cache` are owned
@@ -198,27 +229,29 @@ impl ServerStats {
         queue_cap: usize,
         cache: CacheSnapshot,
     ) -> StatsSnapshot {
-        let h = self.histograms.lock();
+        // Snapshot the uptime once; every field below reads from the same
+        // instant rather than re-eyeballing the clock.
+        let uptime_ms = self.uptime().as_millis() as u64;
         StatsSnapshot {
-            uptime_ms: self.uptime().as_millis() as u64,
-            connections: self.connections.load(Ordering::Relaxed),
-            requests: self.requests.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
-            cancelled: self.cancelled.load(Ordering::Relaxed),
-            degraded: self.degraded.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            in_flight: self.in_flight.load(Ordering::Relaxed),
-            panics: self.panics.load(Ordering::Relaxed),
-            respawns: self.respawns.load(Ordering::Relaxed),
-            deduped: self.deduped.load(Ordering::Relaxed),
-            dropped_conns: self.dropped_conns.load(Ordering::Relaxed),
+            uptime_ms,
+            connections: self.connections.get(),
+            requests: self.requests.get(),
+            completed: self.completed.get(),
+            rejected_busy: self.rejected_busy.get(),
+            cancelled: self.cancelled.get(),
+            degraded: self.degraded.get(),
+            errors: self.errors.get(),
+            in_flight: self.in_flight.get() as u64,
+            panics: self.panics.get(),
+            respawns: self.respawns.get(),
+            deduped: self.deduped.get(),
+            dropped_conns: self.dropped_conns.get(),
             queue_depth,
             queue_cap,
             cache,
-            queue_wait: h.queue_wait.summary(),
-            exec: h.exec.summary(),
-            total: h.total.summary(),
+            queue_wait: self.queue_wait.summary(),
+            exec: self.exec.summary(),
+            total: self.total.summary(),
         }
     }
 }
@@ -298,33 +331,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_buckets_and_quantiles() {
-        let mut h = LatencyHistogram::default();
-        assert_eq!(h.quantile_us(0.5), None);
-        assert_eq!(h.mean_us(), None);
-        for us in [1u64, 2, 4, 8, 100, 1000, 10_000] {
-            h.record(Duration::from_micros(us));
-        }
-        assert_eq!(h.count(), 7);
-        // p50 of 7 observations is the 4th (8 µs) → bucket bound 16.
-        assert_eq!(h.quantile_us(0.5), Some(16));
-        // p99 is the largest (10 000 µs) → its bucket bound 16384.
-        assert_eq!(h.quantile_us(0.99), Some(16_384));
-        assert_eq!(h.max_us, 10_000);
-        assert!(h.mean_us().unwrap() > 0);
-    }
-
-    #[test]
-    fn bucket_of_edges() {
-        assert_eq!(LatencyHistogram::bucket_of(0), 0);
-        assert_eq!(LatencyHistogram::bucket_of(1), 0);
-        assert_eq!(LatencyHistogram::bucket_of(2), 1);
-        assert_eq!(LatencyHistogram::bucket_of(3), 1);
-        assert_eq!(LatencyHistogram::bucket_of(1024), 10);
-        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), BUCKETS - 1);
-    }
-
-    #[test]
     fn snapshot_reflects_counters() {
         let stats = ServerStats::new();
         stats.inc(&stats.requests);
@@ -356,6 +362,10 @@ mod tests {
         let line = crate::json::to_string(&snap).unwrap();
         assert!(line.starts_with('{') && line.ends_with('}'));
         assert!(line.contains("\"cancelled\":1"));
+        // queue_wait quantiles are surfaced (satellite of ISSUE 5).
+        assert_eq!(snap.queue_wait.count, 1);
+        assert!(snap.queue_wait.p99_us >= 10);
+        assert!(line.contains("\"queue_wait\":{"));
     }
 
     #[test]
@@ -367,5 +377,60 @@ mod tests {
         };
         let c = CacheSnapshot::from(s);
         assert_eq!(c.hit_ratio, Some(0.75));
+    }
+
+    #[test]
+    fn metrics_exposition_covers_required_names() {
+        let stats = ServerStats::new();
+        stats.inc(&stats.requests);
+        stats.record_latencies(
+            Duration::from_micros(5),
+            Duration::from_micros(40),
+            Duration::from_micros(50),
+        );
+        stats.record_breakdown(&netout::ExecBreakdown {
+            set_retrieval: Duration::from_micros(7),
+            scoring: Duration::from_micros(11),
+            ..Default::default()
+        });
+        let cache = CacheSnapshot {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+            hit_ratio: Some(0.75),
+            len: 4,
+        };
+        let text = stats.render_metrics(2, 8, cache);
+        for name in [
+            "hin_requests_total",
+            "hin_queue_wait_us_count",
+            "hin_exec_us_bucket",
+            "hin_total_us_sum",
+            "hin_cache_hit_ratio 0.75",
+            "hin_engine_set_retrieval_us_total 7",
+            "hin_engine_scoring_us_total 11",
+            "hin_queue_depth 2",
+        ] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+        // And the text form parses cleanly.
+        let samples = hin_telemetry::parse_exposition(&text).unwrap();
+        assert!(samples.iter().any(|s| s.name == "hin_in_flight"));
+        // JSON form carries histogram summaries.
+        let snap = stats.metrics_snapshot(2, 8, cache);
+        let h = snap
+            .samples
+            .iter()
+            .find(|s| s.name == "hin_queue_wait_us")
+            .unwrap();
+        assert_eq!(h.summary.unwrap().count, 1);
+    }
+
+    #[test]
+    fn uptime_is_lock_free_and_monotone() {
+        let stats = ServerStats::new();
+        let a = stats.uptime();
+        let b = stats.uptime();
+        assert!(b >= a);
     }
 }

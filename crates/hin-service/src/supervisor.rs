@@ -180,6 +180,10 @@ pub fn supervise<F>(
                 let _ = member.handle.join(); // panic payload already accounted
                 if !clean {
                     pending_respawns += 1;
+                    hin_telemetry::logfmt!(
+                        "worker_died",
+                        last_beat_ms = member.slot.last_beat_ms()
+                    );
                 }
             } else {
                 i += 1;
@@ -195,6 +199,16 @@ pub fn supervise<F>(
                     .busy_for(epoch)
                     .is_some_and(|busy| busy > timeout);
                 if hung {
+                    let busy_ms = roster[i]
+                        .slot
+                        .busy_for(epoch)
+                        .unwrap_or(Duration::ZERO)
+                        .as_millis() as u64;
+                    hin_telemetry::logfmt!(
+                        "worker_hung",
+                        busy_ms = busy_ms,
+                        timeout_ms = timeout.as_millis() as u64
+                    );
                     zombies.push(roster.swap_remove(i));
                     pending_respawns += 1;
                 } else {
@@ -213,10 +227,17 @@ pub fn supervise<F>(
                     roster.push(Member { slot, handle });
                     pending_respawns -= 1;
                     spawn_failures = 0;
-                    stats.inc(&stats.respawns);
+                    let respawns = stats.inc(&stats.respawns);
+                    hin_telemetry::logfmt!("worker_respawn", id = id, respawns = respawns);
                 }
-                Err(_) => {
+                Err(e) => {
                     spawn_failures += 1;
+                    hin_telemetry::logfmt!(
+                        "worker_spawn_failed",
+                        id = id,
+                        failures = spawn_failures,
+                        error = e
+                    );
                     if spawn_failures >= MAX_SPAWN_FAILURES {
                         // Give up on this replacement rather than spin
                         // forever; the pool runs degraded.
@@ -352,7 +373,7 @@ mod tests {
         h.wait_processed(10);
         drop(h.tx); // disconnect → workers exit clean → supervisor returns
         sup.join().expect("supervisor");
-        assert_eq!(h.stats.respawns.load(Ordering::Relaxed), 0);
+        assert_eq!(h.stats.respawns.get(), 0);
     }
 
     #[test]
@@ -366,13 +387,13 @@ mod tests {
         }
         h.wait_processed(4); // the four `0` jobs all complete
         let deadline = Instant::now() + Duration::from_secs(10);
-        while h.stats.respawns.load(Ordering::Relaxed) < 4 {
+        while h.stats.respawns.get() < 4 {
             assert!(Instant::now() < deadline, "respawns never reached 4");
             std::thread::sleep(Duration::from_millis(2));
         }
         drop(h.tx);
         sup.join().expect("supervisor");
-        assert_eq!(h.stats.respawns.load(Ordering::Relaxed), 4);
+        assert_eq!(h.stats.respawns.get(), 4);
     }
 
     #[test]
@@ -389,7 +410,7 @@ mod tests {
         h.tx.send(2).unwrap(); // wedge the only worker
         h.tx.send(0).unwrap(); // must still complete via the replacement
         h.wait_processed(1);
-        assert!(h.stats.respawns.load(Ordering::Relaxed) >= 1);
+        assert!(h.stats.respawns.get() >= 1);
         // Let the zombie recover inside the grace window, then drain.
         h.release_wedged.store(true, Ordering::Relaxed);
         h.wait_processed(2);

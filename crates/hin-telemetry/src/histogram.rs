@@ -1,0 +1,247 @@
+//! The workspace's one log₂-bucketed latency histogram.
+//!
+//! Bucket `i` counts observations in `[2^i, 2^(i+1))` microseconds; the
+//! last bucket is open-ended. Everything is a relaxed atomic, so one
+//! instance can be recorded into from many threads (server workers) or
+//! used single-threaded (the load client) without a lock — there is no
+//! separate "mutable" variant. Quantiles report the bucket's upper bound,
+//! which bounds the error to 2× — fine for dashboards; tests pin the
+//! bracketing property against [`exact_quantile_us`].
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets. 40 buckets cover up to
+/// ~2^40 µs ≈ 12.7 days.
+pub const BUCKETS: usize = 40;
+
+/// A concurrently-recordable log₂ latency histogram over microseconds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Histogram {
+        // A `const` item (not a `let`) so the array repeat is allowed.
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index holding `us`: 0 and 1 µs land in bucket 0,
+    /// otherwise `floor(log2(us))`, clamped to the open-ended last bucket.
+    pub fn bucket_of(us: u64) -> usize {
+        (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Record one observation.
+    pub fn record(&self, d: Duration) {
+        self.record_us(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Record one observation given directly in microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturate rather than wrap: a histogram that has absorbed u64::MAX
+        // microseconds of latency has bigger problems than a stuck sum.
+        let mut sum = self.sum_us.load(Ordering::Relaxed);
+        loop {
+            let next = sum.saturating_add(us);
+            match self
+                .sum_us
+                .compare_exchange_weak(sum, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => sum = actual,
+            }
+        }
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, in microseconds (saturating).
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation, in microseconds (exact).
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// A plain snapshot of the bucket counts (for exposition writers).
+    pub fn buckets(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (o, b) in out.iter_mut().zip(&self.buckets) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Upper bound (exclusive) of the bucket holding the `q`-quantile
+    /// observation, in microseconds; `None` before any observation. The
+    /// log₂ bucketing bounds the error to 2×.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the q-quantile observation, 1-based (nearest rank).
+        let rank = ((q * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(1u64 << (i + 1).min(63));
+            }
+        }
+        Some(self.max_us())
+    }
+
+    /// Mean latency in microseconds (`None` before any observation).
+    pub fn mean_us(&self) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            None
+        } else {
+            Some(self.sum_us() / count)
+        }
+    }
+
+    /// The serializable summary used in wire-format snapshots.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count(),
+            mean_us: self.mean_us().unwrap_or(0),
+            p50_us: self.quantile_us(0.50).unwrap_or(0),
+            p95_us: self.quantile_us(0.95).unwrap_or(0),
+            p99_us: self.quantile_us(0.99).unwrap_or(0),
+            max_us: self.max_us(),
+        }
+    }
+}
+
+/// Serializable summary of one latency histogram. Field names and order
+/// are wire format (`STATS` responses) — do not reorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct LatencySummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Mean latency (µs).
+    pub mean_us: u64,
+    /// Median (µs, bucket upper bound).
+    pub p50_us: u64,
+    /// 95th percentile (µs, bucket upper bound).
+    pub p95_us: u64,
+    /// 99th percentile (µs, bucket upper bound).
+    pub p99_us: u64,
+    /// Largest observation (µs, exact).
+    pub max_us: u64,
+}
+
+/// Exact nearest-rank quantile over an ascending-sorted sample, in
+/// microseconds; `None` on an empty sample. This is the ground truth the
+/// histogram's bucketed [`Histogram::quantile_us`] is property-tested
+/// against: the bucketed value must bracket the exact one within its
+/// power-of-two bucket.
+pub fn exact_quantile_us(sorted_us: &[u64], q: f64) -> Option<u64> {
+    if sorted_us.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).max(1);
+    Some(sorted_us[rank - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_and_quantiles_match_legacy_semantics() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_us(0.5), None);
+        assert_eq!(h.mean_us(), None);
+        for us in [1u64, 2, 4, 8, 100, 1000, 10_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 7);
+        // p50 of 7 observations is the 4th (8 µs) → bucket bound 16.
+        assert_eq!(h.quantile_us(0.5), Some(16));
+        // p99 is the largest (10 000 µs) → its bucket bound 16384.
+        assert_eq!(h.quantile_us(0.99), Some(16_384));
+        assert_eq!(h.max_us(), 10_000);
+        assert!(h.mean_us().unwrap() > 0);
+    }
+
+    #[test]
+    fn bucket_of_edges() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(1024), 10);
+        assert_eq!(Histogram::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record_us(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.buckets().iter().sum::<u64>(), 4000);
+        assert_eq!(h.max_us(), 3999);
+    }
+
+    #[test]
+    fn exact_quantile_nearest_rank() {
+        assert_eq!(exact_quantile_us(&[], 0.5), None);
+        let sample = [10u64, 20, 30, 40, 50];
+        assert_eq!(exact_quantile_us(&sample, 0.0), Some(10));
+        assert_eq!(exact_quantile_us(&sample, 0.5), Some(30));
+        assert_eq!(exact_quantile_us(&sample, 0.9), Some(50));
+        assert_eq!(exact_quantile_us(&sample, 1.0), Some(50));
+    }
+
+    #[test]
+    fn summary_fields() {
+        let h = Histogram::new();
+        h.record_us(100);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean_us, 100);
+        assert_eq!(s.p50_us, 128);
+        assert_eq!(s.max_us, 100);
+    }
+}

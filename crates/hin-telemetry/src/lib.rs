@@ -1,0 +1,42 @@
+//! # hin-telemetry — unified observability for the workspace
+//!
+//! After the engine grew timing breakdowns
+//! ([`ExecBreakdown`](https://docs.rs/)-style per-phase totals), the server
+//! grew ad-hoc counters, and the load client grew its own percentile
+//! tracker, the workspace had three disjoint, non-scrapeable telemetry
+//! surfaces and no way to answer "why was *this* query slow?" on a live
+//! server. This crate is the single observability layer all of them now
+//! sit on (DESIGN.md §12):
+//!
+//! * [`histogram`] — **the** log₂-bucketed latency histogram (atomic, so
+//!   one instance is recorded into concurrently without locks), plus the
+//!   exact nearest-rank quantile used as its ground truth in tests;
+//! * [`registry`] — named counters, gauges, and histograms behind
+//!   cheaply-clonable handles, with a Prometheus text exposition writer, a
+//!   line parser for that format, and a serde-serializable JSON snapshot;
+//! * [`trace`] — per-query span trees: thread-local span stacks
+//!   ([`span!`]) record start/duration/parent and key-value fields into a
+//!   bounded per-thread buffer; shard buffers merge deterministically
+//!   through the engine's fork/absorb path. A disabled tracer costs one
+//!   relaxed atomic load per span.
+//! * [`logfmt`] — structured `key=value` event lines for worker
+//!   lifecycle / fault events, replacing bare `eprintln!`s.
+//!
+//! The crate is intentionally dependency-free beyond `serde` (already a
+//! workspace dependency), matching the repo's hand-rolled style: no
+//! metrics facade, no tracing runtime, `std` atomics and thread-locals
+//! only.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+// Telemetry must never take a process down; tests are free to unwrap.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod histogram;
+pub mod logfmt;
+pub mod registry;
+pub mod trace;
+
+pub use histogram::{exact_quantile_us, Histogram, LatencySummary, BUCKETS};
+pub use registry::{parse_exposition, Counter, Gauge, MetricsSnapshot, Registry, Sample};
+pub use trace::{TraceBuf, TraceNode};

@@ -1,0 +1,104 @@
+//! Structured `key=value` event lines (logfmt).
+//!
+//! The service used bare `eprintln!`s for worker lifecycle and fault
+//! events; those lines were unparseable and inconsistent. [`logfmt!`]
+//! replaces them with one-line structured events:
+//!
+//! ```text
+//! ts_ms=1722950000123 event=worker_respawn worker=3 epoch=2
+//! ```
+//!
+//! Values containing spaces, quotes, or `=` are quoted with backslash
+//! escapes, so lines always split back into pairs. Events go to stderr
+//! (stdout stays reserved for protocol/CLI output); under `cargo test`
+//! libtest captures stderr per-test, so servers started inside tests stay
+//! quiet on success.
+
+use std::fmt::Display;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Render one logfmt line (without trailing newline). Exposed separately
+/// from [`emit`] so tests can assert on the exact formatting.
+pub fn format_event(event: &str, fields: &[(&str, &dyn Display)]) -> String {
+    use std::fmt::Write as _;
+    let ts_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    let mut out = String::with_capacity(48 + fields.len() * 16);
+    let _ = write!(out, "ts_ms={ts_ms} event=");
+    push_value(&mut out, event);
+    for (key, value) in fields {
+        out.push(' ');
+        out.push_str(key);
+        out.push('=');
+        push_value(&mut out, &value.to_string());
+    }
+    out
+}
+
+/// Append a value, quoting it if it contains characters that would break
+/// `key=value` splitting.
+fn push_value(out: &mut String, v: &str) {
+    let needs_quote = v.is_empty() || v.contains([' ', '"', '=', '\n', '\t']);
+    if !needs_quote {
+        out.push_str(v);
+        return;
+    }
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Write one logfmt event line to stderr. Prefer the [`logfmt!`] macro.
+pub fn emit(event: &str, fields: &[(&str, &dyn Display)]) {
+    eprintln!("{}", format_event(event, fields));
+}
+
+/// Emit a structured logfmt event line to stderr:
+/// `logfmt!("worker_respawn", worker = id, epoch = epoch);`
+#[macro_export]
+macro_rules! logfmt {
+    ($event:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::logfmt::emit(
+            $event,
+            &[$((stringify!($key), &$value as &dyn ::std::fmt::Display)),*],
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_values_stay_bare() {
+        let line = format_event("worker_respawn", &[("worker", &3u64), ("epoch", &2u64)]);
+        assert!(line.starts_with("ts_ms="), "{line}");
+        assert!(
+            line.ends_with("event=worker_respawn worker=3 epoch=2"),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn awkward_values_are_quoted_and_escaped() {
+        let line = format_event("slow_query", &[("query", &"QUERY k=5 \"x\"")]);
+        assert!(line.contains(r#"query="QUERY k=5 \"x\"""#), "{line}");
+    }
+
+    #[test]
+    fn macro_compiles_with_and_without_fields() {
+        logfmt!("bare_event");
+        let id = 7;
+        logfmt!("with_fields", id = id, kind = "test");
+    }
+}

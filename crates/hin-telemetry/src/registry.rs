@@ -1,0 +1,614 @@
+//! A named-metric registry with Prometheus text exposition.
+//!
+//! Metrics are registered once by name (plus an optional fixed label set)
+//! and handed back as cheaply-clonable handles — an [`Arc`] around the
+//! atomics — so hot paths never touch the registry lock. Registration is
+//! idempotent: asking for an existing `(name, labels)` pair returns a
+//! handle to the same storage, which is what lets a server's stats block
+//! and its `METRICS` endpoint share one set of counters.
+//!
+//! The exposition writer produces the Prometheus text format (`# HELP` /
+//! `# TYPE` comments, `name{label="value"} value` samples, cumulative
+//! `_bucket{le="..."}` lines for histograms); [`parse_exposition`] is the
+//! matching line parser, used by the round-trip property tests and by
+//! integration tests that scrape a live server.
+
+use crate::histogram::Histogram;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one; returns the new value.
+    pub fn inc(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down. Stored as `f64` bits so one
+/// type serves integer levels (in-flight jobs) and ratios (cache hit
+/// rate); integer reads go through [`Gauge::get`] and round-trip exactly
+/// up to 2^53.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative). Lock-free CAS loop; gauges are
+    /// updated at job granularity, not in inner loops.
+    pub fn add(&self, delta: f64) -> f64 {
+        let mut bits = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = f64::from_bits(bits) + delta;
+            match self.0.compare_exchange_weak(
+                bits,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return next,
+                Err(actual) => bits = actual,
+            }
+        }
+    }
+
+    /// Add one.
+    pub fn inc(&self) -> f64 {
+        self.add(1.0)
+    }
+
+    /// Subtract one.
+    pub fn dec(&self) -> f64 {
+        self.add(-1.0)
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Kind {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Arc<Histogram>),
+}
+
+impl Kind {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Kind::Counter(_) => "counter",
+            Kind::Gauge(_) => "gauge",
+            Kind::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Metric {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    kind: Kind,
+}
+
+/// The metric registry. One per server (not a process-global), so test
+/// suites can run many servers in one process without crosstalk.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<Vec<Metric>>,
+}
+
+/// `true` for names Prometheus accepts: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl Fn() -> Kind,
+    ) -> Kind {
+        debug_assert!(valid_name(name), "invalid metric name {name:?}");
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        // Registration is cold; a linear scan beats a map for the handful
+        // of metrics a server registers.
+        #[allow(clippy::unwrap_used)] // lock poisoning: no panics while held
+        let mut metrics = self.metrics.lock().unwrap();
+        if let Some(m) = metrics
+            .iter()
+            .find(|m| m.name == name && m.labels == labels)
+        {
+            return m.kind.clone();
+        }
+        let kind = make();
+        metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            kind: kind.clone(),
+        });
+        kind
+    }
+
+    /// Register (or look up) a counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register (or look up) a counter with a fixed label set.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.register(name, help, labels, || Kind::Counter(Counter::default())) {
+            Kind::Counter(c) => c,
+            // A name registered under a different type is a programming
+            // error; hand back a detached handle rather than panicking.
+            _ => Counter::default(),
+        }
+    }
+
+    /// Register (or look up) a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register (or look up) a gauge with a fixed label set.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, labels, || Kind::Gauge(Gauge::default())) {
+            Kind::Gauge(g) => g,
+            _ => Gauge::default(),
+        }
+    }
+
+    /// Register (or look up) a log₂ latency histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        match self.register(name, help, &[], || {
+            Kind::Histogram(Arc::new(Histogram::new()))
+        }) {
+            Kind::Histogram(h) => h,
+            _ => Arc::new(Histogram::new()),
+        }
+    }
+
+    /// Render the Prometheus text exposition of every registered metric.
+    pub fn render_prometheus(&self) -> String {
+        #[allow(clippy::unwrap_used)] // lock poisoning: no panics while held
+        let metrics = self.metrics.lock().unwrap();
+        let mut out = String::with_capacity(metrics.len() * 64);
+        let mut last_name: Option<&str> = None;
+        for m in metrics.iter() {
+            // HELP/TYPE once per metric family; consecutive registrations
+            // of the same name (label variants) share the header.
+            if last_name != Some(m.name.as_str()) {
+                if !m.help.is_empty() {
+                    out.push_str("# HELP ");
+                    out.push_str(&m.name);
+                    out.push(' ');
+                    out.push_str(&m.help);
+                    out.push('\n');
+                }
+                out.push_str("# TYPE ");
+                out.push_str(&m.name);
+                out.push(' ');
+                out.push_str(m.kind.type_name());
+                out.push('\n');
+                last_name = Some(m.name.as_str());
+            }
+            match &m.kind {
+                Kind::Counter(c) => {
+                    sample_line(&mut out, &m.name, &m.labels, &[], c.get() as f64);
+                }
+                Kind::Gauge(g) => {
+                    sample_line(&mut out, &m.name, &m.labels, &[], g.get());
+                }
+                Kind::Histogram(h) => {
+                    let buckets = h.buckets();
+                    let mut cumulative = 0u64;
+                    let last = buckets.iter().rposition(|&n| n > 0).unwrap_or(0);
+                    let bucket_name = format!("{}_bucket", m.name);
+                    for (i, &n) in buckets.iter().enumerate().take(last + 1) {
+                        cumulative += n;
+                        let le = (1u128 << (i + 1)).to_string();
+                        sample_line(
+                            &mut out,
+                            &bucket_name,
+                            &m.labels,
+                            &[("le", &le)],
+                            cumulative as f64,
+                        );
+                    }
+                    sample_line(
+                        &mut out,
+                        &bucket_name,
+                        &m.labels,
+                        &[("le", "+Inf")],
+                        h.count() as f64,
+                    );
+                    sample_line(
+                        &mut out,
+                        &format!("{}_sum", m.name),
+                        &m.labels,
+                        &[],
+                        h.sum_us() as f64,
+                    );
+                    sample_line(
+                        &mut out,
+                        &format!("{}_count", m.name),
+                        &m.labels,
+                        &[],
+                        h.count() as f64,
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// A serializable snapshot: one entry per sample, the JSON twin of the
+    /// text exposition (histograms surface as their summaries).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        #[allow(clippy::unwrap_used)] // lock poisoning: no panics while held
+        let metrics = self.metrics.lock().unwrap();
+        MetricsSnapshot {
+            samples: metrics
+                .iter()
+                .filter_map(|m| match &m.kind {
+                    Kind::Counter(c) => Some(SampleOut {
+                        name: m.name.clone(),
+                        labels: m.labels.clone(),
+                        kind: "counter",
+                        value: c.get() as f64,
+                        summary: None,
+                    }),
+                    Kind::Gauge(g) => Some(SampleOut {
+                        name: m.name.clone(),
+                        labels: m.labels.clone(),
+                        kind: "gauge",
+                        value: g.get(),
+                        summary: None,
+                    }),
+                    Kind::Histogram(h) => Some(SampleOut {
+                        name: m.name.clone(),
+                        labels: m.labels.clone(),
+                        kind: "histogram",
+                        value: h.count() as f64,
+                        summary: Some(h.summary()),
+                    }),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One metric sample in the JSON snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SampleOut {
+    /// Metric name.
+    pub name: String,
+    /// Fixed label pairs.
+    pub labels: Vec<(String, String)>,
+    /// `"counter"`, `"gauge"`, or `"histogram"`.
+    pub kind: &'static str,
+    /// Counter/gauge value; observation count for histograms.
+    pub value: f64,
+    /// Histogram quantile summary (`null` for counters/gauges).
+    pub summary: Option<crate::histogram::LatencySummary>,
+}
+
+/// The JSON form of a metrics scrape.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricsSnapshot {
+    /// Every registered sample.
+    pub samples: Vec<SampleOut>,
+}
+
+/// Append one `name{labels} value` exposition line.
+fn sample_line(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    extra: &[(&str, &str)],
+    value: f64,
+) {
+    out.push_str(name);
+    if !labels.is_empty() || !extra.is_empty() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .chain(extra.iter().copied())
+        {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_label_into(out, v);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    format_value(out, value);
+    out.push('\n');
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+fn escape_label_into(out: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Format a sample value: integers without a fraction, everything else via
+/// the shortest round-trippable float, non-finite as Prometheus spells it.
+fn format_value(out: &mut String, v: f64) {
+    use std::fmt::Write as _;
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v.is_infinite() {
+        out.push_str(if v > 0.0 { "+Inf" } else { "-Inf" });
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// One parsed exposition sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric (or `_bucket`/`_sum`/`_count` series) name.
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Parse Prometheus text exposition into its samples. Comment (`#`) and
+/// blank lines are skipped; any malformed line is an error naming the
+/// offending content. The inverse of [`Registry::render_prometheus`] —
+/// property tests round-trip names, labels, and values through this.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples.push(parse_sample_line(line)?);
+    }
+    Ok(samples)
+}
+
+fn parse_sample_line(line: &str) -> Result<Sample, String> {
+    let (series, value_text) = match line.find('{') {
+        Some(open) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| format!("unclosed label set: {line:?}"))?;
+            (
+                (&line[..open], &line[open + 1..close]),
+                line[close + 1..].trim(),
+            )
+        }
+        None => {
+            let mut parts = line.splitn(2, ' ');
+            let name = parts.next().unwrap_or("");
+            let value = parts.next().unwrap_or("").trim();
+            ((name, ""), value)
+        }
+    };
+    let (name, label_text) = series;
+    if !valid_name(name) {
+        return Err(format!("invalid metric name in line {line:?}"));
+    }
+    let labels = parse_labels(label_text).map_err(|e| format!("{e} in line {line:?}"))?;
+    let value = match value_text {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v
+            .parse::<f64>()
+            .map_err(|_| format!("bad sample value {v:?} in line {line:?}"))?,
+    };
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(text: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = text.trim();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| "label without '='".to_string())?;
+        let key = rest[..eq].trim().to_string();
+        if !valid_name(&key) {
+            return Err(format!("invalid label name {key:?}"));
+        }
+        rest = rest[eq + 1..].trim_start();
+        if !rest.starts_with('"') {
+            return Err("unquoted label value".to_string());
+        }
+        // Scan the quoted value, honouring backslash escapes.
+        let mut value = String::new();
+        let mut chars = rest[1..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| "unterminated label value".to_string())?;
+        labels.push((key, value));
+        rest = rest[1 + end + 1..].trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("junk after label value: {rest:?}"));
+        }
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let r = Registry::new();
+        let a = r.counter("hin_requests_total", "requests");
+        let b = r.counter("hin_requests_total", "requests");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let g = r.gauge("hin_in_flight", "jobs");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(r.gauge("hin_in_flight", "jobs").get(), 1.0);
+    }
+
+    #[test]
+    fn label_variants_are_distinct() {
+        let r = Registry::new();
+        let q1 = r.counter_with("hin_queries_total", "by template", &[("template", "q1")]);
+        let q2 = r.counter_with("hin_queries_total", "by template", &[("template", "q2")]);
+        q1.inc();
+        assert_eq!(q1.get(), 1);
+        assert_eq!(q2.get(), 0);
+    }
+
+    #[test]
+    fn exposition_renders_and_parses() {
+        let r = Registry::new();
+        r.counter("hin_requests_total", "requests").add(5);
+        r.gauge("hin_hit_ratio", "cache").set(0.75);
+        let h = r.histogram("hin_exec_us", "exec latency");
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_micros(3000));
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE hin_requests_total counter"), "{text}");
+        assert!(text.contains("hin_requests_total 5"), "{text}");
+        assert!(text.contains("hin_hit_ratio 0.75"), "{text}");
+        assert!(text.contains("hin_exec_us_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("hin_exec_us_sum 3100"), "{text}");
+        assert!(text.contains("hin_exec_us_count 2"), "{text}");
+        let samples = parse_exposition(&text).unwrap();
+        let req = samples
+            .iter()
+            .find(|s| s.name == "hin_requests_total")
+            .unwrap();
+        assert_eq!(req.value, 5.0);
+        let inf = samples
+            .iter()
+            .find(|s| s.name == "hin_exec_us_bucket" && s.labels == [("le".into(), "+Inf".into())])
+            .unwrap();
+        assert_eq!(inf.value, 2.0);
+        // Cumulative bucket counts are monotone.
+        let mut last = 0.0;
+        for s in samples.iter().filter(|s| s.name == "hin_exec_us_bucket") {
+            assert!(s.value >= last, "{s:?}");
+            last = s.value;
+        }
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        let mut out = String::new();
+        sample_line(
+            &mut out,
+            "m",
+            &[("k".to_string(), "a\"b\\c\nd".to_string())],
+            &[],
+            1.0,
+        );
+        let samples = parse_exposition(&out).unwrap();
+        assert_eq!(samples[0].labels[0].1, "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(parse_exposition("no_value").is_err());
+        assert!(parse_exposition("1bad_name 2").is_err());
+        assert!(parse_exposition("m{k=unquoted} 1").is_err());
+        assert!(parse_exposition("m{k=\"open} 1").is_err());
+        assert!(parse_exposition("m{k=\"v\"} not_a_number").is_err());
+        assert!(parse_exposition("# a comment\n\nm 4").unwrap().len() == 1);
+    }
+
+    #[test]
+    fn snapshot_serializes_histogram_summaries() {
+        let r = Registry::new();
+        r.counter("hin_requests_total", "requests").inc();
+        r.histogram("hin_exec_us", "exec").record_us(50);
+        let snap = r.snapshot();
+        assert_eq!(snap.samples.len(), 2);
+        let h = snap.samples.iter().find(|s| s.kind == "histogram").unwrap();
+        assert_eq!(h.summary.unwrap().count, 1);
+    }
+}

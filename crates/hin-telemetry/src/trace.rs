@@ -1,0 +1,510 @@
+//! Per-query span tracing with deterministic shard merging.
+//!
+//! A trace is a tree of named spans recorded into a thread-local
+//! [`TraceBuf`]. The buffer is *installed* around a unit of work
+//! ([`install`] / [`take`]), spans are opened with the [`span!`] macro (an
+//! RAII guard closes them), and sharded workers hand their buffers back to
+//! the coordinating thread which merges them in shard order with
+//! [`absorb`] — so the span tree for a query is deterministic for a given
+//! thread count even though shards run concurrently.
+//!
+//! Cost when no trace is active: [`start`] is one relaxed atomic load
+//! (`ACTIVE == 0`) and the returned guard is inert. There is no feature
+//! flag — tracing is always compiled in and paid for only when a buffer is
+//! installed. The buffer is bounded ([`SPAN_CAP`] locally-opened spans);
+//! once full, further spans are counted as dropped rather than grown, so a
+//! pathological query cannot balloon server memory.
+
+use serde::Serialize;
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Maximum spans opened locally into one [`TraceBuf`]. Absorbing shard
+/// buffers may exceed this (each shard is itself bounded by the same cap),
+/// which keeps merged trees structurally intact.
+pub const SPAN_CAP: usize = 4096;
+
+/// Number of installed trace buffers across all threads. The `span!` fast
+/// path is a single relaxed load of this; zero means tracing is off
+/// everywhere and spans cost nothing else.
+static ACTIVE: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static CURRENT: RefCell<Option<TraceBuf>> = const { RefCell::new(None) };
+}
+
+/// A span field value. `From` impls cover the types used at call sites so
+/// `span!("x", n = 3u64)` just works.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Text.
+    Str(String),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v.into())
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One recorded span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span name (static so recording never allocates for it).
+    pub name: &'static str,
+    /// Index of the parent span within the same buffer, if any.
+    pub parent: Option<u32>,
+    /// Start offset from the buffer's epoch, µs.
+    pub start_us: u64,
+    /// Duration, µs. Zero until the span closes.
+    pub dur_us: u64,
+    /// Key-value fields attached while the span was open.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// A bounded buffer of spans for one traced unit of work.
+#[derive(Debug, Clone)]
+pub struct TraceBuf {
+    epoch: Instant,
+    spans: Vec<SpanRecord>,
+    open: Vec<u32>,
+    dropped: u64,
+}
+
+impl Default for TraceBuf {
+    fn default() -> Self {
+        TraceBuf::new()
+    }
+}
+
+impl TraceBuf {
+    /// An empty buffer with its epoch set to now.
+    pub fn new() -> TraceBuf {
+        TraceBuf {
+            epoch: Instant::now(),
+            spans: Vec::new(),
+            open: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    fn open_span(&mut self, name: &'static str) -> Option<u32> {
+        if self.spans.len() >= SPAN_CAP {
+            self.dropped += 1;
+            return None;
+        }
+        let idx = self.spans.len() as u32;
+        self.spans.push(SpanRecord {
+            name,
+            parent: self.open.last().copied(),
+            start_us: self.epoch.elapsed().as_micros() as u64,
+            dur_us: 0,
+            fields: Vec::new(),
+        });
+        self.open.push(idx);
+        Some(idx)
+    }
+
+    fn close_span(&mut self, idx: u32, dur: Duration) {
+        if let Some(span) = self.spans.get_mut(idx as usize) {
+            span.dur_us = dur.as_micros() as u64;
+        }
+        // Well-nested guards always close the top of the stack; tolerate
+        // mismatches (a guard outliving a sibling) by removing anywhere.
+        if self.open.last() == Some(&idx) {
+            self.open.pop();
+        } else {
+            self.open.retain(|&o| o != idx);
+        }
+    }
+
+    /// Merge another buffer's spans under the currently-open span (or at
+    /// the root). Spans keep their relative order, so merging shard
+    /// buffers in shard index order yields a deterministic tree.
+    pub fn absorb(&mut self, shard: TraceBuf) {
+        let base = self.spans.len() as u32;
+        let attach = self.open.last().copied();
+        let offset_us = shard
+            .epoch
+            .saturating_duration_since(self.epoch)
+            .as_micros() as u64;
+        for mut span in shard.spans {
+            span.parent = match span.parent {
+                Some(p) => Some(p + base),
+                None => attach,
+            };
+            span.start_us += offset_us;
+            self.spans.push(span);
+        }
+        self.dropped += shard.dropped;
+    }
+
+    /// Spans recorded so far.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// `true` if no span has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans rejected because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The raw records, in open order.
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// Build the span tree: root spans in open order, children nested
+    /// under their parents in open order.
+    pub fn tree(&self) -> Vec<TraceNode> {
+        // children[i] lists the indices whose parent is i; roots go to a
+        // separate list. One pass, order-preserving.
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); self.spans.len()];
+        let mut roots = Vec::new();
+        for (i, span) in self.spans.iter().enumerate() {
+            match span.parent {
+                Some(p) if (p as usize) < self.spans.len() => children[p as usize].push(i as u32),
+                _ => roots.push(i as u32),
+            }
+        }
+        fn build(spans: &[SpanRecord], children: &[Vec<u32>], idx: u32) -> TraceNode {
+            let span = &spans[idx as usize];
+            TraceNode {
+                name: span.name.to_string(),
+                start_us: span.start_us,
+                dur_us: span.dur_us,
+                fields: span
+                    .fields
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+                children: children[idx as usize]
+                    .iter()
+                    .map(|&c| build(spans, children, c))
+                    .collect(),
+            }
+        }
+        roots
+            .into_iter()
+            .map(|r| build(&self.spans, &children, r))
+            .collect()
+    }
+}
+
+/// A rendered span-tree node: serializable for the `TRACE` protocol verb
+/// and printable for `--trace` CLI output.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TraceNode {
+    /// Span name.
+    pub name: String,
+    /// Start offset from the trace root's epoch, µs.
+    pub start_us: u64,
+    /// Duration, µs.
+    pub dur_us: u64,
+    /// Fields, rendered to strings.
+    pub fields: Vec<(String, String)>,
+    /// Child spans in open order.
+    pub children: Vec<TraceNode>,
+}
+
+/// Render a span tree as an indented text block, one span per line:
+/// `name dur_us [k=v ...]`.
+pub fn render_tree(roots: &[TraceNode]) -> String {
+    fn walk(out: &mut String, node: &TraceNode, depth: usize) {
+        use std::fmt::Write as _;
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let _ = write!(out, "{} {}us", node.name, node.dur_us);
+        for (k, v) in &node.fields {
+            let _ = write!(out, " {k}={v}");
+        }
+        out.push('\n');
+        for child in &node.children {
+            walk(out, child, depth + 1);
+        }
+    }
+    let mut out = String::new();
+    for root in roots {
+        walk(&mut out, root, 0);
+    }
+    out
+}
+
+/// Install a fresh trace buffer on this thread. Replaces any existing one.
+pub fn install() {
+    CURRENT.with(|c| {
+        let mut cur = c.borrow_mut();
+        if cur.is_none() {
+            ACTIVE.fetch_add(1, Ordering::Relaxed);
+        }
+        *cur = Some(TraceBuf::new());
+    });
+}
+
+/// Remove and return this thread's trace buffer, if installed.
+pub fn take() -> Option<TraceBuf> {
+    CURRENT.with(|c| {
+        let buf = c.borrow_mut().take();
+        if buf.is_some() {
+            ACTIVE.fetch_sub(1, Ordering::Relaxed);
+        }
+        buf
+    })
+}
+
+/// `true` if this thread currently has a trace buffer installed.
+pub fn installed() -> bool {
+    ACTIVE.load(Ordering::Relaxed) > 0 && CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Merge a shard's buffer into this thread's installed buffer, attaching
+/// its roots under the currently-open span. No-op (buffer discarded) if
+/// this thread traces nothing.
+pub fn absorb(shard: TraceBuf) {
+    CURRENT.with(|c| {
+        if let Some(buf) = c.borrow_mut().as_mut() {
+            buf.absorb(shard);
+        }
+    });
+}
+
+/// Open a span. Prefer the [`span!`] macro, which also attaches fields.
+/// Returns an inert guard costing nothing further when tracing is off.
+pub fn start(name: &'static str) -> Span {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return Span {
+            idx: None,
+            start: None,
+        };
+    }
+    CURRENT.with(|c| {
+        let mut cur = c.borrow_mut();
+        match cur.as_mut().and_then(|buf| buf.open_span(name)) {
+            Some(idx) => Span {
+                idx: Some(idx),
+                start: Some(Instant::now()),
+            },
+            None => Span {
+                idx: None,
+                start: None,
+            },
+        }
+    })
+}
+
+/// RAII guard for an open span; dropping it records the duration and pops
+/// the thread's open-span stack.
+#[derive(Debug)]
+pub struct Span {
+    idx: Option<u32>,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Attach a key-value field to the span. No-op when inert.
+    pub fn field(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if let Some(idx) = self.idx {
+            let value = value.into();
+            CURRENT.with(|c| {
+                if let Some(buf) = c.borrow_mut().as_mut() {
+                    if let Some(span) = buf.spans.get_mut(idx as usize) {
+                        span.fields.push((key, value));
+                    }
+                }
+            });
+        }
+    }
+
+    /// `true` when the span is actually recording.
+    pub fn recording(&self) -> bool {
+        self.idx.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let (Some(idx), Some(start)) = (self.idx, self.start) {
+            let dur = start.elapsed();
+            CURRENT.with(|c| {
+                // try_borrow: a Drop must never panic, even if it fires
+                // inside another borrow (it cannot today, but cheap).
+                if let Ok(mut cur) = c.try_borrow_mut() {
+                    if let Some(buf) = cur.as_mut() {
+                        buf.close_span(idx, dur);
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// Open a span with optional fields:
+/// `let _s = span!("materialize", feature = i, vertices = n);`
+/// The guard must be bound (`let _s`, not `let _`) to cover a scope.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {{
+        #[allow(unused_mut)]
+        let mut __hin_span = $crate::trace::start($name);
+        $(__hin_span.field(stringify!($key), $value);)*
+        __hin_span
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        assert!(!installed());
+        let s = span!("noop", n = 1u64);
+        assert!(!s.recording());
+        drop(s);
+        assert!(take().is_none());
+    }
+
+    #[test]
+    fn spans_nest_and_record_fields() {
+        install();
+        {
+            let _root = span!("query", id = 7u64);
+            {
+                let _child = span!("materialize", feature = 0usize);
+            }
+            let _sibling = span!("scoring");
+        }
+        let buf = take().unwrap();
+        assert_eq!(buf.len(), 3);
+        let tree = buf.tree();
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree[0].name, "query");
+        assert_eq!(tree[0].fields, vec![("id".to_string(), "7".to_string())]);
+        assert_eq!(tree[0].children.len(), 2);
+        assert_eq!(tree[0].children[0].name, "materialize");
+        assert_eq!(tree[0].children[1].name, "scoring");
+        let text = render_tree(&tree);
+        assert!(text.contains("query"), "{text}");
+        assert!(text.contains("  materialize"), "{text}");
+    }
+
+    #[test]
+    fn absorb_attaches_shard_roots_under_open_span() {
+        install();
+        {
+            let _parent = span!("feature");
+            // Simulate two shards tracing into their own buffers.
+            for shard_idx in 0..2u64 {
+                let shard = {
+                    install_shard(shard_idx);
+                    take_shard()
+                };
+                absorb(shard);
+            }
+        }
+        let buf = take().unwrap();
+        let tree = buf.tree();
+        assert_eq!(tree.len(), 1);
+        let children: Vec<&str> = tree[0].children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(children, ["shard", "shard"]);
+        assert_eq!(tree[0].children[0].fields[0].1, "0");
+        assert_eq!(tree[0].children[1].fields[0].1, "1");
+    }
+
+    // Build a shard-local buffer by hand (the real shards are on other
+    // threads with their own thread-locals; here one thread plays both
+    // roles so swap the buffers explicitly).
+    fn install_shard(idx: u64) {
+        SHARD_STASH.with(|s| *s.borrow_mut() = take());
+        install();
+        let _s = span!("shard", shard = idx);
+    }
+    fn take_shard() -> TraceBuf {
+        let shard = take().unwrap();
+        SHARD_STASH.with(|s| {
+            if let Some(parent) = s.borrow_mut().take() {
+                CURRENT.with(|c| *c.borrow_mut() = Some(parent));
+                ACTIVE.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        shard
+    }
+    thread_local! {
+        static SHARD_STASH: RefCell<Option<TraceBuf>> = const { RefCell::new(None) };
+    }
+
+    #[test]
+    fn buffer_is_bounded() {
+        let mut buf = TraceBuf::new();
+        for _ in 0..SPAN_CAP + 10 {
+            if let Some(idx) = buf.open_span("s") {
+                buf.close_span(idx, Duration::from_micros(1));
+            }
+        }
+        assert_eq!(buf.len(), SPAN_CAP);
+        assert_eq!(buf.dropped(), 10);
+    }
+
+    #[test]
+    fn absorb_without_install_discards() {
+        let mut shard = TraceBuf::new();
+        shard.open_span("orphan");
+        absorb(shard); // no buffer installed on this thread
+        assert!(take().is_none());
+    }
+}

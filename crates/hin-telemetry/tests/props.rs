@@ -1,0 +1,113 @@
+//! Property tests for the telemetry crate (ISSUE 5 satellite):
+//!
+//! 1. The bucketed histogram quantile brackets the exact nearest-rank
+//!    quantile of the same sample within its power-of-two bucket.
+//! 2. Prometheus exposition output round-trips through the line parser
+//!    (names, labels, values).
+
+use hin_telemetry::{exact_quantile_us, parse_exposition, Histogram, Registry};
+use proptest::prelude::*;
+
+proptest! {
+    /// The histogram's quantile is the upper bound of the bucket holding
+    /// the exact quantile observation: exact <= bucketed <= 2 * exact
+    /// (for exact >= 1; 0 µs observations land in the [1, 2) bucket).
+    #[test]
+    fn quantile_brackets_exact(
+        mut sample in prop::collection::vec(0u64..=10_000_000, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::new();
+        for &us in &sample {
+            h.record_us(us);
+        }
+        sample.sort_unstable();
+        let exact = exact_quantile_us(&sample, q).expect("non-empty");
+        let bucketed = h.quantile_us(q).expect("non-empty");
+        // The bucketed answer is the upper bound of exact's bucket.
+        let expected = 1u64 << (Histogram::bucket_of(exact) + 1).min(63);
+        prop_assert_eq!(bucketed, expected);
+        prop_assert!(bucketed > exact);
+        prop_assert!(bucketed <= 2 * exact.max(1));
+    }
+
+    /// Sum/count/max track the sample exactly.
+    #[test]
+    fn aggregates_are_exact(sample in prop::collection::vec(0u64..=1_000_000, 1..100)) {
+        let h = Histogram::new();
+        for &us in &sample {
+            h.record_us(us);
+        }
+        prop_assert_eq!(h.count(), sample.len() as u64);
+        prop_assert_eq!(h.sum_us(), sample.iter().sum::<u64>());
+        prop_assert_eq!(h.max_us(), *sample.iter().max().expect("non-empty"));
+    }
+
+    /// Rendering a registry of random counters/gauges/histogram
+    /// observations and parsing it back recovers every sample: names,
+    /// labels (including awkward label values), and values.
+    #[test]
+    fn exposition_round_trips(
+        counters in prop::collection::vec((0usize..8, 0u64..1_000_000_000), 0..12),
+        gauge in prop::num::f64::NORMAL,
+        label_value in "[ -~]{0,24}",
+        observations in prop::collection::vec(0u64..=100_000_000, 0..50),
+    ) {
+        let names = [
+            "hin_a_total", "hin_b_total", "hin_c_total", "hin_d_total",
+            "hin_e_total", "hin_f_total", "hin_g_total", "hin_h_total",
+        ];
+        let r = Registry::new();
+        let mut expected: Vec<(usize, u64)> = Vec::new();
+        for &(which, n) in &counters {
+            r.counter(names[which], "help").add(n);
+        }
+        for (i, name) in names.iter().enumerate() {
+            let total: u64 = counters.iter().filter(|(w, _)| *w == i).map(|(_, n)| n).sum();
+            if counters.iter().any(|(w, _)| *w == i) {
+                expected.push((i, total));
+            }
+            let _ = name;
+        }
+        r.gauge("hin_gauge", "help").set(gauge);
+        r.counter_with("hin_labeled_total", "help", &[("tag", &label_value)]).add(3);
+        let h = r.histogram("hin_lat_us", "help");
+        for &us in &observations {
+            h.record_us(us);
+        }
+
+        let text = r.render_prometheus();
+        let samples = parse_exposition(&text).expect("render output must parse");
+
+        for (i, total) in expected {
+            let s = samples.iter().find(|s| s.name == names[i] && s.labels.is_empty())
+                .expect("counter sample present");
+            prop_assert_eq!(s.value, total as f64);
+        }
+        let g = samples.iter().find(|s| s.name == "hin_gauge").expect("gauge present");
+        // f64 -> text -> f64 must be exact ({} prints shortest round-trip form).
+        prop_assert_eq!(g.value, gauge);
+        let labeled = samples.iter().find(|s| s.name == "hin_labeled_total")
+            .expect("labeled counter present");
+        prop_assert_eq!(&labeled.labels, &vec![("tag".to_string(), label_value.clone())]);
+        prop_assert_eq!(labeled.value, 3.0);
+
+        let count = samples.iter().find(|s| s.name == "hin_lat_us_count")
+            .expect("histogram count present");
+        prop_assert_eq!(count.value, observations.len() as f64);
+        let sum = samples.iter().find(|s| s.name == "hin_lat_us_sum")
+            .expect("histogram sum present");
+        prop_assert_eq!(sum.value, observations.iter().sum::<u64>() as f64);
+        let inf = samples.iter().find(|s| {
+            s.name == "hin_lat_us_bucket"
+                && s.labels.iter().any(|(k, v)| k == "le" && v == "+Inf")
+        }).expect("+Inf bucket present");
+        prop_assert_eq!(inf.value, observations.len() as f64);
+        // Cumulative buckets are monotone non-decreasing.
+        let mut last = 0.0;
+        for s in samples.iter().filter(|s| s.name == "hin_lat_us_bucket") {
+            prop_assert!(s.value >= last);
+            last = s.value;
+        }
+    }
+}

@@ -194,6 +194,40 @@ fn tight_budgets_degrade_identically_across_thread_counts() {
     }
 }
 
+/// Tracing must be an observer: with a span tracer installed (the server's
+/// slow-query path), every thread count still reproduces the serial
+/// ranking bit for bit, and the trace itself is well-formed — one root
+/// query span whose children include the execution phases, with shard
+/// spans absorbed deterministically under `run_sharded`.
+#[test]
+fn tracing_preserves_bit_identical_results_across_thread_counts() {
+    let net = fixture(0.25);
+    let queries = workload(&net, 2);
+    let serial = OutlierDetector::new(net.graph.clone());
+    for query in &queries {
+        // Untraced serial baseline: tracing may not perturb anything.
+        let baseline = fingerprint(&serial.query(query).expect("serial run succeeds"));
+        for threads in [1, 2, 4, 7] {
+            let detector = OutlierDetector::new(net.graph.clone()).with_threads(threads);
+            hin_telemetry::trace::install();
+            let outcome = detector.query(query);
+            let buf = hin_telemetry::trace::take().expect("tracer was installed");
+            let result = fingerprint(&outcome.expect("traced run succeeds"));
+            assert!(
+                baseline == result,
+                "traced {threads}-thread result diverged from serial on {query}"
+            );
+            let tree = buf.tree();
+            assert_eq!(tree.len(), 1, "expected one root span on {query}");
+            assert_eq!(tree[0].name, "query");
+            assert!(
+                tree[0].children.iter().any(|c| c.name == "set_retrieval"),
+                "missing set_retrieval phase in trace of {query}"
+            );
+        }
+    }
+}
+
 /// A pre-cancelled token aborts identically regardless of thread count.
 #[test]
 fn cancellation_is_deterministic_across_thread_counts() {

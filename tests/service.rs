@@ -131,9 +131,49 @@ fn concurrent_clients_each_get_exactly_one_response_per_request() {
         }
     }
 
+    // Scrape METRICS (raw Prometheus text, blank-line terminated) while the
+    // server is still live: the exposition must parse and carry the
+    // required serving/latency/cache series.
+    let exposition = {
+        use std::io::{BufRead, BufReader, Write};
+        let stream = std::net::TcpStream::connect(addr).expect("connect for scrape");
+        let mut writer = stream.try_clone().expect("clone scrape stream");
+        writer.write_all(b"METRICS\n").expect("send scrape");
+        let mut reader = BufReader::new(stream);
+        let mut text = String::new();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = reader.read_line(&mut line).expect("read exposition");
+            if n == 0 || line.trim_end().is_empty() {
+                break;
+            }
+            text.push_str(&line);
+        }
+        text
+    };
+    let samples = hin_telemetry::parse_exposition(&exposition).expect("valid exposition");
+    for name in [
+        "hin_connections_total",
+        "hin_requests_total",
+        "hin_completed_total",
+        "hin_errors_total",
+        "hin_in_flight",
+        "hin_queue_wait_us_count",
+        "hin_exec_us_count",
+        "hin_total_us_count",
+        "hin_cache_hit_ratio",
+        "hin_engine_scoring_us_total",
+    ] {
+        assert!(
+            samples.iter().any(|s| s.name == name),
+            "missing {name} in exposition:\n{exposition}"
+        );
+    }
+
     shutdown(addr);
     let stats = server.join().expect("server thread");
-    let expected = (CLIENTS * ROUNDS) as u64 + 1; // +1 for SHUTDOWN
+    let expected = (CLIENTS * ROUNDS) as u64 + 2; // +1 METRICS scrape, +1 SHUTDOWN
     assert_eq!(stats.requests, expected, "{stats:?}");
     assert!(stats.completed >= (CLIENTS * ROUNDS / 4) as u64);
     assert!(stats.errors > 0);
