@@ -1,7 +1,7 @@
 //! Runs every experiment in paper order — the one-shot reproduction of the
 //! evaluation section. Configure scale with HIN_EXP_SCALE / HIN_EXP_QUERIES.
 fn main() {
-    let sections: [(&str, fn()); 9] = [
+    let sections: [(&str, fn()); 10] = [
         ("Tables 1-2 and Figure 2 (toy reproduction)", || {
             bench::experiments::toy::run()
         }),
@@ -25,6 +25,10 @@ fn main() {
         ("Service throughput vs workers (hin-service)", || {
             bench::experiments::service::run()
         }),
+        (
+            "Coordinator throughput vs backends (scale-out serving)",
+            || bench::experiments::coordinator::run(),
+        ),
         ("Intra-query parallel scaling & kernel comparison", || {
             bench::experiments::parallel::run(false)
         }),

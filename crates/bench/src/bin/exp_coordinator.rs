@@ -1,0 +1,6 @@
+//! Scatter-gather coordinator throughput vs backend count over an embedded
+//! backend fleet (extension; backs DESIGN.md §13). Emits
+//! BENCH_coordinator.json.
+fn main() {
+    bench::experiments::coordinator::run();
+}

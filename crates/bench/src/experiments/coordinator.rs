@@ -1,0 +1,269 @@
+//! Scatter-gather coordinator throughput vs. backend count (extension;
+//! backs the DESIGN.md §13 scale-out serving claims).
+//!
+//! For each backend count an embedded fleet of [`hin_service::Server`]s is
+//! started on ephemeral ports over the same deterministic synthetic DBLP
+//! network, fronted by an embedded [`hin_service::Coordinator`], and the
+//! crate's closed-loop load generator drives the coordinator with a Q1
+//! workload. A `backends = 0` control row drives one backend directly
+//! (no coordinator) so the fan-out overhead is visible in the same table.
+//! Results are printed and written to `BENCH_coordinator.json`.
+
+use crate::experiments::service::workload_lines;
+use crate::report::Table;
+use crate::setup;
+use hin_datagen::dblp::SyntheticNetwork;
+use hin_service::client::{run_closed_loop, LoadReport};
+use hin_service::{
+    Client, CoordSnapshot, Coordinator, CoordinatorConfig, LoadSpec, Server, ServerConfig,
+};
+use netout::OutlierDetector;
+use serde::Serialize;
+use std::net::SocketAddr;
+
+/// One backend-count measurement: the client-observed load report plus the
+/// coordinator's final counters (`None` for the direct-to-backend control).
+#[derive(Debug, Clone, Serialize)]
+pub struct CoordinatorPoint {
+    /// Backends behind the coordinator (0 = direct single-box control).
+    pub backends: usize,
+    /// Client-side view: throughput and exact latency percentiles.
+    pub client: LoadReport,
+    /// Coordinator-side counters; absent on the control row.
+    pub coordinator: Option<CoordSnapshot>,
+}
+
+/// The `BENCH_coordinator.json` document.
+#[derive(Debug, Serialize)]
+pub struct CoordinatorReport {
+    /// Network scale factor the experiment ran at.
+    pub scale: f64,
+    /// Concurrent client connections per run.
+    pub clients: usize,
+    /// Requests each client sent per run.
+    pub requests_per_client: usize,
+    /// Distinct query lines in the round-robin workload.
+    pub distinct_queries: usize,
+    /// Worker threads per backend.
+    pub workers_per_backend: usize,
+    /// One measurement per backend count (plus the control).
+    pub points: Vec<CoordinatorPoint>,
+}
+
+fn spawn_backend(
+    net: &SyntheticNetwork,
+    workers: usize,
+    queue_cap: usize,
+) -> (
+    SocketAddr,
+    std::thread::JoinHandle<hin_service::StatsSnapshot>,
+) {
+    let detector = OutlierDetector::new(net.graph.clone()).with_vector_cache(4096);
+    let server = Server::bind(
+        detector,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers,
+            queue_cap,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind backend");
+    let addr = server.local_addr();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn shutdown(addr: SocketAddr) {
+    let mut closer = Client::connect(addr).expect("connect for shutdown");
+    closer.send_line("SHUTDOWN").expect("shutdown");
+}
+
+/// Start `backends` servers plus a coordinator (or, for `backends == 0`,
+/// one direct server), drive the front door with a closed loop, shut
+/// everything down, and return both sides' measurements.
+pub fn measure_one(
+    net: &SyntheticNetwork,
+    backends: usize,
+    workers: usize,
+    clients: usize,
+    requests_per_client: usize,
+    lines: &[String],
+) -> CoordinatorPoint {
+    let queue_cap = (clients * 2).max(8);
+    let spec = LoadSpec {
+        clients,
+        requests_per_client,
+        lines: lines.to_vec(),
+        retry: None,
+    };
+    if backends == 0 {
+        let (addr, handle) = spawn_backend(net, workers, queue_cap);
+        let report = run_closed_loop(addr, &spec);
+        shutdown(addr);
+        handle.join().expect("backend thread");
+        return CoordinatorPoint {
+            backends: 0,
+            client: report,
+            coordinator: None,
+        };
+    }
+    let fleet: Vec<_> = (0..backends)
+        .map(|_| spawn_backend(net, workers, queue_cap))
+        .collect();
+    let coordinator = Coordinator::bind(
+        fleet.iter().map(|(a, _)| *a).collect(),
+        "127.0.0.1:0",
+        CoordinatorConfig::default(),
+    )
+    .expect("bind coordinator");
+    let addr = coordinator.local_addr();
+    let handle = std::thread::spawn(move || coordinator.run());
+    let report = run_closed_loop(addr, &spec);
+    shutdown(addr);
+    let snapshot = handle.join().expect("coordinator thread");
+    for (backend, h) in fleet {
+        shutdown(backend);
+        h.join().expect("backend thread");
+    }
+    CoordinatorPoint {
+        backends,
+        client: report,
+        coordinator: Some(snapshot),
+    }
+}
+
+/// Sweep backend counts over one shared workload.
+pub fn measure(
+    net: &SyntheticNetwork,
+    backend_counts: &[usize],
+    workers: usize,
+    clients: usize,
+    requests_per_client: usize,
+    lines: &[String],
+) -> Vec<CoordinatorPoint> {
+    backend_counts
+        .iter()
+        .map(|&b| measure_one(net, b, workers, clients, requests_per_client, lines))
+        .collect()
+}
+
+/// Serialize the report document to compact JSON.
+pub fn to_json(report: &CoordinatorReport) -> String {
+    hin_service::json::to_string(report).expect("report serializes")
+}
+
+/// Print the sweep table and write `BENCH_coordinator.json`.
+pub fn run() {
+    let net = setup::network();
+    let lines = workload_lines(&net, setup::workload_size().min(50), setup::seed());
+    let clients = 8;
+    let requests_per_client = (setup::workload_size() / clients).clamp(10, 100);
+    let workers = 2;
+    let backend_counts = [0usize, 1, 2, 4];
+
+    let points = measure(
+        &net,
+        &backend_counts,
+        workers,
+        clients,
+        requests_per_client,
+        &lines,
+    );
+
+    let mut t = Table::new(
+        format!(
+            "Coordinator throughput vs backends — {clients} clients × \
+             {requests_per_client} requests, {workers} workers/backend, \
+             Q1 workload (backends=0: direct single-box control)"
+        ),
+        &[
+            "backends",
+            "req/s",
+            "p50 (µs)",
+            "p95 (µs)",
+            "p99 (µs)",
+            "errors",
+            "failovers",
+            "degraded",
+        ],
+    );
+    for p in &points {
+        let (failovers, degraded) = p
+            .coordinator
+            .as_ref()
+            .map(|c| (c.failovers.to_string(), c.degraded.to_string()))
+            .unwrap_or_else(|| ("-".to_string(), "-".to_string()));
+        t.row(&[
+            if p.backends == 0 {
+                "direct".to_string()
+            } else {
+                p.backends.to_string()
+            },
+            format!("{:.1}", p.client.throughput_rps),
+            p.client.p50_us.to_string(),
+            p.client.p95_us.to_string(),
+            p.client.p99_us.to_string(),
+            p.client.errors.to_string(),
+            failovers,
+            degraded,
+        ]);
+    }
+    t.print();
+    println!(
+        "note: each query fans out to every backend (candidate-set shards), \
+         so added backends buy intra-query parallelism at the cost of one \
+         merge hop; the direct row prices that hop\n"
+    );
+
+    let report = CoordinatorReport {
+        scale: setup::scale(),
+        clients,
+        requests_per_client,
+        distinct_queries: lines.len(),
+        workers_per_backend: workers,
+        points,
+    };
+    let path = "BENCH_coordinator.json";
+    match std::fs::write(path, to_json(&report) + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hin_datagen::dblp::{generate, SyntheticConfig};
+
+    #[test]
+    fn sweep_measures_and_serializes() {
+        let net = generate(&SyntheticConfig::tiny(3));
+        let lines = workload_lines(&net, 4, 3);
+        assert!(!lines.is_empty());
+
+        let points = measure(&net, &[0, 2], 2, 2, 3, &lines);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert_eq!(p.client.requests, 6, "{p:?}");
+            assert_eq!(p.client.io_errors, 0, "{p:?}");
+            assert_eq!(p.client.errors, 0, "{p:?}");
+        }
+        assert!(points[0].coordinator.is_none());
+        let snapshot = points[1].coordinator.as_ref().expect("coordinator row");
+        // 6 workload queries plus the SHUTDOWN line.
+        assert_eq!(snapshot.requests, 7, "{snapshot:?}");
+        assert_eq!(snapshot.errors, 0, "{snapshot:?}");
+
+        let json = to_json(&CoordinatorReport {
+            scale: 0.1,
+            clients: 2,
+            requests_per_client: 3,
+            distinct_queries: lines.len(),
+            workers_per_backend: 2,
+            points,
+        });
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"backends\":2"), "{json}");
+        assert!(json.contains("\"failovers\":"), "{json}");
+    }
+}

@@ -2,6 +2,7 @@
 
 pub mod baselines;
 pub mod case_study;
+pub mod coordinator;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

@@ -195,6 +195,19 @@ impl Budget {
         self
     }
 
+    /// Derive a child budget for one leg of a fan-out: the wall-clock
+    /// deadline shrinks by `slack` (reserved for the caller's merge work),
+    /// floored at 1 ms so the leg always gets a representable socket
+    /// timeout. Cardinality/`nnz` caps and the cancellation token carry
+    /// over unchanged; an unbounded deadline stays unbounded.
+    pub fn carve(&self, slack: Duration) -> Budget {
+        let mut child = self.clone();
+        if let Some(t) = child.timeout {
+            child.timeout = Some(t.saturating_sub(slack).max(Duration::from_millis(1)));
+        }
+        child
+    }
+
     /// `true` when no limit of any kind is set.
     pub fn is_unbounded(&self) -> bool {
         self.timeout.is_none()
@@ -738,5 +751,30 @@ mod tests {
         assert!(s.contains("12/99"));
         assert!(BudgetLimit::Cancelled.to_string().contains("cancellation"));
         assert!(BudgetPhase::Scoring.to_string().contains("scoring"));
+    }
+
+    #[test]
+    fn carve_reserves_slack_and_floors_at_one_ms() {
+        let parent = Budget::default()
+            .with_timeout_ms(100)
+            .with_max_candidates(7)
+            .with_max_nnz(11);
+        let child = parent.carve(Duration::from_millis(30));
+        assert_eq!(child.timeout, Some(Duration::from_millis(70)));
+        assert_eq!(child.max_candidates, Some(7));
+        assert_eq!(child.max_nnz, Some(11));
+        // Slack larger than the deadline floors at 1 ms, never zero.
+        let starved = parent.carve(Duration::from_millis(500));
+        assert_eq!(starved.timeout, Some(Duration::from_millis(1)));
+        // An unbounded deadline stays unbounded.
+        let free = Budget::unbounded().carve(Duration::from_millis(30));
+        assert_eq!(free.timeout, None);
+        assert!(free.is_unbounded());
+        // The cancellation token carries over.
+        let token = CancelToken::new();
+        let cancellable = Budget::unbounded().with_cancel_token(token.clone());
+        let child = cancellable.carve(Duration::from_millis(1));
+        token.cancel();
+        assert!(child.cancel.unwrap().is_cancelled());
     }
 }

@@ -77,6 +77,31 @@ impl QueryResult {
     }
 }
 
+/// One contiguous candidate shard's scores, produced by
+/// [`QueryEngine::execute_shard`]: combined scores for the shard's
+/// candidates **before** top-k selection, so a scatter-gather merger can
+/// concatenate shards in order and apply the exact single-box ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardScores {
+    /// Finite combined scores for this shard's candidates, in candidate
+    /// order (no ranking applied).
+    pub rows: Vec<OutlierResult>,
+    /// How many candidates in this shard had a non-finite combined score.
+    pub zero_visibility: usize,
+    /// Candidate-set size of the *whole* query (all shards).
+    pub candidate_count: usize,
+    /// Reference-set size.
+    pub reference_count: usize,
+    /// The query's TOP clause, if any.
+    pub top: Option<usize>,
+    /// The order in which combined scores rank.
+    pub order: ScoreOrder,
+    /// Name of the measure that produced the scores.
+    pub measure: &'static str,
+    /// Timing breakdown of this shard's execution.
+    pub stats: ExecBreakdown,
+}
+
 /// Executes bound queries over a graph with a chosen materialization
 /// strategy, measure, and combination strategy.
 pub struct QueryEngine<'g> {
@@ -341,6 +366,119 @@ impl<'g> QueryEngine<'g> {
             stats: ctx.stats,
             measure: measure.name(),
             degraded: None,
+        })
+    }
+
+    /// Execute one contiguous candidate shard of a bound query: shard
+    /// `shard_index` of `shard_count`, where shard boundaries follow the
+    /// same `div_ceil` discipline as [`crate::engine::parallel::run_sharded`]
+    /// so concatenating every shard's rows in shard order reproduces the
+    /// exact pre-top-k score list of [`QueryEngine::execute`].
+    ///
+    /// Set retrieval runs in full (shard boundaries must agree across
+    /// backends, and the measure's reference model needs the whole
+    /// reference set), but materialization and scoring cover only the
+    /// slice. Per-candidate scores are bit-identical to a single-box run:
+    /// each score depends only on the candidate's own vector and the
+    /// prepared reference model. Top-k is **not** applied — that is the
+    /// merging caller's job (see `hin-service`'s coordinator).
+    ///
+    /// When the reference set equals the candidate set the full candidate
+    /// vectors are still materialized (the reference model needs them);
+    /// only scoring is sharded in that case. Multi-feature queries under
+    /// [`CombineStrategy::BordaRank`] cannot be sharded (rank aggregation
+    /// needs the full candidate set) and fail fast.
+    pub fn execute_shard(
+        &self,
+        query: &BoundQuery,
+        shard_index: usize,
+        shard_count: usize,
+    ) -> Result<ShardScores, EngineError> {
+        if shard_count == 0 || shard_index >= shard_count {
+            return Err(EngineError::BadMeasureParameter(format!(
+                "shard {shard_index}/{shard_count} is out of range"
+            )));
+        }
+        if query.features.len() > 1 && self.combine == CombineStrategy::BordaRank {
+            return Err(EngineError::BadMeasureParameter(
+                "BordaRank combination needs the full candidate set and cannot be sharded".into(),
+            ));
+        }
+        let measure = self.measure.instantiate();
+        let measure = measure.as_ref();
+        let mut ctx = ExecCtx::new(&self.budget);
+        ctx.set_threads(self.threads);
+        let mut span = hin_telemetry::span!("query_shard", shard = shard_index);
+        if span.recording() {
+            span.field("of", shard_count);
+        }
+
+        ctx.set_phase(BudgetPhase::SetRetrieval);
+        let candidates = eval_set(self.graph, self.source.as_ref(), &query.candidate, &mut ctx)?;
+        if candidates.is_empty() {
+            return Err(EngineError::EmptyCandidateSet);
+        }
+        ctx.check_candidates(candidates.len())?;
+        let reference: Vec<VertexId> = match &query.reference {
+            Some(r) => {
+                let set = eval_set(self.graph, self.source.as_ref(), r, &mut ctx)?;
+                if set.is_empty() {
+                    return Err(EngineError::EmptyReferenceSet);
+                }
+                set
+            }
+            None => candidates.clone(),
+        };
+        ctx.check_reference(reference.len())?;
+
+        let chunk = candidates.len().div_ceil(shard_count);
+        let start = (shard_index * chunk).min(candidates.len());
+        let end = ((shard_index + 1) * chunk).min(candidates.len());
+        let slice = &candidates[start..end];
+        let same_sets = reference == candidates;
+
+        let mut per_feature: Vec<Vec<(VertexId, f64)>> = Vec::with_capacity(query.features.len());
+        for feature in &query.features {
+            ctx.set_phase(BudgetPhase::Materialization);
+            let scores = if same_sets {
+                let cand_vecs = self.materialize(&candidates, &feature.path, &mut ctx)?;
+                self.score_feature(measure, &cand_vecs[start..end], &cand_vecs, &mut ctx)?
+            } else {
+                let slice_vecs = self.materialize(slice, &feature.path, &mut ctx)?;
+                let ref_vecs =
+                    self.materialize_with_cache(&reference, &feature.path, &slice_vecs, &mut ctx)?;
+                self.score_feature(measure, &slice_vecs, &ref_vecs, &mut ctx)?
+            };
+            per_feature.push(scores);
+        }
+
+        ctx.set_phase(BudgetPhase::Scoring);
+        ctx.checkpoint()?;
+        let t = Instant::now();
+        let weights: Vec<f64> = query.features.iter().map(|f| f.weight).collect();
+        let (combined, order) =
+            combine_scores(&per_feature, &weights, self.combine, measure.order());
+        let zero_visibility = combined.iter().filter(|(_, s)| !s.is_finite()).count();
+        let rows: Vec<OutlierResult> = combined
+            .into_iter()
+            .filter(|(_, s)| s.is_finite())
+            .map(|(vertex, score)| OutlierResult {
+                vertex,
+                name: self.graph.vertex_name(vertex).to_string(),
+                score,
+            })
+            .collect();
+        ctx.stats.scoring += t.elapsed();
+
+        Ok(ShardScores {
+            rows,
+            zero_visibility,
+            candidate_count: candidates.len(),
+            reference_count: reference.len(),
+            top: query.top,
+            order,
+            measure: measure.name(),
+            stats: ctx.stats,
         })
     }
 
@@ -731,6 +869,63 @@ mod tests {
             assert_eq!(parallel.zero_visibility, serial.zero_visibility);
             assert_eq!(parallel.candidate_count, serial.candidate_count);
         }
+    }
+
+    #[test]
+    fn shard_execution_concatenates_to_the_exact_single_box_ranking() {
+        // Both set shapes: S_c != S_r (Table 1 query) and S_c == S_r.
+        let queries = [
+            (toy::table1_network(), toy::table1_query()),
+            (
+                toy::figure1_network(),
+                "FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author \
+                 JUDGED BY author.paper.venue TOP 2;"
+                    .to_string(),
+            ),
+        ];
+        for (g, query) in &queries {
+            let bound = parse_and_bind(query, g.schema()).unwrap();
+            let engine = QueryEngine::baseline(g);
+            let whole = engine.execute(&bound).unwrap();
+            for shard_count in [1usize, 2, 3, 7] {
+                let mut rows: Vec<(VertexId, f64)> = Vec::new();
+                let mut zero_visibility = 0;
+                let mut order = None;
+                for i in 0..shard_count {
+                    let s = engine.execute_shard(&bound, i, shard_count).unwrap();
+                    assert_eq!(s.candidate_count, whole.candidate_count);
+                    assert_eq!(s.reference_count, whole.reference_count);
+                    assert_eq!(s.top, bound.top);
+                    zero_visibility += s.zero_visibility;
+                    rows.extend(s.rows.iter().map(|r| (r.vertex, r.score)));
+                    order = Some(s.order);
+                }
+                assert_eq!(zero_visibility, whole.zero_visibility.len());
+                let merged = top_k(rows, bound.top, order.unwrap());
+                assert_eq!(merged.len(), whole.ranked.len(), "{shard_count} shards");
+                for (m, w) in merged.iter().zip(&whole.ranked) {
+                    assert_eq!(m.0, w.vertex, "{shard_count} shards reordered");
+                    assert_eq!(m.1.to_bits(), w.score.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_execution_rejects_bad_shards_and_borda() {
+        let g = toy::figure1_network();
+        let q = "FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author \
+                 JUDGED BY author.paper.venue, author.paper.author;";
+        let bound = parse_and_bind(q, g.schema()).unwrap();
+        let engine = QueryEngine::baseline(&g);
+        assert!(engine.execute_shard(&bound, 3, 3).is_err());
+        assert!(engine.execute_shard(&bound, 0, 0).is_err());
+        let borda = QueryEngine::baseline(&g).combine_strategy(CombineStrategy::BordaRank);
+        let err = borda.execute_shard(&bound, 0, 2).unwrap_err();
+        assert!(err.to_string().contains("sharded"), "{err}");
+        // Weighted combines shard fine for multi-feature queries.
+        let s = engine.execute_shard(&bound, 0, 2).unwrap();
+        assert!(!s.rows.is_empty());
     }
 
     #[test]

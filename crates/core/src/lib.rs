@@ -48,9 +48,10 @@ mod error;
 pub use detector::{IndexPolicy, OutlierDetector};
 pub use engine::budget::{Budget, BudgetLimit, BudgetPhase, CancelToken, Degraded, ExecCtx};
 pub use engine::cache::{CacheStats, CachedSource, VectorCache};
-pub use engine::executor::{CombineStrategy, OutlierResult, QueryEngine, QueryResult};
+pub use engine::executor::{CombineStrategy, OutlierResult, QueryEngine, QueryResult, ShardScores};
 pub use engine::explain::Explain;
 pub use engine::progressive::{ProgressSnapshot, ProgressiveRun};
 pub use engine::stats::ExecBreakdown;
+pub use engine::topk::{top_k, ScoreOrder};
 pub use error::{panic_message, EngineError};
 pub use measures::MeasureKind;

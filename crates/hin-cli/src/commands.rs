@@ -4,7 +4,10 @@ use crate::args::Args;
 use hin_datagen::dblp::{generate, SyntheticConfig};
 use hin_graph::{io, stats, HinGraph};
 use hin_service::protocol::{Response, ResultBody};
-use hin_service::{ExecMode, FaultPlan, LoadSpec, RetryPolicy, Server, ServerConfig};
+use hin_service::{
+    Coordinator, CoordinatorConfig, ExecMode, FaultPlan, LoadSpec, RetryPolicy, Server,
+    ServerConfig,
+};
 use netout::{Budget, IndexPolicy, MeasureKind, OutlierDetector, QueryResult};
 use std::io::{BufRead, Write};
 
@@ -40,6 +43,10 @@ USAGE:
   hinout bench-client --addr HOST:PORT [--clients N] [--requests N]
                [--query '…' | --query-file FILE] [--format text|json]
                [--retry-attempts N] [--retry-deadline-ms N] [--retry-seed S]
+  hinout coordinate --backends HOST:PORT,HOST:PORT,… [--addr HOST:PORT]
+               [--port-file FILE] [--replicas N] [--retry-attempts N]
+               [--hedge-after-ms N] [--heartbeat-ms N] [--merge-slack-ms N]
+               [--deadline-ms N] [--dedup-cap N] [--seed S]
 
 A --query-file may hold several semicolon-separated queries; each runs in
 order — a failing query is reported and skipped, and the process exits
@@ -63,6 +70,16 @@ drills, e.g. 'seed=7;panic@3;drop~50' = panic request index 3, drop every
 bench-client --retry-* flag switches the load generator to the self-healing
 client: reconnect-on-drop, seeded full-jitter backoff under an overall
 deadline, idempotency ids deduplicated server-side.
+
+Scale-out serving (DESIGN.md §13): coordinate fronts N serve backends with
+the same protocol, fanning each QUERY out by candidate-set sharding and
+merging rankings byte-identically to a single box. Per-shard deadlines are
+carved from the request deadline (--merge-slack-ms reserved for the merge),
+failed shards fail over across --replicas backends (bounded by
+--retry-attempts), slow shards are hedged after --hedge-after-ms, and a
+--heartbeat-ms PING loop tracks backend health. An unrecoverable shard
+degrades the answer (strict mode errors instead); FAULTS INDEX SPEC installs
+a chaos plan on one chosen backend through the coordinator.
 
 Observability (DESIGN.md §12): serve answers METRICS with Prometheus text
 exposition (METRICS JSON for a JSON snapshot) covering request counters,
@@ -111,6 +128,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "index-info" => cmd_index_info(&Args::parse(rest)?),
         "serve" => cmd_serve(&Args::parse(rest)?),
         "bench-client" => cmd_bench_client(&Args::parse(rest)?),
+        "coordinate" => cmd_coordinate(&Args::parse(rest)?),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -761,14 +779,88 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     // Written atomically (temp file + rename) so a polling reader never
     // observes a half-written address.
     if let Some(path) = args.get("port-file") {
-        let tmp = format!("{path}.tmp.{}", std::process::id());
-        std::fs::write(&tmp, bound.to_string()).map_err(|e| format!("writing {tmp}: {e}"))?;
-        std::fs::rename(&tmp, path).map_err(|e| format!("renaming {tmp} to {path}: {e}"))?;
+        hin_service::write_addr_file(path, bound).map_err(|e| format!("writing {path}: {e}"))?;
     }
     let final_stats = server.run();
     println!(
         "{}",
         hin_service::json::to_string(&final_stats)
+            .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+    );
+    Ok(())
+}
+
+/// `hinout coordinate` — scatter-gather front-end over N running `serve`
+/// backends (DESIGN.md §13). Needs no graph: it only routes, shards, and
+/// merges.
+fn cmd_coordinate(args: &Args) -> Result<(), String> {
+    args.expect_no_positional()?;
+    args.check_known(&[
+        "backends",
+        "addr",
+        "port-file",
+        "replicas",
+        "retry-attempts",
+        "hedge-after-ms",
+        "heartbeat-ms",
+        "merge-slack-ms",
+        "deadline-ms",
+        "dedup-cap",
+        "seed",
+    ])?;
+    let backends: Vec<std::net::SocketAddr> = args
+        .require("backends")?
+        .split(',')
+        .map(|s| {
+            let s = s.trim();
+            s.parse()
+                .map_err(|e| format!("--backends entry {s:?}: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut config = CoordinatorConfig::default();
+    if let Some(r) = args.get_opt_num::<usize>("replicas")? {
+        config.replicas = r;
+    }
+    if let Some(a) = args.get_opt_num::<usize>("retry-attempts")? {
+        config.attempts = a;
+    }
+    if let Some(ms) = args.get_opt_num::<u64>("hedge-after-ms")? {
+        config.hedge_after = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = args.get_opt_num::<u64>("heartbeat-ms")? {
+        config.heartbeat_interval = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = args.get_opt_num::<u64>("merge-slack-ms")? {
+        config.merge_slack = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = args.get_opt_num::<u64>("deadline-ms")? {
+        config.default_deadline = std::time::Duration::from_millis(ms);
+    }
+    if let Some(cap) = args.get_opt_num::<usize>("dedup-cap")? {
+        config.dedup_cap = cap;
+    }
+    if let Some(seed) = args.get_opt_num::<u64>("seed")? {
+        config.seed = seed;
+    }
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7879");
+    let n = backends.len();
+    let coordinator = Coordinator::bind_retry(
+        backends,
+        addr,
+        config,
+        8,
+        std::time::Duration::from_millis(50),
+    )
+    .map_err(|e| format!("binding {addr}: {e}"))?;
+    let bound = coordinator.local_addr();
+    println!("hin-coordinator listening on {bound} ({n} backends; send SHUTDOWN to stop)");
+    if let Some(path) = args.get("port-file") {
+        hin_service::write_addr_file(path, bound).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    let snapshot = coordinator.run();
+    println!(
+        "{}",
+        hin_service::json::to_string(&snapshot)
             .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
     );
     Ok(())

@@ -90,6 +90,55 @@ impl Client {
         }
         Ok(line.trim_end().to_string())
     }
+
+    /// Read a blank-line-terminated text block — the framing of the raw
+    /// Prometheus `METRICS` exposition. Returns the block without the
+    /// terminating blank line (one trailing `\n` per content line).
+    pub fn read_text_block(&mut self) -> std::io::Result<String> {
+        let mut block = String::new();
+        loop {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-block",
+                ));
+            }
+            let line = line.trim_end_matches(['\r', '\n']);
+            if line.is_empty() {
+                return Ok(block);
+            }
+            block.push_str(line);
+            block.push('\n');
+        }
+    }
+
+    /// A handle that can abort this client's in-flight request from
+    /// another thread. Used by the coordinator to cancel the loser of a
+    /// hedged request pair: the disconnect fires the server-side cancel
+    /// token of whatever that connection was running.
+    pub fn cancel_handle(&self) -> std::io::Result<CancelHandle> {
+        Ok(CancelHandle {
+            stream: self.stream.try_clone()?,
+        })
+    }
+}
+
+/// Aborts a [`Client`]'s in-flight request by shutting its socket down
+/// (see [`Client::cancel_handle`]).
+pub struct CancelHandle {
+    stream: TcpStream,
+}
+
+impl CancelHandle {
+    /// Shut both directions of the connection down: the owning client's
+    /// blocked read fails immediately and the server observes the
+    /// disconnect. Idempotent; errors from an already-closed socket are
+    /// ignored.
+    pub fn cancel(&self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
 }
 
 /// Retry behavior for [`RetryClient`]: bounded attempts under one overall
@@ -202,12 +251,23 @@ impl RetryClient {
     /// dedup cache **byte-identically** instead of running twice. Inline
     /// verbs are naturally idempotent and sent as-is.
     ///
+    /// Transport errors are classified before replay: a failure to
+    /// *connect* can never have executed anything and is always retried,
+    /// but once the request bytes may have reached the server (a
+    /// mid-response drop or read timeout), a retry is only attempted when
+    /// the request is replay-safe — it carries an idempotency id the
+    /// server's dedup cache honors, or it is a read-only inline verb.
+    /// State-changing requests that cannot carry an id (`FAULTS OFF`,
+    /// `FAULTS <spec>`, `SHUTDOWN`) fail fast with the transport error
+    /// instead of being blindly re-executed.
+    ///
     /// On deadline/attempt exhaustion: the last `busy` response is returned
     /// if one was seen (the server was alive, just saturated), otherwise
     /// the last transport error.
     pub fn send_idempotent(&mut self, line: &str) -> std::io::Result<String> {
         let request_id = self.rng.next_u64();
         let line = inject_id(line, request_id);
+        let replayable = replay_safe(&line);
         let deadline = Instant::now() + self.policy.overall_deadline;
         let max_attempts = self.policy.max_attempts.max(1);
         let mut last_err: Option<std::io::Error> = None;
@@ -229,7 +289,13 @@ impl RetryClient {
                     // The transport is suspect (dropped, timed out, framing
                     // unknown): heal by reconnecting on the next attempt.
                     self.conn = None;
-                    last_err = Some(e);
+                    if e.maybe_executed && !replayable {
+                        // The server may already have acted on a request we
+                        // cannot safely replay: surface the error instead
+                        // of double-executing.
+                        return Err(e.error);
+                    }
+                    last_err = Some(e.error);
                 }
             }
             if attempt + 1 < max_attempts {
@@ -249,7 +315,7 @@ impl RetryClient {
 
     /// One attempt under its own deadline slice: connect if needed, send,
     /// read one response line.
-    fn try_once(&mut self, line: &str, per_attempt: Duration) -> std::io::Result<String> {
+    fn try_once(&mut self, line: &str, per_attempt: Duration) -> Result<String, AttemptError> {
         let attempt_deadline = Instant::now() + per_attempt;
         if self.conn.is_none() {
             let mut connect_err: Option<std::io::Error> = None;
@@ -267,20 +333,76 @@ impl RetryClient {
                 }
             }
             if let Some(e) = connect_err {
-                return Err(e);
+                return Err(AttemptError::before_send(e));
             }
         }
         let Some(conn) = self.conn.as_mut() else {
-            return Err(std::io::Error::new(
+            return Err(AttemptError::before_send(std::io::Error::new(
                 ErrorKind::NotConnected,
                 "no connection",
-            ));
+            )));
         };
         let io_budget = attempt_deadline
             .checked_duration_since(Instant::now())
             .unwrap_or(Duration::from_millis(1));
-        conn.set_io_timeouts(Some(io_budget), Some(io_budget))?;
-        conn.send_line(line)
+        conn.set_io_timeouts(Some(io_budget), Some(io_budget))
+            .map_err(AttemptError::before_send)?;
+        // From here on the request may reach the server even if the call
+        // fails (a write can land before the connection drops, a read can
+        // time out after execution started).
+        conn.send_line(line).map_err(AttemptError::after_send)
+    }
+}
+
+/// A failed attempt, classified by whether the request may have executed.
+struct AttemptError {
+    /// The underlying transport error.
+    error: std::io::Error,
+    /// `true` when the request bytes may have reached the server before
+    /// the failure — a connect failure can never have executed anything,
+    /// but a mid-response drop or read timeout may have.
+    maybe_executed: bool,
+}
+
+impl AttemptError {
+    fn before_send(error: std::io::Error) -> AttemptError {
+        AttemptError {
+            error,
+            maybe_executed: false,
+        }
+    }
+
+    fn after_send(error: std::io::Error) -> AttemptError {
+        AttemptError {
+            error,
+            maybe_executed: true,
+        }
+    }
+}
+
+/// Whether retrying `line` after a possible partial execution is safe:
+/// worker-pool requests carrying an `id=` replay byte-identically from the
+/// server's dedup cache, and read-only inline verbs (`PING`, `STATS`,
+/// `METRICS`, `TRACE`, bare `FAULTS`) have no effect to duplicate.
+/// State-changing id-less requests (`FAULTS OFF`/`FAULTS <spec>`,
+/// `SHUTDOWN`, pool verbs without an id) are not replay-safe. Unparseable
+/// lines are: the server answers them with a protocol error either way.
+fn replay_safe(line: &str) -> bool {
+    use crate::protocol::FaultCommand;
+    match Request::parse(line) {
+        Ok(Request::Query { options, .. }) | Ok(Request::Explain { options, .. }) => {
+            options.id.is_some()
+        }
+        Ok(Request::Sleep { id, .. }) => id.is_some(),
+        Ok(Request::Ping)
+        | Ok(Request::Stats)
+        | Ok(Request::Metrics { .. })
+        | Ok(Request::Trace { .. })
+        | Ok(Request::Faults(FaultCommand::Status)) => true,
+        Ok(Request::Shutdown)
+        | Ok(Request::Faults(FaultCommand::Clear))
+        | Ok(Request::Faults(FaultCommand::Install(_))) => false,
+        Err(_) => true,
     }
 }
 
@@ -645,6 +767,97 @@ mod tests {
         // Inline verbs and garbage pass through untouched.
         assert_eq!(inject_id("PING", 7), "PING");
         assert_eq!(inject_id("no such verb", 7), "no such verb");
+    }
+
+    #[test]
+    fn replay_safety_classification() {
+        // Read-only inline verbs have nothing to duplicate.
+        for line in [
+            "PING",
+            "STATS",
+            "METRICS",
+            "METRICS JSON",
+            "TRACE",
+            "TRACE 7",
+            "FAULTS",
+        ] {
+            assert!(replay_safe(line), "{line}");
+        }
+        // State-changing requests without an idempotency id must not be
+        // blindly replayed.
+        for line in [
+            "FAULTS OFF",
+            "FAULTS kill@1",
+            "SHUTDOWN",
+            "SLEEP 5",
+            "QUERY FIND paper P1;",
+        ] {
+            assert!(!replay_safe(line), "{line}");
+        }
+        // With an id, the server's dedup cache makes the replay safe —
+        // and `inject_id` always supplies one for pool verbs.
+        assert!(replay_safe("SLEEP id=3 5"));
+        assert!(replay_safe(&inject_id("QUERY FIND paper P1;", 9)));
+        // Garbage draws a protocol error either way: replaying is harmless.
+        assert!(replay_safe("no such verb"));
+    }
+
+    #[test]
+    fn mid_response_drop_is_not_replayed_unless_safe() {
+        use std::io::Read as _;
+        use std::net::TcpListener;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        // A hostile server: accepts, reads the request, hangs up without
+        // answering — the client cannot know whether it executed.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&hits);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { break };
+                counter.fetch_add(1, Ordering::SeqCst);
+                let mut buf = [0u8; 1024];
+                let _ = stream.read(&mut buf);
+            }
+        });
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            overall_deadline: Duration::from_secs(10),
+            seed: 11,
+        };
+        // FAULTS OFF mutates server state and cannot carry an id: exactly
+        // one attempt, then the transport error surfaces.
+        let mut client = RetryClient::new(addr, policy.clone()).unwrap();
+        assert!(client.send_idempotent("FAULTS OFF").is_err());
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "FAULTS OFF was replayed");
+        // A QUERY picks up an injected id, so every attempt is spent (the
+        // server-side dedup cache would make the replays byte-identical).
+        let mut client = RetryClient::new(addr, policy).unwrap();
+        assert!(client.send_idempotent("QUERY FIND paper P1;").is_err());
+        assert_eq!(hits.load(Ordering::SeqCst), 4, "QUERY was not retried");
+    }
+
+    #[test]
+    fn cancel_handle_unblocks_a_pending_read() {
+        use std::net::TcpListener;
+        // A server that accepts and then never answers.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let mut client = Client::connect(addr).unwrap();
+        let handle = client.cancel_handle().unwrap();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            handle.cancel();
+        });
+        // Without the cancel this read would block forever.
+        assert!(client.send_line("PING").is_err());
+        canceller.join().unwrap();
+        drop(hold);
     }
 
     #[test]

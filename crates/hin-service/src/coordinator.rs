@@ -1,0 +1,1498 @@
+//! Sharded scatter-gather coordinator: a front-end that speaks the same
+//! line-framed protocol as [`crate::server::Server`] and fans each `QUERY`
+//! out to N backends by candidate-set sharding (`shard=i/n`), merging the
+//! raw scored rows with the same in-order, deterministic discipline as a
+//! single-box run — so a coordinator answer is byte-identical to asking one
+//! backend directly (modulo `exec_us`).
+//!
+//! Robustness machinery layered on top of the scatter:
+//!
+//! * **Deadline carving** — each shard sub-request gets the request deadline
+//!   minus a merge slack, via [`netout::Budget::carve`].
+//! * **Failover** — a failed or retryable attempt (connect error, dropped
+//!   connection, `busy`, `Internal`, `Panic`) re-routes the shard to the
+//!   next replica, bounded by `attempts`.
+//! * **Hedging** — when a shard attempt is slower than `hedge_after`, a
+//!   second attempt races it on another replica; first response wins, the
+//!   loser is cancelled by disconnect. Duplicate execution is suppressed by
+//!   the deterministic per-shard idempotency id (`fault::mix`).
+//! * **Health registry** — a heartbeat thread `PING`s every backend,
+//!   marking it down after `down_after` consecutive failures and probing
+//!   half-open until it answers again. Routing prefers healthy replicas.
+//! * **Graceful degradation** — when a shard stays unrecoverable within the
+//!   deadline, the merged ranking is flagged `degraded`, naming the missing
+//!   shard; strict mode turns that into a `NoBackends` error instead.
+//!
+//! `STATS`/`METRICS` aggregate backend snapshots; `FAULTS <index> [spec]`
+//! installs a fault plan on one chosen backend for chaos drills.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+use crate::client::{response_kind, CancelHandle, Client};
+use crate::fault::{self, DedupCache};
+use crate::json::{self, parse_value, Value};
+use crate::protocol::{
+    DegradedInfo, ErrorCode, ExecMode, RankedRow, Request, RequestOptions, Response, ResultBody,
+};
+use crate::server::{bind_listener_retry, LineEvent, LineReader};
+use hin_graph::VertexId;
+use hin_telemetry::Sample;
+use netout::{top_k, Budget, ScoreOrder};
+
+const FAULTS_USAGE: &str = "coordinator FAULTS usage: FAULTS <backend-index> [OFF|<spec>] — \
+                            inspects or changes the fault plan of one backend";
+
+/// Tunables for a [`Coordinator`].
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Replicas eligible to serve each shard (clamped to the backend count).
+    pub replicas: usize,
+    /// Maximum attempts per shard across its replicas (failover bound).
+    pub attempts: usize,
+    /// Hedge a slow shard attempt after this long.
+    pub hedge_after: Duration,
+    /// Interval between heartbeat sweeps over the backends.
+    pub heartbeat_interval: Duration,
+    /// Consecutive failures before a backend is marked down.
+    pub down_after: u32,
+    /// Deadline slack reserved for the coordinator-side merge.
+    pub merge_slack: Duration,
+    /// Deadline applied when a request carries no `timeout-ms=`.
+    pub default_deadline: Duration,
+    /// TCP connect timeout for every backend dial.
+    pub connect_timeout: Duration,
+    /// Idempotency-cache capacity (client-visible `id=` replay).
+    pub dedup_cap: usize,
+    /// Seed for deterministic per-shard idempotency ids.
+    pub seed: u64,
+    /// Accept/shutdown polling granularity.
+    pub poll_interval: Duration,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> CoordinatorConfig {
+        CoordinatorConfig {
+            replicas: 2,
+            attempts: 3,
+            hedge_after: Duration::from_millis(150),
+            heartbeat_interval: Duration::from_millis(200),
+            down_after: 2,
+            merge_slack: Duration::from_millis(50),
+            default_deadline: Duration::from_secs(10),
+            connect_timeout: Duration::from_millis(250),
+            dedup_cap: 256,
+            seed: 1,
+            poll_interval: Duration::from_millis(20),
+        }
+    }
+}
+
+/// One backend's health-registry entry.
+struct Backend {
+    addr: SocketAddr,
+    up: AtomicBool,
+    failures: AtomicU32,
+    marked_down: AtomicU64,
+    probes: AtomicU64,
+}
+
+impl Backend {
+    fn new(addr: SocketAddr) -> Backend {
+        Backend {
+            addr,
+            up: AtomicBool::new(true),
+            failures: AtomicU32::new(0),
+            marked_down: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+        }
+    }
+
+    fn is_up(&self) -> bool {
+        self.up.load(Ordering::Relaxed)
+    }
+
+    fn report_success(&self) {
+        self.failures.store(0, Ordering::Relaxed);
+        if !self.up.swap(true, Ordering::Relaxed) {
+            hin_telemetry::logfmt!("backend_up", addr = self.addr);
+        }
+    }
+
+    fn report_failure(&self, down_after: u32) {
+        let failures = self.failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if failures >= down_after.max(1) && self.up.swap(false, Ordering::Relaxed) {
+            self.marked_down.fetch_add(1, Ordering::Relaxed);
+            hin_telemetry::logfmt!(
+                "backend_down",
+                addr = self.addr,
+                consecutive_failures = failures
+            );
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    completed: AtomicU64,
+    errors: AtomicU64,
+    degraded: AtomicU64,
+    deduped: AtomicU64,
+    failovers: AtomicU64,
+    hedges: AtomicU64,
+    no_backends: AtomicU64,
+}
+
+impl Counters {
+    fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Health and throughput of one backend, as reported by
+/// [`CoordSnapshot::backends`].
+#[derive(Debug, Clone, Serialize)]
+pub struct BackendStatus {
+    /// The backend's address.
+    pub addr: String,
+    /// Whether the health registry currently considers it serving.
+    pub up: bool,
+    /// Consecutive failures since the last success.
+    pub consecutive_failures: u32,
+    /// How many times it has been marked down over the coordinator's life.
+    pub marked_down: u64,
+    /// Heartbeat probes sent to it.
+    pub heartbeats: u64,
+}
+
+/// A point-in-time snapshot of the coordinator's counters and backend
+/// health; the `STATS`/`METRICS JSON` body and [`Coordinator::run`]'s
+/// return value.
+#[derive(Debug, Clone, Serialize)]
+pub struct CoordSnapshot {
+    /// Milliseconds since the coordinator started.
+    pub uptime_ms: u64,
+    /// Request lines received.
+    pub requests: u64,
+    /// Requests answered successfully (including degraded ones).
+    pub completed: u64,
+    /// Requests answered with an `err` response.
+    pub errors: u64,
+    /// Successful answers flagged `degraded`.
+    pub degraded: u64,
+    /// Responses replayed from the idempotency cache.
+    pub deduped: u64,
+    /// Shard attempts re-routed to another replica.
+    pub failovers: u64,
+    /// Hedged (duplicate) shard attempts launched.
+    pub hedges: u64,
+    /// Requests refused because no backend could serve any shard.
+    pub no_backends: u64,
+    /// Per-backend health.
+    pub backends: Vec<BackendStatus>,
+}
+
+struct CoordShared {
+    config: CoordinatorConfig,
+    backends: Vec<Backend>,
+    shutdown: AtomicBool,
+    dedup: Mutex<DedupCache>,
+    seq: AtomicU64,
+    epoch: Instant,
+    counters: Counters,
+}
+
+impl CoordShared {
+    fn snapshot(&self) -> CoordSnapshot {
+        CoordSnapshot {
+            uptime_ms: self.epoch.elapsed().as_millis() as u64,
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            degraded: self.counters.degraded.load(Ordering::Relaxed),
+            deduped: self.counters.deduped.load(Ordering::Relaxed),
+            failovers: self.counters.failovers.load(Ordering::Relaxed),
+            hedges: self.counters.hedges.load(Ordering::Relaxed),
+            no_backends: self.counters.no_backends.load(Ordering::Relaxed),
+            backends: self
+                .backends
+                .iter()
+                .map(|b| BackendStatus {
+                    addr: b.addr.to_string(),
+                    up: b.is_up(),
+                    consecutive_failures: b.failures.load(Ordering::Relaxed),
+                    marked_down: b.marked_down.load(Ordering::Relaxed),
+                    heartbeats: b.probes.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The scatter-gather front-end. Bind it to an address, hand it the backend
+/// addresses, and [`run`](Coordinator::run) it; it serves the same protocol
+/// as a single backend.
+pub struct Coordinator {
+    shared: Arc<CoordShared>,
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl Coordinator {
+    /// Bind the coordinator's listening socket.
+    pub fn bind(
+        backends: Vec<SocketAddr>,
+        addr: impl ToSocketAddrs,
+        config: CoordinatorConfig,
+    ) -> io::Result<Coordinator> {
+        let listener = TcpListener::bind(addr)?;
+        Coordinator::from_listener(backends, listener, config)
+    }
+
+    /// Like [`bind`](Coordinator::bind), retrying `AddrInUse` with doubling
+    /// backoff (shared with the backend server's restart path).
+    pub fn bind_retry(
+        backends: Vec<SocketAddr>,
+        addr: impl ToSocketAddrs,
+        config: CoordinatorConfig,
+        attempts: usize,
+        initial_backoff: Duration,
+    ) -> io::Result<Coordinator> {
+        let listener = bind_listener_retry(addr, attempts, initial_backoff)?;
+        Coordinator::from_listener(backends, listener, config)
+    }
+
+    /// Wrap an already-bound listener.
+    pub fn from_listener(
+        backends: Vec<SocketAddr>,
+        listener: TcpListener,
+        config: CoordinatorConfig,
+    ) -> io::Result<Coordinator> {
+        if backends.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a coordinator needs at least one backend",
+            ));
+        }
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(CoordShared {
+            dedup: Mutex::new(DedupCache::new(config.dedup_cap)),
+            backends: backends.into_iter().map(Backend::new).collect(),
+            shutdown: AtomicBool::new(false),
+            seq: AtomicU64::new(1),
+            epoch: Instant::now(),
+            counters: Counters::default(),
+            config,
+        });
+        Ok(Coordinator {
+            shared,
+            listener,
+            addr,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serve until a `SHUTDOWN` request arrives; returns the final counter
+    /// snapshot.
+    pub fn run(self) -> CoordSnapshot {
+        hin_telemetry::logfmt!(
+            "coordinator_start",
+            addr = self.addr,
+            backends = self.shared.backends.len()
+        );
+        let shared = self.shared;
+        let heartbeat = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("hin-coord-heartbeat".into())
+                .spawn(move || heartbeat_loop(&shared))
+        };
+        if let Err(e) = self.listener.set_nonblocking(true) {
+            hin_telemetry::logfmt!("coordinator_accept_error", error = e);
+            shared.shutdown.store(true, Ordering::SeqCst);
+        }
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !shared.shutdown.load(Ordering::Relaxed) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    // Accepted sockets can inherit non-blocking mode; the
+                    // line reader needs timeout-based blocking reads.
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
+                    }
+                    let shared = Arc::clone(&shared);
+                    if let Ok(handle) = std::thread::Builder::new()
+                        .name("hin-coord-conn".into())
+                        .spawn(move || handle_client(&shared, stream))
+                    {
+                        handlers.push(handle);
+                    }
+                    if handlers.len() >= 128 {
+                        handlers.retain(|h| !h.is_finished());
+                    }
+                }
+                Err(_) => std::thread::sleep(shared.config.poll_interval),
+            }
+        }
+        for handle in handlers {
+            let _ = handle.join();
+        }
+        if let Ok(handle) = heartbeat {
+            let _ = handle.join();
+        }
+        hin_telemetry::logfmt!("coordinator_stop");
+        shared.snapshot()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeats
+// ---------------------------------------------------------------------------
+
+fn heartbeat_loop(shared: &CoordShared) {
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        for backend in &shared.backends {
+            // Down backends keep being probed: that IS the half-open state —
+            // one successful PING marks them back up.
+            backend.probes.fetch_add(1, Ordering::Relaxed);
+            if probe(backend.addr, shared.config.connect_timeout) {
+                backend.report_success();
+            } else {
+                backend.report_failure(shared.config.down_after);
+            }
+        }
+        let mut slept = Duration::ZERO;
+        while slept < shared.config.heartbeat_interval {
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            let step = Duration::from_millis(5).min(shared.config.heartbeat_interval - slept);
+            std::thread::sleep(step);
+            slept += step;
+        }
+    }
+}
+
+fn probe(addr: SocketAddr, connect_timeout: Duration) -> bool {
+    let Ok(mut client) = Client::connect_timeout(&addr, connect_timeout) else {
+        return false;
+    };
+    let io_timeout = connect_timeout.max(Duration::from_millis(100));
+    if client
+        .set_io_timeouts(Some(io_timeout), Some(io_timeout))
+        .is_err()
+    {
+        return false;
+    }
+    matches!(
+        client.send_line("PING").as_deref().map(response_kind),
+        Ok(Some("pong"))
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------------
+
+fn handle_client(shared: &Arc<CoordShared>, stream: TcpStream) {
+    let mut reader = LineReader::new(stream);
+    loop {
+        match reader.next_line(&shared.shutdown, shared.config.poll_interval) {
+            LineEvent::Line(line) => {
+                Counters::inc(&shared.counters.requests);
+                let tokens: Vec<&str> = line.split_whitespace().collect();
+                if tokens
+                    .first()
+                    .is_some_and(|t| t.eq_ignore_ascii_case("FAULTS"))
+                {
+                    // FAULTS is intercepted before Request::parse: the
+                    // coordinator grammar inserts a backend index that the
+                    // backend grammar does not know.
+                    let response = route_faults(shared, &tokens);
+                    note_response(&shared.counters, &response);
+                    if !reader.write_line(&response) {
+                        return;
+                    }
+                    continue;
+                }
+                let request = match Request::parse(&line) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        let response =
+                            Response::err(ErrorCode::Protocol, e.to_string()).to_json_line();
+                        note_response(&shared.counters, &response);
+                        if !reader.write_line(&response) {
+                            return;
+                        }
+                        continue;
+                    }
+                };
+                match request {
+                    Request::Shutdown => {
+                        shared.shutdown.store(true, Ordering::SeqCst);
+                        Counters::inc(&shared.counters.completed);
+                        let _ = reader.write_response(&Response::Bye { draining: 0 });
+                        return;
+                    }
+                    Request::Metrics { json: false } => {
+                        Counters::inc(&shared.counters.completed);
+                        if !reader.write_text_block(&merged_metrics_text(shared)) {
+                            return;
+                        }
+                        continue;
+                    }
+                    _ => {}
+                }
+                if let Some(id) = request.id() {
+                    if let Some(cached) = shared.dedup.lock().get(id) {
+                        Counters::inc(&shared.counters.deduped);
+                        if !reader.write_line(&cached) {
+                            return;
+                        }
+                        continue;
+                    }
+                }
+                let response = dispatch(shared, &request);
+                if let Some(id) = request.id() {
+                    shared.dedup.lock().insert(id, response.clone());
+                }
+                note_response(&shared.counters, &response);
+                if !reader.write_line(&response) {
+                    return;
+                }
+            }
+            LineEvent::Malformed(msg) => {
+                Counters::inc(&shared.counters.requests);
+                let response = Response::err(ErrorCode::Protocol, msg).to_json_line();
+                note_response(&shared.counters, &response);
+                if !reader.write_line(&response) {
+                    return;
+                }
+            }
+            LineEvent::Eof | LineEvent::Shutdown => return,
+        }
+    }
+}
+
+fn note_response(counters: &Counters, line: &str) {
+    match response_kind(line) {
+        Some("err") => {
+            Counters::inc(&counters.errors);
+            if line.contains("\"code\":\"NoBackends\"") {
+                Counters::inc(&counters.no_backends);
+            }
+        }
+        Some("busy") | None => {}
+        Some(_) => {
+            Counters::inc(&counters.completed);
+            if line.contains("\"degraded\":{") {
+                Counters::inc(&counters.degraded);
+            }
+        }
+    }
+}
+
+fn dispatch(shared: &Arc<CoordShared>, request: &Request) -> String {
+    match request {
+        Request::Ping => Response::Pong {
+            uptime_ms: shared.epoch.elapsed().as_millis() as u64,
+        }
+        .to_json_line(),
+        Request::Stats => stats_line(shared),
+        Request::Metrics { json: true } => metrics_json_line(shared),
+        Request::Metrics { json: false } | Request::Shutdown => {
+            Response::err(ErrorCode::Internal, "request handled before dispatch").to_json_line()
+        }
+        Request::Trace { .. } => Response::err(
+            ErrorCode::Protocol,
+            "TRACE is per-backend state; connect to a backend directly",
+        )
+        .to_json_line(),
+        Request::Faults(_) => Response::err(ErrorCode::Protocol, FAULTS_USAGE).to_json_line(),
+        Request::Query { options, .. } if options.shard.is_some() => Response::err(
+            ErrorCode::Protocol,
+            "the shard= option is reserved for coordinator-to-backend sub-requests",
+        )
+        .to_json_line(),
+        Request::Query { options, text } => scatter_gather_query(shared, options, text),
+        Request::Explain { .. } | Request::Sleep { .. } => forward_with_failover(shared, request),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scatter-gather QUERY path
+// ---------------------------------------------------------------------------
+
+fn scatter_gather_query(shared: &CoordShared, options: &RequestOptions, text: &str) -> String {
+    let exec_started = Instant::now();
+    let n = shared.backends.len();
+    let config = &shared.config;
+    let deadline_total = options
+        .timeout_ms
+        .map(Duration::from_millis)
+        .unwrap_or(config.default_deadline);
+    // Carve the per-shard budget out of the request deadline, reserving
+    // slack for the coordinator-side merge.
+    let shard_budget = Budget::unbounded()
+        .with_timeout_ms((deadline_total.as_millis().max(1)) as u64)
+        .carve(config.merge_slack);
+    let shard_timeout = shard_budget.timeout.unwrap_or(deadline_total);
+    let shard_deadline = exec_started + shard_timeout;
+    let seq = shared.seq.fetch_add(1, Ordering::Relaxed);
+    let lines: Vec<String> = (0..n)
+        .map(|i| {
+            let mut sub = options.clone();
+            // Shard execution is always strict on the backend; degradation
+            // is decided here, at merge time.
+            sub.mode = None;
+            sub.timeout_ms = Some((shard_timeout.as_millis() as u64).max(1));
+            // Deterministic per-shard idempotency id: a hedged duplicate or
+            // a retry of the same shard replays instead of re-executing.
+            sub.id = Some(fault::mix(config.seed, seq, i as u64));
+            sub.shard = Some((i, n));
+            Request::Query {
+                options: sub,
+                text: text.to_string(),
+            }
+            .to_line()
+        })
+        .collect();
+    let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = lines
+            .iter()
+            .enumerate()
+            .map(|(i, line)| scope.spawn(move || fetch_shard(shared, line, i, n, shard_deadline)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    ShardOutcome::Unavailable("coordinator worker panicked".to_string())
+                })
+            })
+            .collect()
+    });
+    merge_outcomes(options, &outcomes, exec_started)
+}
+
+/// What one shard's fetch resolved to.
+enum ShardOutcome {
+    /// A parsed `shard` body, ready to merge.
+    Data(ShardData),
+    /// A non-retryable backend answer (query error, budget error, …) that
+    /// must be relayed to the client verbatim.
+    Definitive(String),
+    /// Every attempt failed within the deadline; the reason text names the
+    /// last failure.
+    Unavailable(String),
+}
+
+struct ShardData {
+    measure: String,
+    asc: bool,
+    top: Option<usize>,
+    candidates: usize,
+    reference: usize,
+    zero_visibility: usize,
+    rows: Vec<(u32, String, f64)>,
+}
+
+fn fetch_shard(
+    shared: &CoordShared,
+    line: &str,
+    shard: usize,
+    of: usize,
+    deadline: Instant,
+) -> ShardOutcome {
+    let up: Vec<bool> = shared.backends.iter().map(Backend::is_up).collect();
+    let order = replica_order(&up, shard, shared.config.replicas, shared.config.attempts);
+    if order.is_empty() {
+        return ShardOutcome::Unavailable("no backends configured".to_string());
+    }
+    let (tx, rx) = mpsc::channel();
+    let fetch = ShardFetch {
+        shared,
+        line,
+        shard,
+        of,
+        deadline,
+        order,
+        next: 0,
+        pending: 0,
+        handles: Vec::new(),
+        tx,
+        last_reason: String::new(),
+    };
+    fetch.run(&rx)
+}
+
+/// The replica attempt order for one shard: the `replicas` backends that own
+/// it (wrapping from `shard`), healthy ones first, cycled out to `attempts`
+/// entries.
+fn replica_order(up: &[bool], shard: usize, replicas: usize, attempts: usize) -> Vec<usize> {
+    let n = up.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let r = replicas.clamp(1, n);
+    let set: Vec<usize> = (0..r).map(|k| (shard + k) % n).collect();
+    let mut ordered: Vec<usize> = set.iter().copied().filter(|&i| up[i]).collect();
+    ordered.extend(set.iter().copied().filter(|&i| !up[i]));
+    let attempts = attempts.max(1);
+    (0..attempts).map(|i| ordered[i % ordered.len()]).collect()
+}
+
+/// In-flight state of one shard's attempt fan-out: launches replica
+/// attempts lazily, hedges slow ones, and cancels every loser once a
+/// response wins.
+struct ShardFetch<'a> {
+    shared: &'a CoordShared,
+    line: &'a str,
+    shard: usize,
+    of: usize,
+    deadline: Instant,
+    order: Vec<usize>,
+    next: usize,
+    pending: usize,
+    handles: Vec<CancelHandle>,
+    tx: mpsc::Sender<(usize, io::Result<String>)>,
+    last_reason: String,
+}
+
+impl ShardFetch<'_> {
+    /// Launch the next attempt in the replica order. Returns `false` when
+    /// the order (or the deadline) is exhausted.
+    fn launch_next(&mut self) -> bool {
+        while self.next < self.order.len() {
+            let backend_index = self.order[self.next];
+            self.next += 1;
+            let backend = &self.shared.backends[backend_index];
+            let remaining = self.deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return false;
+            }
+            let connect = remaining.min(self.shared.config.connect_timeout);
+            let mut client = match Client::connect_timeout(&backend.addr, connect) {
+                Ok(c) => c,
+                Err(e) => {
+                    backend.report_failure(self.shared.config.down_after);
+                    self.last_reason = format!("{}: {e}", backend.addr);
+                    continue;
+                }
+            };
+            if let Err(e) = client.set_io_timeouts(Some(remaining), Some(remaining)) {
+                backend.report_failure(self.shared.config.down_after);
+                self.last_reason = format!("{}: {e}", backend.addr);
+                continue;
+            }
+            if let Ok(handle) = client.cancel_handle() {
+                self.handles.push(handle);
+            }
+            let tx = self.tx.clone();
+            let line = self.line.to_string();
+            let spawned = std::thread::Builder::new()
+                .name("hin-coord-attempt".into())
+                .spawn(move || {
+                    let result = client.send_line(&line);
+                    let _ = tx.send((backend_index, result));
+                });
+            match spawned {
+                Ok(_) => {
+                    self.pending += 1;
+                    return true;
+                }
+                Err(e) => {
+                    self.last_reason = format!("attempt thread spawn failed: {e}");
+                    continue;
+                }
+            }
+        }
+        false
+    }
+
+    /// Disconnect every outstanding attempt: the backend observes the drop
+    /// and cancels the in-flight execution; the attempt thread's blocked
+    /// read fails and the thread exits.
+    fn cancel_all(&mut self) {
+        for handle in self.handles.drain(..) {
+            handle.cancel();
+        }
+    }
+
+    fn reason(&self, what: &str) -> String {
+        if self.last_reason.is_empty() {
+            what.to_string()
+        } else {
+            format!("{what}; last error: {}", self.last_reason)
+        }
+    }
+
+    fn run(mut self, rx: &mpsc::Receiver<(usize, io::Result<String>)>) -> ShardOutcome {
+        loop {
+            while self.pending == 0 {
+                if !self.launch_next() {
+                    self.cancel_all();
+                    return ShardOutcome::Unavailable(self.reason("all replica attempts failed"));
+                }
+            }
+            let remaining = self.deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                self.cancel_all();
+                return ShardOutcome::Unavailable(self.reason("deadline exhausted"));
+            }
+            // With spare attempts left, wait only up to the hedge threshold
+            // so a slow attempt gets raced; otherwise wait out the deadline.
+            let wait = if self.next < self.order.len() {
+                self.shared.config.hedge_after.min(remaining)
+            } else {
+                remaining
+            };
+            match rx.recv_timeout(wait) {
+                Ok((backend_index, Ok(response))) => {
+                    self.pending -= 1;
+                    let backend = &self.shared.backends[backend_index];
+                    match response_kind(&response) {
+                        Some("shard") => {
+                            backend.report_success();
+                            self.cancel_all();
+                            return match parse_shard_body(&response, self.shard, self.of) {
+                                Ok(data) => ShardOutcome::Data(data),
+                                Err(e) => ShardOutcome::Unavailable(format!(
+                                    "backend {} answered with a malformed shard body: {e}",
+                                    backend.addr
+                                )),
+                            };
+                        }
+                        _ if is_retryable(&response) => {
+                            Counters::inc(&self.shared.counters.failovers);
+                            self.last_reason =
+                                format!("{}: {}", backend.addr, summarize(&response));
+                        }
+                        _ => {
+                            backend.report_success();
+                            self.cancel_all();
+                            return ShardOutcome::Definitive(response);
+                        }
+                    }
+                }
+                Ok((backend_index, Err(e))) => {
+                    self.pending -= 1;
+                    let backend = &self.shared.backends[backend_index];
+                    backend.report_failure(self.shared.config.down_after);
+                    Counters::inc(&self.shared.counters.failovers);
+                    self.last_reason = format!("{}: {e}", backend.addr);
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if self.next < self.order.len()
+                        && Instant::now() < self.deadline
+                        && self.launch_next()
+                    {
+                        Counters::inc(&self.shared.counters.hedges);
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    self.cancel_all();
+                    return ShardOutcome::Unavailable(self.reason("all attempt channels closed"));
+                }
+            }
+        }
+    }
+}
+
+fn parse_shard_body(line: &str, shard: usize, of: usize) -> Result<ShardData, String> {
+    let value = parse_value(line)?;
+    let body = value
+        .get("shard")
+        .ok_or_else(|| "missing \"shard\" body".to_string())?;
+    let field_usize = |key: &str| -> Result<usize, String> {
+        body.get(key)
+            .and_then(Value::as_usize)
+            .ok_or_else(|| format!("missing numeric field {key:?}"))
+    };
+    let echo_shard = field_usize("shard")?;
+    let echo_of = field_usize("of")?;
+    if echo_shard != shard || echo_of != of {
+        return Err(format!(
+            "shard echo mismatch: asked for {shard}/{of}, got {echo_shard}/{echo_of}"
+        ));
+    }
+    let measure = body
+        .get("measure")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing \"measure\"".to_string())?
+        .to_string();
+    let asc = body
+        .get("asc")
+        .and_then(Value::as_bool)
+        .ok_or_else(|| "missing \"asc\"".to_string())?;
+    let top = match body.get("top") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(
+            v.as_usize()
+                .ok_or_else(|| "non-numeric \"top\"".to_string())?,
+        ),
+    };
+    let rows_value = body
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "missing \"rows\"".to_string())?;
+    let mut rows = Vec::with_capacity(rows_value.len());
+    for row in rows_value {
+        let v = row
+            .get("v")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| "row missing \"v\"".to_string())?;
+        let v = u32::try_from(v).map_err(|_| "row \"v\" out of range".to_string())?;
+        let name = row
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "row missing \"name\"".to_string())?
+            .to_string();
+        let score = row
+            .get("score")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| "row missing \"score\"".to_string())?;
+        rows.push((v, name, score));
+    }
+    Ok(ShardData {
+        measure,
+        asc,
+        top,
+        candidates: field_usize("candidates")?,
+        reference: field_usize("reference")?,
+        zero_visibility: field_usize("zero_visibility")?,
+        rows,
+    })
+}
+
+fn merge_outcomes(
+    options: &RequestOptions,
+    outcomes: &[ShardOutcome],
+    exec_started: Instant,
+) -> String {
+    // A definitive backend error (bad query, budget trip, …) is what a
+    // single box would have answered: relay it verbatim.
+    for outcome in outcomes {
+        if let ShardOutcome::Definitive(line) = outcome {
+            return line.clone();
+        }
+    }
+    let mut available: Vec<&ShardData> = Vec::new();
+    let mut missing: Vec<(usize, &str)> = Vec::new();
+    for (i, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            ShardOutcome::Data(data) => available.push(data),
+            ShardOutcome::Unavailable(reason) => missing.push((i, reason.as_str())),
+            ShardOutcome::Definitive(_) => {}
+        }
+    }
+    let n = outcomes.len();
+    if available.is_empty() {
+        let detail = missing
+            .first()
+            .map(|(_, reason)| (*reason).to_string())
+            .unwrap_or_default();
+        return Response::err(
+            ErrorCode::NoBackends,
+            format!("no backend could serve any shard: {detail}"),
+        )
+        .to_json_line();
+    }
+    if !missing.is_empty() && options.mode == Some(ExecMode::Strict) {
+        return Response::err(
+            ErrorCode::NoBackends,
+            format!(
+                "{} (strict mode forbids partial results)",
+                describe_missing(&missing, n)
+            ),
+        )
+        .to_json_line();
+    }
+    let template = available[0];
+    let order = if template.asc {
+        ScoreOrder::Ascending
+    } else {
+        ScoreOrder::Descending
+    };
+    // Concatenating the shard rows in shard order reproduces exactly the
+    // finite score list a single box feeds into top_k, so the merged
+    // ranking is byte-identical (ties and float formatting included).
+    let mut scores: Vec<(VertexId, f64)> = Vec::new();
+    let mut names: HashMap<u32, String> = HashMap::new();
+    let mut zero_visibility = 0usize;
+    for data in &available {
+        zero_visibility += data.zero_visibility;
+        for (v, name, score) in &data.rows {
+            scores.push((VertexId(*v), *score));
+            names.insert(*v, name.clone());
+        }
+    }
+    let scored = scores.len() + zero_visibility;
+    let ranked: Vec<RankedRow> = top_k(scores, template.top, order)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (v, score))| RankedRow {
+            rank: i + 1,
+            name: names
+                .get(&v.0)
+                .cloned()
+                .unwrap_or_else(|| format!("v{}", v.0)),
+            score,
+        })
+        .collect();
+    let degraded = if missing.is_empty() {
+        None
+    } else {
+        Some(DegradedInfo {
+            limit: describe_missing(&missing, n),
+            phase: "scatter-gather".to_string(),
+            scored,
+            total: template.candidates,
+        })
+    };
+    let body = ResultBody {
+        measure: template.measure.clone(),
+        candidates: template.candidates,
+        reference: template.reference,
+        ranked,
+        zero_visibility,
+        degraded,
+        exec_us: exec_started.elapsed().as_micros() as u64,
+    };
+    Response::Result(body).to_json_line()
+}
+
+fn describe_missing(missing: &[(usize, &str)], of: usize) -> String {
+    if missing.len() == 1 {
+        let (i, reason) = missing[0];
+        format!("shard {i}/{of} unavailable ({reason})")
+    } else {
+        let list: Vec<String> = missing.iter().map(|(i, _)| i.to_string()).collect();
+        format!("shards {}/{of} unavailable", list.join(","))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response classification
+// ---------------------------------------------------------------------------
+
+fn err_code(line: &str) -> Option<String> {
+    let value = parse_value(line).ok()?;
+    Some(value.get("err")?.get("code")?.as_str()?.to_string())
+}
+
+/// Whether a backend answer is worth re-routing to another replica.
+/// `busy` (admission control) and `Internal`/`Panic` (the request was
+/// killed by a fault, not by its own content) are; query, budget, and
+/// protocol errors are definitive and must be relayed.
+fn is_retryable(line: &str) -> bool {
+    match response_kind(line) {
+        Some("busy") => true,
+        Some("err") => matches!(err_code(line).as_deref(), Some("Internal" | "Panic")),
+        _ => false,
+    }
+}
+
+fn summarize(line: &str) -> String {
+    match response_kind(line) {
+        Some("busy") => "backend busy".to_string(),
+        Some("err") => format!(
+            "backend error {}",
+            err_code(line).unwrap_or_else(|| "?".to_string())
+        ),
+        other => format!("unexpected {} response", other.unwrap_or("?")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Non-sharded forwarding (EXPLAIN, SLEEP)
+// ---------------------------------------------------------------------------
+
+fn forward_with_failover(shared: &CoordShared, request: &Request) -> String {
+    let config = &shared.config;
+    let mut request = request.clone();
+    if request.id().is_none() {
+        // Inject an idempotency id so a mid-response drop can be retried
+        // on another backend without double execution.
+        let seq = shared.seq.fetch_add(1, Ordering::Relaxed);
+        let id = fault::mix(config.seed, seq, 0);
+        match &mut request {
+            Request::Query { options, .. } | Request::Explain { options, .. } => {
+                options.id = Some(id);
+            }
+            Request::Sleep { id: slot, .. } => *slot = Some(id),
+            _ => {}
+        }
+    }
+    let line = request.to_line();
+    let deadline = Instant::now() + config.default_deadline;
+    let n = shared.backends.len();
+    let mut order: Vec<usize> = (0..n).filter(|&i| shared.backends[i].is_up()).collect();
+    order.extend((0..n).filter(|&i| !shared.backends[i].is_up()));
+    let mut last = String::from("no backends configured");
+    for index in order {
+        let backend = &shared.backends[index];
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            last = "deadline exhausted".to_string();
+            break;
+        }
+        let connect = remaining.min(config.connect_timeout);
+        match fetch_line_with(backend.addr, &line, connect, remaining) {
+            Ok(response) if is_retryable(&response) => {
+                Counters::inc(&shared.counters.failovers);
+                last = format!("{}: {}", backend.addr, summarize(&response));
+            }
+            Ok(response) => {
+                backend.report_success();
+                return response;
+            }
+            Err(e) => {
+                backend.report_failure(config.down_after);
+                Counters::inc(&shared.counters.failovers);
+                last = format!("{}: {e}", backend.addr);
+            }
+        }
+    }
+    Response::err(
+        ErrorCode::NoBackends,
+        format!("no healthy backend to forward to ({last})"),
+    )
+    .to_json_line()
+}
+
+// ---------------------------------------------------------------------------
+// FAULTS routing (chaos drills)
+// ---------------------------------------------------------------------------
+
+fn route_faults(shared: &CoordShared, tokens: &[&str]) -> String {
+    let Some(raw_index) = tokens.get(1) else {
+        return Response::err(ErrorCode::Protocol, FAULTS_USAGE).to_json_line();
+    };
+    let Ok(index) = raw_index.parse::<usize>() else {
+        return Response::err(ErrorCode::Protocol, FAULTS_USAGE).to_json_line();
+    };
+    let Some(backend) = shared.backends.get(index) else {
+        return Response::err(
+            ErrorCode::Protocol,
+            format!(
+                "backend index {index} out of range (have {})",
+                shared.backends.len()
+            ),
+        )
+        .to_json_line();
+    };
+    let forward = if tokens.len() > 2 {
+        format!("FAULTS {}", tokens[2..].join(" "))
+    } else {
+        "FAULTS".to_string()
+    };
+    // Deliberately targets down backends too: installing or clearing a
+    // fault plan is explicit operator intent.
+    match fetch_line(backend.addr, &forward, &shared.config) {
+        Ok(response) => {
+            backend.report_success();
+            response
+        }
+        Err(e) => {
+            backend.report_failure(shared.config.down_after);
+            Response::err(
+                ErrorCode::Engine,
+                format!("backend {index} unreachable: {e}"),
+            )
+            .to_json_line()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregated STATS / METRICS
+// ---------------------------------------------------------------------------
+
+fn fetch_line_with(
+    addr: SocketAddr,
+    line: &str,
+    connect: Duration,
+    io_timeout: Duration,
+) -> io::Result<String> {
+    let mut client = Client::connect_timeout(&addr, connect)?;
+    client.set_io_timeouts(Some(io_timeout), Some(io_timeout))?;
+    client.send_line(line)
+}
+
+fn fetch_line(addr: SocketAddr, line: &str, config: &CoordinatorConfig) -> io::Result<String> {
+    let io_timeout = config.connect_timeout.max(Duration::from_millis(250));
+    fetch_line_with(addr, line, config.connect_timeout, io_timeout)
+}
+
+fn stats_line(shared: &CoordShared) -> String {
+    let aggregate = aggregate_backend_stats(shared);
+    #[derive(Serialize)]
+    struct StatsLine<'a> {
+        coordinator: CoordSnapshot,
+        aggregate: &'a BTreeMap<String, f64>,
+    }
+    let body = json::to_string(&StatsLine {
+        coordinator: shared.snapshot(),
+        aggregate: &aggregate,
+    })
+    .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+    format!("{{\"stats\":{body}}}")
+}
+
+fn aggregate_backend_stats(shared: &CoordShared) -> BTreeMap<String, f64> {
+    let mut sums = BTreeMap::new();
+    for backend in &shared.backends {
+        if !backend.is_up() {
+            continue;
+        }
+        let Ok(line) = fetch_line(backend.addr, "STATS", &shared.config) else {
+            backend.report_failure(shared.config.down_after);
+            continue;
+        };
+        let Ok(value) = parse_value(&line) else {
+            continue;
+        };
+        if let Some(stats) = value.get("stats") {
+            sum_numeric_leaves("", stats, &mut sums);
+        }
+    }
+    sums
+}
+
+/// Sum every numeric leaf of `value` into `sums` under its dotted path,
+/// so heterogeneous backend snapshots aggregate without a schema.
+fn sum_numeric_leaves(prefix: &str, value: &Value, sums: &mut BTreeMap<String, f64>) {
+    match value {
+        Value::Num(raw) => {
+            if let Ok(v) = raw.parse::<f64>() {
+                *sums.entry(prefix.to_string()).or_insert(0.0) += v;
+            }
+        }
+        Value::Obj(fields) => {
+            for (key, child) in fields {
+                let path = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                sum_numeric_leaves(&path, child, sums);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn metrics_json_line(shared: &CoordShared) -> String {
+    let body =
+        json::to_string(&shared.snapshot()).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+    format!("{{\"metrics\":{body}}}")
+}
+
+fn merged_metrics_text(shared: &CoordShared) -> String {
+    let mut sums: BTreeMap<String, f64> = BTreeMap::new();
+    let mut reporting = 0usize;
+    for backend in &shared.backends {
+        if !backend.is_up() {
+            continue;
+        }
+        match fetch_metrics_samples(backend.addr, &shared.config) {
+            Ok(samples) => {
+                reporting += 1;
+                backend.report_success();
+                for sample in samples {
+                    *sums.entry(sample_key(&sample)).or_insert(0.0) += sample.value;
+                }
+            }
+            Err(_) => backend.report_failure(shared.config.down_after),
+        }
+    }
+    let snapshot = shared.snapshot();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# coordinator aggregate over {reporting} reporting backend(s)\n"
+    ));
+    for (key, value) in &sums {
+        out.push_str(&format!("{key} {value}\n"));
+    }
+    let up = snapshot.backends.iter().filter(|b| b.up).count();
+    for (name, value) in [
+        ("hin_coord_requests_total", snapshot.requests as f64),
+        ("hin_coord_completed_total", snapshot.completed as f64),
+        ("hin_coord_errors_total", snapshot.errors as f64),
+        ("hin_coord_degraded_total", snapshot.degraded as f64),
+        ("hin_coord_deduped_total", snapshot.deduped as f64),
+        ("hin_coord_failovers_total", snapshot.failovers as f64),
+        ("hin_coord_hedges_total", snapshot.hedges as f64),
+        ("hin_coord_no_backends_total", snapshot.no_backends as f64),
+        ("hin_coord_backends_up", up as f64),
+        ("hin_coord_backends_total", snapshot.backends.len() as f64),
+    ] {
+        out.push_str(&format!("{name} {value}\n"));
+    }
+    out
+}
+
+fn fetch_metrics_samples(addr: SocketAddr, config: &CoordinatorConfig) -> io::Result<Vec<Sample>> {
+    let mut client = Client::connect_timeout(&addr, config.connect_timeout)?;
+    let io_timeout = config.connect_timeout.max(Duration::from_millis(250));
+    client.set_io_timeouts(Some(io_timeout), Some(io_timeout))?;
+    client.send_no_wait("METRICS")?;
+    let block = client.read_text_block()?;
+    hin_telemetry::parse_exposition(&block)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// The aggregation key of one exposition sample: `name` or
+/// `name{k="v",...}` with label values re-escaped.
+fn sample_key(sample: &Sample) -> String {
+    if sample.labels.is_empty() {
+        return sample.name.clone();
+    }
+    let mut key = format!("{}{{", sample.name);
+    for (i, (k, v)) in sample.labels.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        key.push_str(k);
+        key.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => key.push_str("\\\\"),
+                '"' => key.push_str("\\\""),
+                c => key.push(c),
+            }
+        }
+        key.push('"');
+    }
+    key.push('}');
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerConfig};
+    use crate::stats::StatsSnapshot;
+    use hin_datagen::toy;
+    use netout::OutlierDetector;
+
+    const QTEXT: &str =
+        "FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author JUDGED BY author.paper.venue;";
+
+    fn spawn_backend() -> (SocketAddr, std::thread::JoinHandle<StatsSnapshot>) {
+        let detector = OutlierDetector::new(toy::figure1_network()).with_vector_cache(256);
+        let server = Server::bind(
+            detector,
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 2,
+                queue_cap: 8,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind backend");
+        let addr = server.local_addr();
+        (addr, std::thread::spawn(move || server.run()))
+    }
+
+    fn test_config() -> CoordinatorConfig {
+        CoordinatorConfig {
+            heartbeat_interval: Duration::from_millis(50),
+            hedge_after: Duration::from_millis(200),
+            connect_timeout: Duration::from_millis(200),
+            default_deadline: Duration::from_secs(5),
+            ..CoordinatorConfig::default()
+        }
+    }
+
+    fn spawn_coordinator(
+        backends: Vec<SocketAddr>,
+        config: CoordinatorConfig,
+    ) -> (SocketAddr, std::thread::JoinHandle<CoordSnapshot>) {
+        let coordinator =
+            Coordinator::bind(backends, "127.0.0.1:0", config).expect("bind coordinator");
+        let addr = coordinator.local_addr();
+        (addr, std::thread::spawn(move || coordinator.run()))
+    }
+
+    fn send_lines(addr: SocketAddr, lines: &[&str]) -> Vec<String> {
+        let mut client = Client::connect(addr).expect("connect");
+        lines
+            .iter()
+            .map(|l| client.send_line(l).expect("request"))
+            .collect()
+    }
+
+    fn strip_exec_us(line: &str) -> String {
+        let Some(start) = line.find("\"exec_us\":") else {
+            return line.to_string();
+        };
+        let rest = &line[start..];
+        let end = rest
+            .find([',', '}'])
+            .map(|i| start + i)
+            .unwrap_or(line.len());
+        format!("{}\"exec_us\":0{}", &line[..start], &line[end..])
+    }
+
+    #[test]
+    fn replica_order_is_healthy_first_and_cycles() {
+        assert_eq!(
+            replica_order(&[true, false, true], 1, 2, 4),
+            vec![2, 1, 2, 1]
+        );
+        assert_eq!(replica_order(&[true, true], 0, 2, 3), vec![0, 1, 0]);
+        assert_eq!(replica_order(&[false, false], 1, 2, 2), vec![1, 0]);
+        assert_eq!(replica_order(&[true], 5, 3, 2), vec![0, 0]);
+        assert!(replica_order(&[], 0, 2, 3).is_empty());
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(is_retryable(r#"{"busy":{"queue_depth":4,"queue_cap":4}}"#));
+        assert!(is_retryable(
+            r#"{"err":{"code":"Internal","message":"worker dropped the request"}}"#
+        ));
+        assert!(is_retryable(r#"{"err":{"code":"Panic","message":"boom"}}"#));
+        assert!(!is_retryable(r#"{"err":{"code":"Query","message":"bad"}}"#));
+        assert!(!is_retryable(
+            r#"{"err":{"code":"Budget","message":"deadline"}}"#
+        ));
+        assert!(!is_retryable(r#"{"result":{"measure":"NetOut"}}"#));
+        assert!(!is_retryable("garbage"));
+    }
+
+    #[test]
+    fn shard_body_parsing_rejects_mismatch_and_garbage() {
+        let good = r#"{"shard":{"measure":"NetOut","asc":false,"top":null,"shard":1,"of":2,"candidates":5,"reference":3,"zero_visibility":1,"rows":[{"v":7,"name":"Emma","score":3.33}],"exec_us":12}}"#;
+        let data = parse_shard_body(good, 1, 2).expect("parse");
+        assert_eq!(data.measure, "NetOut");
+        assert!(!data.asc);
+        assert_eq!(data.top, None);
+        assert_eq!(data.candidates, 5);
+        assert_eq!(data.zero_visibility, 1);
+        assert_eq!(data.rows, vec![(7, "Emma".to_string(), 3.33)]);
+        assert!(parse_shard_body(good, 0, 2)
+            .expect_err("echo mismatch")
+            .contains("mismatch"));
+        assert!(parse_shard_body(r#"{"result":{}}"#, 0, 2).is_err());
+        assert!(parse_shard_body("not json", 0, 2).is_err());
+    }
+
+    #[test]
+    fn coordinator_matches_single_box_and_aggregates() {
+        let (b0, h0) = spawn_backend();
+        let (b1, h1) = spawn_backend();
+        let (coord, hc) = spawn_coordinator(vec![b0, b1], test_config());
+
+        let query = format!("QUERY {QTEXT}");
+        let direct = send_lines(b0, &[&query]);
+        let explain = format!("EXPLAIN {QTEXT}");
+        let via = send_lines(
+            coord,
+            &[
+                "PING",
+                &query,
+                "STATS",
+                "METRICS JSON",
+                &explain,
+                "FAULTS",
+                "FAULTS 7",
+                "FAULTS 1",
+            ],
+        );
+        assert!(via[0].starts_with(r#"{"pong""#), "{}", via[0]);
+        assert_eq!(
+            strip_exec_us(&via[1]),
+            strip_exec_us(&direct[0]),
+            "coordinator merge must be byte-identical to a single box"
+        );
+        assert!(
+            via[2].contains(r#""coordinator""#) && via[2].contains(r#""aggregate""#),
+            "{}",
+            via[2]
+        );
+        assert!(via[3].starts_with(r#"{"metrics""#), "{}", via[3]);
+        assert!(via[4].starts_with(r#"{"explain""#), "{}", via[4]);
+        assert!(via[5].contains(r#""code":"Protocol""#), "{}", via[5]);
+        assert!(via[6].contains("out of range"), "{}", via[6]);
+        assert!(via[7].starts_with(r#"{"faults""#), "{}", via[7]);
+
+        let mut mclient = Client::connect(coord).expect("connect metrics");
+        mclient.send_no_wait("METRICS").expect("send metrics");
+        let block = mclient.read_text_block().expect("metrics block");
+        assert!(block.starts_with("# coordinator aggregate"), "{block}");
+        assert!(block.contains("hin_coord_requests_total"), "{block}");
+        assert!(block.contains("hin_coord_backends_total 2"), "{block}");
+
+        send_lines(coord, &["SHUTDOWN"]);
+        let snapshot = hc.join().expect("coordinator");
+        assert!(snapshot.completed >= 4, "{snapshot:?}");
+        send_lines(b0, &["SHUTDOWN"]);
+        send_lines(b1, &["SHUTDOWN"]);
+        h0.join().expect("backend 0");
+        h1.join().expect("backend 1");
+    }
+
+    #[test]
+    fn degraded_and_no_backends_paths() {
+        let (b0, h0) = spawn_backend();
+        let dead: SocketAddr = "127.0.0.1:1".parse().expect("addr");
+        let config = CoordinatorConfig {
+            replicas: 1, // shard 1 maps only to the dead backend
+            attempts: 2,
+            down_after: 1,
+            ..test_config()
+        };
+        let (coord, hc) = spawn_coordinator(vec![b0, dead], config);
+        let query = format!("QUERY {QTEXT}");
+        let strict = format!("QUERY mode=strict {QTEXT}");
+        let responses = send_lines(coord, &[&query, &strict]);
+        assert!(responses[0].starts_with(r#"{"result""#), "{}", responses[0]);
+        assert!(responses[0].contains(r#""degraded":{"#), "{}", responses[0]);
+        assert!(responses[0].contains("shard 1/2"), "{}", responses[0]);
+        assert!(
+            responses[1].contains(r#""code":"NoBackends""#),
+            "{}",
+            responses[1]
+        );
+
+        // Every backend dead: NoBackends, but inline verbs still answer.
+        let (coord2, hc2) = spawn_coordinator(
+            vec![dead],
+            CoordinatorConfig {
+                attempts: 1,
+                down_after: 1,
+                ..test_config()
+            },
+        );
+        let responses2 = send_lines(coord2, &["PING", &query]);
+        assert!(responses2[0].starts_with(r#"{"pong""#), "{}", responses2[0]);
+        assert!(
+            responses2[1].contains(r#""code":"NoBackends""#),
+            "{}",
+            responses2[1]
+        );
+        send_lines(coord2, &["SHUTDOWN"]);
+        hc2.join().expect("coordinator 2");
+
+        send_lines(coord, &["SHUTDOWN"]);
+        let snapshot = hc.join().expect("coordinator");
+        assert!(snapshot.degraded >= 1, "{snapshot:?}");
+        send_lines(b0, &["SHUTDOWN"]);
+        h0.join().expect("backend");
+    }
+}

@@ -379,6 +379,300 @@ impl ser::SerializeStructVariant for Compound<'_> {
     }
 }
 
+/// A parsed JSON value, as read by the coordinator from backend response
+/// lines. Numbers keep their raw source text ([`Value::Num`]) instead of
+/// eagerly converting: `u64` ids above 2^53 and shortest-round-trip floats
+/// both survive a parse → re-serialize cycle bit-for-bit, which the
+/// coordinator's byte-identical merge discipline depends on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its raw source text (e.g. `"3.33"`, `"-1e-9"`).
+    Num(String),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order preserved (JSON objects on this wire
+    /// have no duplicate keys).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup; `None` for non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integer in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `usize`, if this is a non-negative integer in range.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64` (exact for shortest-round-trip output).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Nesting cap for [`parse_value`]: backend responses are a few levels
+/// deep, so anything deeper is garbage, not data — and bounding recursion
+/// keeps a malformed line from overflowing the stack.
+const MAX_PARSE_DEPTH: usize = 128;
+
+/// Parse one complete JSON value from `text` (surrounding whitespace
+/// allowed, trailing data rejected). Never panics: malformed input is an
+/// `Err` with a byte offset.
+pub fn parse_value(text: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        text,
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn eat(&mut self, token: &str) -> Result<(), String> {
+        if self.text[self.pos..].starts_with(token) {
+            self.pos += token.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {token:?}")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, String> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.bytes.get(self.pos) {
+            Some(b'n') => self.eat("null").map(|()| Value::Null),
+            Some(b't') => self.eat("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let digits_from = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        if self.pos == digits_from {
+            return Err(self.err("expected digits"));
+        }
+        let raw = &self.text[start..self.pos];
+        // Validate by parsing once; the raw text is what we keep.
+        raw.parse::<f64>()
+            .map_err(|_| format!("bad number {raw:?} at byte {start}"))?;
+        Ok(Value::Num(raw.to_string()))
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, String> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, String> {
+        self.pos += 1; // consume '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(":")?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat("\"")?;
+        let mut out = String::new();
+        loop {
+            let rest = &self.text[self.pos..];
+            let mut chars = rest.char_indices();
+            let (_, c) = chars
+                .next()
+                .ok_or_else(|| self.err("unterminated string"))?;
+            match c {
+                '"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                '\\' => {
+                    self.pos += 1;
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: require a \uXXXX low half.
+                                self.eat("\\u")?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("bad low surrogate"));
+                                }
+                                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(cp)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| self.err("bad \\u escape"))?);
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                c if (c as u32) < 0x20 => {
+                    return Err(self.err("raw control character in string"));
+                }
+                c => {
+                    self.pos += c.len_utf8();
+                    out.push(c);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self
+            .text
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("non-hex \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -448,6 +742,102 @@ mod tests {
         let mut m = BTreeMap::new();
         m.insert(3u32, "x");
         assert!(to_string(&m).is_err());
+    }
+
+    #[test]
+    fn parses_scalars_arrays_and_objects() {
+        assert_eq!(parse_value("null").unwrap(), Value::Null);
+        assert_eq!(parse_value(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse_value("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse_value("-12").unwrap(), Value::Num("-12".into()));
+        assert_eq!(
+            parse_value(r#""a\"b\\c\nAé""#).unwrap(),
+            Value::Str("a\"b\\c\nAé".into())
+        );
+        assert_eq!(
+            parse_value("[1, 2,[3]]").unwrap(),
+            Value::Arr(vec![
+                Value::Num("1".into()),
+                Value::Num("2".into()),
+                Value::Arr(vec![Value::Num("3".into())]),
+            ])
+        );
+        let v = parse_value(r#"{"a": 1, "b": {"c": "x"}, "d": null}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("c")).and_then(Value::as_str),
+            Some("x")
+        );
+        assert!(v.get("d").is_some_and(Value::is_null));
+        assert!(v.get("missing").is_none());
+        assert_eq!(parse_value("{}").unwrap(), Value::Obj(Vec::new()));
+        assert_eq!(parse_value("[]").unwrap(), Value::Arr(Vec::new()));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(
+            parse_value("\"\\ud83d\\ude00\"").unwrap(),
+            Value::Str("😀".into()),
+            "escaped pair"
+        );
+        assert_eq!(
+            parse_value(r#""😀""#).unwrap(),
+            Value::Str("😀".into()),
+            "raw UTF-8"
+        );
+        assert_eq!(
+            parse_value("\"\\u00e9\"").unwrap(),
+            Value::Str("é".into()),
+            "BMP escape"
+        );
+        assert!(parse_value(r#""\ud83d""#).is_err(), "lone high surrogate");
+        assert!(parse_value(r#""\ud83dA""#).is_err(), "bad low half");
+    }
+
+    #[test]
+    fn malformed_inputs_are_errors_not_panics() {
+        for text in [
+            "",
+            "   ",
+            "{",
+            "}",
+            "[1,",
+            "[1 2]",
+            r#"{"a" 1}"#,
+            r#"{"a":}"#,
+            r#"{"a":1,}"#,
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\"ctl \u{1} raw\"",
+            "nul",
+            "tru",
+            "01x",
+            "-",
+            "1 2",
+            "1.2.3",
+            "\"tail\" 1",
+            &format!("{}1{}", "[".repeat(200), "]".repeat(200)),
+        ] {
+            assert!(parse_value(text).is_err(), "input {text:?} parsed");
+        }
+    }
+
+    /// The property the coordinator's merge depends on: a float serialized
+    /// by this module, parsed back, and re-serialized is bit-identical.
+    #[test]
+    fn float_bits_survive_parse_round_trip() {
+        for &f in &[0.1 + 0.2, 3.33, -1.0e-9, f64::MAX, 5.0, 1.0 / 3.0] {
+            let wire = to_string(&f).unwrap();
+            let back = parse_value(&wire).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "wire {wire}");
+            assert_eq!(to_string(&back).unwrap(), wire);
+        }
+        // u64 ids above 2^53 survive via the raw-text representation.
+        let wire = to_string(&u64::MAX).unwrap();
+        let v = parse_value(&wire).unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        assert_eq!(v, Value::Num(wire));
     }
 
     /// The `FAULTS` status body round-trips through the serializer: nested

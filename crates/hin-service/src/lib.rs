@@ -53,6 +53,15 @@
 //!   state, listed and fetched via the `TRACE` verb;
 //! * worker lifecycle and fault events emit structured logfmt lines
 //!   (`hin_telemetry::logfmt!`) on stderr.
+//!
+//! Scale-out serving (DESIGN.md §13):
+//!
+//! * [`coordinator::Coordinator`] — a scatter-gather front-end speaking the
+//!   same protocol: each `QUERY` fans out to N backends by candidate-set
+//!   sharding (`shard=i/n`), with per-shard deadline carving, bounded-retry
+//!   failover, hedged requests, a heartbeat-driven backend health registry,
+//!   and degraded partial results when a shard stays unrecoverable — while
+//!   merged rankings stay byte-identical to a single-box run.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -62,6 +71,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod client;
+pub mod coordinator;
 pub mod fault;
 pub mod json;
 pub mod protocol;
@@ -69,12 +79,13 @@ pub mod server;
 pub mod stats;
 pub mod supervisor;
 
-pub use client::{Client, LoadReport, LoadSpec, RetryClient, RetryPolicy};
+pub use client::{CancelHandle, Client, LoadReport, LoadSpec, RetryClient, RetryPolicy};
+pub use coordinator::{BackendStatus, CoordSnapshot, Coordinator, CoordinatorConfig};
 pub use fault::{DedupCache, FaultCounts, FaultKind, FaultPlan, FaultState, XorShift64};
 pub use protocol::{
     ExecMode, FaultCommand, FaultsBody, Request, RequestOptions, Response, TraceBody,
     TraceListEntry,
 };
-pub use server::{Server, ServerConfig};
+pub use server::{bind_listener_retry, write_addr_file, Server, ServerConfig};
 pub use stats::{ServerStats, StatsSnapshot};
 pub use supervisor::{SupervisorConfig, WorkerSlot};

@@ -12,7 +12,8 @@
 //!             | ("QUERY" | "EXPLAIN") (SP option)* SP oql-text
 //! option     := key "=" value    ; keys: timeout-ms, max-candidates,
 //!                                ;       max-nnz, mode (strict|best-effort),
-//!                                ;       id (u64 idempotency key)
+//!                                ;       id (u64 idempotency key),
+//!                                ;       shard (i/n candidate-range shard)
 //! oql-text   := the EDBT 2015 outlier query, ending with ";"
 //! fault-spec := see [`crate::fault::FaultPlan`]
 //! ```
@@ -67,6 +68,11 @@ pub struct RequestOptions {
     /// `id=N` — client-chosen idempotency key. Responses are cached under
     /// the id and replayed byte-identically on retry.
     pub id: Option<u64>,
+    /// `shard=i/n` — score only the i-th of n contiguous candidate ranges
+    /// and answer with a `shard` response (raw scored rows, no top-k).
+    /// Sent by the scatter-gather coordinator; `i < n` is enforced at
+    /// parse time.
+    pub shard: Option<(usize, usize)>,
 }
 
 impl RequestOptions {
@@ -223,6 +229,7 @@ impl Request {
                     || options.max_candidates.is_some()
                     || options.max_nnz.is_some()
                     || options.mode.is_some()
+                    || options.shard.is_some()
                 {
                     return Err(parse_err("SLEEP accepts only the id= option"));
                 }
@@ -300,6 +307,9 @@ impl Request {
             if let Some(id) = options.id {
                 s.push_str(&format!("id={id} "));
             }
+            if let Some((i, n)) = options.shard {
+                s.push_str(&format!("shard={i}/{n} "));
+            }
             s
         }
         match self {
@@ -373,6 +383,16 @@ fn parse_options(rest: &str) -> Result<(RequestOptions, &str), ParseError> {
             "id" => {
                 options.id = Some(parse_num(key, value)?);
             }
+            "shard" => {
+                let bad = || parse_err(format!("shard must be i/n with i < n, got {value:?}"));
+                let (i_text, n_text) = value.split_once('/').ok_or_else(bad)?;
+                let i: usize = i_text.parse().map_err(|_| bad())?;
+                let n: usize = n_text.parse().map_err(|_| bad())?;
+                if i >= n {
+                    return Err(bad());
+                }
+                options.shard = Some((i, n));
+            }
             "mode" => {
                 options.mode = Some(match value {
                     "strict" => ExecMode::Strict,
@@ -386,7 +406,7 @@ fn parse_options(rest: &str) -> Result<(RequestOptions, &str), ParseError> {
             }
             other => {
                 return Err(parse_err(format!(
-                    "unknown option {other:?} (timeout-ms|max-candidates|max-nnz|mode|id)"
+                    "unknown option {other:?} (timeout-ms|max-candidates|max-nnz|mode|id|shard)"
                 )))
             }
         }
@@ -417,6 +437,9 @@ pub enum ErrorCode {
     Panic,
     /// A server-side invariant broke (bug); the request failed.
     Internal,
+    /// The coordinator has no healthy backend left for any shard; the
+    /// request cannot make progress until a backend recovers.
+    NoBackends,
 }
 
 /// One ranked outlier row in a `result` response.
@@ -498,6 +521,77 @@ impl ResultBody {
     }
 }
 
+/// One scored candidate in a `shard` response: the raw combined score of
+/// one vertex, before the coordinator's global top-k.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ShardRow {
+    /// Vertex id (stable across backends serving the same graph).
+    pub v: u64,
+    /// Vertex display name.
+    pub name: String,
+    /// Combined outlierness score (finite by construction).
+    pub score: f64,
+}
+
+/// A `shard` response: one backend's slice of a scatter-gather query.
+/// Rows are in candidate-set order and un-truncated so the coordinator's
+/// concatenate-then-`top_k` merge is byte-identical to a single-box run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ShardBody {
+    /// The measure that produced the scores (`"NetOut"`, …).
+    pub measure: String,
+    /// Whether lower scores are more outlying (ascending order).
+    pub asc: bool,
+    /// The query's TOP k, when present (the coordinator re-applies it).
+    pub top: Option<usize>,
+    /// This shard's index (0-based).
+    pub shard: usize,
+    /// The total shard count the candidate range was split into.
+    pub of: usize,
+    /// Whole-query candidate-set cardinality (not just this slice).
+    pub candidates: usize,
+    /// Whole-query reference-set cardinality.
+    pub reference: usize,
+    /// Candidates in this slice with undefined scores, count only.
+    pub zero_visibility: usize,
+    /// Scored rows for this slice, candidate order, no top-k applied.
+    pub rows: Vec<ShardRow>,
+    /// Server-side execution time in microseconds (queue wait excluded).
+    pub exec_us: u64,
+}
+
+impl ShardBody {
+    /// Build from an engine [`netout::ShardScores`]; `shard`/`of` echo the
+    /// request's `shard=i/n` option.
+    pub fn from_shard_scores(
+        s: &netout::ShardScores,
+        shard: usize,
+        of: usize,
+        exec: Duration,
+    ) -> ShardBody {
+        ShardBody {
+            measure: s.measure.to_string(),
+            asc: matches!(s.order, netout::ScoreOrder::Ascending),
+            top: s.top,
+            shard,
+            of,
+            candidates: s.candidate_count,
+            reference: s.reference_count,
+            zero_visibility: s.zero_visibility,
+            rows: s
+                .rows
+                .iter()
+                .map(|o| ShardRow {
+                    v: o.vertex.0 as u64,
+                    name: o.name.clone(),
+                    score: o.score,
+                })
+                .collect(),
+            exec_us: exec.as_micros() as u64,
+        }
+    }
+}
+
 /// An `err` response body.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ErrBody {
@@ -569,6 +663,10 @@ pub enum Response {
     /// Successful query execution (possibly degraded).
     #[serde(rename = "result")]
     Result(ResultBody),
+    /// Successful shard execution (`shard=i/n` option): raw scored rows
+    /// for one candidate slice, merged by the coordinator.
+    #[serde(rename = "shard")]
+    Shard(ShardBody),
     /// Successful EXPLAIN; the rendered plan.
     #[serde(rename = "explain")]
     Explain {
@@ -659,6 +757,7 @@ impl Response {
     pub fn kind(&self) -> &'static str {
         match self {
             Response::Result(_) => "result",
+            Response::Shard(_) => "shard",
             Response::Explain { .. } => "explain",
             Response::Pong { .. } => "pong",
             Response::Stats(_) => "stats",
@@ -762,6 +861,19 @@ mod tests {
     }
 
     #[test]
+    fn shard_option_parses_and_round_trips() {
+        let r = Request::parse("QUERY shard=1/4 FIND OUTLIERS FROM a.b JUDGED BY a.b;").unwrap();
+        match &r {
+            Request::Query { options, text } => {
+                assert_eq!(options.shard, Some((1, 4)));
+                assert_eq!(text, "FIND OUTLIERS FROM a.b JUDGED BY a.b;");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(Request::parse(&r.to_line()).unwrap(), r);
+    }
+
+    #[test]
     fn query_text_with_equals_sign_preserved() {
         // Options stop at the first non-option token; '=' later in the text
         // is query content. (OQL has no '=' today, but the framing must not
@@ -795,6 +907,10 @@ mod tests {
             "QUERY timeout-ms=abc FIND;",
             "QUERY frobs=1 FIND;",
             "QUERY mode=later FIND;",
+            "QUERY shard=3 FIND;",
+            "QUERY shard=3/3 FIND;",
+            "QUERY shard=a/b FIND;",
+            "SLEEP shard=0/2 10",
             "EXPLAIN   ",
         ] {
             assert!(Request::parse(line).is_err(), "line {line:?} parsed");
@@ -828,6 +944,7 @@ mod tests {
                     max_nnz: Some(1000),
                     mode: Some(ExecMode::BestEffort),
                     id: Some(77),
+                    shard: Some((2, 5)),
                 },
                 text: "FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author JUDGED BY a.p.v;"
                     .to_string(),
@@ -851,6 +968,7 @@ mod tests {
             max_nnz: None,
             mode: None,
             id: None,
+            shard: None,
         };
         let b = opts.budget_over(&default);
         assert_eq!(b.timeout, Some(Duration::from_millis(100)));
@@ -898,6 +1016,38 @@ mod tests {
             injected: FaultCounts::default(),
         });
         assert!(off.to_json_line().contains(r#""spec":null"#));
+    }
+
+    #[test]
+    fn shard_response_serializes_with_stable_tag() {
+        let r = Response::Shard(ShardBody {
+            measure: "NetOut".to_string(),
+            asc: false,
+            top: Some(5),
+            shard: 1,
+            of: 3,
+            candidates: 10,
+            reference: 4,
+            zero_visibility: 1,
+            rows: vec![ShardRow {
+                v: 7,
+                name: "Emma".to_string(),
+                score: 3.33,
+            }],
+            exec_us: 12,
+        });
+        let line = r.to_json_line();
+        assert!(
+            line.starts_with(
+                r#"{"shard":{"measure":"NetOut","asc":false,"top":5,"shard":1,"of":3"#
+            ),
+            "{line}"
+        );
+        assert!(
+            line.contains(r#""rows":[{"v":7,"name":"Emma","score":3.33}]"#),
+            "{line}"
+        );
+        assert_eq!(r.kind(), "shard");
     }
 
     #[test]

@@ -42,7 +42,7 @@
 use crate::fault::{DedupCache, FaultKind, FaultPlan, FaultState};
 use crate::protocol::{
     BusyBody, ErrorCode, ExecMode, FaultCommand, FaultsBody, Request, RequestOptions, Response,
-    ResultBody, TraceBody, TraceListEntry, MAX_LINE_BYTES,
+    ResultBody, ShardBody, TraceBody, TraceListEntry, MAX_LINE_BYTES,
 };
 use crate::stats::{CacheSnapshot, ServerStats, StatsSnapshot};
 use crate::supervisor::{self, SupervisorConfig, WorkerSlot};
@@ -308,20 +308,7 @@ impl Server {
         attempts: usize,
         initial_backoff: Duration,
     ) -> std::io::Result<Server> {
-        let attempts = attempts.max(1);
-        let mut backoff = initial_backoff.max(Duration::from_millis(1));
-        let mut attempt = 0;
-        let listener = loop {
-            match TcpListener::bind(&addr) {
-                Ok(listener) => break listener,
-                Err(e) if e.kind() == ErrorKind::AddrInUse && attempt + 1 < attempts => {
-                    attempt += 1;
-                    std::thread::sleep(backoff);
-                    backoff = (backoff * 2).min(Duration::from_secs(2));
-                }
-                Err(e) => return Err(e),
-            }
-        };
+        let listener = bind_listener_retry(addr, attempts, initial_backoff)?;
         Server::from_listener(detector, listener, config)
     }
 
@@ -482,6 +469,43 @@ impl Server {
     }
 }
 
+/// Bind `addr`, retrying `AddrInUse` up to `attempts` times with doubling
+/// backoff (starting at `initial_backoff`, capped at 2 s). A restarting
+/// process often races its predecessor's socket still in `TIME_WAIT`;
+/// retrying with backoff rides that out. Other bind errors (permission,
+/// bad address) fail immediately. Shared by [`Server::bind_retry`] and the
+/// coordinator's front-end listener.
+pub fn bind_listener_retry(
+    addr: impl ToSocketAddrs,
+    attempts: usize,
+    initial_backoff: Duration,
+) -> std::io::Result<TcpListener> {
+    let attempts = attempts.max(1);
+    let mut backoff = initial_backoff.max(Duration::from_millis(1));
+    let mut attempt = 0;
+    loop {
+        match TcpListener::bind(&addr) {
+            Ok(listener) => return Ok(listener),
+            Err(e) if e.kind() == ErrorKind::AddrInUse && attempt + 1 < attempts => {
+                attempt += 1;
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_secs(2));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Atomically publish a bound address for scripts and tests binding port 0:
+/// write `addr` to a temp file next to `path`, then rename it into place,
+/// so a polling reader never observes a half-written file. Shared by the
+/// `serve` and `coordinate` CLI verbs.
+pub fn write_addr_file(path: &str, addr: SocketAddr) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    std::fs::write(&tmp, addr.to_string())?;
+    std::fs::rename(&tmp, path)
+}
+
 /// The worker loop: execute jobs until the channel closes.
 ///
 /// Liveness protocol with the supervisor: the loop heartbeats its
@@ -626,6 +650,38 @@ fn execute_request(
         }
         Request::Query { options, text } => {
             let exec_started = Instant::now();
+            // Shard sub-request (`shard=i/n`, sent by the coordinator):
+            // score one contiguous candidate slice strictly and answer with
+            // the raw rows — the coordinator's concatenate-then-top_k merge
+            // reproduces the single-box ranking bit for bit, so the `mode`
+            // option is ignored here (degradation is the coordinator's job).
+            if let Some((index, count)) = options.shard {
+                return match run_shard(shared, options, text, cancel, fault, index, count) {
+                    Ok(scores) => {
+                        shared.stats.record_breakdown(&scores.stats);
+                        shared.stats.inc(&shared.stats.completed);
+                        Response::Shard(ShardBody::from_shard_scores(
+                            &scores,
+                            index,
+                            count,
+                            exec_started.elapsed(),
+                        ))
+                    }
+                    Err(e) => {
+                        if matches!(
+                            e,
+                            EngineError::BudgetExceeded {
+                                limit: BudgetLimit::Cancelled,
+                                ..
+                            }
+                        ) {
+                            shared.stats.inc(&shared.stats.cancelled);
+                        }
+                        shared.stats.inc(&shared.stats.errors);
+                        Response::from_engine_error(&e)
+                    }
+                };
+            }
             let outcome = run_query(shared, options, text, cancel, fault);
             match outcome {
                 Ok(result) => {
@@ -711,9 +767,35 @@ fn run_query(
     }
 }
 
+/// Score one candidate shard (`shard=i/n`) with the per-request budget;
+/// strict semantics, no top-k — see [`netout::QueryEngine::execute_shard`].
+fn run_shard(
+    shared: &Shared,
+    options: &RequestOptions,
+    text: &str,
+    cancel: &CancelToken,
+    fault: Option<FaultKind>,
+    index: usize,
+    count: usize,
+) -> Result<netout::ShardScores, EngineError> {
+    let bound = hin_query::validate::parse_and_bind(text, shared.detector.graph().schema())?;
+    let mut budget = options
+        .budget_over(shared.detector.current_budget())
+        .with_cancel_token(cancel.clone());
+    if fault == Some(FaultKind::AllocCap) {
+        budget = budget.with_max_nnz(0);
+    }
+    shared
+        .detector
+        .engine()
+        .budget(budget)
+        .threads(shared.config.threads_per_query)
+        .execute_shard(&bound, index, count)
+}
+
 /// Buffered line framing over a [`TcpStream`] with timeout-based polling,
 /// a line-length cap, and liveness probing.
-struct LineReader {
+pub(crate) struct LineReader {
     stream: TcpStream,
     buf: Vec<u8>,
     /// Set while skipping the remainder of an over-long line.
@@ -721,7 +803,7 @@ struct LineReader {
     eof: bool,
 }
 
-enum LineEvent {
+pub(crate) enum LineEvent {
     /// A complete request line (without the newline).
     Line(String),
     /// A complete line that was not valid UTF-8 or exceeded the cap —
@@ -734,7 +816,7 @@ enum LineEvent {
 }
 
 impl LineReader {
-    fn new(stream: TcpStream) -> LineReader {
+    pub(crate) fn new(stream: TcpStream) -> LineReader {
         LineReader {
             stream,
             buf: Vec::new(),
@@ -814,7 +896,11 @@ impl LineReader {
 
     /// Block until the next line, EOF, or shutdown, polling at
     /// `poll_interval`.
-    fn next_line(&mut self, shutdown: &AtomicBool, poll_interval: Duration) -> LineEvent {
+    pub(crate) fn next_line(
+        &mut self,
+        shutdown: &AtomicBool,
+        poll_interval: Duration,
+    ) -> LineEvent {
         loop {
             if let Some(event) = self.take_buffered_line() {
                 return event;
@@ -830,7 +916,7 @@ impl LineReader {
 
     /// Probe whether the client is still connected, consuming any pipelined
     /// bytes into the buffer. Used while a job is queued or executing.
-    fn still_connected(&mut self) -> bool {
+    pub(crate) fn still_connected(&mut self) -> bool {
         if self.eof {
             return false;
         }
@@ -838,21 +924,21 @@ impl LineReader {
     }
 
     /// Write one pre-serialized response line (newline appended).
-    fn write_line(&mut self, line: &str) -> bool {
+    pub(crate) fn write_line(&mut self, line: &str) -> bool {
         let mut framed = String::with_capacity(line.len() + 1);
         framed.push_str(line);
         framed.push('\n');
         self.stream.write_all(framed.as_bytes()).is_ok() && self.stream.flush().is_ok()
     }
 
-    fn write_response(&mut self, response: &Response) -> bool {
+    pub(crate) fn write_response(&mut self, response: &Response) -> bool {
         self.write_line(&response.to_json_line())
     }
 
     /// Write a multi-line text block (each line already `\n`-terminated)
     /// followed by one blank line marking its end. Used by the `METRICS`
     /// text form — the single non-JSON response in the protocol.
-    fn write_text_block(&mut self, text: &str) -> bool {
+    pub(crate) fn write_text_block(&mut self, text: &str) -> bool {
         let mut framed = String::with_capacity(text.len() + 2);
         framed.push_str(text);
         if !framed.ends_with('\n') {
@@ -1400,6 +1486,59 @@ mod tests {
             );
         }
         send_lines(addr, &["SHUTDOWN"]);
+        handle.join().expect("server thread");
+    }
+
+    #[test]
+    fn shard_option_returns_raw_rows_covering_the_candidate_set() {
+        use crate::json::{parse_value, Value};
+        let (addr, handle) = toy_server(ServerConfig {
+            workers: 2,
+            queue_cap: 8,
+            ..ServerConfig::default()
+        });
+        let q = "FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author JUDGED BY author.paper.venue;";
+        let responses = send_lines(
+            addr,
+            &[
+                &format!("QUERY shard=0/2 {q}"),
+                &format!("QUERY shard=1/2 {q}"),
+                &format!("QUERY shard=0/9 mode=best-effort {q}"), // mode ignored
+                "SHUTDOWN",
+            ],
+        );
+        let bodies: Vec<Value> = responses[..3]
+            .iter()
+            .map(|line| {
+                let v = parse_value(line).expect("valid JSON");
+                assert!(v.get("shard").is_some(), "{line}");
+                v.get("shard").cloned().expect("shard body")
+            })
+            .collect();
+        assert_eq!(bodies[0].get("of").and_then(Value::as_u64), Some(2));
+        assert_eq!(bodies[1].get("shard").and_then(Value::as_u64), Some(1));
+        let candidates = bodies[0]
+            .get("candidates")
+            .and_then(Value::as_usize)
+            .expect("candidates");
+        // The two half shards partition the candidate set: row counts plus
+        // zero-visibility counts sum to the whole set.
+        let covered: usize = bodies[..2]
+            .iter()
+            .map(|b| {
+                b.get("rows")
+                    .and_then(Value::as_array)
+                    .map_or(0, |r| r.len())
+                    + b.get("zero_visibility")
+                        .and_then(Value::as_usize)
+                        .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(covered, candidates);
+        assert_eq!(
+            bodies[2].get("measure").and_then(Value::as_str),
+            Some("NetOut")
+        );
         handle.join().expect("server thread");
     }
 

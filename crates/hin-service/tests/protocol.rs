@@ -16,6 +16,12 @@ fn query_text() -> impl Strategy<Value = String> {
         .prop_map(|s| format!("FIND {}", s.trim()).trim().to_string())
 }
 
+/// A valid `shard=i/n` pair: the parser enforces `i < n`, so generate the
+/// denominator first and an index strictly below it.
+fn shard() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..=64).prop_flat_map(|n| (0..n).prop_map(move |i| (i, n)))
+}
+
 fn options() -> impl Strategy<Value = RequestOptions> {
     (
         proptest::option::of(0u64..=1_000_000),
@@ -26,14 +32,16 @@ fn options() -> impl Strategy<Value = RequestOptions> {
             Just(ExecMode::BestEffort)
         ]),
         proptest::option::of(any::<u64>()),
+        proptest::option::of(shard()),
     )
         .prop_map(
-            |(timeout_ms, max_candidates, max_nnz, mode, id)| RequestOptions {
+            |(timeout_ms, max_candidates, max_nnz, mode, id, shard)| RequestOptions {
                 timeout_ms,
                 max_candidates,
                 max_nnz,
                 mode,
                 id,
+                shard,
             },
         )
 }
@@ -83,6 +91,9 @@ fn request() -> impl Strategy<Value = Request> {
         Just(Request::Ping),
         Just(Request::Stats),
         Just(Request::Shutdown),
+        Just(Request::Metrics { json: false }),
+        Just(Request::Metrics { json: true }),
+        proptest::option::of(any::<u64>()).prop_map(|id| Request::Trace { id }),
         Just(Request::Faults(FaultCommand::Status)),
         Just(Request::Faults(FaultCommand::Clear)),
         fault_plan().prop_map(|plan| Request::Faults(FaultCommand::Install(plan))),
@@ -171,6 +182,10 @@ fn responses_for_malformed_requests_are_valid_json_lines() {
         "FAULTS frob@1",
         "FAULTS panic@",
         "SLEEP timeout-ms=5 10",
+        "METRICS yaml",
+        "TRACE banana",
+        "QUERY shard=2/2 FIND x;",
+        "QUERY shard=x/y FIND x;",
     ] {
         let err = Request::parse(line).expect_err("must fail");
         let json = Response::err(ErrorCode::Protocol, err.to_string()).to_json_line();
