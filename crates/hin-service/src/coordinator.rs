@@ -15,7 +15,8 @@
 //! * **Hedging** — when a shard attempt is slower than `hedge_after`, a
 //!   second attempt races it on another replica; first response wins, the
 //!   loser is cancelled by disconnect. Duplicate execution is suppressed by
-//!   the deterministic per-shard idempotency id (`fault::mix`).
+//!   the per-shard idempotency id (`fault::mix` over a per-boot nonce, so
+//!   ids never collide with a previous coordinator run's).
 //! * **Health registry** — a heartbeat thread `PING`s every backend,
 //!   marking it down after `down_after` consecutive failures and probing
 //!   half-open until it answers again. Routing prefers healthy replicas.
@@ -31,7 +32,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use parking_lot::Mutex;
 use serde::Serialize;
@@ -71,7 +72,11 @@ pub struct CoordinatorConfig {
     pub connect_timeout: Duration,
     /// Idempotency-cache capacity (client-visible `id=` replay).
     pub dedup_cap: usize,
-    /// Seed for deterministic per-shard idempotency ids.
+    /// Extra seed mixed into per-shard idempotency ids, on top of the
+    /// per-boot nonce (wall clock + PID) every coordinator derives at
+    /// startup. Ids must differ across boots: backend dedup caches outlive
+    /// a coordinator restart, and a replayed id would hand a new query the
+    /// previous run's cached shard response.
     pub seed: u64,
     /// Accept/shutdown polling granularity.
     pub poll_interval: Duration,
@@ -206,6 +211,9 @@ struct CoordShared {
     shutdown: AtomicBool,
     dedup: Mutex<DedupCache>,
     seq: AtomicU64,
+    /// `config.seed` mixed with a per-boot nonce; the base of every
+    /// generated idempotency id, so ids never repeat across restarts.
+    id_seed: u64,
     epoch: Instant,
     counters: Counters,
 }
@@ -283,11 +291,16 @@ impl Coordinator {
             ));
         }
         let addr = listener.local_addr()?;
+        let boot_nonce = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
         let shared = Arc::new(CoordShared {
             dedup: Mutex::new(DedupCache::new(config.dedup_cap)),
             backends: backends.into_iter().map(Backend::new).collect(),
             shutdown: AtomicBool::new(false),
             seq: AtomicU64::new(1),
+            id_seed: fault::mix(config.seed, boot_nonce, u64::from(std::process::id())),
             epoch: Instant::now(),
             counters: Counters::default(),
             config,
@@ -466,7 +479,9 @@ fn handle_client(shared: &Arc<CoordShared>, stream: TcpStream) {
                 }
                 let response = dispatch(shared, &request);
                 if let Some(id) = request.id() {
-                    shared.dedup.lock().insert(id, response.clone());
+                    if replayable(&response) {
+                        shared.dedup.lock().insert(id, response.clone());
+                    }
                 }
                 note_response(&shared.counters, &response);
                 if !reader.write_line(&response) {
@@ -558,9 +573,12 @@ fn scatter_gather_query(shared: &CoordShared, options: &RequestOptions, text: &s
             // is decided here, at merge time.
             sub.mode = None;
             sub.timeout_ms = Some((shard_timeout.as_millis() as u64).max(1));
-            // Deterministic per-shard idempotency id: a hedged duplicate or
-            // a retry of the same shard replays instead of re-executing.
-            sub.id = Some(fault::mix(config.seed, seq, i as u64));
+            // Per-shard idempotency id, unique per (boot, request, shard):
+            // a hedged duplicate or a retry of the same shard replays
+            // instead of re-executing, while a restarted coordinator can
+            // never collide with a previous run's ids still held in a
+            // backend's dedup cache.
+            sub.id = Some(fault::mix(shared.id_seed, seq, i as u64));
             sub.shard = Some((i, n));
             Request::Query {
                 options: sub,
@@ -631,6 +649,7 @@ fn fetch_shard(
         order,
         next: 0,
         pending: 0,
+        launched: 0,
         handles: Vec::new(),
         tx,
         last_reason: String::new(),
@@ -666,6 +685,9 @@ struct ShardFetch<'a> {
     order: Vec<usize>,
     next: usize,
     pending: usize,
+    /// Attempts actually tried (including connect failures); distinguishes
+    /// the shard's first launch from re-routes when counting metrics.
+    launched: usize,
     handles: Vec<CancelHandle>,
     tx: mpsc::Sender<(usize, io::Result<String>)>,
     last_reason: String,
@@ -683,6 +705,18 @@ impl ShardFetch<'_> {
             if remaining.is_zero() {
                 return false;
             }
+            // Classify the attempt by its cause: a launch while another
+            // attempt is still pending races it (hedge); a launch with
+            // nothing in flight re-routes after a failure (failover). The
+            // shard's very first attempt is neither.
+            if self.launched > 0 {
+                if self.pending > 0 {
+                    Counters::inc(&self.shared.counters.hedges);
+                } else {
+                    Counters::inc(&self.shared.counters.failovers);
+                }
+            }
+            self.launched += 1;
             let connect = remaining.min(self.shared.config.connect_timeout);
             let mut client = match Client::connect_timeout(&backend.addr, connect) {
                 Ok(c) => c,
@@ -776,7 +810,6 @@ impl ShardFetch<'_> {
                             };
                         }
                         _ if is_retryable(&response) => {
-                            Counters::inc(&self.shared.counters.failovers);
                             self.last_reason =
                                 format!("{}: {}", backend.addr, summarize(&response));
                         }
@@ -791,15 +824,13 @@ impl ShardFetch<'_> {
                     self.pending -= 1;
                     let backend = &self.shared.backends[backend_index];
                     backend.report_failure(self.shared.config.down_after);
-                    Counters::inc(&self.shared.counters.failovers);
                     self.last_reason = format!("{}: {e}", backend.addr);
                 }
                 Err(mpsc::RecvTimeoutError::Timeout) => {
-                    if self.next < self.order.len()
-                        && Instant::now() < self.deadline
-                        && self.launch_next()
-                    {
-                        Counters::inc(&self.shared.counters.hedges);
+                    if self.next < self.order.len() && Instant::now() < self.deadline {
+                        // launch_next counts this as a hedge: the slow
+                        // attempt is still pending, so the new one races it.
+                        self.launch_next();
                     }
                 }
                 Err(mpsc::RecvTimeoutError::Disconnected) => {
@@ -1005,6 +1036,22 @@ fn is_retryable(line: &str) -> bool {
     }
 }
 
+/// Whether a response is an execution outcome worth replaying from the
+/// idempotency cache. Transient infrastructure failures (`busy`,
+/// `NoBackends`, `Internal`, `Panic`) are not: a client retrying the same
+/// `id=` after the fleet recovers must re-execute, not be served the
+/// outage forever.
+fn replayable(line: &str) -> bool {
+    match response_kind(line) {
+        Some("busy") => false,
+        Some("err") => !matches!(
+            err_code(line).as_deref(),
+            Some("NoBackends" | "Internal" | "Panic")
+        ),
+        _ => true,
+    }
+}
+
 fn summarize(line: &str) -> String {
     match response_kind(line) {
         Some("busy") => "backend busy".to_string(),
@@ -1027,7 +1074,7 @@ fn forward_with_failover(shared: &CoordShared, request: &Request) -> String {
         // Inject an idempotency id so a mid-response drop can be retried
         // on another backend without double execution.
         let seq = shared.seq.fetch_add(1, Ordering::Relaxed);
-        let id = fault::mix(config.seed, seq, 0);
+        let id = fault::mix(shared.id_seed, seq, 0);
         match &mut request {
             Request::Query { options, .. } | Request::Explain { options, .. } => {
                 options.id = Some(id);
@@ -1037,7 +1084,20 @@ fn forward_with_failover(shared: &CoordShared, request: &Request) -> String {
         }
     }
     let line = request.to_line();
-    let deadline = Instant::now() + config.default_deadline;
+    // The forwarding deadline honours what the request itself asked for:
+    // an explicit timeout-ms= wins, and a SLEEP must be given at least its
+    // own duration (plus slack) or the coordinator would cut it off early.
+    let total = match &request {
+        Request::Query { options, .. } | Request::Explain { options, .. } => options
+            .timeout_ms
+            .map(Duration::from_millis)
+            .unwrap_or(config.default_deadline),
+        Request::Sleep { ms, .. } => config
+            .default_deadline
+            .max(Duration::from_millis(*ms) + config.merge_slack),
+        _ => config.default_deadline,
+    };
+    let deadline = Instant::now() + total;
     let n = shared.backends.len();
     let mut order: Vec<usize> = (0..n).filter(|&i| shared.backends[i].is_up()).collect();
     order.extend((0..n).filter(|&i| !shared.backends[i].is_up()));
@@ -1376,6 +1436,49 @@ mod tests {
     }
 
     #[test]
+    fn replayable_classification() {
+        assert!(replayable(r#"{"result":{"measure":"NetOut"}}"#));
+        assert!(replayable(r#"{"explain":{}}"#));
+        // Definitive errors are real execution outcomes: replay them.
+        assert!(replayable(r#"{"err":{"code":"Query","message":"bad"}}"#));
+        assert!(replayable(
+            r#"{"err":{"code":"Budget","message":"deadline"}}"#
+        ));
+        // Transient infrastructure failures must re-execute on retry.
+        assert!(!replayable(
+            r#"{"err":{"code":"NoBackends","message":"down"}}"#
+        ));
+        assert!(!replayable(
+            r#"{"err":{"code":"Internal","message":"dropped"}}"#
+        ));
+        assert!(!replayable(r#"{"err":{"code":"Panic","message":"boom"}}"#));
+        assert!(!replayable(r#"{"busy":{"queue_depth":4,"queue_cap":4}}"#));
+    }
+
+    #[test]
+    fn id_seed_differs_across_boots() {
+        let make = || {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            let backend: SocketAddr = "127.0.0.1:1".parse().expect("addr");
+            Coordinator::from_listener(vec![backend], listener, CoordinatorConfig::default())
+                .expect("coordinator")
+        };
+        let first = make();
+        // Same process, same (default) config seed: only the wall-clock
+        // part of the boot nonce separates the two "boots".
+        std::thread::sleep(Duration::from_millis(2));
+        let second = make();
+        assert_ne!(
+            first.shared.id_seed, second.shared.id_seed,
+            "two coordinator boots with identical config must generate disjoint id streams"
+        );
+        assert_ne!(
+            fault::mix(first.shared.id_seed, 1, 0),
+            fault::mix(second.shared.id_seed, 1, 0)
+        );
+    }
+
+    #[test]
     fn shard_body_parsing_rejects_mismatch_and_garbage() {
         let good = r#"{"shard":{"measure":"NetOut","asc":false,"top":null,"shard":1,"of":2,"candidates":5,"reference":3,"zero_visibility":1,"rows":[{"v":7,"name":"Emma","score":3.33}],"exec_us":12}}"#;
         let data = parse_shard_body(good, 1, 2).expect("parse");
@@ -1431,6 +1534,16 @@ mod tests {
         assert!(via[6].contains("out of range"), "{}", via[6]);
         assert!(via[7].starts_with(r#"{"faults""#), "{}", via[7]);
 
+        // A successful id= response is cached: the replay is byte-identical
+        // down to exec_us.
+        let idq = format!("QUERY id=9001 {QTEXT}");
+        let replayed = send_lines(coord, &[&idq, &idq]);
+        assert_eq!(
+            replayed[0], replayed[1],
+            "id= replay must be byte-identical"
+        );
+        assert!(replayed[0].starts_with(r#"{"result""#), "{}", replayed[0]);
+
         let mut mclient = Client::connect(coord).expect("connect metrics");
         mclient.send_no_wait("METRICS").expect("send metrics");
         let block = mclient.read_text_block().expect("metrics block");
@@ -1441,10 +1554,29 @@ mod tests {
         send_lines(coord, &["SHUTDOWN"]);
         let snapshot = hc.join().expect("coordinator");
         assert!(snapshot.completed >= 4, "{snapshot:?}");
+        assert!(snapshot.deduped >= 1, "{snapshot:?}");
         send_lines(b0, &["SHUTDOWN"]);
         send_lines(b1, &["SHUTDOWN"]);
         h0.join().expect("backend 0");
         h1.join().expect("backend 1");
+    }
+
+    #[test]
+    fn forwarded_sleep_outlives_default_deadline() {
+        let (b0, h0) = spawn_backend();
+        let config = CoordinatorConfig {
+            default_deadline: Duration::from_millis(50),
+            ..test_config()
+        };
+        let (coord, hc) = spawn_coordinator(vec![b0], config);
+        // The forwarding deadline must stretch to cover the requested sleep
+        // even though it exceeds the configured default deadline.
+        let responses = send_lines(coord, &["SLEEP 200"]);
+        assert!(responses[0].starts_with(r#"{"slept""#), "{}", responses[0]);
+        send_lines(coord, &["SHUTDOWN"]);
+        hc.join().expect("coordinator");
+        send_lines(b0, &["SHUTDOWN"]);
+        h0.join().expect("backend");
     }
 
     #[test]
@@ -1479,15 +1611,18 @@ mod tests {
                 ..test_config()
             },
         );
-        let responses2 = send_lines(coord2, &["PING", &query]);
+        // Transient NoBackends answers are never cached under the client's
+        // id=: a retry after recovery must re-execute, so both attempts
+        // here re-dispatch and the dedup counter stays at zero.
+        let idq = format!("QUERY id=77 {QTEXT}");
+        let responses2 = send_lines(coord2, &["PING", &query, &idq, &idq]);
         assert!(responses2[0].starts_with(r#"{"pong""#), "{}", responses2[0]);
-        assert!(
-            responses2[1].contains(r#""code":"NoBackends""#),
-            "{}",
-            responses2[1]
-        );
+        for response in &responses2[1..] {
+            assert!(response.contains(r#""code":"NoBackends""#), "{response}");
+        }
         send_lines(coord2, &["SHUTDOWN"]);
-        hc2.join().expect("coordinator 2");
+        let snapshot2 = hc2.join().expect("coordinator 2");
+        assert_eq!(snapshot2.deduped, 0, "{snapshot2:?}");
 
         send_lines(coord, &["SHUTDOWN"]);
         let snapshot = hc.join().expect("coordinator");
