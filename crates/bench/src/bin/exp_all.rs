@@ -1,7 +1,7 @@
 //! Runs every experiment in paper order — the one-shot reproduction of the
 //! evaluation section. Configure scale with HIN_EXP_SCALE / HIN_EXP_QUERIES.
 fn main() {
-    let sections: [(&str, fn()); 10] = [
+    let sections: [(&str, fn()); 11] = [
         ("Tables 1-2 and Figure 2 (toy reproduction)", || {
             bench::experiments::toy::run()
         }),
@@ -34,6 +34,9 @@ fn main() {
         }),
         ("Telemetry overhead (tracing & span costs)", || {
             bench::experiments::telemetry::run(false)
+        }),
+        ("Snapshot instant start (mmap vs rebuild)", || {
+            bench::experiments::snapshot::run(false)
         }),
     ];
     for (title, f) in sections {

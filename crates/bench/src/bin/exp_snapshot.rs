@@ -1,0 +1,8 @@
+//! Snapshot instant-start benchmark: mmap load vs binio load + index
+//! rebuild at several scales, with byte-identical result verification
+//! (extension; backs DESIGN.md §14). Emits BENCH_snapshot.json.
+//! `--quick` shrinks the scale grid and workload for CI smoke runs.
+fn main() {
+    let quick = std::env::args().skip(1).any(|a| a == "--quick");
+    bench::experiments::snapshot::run(quick);
+}

@@ -10,5 +10,6 @@ pub mod guardrails;
 pub mod parallel;
 pub mod scaling;
 pub mod service;
+pub mod snapshot;
 pub mod telemetry;
 pub mod toy;

@@ -1,0 +1,235 @@
+//! Snapshot instant-start benchmark (extension; backs DESIGN.md §14).
+//!
+//! For each network scale the experiment builds the no-snapshot cold-start
+//! baseline — load the binio graph file, rebuild the full PM index — and
+//! compares it against opening an `hin-snapshot` file (mmap + full checksum
+//! and structural validation). Both engines then run the same Q1 workload
+//! and every result is fingerprint-compared bit for bit: the speedup only
+//! counts if the answers are byte-identical.
+//!
+//! Results are printed as a table and written to `BENCH_snapshot.json`.
+
+use crate::report::{ms, Table};
+use crate::setup;
+use hin_datagen::dblp::{generate, SyntheticConfig};
+use hin_datagen::workload::{generate_queries, QueryTemplate};
+use hin_graph::VertexId;
+use hin_snapshot::{Snapshot, SnapshotWriter};
+use netout::engine::index::{ChunkSelection, PmIndex};
+use netout::{OutlierDetector, QueryResult};
+use serde::Serialize;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// One scale's measurements.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalePoint {
+    /// Network scale factor.
+    pub scale: f64,
+    /// Vertices in the graph.
+    pub vertices: usize,
+    /// Edges in the graph.
+    pub edges: usize,
+    /// Snapshot file size in bytes.
+    pub snapshot_bytes: u64,
+    /// Cold start without a snapshot: binio load + full PM index build,
+    /// microseconds.
+    pub rebuild_us: u64,
+    /// Cold start from the snapshot: mmap + validate + index decode,
+    /// microseconds.
+    pub snapshot_load_us: u64,
+    /// `rebuild_us / snapshot_load_us`.
+    pub speedup: f64,
+    /// Queries fingerprint-compared between the two engines.
+    pub queries: usize,
+    /// Whether every query result was bit-identical.
+    pub identical: bool,
+}
+
+/// The `BENCH_snapshot.json` document.
+#[derive(Debug, Serialize)]
+pub struct SnapshotReport {
+    /// One entry per scale, ascending.
+    pub scales: Vec<ScalePoint>,
+    /// Speedup at the largest scale (the headline instant-start number).
+    pub largest_scale_speedup: f64,
+    /// Whether every scale reproduced the in-memory results bit for bit.
+    pub all_identical: bool,
+}
+
+/// Everything about a [`QueryResult`] that must be invariant across the
+/// storage backends: set sizes, zero-visibility list, exact ranked order
+/// with bit-exact scores. Timing stats are deliberately excluded.
+fn fingerprint(r: &QueryResult) -> (usize, usize, Vec<VertexId>, Vec<(VertexId, u64)>) {
+    (
+        r.candidate_count,
+        r.reference_count,
+        r.zero_visibility.clone(),
+        r.ranked
+            .iter()
+            .map(|o| (o.vertex, o.score.to_bits()))
+            .collect(),
+    )
+}
+
+/// Measure one scale: write the graph + snapshot, time both cold-start
+/// paths, then fingerprint-compare a Q1 workload across the two engines.
+pub fn measure_scale(scale: f64, n_queries: usize, dir: &Path) -> ScalePoint {
+    let config = SyntheticConfig {
+        seed: setup::seed(),
+        ..SyntheticConfig::default()
+    }
+    .scaled(scale);
+    let net = generate(&config);
+    let tag = format!("{}", (scale * 1000.0) as u64);
+    let graph_path = dir.join(format!("g_{tag}.hinb"));
+    hin_graph::binio::save_graph_binary(&net.graph, &graph_path).expect("write binio graph");
+    let index = PmIndex::build_full(&net.graph, ChunkSelection::All, 1);
+    let snap_path = dir.join(format!("g_{tag}.hsnp"));
+    let snapshot_bytes =
+        SnapshotWriter::write(&snap_path, &net.graph, Some(&index)).expect("write snapshot");
+    drop(index);
+
+    // Cold start A: the pre-snapshot path — parse the binio file into owned
+    // columns, then rebuild every PM matrix from scratch.
+    let t = Instant::now();
+    let rebuilt_graph = hin_graph::binio::load_graph_auto(&graph_path).expect("load binio graph");
+    let rebuilt_index = PmIndex::build_full(&rebuilt_graph, ChunkSelection::All, 1);
+    let rebuild = t.elapsed();
+
+    // Cold start B: map and validate the snapshot.
+    let t = Instant::now();
+    let snap = Snapshot::load(&snap_path).expect("load snapshot");
+    let snap_load = t.elapsed();
+
+    let queries = generate_queries(&net.graph, QueryTemplate::Q1, n_queries, setup::seed());
+    let mem = OutlierDetector::from_prebuilt(rebuilt_graph, Some(rebuilt_index));
+    let (sg, si) = snap.into_parts();
+    let mapped = OutlierDetector::from_prebuilt(sg, si);
+    let identical = queries.iter().all(|q| {
+        let src = q.to_string();
+        let a = mem.query(&src).expect("in-memory query executes");
+        let b = mapped.query(&src).expect("snapshot query executes");
+        fingerprint(&a) == fingerprint(&b)
+    });
+
+    ScalePoint {
+        scale,
+        vertices: net.graph.vertex_count(),
+        edges: net.graph.edge_count(),
+        snapshot_bytes,
+        rebuild_us: rebuild.as_micros() as u64,
+        snapshot_load_us: snap_load.as_micros().max(1) as u64,
+        speedup: rebuild.as_secs_f64() / snap_load.as_secs_f64().max(1e-9),
+        queries: queries.len(),
+        identical,
+    }
+}
+
+/// Serialize the report document to compact JSON.
+pub fn to_json(report: &SnapshotReport) -> String {
+    hin_service::json::to_string(report).expect("report serializes")
+}
+
+/// Run the sweep, print the table, and write `BENCH_snapshot.json`.
+/// `quick` shrinks the scale grid and workload for CI smoke runs.
+pub fn run(quick: bool) {
+    let scales: &[f64] = if quick {
+        &[0.05, 0.15]
+    } else {
+        &[0.25, 0.5, 1.0]
+    };
+    let n_queries = if quick { 4 } else { 16 };
+    let dir = std::env::temp_dir().join(format!("hin_exp_snapshot_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+
+    let points: Vec<ScalePoint> = scales
+        .iter()
+        .map(|&s| measure_scale(s, n_queries, &dir))
+        .collect();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut t = Table::new(
+        "Instant start — snapshot mmap vs binio load + index rebuild",
+        &[
+            "scale",
+            "vertices",
+            "edges",
+            "snapshot (MB)",
+            "rebuild",
+            "snapshot load",
+            "speedup",
+            "identical",
+        ],
+    );
+    for p in &points {
+        t.row(&[
+            format!("{:.2}", p.scale),
+            p.vertices.to_string(),
+            p.edges.to_string(),
+            format!("{:.2}", p.snapshot_bytes as f64 / 1e6),
+            ms(Duration::from_micros(p.rebuild_us)),
+            ms(Duration::from_micros(p.snapshot_load_us)),
+            format!("×{:.0}", p.speedup),
+            p.identical.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "note: both engines ran the same Q1 workload; rankings, score bits, \
+         and zero-visibility sets are compared exactly\n"
+    );
+
+    let last = points.last().expect("at least one scale");
+    let report = SnapshotReport {
+        largest_scale_speedup: last.speedup,
+        all_identical: points.iter().all(|p| p.identical),
+        scales: points,
+    };
+    let path = "BENCH_snapshot.json";
+    match std::fs::write(path, to_json(&report) + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_scale_is_identical_and_faster() {
+        let dir = std::env::temp_dir().join(format!("hin_snap_bench_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = measure_scale(0.05, 2, &dir);
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(p.identical, "snapshot engine diverged: {p:?}");
+        assert!(p.vertices > 0 && p.edges > 0);
+        assert!(p.snapshot_bytes > 0);
+        // Tiny scales still load faster than they rebuild; the ≥10×
+        // acceptance bar is asserted at real scales by the CI smoke run.
+        assert!(p.speedup > 1.0, "no speedup at all: {p:?}");
+    }
+
+    #[test]
+    fn report_serializes() {
+        let json = to_json(&SnapshotReport {
+            scales: vec![ScalePoint {
+                scale: 0.1,
+                vertices: 10,
+                edges: 20,
+                snapshot_bytes: 1024,
+                rebuild_us: 1000,
+                snapshot_load_us: 10,
+                speedup: 100.0,
+                queries: 2,
+                identical: true,
+            }],
+            largest_scale_speedup: 100.0,
+            all_identical: true,
+        });
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"identical\":true"), "{json}");
+        assert!(json.contains("\"largest_scale_speedup\""), "{json}");
+    }
+}

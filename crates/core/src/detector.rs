@@ -156,6 +156,30 @@ impl OutlierDetector {
         })
     }
 
+    /// A detector over a graph and an *already built* index — the snapshot
+    /// path, where both were loaded from disk rather than computed here.
+    /// Queries behave exactly like [`OutlierDetector::with_index`] with the
+    /// policy that originally built the index (`"pm"` strategy when an index
+    /// is present, `"baseline"` otherwise).
+    pub fn from_prebuilt(graph: HinGraph, index: Option<PmIndex>) -> Self {
+        let source_name = if index.is_some() { "pm" } else { "baseline" };
+        OutlierDetector {
+            graph,
+            index,
+            cache: None,
+            source_name,
+            measure: MeasureKind::NetOut,
+            combine: CombineStrategy::default(),
+            budget: Budget::default(),
+            threads: 1,
+        }
+    }
+
+    /// The prebuilt index, when present (borrowed; used by snapshot writers).
+    pub fn index(&self) -> Option<&PmIndex> {
+        self.index.as_ref()
+    }
+
     /// Enable a cross-query LRU cache of neighbor vectors holding up to
     /// `capacity` vectors — pays off when an analyst iterates on related
     /// queries (see [`crate::engine::cache`]). Composes with any index

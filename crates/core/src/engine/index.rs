@@ -67,7 +67,7 @@ pub fn all_length2_paths(graph: &HinGraph) -> Vec<MetaPath> {
 }
 
 /// A pre-materialized length-2 meta-path index.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PmIndex {
     matrices: FxHashMap<MetaPath, SparseMatrix>,
     /// `‖Φ_chunk(v)‖²` per materialized row, computed once at build time so
@@ -154,6 +154,50 @@ impl PmIndex {
     /// Number of indexed meta-paths.
     pub fn path_count(&self) -> usize {
         self.matrices.len()
+    }
+
+    /// Iterate every indexed chunk and its matrix in deterministic order
+    /// (sorted by the chunk's type sequence) — the serialization order used
+    /// by snapshot writers.
+    pub fn chunks(&self) -> Vec<(&MetaPath, &SparseMatrix)> {
+        let mut out: Vec<_> = self.matrices.iter().collect();
+        out.sort_by(|(a, _), (b, _)| a.types().cmp(b.types()));
+        out
+    }
+
+    /// Rebuild an index from per-chunk parts: each entry carries a chunk,
+    /// its matrix, and row norms *parallel to the matrix's row order* (as
+    /// produced by walking [`SparseMatrix::raw_parts`] row ids through
+    /// [`PmIndex::row_norm`]). Duplicate chunks or a norms length that does
+    /// not match the matrix's row count are rejected.
+    pub fn from_parts(
+        parts: Vec<(MetaPath, SparseMatrix, Vec<f64>)>,
+    ) -> Result<Self, hin_graph::GraphError> {
+        let mut matrices = FxHashMap::default();
+        let mut norms = FxHashMap::default();
+        for (chunk, matrix, row_norms) in parts {
+            if row_norms.len() != matrix.row_count() {
+                return Err(hin_graph::GraphError::Format {
+                    line: 0,
+                    message: format!(
+                        "index chunk has {} rows but {} norms",
+                        matrix.row_count(),
+                        row_norms.len()
+                    ),
+                });
+            }
+            let (row_ids, _, _) = matrix.raw_parts();
+            let per_row: FxHashMap<VertexId, f64> =
+                row_ids.iter().copied().zip(row_norms).collect();
+            if matrices.insert(chunk.clone(), matrix).is_some() {
+                return Err(hin_graph::GraphError::Format {
+                    line: 0,
+                    message: "duplicate index chunk".into(),
+                });
+            }
+            norms.insert(chunk, per_row);
+        }
+        Ok(PmIndex { matrices, norms })
     }
 
     /// Total materialized rows across all meta-paths.
@@ -487,6 +531,47 @@ mod tests {
         assert!(rendered.contains(&"author.paper.venue".to_string())); // feature + count
         assert!(rendered.contains(&"venue.paper.author".to_string())); // feature tail
         assert_eq!(chunks.len(), 2, "duplicates removed: {rendered:?}");
+    }
+
+    #[test]
+    fn chunks_and_from_parts_roundtrip() {
+        let g = toy::figure1_network();
+        let idx = PmIndex::build_full(&g, ChunkSelection::All, 1);
+        let parts: Vec<_> = idx
+            .chunks()
+            .into_iter()
+            .map(|(chunk, matrix)| {
+                let (row_ids, _, _) = matrix.raw_parts();
+                let norms: Vec<f64> = row_ids
+                    .iter()
+                    .map(|&v| idx.row_norm(chunk, v).unwrap())
+                    .collect();
+                (chunk.clone(), matrix.clone(), norms)
+            })
+            .collect();
+        let back = PmIndex::from_parts(parts).unwrap();
+        assert_eq!(back.path_count(), idx.path_count());
+        assert_eq!(back.total_rows(), idx.total_rows());
+        assert_eq!(back.nnz(), idx.nnz());
+        let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        for &a in g.vertices_of_type(author) {
+            assert_eq!(back.row(&apv, a), idx.row(&apv, a));
+            assert_eq!(
+                back.row_norm(&apv, a).map(f64::to_bits),
+                idx.row_norm(&apv, a).map(f64::to_bits)
+            );
+        }
+        // Mismatched norms length is rejected.
+        let chunk = apv.clone();
+        let matrix = SparseMatrix::from_rows(vec![(VertexId(0), SparseVec::unit(VertexId(1)))]);
+        assert!(PmIndex::from_parts(vec![(chunk.clone(), matrix.clone(), vec![])]).is_err());
+        // Duplicate chunks are rejected.
+        assert!(PmIndex::from_parts(vec![
+            (chunk.clone(), matrix.clone(), vec![1.0]),
+            (chunk, matrix, vec![1.0]),
+        ])
+        .is_err());
     }
 
     #[test]

@@ -34,7 +34,11 @@ USAGE:
   hinout workload --graph FILE --template q1|q2|q3 --n N [--seed S] [--out FILE]
                [--run strict|best-effort] [--summary] [--threads N]
                [--timeout-ms N] [--max-candidates N] [--max-nnz N]
-  hinout serve --graph FILE [--addr HOST:PORT] [--workers N] [--queue-cap N]
+  hinout snapshot build --graph FILE --out FILE [--index none|pm] [--threads N]
+  hinout snapshot inspect --snapshot FILE
+  hinout snapshot verify --snapshot FILE
+  hinout serve (--graph FILE | --snapshot FILE)
+               [--addr HOST:PORT] [--workers N] [--queue-cap N]
                [--index none|pm] [--measure …] [--mode strict|best-effort]
                [--cache-cap N] [--port-file FILE] [--threads-per-query N]
                [--timeout-ms N] [--max-candidates N] [--max-nnz N]
@@ -51,6 +55,16 @@ USAGE:
 A --query-file may hold several semicolon-separated queries; each runs in
 order — a failing query is reported and skipped, and the process exits
 nonzero at the end listing the failed indices.
+
+Instant-start serving (DESIGN.md §14): snapshot build converts a text or
+binio graph file (plus, by default, its full PM index) into a sectioned,
+checksummed snapshot that serve --snapshot memory-maps instead of rebuilding
+— cold start drops from seconds to microseconds (exported as the
+hin_snapshot_load_us gauge) with byte-identical answers. snapshot inspect
+prints the validated section layout; snapshot verify revalidates every
+checksum and structural invariant, exiting nonzero on any corruption.
+Several serve backends (and a coordinate tier fronting them) can map one
+shared snapshot file: the OS page cache keeps a single physical copy.
 
 serve loads the graph once and answers PING/STATS/QUERY/EXPLAIN/SHUTDOWN
 over newline-delimited TCP (one compact-JSON response line per request; see
@@ -126,6 +140,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "workload" => cmd_workload(&Args::parse_with_switches(rest, &["summary"])?),
         "repl" => cmd_repl(&Args::parse(rest)?),
         "index-info" => cmd_index_info(&Args::parse(rest)?),
+        "snapshot" => cmd_snapshot(rest),
         "serve" => cmd_serve(&Args::parse(rest)?),
         "bench-client" => cmd_bench_client(&Args::parse(rest)?),
         "coordinate" => cmd_coordinate(&Args::parse(rest)?),
@@ -690,6 +705,133 @@ fn cmd_repl(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `hinout snapshot build|inspect|verify` — the instant-start serving
+/// format (DESIGN.md §14). The verb is the first positional token.
+fn cmd_snapshot(rest: &[String]) -> Result<(), String> {
+    let Some(verb) = rest.first() else {
+        return Err("snapshot requires a verb: build|inspect|verify".into());
+    };
+    let args = Args::parse(&rest[1..])?;
+    match verb.as_str() {
+        "build" => snapshot_build(&args),
+        "inspect" => snapshot_inspect(&args),
+        "verify" => snapshot_verify(&args),
+        other => Err(format!(
+            "unknown snapshot verb {other:?} (build|inspect|verify)"
+        )),
+    }
+}
+
+/// `snapshot build` — serialize a graph (text or binio input, auto-detected)
+/// plus, unless `--index none`, its full PM index.
+fn snapshot_build(args: &Args) -> Result<(), String> {
+    args.expect_no_positional()?;
+    args.check_known(&["graph", "out", "index", "threads"])?;
+    let graph = load(args)?;
+    let out = args.require("out")?;
+    let threads = args.get_num("threads", 1usize)?;
+    let index = match args.get("index").unwrap_or("pm") {
+        "none" => None,
+        "pm" => {
+            let t = std::time::Instant::now();
+            let idx = netout::engine::index::PmIndex::build_full(
+                &graph,
+                netout::engine::index::ChunkSelection::All,
+                threads,
+            );
+            println!(
+                "built full PM index: {} paths, {} rows, {} nnz in {:?}",
+                idx.path_count(),
+                idx.total_rows(),
+                idx.nnz(),
+                t.elapsed()
+            );
+            Some(idx)
+        }
+        other => return Err(format!("unknown index {other:?} (none|pm)")),
+    };
+    let t = std::time::Instant::now();
+    let written = hin_snapshot::SnapshotWriter::write(
+        std::path::Path::new(out),
+        &graph,
+        index.as_ref(),
+    )
+    .map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {out}: {written} bytes ({} vertices, {} edges) in {:?}",
+        graph.vertex_count(),
+        graph.edge_count(),
+        t.elapsed()
+    );
+    Ok(())
+}
+
+/// Open a snapshot with full validation, timing the load.
+fn open_snapshot(args: &Args) -> Result<(hin_snapshot::Snapshot, std::time::Duration), String> {
+    let path = args.require("snapshot")?;
+    let t = std::time::Instant::now();
+    let snap = hin_snapshot::Snapshot::load(std::path::Path::new(path))
+        .map_err(|e| format!("snapshot {path}: {e}"))?;
+    Ok((snap, t.elapsed()))
+}
+
+/// `snapshot inspect` — print the validated layout and content summary.
+fn snapshot_inspect(args: &Args) -> Result<(), String> {
+    args.expect_no_positional()?;
+    args.check_known(&["snapshot"])?;
+    let (snap, elapsed) = open_snapshot(args)?;
+    let info = snap.info();
+    println!(
+        "snapshot: {} bytes, loaded+validated in {:?} ({})",
+        info.file_len,
+        elapsed,
+        if info.mapped { "mmap" } else { "heap copy" }
+    );
+    println!(
+        "graph: {} vertices ({} types), {} edges ({} types)",
+        info.vertex_count, info.vertex_type_count, info.edge_count, info.edge_type_count
+    );
+    if info.has_index {
+        println!(
+            "index: {} meta-paths, {} rows, {} nnz",
+            info.pm_paths, info.pm_rows, info.pm_nnz
+        );
+    } else {
+        println!("index: none");
+    }
+    println!("{:<6} {:<16} {:>12} {:>12} {:>10}", "id", "section", "offset", "bytes", "crc32c");
+    for s in &info.sections {
+        println!(
+            "{:<6} {:<16} {:>12} {:>12} {:>10x}",
+            s.id, s.name, s.offset, s.len, s.crc
+        );
+    }
+    Ok(())
+}
+
+/// `snapshot verify` — revalidate every checksum and structural invariant;
+/// exits nonzero on any corruption.
+fn snapshot_verify(args: &Args) -> Result<(), String> {
+    args.expect_no_positional()?;
+    args.check_known(&["snapshot"])?;
+    let (snap, elapsed) = open_snapshot(args)?;
+    let info = snap.info();
+    println!(
+        "ok: {} bytes, {} sections, {} vertices, {} edges{} — verified in {:?}",
+        info.file_len,
+        info.sections.len(),
+        info.vertex_count,
+        info.edge_count,
+        if info.has_index {
+            format!(", {} indexed paths", info.pm_paths)
+        } else {
+            String::new()
+        },
+        elapsed
+    );
+    Ok(())
+}
+
 /// `hinout serve` — load the graph once and serve queries over TCP until a
 /// client sends `SHUTDOWN` (the final statistics snapshot is printed as one
 /// JSON line on exit).
@@ -699,6 +841,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         args,
         &[
             "graph",
+            "snapshot",
             "index",
             "measure",
             "addr",
@@ -714,7 +857,30 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             "slow-query-ms",
         ],
     )?;
-    let mut detector = build_detector(load(args)?, args)?;
+    // Instant start: --snapshot maps a prebuilt graph (and its index) in
+    // microseconds instead of rebuilding CSR structures from a graph file.
+    let (mut detector, snapshot_load) = match (args.get("snapshot"), args.get("graph")) {
+        (Some(path), None) => {
+            if args.get("index").is_some() {
+                return Err(
+                    "--index conflicts with --snapshot (the index is embedded at build time)"
+                        .into(),
+                );
+            }
+            let t = std::time::Instant::now();
+            let snap = hin_snapshot::Snapshot::load(std::path::Path::new(path))
+                .map_err(|e| format!("snapshot {path}: {e}"))?;
+            let elapsed = t.elapsed();
+            let (graph, index) = snap.into_parts();
+            let mut d = netout::OutlierDetector::from_prebuilt(graph, index);
+            if let Some(m) = args.get("measure") {
+                d = d.measure(parse_measure(m)?);
+            }
+            (d.budget(parse_budget(args)?), Some(elapsed))
+        }
+        (None, Some(_)) => (build_detector(load(args)?, args)?, None),
+        _ => return Err("provide exactly one of --graph or --snapshot".into()),
+    };
     // Concurrent engines share one neighbor-vector cache; 0 disables it.
     let cache_cap: usize = args.get_num("cache-cap", 4096)?;
     if cache_cap > 0 {
@@ -764,6 +930,11 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     )
     .map_err(|e| format!("binding {addr}: {e}"))?;
     let bound = server.local_addr();
+    if let Some(d) = snapshot_load {
+        // Exported so dashboards can watch instant-start health fleet-wide.
+        server.stats().snapshot_load_us.set(d.as_micros() as f64);
+        println!("snapshot mapped and validated in {d:?}");
+    }
     println!(
         "hin-service listening on {bound} ({} workers x {} threads/query, queue capacity {}, \
          {} default; send SHUTDOWN to stop)",
@@ -1482,6 +1653,134 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("--summary requires --run"), "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_build_inspect_verify_and_serve() {
+        let dir = std::env::temp_dir().join(format!("hinout_cli_snap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let text_path = dir.join("net.hin");
+        let bin_path = dir.join("net.hinb");
+        for (path, format) in [(&text_path, "text"), (&bin_path, "binary")] {
+            run(&[
+                "generate".into(),
+                "--out".into(),
+                path.to_str().unwrap().into(),
+                "--scale".into(),
+                "0.05".into(),
+                "--seed".into(),
+                "29".into(),
+                "--format".into(),
+                format.into(),
+            ])
+            .unwrap();
+        }
+        // build accepts both text and binio inputs (auto-detected).
+        let snap_path = dir.join("net.hsnp");
+        for src in [&text_path, &bin_path] {
+            run(&[
+                "snapshot".into(),
+                "build".into(),
+                "--graph".into(),
+                src.to_str().unwrap().into(),
+                "--out".into(),
+                snap_path.to_str().unwrap().into(),
+            ])
+            .unwrap();
+        }
+        run(&[
+            "snapshot".into(),
+            "inspect".into(),
+            "--snapshot".into(),
+            snap_path.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        run(&[
+            "snapshot".into(),
+            "verify".into(),
+            "--snapshot".into(),
+            snap_path.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        // Corrupt one payload byte: verify must fail with a structured error.
+        let mut bytes = std::fs::read(&snap_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let bad_path = dir.join("bad.hsnp");
+        std::fs::write(&bad_path, &bytes).unwrap();
+        let err = run(&[
+            "snapshot".into(),
+            "verify".into(),
+            "--snapshot".into(),
+            bad_path.to_str().unwrap().into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("snapshot"), "got: {err}");
+        // serve --snapshot answers queries; metrics expose the load gauge.
+        let port_file = dir.join("port.txt");
+        let serve_argv: Vec<String> = [
+            "serve",
+            "--snapshot",
+            snap_path.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--port-file",
+            port_file.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let server = std::thread::spawn(move || run(&serve_argv));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        let addr = loop {
+            if let Ok(s) = std::fs::read_to_string(&port_file) {
+                if let Ok(a) = s.trim().parse::<std::net::SocketAddr>() {
+                    break a;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server never wrote its port file"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        let graph = hin_graph::io::load_graph(&text_path).unwrap();
+        let author = graph.schema().vertex_type_by_name("author").unwrap();
+        let paper = graph.schema().vertex_type_by_name("paper").unwrap();
+        let anchor = graph
+            .vertices_of_type(author)
+            .iter()
+            .find(|&&a| graph.step_degree(a, paper) >= 2)
+            .copied()
+            .unwrap();
+        let mut client = hin_service::Client::connect(addr).unwrap();
+        let q = format!(
+            "QUERY FIND OUTLIERS FROM author{{\"{}\"}}.paper.author \
+             JUDGED BY author.paper.venue TOP 3;",
+            graph.vertex_name(anchor)
+        );
+        let resp = client.send_line(&q).unwrap();
+        assert!(resp.starts_with(r#"{"result""#), "{resp}");
+        client.send_no_wait("METRICS").unwrap();
+        let metrics = client.read_text_block().unwrap();
+        assert!(metrics.contains("hin_snapshot_load_us"), "{metrics}");
+        let bye = client.send_line("SHUTDOWN").unwrap();
+        assert!(bye.starts_with(r#"{"bye""#), "{bye}");
+        server.join().unwrap().unwrap();
+        // serve refuses ambiguous or conflicting sources.
+        assert!(run(&["serve".into()]).is_err());
+        let err = run(&[
+            "serve".into(),
+            "--snapshot".into(),
+            snap_path.to_str().unwrap().into(),
+            "--index".into(),
+            "pm".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("--index conflicts"), "got: {err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -14,6 +14,10 @@
 //!
 //! Round-trips preserve vertex ids (vertices are written in id order), so
 //! results computed before and after persistence are bit-identical.
+//!
+//! For large graphs prefer an `hin-snapshot` file (`hinout snapshot build`):
+//! it memory-maps in microseconds instead of rebuilding CSR structures on
+//! every load.
 
 use crate::error::GraphError;
 use crate::graph::{GraphBuilder, HinGraph};
@@ -354,7 +358,9 @@ mod tests {
 
     #[test]
     fn files_and_auto_detection() {
-        let dir = std::env::temp_dir().join("hin_binio_test");
+        // Unique per process so concurrent test runs never collide on the
+        // same files or race the final remove_dir_all.
+        let dir = std::env::temp_dir().join(format!("hin_binio_test_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let g = sample();
         let bin_path = dir.join("g.hinb");

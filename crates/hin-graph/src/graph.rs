@@ -1,11 +1,17 @@
 //! The heterogeneous information network itself: typed vertices, named
 //! lookup, and per-edge-type CSR adjacency in both directions.
+//!
+//! All persistent columns live behind [`Store`]s, so a graph is either
+//! heap-owned (built with [`GraphBuilder`]) or a zero-copy view into a
+//! memory-mapped snapshot (reconstructed through [`HinGraph::from_store`],
+//! which re-validates every structural invariant so the accessors below can
+//! stay panic-free on well-typed ids).
 
 use crate::error::GraphError;
 use crate::ids::{EdgeTypeId, VertexId, VertexTypeId};
 use crate::schema::Schema;
+use crate::store::{CsrStore, GraphColumns, GraphStore, Store};
 use rustc_hash::FxHashMap;
-use serde::{Deserialize, Serialize};
 
 /// Direction of an adjacency lookup relative to an edge type's declared
 /// `src → dst` orientation.
@@ -16,11 +22,11 @@ enum Direction {
 }
 
 /// Compressed sparse row adjacency for one `(edge type, direction)`.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 struct Csr {
     /// `offsets[v.index()]..offsets[v.index()+1]` indexes into `targets`.
-    offsets: Vec<u32>,
-    targets: Vec<VertexId>,
+    offsets: Store<u32>,
+    targets: Store<VertexId>,
 }
 
 impl Csr {
@@ -35,25 +41,43 @@ impl Csr {
 
 /// An immutable heterogeneous information network (Definition 1).
 ///
-/// Construct with [`GraphBuilder`]. Every vertex has a type from the
-/// [`Schema`] and a name unique within its type. Adjacency is stored per edge
-/// type in both directions, so meta-path traversal can walk links either way
-/// (undirected semantics, as the paper's bibliographic network uses).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Construct with [`GraphBuilder`], or rehydrate from persisted columns with
+/// [`HinGraph::from_store`]. Every vertex has a type from the [`Schema`] and
+/// a name unique within its type. Adjacency is stored per edge type in both
+/// directions, so meta-path traversal can walk links either way (undirected
+/// semantics, as the paper's bibliographic network uses).
+///
+/// Vertex names are interned into one blob plus an offset column, and the
+/// per-type name lookup is a binary search over a name-sorted permutation —
+/// both columns persist byte-for-byte into snapshots, so a mapped graph
+/// needs no index rebuilding at load time.
+#[derive(Debug, Clone)]
 pub struct HinGraph {
     schema: Schema,
-    vertex_types: Vec<VertexTypeId>,
-    vertex_names: Vec<String>,
-    /// Per vertex type: all vertex ids of that type, ascending.
-    by_type: Vec<Vec<VertexId>>,
-    /// Per vertex type: name → id.
-    #[serde(skip)]
-    name_index: Vec<FxHashMap<String, VertexId>>,
+    vertex_types: Store<VertexTypeId>,
+    /// All vertex names concatenated (UTF-8), indexed by `name_offsets`.
+    name_blob: Store<u8>,
+    /// `name_offsets[v]..name_offsets[v+1]` bounds `v`'s name. Length `n+1`.
+    name_offsets: Store<u32>,
+    /// Per type `t`: `by_type_offsets[t]..by_type_offsets[t+1]` bounds `t`'s
+    /// segment in `by_type_ids` / `name_order`. Length `T+1`.
+    by_type_offsets: Store<u32>,
+    /// Vertex ids grouped by type, ascending within each segment.
+    by_type_ids: Store<VertexId>,
+    /// Vertex ids grouped by type, sorted by name within each segment.
+    name_order: Store<VertexId>,
     /// Per edge type: forward CSR (src → dst).
     forward: Vec<Csr>,
     /// Per edge type: reverse CSR (dst → src).
     reverse: Vec<Csr>,
     edge_count: usize,
+}
+
+fn verr(message: impl Into<String>) -> GraphError {
+    GraphError::Format {
+        line: 0,
+        message: message.into(),
+    }
 }
 
 impl HinGraph {
@@ -85,7 +109,18 @@ impl HinGraph {
     /// # Panics
     /// Panics if `v` is out of range.
     pub fn vertex_name(&self, v: VertexId) -> &str {
-        &self.vertex_names[v.index()]
+        let lo = self.name_offsets[v.index()] as usize;
+        let hi = self.name_offsets[v.index() + 1] as usize;
+        // Both construction paths guarantee valid UTF-8 on name boundaries
+        // (GraphBuilder interns `String`s; `from_store` validates every
+        // slice), so the failure arm is unreachable.
+        match std::str::from_utf8(&self.name_blob[lo..hi]) {
+            Ok(s) => s,
+            Err(_) => {
+                debug_assert!(false, "name blob invariant violated for {v:?}");
+                ""
+            }
+        }
     }
 
     /// Whether `v` is a valid vertex id in this graph.
@@ -93,17 +128,34 @@ impl HinGraph {
         v.index() < self.vertex_types.len()
     }
 
-    /// Look up a vertex by type and exact name.
+    /// Look up a vertex by type and exact name (binary search over the
+    /// name-sorted per-type permutation).
     pub fn vertex_by_name(&self, vtype: VertexTypeId, name: &str) -> Option<VertexId> {
-        self.name_index.get(vtype.index())?.get(name).copied()
+        let seg = self.type_segment(vtype, &self.name_order)?;
+        seg.binary_search_by(|&v| self.vertex_name(v).cmp(name))
+            .ok()
+            .map(|i| seg[i])
     }
 
     /// All vertices of a type, in ascending id order.
     pub fn vertices_of_type(&self, vtype: VertexTypeId) -> &[VertexId] {
-        self.by_type
-            .get(vtype.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.type_segment(vtype, &self.by_type_ids).unwrap_or(&[])
+    }
+
+    /// The segment of `column` belonging to `vtype`, or `None` for an
+    /// out-of-range type.
+    fn type_segment<'g>(
+        &'g self,
+        vtype: VertexTypeId,
+        column: &'g Store<VertexId>,
+    ) -> Option<&'g [VertexId]> {
+        let t = vtype.index();
+        if t + 1 >= self.by_type_offsets.len() {
+            return None;
+        }
+        let lo = self.by_type_offsets[t] as usize;
+        let hi = self.by_type_offsets[t + 1] as usize;
+        Some(&column[lo..hi])
     }
 
     /// Number of vertices of a type.
@@ -188,16 +240,245 @@ impl HinGraph {
         VertexRef { graph: self, id: v }
     }
 
-    /// Restore derived indexes after deserialization with `serde`.
-    pub fn rebuild_indexes(&mut self) {
-        self.schema.rebuild_indexes();
-        self.name_index = vec![FxHashMap::default(); self.schema.vertex_type_count()];
-        for (i, name) in self.vertex_names.iter().enumerate() {
-            let v = VertexId(i as u32);
-            let t = self.vertex_types[i];
-            self.name_index[t.index()].insert(name.clone(), v);
+    /// Whether this graph's columns are views into a mapped snapshot region
+    /// (true) or heap-owned (false for builder-produced graphs).
+    pub fn is_mapped(&self) -> bool {
+        self.vertex_types.is_mapped()
+    }
+
+    /// A borrowed view of every persistent column, in the exact layout a
+    /// snapshot writer serializes. CSR blocks come two per edge type in
+    /// schema order: forward, then reverse.
+    pub fn columns(&self) -> GraphColumns<'_> {
+        let mut csrs = Vec::with_capacity(self.forward.len() * 2);
+        for (f, r) in self.forward.iter().zip(&self.reverse) {
+            csrs.push((&*f.offsets, &*f.targets));
+            csrs.push((&*r.offsets, &*r.targets));
+        }
+        GraphColumns {
+            schema: &self.schema,
+            vertex_types: &self.vertex_types,
+            name_blob: &self.name_blob,
+            name_offsets: &self.name_offsets,
+            by_type_offsets: &self.by_type_offsets,
+            by_type_ids: &self.by_type_ids,
+            name_order: &self.name_order,
+            csrs,
+            edge_count: self.edge_count as u64,
         }
     }
+
+    /// Rebuild a graph from persisted columns, validating every structural
+    /// invariant the accessors rely on — offset monotonicity and bounds,
+    /// UTF-8 names, per-type segment coverage and ordering, CSR shape,
+    /// endpoint types, and sorted neighbor lists. `O(n + e)` in the column
+    /// sizes; never panics on malformed input (structured [`GraphError`]s).
+    ///
+    /// This is the trust boundary for snapshot-backed storage: once a
+    /// [`GraphStore`] passes, owned and mapped graphs are interchangeable.
+    pub fn from_store(store: GraphStore) -> Result<HinGraph, GraphError> {
+        let GraphStore {
+            schema,
+            vertex_types,
+            name_blob,
+            name_offsets,
+            by_type_offsets,
+            by_type_ids,
+            name_order,
+            csrs,
+            edge_count,
+        } = store;
+        let n = vertex_types.len();
+        let type_count = schema.vertex_type_count();
+        let et_count = schema.edge_type_count();
+
+        if n > u32::MAX as usize {
+            return Err(GraphError::TooManyVertices);
+        }
+        for (i, t) in vertex_types.iter().enumerate() {
+            if t.index() >= type_count {
+                return Err(verr(format!("vertex {i} has out-of-range type {t:?}")));
+            }
+        }
+
+        // Name offsets: length n+1, starts at 0, monotone, ends at blob len.
+        check_offsets(&name_offsets, n, name_blob.len(), "name_offsets")?;
+        for i in 0..n {
+            let lo = name_offsets[i] as usize;
+            let hi = name_offsets[i + 1] as usize;
+            if std::str::from_utf8(&name_blob[lo..hi]).is_err() {
+                return Err(verr(format!("vertex {i} name is not valid UTF-8")));
+            }
+        }
+
+        // Per-type segments: cover all n vertices with the right counts.
+        check_offsets(&by_type_offsets, type_count, n, "by_type_offsets")?;
+        let mut counts = vec![0u32; type_count];
+        for t in vertex_types.iter() {
+            counts[t.index()] += 1;
+        }
+        for t in 0..type_count {
+            let lo = by_type_offsets[t] as usize;
+            let hi = by_type_offsets[t + 1] as usize;
+            if hi - lo != counts[t] as usize {
+                return Err(verr(format!(
+                    "type {t} segment holds {} ids but the graph has {} vertices of that type",
+                    hi - lo,
+                    counts[t]
+                )));
+            }
+        }
+        if by_type_ids.len() != n || name_order.len() != n {
+            return Err(verr("per-type id columns must list every vertex once"));
+        }
+        for t in 0..type_count {
+            let lo = by_type_offsets[t] as usize;
+            let hi = by_type_offsets[t + 1] as usize;
+            for (which, column) in [("by_type_ids", &by_type_ids), ("name_order", &name_order)] {
+                for &v in &column[lo..hi] {
+                    if v.index() >= n {
+                        return Err(verr(format!("{which}: id {v:?} out of range")));
+                    }
+                    if vertex_types[v.index()].index() != t {
+                        return Err(verr(format!("{which}: {v:?} is not of type {t}")));
+                    }
+                }
+            }
+            // Ascending ids in by_type_ids; strictly ascending names in
+            // name_order (names are unique within a type, so equality means
+            // a duplicated or conflicting entry).
+            if by_type_ids[lo..hi].windows(2).any(|w| w[0] >= w[1]) {
+                return Err(verr(format!("type {t}: by_type_ids not strictly ascending")));
+            }
+            let seg = &name_order[lo..hi];
+            for w in seg.windows(2) {
+                let (a, b) = (w[0].index(), w[1].index());
+                let name = |v: usize| {
+                    &name_blob[name_offsets[v] as usize..name_offsets[v + 1] as usize]
+                };
+                if name(a) >= name(b) {
+                    return Err(verr(format!(
+                        "type {t}: name_order not strictly ascending by name"
+                    )));
+                }
+            }
+        }
+
+        // CSR blocks: two per edge type, valid shape, typed endpoints,
+        // sorted rows.
+        if csrs.len() != 2 * et_count {
+            return Err(verr(format!(
+                "expected {} CSR blocks for {et_count} edge types, found {}",
+                2 * et_count,
+                csrs.len()
+            )));
+        }
+        let mut forward = Vec::with_capacity(et_count);
+        let mut reverse = Vec::with_capacity(et_count);
+        let mut forward_nnz = 0u64;
+        for (block, csr) in csrs.into_iter().enumerate() {
+            let et = EdgeTypeId((block / 2) as u16);
+            let info = schema.edge_type(et);
+            let is_forward = block % 2 == 0;
+            let (row_type, col_type) = if is_forward {
+                (info.src, info.dst)
+            } else {
+                (info.dst, info.src)
+            };
+            check_offsets(&csr.offsets, n, csr.targets.len(), "csr offsets")?;
+            for v in 0..n {
+                let lo = csr.offsets[v] as usize;
+                let hi = csr.offsets[v + 1] as usize;
+                if lo < hi && vertex_types[v] != row_type {
+                    return Err(verr(format!(
+                        "csr block {block}: vertex {v} has neighbors but wrong row type"
+                    )));
+                }
+                let row = &csr.targets[lo..hi];
+                for &u in row {
+                    if u.index() >= n {
+                        return Err(verr(format!("csr block {block}: target {u:?} out of range")));
+                    }
+                    if vertex_types[u.index()] != col_type {
+                        return Err(verr(format!(
+                            "csr block {block}: target {u:?} has wrong column type"
+                        )));
+                    }
+                }
+                if row.windows(2).any(|w| w[0] > w[1]) {
+                    return Err(verr(format!(
+                        "csr block {block}: row {v} neighbor list not sorted"
+                    )));
+                }
+            }
+            if is_forward {
+                forward_nnz += csr.targets.len() as u64;
+                forward.push(Csr {
+                    offsets: csr.offsets,
+                    targets: csr.targets,
+                });
+            } else {
+                let fwd: &Csr = &forward[et.index()];
+                if csr.targets.len() != fwd.targets.len() {
+                    return Err(verr(format!(
+                        "edge type {et:?}: forward and reverse CSRs disagree on edge count"
+                    )));
+                }
+                reverse.push(Csr {
+                    offsets: csr.offsets,
+                    targets: csr.targets,
+                });
+            }
+        }
+        if forward_nnz != edge_count {
+            return Err(verr(format!(
+                "edge_count {edge_count} does not match stored adjacency ({forward_nnz})"
+            )));
+        }
+
+        Ok(HinGraph {
+            schema,
+            vertex_types,
+            name_blob,
+            name_offsets,
+            by_type_offsets,
+            by_type_ids,
+            name_order,
+            forward,
+            reverse,
+            edge_count: edge_count as usize,
+        })
+    }
+}
+
+/// Validate an offsets column: `count + 1` entries, starting at 0, monotone
+/// nondecreasing, ending exactly at `total`.
+fn check_offsets(
+    offsets: &Store<u32>,
+    count: usize,
+    total: usize,
+    what: &str,
+) -> Result<(), GraphError> {
+    if offsets.len() != count + 1 {
+        return Err(verr(format!(
+            "{what}: expected {} entries, found {}",
+            count + 1,
+            offsets.len()
+        )));
+    }
+    if offsets[0] != 0 {
+        return Err(verr(format!("{what}: first offset must be 0")));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(verr(format!("{what}: offsets must be nondecreasing")));
+    }
+    if offsets[count] as usize != total {
+        return Err(verr(format!(
+            "{what}: last offset {} does not match data length {total}",
+            offsets[count]
+        )));
+    }
+    Ok(())
 }
 
 /// A borrowed view of one vertex, carrying its graph for name/type access.
@@ -394,103 +675,101 @@ impl GraphBuilder {
     pub fn build(self) -> HinGraph {
         let n = self.vertex_types.len();
         let et_count = self.schema.edge_type_count();
+        let type_count = self.schema.vertex_type_count();
 
-        // Degree counting pass.
-        let mut fwd_deg = vec![vec![0u32; n]; et_count];
-        let mut rev_deg = vec![vec![0u32; n]; et_count];
-        for e in &self.edges {
-            fwd_deg[e.etype.index()][e.src.index()] += 1;
-            rev_deg[e.etype.index()][e.dst.index()] += 1;
-        }
-
-        let build_csr = |deg: &[u32], fill: &mut dyn FnMut(&mut Vec<u32>, &mut Vec<VertexId>)| {
-            let mut offsets = Vec::with_capacity(n + 1);
-            let mut total = 0u32;
-            offsets.push(0);
-            for &d in deg {
-                total += d;
-                offsets.push(total);
-            }
-            let mut targets = vec![VertexId(0); total as usize];
-            fill(&mut offsets, &mut targets);
-            Csr { offsets, targets }
-        };
-
+        // Per-edge-type CSRs, both directions, neighbor lists sorted.
         let mut forward = Vec::with_capacity(et_count);
         let mut reverse = Vec::with_capacity(et_count);
         for et in 0..et_count {
-            // Forward
-            let mut cursor = {
-                let mut c = Vec::with_capacity(n + 1);
-                let mut acc = 0u32;
-                c.push(0);
-                for &d in &fwd_deg[et] {
-                    acc += d;
-                    c.push(acc);
-                }
-                c
-            };
-            let mut csr = build_csr(&fwd_deg[et], &mut |_off, targets| {
+            for dir in [Direction::Forward, Direction::Reverse] {
+                let mut deg = vec![0u32; n];
                 for e in &self.edges {
                     if e.etype.index() != et {
                         continue;
                     }
-                    let slot = cursor[e.src.index()];
-                    targets[slot as usize] = e.dst;
-                    cursor[e.src.index()] += 1;
+                    let row = match dir {
+                        Direction::Forward => e.src,
+                        Direction::Reverse => e.dst,
+                    };
+                    deg[row.index()] += 1;
                 }
-            });
-            // Keep neighbor lists sorted for deterministic iteration.
-            sort_csr(&mut csr, n);
-            forward.push(csr);
-
-            let mut cursor = {
-                let mut c = Vec::with_capacity(n + 1);
-                let mut acc = 0u32;
-                c.push(0);
-                for &d in &rev_deg[et] {
-                    acc += d;
-                    c.push(acc);
+                let mut offsets = Vec::with_capacity(n + 1);
+                let mut total = 0u32;
+                offsets.push(0);
+                for &d in &deg {
+                    total += d;
+                    offsets.push(total);
                 }
-                c
-            };
-            let mut csr = build_csr(&rev_deg[et], &mut |_off, targets| {
+                let mut cursor = offsets.clone();
+                let mut targets = vec![VertexId(0); total as usize];
                 for e in &self.edges {
                     if e.etype.index() != et {
                         continue;
                     }
-                    let slot = cursor[e.dst.index()];
-                    targets[slot as usize] = e.src;
-                    cursor[e.dst.index()] += 1;
+                    let (row, col) = match dir {
+                        Direction::Forward => (e.src, e.dst),
+                        Direction::Reverse => (e.dst, e.src),
+                    };
+                    targets[cursor[row.index()] as usize] = col;
+                    cursor[row.index()] += 1;
                 }
-            });
-            sort_csr(&mut csr, n);
-            reverse.push(csr);
+                // Keep neighbor lists sorted for deterministic iteration.
+                for v in 0..n {
+                    targets[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
+                }
+                let csr = Csr {
+                    offsets: offsets.into(),
+                    targets: targets.into(),
+                };
+                match dir {
+                    Direction::Forward => forward.push(csr),
+                    Direction::Reverse => reverse.push(csr),
+                }
+            }
         }
 
-        let mut by_type = vec![Vec::new(); self.schema.vertex_type_count()];
+        // Intern names into one blob + offsets.
+        let blob_len: usize = self.vertex_names.iter().map(String::len).sum();
+        let mut name_blob = Vec::with_capacity(blob_len);
+        let mut name_offsets = Vec::with_capacity(n + 1);
+        name_offsets.push(0u32);
+        for name in &self.vertex_names {
+            name_blob.extend_from_slice(name.as_bytes());
+            name_offsets.push(name_blob.len() as u32);
+        }
+
+        // Group vertices by type (ascending ids) and, in parallel, a
+        // name-sorted permutation per type for binary-search lookup.
+        let mut by_type: Vec<Vec<VertexId>> = vec![Vec::new(); type_count];
         for (i, t) in self.vertex_types.iter().enumerate() {
             by_type[t.index()].push(VertexId(i as u32));
+        }
+        let mut by_type_offsets = Vec::with_capacity(type_count + 1);
+        let mut by_type_ids = Vec::with_capacity(n);
+        let mut name_order = Vec::with_capacity(n);
+        by_type_offsets.push(0u32);
+        for ids in &by_type {
+            by_type_ids.extend_from_slice(ids);
+            let mut sorted = ids.clone();
+            sorted.sort_unstable_by(|&a, &b| {
+                self.vertex_names[a.index()].cmp(&self.vertex_names[b.index()])
+            });
+            name_order.extend_from_slice(&sorted);
+            by_type_offsets.push(by_type_ids.len() as u32);
         }
 
         HinGraph {
             schema: self.schema,
-            vertex_types: self.vertex_types,
-            vertex_names: self.vertex_names,
-            by_type,
-            name_index: self.name_index,
+            vertex_types: self.vertex_types.into(),
+            name_blob: name_blob.into(),
+            name_offsets: name_offsets.into(),
+            by_type_offsets: by_type_offsets.into(),
+            by_type_ids: by_type_ids.into(),
+            name_order: name_order.into(),
             forward,
             reverse,
             edge_count: self.edges.len(),
         }
-    }
-}
-
-fn sort_csr(csr: &mut Csr, n: usize) {
-    for v in 0..n {
-        let lo = csr.offsets[v] as usize;
-        let hi = csr.offsets[v + 1] as usize;
-        csr.targets[lo..hi].sort_unstable();
     }
 }
 
@@ -548,6 +827,7 @@ mod tests {
         assert_eq!(g.vertex_type(zoe), author);
         assert!(g.vertex_by_name(venue, "Zoe").is_none());
         assert!(g.vertex_by_name(author, "Nobody").is_none());
+        assert!(!g.is_mapped());
     }
 
     #[test]
@@ -697,5 +977,106 @@ mod tests {
         let g = GraphBuilder::new(bibliographic_schema()).build();
         assert_eq!(g.vertex_count(), 0);
         assert_eq!(g.edge_count(), 0);
+    }
+
+    /// Reassemble a graph from its own columns (the writer→loader round
+    /// trip minus serialization) and check behavior is identical.
+    fn roundtrip_store(g: &HinGraph) -> GraphStore {
+        let c = g.columns();
+        GraphStore {
+            schema: c.schema.clone(),
+            vertex_types: c.vertex_types.to_vec().into(),
+            name_blob: c.name_blob.to_vec().into(),
+            name_offsets: c.name_offsets.to_vec().into(),
+            by_type_offsets: c.by_type_offsets.to_vec().into(),
+            by_type_ids: c.by_type_ids.to_vec().into(),
+            name_order: c.name_order.to_vec().into(),
+            csrs: c
+                .csrs
+                .iter()
+                .map(|(o, t)| CsrStore {
+                    offsets: o.to_vec().into(),
+                    targets: t.to_vec().into(),
+                })
+                .collect(),
+            edge_count: c.edge_count,
+        }
+    }
+
+    #[test]
+    fn from_store_roundtrip_preserves_everything() {
+        let g = figure1_network();
+        let h = HinGraph::from_store(roundtrip_store(&g)).unwrap();
+        assert_eq!(g.vertex_count(), h.vertex_count());
+        assert_eq!(g.edge_count(), h.edge_count());
+        for v in g.vertices() {
+            assert_eq!(g.vertex_name(v), h.vertex_name(v));
+            assert_eq!(g.vertex_type(v), h.vertex_type(v));
+        }
+        for t in g.schema().vertex_type_ids() {
+            assert_eq!(g.vertices_of_type(t), h.vertices_of_type(t));
+            for &v in g.vertices_of_type(t) {
+                assert_eq!(h.vertex_by_name(t, g.vertex_name(v)), Some(v));
+            }
+            for u in g.vertices() {
+                assert_eq!(
+                    g.step_neighbors(u, t).collect::<Vec<_>>(),
+                    h.step_neighbors(u, t).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_store_rejects_tampered_columns() {
+        let g = figure1_network();
+
+        // Out-of-range vertex type.
+        let mut s = roundtrip_store(&g);
+        if let Store::Owned(v) = &mut s.vertex_types {
+            v[0] = VertexTypeId(250);
+        }
+        assert!(HinGraph::from_store(s).is_err());
+
+        // Broken name offsets (not monotone).
+        let mut s = roundtrip_store(&g);
+        if let Store::Owned(v) = &mut s.name_offsets {
+            v[1] = u32::MAX;
+        }
+        assert!(HinGraph::from_store(s).is_err());
+
+        // Invalid UTF-8 in the blob.
+        let mut s = roundtrip_store(&g);
+        if let Store::Owned(v) = &mut s.name_blob {
+            v[0] = 0xFF;
+        }
+        assert!(HinGraph::from_store(s).is_err());
+
+        // Wrong edge count.
+        let mut s = roundtrip_store(&g);
+        s.edge_count += 1;
+        assert!(HinGraph::from_store(s).is_err());
+
+        // CSR target out of range.
+        let mut s = roundtrip_store(&g);
+        if let Store::Owned(v) = &mut s.csrs[0].targets {
+            v[0] = VertexId(u32::MAX);
+        }
+        assert!(HinGraph::from_store(s).is_err());
+
+        // Missing CSR block.
+        let mut s = roundtrip_store(&g);
+        s.csrs.pop();
+        assert!(HinGraph::from_store(s).is_err());
+
+        // Shuffled name order breaks the sortedness invariant.
+        let mut s = roundtrip_store(&g);
+        if let Store::Owned(v) = &mut s.name_order {
+            v.swap(0, 1);
+        }
+        assert!(HinGraph::from_store(s).is_err());
+
+        // The untampered store still loads.
+        assert!(HinGraph::from_store(roundtrip_store(&g)).is_ok());
     }
 }

@@ -13,16 +13,25 @@ use std::fmt;
 /// Vertex ids are dense: a graph with `n` vertices uses ids `0..n`. The id
 /// space is shared across all vertex types (the type of a vertex is recovered
 /// via [`crate::HinGraph::vertex_type`]).
+///
+/// `repr(transparent)` over `u32` is a layout guarantee the storage layer
+/// relies on: arrays of ids can be reinterpreted as arrays of `u32` (and
+/// back) when loading memory-mapped snapshots without copying.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct VertexId(pub u32);
 
 /// Identifier of a vertex *type* (e.g. `author`, `paper`) in a [`crate::Schema`].
+///
+/// `repr(transparent)` over `u8`: see [`VertexId`] for why.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct VertexTypeId(pub u8);
 
 /// Identifier of an edge *type* (e.g. `writes: author -> paper`) in a
 /// [`crate::Schema`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct EdgeTypeId(pub u16);
 
 impl VertexId {

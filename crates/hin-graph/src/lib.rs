@@ -26,6 +26,10 @@
 //!   path counting built on the sparse kernels.
 //! * [`io`] / [`binio`] — text and compact binary persistence (with
 //!   format auto-detection via [`binio::load_graph_auto`]).
+//! * [`store`] — the column storage layer ([`Store`], [`GraphStore`],
+//!   [`GraphColumns`]) that lets a graph be backed either by heap
+//!   allocations or by borrowed views into a memory-mapped snapshot
+//!   (see the `hin-snapshot` crate).
 //!
 //! ## Quickstart
 //!
@@ -70,6 +74,7 @@ mod metapath;
 mod schema;
 pub mod sparse;
 pub mod stats;
+pub mod store;
 pub mod traverse;
 
 pub use error::GraphError;
@@ -78,3 +83,4 @@ pub use ids::{EdgeTypeId, VertexId, VertexTypeId};
 pub use metapath::MetaPath;
 pub use schema::{bibliographic_schema, EdgeTypeInfo, Schema, SchemaBuilder, VertexTypeInfo};
 pub use sparse::{DenseAccumulator, SparseMatrix, SparseVec};
+pub use store::{ByteRegion, CsrStore, GraphColumns, GraphStore, HeapRegion, Pod, Store};

@@ -7,6 +7,7 @@
 //! simple and cache-friendly: sorted coordinate lists for vectors and CSR for
 //! matrices.
 
+use crate::error::GraphError;
 use crate::ids::VertexId;
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
@@ -494,6 +495,59 @@ impl SparseMatrix {
             offsets,
             cols_vals,
         }
+    }
+
+    /// The raw columns backing this matrix, for serialization:
+    /// `(row ids, offsets, (column, value) pairs)`. Row ids are sorted
+    /// ascending; `offsets` has `row_count() + 1` entries delimiting each
+    /// row's pairs; columns are sorted within each row.
+    pub fn raw_parts(&self) -> (&[VertexId], &[u32], &[(VertexId, f64)]) {
+        (&self.rows, &self.offsets, &self.cols_vals)
+    }
+
+    /// Rebuild a matrix from raw columns (the inverse of
+    /// [`SparseMatrix::raw_parts`]), validating the structural invariants
+    /// the accessors rely on: strictly ascending row ids, a monotone offsets
+    /// column of length `rows + 1` starting at 0 and ending at
+    /// `cols_vals.len()`, and sorted columns within each row. Never panics
+    /// on malformed input.
+    pub fn from_raw_parts(
+        rows: Vec<VertexId>,
+        offsets: Vec<u32>,
+        cols_vals: Vec<(VertexId, f64)>,
+    ) -> Result<Self, GraphError> {
+        let raw_err = |message: String| GraphError::Format { line: 0, message };
+        if offsets.len() != rows.len() + 1 {
+            return Err(raw_err(format!(
+                "matrix offsets: expected {} entries, found {}",
+                rows.len() + 1,
+                offsets.len()
+            )));
+        }
+        if rows.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(raw_err("matrix row ids not strictly ascending".into()));
+        }
+        if offsets.first() != Some(&0) || offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(raw_err("matrix offsets not monotone from 0".into()));
+        }
+        if offsets[rows.len()] as usize != cols_vals.len() {
+            return Err(raw_err(format!(
+                "matrix offsets end at {} but {} pairs are stored",
+                offsets[rows.len()],
+                cols_vals.len()
+            )));
+        }
+        for (i, w) in offsets.windows(2).enumerate() {
+            let row = &cols_vals[w[0] as usize..w[1] as usize];
+            if row.windows(2).any(|p| p[0].0 > p[1].0) {
+                return Err(raw_err(format!("matrix row {i}: columns not sorted")));
+            }
+        }
+        Ok(SparseMatrix {
+            rows,
+            offsets,
+            cols_vals,
+        })
     }
 
     /// Number of stored rows.

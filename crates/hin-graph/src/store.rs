@@ -1,0 +1,335 @@
+//! Interchangeable array storage for graph columns: owned `Vec`s or
+//! zero-copy views into a shared byte region (a memory-mapped snapshot).
+//!
+//! [`HinGraph`](crate::HinGraph) keeps every persistent column — vertex
+//! types, interned names, per-type indexes, CSR adjacency — behind a
+//! [`Store<T>`], which is either `Owned` (a plain `Vec`, the
+//! [`GraphBuilder`](crate::GraphBuilder) path) or `Mapped` (a typed window
+//! into an [`Arc<dyn ByteRegion>`], the snapshot path). Both deref to `&[T]`
+//! so the engine above never sees the difference.
+//!
+//! The loader-facing bundle of columns is [`GraphStore`]; the writer-facing
+//! borrowed view is [`GraphColumns`]. A validated round-trip goes
+//! `HinGraph::columns()` → serialize → map → `GraphStore` →
+//! `HinGraph::from_store()`.
+
+use crate::error::GraphError;
+use crate::ids::{VertexId, VertexTypeId};
+use crate::schema::Schema;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Marker for types that can be reinterpreted directly from raw bytes.
+///
+/// # Safety
+///
+/// Implementors must guarantee that every bit pattern of `size_of::<Self>()`
+/// bytes is a valid value of `Self` and that the type has no padding bytes.
+/// All implementations here are integers, `f64`, or `repr(transparent)`
+/// newtypes over them.
+pub unsafe trait Pod: Copy + 'static {}
+
+// Safety: primitive integers and floats accept every bit pattern and have no
+// padding.
+unsafe impl Pod for u8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for f64 {}
+// Safety: `repr(transparent)` newtypes over `u32` / `u8` (see `ids.rs`).
+unsafe impl Pod for VertexId {}
+unsafe impl Pod for VertexTypeId {}
+
+/// A stable, immutable byte buffer that outlives every [`Store`] borrowing
+/// from it — typically a memory-mapped file, or a heap copy on platforms
+/// without `mmap`.
+///
+/// # Safety
+///
+/// `bytes()` must return the *same* buffer (same address, same length) on
+/// every call for the lifetime of the value, and the contents must never
+/// change. `Store::mapped` validates offsets/alignment once against this
+/// buffer and then trusts it.
+pub unsafe trait ByteRegion: Send + Sync + 'static {
+    /// The underlying bytes.
+    fn bytes(&self) -> &[u8];
+}
+
+/// A heap-backed [`ByteRegion`] with 8-byte alignment — the portable
+/// fallback when `mmap` is unavailable, and the in-memory path used by
+/// tests. Alignment suffices for every [`Pod`] type stored in snapshots
+/// (max align 8 for `u64`/`f64`).
+pub struct HeapRegion {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl HeapRegion {
+    /// Copy `bytes` into a fresh 8-byte-aligned buffer.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let words = vec![0u64; bytes.len().div_ceil(8)];
+        let mut region = HeapRegion {
+            words,
+            len: bytes.len(),
+        };
+        // Safety: the Vec<u64> allocation is at least `len` bytes long.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                region.words.as_mut_ptr() as *mut u8,
+                bytes.len(),
+            );
+        }
+        region
+    }
+}
+
+// Safety: the buffer is allocated once in `from_bytes` and never mutated or
+// reallocated afterwards (no `&mut` methods exist).
+unsafe impl ByteRegion for HeapRegion {
+    fn bytes(&self) -> &[u8] {
+        // Safety: `words` owns at least `len` initialized bytes.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr() as *const u8, self.len) }
+    }
+}
+
+/// One typed graph column: either an owned `Vec<T>` or a zero-copy window
+/// into a shared [`ByteRegion`]. Dereferences to `&[T]` either way.
+pub enum Store<T: Pod> {
+    /// Heap-owned storage (the [`crate::GraphBuilder`] path).
+    Owned(Vec<T>),
+    /// A validated `[offset, offset + len * size_of::<T>())` window into a
+    /// shared region (the snapshot path).
+    Mapped {
+        /// The backing region, kept alive by this store.
+        region: Arc<dyn ByteRegion>,
+        /// Byte offset of the first element within the region.
+        offset: usize,
+        /// Number of `T` elements.
+        len: usize,
+    },
+}
+
+fn serr(message: impl Into<String>) -> GraphError {
+    GraphError::Format {
+        line: 0,
+        message: message.into(),
+    }
+}
+
+impl<T: Pod> Store<T> {
+    /// A typed window into `region`, validated once: the window must lie
+    /// inside the region and start at an address aligned for `T`.
+    pub fn mapped(
+        region: Arc<dyn ByteRegion>,
+        offset: usize,
+        len: usize,
+    ) -> Result<Self, GraphError> {
+        let byte_len = len
+            .checked_mul(std::mem::size_of::<T>())
+            .ok_or_else(|| serr("store length overflows"))?;
+        let end = offset
+            .checked_add(byte_len)
+            .ok_or_else(|| serr("store window overflows"))?;
+        let bytes = region.bytes();
+        if end > bytes.len() {
+            return Err(serr(format!(
+                "store window {offset}..{end} exceeds region of {} bytes",
+                bytes.len()
+            )));
+        }
+        if (bytes.as_ptr() as usize + offset) % std::mem::align_of::<T>() != 0 {
+            return Err(serr(format!(
+                "store window at byte {offset} is misaligned for element size {}",
+                std::mem::size_of::<T>()
+            )));
+        }
+        Ok(Store::Mapped {
+            region,
+            offset,
+            len,
+        })
+    }
+
+    /// The elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            Store::Owned(v) => v.as_slice(),
+            Store::Mapped {
+                region,
+                offset,
+                len,
+            } => {
+                let bytes = region.bytes();
+                // Safety: `mapped()` validated bounds and alignment against
+                // this exact buffer, `ByteRegion` guarantees the buffer is
+                // stable, and `Pod` guarantees any bytes are a valid `T`.
+                unsafe { std::slice::from_raw_parts(bytes.as_ptr().add(*offset) as *const T, *len) }
+            }
+        }
+    }
+
+    /// Whether this store borrows from a mapped region (as opposed to
+    /// owning heap memory).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, Store::Mapped { .. })
+    }
+}
+
+impl<T: Pod> Deref for Store<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Pod> From<Vec<T>> for Store<T> {
+    fn from(v: Vec<T>) -> Self {
+        Store::Owned(v)
+    }
+}
+
+impl<T: Pod> Default for Store<T> {
+    fn default() -> Self {
+        Store::Owned(Vec::new())
+    }
+}
+
+impl<T: Pod> Clone for Store<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Store::Owned(v) => Store::Owned(v.clone()),
+            Store::Mapped {
+                region,
+                offset,
+                len,
+            } => Store::Mapped {
+                region: Arc::clone(region),
+                offset: *offset,
+                len: *len,
+            },
+        }
+    }
+}
+
+impl<T: Pod + std::fmt::Debug> std::fmt::Debug for Store<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = if self.is_mapped() { "mapped" } else { "owned" };
+        write!(f, "Store<{kind}>({} elems)", self.len())
+    }
+}
+
+/// One CSR adjacency block (one `(edge type, direction)` pair) as stores.
+#[derive(Debug, Clone, Default)]
+pub struct CsrStore {
+    /// `offsets[v]..offsets[v+1]` indexes into `targets`; length `n + 1`.
+    pub offsets: Store<u32>,
+    /// Concatenated neighbor lists, sorted within each row.
+    pub targets: Store<VertexId>,
+}
+
+/// Every persistent column of a graph, each independently owned or mapped —
+/// the loader-side bridge into [`HinGraph::from_store`](crate::HinGraph::from_store),
+/// which validates all invariants before wrapping the columns.
+#[derive(Debug, Clone)]
+pub struct GraphStore {
+    /// The type system the columns conform to.
+    pub schema: Schema,
+    /// Per vertex: its type. Length `n`.
+    pub vertex_types: Store<VertexTypeId>,
+    /// All vertex names concatenated, UTF-8.
+    pub name_blob: Store<u8>,
+    /// Per vertex: byte range `name_offsets[v]..name_offsets[v+1]` of its
+    /// name within `name_blob`. Length `n + 1`.
+    pub name_offsets: Store<u32>,
+    /// Per vertex type `t`: `by_type_offsets[t]..by_type_offsets[t+1]`
+    /// bounds `t`'s segment in `by_type_ids` and `name_order`. Length
+    /// `T + 1`.
+    pub by_type_offsets: Store<u32>,
+    /// Vertex ids grouped by type, ascending within each segment. Length `n`.
+    pub by_type_ids: Store<VertexId>,
+    /// Vertex ids grouped by type, sorted by *name* within each segment
+    /// (the binary-search index replacing a per-type hash map). Length `n`.
+    pub name_order: Store<VertexId>,
+    /// CSR blocks, two per edge type in schema order: forward then reverse.
+    pub csrs: Vec<CsrStore>,
+    /// Total number of edges (each stored once, in its type's forward CSR).
+    pub edge_count: u64,
+}
+
+/// A borrowed view of every persistent graph column — what a snapshot
+/// writer serializes. Obtained from
+/// [`HinGraph::columns`](crate::HinGraph::columns).
+#[derive(Debug, Clone)]
+pub struct GraphColumns<'g> {
+    /// The type system.
+    pub schema: &'g Schema,
+    /// Per vertex: its type.
+    pub vertex_types: &'g [VertexTypeId],
+    /// Concatenated UTF-8 vertex names.
+    pub name_blob: &'g [u8],
+    /// Per vertex: byte range of its name in `name_blob`.
+    pub name_offsets: &'g [u32],
+    /// Per type: segment bounds in `by_type_ids` / `name_order`.
+    pub by_type_offsets: &'g [u32],
+    /// Vertex ids grouped by type, ascending.
+    pub by_type_ids: &'g [VertexId],
+    /// Vertex ids grouped by type, sorted by name.
+    pub name_order: &'g [VertexId],
+    /// `(offsets, targets)` per CSR block, two per edge type (fwd, rev).
+    pub csrs: Vec<(&'g [u32], &'g [VertexId])>,
+    /// Total edge count.
+    pub edge_count: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_region_roundtrips_bytes() {
+        let data: Vec<u8> = (0..=255).collect();
+        let region = HeapRegion::from_bytes(&data);
+        assert_eq!(region.bytes(), data.as_slice());
+        assert_eq!(region.bytes().as_ptr() as usize % 8, 0, "8-byte aligned");
+        assert!(HeapRegion::from_bytes(&[]).bytes().is_empty());
+    }
+
+    #[test]
+    fn mapped_store_reads_typed_elements() {
+        let mut bytes = Vec::new();
+        for x in [1u32, 2, 3, 4] {
+            bytes.extend_from_slice(&x.to_le_bytes());
+        }
+        let region: Arc<dyn ByteRegion> = Arc::new(HeapRegion::from_bytes(&bytes));
+        let s: Store<u32> = Store::mapped(Arc::clone(&region), 4, 2).unwrap();
+        assert_eq!(&*s, &[2, 3]);
+        assert!(s.is_mapped());
+        let ids: Store<VertexId> = Store::mapped(region, 0, 4).unwrap();
+        assert_eq!(ids[3], VertexId(4));
+    }
+
+    #[test]
+    fn mapped_store_rejects_out_of_bounds_and_misalignment() {
+        let region: Arc<dyn ByteRegion> = Arc::new(HeapRegion::from_bytes(&[0u8; 16]));
+        assert!(Store::<u32>::mapped(Arc::clone(&region), 8, 3).is_err());
+        assert!(Store::<u32>::mapped(Arc::clone(&region), 2, 1).is_err());
+        assert!(Store::<u64>::mapped(Arc::clone(&region), 4, 1).is_err());
+        assert!(Store::<u32>::mapped(Arc::clone(&region), usize::MAX, 1).is_err());
+        assert!(Store::<u64>::mapped(region, 0, usize::MAX / 2).is_err());
+    }
+
+    #[test]
+    fn owned_store_derefs_and_clones() {
+        let s: Store<u32> = vec![5, 6, 7].into();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_mapped());
+        let c = s.clone();
+        assert_eq!(&*c, &*s);
+        assert_eq!(format!("{s:?}"), "Store<owned>(3 elems)");
+        let d: Store<u32> = Store::default();
+        assert!(d.is_empty());
+    }
+}

@@ -351,6 +351,12 @@ impl Server {
     }
 
     /// The bound address (resolves the port when bound to `:0`).
+    /// The live statistics block — lets the embedding process set startup
+    /// gauges (e.g. `hin_snapshot_load_us`) before calling [`Server::run`].
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
     }

@@ -47,6 +47,9 @@ pub struct ServerStats {
     pub deduped: Counter,
     /// Connections dropped server-side by fault injection.
     pub dropped_conns: Counter,
+    /// Microseconds spent loading the serving snapshot at startup (0 when
+    /// the graph was rebuilt from a text/binio file instead).
+    pub snapshot_load_us: Gauge,
     /// Time from admission to a worker picking the job up.
     queue_wait: Arc<Histogram>,
     /// Worker execution time (parse+bind+execute).
@@ -112,6 +115,10 @@ impl ServerStats {
             dropped_conns: registry.counter(
                 "hin_dropped_conns_total",
                 "Connections dropped by fault injection.",
+            ),
+            snapshot_load_us: registry.gauge(
+                "hin_snapshot_load_us",
+                "Startup snapshot (mmap) load time, microseconds; 0 without a snapshot.",
             ),
             queue_wait: registry.histogram(
                 "hin_queue_wait_us",

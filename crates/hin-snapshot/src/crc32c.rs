@@ -1,0 +1,111 @@
+//! Software CRC32C (Castagnoli, reflected polynomial `0x82F63B78`),
+//! slicing-by-8. No dependencies; tables are built at compile time.
+//!
+//! CRC32C detects every single-byte corruption and all burst errors up to
+//! 32 bits, which is the property the snapshot loader's "corrupting any byte
+//! yields a structured error" guarantee rests on.
+
+const POLY: u32 = 0x82F6_3B78;
+
+const fn make_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            j += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+}
+
+static TABLES: [[u32; 256]; 8] = make_tables();
+
+/// The CRC32C of `data` (standard init/final XOR with `!0`).
+pub fn crc32c(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ crc;
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        crc = TABLES[7][(lo & 0xFF) as usize]
+            ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(lo >> 24) as usize]
+            ^ TABLES[3][(hi & 0xFF) as usize]
+            ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // RFC 3720 / standard CRC32C check value.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(b"a"), 0xC1D0_4330);
+        // 32 zero bytes (iSCSI test vector).
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        // 32 0xFF bytes.
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn slicing_matches_bytewise_reference() {
+        let data: Vec<u8> = (0..1021u32).map(|i| (i * 31 % 251) as u8).collect();
+        // Byte-at-a-time reference.
+        let mut crc = !0u32;
+        for &b in &data {
+            crc ^= b as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+        }
+        assert_eq!(crc32c(&data), !crc);
+    }
+
+    #[test]
+    fn any_single_byte_flip_changes_the_crc() {
+        let data: Vec<u8> = (0..257u32).map(|i| (i % 256) as u8).collect();
+        let base = crc32c(&data);
+        let mut tampered = data.clone();
+        for i in 0..tampered.len() {
+            for flip in [1u8, 0x80, 0xFF] {
+                tampered[i] ^= flip;
+                assert_ne!(crc32c(&tampered), base, "flip {flip:#x} at {i} undetected");
+                tampered[i] ^= flip;
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Structured snapshot errors.
+//!
+//! Hardened-loader discipline: every malformed, truncated, or corrupted
+//! snapshot byte must surface as a [`SnapshotError`] — opening a snapshot
+//! never panics and never silently yields a wrong graph.
+
+use hin_graph::GraphError;
+use std::fmt;
+
+/// Why a snapshot could not be written or opened.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// An operating-system error (open, read, map, rename, ...).
+    Io(std::io::Error),
+    /// The file is shorter than a structure it must contain.
+    Truncated {
+        /// Bytes the structure needs.
+        expected: u64,
+        /// Bytes actually available.
+        found: u64,
+    },
+    /// The file does not start with the `HSNP` magic.
+    BadMagic,
+    /// The file's format version is not one this build can read.
+    UnsupportedVersion {
+        /// The version stamped in the header.
+        found: u16,
+    },
+    /// This platform cannot consume the format (e.g. big-endian targets:
+    /// sections are little-endian and reinterpreted in place).
+    UnsupportedPlatform(&'static str),
+    /// A CRC32C check failed — the named region's bytes were altered.
+    ChecksumMismatch {
+        /// Which region failed: `"header"`, `"section table"`, or a
+        /// section name.
+        region: String,
+    },
+    /// A structural rule was violated (overlapping sections, bad offsets,
+    /// nonzero padding, missing or duplicate sections, ...).
+    Format {
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// The sections decoded, but the graph or index columns inside them
+    /// failed semantic validation.
+    Graph(GraphError),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::Truncated { expected, found } => {
+                write!(f, "snapshot truncated: need {expected} bytes, have {found}")
+            }
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(f, "unsupported snapshot version {found}")
+            }
+            SnapshotError::UnsupportedPlatform(why) => {
+                write!(f, "platform cannot read snapshots: {why}")
+            }
+            SnapshotError::ChecksumMismatch { region } => {
+                write!(f, "snapshot corrupted: checksum mismatch in {region}")
+            }
+            SnapshotError::Format { message } => write!(f, "malformed snapshot: {message}"),
+            SnapshotError::Graph(e) => write!(f, "snapshot columns failed validation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            SnapshotError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<GraphError> for SnapshotError {
+    fn from(e: GraphError) -> Self {
+        SnapshotError::Graph(e)
+    }
+}
+
+/// Shorthand for a [`SnapshotError::Format`].
+pub(crate) fn ferr(message: impl Into<String>) -> SnapshotError {
+    SnapshotError::Format {
+        message: message.into(),
+    }
+}

@@ -1,0 +1,37 @@
+//! # hin-snapshot
+//!
+//! Zero-copy, memory-mapped snapshots of a heterogeneous information
+//! network and its pre-materialization index, for instant-start serving.
+//!
+//! A snapshot is a single sectioned binary file (see [`format`]) holding the
+//! typed CSR adjacency columns, schema, interned vertex names, and the
+//! `PmIndex` precomputations. [`SnapshotWriter`] produces it from a built
+//! graph; [`Snapshot::load`] opens it with `mmap` and hands the engine
+//! borrowed slices — no per-element deserialization, so a multi-gigabyte
+//! graph is query-ready in the time it takes to validate checksums, and N
+//! processes on one machine share a single page-cache copy.
+//!
+//! Corruption safety: every byte of the file is covered by a CRC32C (header,
+//! section table, each section) or a must-be-zero padding rule, and the
+//! graph/index columns are semantically re-validated before use. Opening a
+//! damaged snapshot returns a structured [`SnapshotError`]; it never panics
+//! and never silently yields wrong answers.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+// Library code paths must report failures as `SnapshotError`, never panic;
+// tests are free to unwrap. Intentional invariants carry local `#[allow]`s
+// with a justification comment.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod crc32c;
+mod error;
+pub mod format;
+mod region;
+mod view;
+mod writer;
+
+pub use error::SnapshotError;
+pub use region::open_region;
+pub use view::{SectionInfo, Snapshot, SnapshotInfo};
+pub use writer::SnapshotWriter;

@@ -1,0 +1,162 @@
+//! Byte regions backing a snapshot: a read-only `mmap` on 64-bit Unix, a
+//! heap copy everywhere else.
+//!
+//! The mapping is what makes snapshot starts instant *and* cheap across a
+//! fleet: pages are faulted in lazily on first access and live in the shared
+//! OS page cache, so N server processes opening the same snapshot on one
+//! machine share a single physical copy.
+
+use crate::error::SnapshotError;
+use hin_graph::ByteRegion;
+use std::path::Path;
+use std::sync::Arc;
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod mmap {
+    use super::*;
+    use std::os::raw::{c_int, c_void};
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: c_int = 1;
+    const MAP_SHARED: c_int = 1;
+
+    // Bound directly against libc (already linked by std) rather than a
+    // crate. `off_t` is `i64` on every 64-bit Unix this module is compiled
+    // for (the `target_pointer_width = "64"` gate above).
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    /// A read-only shared mapping of an entire file.
+    pub struct MmapRegion {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // Safety: the mapping is PROT_READ and never remapped; concurrent reads
+    // of immutable memory are safe from any thread.
+    unsafe impl Send for MmapRegion {}
+    unsafe impl Sync for MmapRegion {}
+
+    impl MmapRegion {
+        /// Map `file` (of known nonzero `len` bytes) read-only.
+        pub fn map(file: &std::fs::File, len: usize) -> Result<Self, SnapshotError> {
+            // Safety: fd is valid for the duration of the call; a read-only
+            // shared mapping of a regular file has no aliasing requirements
+            // on our side. MAP_FAILED is -1.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_SHARED,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 || ptr.is_null() {
+                return Err(SnapshotError::Io(std::io::Error::last_os_error()));
+            }
+            Ok(MmapRegion {
+                ptr: ptr as *const u8,
+                len,
+            })
+        }
+    }
+
+    impl Drop for MmapRegion {
+        fn drop(&mut self) {
+            // Safety: `ptr`/`len` are exactly what mmap returned; the region
+            // is unmapped once (Drop runs once) and never used afterwards.
+            unsafe {
+                munmap(self.ptr as *mut c_void, self.len);
+            }
+        }
+    }
+
+    // Safety: the pointer and length never change after construction and the
+    // mapping is read-only, so `bytes()` returns the same immutable buffer
+    // on every call. (The contract assumes the snapshot file itself is not
+    // mutated while mapped — writers never modify in place, they replace
+    // atomically via rename; see `SnapshotWriter`.)
+    unsafe impl ByteRegion for MmapRegion {
+        fn bytes(&self) -> &[u8] {
+            // Safety: the mapping covers exactly `len` readable bytes.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+}
+
+/// Open `path` as a [`ByteRegion`]: memory-mapped on 64-bit Unix, read into
+/// an aligned heap buffer elsewhere. Fails with [`SnapshotError::Truncated`]
+/// for files too short to even hold a header (this also sidesteps
+/// zero-length `mmap`, which the OS rejects).
+pub fn open_region(path: &Path) -> Result<Arc<dyn ByteRegion>, SnapshotError> {
+    let file = std::fs::File::open(path)?;
+    let len = file.metadata()?.len();
+    if len < crate::format::HEADER_LEN as u64 {
+        return Err(SnapshotError::Truncated {
+            expected: crate::format::HEADER_LEN as u64,
+            found: len,
+        });
+    }
+    if len > usize::MAX as u64 {
+        return Err(crate::error::ferr("snapshot larger than address space"));
+    }
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    {
+        Ok(Arc::new(mmap::MmapRegion::map(&file, len as usize)?))
+    }
+    #[cfg(not(all(unix, target_pointer_width = "64")))]
+    {
+        let bytes = std::fs::read(path)?;
+        if (bytes.len() as u64) < len {
+            return Err(SnapshotError::Truncated {
+                expected: len,
+                found: bytes.len() as u64,
+            });
+        }
+        Ok(Arc::new(hin_graph::HeapRegion::from_bytes(&bytes)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("hin_region_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = tmp("maps");
+        let data: Vec<u8> = (0..200u32).flat_map(|i| (i * 7).to_le_bytes()).collect();
+        std::fs::write(&path, &data).unwrap();
+        let region = open_region(&path).unwrap();
+        assert_eq!(region.bytes(), data.as_slice());
+        // Page-aligned start on the mmap path; at minimum element-aligned.
+        assert_eq!(region.bytes().as_ptr() as usize % 8, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn short_and_missing_files_error() {
+        let path = tmp("short");
+        std::fs::write(&path, [1, 2, 3]).unwrap();
+        assert!(matches!(
+            open_region(&path),
+            Err(SnapshotError::Truncated { found: 3, .. })
+        ));
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(open_region(&path), Err(SnapshotError::Io(_))));
+    }
+}

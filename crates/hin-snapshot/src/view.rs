@@ -1,0 +1,698 @@
+//! Opening snapshots: validate the container, map the graph columns
+//! zero-copy, and rebuild the pre-materialization index.
+//!
+//! Validation happens in three layers, all up front:
+//!
+//! 1. [`crate::format::parse_layout`] authenticates every byte of the file
+//!    (CRCs + zero rules).
+//! 2. This module checks section presence, exact sizes against META, and
+//!    cross-section consistency.
+//! 3. [`HinGraph::from_store`] / [`SparseMatrix::from_raw_parts`] /
+//!    [`PmIndex::from_parts`] re-validate the semantic invariants the query
+//!    engine relies on.
+//!
+//! After `load` returns, graph adjacency and name columns are borrowed
+//! slices into the mapping (zero-copy; pages fault in lazily). The index's
+//! `(column, value)` pairs are rebuilt in memory because Rust tuples have
+//! unspecified layout — see DESIGN.md §14 for the honest accounting.
+
+use crate::error::{ferr, SnapshotError};
+use crate::format::{parse_layout, section, RawSection};
+use crate::region::open_region;
+use hin_graph::{
+    ByteRegion, CsrStore, GraphStore, HeapRegion, HinGraph, MetaPath, Schema, SchemaBuilder,
+    SparseMatrix, Store, VertexId, VertexTypeId,
+};
+use netout::engine::index::PmIndex;
+use std::path::Path;
+use std::sync::Arc;
+
+/// One section as reported by [`SnapshotInfo`].
+#[derive(Debug, Clone)]
+pub struct SectionInfo {
+    /// Section id.
+    pub id: u32,
+    /// Human-readable section name.
+    pub name: &'static str,
+    /// Byte offset within the file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// Payload CRC32C.
+    pub crc: u32,
+}
+
+/// Summary of a validated snapshot (what `hinout snapshot inspect` prints).
+#[derive(Debug, Clone)]
+pub struct SnapshotInfo {
+    /// Total file size in bytes.
+    pub file_len: u64,
+    /// Number of vertices.
+    pub vertex_count: u64,
+    /// Number of edges.
+    pub edge_count: u64,
+    /// Number of vertex types in the schema.
+    pub vertex_type_count: u64,
+    /// Number of edge types in the schema.
+    pub edge_type_count: u64,
+    /// Whether a pre-materialization index is embedded.
+    pub has_index: bool,
+    /// Indexed meta-path count (0 without an index).
+    pub pm_paths: u64,
+    /// Total materialized index rows.
+    pub pm_rows: u64,
+    /// Total index non-zeros.
+    pub pm_nnz: u64,
+    /// Whether the graph columns are memory-mapped (false = heap fallback).
+    pub mapped: bool,
+    /// Per-section layout.
+    pub sections: Vec<SectionInfo>,
+}
+
+/// A loaded snapshot: a query-ready graph (zero-copy where the platform
+/// allows) plus its embedded index.
+#[derive(Debug)]
+pub struct Snapshot {
+    graph: HinGraph,
+    index: Option<PmIndex>,
+    info: SnapshotInfo,
+}
+
+impl Snapshot {
+    /// Open and fully validate the snapshot at `path` (memory-mapped on
+    /// 64-bit Unix).
+    pub fn load(path: &Path) -> Result<Self, SnapshotError> {
+        Self::from_region(open_region(path)?)
+    }
+
+    /// Open a snapshot from an in-memory image (copied into an aligned heap
+    /// region). Used by tests and the corruption suite; behavior is
+    /// identical to [`Snapshot::load`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        Self::from_region(Arc::new(HeapRegion::from_bytes(bytes)))
+    }
+
+    /// Validate and decode a snapshot from any byte region.
+    pub fn from_region(region: Arc<dyn ByteRegion>) -> Result<Self, SnapshotError> {
+        let decoder = Decoder::new(region)?;
+        decoder.decode()
+    }
+
+    /// The graph.
+    pub fn graph(&self) -> &HinGraph {
+        &self.graph
+    }
+
+    /// The embedded index, when the snapshot carries one.
+    pub fn index(&self) -> Option<&PmIndex> {
+        self.index.as_ref()
+    }
+
+    /// Layout and size summary.
+    pub fn info(&self) -> &SnapshotInfo {
+        &self.info
+    }
+
+    /// Consume into the graph and index (what a server hands to
+    /// `OutlierDetector::from_prebuilt`).
+    pub fn into_parts(self) -> (HinGraph, Option<PmIndex>) {
+        (self.graph, self.index)
+    }
+}
+
+/// Internal decoding state: the authenticated region plus its section table.
+struct Decoder {
+    region: Arc<dyn ByteRegion>,
+    sections: Vec<RawSection>,
+}
+
+impl Decoder {
+    fn new(region: Arc<dyn ByteRegion>) -> Result<Self, SnapshotError> {
+        let sections = parse_layout(region.bytes())?;
+        Ok(Decoder { region, sections })
+    }
+
+    fn find(&self, id: u32) -> Option<&RawSection> {
+        self.sections.iter().find(|s| s.id == id)
+    }
+
+    fn require(&self, id: u32) -> Result<&RawSection, SnapshotError> {
+        self.find(id)
+            .ok_or_else(|| ferr(format!("missing required section {}", section::name(id))))
+    }
+
+    /// The raw payload of a section.
+    fn payload(&self, s: &RawSection) -> &[u8] {
+        &self.region.bytes()[s.offset..s.offset + s.len]
+    }
+
+    /// Map a whole section as a typed column, requiring an exact element
+    /// count.
+    fn column<T: hin_graph::Pod>(
+        &self,
+        id: u32,
+        expected: usize,
+    ) -> Result<Store<T>, SnapshotError> {
+        let s = self.require(id)?;
+        let elem = std::mem::size_of::<T>();
+        if s.len != expected * elem {
+            return Err(ferr(format!(
+                "section {} holds {} bytes, expected {} ({} × {elem})",
+                section::name(id),
+                s.len,
+                expected * elem,
+                expected
+            )));
+        }
+        Ok(Store::mapped(Arc::clone(&self.region), s.offset, expected)?)
+    }
+
+    /// Map a window *within* a section as a typed column. `start` is an
+    /// element index into the section.
+    fn window<T: hin_graph::Pod>(
+        &self,
+        s: &RawSection,
+        start: usize,
+        len: usize,
+    ) -> Result<Store<T>, SnapshotError> {
+        let elem = std::mem::size_of::<T>();
+        let byte_start = start
+            .checked_mul(elem)
+            .and_then(|b| b.checked_add(s.offset))
+            .ok_or_else(|| ferr("section window overflows"))?;
+        let end_elems = start
+            .checked_add(len)
+            .ok_or_else(|| ferr("section window overflows"))?;
+        if end_elems * elem > s.len {
+            return Err(ferr(format!(
+                "window {start}..{end_elems} exceeds section {} of {} bytes",
+                section::name(s.id),
+                s.len
+            )));
+        }
+        Ok(Store::mapped(Arc::clone(&self.region), byte_start, len)?)
+    }
+
+    fn decode(self) -> Result<Snapshot, SnapshotError> {
+        let meta = self.decode_meta()?;
+        let schema = self.decode_schema(&meta)?;
+        let store = self.decode_graph_columns(&meta, schema)?;
+        let graph = HinGraph::from_store(store)?;
+        let index = if meta.pm_present {
+            Some(self.decode_index(&meta, &graph)?)
+        } else {
+            None
+        };
+
+        let (pm_paths, pm_rows, pm_nnz) = index
+            .as_ref()
+            .map(|i| (i.path_count() as u64, i.total_rows() as u64, i.nnz() as u64))
+            .unwrap_or((0, 0, 0));
+        let info = SnapshotInfo {
+            file_len: self.region.bytes().len() as u64,
+            vertex_count: meta.n as u64,
+            edge_count: meta.edge_count,
+            vertex_type_count: meta.vertex_type_count as u64,
+            edge_type_count: meta.edge_type_count as u64,
+            has_index: meta.pm_present,
+            pm_paths,
+            pm_rows,
+            pm_nnz,
+            mapped: graph.is_mapped(),
+            sections: self
+                .sections
+                .iter()
+                .map(|s| SectionInfo {
+                    id: s.id,
+                    name: section::name(s.id),
+                    offset: s.offset as u64,
+                    len: s.len as u64,
+                    crc: s.crc,
+                })
+                .collect(),
+        };
+        Ok(Snapshot { graph, index, info })
+    }
+
+    fn decode_meta(&self) -> Result<Meta, SnapshotError> {
+        let s = self.require(section::META)?;
+        let bytes = self.payload(s);
+        if bytes.len() != 48 {
+            return Err(ferr(format!(
+                "META holds {} bytes, expected 48",
+                bytes.len()
+            )));
+        }
+        let word = |i: usize| {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&bytes[i * 8..i * 8 + 8]);
+            u64::from_le_bytes(buf)
+        };
+        let n = word(0);
+        if n > u32::MAX as u64 {
+            return Err(ferr(format!("vertex count {n} exceeds the id space")));
+        }
+        let edge_type_count = word(2);
+        if edge_type_count > u16::MAX as u64 {
+            return Err(ferr(format!(
+                "edge type count {edge_type_count} exceeds u16"
+            )));
+        }
+        let vertex_type_count = word(3);
+        if vertex_type_count > u8::MAX as u64 {
+            return Err(ferr(format!(
+                "vertex type count {vertex_type_count} exceeds u8"
+            )));
+        }
+        let pm_flag = word(4);
+        if pm_flag > 1 {
+            return Err(ferr(format!("bad pm_present flag {pm_flag}")));
+        }
+        Ok(Meta {
+            n: n as usize,
+            edge_count: word(1),
+            edge_type_count: edge_type_count as usize,
+            vertex_type_count: vertex_type_count as usize,
+            pm_present: pm_flag == 1,
+            pm_path_count: word(5) as usize,
+        })
+    }
+
+    fn decode_schema(&self, meta: &Meta) -> Result<Schema, SnapshotError> {
+        let s = self.require(section::SCHEMA)?;
+        let bytes = self.payload(s);
+        let mut cur = Cursor { bytes, pos: 0 };
+        let vt_count = cur.u8()? as usize;
+        if vt_count != meta.vertex_type_count {
+            return Err(ferr(format!(
+                "schema declares {vt_count} vertex types, META says {}",
+                meta.vertex_type_count
+            )));
+        }
+        let mut sb = SchemaBuilder::new();
+        for _ in 0..vt_count {
+            let name = cur.len_str()?;
+            sb.vertex_type(name);
+        }
+        let et_count = cur.u16()? as usize;
+        if et_count != meta.edge_type_count {
+            return Err(ferr(format!(
+                "schema declares {et_count} edge types, META says {}",
+                meta.edge_type_count
+            )));
+        }
+        for _ in 0..et_count {
+            let name = cur.len_str()?.to_string();
+            let src = cur.u8()?;
+            let dst = cur.u8()?;
+            if src as usize >= vt_count || dst as usize >= vt_count {
+                return Err(ferr(format!(
+                    "edge type {name:?} references vertex type out of range"
+                )));
+            }
+            sb.edge_type(name, VertexTypeId(src), VertexTypeId(dst));
+        }
+        cur.finish()?;
+        // SchemaBuilder re-validates (duplicate names, caps).
+        Ok(sb.build()?)
+    }
+
+    fn decode_graph_columns(
+        &self,
+        meta: &Meta,
+        schema: Schema,
+    ) -> Result<GraphStore, SnapshotError> {
+        let n = meta.n;
+        let t_count = meta.vertex_type_count;
+        let vertex_types: Store<VertexTypeId> = self.column(section::VTYPES, n)?;
+        let name_blob_section = self.require(section::NAME_BLOB)?;
+        let name_blob: Store<u8> = self.window(name_blob_section, 0, name_blob_section.len)?;
+        let name_offsets: Store<u32> = self.column(section::NAME_OFFSETS, n + 1)?;
+        let by_type_offsets: Store<u32> = self.column(section::BY_TYPE_OFFSETS, t_count + 1)?;
+        let by_type_ids: Store<VertexId> = self.column(section::BY_TYPE_IDS, n)?;
+        let name_order: Store<VertexId> = self.column(section::NAME_ORDER, n)?;
+
+        // CSR blocks: 2 per edge type, each with n+1 offsets; target block
+        // lengths are recovered from each block's final offset.
+        let block_count = 2 * meta.edge_type_count;
+        let offsets_section = self.require(section::CSR_OFFSETS)?;
+        let expected = block_count
+            .checked_mul(n + 1)
+            .and_then(|e| e.checked_mul(4))
+            .ok_or_else(|| ferr("CSR_OFFSETS size overflows"))?;
+        if offsets_section.len != expected {
+            return Err(ferr(format!(
+                "CSR_OFFSETS holds {} bytes, expected {expected}",
+                offsets_section.len
+            )));
+        }
+        let targets_section = self.require(section::CSR_TARGETS)?;
+        let total_targets = targets_section.len / 4;
+        if targets_section.len % 4 != 0 {
+            return Err(ferr("CSR_TARGETS length not a multiple of 4"));
+        }
+        let mut csrs = Vec::with_capacity(block_count);
+        let mut target_base = 0usize;
+        for b in 0..block_count {
+            let offsets: Store<u32> = self.window(offsets_section, b * (n + 1), n + 1)?;
+            let nnz = offsets.last().copied().unwrap_or(0) as usize;
+            if target_base + nnz > total_targets {
+                return Err(ferr(format!(
+                    "CSR block {b} claims {nnz} targets, section exhausted"
+                )));
+            }
+            let targets: Store<VertexId> = self.window(targets_section, target_base, nnz)?;
+            target_base += nnz;
+            csrs.push(CsrStore { offsets, targets });
+        }
+        if target_base != total_targets {
+            return Err(ferr(format!(
+                "CSR_TARGETS holds {total_targets} ids but blocks consume {target_base}"
+            )));
+        }
+
+        Ok(GraphStore {
+            schema,
+            vertex_types,
+            name_blob,
+            name_offsets,
+            by_type_offsets,
+            by_type_ids,
+            name_order,
+            csrs,
+            edge_count: meta.edge_count,
+        })
+    }
+
+    fn decode_index(&self, meta: &Meta, graph: &HinGraph) -> Result<PmIndex, SnapshotError> {
+        let n = graph.vertex_count();
+        let dir_section = self.require(section::PM_DIR)?;
+        let dir = self.payload(dir_section);
+        let mut cur = Cursor { bytes: dir, pos: 0 };
+        struct ChunkDir {
+            types: Vec<VertexTypeId>,
+            rows: usize,
+            nnz: usize,
+        }
+        let mut dirs = Vec::with_capacity(meta.pm_path_count);
+        for _ in 0..meta.pm_path_count {
+            let tlen = cur.u8()? as usize;
+            let mut types = Vec::with_capacity(tlen);
+            for _ in 0..tlen {
+                let t = cur.u8()?;
+                if t as usize >= meta.vertex_type_count {
+                    return Err(ferr(format!(
+                        "index chunk uses vertex type {t} out of range"
+                    )));
+                }
+                types.push(VertexTypeId(t));
+            }
+            let rows = cur.u64()?;
+            let nnz = cur.u64()?;
+            if rows > n as u64 {
+                return Err(ferr(format!(
+                    "index chunk claims {rows} rows, graph has {n}"
+                )));
+            }
+            let nnz = usize::try_from(nnz).map_err(|_| ferr("index chunk nnz out of range"))?;
+            dirs.push(ChunkDir {
+                types,
+                rows: rows as usize,
+                nnz,
+            });
+        }
+        cur.finish()?;
+
+        let total_rows: usize = dirs.iter().map(|d| d.rows).sum();
+        let total_nnz: usize = dirs.iter().map(|d| d.nnz).sum();
+        let total_offsets: usize = dirs.iter().map(|d| d.rows + 1).sum();
+        let rowids_section = self.require(section::PM_ROWIDS)?;
+        let row_offsets_section = self.require(section::PM_ROW_OFFSETS)?;
+        let cols_section = self.require(section::PM_COLS)?;
+        let vals_section = self.require(section::PM_VALS)?;
+        let norms_section = self.require(section::PM_NORMS)?;
+        for (sec, expect, what) in [
+            (rowids_section, total_rows * 4, "PM_ROWIDS"),
+            (row_offsets_section, total_offsets * 4, "PM_ROW_OFFSETS"),
+            (cols_section, total_nnz * 4, "PM_COLS"),
+            (vals_section, total_nnz * 8, "PM_VALS"),
+            (norms_section, total_rows * 8, "PM_NORMS"),
+        ] {
+            if sec.len != expect {
+                return Err(ferr(format!(
+                    "{what} holds {} bytes, expected {expect}",
+                    sec.len
+                )));
+            }
+        }
+
+        let mut parts = Vec::with_capacity(dirs.len());
+        let mut row_base = 0usize;
+        let mut offset_base = 0usize;
+        let mut nnz_base = 0usize;
+        for d in dirs {
+            let path = MetaPath::new(d.types, graph.schema())?;
+            let row_ids: Store<VertexId> = self.window(rowids_section, row_base, d.rows)?;
+            let offsets: Store<u32> = self.window(row_offsets_section, offset_base, d.rows + 1)?;
+            let cols: Store<VertexId> = self.window(cols_section, nnz_base, d.nnz)?;
+            let vals: Store<f64> = self.window(vals_section, nnz_base, d.nnz)?;
+            let norms: Store<f64> = self.window(norms_section, row_base, d.rows)?;
+            row_base += d.rows;
+            offset_base += d.rows + 1;
+            nnz_base += d.nnz;
+            // Tuples have unspecified layout, so (column, value) pairs are
+            // rebuilt in memory rather than cast from the mapping.
+            let mut cols_vals = Vec::with_capacity(d.nnz);
+            for (c, v) in cols.iter().zip(vals.iter()) {
+                if c.index() >= n {
+                    return Err(ferr(format!("index column id {c:?} out of range")));
+                }
+                cols_vals.push((*c, *v));
+            }
+            let matrix =
+                SparseMatrix::from_raw_parts(row_ids.to_vec(), offsets.to_vec(), cols_vals)?;
+            for v in row_ids.iter() {
+                if v.index() >= n {
+                    return Err(ferr(format!("index row id {v:?} out of range")));
+                }
+            }
+            parts.push((path, matrix, norms.to_vec()));
+        }
+        Ok(PmIndex::from_parts(parts)?)
+    }
+}
+
+/// Scalars from the META section.
+struct Meta {
+    n: usize,
+    edge_count: u64,
+    edge_type_count: usize,
+    vertex_type_count: usize,
+    pm_present: bool,
+    pm_path_count: usize,
+}
+
+/// A tiny hardened cursor for the variable-length blob sections (SCHEMA,
+/// PM_DIR): every read checks remaining length, and string lengths are
+/// capped before allocation.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// No single name inside a snapshot blob may claim more than this many
+/// bytes — a plausibility cap so corrupted lengths cannot drive huge
+/// allocations (mirrors the binio loader's discipline).
+const MAX_BLOB_STR: usize = 1 << 20;
+
+impl<'a> Cursor<'a> {
+    fn need(&self, k: usize) -> Result<(), SnapshotError> {
+        if self
+            .pos
+            .checked_add(k)
+            .is_none_or(|end| end > self.bytes.len())
+        {
+            return Err(ferr("blob section truncated"));
+        }
+        Ok(())
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        self.need(1)?;
+        let v = self.bytes[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn u16(&mut self) -> Result<u16, SnapshotError> {
+        self.need(2)?;
+        let v = u16::from_le_bytes([self.bytes[self.pos], self.bytes[self.pos + 1]]);
+        self.pos += 2;
+        Ok(v)
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        self.need(4)?;
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(&self.bytes[self.pos..self.pos + 4]);
+        self.pos += 4;
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        self.need(8)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&self.bytes[self.pos..self.pos + 8]);
+        self.pos += 8;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn len_str(&mut self) -> Result<&'a str, SnapshotError> {
+        let len = self.u32()? as usize;
+        if len > MAX_BLOB_STR {
+            return Err(ferr(format!("implausible string length {len}")));
+        }
+        self.need(len)?;
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + len])
+            .map_err(|_| ferr("blob string is not valid UTF-8"))?;
+        self.pos += len;
+        Ok(s)
+    }
+
+    fn finish(&self) -> Result<(), SnapshotError> {
+        if self.pos != self.bytes.len() {
+            return Err(ferr(format!(
+                "{} trailing bytes in blob section",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::SnapshotWriter;
+    use netout::engine::index::ChunkSelection;
+
+    fn sample_graph() -> HinGraph {
+        hin_datagen::toy::table1_network()
+    }
+
+    #[test]
+    fn roundtrip_graph_only() {
+        let g = sample_graph();
+        let bytes = SnapshotWriter::encode(&g, None);
+        let snap = Snapshot::from_bytes(&bytes).unwrap();
+        assert!(snap.index().is_none());
+        let h = snap.graph();
+        assert_eq!(h.vertex_count(), g.vertex_count());
+        assert_eq!(h.edge_count(), g.edge_count());
+        assert!(h.is_mapped());
+        for v in g.vertices() {
+            assert_eq!(g.vertex_name(v), h.vertex_name(v));
+            assert_eq!(g.vertex_type(v), h.vertex_type(v));
+        }
+        for t in g.schema().vertex_type_ids() {
+            assert_eq!(g.vertices_of_type(t), h.vertices_of_type(t));
+            for &v in g.vertices_of_type(t) {
+                assert_eq!(h.vertex_by_name(t, g.vertex_name(v)), Some(v));
+            }
+            for u in g.vertices() {
+                assert_eq!(
+                    g.step_neighbors(u, t).collect::<Vec<_>>(),
+                    h.step_neighbors(u, t).collect::<Vec<_>>()
+                );
+            }
+        }
+        let info = snap.info();
+        assert_eq!(info.vertex_count, g.vertex_count() as u64);
+        assert!(!info.has_index);
+        assert!(info.sections.len() >= 10);
+    }
+
+    #[test]
+    fn roundtrip_with_index() {
+        let g = sample_graph();
+        let idx = PmIndex::build_full(&g, ChunkSelection::All, 1);
+        let bytes = SnapshotWriter::encode(&g, Some(&idx));
+        let snap = Snapshot::from_bytes(&bytes).unwrap();
+        let loaded = snap.index().unwrap();
+        assert_eq!(loaded.path_count(), idx.path_count());
+        assert_eq!(loaded.total_rows(), idx.total_rows());
+        assert_eq!(loaded.nnz(), idx.nnz());
+        let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
+        let author = g.schema().vertex_type_by_name("author").unwrap();
+        for &a in g.vertices_of_type(author) {
+            assert_eq!(loaded.row(&apv, a), idx.row(&apv, a));
+            assert_eq!(
+                loaded.row_norm(&apv, a).map(f64::to_bits),
+                idx.row_norm(&apv, a).map(f64::to_bits)
+            );
+        }
+        assert!(snap.info().has_index);
+        assert_eq!(snap.info().pm_paths, idx.path_count() as u64);
+    }
+
+    #[test]
+    fn load_from_file_via_mmap() {
+        let g = sample_graph();
+        let dir = std::env::temp_dir().join(format!("hin_snap_view_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.hsnp");
+        let written = SnapshotWriter::write(&path, &g, None).unwrap();
+        assert_eq!(written, std::fs::metadata(&path).unwrap().len());
+        let snap = Snapshot::load(&path).unwrap();
+        assert_eq!(snap.graph().vertex_count(), g.vertex_count());
+        assert_eq!(snap.info().file_len, written);
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        assert!(snap.info().mapped);
+        // Encoding is deterministic: same graph → same bytes.
+        assert_eq!(
+            SnapshotWriter::encode(&g, None),
+            std::fs::read(&path).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_section_is_structured_error() {
+        let g = sample_graph();
+        let bytes = SnapshotWriter::encode(&g, None);
+        let sections = parse_layout(&bytes).unwrap();
+        // Re-assemble without NAME_ORDER.
+        let kept: Vec<(u32, Vec<u8>)> = sections
+            .iter()
+            .filter(|s| s.id != section::NAME_ORDER)
+            .map(|s| (s.id, bytes[s.offset..s.offset + s.len].to_vec()))
+            .collect();
+        let err = Snapshot::from_bytes(&crate::format::assemble(&kept)).unwrap_err();
+        assert!(matches!(err, SnapshotError::Format { .. }), "{err}");
+        assert!(err.to_string().contains("NAME_ORDER"), "{err}");
+    }
+
+    #[test]
+    fn meta_graph_mismatch_is_rejected() {
+        let g = sample_graph();
+        let bytes = SnapshotWriter::encode(&g, None);
+        let sections = parse_layout(&bytes).unwrap();
+        // Claim one fewer vertex in META: column sizes no longer match.
+        let doctored: Vec<(u32, Vec<u8>)> = sections
+            .iter()
+            .map(|s| {
+                let mut payload = bytes[s.offset..s.offset + s.len].to_vec();
+                if s.id == section::META {
+                    let n = g.vertex_count() as u64 - 1;
+                    payload[0..8].copy_from_slice(&n.to_le_bytes());
+                }
+                (s.id, payload)
+            })
+            .collect();
+        let err = Snapshot::from_bytes(&crate::format::assemble(&doctored)).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::Format { .. } | SnapshotError::Graph(_)),
+            "{err}"
+        );
+    }
+}

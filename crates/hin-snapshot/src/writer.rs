@@ -1,0 +1,167 @@
+//! Serialize a graph (and optionally its pre-materialization index) into
+//! the sectioned snapshot format.
+//!
+//! The writer walks [`HinGraph::columns`] — the same column layout the
+//! loader maps back — so a written file is byte-stable for a given graph and
+//! index, and loading it reproduces the exact in-memory structures.
+
+use crate::error::SnapshotError;
+use crate::format::{assemble, section};
+use hin_graph::HinGraph;
+use netout::engine::index::PmIndex;
+use std::path::Path;
+
+/// Writes snapshot files (see [`crate::format`] for the layout).
+pub struct SnapshotWriter;
+
+fn push_u32s<I: IntoIterator<Item = u32>>(out: &mut Vec<u8>, vals: I) {
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn push_u64s<I: IntoIterator<Item = u64>>(out: &mut Vec<u8>, vals: I) {
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn push_len_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+impl SnapshotWriter {
+    /// Encode `graph` (and `index`, when given) as a complete snapshot file
+    /// image.
+    pub fn encode(graph: &HinGraph, index: Option<&PmIndex>) -> Vec<u8> {
+        let cols = graph.columns();
+        let schema = cols.schema;
+        let n = cols.vertex_types.len() as u64;
+        let chunks = index.map(|idx| idx.chunks()).unwrap_or_default();
+
+        let mut sections: Vec<(u32, Vec<u8>)> = Vec::with_capacity(16);
+
+        // META
+        let mut meta = Vec::with_capacity(48);
+        push_u64s(
+            &mut meta,
+            [
+                n,
+                cols.edge_count,
+                schema.edge_type_count() as u64,
+                schema.vertex_type_count() as u64,
+                u64::from(index.is_some()),
+                chunks.len() as u64,
+            ],
+        );
+        sections.push((section::META, meta));
+
+        // SCHEMA
+        let mut blob = Vec::new();
+        blob.push(schema.vertex_type_count() as u8);
+        for t in schema.vertex_type_ids() {
+            push_len_str(&mut blob, &schema.vertex_type(t).name);
+        }
+        blob.extend_from_slice(&(schema.edge_type_count() as u16).to_le_bytes());
+        for e in schema.edge_type_ids() {
+            let info = schema.edge_type(e);
+            push_len_str(&mut blob, &info.name);
+            blob.push(info.src.0);
+            blob.push(info.dst.0);
+        }
+        sections.push((section::SCHEMA, blob));
+
+        // Graph columns.
+        sections.push((
+            section::VTYPES,
+            cols.vertex_types.iter().map(|t| t.0).collect(),
+        ));
+        sections.push((section::NAME_BLOB, cols.name_blob.to_vec()));
+        let mut buf = Vec::with_capacity(cols.name_offsets.len() * 4);
+        push_u32s(&mut buf, cols.name_offsets.iter().copied());
+        sections.push((section::NAME_OFFSETS, buf));
+        let mut buf = Vec::with_capacity(cols.by_type_offsets.len() * 4);
+        push_u32s(&mut buf, cols.by_type_offsets.iter().copied());
+        sections.push((section::BY_TYPE_OFFSETS, buf));
+        let mut buf = Vec::with_capacity(cols.by_type_ids.len() * 4);
+        push_u32s(&mut buf, cols.by_type_ids.iter().map(|v| v.0));
+        sections.push((section::BY_TYPE_IDS, buf));
+        let mut buf = Vec::with_capacity(cols.name_order.len() * 4);
+        push_u32s(&mut buf, cols.name_order.iter().map(|v| v.0));
+        sections.push((section::NAME_ORDER, buf));
+
+        let mut offsets_buf = Vec::new();
+        let mut targets_buf = Vec::new();
+        for (offsets, targets) in &cols.csrs {
+            push_u32s(&mut offsets_buf, offsets.iter().copied());
+            push_u32s(&mut targets_buf, targets.iter().map(|v| v.0));
+        }
+        sections.push((section::CSR_OFFSETS, offsets_buf));
+        sections.push((section::CSR_TARGETS, targets_buf));
+
+        // Index columns.
+        if let Some(idx) = index {
+            let mut dir = Vec::new();
+            let mut rowids = Vec::new();
+            let mut row_offsets = Vec::new();
+            let mut pm_cols = Vec::new();
+            let mut pm_vals = Vec::new();
+            let mut pm_norms = Vec::new();
+            for (chunk, matrix) in &chunks {
+                let (rows, offsets, cols_vals) = matrix.raw_parts();
+                dir.push(chunk.types().len() as u8);
+                dir.extend(chunk.types().iter().map(|t| t.0));
+                dir.extend_from_slice(&(rows.len() as u64).to_le_bytes());
+                dir.extend_from_slice(&(cols_vals.len() as u64).to_le_bytes());
+                push_u32s(&mut rowids, rows.iter().map(|v| v.0));
+                push_u32s(&mut row_offsets, offsets.iter().copied());
+                for (c, val) in cols_vals {
+                    pm_cols.extend_from_slice(&c.0.to_le_bytes());
+                    pm_vals.extend_from_slice(&val.to_le_bytes());
+                }
+                for v in rows {
+                    // Invariant: build_full/build_selective/from_parts store
+                    // a norm for every matrix row, so the lookup cannot miss.
+                    #[allow(clippy::expect_used)]
+                    let norm = idx
+                        .row_norm(chunk, *v)
+                        .expect("every indexed row has a precomputed norm");
+                    pm_norms.extend_from_slice(&norm.to_le_bytes());
+                }
+            }
+            sections.push((section::PM_DIR, dir));
+            sections.push((section::PM_ROWIDS, rowids));
+            sections.push((section::PM_ROW_OFFSETS, row_offsets));
+            sections.push((section::PM_COLS, pm_cols));
+            sections.push((section::PM_VALS, pm_vals));
+            sections.push((section::PM_NORMS, pm_norms));
+        }
+
+        assemble(&sections)
+    }
+
+    /// Encode and write a snapshot to `path` atomically (temp file in the
+    /// same directory, fsync, rename), so a crash mid-write never leaves a
+    /// half-written file under the final name and re-snapshotting never
+    /// mutates bytes another process has mapped. Returns the file size.
+    pub fn write(
+        path: &Path,
+        graph: &HinGraph,
+        index: Option<&PmIndex>,
+    ) -> Result<u64, SnapshotError> {
+        let bytes = Self::encode(graph, index);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(e.into());
+        }
+        Ok(bytes.len() as u64)
+    }
+}

@@ -1,0 +1,148 @@
+//! Tier-1 snapshot equivalence tests: an engine serving from a memory-mapped
+//! snapshot must produce exactly the answer the in-memory engine produces —
+//! same ranked order (ties included), bit-identical scores, same
+//! zero-visibility sets — for every measure, every workload template, and
+//! under intra-query parallelism. Snapshots change where bytes live, never
+//! what they say.
+
+use hin_datagen::dblp::{generate, SyntheticConfig, SyntheticNetwork};
+use hin_datagen::workload::{generate_queries, QueryTemplate};
+use hin_snapshot::{Snapshot, SnapshotWriter};
+use netout::engine::index::{ChunkSelection, PmIndex};
+use netout::{MeasureKind, OutlierDetector, QueryResult};
+use std::path::PathBuf;
+
+fn fixture(scale: f64) -> SyntheticNetwork {
+    generate(&SyntheticConfig::default().scaled(scale))
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hin_snapshot_t1_{}_{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Everything about a result that must be invariant across storage
+/// backends. Timing stats are the one legitimate difference, so they are
+/// excluded.
+fn fingerprint(r: &QueryResult) -> impl PartialEq + std::fmt::Debug {
+    (
+        r.measure,
+        r.candidate_count,
+        r.reference_count,
+        r.zero_visibility.clone(),
+        r.ranked
+            .iter()
+            .map(|o| (o.vertex, o.name.clone(), o.score.to_bits()))
+            .collect::<Vec<_>>(),
+        r.degraded.as_ref().map(|d| (d.scored, d.total, d.limit)),
+    )
+}
+
+/// A mixed workload across all three templates.
+fn workload(net: &SyntheticNetwork, per_template: usize) -> Vec<String> {
+    QueryTemplate::ALL
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &t)| generate_queries(&net.graph, t, per_template, 42 + i as u64))
+        .collect()
+}
+
+/// Write the graph (+ full PM index) to a snapshot file, load it back
+/// through the mmap path, and return the snapshot-backed (graph, index).
+fn roundtrip(
+    net: &SyntheticNetwork,
+    dir: &std::path::Path,
+) -> (hin_graph::HinGraph, Option<PmIndex>) {
+    let index = PmIndex::build_full(&net.graph, ChunkSelection::All, 1);
+    let path = dir.join("net.hsnp");
+    SnapshotWriter::write(&path, &net.graph, Some(&index)).expect("write snapshot");
+    let snap = Snapshot::load(&path).expect("load snapshot");
+    assert!(
+        snap.graph().is_mapped() || !cfg!(all(unix, target_pointer_width = "64")),
+        "expected a zero-copy mapping on this platform"
+    );
+    snap.into_parts()
+}
+
+#[test]
+fn snapshot_engine_is_bit_identical_across_templates() {
+    let net = fixture(0.25);
+    let dir = scratch_dir("templates");
+    let (graph, index) = roundtrip(&net, &dir);
+    let queries = workload(&net, 3);
+    let mem = OutlierDetector::with_index(net.graph.clone(), netout::IndexPolicy::full())
+        .expect("in-memory detector builds");
+    let mapped = OutlierDetector::from_prebuilt(graph, index);
+    for query in &queries {
+        let a = fingerprint(&mem.query(query).expect("in-memory run succeeds"));
+        let b = fingerprint(&mapped.query(query).expect("snapshot run succeeds"));
+        assert!(a == b, "snapshot result diverged on {query}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_engine_is_bit_identical_for_every_measure() {
+    let net = fixture(0.25);
+    let dir = scratch_dir("measures");
+    let (graph, index) = roundtrip(&net, &dir);
+    let queries = workload(&net, 1);
+    let measures = [
+        MeasureKind::NetOut,
+        MeasureKind::PathSim,
+        MeasureKind::CosSim,
+        MeasureKind::Lof { k: 5 },
+        MeasureKind::KnnDist { k: 3 },
+    ];
+    for measure in measures {
+        let mem = OutlierDetector::new(net.graph.clone()).measure(measure);
+        let mapped = OutlierDetector::from_prebuilt(graph.clone(), index.clone()).measure(measure);
+        for query in &queries {
+            let a = fingerprint(&mem.query(query).expect("in-memory run succeeds"));
+            let b = fingerprint(&mapped.query(query).expect("snapshot run succeeds"));
+            assert!(a == b, "{measure:?} diverged on {query}");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_engine_is_bit_identical_under_parallelism() {
+    let net = fixture(0.25);
+    let dir = scratch_dir("threads");
+    let (graph, index) = roundtrip(&net, &dir);
+    let queries = workload(&net, 2);
+    let serial = OutlierDetector::new(net.graph.clone());
+    let mapped = OutlierDetector::from_prebuilt(graph, index).with_threads(4);
+    for query in &queries {
+        let a = fingerprint(&serial.query(query).expect("serial in-memory run succeeds"));
+        let b = fingerprint(&mapped.query(query).expect("4-thread snapshot run succeeds"));
+        assert!(
+            a == b,
+            "4-thread snapshot result diverged from serial in-memory on {query}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_survives_rewrite_while_mapped() {
+    // The mmap safety contract: writers never mutate a live file in place —
+    // they write a temp file and rename over. A reader holding the old
+    // mapping keeps serving the old bytes.
+    let net = fixture(0.1);
+    let dir = scratch_dir("rewrite");
+    let path = dir.join("net.hsnp");
+    SnapshotWriter::write(&path, &net.graph, None).expect("write snapshot");
+    let snap = Snapshot::load(&path).expect("load snapshot");
+    let before = snap.graph().vertex_count();
+    // Replace the file with a different graph while the mapping is live.
+    let other = fixture(0.05);
+    SnapshotWriter::write(&path, &other.graph, None).expect("rewrite snapshot");
+    assert_eq!(snap.graph().vertex_count(), before, "live mapping changed");
+    // A fresh open sees the new graph.
+    let fresh = Snapshot::load(&path).expect("reload snapshot");
+    assert_eq!(fresh.graph().vertex_count(), other.graph.vertex_count());
+    std::fs::remove_dir_all(&dir).ok();
+}
