@@ -1,7 +1,7 @@
 //! Runs every experiment in paper order — the one-shot reproduction of the
 //! evaluation section. Configure scale with HIN_EXP_SCALE / HIN_EXP_QUERIES.
 fn main() {
-    let sections: [(&str, fn()); 11] = [
+    let sections: [(&str, fn()); 12] = [
         ("Tables 1-2 and Figure 2 (toy reproduction)", || {
             bench::experiments::toy::run()
         }),
@@ -37,6 +37,9 @@ fn main() {
         }),
         ("Snapshot instant start (mmap vs rebuild)", || {
             bench::experiments::snapshot::run(false)
+        }),
+        ("Sub-path product cache (shared-prefix workload)", || {
+            bench::experiments::subpath::run(false)
         }),
     ];
     for (title, f) in sections {

@@ -1,0 +1,10 @@
+//! Cross-query sub-path product cache sweep: shared-prefix Q1/Q2/Q3
+//! workload uncached vs cold vs warm, plus a cached-vs-uncached identity
+//! check across all measures and thread counts (extension; backs
+//! DESIGN.md §15). Emits BENCH_subpath.json. Panics (nonzero exit) if any
+//! cached ranking diverges from the uncached run. `--quick` shrinks the
+//! workload and identity grid for CI smoke runs.
+fn main() {
+    let quick = std::env::args().skip(1).any(|a| a == "--quick");
+    bench::experiments::subpath::run(quick);
+}

@@ -11,5 +11,6 @@ pub mod parallel;
 pub mod scaling;
 pub mod service;
 pub mod snapshot;
+pub mod subpath;
 pub mod telemetry;
 pub mod toy;

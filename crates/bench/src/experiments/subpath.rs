@@ -1,0 +1,442 @@
+//! Cross-query sub-path product cache sweep (extension; backs the
+//! DESIGN.md §15 caching claims). Emits `BENCH_subpath.json`.
+//!
+//! Two sweeps over a **shared-prefix workload** — the three Table 4
+//! templates instantiated over the *same* random author sample, so repeat
+//! queries share `author.paper.·` chunks and every query of a template
+//! shares its judged-by chunk products:
+//!
+//! 1. **Modes** — the mixed Q1/Q2/Q3 workload runs `uncached` (no sub-path
+//!    cache), `cold` (cache enabled, starts empty), and `warm` (cache
+//!    pre-populated by an untimed pass over the same workload, as
+//!    `workload --warm trace.jsonl` would). Rankings are asserted
+//!    bit-identical to the uncached run — a mismatch panics, so a CI smoke
+//!    run fails loudly. The warm-vs-uncached throughput ratio is the
+//!    headline speedup; hit/miss/eviction telemetry rides along.
+//! 2. **Identity** — every comparison measure (NetOut, PathSim, CosSim,
+//!    LOF, kNN-dist) at 1 and 4 worker threads, cached cold and warm,
+//!    fingerprint-compared against the uncached serial run. Also panics on
+//!    divergence: byte-identity is a correctness invariant, not a finding.
+
+use crate::report::Table;
+use crate::setup;
+use hin_datagen::dblp::SyntheticNetwork;
+use hin_datagen::workload::{generate_queries, QueryTemplate};
+use hin_graph::VertexId;
+use hin_query::validate::{parse_and_bind, BoundQuery};
+use netout::{MeasureKind, OutlierDetector, QueryResult, SubpathStats};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Sub-path cache budget the sweep runs with, in MiB.
+const CACHE_MB: usize = 64;
+
+/// [`SubpathStats`] flattened into the report document.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CacheTelemetry {
+    /// Lookups served from the cache (chunk + prefix hits).
+    pub hits: u64,
+    /// Subset of hits that matched a multi-chunk prefix product.
+    pub prefix_hits: u64,
+    /// Lookups that found nothing cached.
+    pub misses: u64,
+    /// Products accepted by the admission policy.
+    pub admitted: u64,
+    /// Products rejected by the admission policy.
+    pub rejected: u64,
+    /// Entries evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Bytes of cached products resident after the run.
+    pub bytes_resident: u64,
+    /// Resident entries after the run.
+    pub entries: u64,
+    /// Configured byte budget.
+    pub budget_bytes: u64,
+    /// `hits / (hits + misses)`, if any lookups happened.
+    pub hit_ratio: Option<f64>,
+}
+
+impl From<SubpathStats> for CacheTelemetry {
+    fn from(s: SubpathStats) -> CacheTelemetry {
+        CacheTelemetry {
+            hits: s.hits,
+            prefix_hits: s.prefix_hits,
+            misses: s.misses,
+            admitted: s.admitted,
+            rejected: s.rejected,
+            evictions: s.evictions,
+            bytes_resident: s.bytes_resident,
+            entries: s.entries,
+            budget_bytes: s.budget_bytes,
+            hit_ratio: s.hit_rate(),
+        }
+    }
+}
+
+/// One cache-mode measurement over the mixed workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModePoint {
+    /// `uncached`, `cold`, or `warm`.
+    pub mode: &'static str,
+    /// Whole-workload wall time in milliseconds.
+    pub total_ms: f64,
+    /// Mean per-query latency in microseconds.
+    pub mean_query_us: u64,
+    /// Queries per second over the timed pass.
+    pub throughput_qps: f64,
+    /// Whether every ranking was bit-identical to the uncached run
+    /// (asserted — recorded here for the JSON document).
+    pub identical: bool,
+    /// Cache counters for the timed pass (`None` for the uncached mode).
+    pub cache: Option<CacheTelemetry>,
+}
+
+/// One measure × thread-count identity check.
+#[derive(Debug, Clone, Serialize)]
+pub struct IdentityPoint {
+    /// Measure under test.
+    pub measure: String,
+    /// Worker threads of the cached run.
+    pub threads: usize,
+    /// Bit-identical to the uncached serial run, cold and warm.
+    pub identical: bool,
+}
+
+/// The `BENCH_subpath.json` document.
+#[derive(Debug, Serialize)]
+pub struct SubpathReport {
+    /// Network scale factor the experiment ran at.
+    pub scale: f64,
+    /// Sub-path cache budget in MiB.
+    pub cache_mb: usize,
+    /// Queries in the mixed workload.
+    pub queries: usize,
+    /// Templates the workload mixes.
+    pub templates: Vec<&'static str>,
+    /// One entry per cache mode.
+    pub modes: Vec<ModePoint>,
+    /// `uncached qps / warm qps` inverted — > 1 means the warm cache wins.
+    pub speedup_warm_vs_uncached: f64,
+    /// Warm-pass speedup over the cold (filling) pass.
+    pub speedup_warm_vs_cold: f64,
+    /// One entry per measure × thread count.
+    pub identity: Vec<IdentityPoint>,
+}
+
+/// Everything about a [`QueryResult`] that must be invariant under caching:
+/// set sizes, the zero-visibility list, and the exact ranked order with
+/// bit-exact scores.
+fn fingerprint(r: &QueryResult) -> (usize, usize, Vec<VertexId>, Vec<(VertexId, u64)>) {
+    (
+        r.candidate_count,
+        r.reference_count,
+        r.zero_visibility.clone(),
+        r.ranked
+            .iter()
+            .map(|o| (o.vertex, o.score.to_bits()))
+            .collect(),
+    )
+}
+
+/// The shared-prefix workload: each Table 4 template instantiated over the
+/// **same** author sample (same seed), round-robin interleaved so cache
+/// reuse has to survive template switches.
+pub fn shared_prefix_workload(
+    net: &SyntheticNetwork,
+    per_template: usize,
+    seed: u64,
+) -> Vec<BoundQuery> {
+    let per_template = per_template.max(1);
+    let streams: Vec<Vec<String>> = QueryTemplate::ALL
+        .iter()
+        .map(|&t| generate_queries(&net.graph, t, per_template, seed))
+        .collect();
+    let mut mixed = Vec::with_capacity(per_template * streams.len());
+    for i in 0..per_template {
+        for stream in &streams {
+            mixed.push(stream[i].clone());
+        }
+    }
+    mixed
+        .iter()
+        .map(|q| parse_and_bind(q, net.graph.schema()).expect("template query binds"))
+        .collect()
+}
+
+/// One timed pass over the workload; returns fingerprints and wall time.
+fn timed_pass(
+    detector: &OutlierDetector,
+    bound: &[BoundQuery],
+) -> (
+    Vec<(usize, usize, Vec<VertexId>, Vec<(VertexId, u64)>)>,
+    f64,
+) {
+    let t = Instant::now();
+    let prints: Vec<_> = bound
+        .iter()
+        .map(|q| fingerprint(&detector.execute(q).expect("workload query executes")))
+        .collect();
+    (prints, t.elapsed().as_secs_f64() * 1e3)
+}
+
+fn mode_point(
+    mode: &'static str,
+    total_ms: f64,
+    n: usize,
+    identical: bool,
+    cache: Option<CacheTelemetry>,
+) -> ModePoint {
+    let secs = (total_ms / 1e3).max(1e-9);
+    ModePoint {
+        mode,
+        total_ms,
+        mean_query_us: (total_ms * 1e3) as u64 / n.max(1) as u64,
+        throughput_qps: n as f64 / secs,
+        identical,
+        cache,
+    }
+}
+
+/// Run the mixed workload uncached, cache-cold, and cache-warm. Panics if
+/// any cached ranking diverges from the uncached baseline.
+pub fn measure_modes(
+    net: &SyntheticNetwork,
+    bound: &[BoundQuery],
+    cache_mb: usize,
+) -> Vec<ModePoint> {
+    let n = bound.len();
+
+    let uncached = OutlierDetector::new(net.graph.clone());
+    let (baseline, uncached_ms) = timed_pass(&uncached, bound);
+
+    // Cold: fresh cache, first pass pays the misses while filling it.
+    let cached = OutlierDetector::new(net.graph.clone()).with_subpath_cache_mb(cache_mb);
+    let (cold_prints, cold_ms) = timed_pass(&cached, bound);
+    let cold_stats = cached.subpath_stats().expect("cache is enabled");
+    assert_eq!(
+        baseline, cold_prints,
+        "cold cached run diverged from uncached"
+    );
+
+    // Warm: the same detector re-runs the workload against the now-populated
+    // cache; the per-pass delta is what the telemetry reports.
+    let before = cached.subpath_stats().expect("cache is enabled");
+    let (warm_prints, warm_ms) = timed_pass(&cached, bound);
+    let warm_stats = cached
+        .subpath_stats()
+        .expect("cache is enabled")
+        .since(&before);
+    assert_eq!(
+        baseline, warm_prints,
+        "warm cached run diverged from uncached"
+    );
+
+    vec![
+        mode_point("uncached", uncached_ms, n, true, None),
+        mode_point("cold", cold_ms, n, true, Some(cold_stats.into())),
+        mode_point("warm", warm_ms, n, true, Some(warm_stats.into())),
+    ]
+}
+
+/// Fingerprint-check every measure at 1 and 4 threads, cached cold and
+/// warm, against the uncached serial run. Panics on divergence.
+pub fn verify_identity(
+    net: &SyntheticNetwork,
+    bound: &[BoundQuery],
+    cache_mb: usize,
+) -> Vec<IdentityPoint> {
+    let measures = [
+        MeasureKind::NetOut,
+        MeasureKind::PathSim,
+        MeasureKind::CosSim,
+        MeasureKind::Lof { k: 5 },
+        MeasureKind::KnnDist { k: 3 },
+    ];
+    let mut points = Vec::new();
+    for measure in measures {
+        let serial = OutlierDetector::new(net.graph.clone()).measure(measure);
+        let (baseline, _) = timed_pass(&serial, bound);
+        for threads in [1usize, 4] {
+            let cached = OutlierDetector::new(net.graph.clone())
+                .measure(measure)
+                .with_subpath_cache_mb(cache_mb)
+                .with_threads(threads);
+            let (cold, _) = timed_pass(&cached, bound);
+            let (warm, _) = timed_pass(&cached, bound);
+            let identical = baseline == cold && baseline == warm;
+            assert!(
+                identical,
+                "{measure:?} diverged under the sub-path cache at {threads} threads"
+            );
+            points.push(IdentityPoint {
+                measure: format!("{measure:?}"),
+                threads,
+                identical,
+            });
+        }
+    }
+    points
+}
+
+/// Serialize the report document to compact JSON.
+pub fn to_json(report: &SubpathReport) -> String {
+    hin_service::json::to_string(report).expect("report serializes")
+}
+
+fn cache_cell(c: &Option<CacheTelemetry>) -> String {
+    match c {
+        None => "—".to_string(),
+        Some(c) => format!("{} ({} prefix) / {}", c.hits, c.prefix_hits, c.misses),
+    }
+}
+
+/// Print both sweeps and write `BENCH_subpath.json`. `quick` shrinks the
+/// workload and identity grid for CI smoke runs.
+pub fn run(quick: bool) {
+    let net = setup::network();
+    let per_template = (setup::workload_size() / 3).clamp(1, if quick { 8 } else { 64 });
+    let bound = shared_prefix_workload(&net, per_template, setup::seed());
+    let n = bound.len();
+
+    let modes = measure_modes(&net, &bound, CACHE_MB);
+    let warm_qps = modes[2].throughput_qps;
+    let speedup_uncached = warm_qps / modes[0].throughput_qps.max(1e-9);
+    let speedup_cold = warm_qps / modes[1].throughput_qps.max(1e-9);
+
+    let mut t = Table::new(
+        format!(
+            "Sub-path cache modes — mixed Q1/Q2/Q3 workload of {n} queries, {CACHE_MB} MiB budget"
+        ),
+        &[
+            "mode",
+            "total (ms)",
+            "qps",
+            "hits (prefix) / misses",
+            "resident KiB",
+        ],
+    );
+    for m in &modes {
+        t.row(&[
+            m.mode.to_string(),
+            format!("{:.2}", m.total_ms),
+            format!("{:.1}", m.throughput_qps),
+            cache_cell(&m.cache),
+            m.cache
+                .map(|c| (c.bytes_resident / 1024).to_string())
+                .unwrap_or_else(|| "—".to_string()),
+        ]);
+    }
+    t.print();
+    println!(
+        "note: warm speedup ×{speedup_uncached:.2} vs uncached, ×{speedup_cold:.2} vs cold; \
+         all three modes asserted bit-identical\n"
+    );
+    if speedup_uncached < 2.0 && !quick {
+        println!(
+            "warning: warm-vs-uncached speedup below the ×2 target — try a \
+             larger HIN_EXP_SCALE or HIN_EXP_QUERIES so chunk reuse dominates\n"
+        );
+    }
+
+    // The identity sweep is O(measures × threads × passes); use a slice of
+    // the workload so the smoke run stays fast.
+    let identity_n = n.min(if quick { 6 } else { 18 });
+    let identity = verify_identity(&net, &bound[..identity_n], CACHE_MB);
+    let mut t = Table::new(
+        format!("Cached-vs-uncached identity — 5 measures × 1/4 threads, {identity_n} queries"),
+        &["measure", "threads", "identical"],
+    );
+    for p in &identity {
+        t.row(&[
+            p.measure.clone(),
+            p.threads.to_string(),
+            p.identical.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "note: every cell is fingerprint-compared (ids, score bits, \
+         zero-visibility) against the uncached serial run, cold and warm; \
+         any divergence panics\n"
+    );
+
+    let report = SubpathReport {
+        scale: setup::scale(),
+        cache_mb: CACHE_MB,
+        queries: n,
+        templates: QueryTemplate::ALL.iter().map(|t| t.name()).collect(),
+        modes,
+        speedup_warm_vs_uncached: speedup_uncached,
+        speedup_warm_vs_cold: speedup_cold,
+        identity,
+    };
+    let path = "BENCH_subpath.json";
+    match std::fs::write(path, to_json(&report) + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hin_datagen::dblp::{generate, SyntheticConfig};
+
+    #[test]
+    fn workload_interleaves_templates_over_shared_anchors() {
+        let net = generate(&SyntheticConfig::tiny(3));
+        let bound = shared_prefix_workload(&net, 2, 7);
+        assert_eq!(bound.len(), 6);
+    }
+
+    #[test]
+    fn modes_agree_and_warm_pass_hits() {
+        let net = generate(&SyntheticConfig::tiny(3));
+        let bound = shared_prefix_workload(&net, 3, 7);
+        let modes = measure_modes(&net, &bound, 16);
+        assert_eq!(modes.len(), 3);
+        assert!(modes.iter().all(|m| m.identical));
+        let warm = modes[2].cache.expect("warm mode reports telemetry");
+        assert!(warm.hits > 0, "warm pass should hit: {warm:?}");
+        let cold = modes[1].cache.expect("cold mode reports telemetry");
+        assert!(
+            cold.admitted > 0,
+            "cold pass should fill the cache: {cold:?}"
+        );
+    }
+
+    #[test]
+    fn identity_sweep_covers_all_measures_and_threads() {
+        let net = generate(&SyntheticConfig::tiny(3));
+        let bound = shared_prefix_workload(&net, 1, 7);
+        let points = verify_identity(&net, &bound, 16);
+        assert_eq!(points.len(), 10);
+        assert!(points.iter().all(|p| p.identical));
+    }
+
+    #[test]
+    fn report_serializes_with_telemetry() {
+        let net = generate(&SyntheticConfig::tiny(3));
+        let bound = shared_prefix_workload(&net, 2, 7);
+        let modes = measure_modes(&net, &bound, 16);
+        let json = to_json(&SubpathReport {
+            scale: 0.1,
+            cache_mb: 16,
+            queries: bound.len(),
+            templates: vec!["Q1", "Q2", "Q3"],
+            modes,
+            speedup_warm_vs_uncached: 2.5,
+            speedup_warm_vs_cold: 1.5,
+            identity: vec![IdentityPoint {
+                measure: "NetOut".to_string(),
+                threads: 4,
+                identical: true,
+            }],
+        });
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"mode\":\"uncached\""), "{json}");
+        assert!(json.contains("\"mode\":\"warm\""), "{json}");
+        assert!(json.contains("\"hits\":"), "{json}");
+        assert!(json.contains("\"budget_bytes\":"), "{json}");
+    }
+}

@@ -15,6 +15,7 @@
 //! | serving sweep (extension) | `exp_service` → `BENCH_service.json` | [`experiments::service`] |
 //! | parallel scaling (extension) | `exp_parallel` → `BENCH_parallel.json` | [`experiments::parallel`] |
 //! | telemetry overhead (extension) | `exp_telemetry` → `BENCH_telemetry.json` | [`experiments::telemetry`] |
+//! | sub-path cache sweep (extension) | `exp_subpath` → `BENCH_subpath.json` | [`experiments::subpath`] |
 //! | everything, in order | `exp_all` | — |
 //!
 //! Experiment scale is controlled by environment variables so the same

@@ -5,6 +5,7 @@ use crate::engine::cache::{CacheStats, CachedSource, VectorCache};
 use crate::engine::executor::{CombineStrategy, QueryEngine, QueryResult};
 use crate::engine::index::{select_frequent_vertices, ChunkSelection, PmIndex};
 use crate::engine::source::IndexedSource;
+use crate::engine::subpath::{SubpathCache, SubpathSource, SubpathStats};
 use crate::error::EngineError;
 use crate::measures::MeasureKind;
 use hin_graph::HinGraph;
@@ -93,6 +94,7 @@ pub struct OutlierDetector {
     graph: HinGraph,
     index: Option<PmIndex>,
     cache: Option<Arc<VectorCache>>,
+    subpath: Option<Arc<SubpathCache>>,
     source_name: &'static str,
     measure: MeasureKind,
     combine: CombineStrategy,
@@ -107,6 +109,7 @@ impl OutlierDetector {
             graph,
             index: None,
             cache: None,
+            subpath: None,
             source_name: "baseline",
             measure: MeasureKind::NetOut,
             combine: CombineStrategy::default(),
@@ -148,6 +151,7 @@ impl OutlierDetector {
             graph,
             index,
             cache: None,
+            subpath: None,
             source_name,
             measure: MeasureKind::NetOut,
             combine: CombineStrategy::default(),
@@ -167,6 +171,7 @@ impl OutlierDetector {
             graph,
             index,
             cache: None,
+            subpath: None,
             source_name,
             measure: MeasureKind::NetOut,
             combine: CombineStrategy::default(),
@@ -205,6 +210,49 @@ impl OutlierDetector {
     /// Hit/miss counters of the vector cache (`None` when disabled).
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.cache.as_deref().map(VectorCache::stats)
+    }
+
+    /// Enable a cross-query sub-path product cache with a byte budget of
+    /// `mb` mebibytes (the CLI's `--subpath-cache-mb`; `0` disables). Unlike
+    /// the whole-vector cache, this one memoizes intermediate chunk and
+    /// prefix products, so queries that merely *share a meta-path prefix*
+    /// accelerate each other — see [`crate::engine::subpath`]. Composes with
+    /// any index policy and with the whole-vector cache.
+    pub fn with_subpath_cache_mb(self, mb: usize) -> Self {
+        if mb == 0 {
+            return self;
+        }
+        self.with_shared_subpath_cache(Arc::new(SubpathCache::with_budget_mb(mb)))
+    }
+
+    /// Use an existing shared sub-path cache instance (`Send + Sync`, so
+    /// every worker of a query server can share one).
+    pub fn with_shared_subpath_cache(mut self, cache: Arc<SubpathCache>) -> Self {
+        self.subpath = Some(cache);
+        self
+    }
+
+    /// The shared sub-path cache instance, when enabled.
+    pub fn shared_subpath_cache(&self) -> Option<&Arc<SubpathCache>> {
+        self.subpath.as_ref()
+    }
+
+    /// Counters and gauges of the sub-path cache (`None` when disabled).
+    pub fn subpath_stats(&self) -> Option<SubpathStats> {
+        self.subpath.as_deref().map(SubpathCache::stats)
+    }
+
+    /// Drop every entry from both caches (counters are preserved; the
+    /// sub-path cache's frequency sketch is reset). Used between workload
+    /// runs so one run's warm state cannot silently change the next run's
+    /// reported hit rates.
+    pub fn clear_caches(&self) {
+        if let Some(cache) = &self.cache {
+            cache.clear();
+        }
+        if let Some(subpath) = &self.subpath {
+            subpath.clear();
+        }
     }
 
     /// Change the outlierness measure (default: NetOut).
@@ -266,11 +314,17 @@ impl OutlierDetector {
     }
 
     /// Build a [`QueryEngine`] borrowing this detector's graph, index, and
-    /// cache.
+    /// caches. Decorators stack base → sub-path cache → whole-vector cache,
+    /// so a whole-vector hit short-circuits everything and a whole-vector
+    /// miss still reuses cached sub-products.
     pub fn engine(&self) -> QueryEngine<'_> {
         let base: Box<dyn crate::engine::source::VectorSource + '_> = match &self.index {
             None => Box::new(crate::engine::source::TraversalSource::new(&self.graph)),
             Some(index) => Box::new(IndexedSource::new(&self.graph, index, self.source_name)),
+        };
+        let base: Box<dyn crate::engine::source::VectorSource + '_> = match &self.subpath {
+            None => base,
+            Some(subpath) => Box::new(SubpathSource::new(base, subpath.as_ref())),
         };
         let source: Box<dyn crate::engine::source::VectorSource + '_> = match &self.cache {
             None => base,
@@ -508,6 +562,90 @@ mod tests {
         let auto = OutlierDetector::new(toy::figure1_network()).with_threads(0);
         assert!(auto.current_threads() >= 1);
         assert!(auto.current_threads() <= 16);
+    }
+
+    #[test]
+    fn subpath_cache_is_bit_identical_and_hits_on_repeats() {
+        let plain = OutlierDetector::new(toy::figure1_network());
+        let cached = OutlierDetector::new(toy::figure1_network()).with_subpath_cache_mb(16);
+        let want = plain.query(icde_query()).unwrap();
+        let cold = cached.query(icde_query()).unwrap();
+        let warm = cached.query(icde_query()).unwrap();
+        for got in [&cold, &warm] {
+            assert_eq!(want.names(), got.names());
+            for (a, b) in want.ranked.iter().zip(&got.ranked) {
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
+        let stats = cached.subpath_stats().unwrap();
+        assert!(stats.hits > 0, "repeat run must hit: {stats:?}");
+        assert!(stats.admitted > 0);
+        // mb = 0 disables the cache entirely.
+        let disabled = OutlierDetector::new(toy::figure1_network()).with_subpath_cache_mb(0);
+        assert!(disabled.subpath_stats().is_none());
+    }
+
+    #[test]
+    fn subpath_cache_composes_with_index_and_vector_cache() {
+        let detector = OutlierDetector::with_index(toy::figure1_network(), IndexPolicy::full())
+            .unwrap()
+            .with_subpath_cache_mb(16)
+            .with_vector_cache(64);
+        let r1 = detector.query(icde_query()).unwrap();
+        let r2 = detector.query(icde_query()).unwrap();
+        assert_eq!(r1.names(), r2.names());
+        for (a, b) in r1.ranked.iter().zip(&r2.ranked) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        // Both cache layers are live and visible through the facade.
+        assert!(detector.cache_stats().unwrap().hits > 0);
+        assert!(detector.subpath_stats().is_some());
+        assert_eq!(detector.strategy(), "pm");
+    }
+
+    #[test]
+    fn cleared_caches_make_runs_order_independent() {
+        // Regression test: one process executing several runs against a
+        // shared detector must report the same per-run hit-rate deltas
+        // regardless of run order, provided caches are cleared between runs
+        // (what `workload --run` does).
+        let queries = [
+            icde_query().to_string(),
+            "FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author JUDGED BY author.paper.author;"
+                .to_string(),
+        ];
+        let run = |detector: &OutlierDetector, strict: bool| -> (u64, u64, u64, u64) {
+            detector.clear_caches();
+            let c0 = detector.cache_stats().unwrap();
+            let s0 = detector.subpath_stats().unwrap();
+            for q in &queries {
+                if strict {
+                    detector.query(q).unwrap();
+                } else {
+                    detector.query_best_effort(q).unwrap();
+                }
+            }
+            let c1 = detector.cache_stats().unwrap();
+            let s1 = detector.subpath_stats().unwrap();
+            (
+                c1.hits - c0.hits,
+                c1.misses - c0.misses,
+                s1.since(&s0).hits,
+                s1.since(&s0).misses,
+            )
+        };
+        let fresh = || {
+            OutlierDetector::new(toy::figure1_network())
+                .with_vector_cache(256)
+                .with_subpath_cache_mb(16)
+        };
+        // Order A: strict then best-effort; order B: best-effort then strict.
+        let a = fresh();
+        let (a_strict, a_best) = (run(&a, true), run(&a, false));
+        let b = fresh();
+        let (b_best, b_strict) = (run(&b, false), run(&b, true));
+        assert_eq!(a_strict, b_strict, "strict deltas depend on run order");
+        assert_eq!(a_best, b_best, "best-effort deltas depend on run order");
     }
 
     #[test]

@@ -283,6 +283,12 @@ pub struct ExecCtx {
     /// A finished shard's trace buffer, parked here by the shard worker for
     /// the coordinating thread to merge (in shard order) during absorb.
     trace_out: Option<hin_telemetry::trace::TraceBuf>,
+    /// Running max of every `nnz` passed to [`check_frontier`]
+    /// (ExecCtx::check_frontier) since the last [`swap_chunk_peak`]
+    /// (ExecCtx::swap_chunk_peak). The sub-path cache stores this peak with
+    /// each cached product so a later cache hit can replay the exact budget
+    /// exposure of the computation it skipped (see `engine::subpath`).
+    chunk_peak_nnz: usize,
 }
 
 impl ExecCtx {
@@ -353,7 +359,29 @@ impl ExecCtx {
             stopped_by_peer: false,
             tracing: self.tracing,
             trace_out: None,
+            chunk_peak_nnz: 0,
         }
+    }
+
+    /// Replace the chunk-peak accumulator with `value`, returning the old
+    /// running max. Callers that need the peak of a nested computation save
+    /// the current value with `swap_chunk_peak(0)`, run the computation, read
+    /// [`chunk_peak`](ExecCtx::chunk_peak), and restore with
+    /// `set_chunk_peak(saved.max(nested))` so enclosing collectors keep
+    /// accumulating.
+    pub(crate) fn swap_chunk_peak(&mut self, value: usize) -> usize {
+        std::mem::replace(&mut self.chunk_peak_nnz, value)
+    }
+
+    /// The running max of frontier sizes checked since the last swap.
+    pub(crate) fn chunk_peak(&self) -> usize {
+        self.chunk_peak_nnz
+    }
+
+    /// Overwrite the chunk-peak accumulator (see
+    /// [`swap_chunk_peak`](ExecCtx::swap_chunk_peak)).
+    pub(crate) fn set_chunk_peak(&mut self, value: usize) {
+        self.chunk_peak_nnz = value;
     }
 
     /// Merge a finished shard's accounting into this context: durations and
@@ -448,6 +476,7 @@ impl ExecCtx {
     /// Record an intermediate frontier of `nnz` populated entries, enforce
     /// the `max_nnz` cap, then run a regular [`checkpoint`](ExecCtx::checkpoint).
     pub fn check_frontier(&mut self, nnz: usize) -> Result<(), EngineError> {
+        self.chunk_peak_nnz = self.chunk_peak_nnz.max(nnz);
         self.stats.peak_frontier_nnz = self.stats.peak_frontier_nnz.max(nnz as u64);
         if let Some(shared) = &self.shared {
             shared.peak_nnz.fetch_max(nnz as u64, Ordering::Relaxed);

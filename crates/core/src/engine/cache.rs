@@ -52,6 +52,9 @@ struct Entry {
     /// re-derived for a cached vector.
     norm2_sq: f64,
     stamp: u64,
+    /// Accounted size (vector heap footprint + key), fixed at insertion so
+    /// the running byte total can be maintained incrementally.
+    bytes: usize,
 }
 
 struct Inner {
@@ -60,13 +63,24 @@ struct Inner {
     /// skipped during eviction.
     log: VecDeque<(Key, u64)>,
     next_stamp: u64,
+    /// Sum of `Entry::bytes` over the map, maintained incrementally.
+    bytes: usize,
     stats: CacheStats,
 }
 
 /// A bounded LRU cache of neighbor vectors, safe to share across engines
 /// (interior mutability via a [`parking_lot::Mutex`]).
+///
+/// The bound is a **byte budget** ([`VectorCache::with_budget_bytes`]):
+/// vectors vary from a few entries to near-dense, so bounding bytes keeps
+/// the footprint workload-independent. The entry-count constructor
+/// ([`VectorCache::new`]) remains as a compatibility shim for callers that
+/// still think in entries (`serve --cache-cap`).
 pub struct VectorCache {
+    /// Entry-count cap (`usize::MAX` when bounded by bytes alone).
     capacity: usize,
+    /// Byte budget (`usize::MAX` when bounded by entries alone).
+    budget_bytes: usize,
     inner: Mutex<Inner>,
 }
 
@@ -75,6 +89,8 @@ impl std::fmt::Debug for VectorCache {
         let inner = self.inner.lock();
         f.debug_struct("VectorCache")
             .field("capacity", &self.capacity)
+            .field("budget_bytes", &self.budget_bytes)
+            .field("bytes", &inner.bytes)
             .field("len", &inner.map.len())
             .field("stats", &inner.stats)
             .finish()
@@ -82,17 +98,35 @@ impl std::fmt::Debug for VectorCache {
 }
 
 impl VectorCache {
-    /// A cache holding at most `capacity` vectors (`capacity` ≥ 1).
-    pub fn new(capacity: usize) -> Self {
+    fn with_limits(capacity: usize, budget_bytes: usize) -> Self {
         VectorCache {
-            capacity: capacity.max(1),
+            capacity,
+            budget_bytes,
             inner: Mutex::new(Inner {
                 map: FxHashMap::default(),
                 log: VecDeque::new(),
                 next_stamp: 0,
+                bytes: 0,
                 stats: CacheStats::default(),
             }),
         }
+    }
+
+    /// A cache holding at most `capacity` vectors (`capacity` ≥ 1).
+    ///
+    /// Deprecated shim: entry counts say nothing about memory, since vector
+    /// sizes are workload-dependent. Prefer
+    /// [`with_budget_bytes`](VectorCache::with_budget_bytes); this remains
+    /// so `serve --cache-cap` and older callers keep working unchanged.
+    pub fn new(capacity: usize) -> Self {
+        VectorCache::with_limits(capacity.max(1), usize::MAX)
+    }
+
+    /// A cache bounded by `budget_bytes` of vector data (≥ 1), LRU-evicted
+    /// using the same `size_bytes` accounting that
+    /// [`size_bytes`](VectorCache::size_bytes) reports.
+    pub fn with_budget_bytes(budget_bytes: usize) -> Self {
+        VectorCache::with_limits(usize::MAX, budget_bytes.max(1))
     }
 
     /// Current number of cached vectors.
@@ -115,16 +149,13 @@ impl VectorCache {
         let mut inner = self.inner.lock();
         inner.map.clear();
         inner.log.clear();
+        inner.bytes = 0;
     }
 
-    /// Approximate heap footprint of the cached vectors.
+    /// Approximate heap footprint of the cached vectors (maintained
+    /// incrementally — O(1)).
     pub fn size_bytes(&self) -> usize {
-        let inner = self.inner.lock();
-        inner
-            .map
-            .values()
-            .map(|e| e.vec.size_bytes() + std::mem::size_of::<Key>())
-            .sum()
+        self.inner.lock().bytes
     }
 
     fn get(&self, key: &Key) -> Option<SparseVec> {
@@ -154,19 +185,27 @@ impl VectorCache {
     }
 
     fn put_with_norm(&self, key: Key, vec: SparseVec, norm2_sq: f64) {
+        let bytes = vec.size_bytes() + std::mem::size_of::<Key>();
         let mut inner = self.inner.lock();
         let stamp = inner.next_stamp;
         inner.next_stamp += 1;
         inner.log.push_back((key.clone(), stamp));
-        inner.map.insert(
+        if let Some(old) = inner.map.insert(
             key,
             Entry {
                 vec,
                 norm2_sq,
                 stamp,
+                bytes,
             },
-        );
-        while inner.map.len() > self.capacity {
+        ) {
+            inner.bytes -= old.bytes;
+        }
+        inner.bytes += bytes;
+        // Evict LRU-first until both bounds hold. An oversized vector can
+        // evict even itself (the byte budget is a hard bound); the loop
+        // terminates because every iteration shrinks the log.
+        while inner.map.len() > self.capacity || inner.bytes > self.budget_bytes {
             let Some((old_key, old_stamp)) = inner.log.pop_front() else {
                 break; // unreachable: map is non-empty so the log is too
             };
@@ -176,7 +215,9 @@ impl VectorCache {
                 .get(&old_key)
                 .is_some_and(|e| e.stamp == old_stamp);
             if is_current {
-                inner.map.remove(&old_key);
+                if let Some(old) = inner.map.remove(&old_key) {
+                    inner.bytes -= old.bytes;
+                }
                 inner.stats.evictions += 1;
             }
         }
@@ -239,6 +280,10 @@ impl VectorSource for CachedSource<'_> {
 
     fn chunk_coverage(&self, chunk: &MetaPath) -> Option<(usize, usize)> {
         self.inner.chunk_coverage(chunk)
+    }
+
+    fn subpath_stats(&self) -> Option<crate::engine::subpath::SubpathStats> {
+        self.inner.subpath_stats()
     }
 }
 
@@ -353,6 +398,60 @@ mod tests {
         assert!(cache.get(&kz).is_some());
         assert!(cache.get(&kl).is_some());
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_by_bytes() {
+        let g = toy::figure1_network();
+        let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
+        let phi = |name: &str| {
+            let (_, v) = key(&g, name, "author.paper.venue");
+            traverse::neighbor_vector(&g, v, &apv).unwrap()
+        };
+        let (vz, va, vl) = (phi("Zoe"), phi("Ava"), phi("Liam"));
+        let sz = |v: &SparseVec| v.size_bytes() + std::mem::size_of::<Key>();
+        // One byte short of all three: the third insert must evict.
+        let budget = sz(&vz) + sz(&va) + sz(&vl) - 1;
+        let cache = VectorCache::with_budget_bytes(budget);
+        cache.put(key(&g, "Zoe", "author.paper.venue"), vz);
+        cache.put(key(&g, "Ava", "author.paper.venue"), va);
+        cache.put(key(&g, "Liam", "author.paper.venue"), vl);
+        assert!(cache.size_bytes() <= budget);
+        assert!(cache.stats().evictions >= 1);
+        assert!(cache.len() < 3);
+    }
+
+    #[test]
+    fn oversized_entry_does_not_stick() {
+        let g = toy::figure1_network();
+        let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
+        let (k, v) = {
+            let k = key(&g, "Zoe", "author.paper.venue");
+            let v = traverse::neighbor_vector(&g, k.1, &apv).unwrap();
+            (k, v)
+        };
+        // A 1-byte budget can hold nothing; the hard byte bound wins over
+        // the keep-the-newest behavior of the entry-count shim.
+        let cache = VectorCache::with_budget_bytes(1);
+        cache.put(k.clone(), v);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.size_bytes(), 0);
+        assert!(cache.get(&k).is_none());
+    }
+
+    #[test]
+    fn replacing_a_key_keeps_byte_accounting_exact() {
+        let g = toy::figure1_network();
+        let apv = MetaPath::parse("author.paper.venue", g.schema()).unwrap();
+        let k = key(&g, "Zoe", "author.paper.venue");
+        let v = traverse::neighbor_vector(&g, k.1, &apv).unwrap();
+        let one = v.size_bytes() + std::mem::size_of::<Key>();
+        let cache = VectorCache::with_budget_bytes(one * 8);
+        cache.put(k.clone(), v.clone());
+        cache.put(k.clone(), v.clone());
+        cache.put(k, v);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.size_bytes(), one, "replacement must not double-count");
     }
 
     #[test]

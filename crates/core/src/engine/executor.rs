@@ -521,13 +521,34 @@ impl<'g> QueryEngine<'g> {
         path: &hin_graph::MetaPath,
         ctx: &mut ExecCtx,
     ) -> Result<Vec<(VertexId, SparseVec)>, EngineError> {
-        let _span = hin_telemetry::span!("materialize", vertices = ids.len());
-        run_sharded(ids, ctx, |shard, sctx| {
+        let mut span = hin_telemetry::span!("materialize", vertices = ids.len());
+        let before = self.source.subpath_stats();
+        let out = run_sharded(ids, ctx, |shard, sctx| {
             shard
                 .iter()
                 .map(|&v| Ok((v, self.source.neighbor_vector(v, path, sctx)?)))
                 .collect()
-        })
+        });
+        self.record_subpath_delta(&mut span, before);
+        out
+    }
+
+    /// Attach sub-path cache hit/miss deltas to a materialize span, if the
+    /// source stack contains a [`crate::engine::subpath::SubpathSource`] and
+    /// the span is being recorded.
+    fn record_subpath_delta(
+        &self,
+        span: &mut hin_telemetry::trace::Span,
+        before: Option<crate::engine::subpath::SubpathStats>,
+    ) {
+        if !span.recording() {
+            return;
+        }
+        if let (Some(before), Some(after)) = (before, self.source.subpath_stats()) {
+            let delta = after.since(&before);
+            span.field("subpath_hits", delta.hits);
+            span.field("subpath_misses", delta.misses);
+        }
     }
 
     /// Materialize feature vectors for `ids`, reusing any vectors already
@@ -541,9 +562,10 @@ impl<'g> QueryEngine<'g> {
     ) -> Result<Vec<(VertexId, SparseVec)>, EngineError> {
         let lookup: FxHashMap<VertexId, &SparseVec> =
             cached.iter().map(|(v, phi)| (*v, phi)).collect();
-        let _span =
+        let mut span =
             hin_telemetry::span!("materialize", vertices = ids.len(), reusable = cached.len());
-        run_sharded(ids, ctx, |shard, sctx| {
+        let before = self.source.subpath_stats();
+        let out = run_sharded(ids, ctx, |shard, sctx| {
             shard
                 .iter()
                 .map(|&v| {
@@ -554,7 +576,9 @@ impl<'g> QueryEngine<'g> {
                     }
                 })
                 .collect()
-        })
+        });
+        self.record_subpath_delta(&mut span, before);
+        out
     }
 }
 

@@ -27,4 +27,5 @@ pub mod progressive;
 pub mod set_eval;
 pub mod source;
 pub mod stats;
+pub mod subpath;
 pub mod topk;

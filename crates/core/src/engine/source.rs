@@ -59,6 +59,15 @@ pub trait VectorSource: Send + Sync {
     fn chunk_coverage(&self, _chunk: &MetaPath) -> Option<(usize, usize)> {
         None
     }
+
+    /// Live counters of the sub-path product cache in this source stack
+    /// (`None` when no [`SubpathCache`](crate::engine::subpath::SubpathCache)
+    /// is layered in). Decorators delegate; the executor snapshots this
+    /// around materialization to annotate spans with per-stage hit/miss
+    /// deltas.
+    fn subpath_stats(&self) -> Option<crate::engine::subpath::SubpathStats> {
+        None
+    }
 }
 
 /// Sparse traversal with budget checks after every propagation step.

@@ -52,6 +52,7 @@ pub use engine::executor::{CombineStrategy, OutlierResult, QueryEngine, QueryRes
 pub use engine::explain::Explain;
 pub use engine::progressive::{ProgressSnapshot, ProgressiveRun};
 pub use engine::stats::ExecBreakdown;
+pub use engine::subpath::{SubpathCache, SubpathSource, SubpathStats};
 pub use engine::topk::{top_k, ScoreOrder};
 pub use error::{panic_message, EngineError};
 pub use measures::MeasureKind;

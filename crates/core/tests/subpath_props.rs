@@ -1,0 +1,113 @@
+//! Property tests for sub-path canonicalization (`engine::subpath`): the
+//! chunking that feeds the cross-query product cache must recompose to the
+//! original meta-path exactly, chunk shapes must match the Section 6.2
+//! decomposition, and symmetric paths must exhibit the mirror structure the
+//! cache relies on (a single-hop symmetric path dedupes to one palindromic
+//! chunk).
+
+use hin_graph::{bibliographic_schema, MetaPath, Schema, VertexTypeId};
+use netout::engine::subpath::{canonical_chunks, prefix_paths};
+use proptest::prelude::*;
+
+/// Random schema-valid meta-path: a walk over the schema's link graph,
+/// seeded by a start index and per-step neighbor choices.
+fn random_path(schema: &Schema, start: usize, steps: &[usize]) -> MetaPath {
+    let types: Vec<VertexTypeId> = schema.vertex_type_ids().collect();
+    let neighbors: Vec<Vec<VertexTypeId>> = types
+        .iter()
+        .map(|&a| {
+            types
+                .iter()
+                .copied()
+                .filter(|&b| schema.link_exists(a, b))
+                .collect()
+        })
+        .collect();
+    let mut walk = vec![types[start % types.len()]];
+    for &choice in steps {
+        let here = walk[walk.len() - 1];
+        let next = &neighbors[here.index()];
+        // Every type in the bibliographic schema has at least one link.
+        walk.push(next[choice % next.len()]);
+    }
+    MetaPath::new(walk, schema).expect("walk follows schema links")
+}
+
+fn path_strategy() -> impl Strategy<Value = MetaPath> {
+    (0usize..4, proptest::collection::vec(0usize..8, 1..10))
+        .prop_map(|(start, steps)| random_path(&bibliographic_schema(), start, &steps))
+}
+
+proptest! {
+    /// Decompose → recompose identity: folding the canonical chunks back
+    /// together with `concat` reproduces the original type sequence, and
+    /// the running prefixes agree with the chunk boundaries.
+    #[test]
+    fn decompose_recompose_identity(path in path_strategy()) {
+        let chunks = canonical_chunks(&path);
+        let prefixes = prefix_paths(&chunks);
+        prop_assert_eq!(prefixes.len(), chunks.len());
+        let last = prefixes.last().expect("non-degenerate path has chunks");
+        prop_assert_eq!(last.types(), path.types());
+        // Each prefix starts where the path starts and ends where its last
+        // chunk ends.
+        for (k, prefix) in prefixes.iter().enumerate() {
+            prop_assert_eq!(prefix.source_type(), path.source_type());
+            prop_assert_eq!(prefix.target_type(), chunks[k].target_type());
+        }
+    }
+
+    /// Chunk shapes follow the Section 6.2 decomposition: every chunk is
+    /// length 2 except an odd trailing hop, chunks chain boundary-to-
+    /// boundary, and the total edge count is preserved.
+    #[test]
+    fn chunk_shapes_and_boundaries(path in path_strategy()) {
+        let chunks = canonical_chunks(&path);
+        prop_assert_eq!(chunks.len(), path.len().div_ceil(2));
+        let total: usize = chunks.iter().map(MetaPath::len).sum();
+        prop_assert_eq!(total, path.len());
+        for (i, chunk) in chunks.iter().enumerate() {
+            if i + 1 < chunks.len() {
+                prop_assert_eq!(chunk.len(), 2);
+                prop_assert_eq!(chunk.target_type(), chunks[i + 1].source_type());
+            } else {
+                prop_assert!(chunk.len() == 2 || chunk.len() == 1);
+            }
+        }
+    }
+
+    /// A single-hop path's symmetric closure `(A B A)` dedupes to exactly
+    /// one palindromic chunk — both "halves" of the symmetric path are the
+    /// same cache entry.
+    #[test]
+    fn single_hop_symmetric_dedupes_to_one_chunk(start in 0usize..4, step in 0usize..8) {
+        let schema = bibliographic_schema();
+        let hop = random_path(&schema, start, &[step]);
+        let sym = hop.symmetric();
+        prop_assert!(sym.is_symmetric());
+        let chunks = canonical_chunks(&sym);
+        prop_assert_eq!(chunks.len(), 1);
+        prop_assert_eq!(chunks[0].types(), sym.types());
+        prop_assert!(chunks[0].is_symmetric());
+    }
+
+    /// For any symmetric closure `P·P⁻¹` of an even-length path, the chunk
+    /// sequence mirrors: chunk `k` is the reversal of chunk `n-1-k`. This
+    /// is the structure that lets one warm chunk serve both halves of a
+    /// symmetric materialization (modulo direction).
+    #[test]
+    fn symmetric_halves_mirror(path in path_strategy()) {
+        let sym = path.symmetric();
+        prop_assert!(sym.is_symmetric());
+        let chunks = canonical_chunks(&sym);
+        if sym.len() % 2 == 0 {
+            let n = chunks.len();
+            for k in 0..n {
+                prop_assert_eq!(
+                    chunks[k].reversed().types(),
+                    chunks[n - 1 - k].types()
+                );
+            }
+        }
+    }
+}

@@ -22,10 +22,10 @@ USAGE:
   hinout query --graph FILE (--query 'FIND OUTLIERS …' | --query-file FILE)
                [--index none|pm] [--measure netout|pathsim|cossim|lof:K|knn:K]
                [--threads N] [--timeout-ms N] [--max-candidates N] [--max-nnz N]
-               [--format text|json] [--trace]
+               [--subpath-cache-mb N] [--format text|json] [--trace]
   hinout explain --graph FILE (--query '…' | --query-file FILE) [--index none|pm]
                [--threads N] [--timeout-ms N] [--max-candidates N] [--max-nnz N]
-               [--format text|json] [--trace]
+               [--subpath-cache-mb N] [--format text|json] [--trace]
   hinout similar --graph FILE --type author --name 'X' --path author.paper.venue [--top K]
                [--threads N] [--timeout-ms N] [--max-candidates N] [--max-nnz N]
   hinout repl --graph FILE [--index none|pm]
@@ -34,6 +34,7 @@ USAGE:
   hinout workload --graph FILE --template q1|q2|q3 --n N [--seed S] [--out FILE]
                [--run strict|best-effort] [--summary] [--threads N]
                [--timeout-ms N] [--max-candidates N] [--max-nnz N]
+               [--subpath-cache-mb N] [--record FILE] [--warm FILE]
   hinout snapshot build --graph FILE --out FILE [--index none|pm] [--threads N]
   hinout snapshot inspect --snapshot FILE
   hinout snapshot verify --snapshot FILE
@@ -43,7 +44,7 @@ USAGE:
                [--cache-cap N] [--port-file FILE] [--threads-per-query N]
                [--timeout-ms N] [--max-candidates N] [--max-nnz N]
                [--fault-plan SPEC] [--dedup-cap N] [--hang-timeout-ms N]
-               [--slow-query-ms N]
+               [--slow-query-ms N] [--subpath-cache-mb N] [--warm FILE]
   hinout bench-client --addr HOST:PORT [--clients N] [--requests N]
                [--query '…' | --query-file FILE] [--format text|json]
                [--retry-attempts N] [--retry-deadline-ms N] [--retry-seed S]
@@ -104,6 +105,17 @@ returns one entry's full span tree. query/explain --trace print the same
 span tree locally after each query. workload --run … --summary replaces
 per-query rankings with an aggregate report: summed per-phase timings plus
 latency quantiles from the shared log2 histogram.
+
+Sub-path product cache (DESIGN.md §15): --subpath-cache-mb N gives
+query/explain/workload/serve a cross-query cache of meta-path chunk
+products with cost-based admission and byte-budgeted LRU eviction, so
+queries sharing a meta-path prefix skip the shared propagation steps
+(0 disables; results stay bit-identical). workload --run … --record
+trace.jsonl writes the executed query stream as JSON lines; --warm
+trace.jsonl (workload and serve) replays a recorded stream best-effort to
+pre-populate the caches before timing or serving. Hit/miss/eviction and
+bytes-resident counters appear in workload summaries, STATS, and the
+hin_subpath_* METRICS series.
 
 Budget flags bound each query's execution: --timeout-ms is a wall-clock
 deadline, --max-candidates caps the candidate/reference set sizes, and
@@ -261,8 +273,14 @@ fn parse_measure(s: &str) -> Result<MeasureKind, String> {
     }
 }
 
-/// Budget flags shared by the executing subcommands.
-const BUDGET_FLAGS: [&str; 3] = ["timeout-ms", "max-candidates", "max-nnz"];
+/// Flags shared by the executing subcommands: the budget trio plus the
+/// sub-path cache size (all handled by [`build_detector`]).
+const BUDGET_FLAGS: [&str; 4] = [
+    "timeout-ms",
+    "max-candidates",
+    "max-nnz",
+    "subpath-cache-mb",
+];
 
 /// `check_known` with the budget flags appended to `base`.
 fn check_known_with_budget(args: &Args, base: &[&str]) -> Result<(), String> {
@@ -303,7 +321,38 @@ fn build_detector(graph: HinGraph, args: &Args) -> Result<OutlierDetector, Strin
     if let Some(n) = args.get_opt_num::<usize>("threads")? {
         detector = detector.with_threads(n);
     }
+    if let Some(mb) = args.get_opt_num::<usize>("subpath-cache-mb")? {
+        detector = detector.with_subpath_cache_mb(mb);
+    }
     Ok(detector.budget(parse_budget(args)?))
+}
+
+/// Replay a recorded query trace (`--warm FILE`, JSON lines with a
+/// `"query"` field as written by `workload --record`) against the detector
+/// to pre-populate its caches. Queries run best-effort; individual query
+/// failures are skipped — warming must never block serving or measuring.
+/// Returns `(succeeded, total)`.
+fn warm_from_trace(detector: &OutlierDetector, path: &str) -> Result<(usize, usize), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut ok = 0usize;
+    let mut total = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value = hin_service::json::parse_value(line)
+            .map_err(|e| format!("{path} line {}: {e}", i + 1))?;
+        let query = value
+            .get("query")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("{path} line {}: missing \"query\" field", i + 1))?;
+        total += 1;
+        if detector.query_best_effort(query).is_ok() {
+            ok += 1;
+        }
+    }
+    Ok((ok, total))
 }
 
 /// Output rendering for `query`/`explain`: human-readable text, or the same
@@ -547,7 +596,7 @@ fn cmd_workload(args: &Args) -> Result<(), String> {
         args,
         &[
             "graph", "template", "n", "seed", "out", "run", "summary", "index", "measure",
-            "threads",
+            "threads", "record", "warm",
         ],
     )?;
     let graph = load(args)?;
@@ -579,9 +628,34 @@ fn cmd_workload(args: &Args) -> Result<(), String> {
         None if args.has("summary") => {
             Err("--summary requires --run (it summarizes executed queries)".into())
         }
+        None if args.get("record").is_some() => {
+            Err("--record requires --run (it records the executed query stream)".into())
+        }
+        None if args.get("warm").is_some() => {
+            Err("--warm requires --run (it pre-populates the caches before timing)".into())
+        }
         None => Ok(()),
         Some(mode @ ("strict" | "best-effort")) => {
             let detector = build_detector(graph, args)?;
+            // Trace-driven warming: replay a previously recorded stream
+            // best-effort so the timed run below starts with hot caches.
+            // Without --warm, start from cleared caches instead — repeated
+            // runs against one detector in one process must report
+            // run-order-independent hit rates.
+            match args.get("warm") {
+                Some(path) => {
+                    let (ok, total) = warm_from_trace(&detector, path)?;
+                    println!("warmed caches from {path}: {ok} of {total} recorded queries");
+                }
+                None => detector.clear_caches(),
+            }
+            // Record the stream about to execute (both run paths execute
+            // every query, continuing past failures, so this is exactly the
+            // executed stream).
+            if let Some(path) = args.get("record") {
+                record_trace(path, &queries, mode)?;
+                println!("recorded {} queries to {path}", queries.len());
+            }
             if args.has("summary") {
                 run_workload_summary(&detector, &queries, mode == "strict")
             } else {
@@ -598,6 +672,22 @@ fn cmd_workload(args: &Args) -> Result<(), String> {
     }
 }
 
+/// Write the executed query stream as JSON lines (`--record FILE`), the
+/// format [`warm_from_trace`] replays.
+fn record_trace<Q: std::fmt::Display>(path: &str, queries: &[Q], mode: &str) -> Result<(), String> {
+    use std::io::Write as _;
+    let mut f = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+    for q in queries {
+        let mut line = String::from("{\"query\":");
+        hin_service::json::escape_into(&mut line, &q.to_string());
+        line.push_str(",\"mode\":");
+        hin_service::json::escape_into(&mut line, mode);
+        line.push('}');
+        writeln!(f, "{line}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
 /// `workload --run … --summary`: execute every query but print one
 /// aggregate report instead of per-query rankings — summed per-phase
 /// [`netout::ExecBreakdown`] timings plus end-to-end latency quantiles
@@ -612,6 +702,11 @@ fn run_workload_summary<Q: std::fmt::Display>(
     let mut phases = netout::ExecBreakdown::default();
     let mut failed = 0usize;
     let mut degraded = 0usize;
+    // Cache counters are process-lifetime totals; report deltas over this
+    // run so the printed hit rates do not depend on earlier runs (or on
+    // warming) sharing the detector.
+    let cache_before = detector.cache_stats();
+    let subpath_before = detector.subpath_stats();
     let started = std::time::Instant::now();
     for (i, query) in queries.iter().enumerate() {
         let src = query.to_string();
@@ -649,6 +744,32 @@ fn run_workload_summary<Q: std::fmt::Display>(
         "latency: mean {}us | p50 {}us | p95 {}us | p99 {}us | max {}us",
         s.mean_us, s.p50_us, s.p95_us, s.p99_us, s.max_us
     );
+    if let (Some(before), Some(after)) = (cache_before, detector.cache_stats()) {
+        let hits = after.hits.saturating_sub(before.hits);
+        let misses = after.misses.saturating_sub(before.misses);
+        if hits + misses > 0 {
+            println!(
+                "vector cache: {hits} hits / {misses} misses ({:.1}% hit rate)",
+                100.0 * hits as f64 / (hits + misses) as f64
+            );
+        }
+    }
+    if let (Some(before), Some(after)) = (subpath_before, detector.subpath_stats()) {
+        let d = after.since(&before);
+        if d.hits + d.misses > 0 {
+            println!(
+                "subpath cache: {} hits ({} prefix) / {} misses ({:.1}% hit rate), \
+                 {} KiB resident of {} KiB budget, {} evictions",
+                d.hits,
+                d.prefix_hits,
+                d.misses,
+                100.0 * d.hits as f64 / (d.hits + d.misses) as f64,
+                d.bytes_resident / 1024,
+                d.budget_bytes / 1024,
+                d.evictions
+            );
+        }
+    }
     if failed > 0 {
         Err(format!("{failed} of {} queries failed", queries.len()))
     } else {
@@ -855,6 +976,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             "dedup-cap",
             "hang-timeout-ms",
             "slow-query-ms",
+            "warm",
         ],
     )?;
     // Instant start: --snapshot maps a prebuilt graph (and its index) in
@@ -876,6 +998,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             if let Some(m) = args.get("measure") {
                 d = d.measure(parse_measure(m)?);
             }
+            if let Some(mb) = args.get_opt_num::<usize>("subpath-cache-mb")? {
+                d = d.with_subpath_cache_mb(mb);
+            }
             (d.budget(parse_budget(args)?), Some(elapsed))
         }
         (None, Some(_)) => (build_detector(load(args)?, args)?, None),
@@ -885,6 +1010,17 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let cache_cap: usize = args.get_num("cache-cap", 4096)?;
     if cache_cap > 0 {
         detector = detector.with_vector_cache(cache_cap);
+    }
+    // Pre-populate the shared caches from a recorded query stream before
+    // accepting connections, so the first clients already see warm-cache
+    // latency (the sub-path cache instance is shared by every worker).
+    if let Some(path) = args.get("warm") {
+        let t = std::time::Instant::now();
+        let (ok, total) = warm_from_trace(&detector, path)?;
+        println!(
+            "warmed caches from {path}: {ok} of {total} recorded queries in {:?}",
+            t.elapsed()
+        );
     }
     let mut config = ServerConfig::default();
     if let Some(w) = args.get_opt_num::<usize>("workers")? {
@@ -1537,6 +1673,8 @@ mod tests {
             "4",
             "--slow-query-ms",
             "0",
+            "--subpath-cache-mb",
+            "8",
             "--port-file",
             port_file.to_str().unwrap(),
         ]
@@ -1575,6 +1713,11 @@ mod tests {
         // QUERY/EXPLAIN are), but METRICS still serves the counters.
         let metrics = client.send_line("METRICS JSON").unwrap();
         assert!(metrics.contains("hin_requests_total"), "{metrics}");
+        // --subpath-cache-mb exports the hin_subpath_* series and a
+        // non-null subpath block in STATS.
+        assert!(metrics.contains("hin_subpath_hits"), "{metrics}");
+        let stats = client.send_line("STATS").unwrap();
+        assert!(stats.contains("\"subpath\":{"), "{stats}");
         let traces = client.send_line("TRACE").unwrap();
         assert!(traces.starts_with(r#"{"traces""#), "{traces}");
         let bye = client.send_line("SHUTDOWN").unwrap();
@@ -1653,6 +1796,87 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("--summary requires --run"), "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn workload_record_warm_round_trip() {
+        let dir = std::env::temp_dir().join("hinout_cli_warm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net_path = dir.join("net.hin");
+        run(&[
+            "generate".into(),
+            "--out".into(),
+            net_path.to_str().unwrap().into(),
+            "--scale".into(),
+            "0.05".into(),
+            "--seed".into(),
+            "31".into(),
+        ])
+        .unwrap();
+        // Record a run with the sub-path cache enabled …
+        let trace_path = dir.join("trace.jsonl");
+        run(&[
+            "workload".into(),
+            "--graph".into(),
+            net_path.to_str().unwrap().into(),
+            "--template".into(),
+            "q1".into(),
+            "--n".into(),
+            "3".into(),
+            "--run".into(),
+            "best-effort".into(),
+            "--summary".into(),
+            "--subpath-cache-mb".into(),
+            "8".into(),
+            "--record".into(),
+            trace_path.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        // … producing one parseable JSON line per executed query.
+        let recorded = std::fs::read_to_string(&trace_path).unwrap();
+        let lines: Vec<&str> = recorded.lines().collect();
+        assert_eq!(lines.len(), 3, "{recorded}");
+        for line in &lines {
+            let v = hin_service::json::parse_value(line).unwrap();
+            let q = v.get("query").and_then(|q| q.as_str()).unwrap();
+            assert!(q.contains("FIND OUTLIERS"), "{q}");
+            assert_eq!(v.get("mode").and_then(|m| m.as_str()), Some("best-effort"));
+        }
+        // Warming replays the trace before the timed run.
+        run(&[
+            "workload".into(),
+            "--graph".into(),
+            net_path.to_str().unwrap().into(),
+            "--template".into(),
+            "q1".into(),
+            "--n".into(),
+            "3".into(),
+            "--run".into(),
+            "best-effort".into(),
+            "--summary".into(),
+            "--subpath-cache-mb".into(),
+            "8".into(),
+            "--warm".into(),
+            trace_path.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        // --record / --warm without --run are usage errors.
+        for flag in ["--record", "--warm"] {
+            let err = run(&[
+                "workload".into(),
+                "--graph".into(),
+                net_path.to_str().unwrap().into(),
+                "--template".into(),
+                "q1".into(),
+                "--n".into(),
+                "1".into(),
+                flag.into(),
+                trace_path.to_str().unwrap().into(),
+            ])
+            .unwrap_err();
+            assert!(err.contains("requires --run"), "got: {err}");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -87,5 +87,5 @@ pub use protocol::{
     TraceListEntry,
 };
 pub use server::{bind_listener_retry, write_addr_file, Server, ServerConfig};
-pub use stats::{ServerStats, StatsSnapshot};
+pub use stats::{ServerStats, StatsSnapshot, SubpathSnapshot};
 pub use supervisor::{SupervisorConfig, WorkerSlot};

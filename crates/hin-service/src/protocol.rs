@@ -628,6 +628,9 @@ pub struct TraceBody {
     pub degraded: bool,
     /// Shared vector-cache counters when the entry was logged.
     pub cache: crate::stats::CacheSnapshot,
+    /// Sub-path product-cache counters when the entry was logged; `null`
+    /// when the server runs without a sub-path cache.
+    pub subpath: Option<crate::stats::SubpathSnapshot>,
     /// Spans recorded but rejected because the trace buffer was full.
     pub spans_dropped: u64,
     /// The recorded span tree (roots in open order).
@@ -1071,6 +1074,7 @@ mod tests {
             total_us: 1500,
             degraded: false,
             cache: crate::stats::CacheSnapshot::default(),
+            subpath: None,
             spans_dropped: 0,
             spans: Vec::new(),
         });

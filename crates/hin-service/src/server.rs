@@ -44,7 +44,7 @@ use crate::protocol::{
     BusyBody, ErrorCode, ExecMode, FaultCommand, FaultsBody, Request, RequestOptions, Response,
     ResultBody, ShardBody, TraceBody, TraceListEntry, MAX_LINE_BYTES,
 };
-use crate::stats::{CacheSnapshot, ServerStats, StatsSnapshot};
+use crate::stats::{CacheSnapshot, ServerStats, StatsSnapshot, SubpathSnapshot};
 use crate::supervisor::{self, SupervisorConfig, WorkerSlot};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use netout::{BudgetLimit, CancelToken, EngineError, OutlierDetector};
@@ -162,10 +162,15 @@ impl Shared {
             (Some(stats), Some(cache)) => {
                 let mut snap = CacheSnapshot::from(stats);
                 snap.len = cache.len();
+                snap.size_bytes = cache.size_bytes();
                 snap
             }
             _ => CacheSnapshot::default(),
         }
+    }
+
+    fn subpath_snapshot(&self) -> Option<SubpathSnapshot> {
+        self.detector.subpath_stats().map(SubpathSnapshot::from)
     }
 
     fn stats_response(&self) -> Response {
@@ -173,6 +178,7 @@ impl Shared {
             self.queue_depth(),
             self.config.queue_cap,
             self.cache_snapshot(),
+            self.subpath_snapshot(),
         ))
     }
 
@@ -190,6 +196,7 @@ impl Shared {
             self.queue_depth(),
             self.config.queue_cap,
             self.cache_snapshot(),
+            self.subpath_snapshot(),
         )
     }
 
@@ -199,6 +206,7 @@ impl Shared {
             self.queue_depth(),
             self.config.queue_cap,
             self.cache_snapshot(),
+            self.subpath_snapshot(),
         ))
     }
 
@@ -252,6 +260,7 @@ impl Shared {
             total_us,
             degraded,
             cache: self.cache_snapshot(),
+            subpath: self.subpath_snapshot(),
             spans_dropped: trace.dropped(),
             spans: trace.tree(),
         };
@@ -462,6 +471,7 @@ impl Server {
             shared.queue_depth(),
             shared.config.queue_cap,
             shared.cache_snapshot(),
+            shared.subpath_snapshot(),
         );
         hin_telemetry::logfmt!(
             "server_stop",
@@ -1130,6 +1140,7 @@ const _: () = {
         assert_send_sync::<hin_graph::HinGraph>();
         assert_send_sync::<OutlierDetector>();
         assert_send_sync::<netout::VectorCache>();
+        assert_send_sync::<netout::SubpathCache>();
         assert_send_sync::<netout::Budget>();
         assert_send_sync::<CancelToken>();
         assert_send_sync::<Shared>();

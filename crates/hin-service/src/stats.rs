@@ -71,6 +71,17 @@ pub struct ServerStats {
     cache_evictions: Gauge,
     cache_hit_ratio: Gauge,
     cache_len: Gauge,
+    cache_size_bytes: Gauge,
+    subpath_hits: Gauge,
+    subpath_prefix_hits: Gauge,
+    subpath_misses: Gauge,
+    subpath_admitted: Gauge,
+    subpath_rejected: Gauge,
+    subpath_evictions: Gauge,
+    subpath_bytes: Gauge,
+    subpath_budget_bytes: Gauge,
+    subpath_entries: Gauge,
+    subpath_hit_ratio: Gauge,
     registry: Registry,
     started: Instant,
 }
@@ -156,6 +167,50 @@ impl ServerStats {
                 "Shared cache hit ratio in [0,1]; NaN before any lookup.",
             ),
             cache_len: registry.gauge("hin_cache_len", "Vectors cached right now."),
+            cache_size_bytes: registry.gauge(
+                "hin_cache_size_bytes",
+                "Bytes of neighbor vectors resident in the shared cache.",
+            ),
+            subpath_hits: registry.gauge(
+                "hin_subpath_hits",
+                "Sub-path cache lookups served from a cached product.",
+            ),
+            subpath_prefix_hits: registry.gauge(
+                "hin_subpath_prefix_hits",
+                "Sub-path cache hits on a multi-chunk prefix product.",
+            ),
+            subpath_misses: registry.gauge(
+                "hin_subpath_misses",
+                "Sub-path cache lookups that found nothing cached.",
+            ),
+            subpath_admitted: registry.gauge(
+                "hin_subpath_admitted",
+                "Sub-path products accepted by the admission policy.",
+            ),
+            subpath_rejected: registry.gauge(
+                "hin_subpath_rejected",
+                "Sub-path products rejected by the admission policy.",
+            ),
+            subpath_evictions: registry.gauge(
+                "hin_subpath_evictions",
+                "Sub-path entries evicted to respect the byte budget.",
+            ),
+            subpath_bytes: registry.gauge(
+                "hin_subpath_bytes",
+                "Bytes of sub-path products currently resident.",
+            ),
+            subpath_budget_bytes: registry.gauge(
+                "hin_subpath_budget_bytes",
+                "Configured sub-path cache byte budget.",
+            ),
+            subpath_entries: registry.gauge(
+                "hin_subpath_entries",
+                "Sub-path products resident right now.",
+            ),
+            subpath_hit_ratio: registry.gauge(
+                "hin_subpath_hit_ratio",
+                "Sub-path cache hit ratio in [0,1]; NaN before any lookup.",
+            ),
             registry,
             started: Instant::now(),
         }
@@ -191,7 +246,13 @@ impl ServerStats {
     }
 
     /// Refresh the scrape-time gauges from server-owned state.
-    fn set_scrape_gauges(&self, queue_depth: usize, queue_cap: usize, cache: &CacheSnapshot) {
+    fn set_scrape_gauges(
+        &self,
+        queue_depth: usize,
+        queue_cap: usize,
+        cache: &CacheSnapshot,
+        subpath: &Option<SubpathSnapshot>,
+    ) {
         self.uptime_ms.set(self.uptime().as_millis() as f64);
         self.queue_depth.set(queue_depth as f64);
         self.queue_cap.set(queue_cap as f64);
@@ -201,6 +262,20 @@ impl ServerStats {
         self.cache_hit_ratio
             .set(cache.hit_ratio.unwrap_or(f64::NAN));
         self.cache_len.set(cache.len as f64);
+        self.cache_size_bytes.set(cache.size_bytes as f64);
+        // With no sub-path cache configured the gauges stay at their
+        // zero/NaN defaults rather than disappearing from the exposition.
+        let sp = subpath.unwrap_or_default();
+        self.subpath_hits.set(sp.hits as f64);
+        self.subpath_prefix_hits.set(sp.prefix_hits as f64);
+        self.subpath_misses.set(sp.misses as f64);
+        self.subpath_admitted.set(sp.admitted as f64);
+        self.subpath_rejected.set(sp.rejected as f64);
+        self.subpath_evictions.set(sp.evictions as f64);
+        self.subpath_bytes.set(sp.bytes_resident as f64);
+        self.subpath_budget_bytes.set(sp.budget_bytes as f64);
+        self.subpath_entries.set(sp.entries as f64);
+        self.subpath_hit_ratio.set(sp.hit_ratio.unwrap_or(f64::NAN));
     }
 
     /// Render the Prometheus text exposition of every metric (the `METRICS`
@@ -211,8 +286,9 @@ impl ServerStats {
         queue_depth: usize,
         queue_cap: usize,
         cache: CacheSnapshot,
+        subpath: Option<SubpathSnapshot>,
     ) -> String {
-        self.set_scrape_gauges(queue_depth, queue_cap, &cache);
+        self.set_scrape_gauges(queue_depth, queue_cap, &cache, &subpath);
         self.registry.render_prometheus()
     }
 
@@ -222,8 +298,9 @@ impl ServerStats {
         queue_depth: usize,
         queue_cap: usize,
         cache: CacheSnapshot,
+        subpath: Option<SubpathSnapshot>,
     ) -> MetricsSnapshot {
-        self.set_scrape_gauges(queue_depth, queue_cap, &cache);
+        self.set_scrape_gauges(queue_depth, queue_cap, &cache, &subpath);
         self.registry.snapshot()
     }
 
@@ -235,6 +312,7 @@ impl ServerStats {
         queue_depth: usize,
         queue_cap: usize,
         cache: CacheSnapshot,
+        subpath: Option<SubpathSnapshot>,
     ) -> StatsSnapshot {
         // Snapshot the uptime once; every field below reads from the same
         // instant rather than re-eyeballing the clock.
@@ -256,6 +334,7 @@ impl ServerStats {
             queue_depth,
             queue_cap,
             cache,
+            subpath,
             queue_wait: self.queue_wait.summary(),
             exec: self.exec.summary(),
             total: self.total.summary(),
@@ -276,6 +355,8 @@ pub struct CacheSnapshot {
     pub hit_ratio: Option<f64>,
     /// Cached vectors right now.
     pub len: usize,
+    /// Bytes of cached vectors resident right now.
+    pub size_bytes: usize,
 }
 
 impl From<netout::CacheStats> for CacheSnapshot {
@@ -286,6 +367,50 @@ impl From<netout::CacheStats> for CacheSnapshot {
             evictions: s.evictions,
             hit_ratio: s.hit_rate(),
             len: 0,
+            size_bytes: 0,
+        }
+    }
+}
+
+/// Sub-path product-cache counters at snapshot time (`null` in `STATS`
+/// when the server runs without `--subpath-cache-mb`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct SubpathSnapshot {
+    /// Lookups served from a cached product (chunk or prefix).
+    pub hits: u64,
+    /// Subset of `hits` that matched a multi-chunk prefix product.
+    pub prefix_hits: u64,
+    /// Lookups that found nothing cached.
+    pub misses: u64,
+    /// Products accepted by the admission policy.
+    pub admitted: u64,
+    /// Products rejected by the admission policy.
+    pub rejected: u64,
+    /// Entries evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Bytes of cached products resident right now.
+    pub bytes_resident: u64,
+    /// Resident entries right now.
+    pub entries: u64,
+    /// Configured byte budget.
+    pub budget_bytes: u64,
+    /// Hit ratio in `[0,1]`; `null` before any lookup.
+    pub hit_ratio: Option<f64>,
+}
+
+impl From<netout::SubpathStats> for SubpathSnapshot {
+    fn from(s: netout::SubpathStats) -> Self {
+        SubpathSnapshot {
+            hits: s.hits,
+            prefix_hits: s.prefix_hits,
+            misses: s.misses,
+            admitted: s.admitted,
+            rejected: s.rejected,
+            evictions: s.evictions,
+            bytes_resident: s.bytes_resident,
+            entries: s.entries,
+            budget_bytes: s.budget_bytes,
+            hit_ratio: s.hit_rate(),
         }
     }
 }
@@ -325,6 +450,8 @@ pub struct StatsSnapshot {
     pub queue_cap: usize,
     /// Shared vector-cache counters.
     pub cache: CacheSnapshot,
+    /// Sub-path product-cache counters; `null` when not configured.
+    pub subpath: Option<SubpathSnapshot>,
     /// Admission → worker-pickup latency.
     pub queue_wait: LatencySummary,
     /// Worker execution latency.
@@ -353,7 +480,7 @@ mod tests {
         stats.inc(&stats.respawns);
         stats.inc(&stats.deduped);
         stats.inc(&stats.dropped_conns);
-        let snap = stats.snapshot(3, 8, CacheSnapshot::default());
+        let snap = stats.snapshot(3, 8, CacheSnapshot::default(), None);
         assert_eq!(snap.requests, 2);
         assert_eq!(snap.panics, 1);
         assert_eq!(snap.respawns, 1);
@@ -387,6 +514,30 @@ mod tests {
     }
 
     #[test]
+    fn subpath_snapshot_serializes_and_defaults_to_null() {
+        let stats = ServerStats::new();
+        let without = stats.snapshot(0, 8, CacheSnapshot::default(), None);
+        let line = crate::json::to_string(&without).unwrap();
+        assert!(line.contains("\"subpath\":null"), "{line}");
+        let sp = SubpathSnapshot::from(netout::SubpathStats {
+            hits: 6,
+            prefix_hits: 1,
+            misses: 2,
+            admitted: 3,
+            rejected: 0,
+            evictions: 1,
+            bytes_resident: 512,
+            entries: 2,
+            budget_bytes: 4096,
+        });
+        assert_eq!(sp.hit_ratio, Some(0.75));
+        let with = stats.snapshot(0, 8, CacheSnapshot::default(), Some(sp));
+        let line = crate::json::to_string(&with).unwrap();
+        assert!(line.contains("\"subpath\":{\"hits\":6"), "{line}");
+        assert!(line.contains("\"budget_bytes\":4096"), "{line}");
+    }
+
+    #[test]
     fn metrics_exposition_covers_required_names() {
         let stats = ServerStats::new();
         stats.inc(&stats.requests);
@@ -406,14 +557,34 @@ mod tests {
             evictions: 0,
             hit_ratio: Some(0.75),
             len: 4,
+            size_bytes: 1024,
         };
-        let text = stats.render_metrics(2, 8, cache);
+        let subpath = SubpathSnapshot {
+            hits: 9,
+            prefix_hits: 2,
+            misses: 3,
+            admitted: 5,
+            rejected: 1,
+            evictions: 1,
+            bytes_resident: 4096,
+            entries: 5,
+            budget_bytes: 65536,
+            hit_ratio: Some(0.75),
+        };
+        let text = stats.render_metrics(2, 8, cache, Some(subpath));
         for name in [
             "hin_requests_total",
             "hin_queue_wait_us_count",
             "hin_exec_us_bucket",
             "hin_total_us_sum",
             "hin_cache_hit_ratio 0.75",
+            "hin_cache_size_bytes 1024",
+            "hin_subpath_hits 9",
+            "hin_subpath_prefix_hits 2",
+            "hin_subpath_misses 3",
+            "hin_subpath_bytes 4096",
+            "hin_subpath_budget_bytes 65536",
+            "hin_subpath_hit_ratio 0.75",
             "hin_engine_set_retrieval_us_total 7",
             "hin_engine_scoring_us_total 11",
             "hin_queue_depth 2",
@@ -424,7 +595,7 @@ mod tests {
         let samples = hin_telemetry::parse_exposition(&text).unwrap();
         assert!(samples.iter().any(|s| s.name == "hin_in_flight"));
         // JSON form carries histogram summaries.
-        let snap = stats.metrics_snapshot(2, 8, cache);
+        let snap = stats.metrics_snapshot(2, 8, cache, Some(subpath));
         let h = snap
             .samples
             .iter()

@@ -228,6 +228,135 @@ fn tracing_preserves_bit_identical_results_across_thread_counts() {
     }
 }
 
+/// The cross-query sub-path product cache (DESIGN.md §15) must be a pure
+/// accelerator: with the cache enabled, every thread count and every cache
+/// temperature (cold first run, warm rerun against the same shared cache)
+/// reproduces the uncached serial ranking bit for bit.
+#[test]
+fn subpath_cache_is_bit_identical_across_thread_counts() {
+    let net = fixture(0.25);
+    let queries = workload(&net, 2);
+    let uncached = OutlierDetector::new(net.graph.clone());
+    for query in &queries {
+        let baseline = fingerprint(&uncached.query(query).expect("uncached run succeeds"));
+        for threads in [1, 2, 4, 7] {
+            let detector = OutlierDetector::new(net.graph.clone())
+                .with_subpath_cache_mb(16)
+                .with_threads(threads);
+            // Cold, then warm against the populated cache.
+            for temperature in ["cold", "warm"] {
+                let result = fingerprint(&detector.query(query).expect("cached run succeeds"));
+                assert!(
+                    baseline == result,
+                    "{temperature} subpath-cached {threads}-thread result \
+                     diverged from uncached serial on {query}"
+                );
+            }
+        }
+    }
+}
+
+/// Under deterministic budgets the cache must also replay the exact budget
+/// exposure of the work it skips: a cached run — cold or warm, at any
+/// thread count, even with a cache byte budget so tight it constantly
+/// evicts — produces the same outcome as the uncached serial run: the same
+/// answer, the same degraded marker (scored/total/limit), or the same
+/// budget-limit error.
+#[test]
+fn subpath_cache_with_tight_budgets_degrades_identically() {
+    let net = fixture(0.25);
+    let queries = workload(&net, 1);
+    let budgets = [
+        Budget::unbounded().with_max_nnz(1),
+        Budget::unbounded().with_max_nnz(512),
+        Budget::unbounded().with_max_nnz(1_000_000_000),
+        Budget::unbounded().with_max_candidates(3),
+    ];
+    // A generous cache and a pathologically tight one (evicts and rejects
+    // constantly): neither may change any outcome.
+    let cache_budgets_bytes = [16 * 1024 * 1024, 4 * 1024];
+    for budget in &budgets {
+        for query in &queries {
+            let serial = OutlierDetector::new(net.graph.clone()).budget(budget.clone());
+            for strict in [true, false] {
+                let run = |d: &OutlierDetector| {
+                    if strict {
+                        d.query(query)
+                    } else {
+                        d.query_best_effort(query)
+                    }
+                };
+                let baseline = run(&serial);
+                for cache_bytes in cache_budgets_bytes {
+                    let cache =
+                        std::sync::Arc::new(netout::SubpathCache::with_budget_bytes(cache_bytes));
+                    for threads in [1, 2, 4, 7] {
+                        let detector = OutlierDetector::new(net.graph.clone())
+                            .budget(budget.clone())
+                            .with_shared_subpath_cache(cache.clone())
+                            .with_threads(threads);
+                        match (&baseline, &run(&detector)) {
+                            (Ok(a), Ok(b)) => assert!(
+                                fingerprint(a) == fingerprint(b),
+                                "cached ({cache_bytes}B) {threads}-thread budgeted \
+                                 result diverged on {query}"
+                            ),
+                            (
+                                Err(EngineError::BudgetExceeded { limit: a, .. }),
+                                Err(EngineError::BudgetExceeded { limit: b, .. }),
+                            ) => assert_eq!(
+                                a, b,
+                                "different budget limit tripped with the subpath \
+                                 cache ({cache_bytes}B) on {query}"
+                            ),
+                            (a, b) => panic!(
+                                "outcome changed with the subpath cache ({cache_bytes}B, \
+                                 {threads} threads) on {query}: \
+                                 uncached {a:?} vs cached {b:?}"
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Every comparison measure stays bit-identical with the cache enabled, at
+/// 1 and 4 threads, cold and warm (the acceptance matrix of ISSUE 8).
+#[test]
+fn subpath_cache_preserves_every_measure() {
+    let net = fixture(0.25);
+    let queries = workload(&net, 1);
+    let measures = [
+        MeasureKind::NetOut,
+        MeasureKind::PathSim,
+        MeasureKind::CosSim,
+        MeasureKind::Lof { k: 5 },
+        MeasureKind::KnnDist { k: 3 },
+    ];
+    for measure in measures {
+        let uncached = OutlierDetector::new(net.graph.clone()).measure(measure);
+        for query in &queries {
+            let baseline = fingerprint(&uncached.query(query).expect("uncached run succeeds"));
+            for threads in [1, 4] {
+                let detector = OutlierDetector::new(net.graph.clone())
+                    .measure(measure)
+                    .with_subpath_cache_mb(16)
+                    .with_threads(threads);
+                for _temperature in ["cold", "warm"] {
+                    let result = fingerprint(&detector.query(query).expect("cached run succeeds"));
+                    assert!(
+                        baseline == result,
+                        "{measure:?} diverged with the subpath cache at {threads} \
+                         threads on {query}"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// A pre-cancelled token aborts identically regardless of thread count.
 #[test]
 fn cancellation_is_deterministic_across_thread_counts() {
