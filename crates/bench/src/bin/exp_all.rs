@@ -1,7 +1,7 @@
 //! Runs every experiment in paper order — the one-shot reproduction of the
 //! evaluation section. Configure scale with HIN_EXP_SCALE / HIN_EXP_QUERIES.
 fn main() {
-    let sections: [(&str, fn()); 12] = [
+    let sections: [(&str, fn()); 13] = [
         ("Tables 1-2 and Figure 2 (toy reproduction)", || {
             bench::experiments::toy::run()
         }),
@@ -28,6 +28,10 @@ fn main() {
         (
             "Coordinator throughput vs backends (scale-out serving)",
             || bench::experiments::coordinator::run(),
+        ),
+        (
+            "Overload storm (shedding, goodput, answer identity)",
+            || bench::experiments::overload::run(false),
         ),
         ("Intra-query parallel scaling & kernel comparison", || {
             bench::experiments::parallel::run(false)

@@ -1,0 +1,10 @@
+//! Overload chaos drill: goodput, shedding, and answer identity under
+//! sustained over-admission against a delay-fault server (extension;
+//! backs DESIGN.md §16). Emits BENCH_overload.json. Panics (nonzero
+//! exit) on unaccounted requests, shed-counter disagreement between
+//! client and server, or any answered query diverging from the unloaded
+//! run. `--quick` shrinks the sweep for CI smoke runs.
+fn main() {
+    let quick = std::env::args().skip(1).any(|a| a == "--quick");
+    bench::experiments::overload::run(quick);
+}

@@ -7,6 +7,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod guardrails;
+pub mod overload;
 pub mod parallel;
 pub mod scaling;
 pub mod service;

@@ -1,0 +1,339 @@
+//! Overload chaos drill: goodput and shedding under sustained
+//! over-admission (extension; backs the DESIGN.md §16 overload claims).
+//!
+//! An embedded [`hin_service::Server`] runs with a deterministic delay
+//! fault (every execution stalls a fixed number of milliseconds), and the
+//! closed-loop load generator drives it at several offered concurrencies
+//! with deadlines only a few executions deep. Requests whose deadline
+//! elapses in the queue are shed with structured `expired` responses and
+//! never execute; a patient high-priority client running alongside each
+//! storm verifies that answered queries stay byte-identical to the
+//! unloaded run. Results are printed as a table and written to
+//! `BENCH_overload.json`. Panics (nonzero exit) on any unaccounted
+//! request or identity mismatch.
+
+use crate::report::Table;
+use crate::setup;
+use hin_datagen::dblp::SyntheticNetwork;
+use hin_service::client::{response_kind, run_closed_loop, LoadReport};
+use hin_service::{Client, FaultPlan, LoadSpec, Server, ServerConfig, StatsSnapshot};
+use netout::OutlierDetector;
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Execution stall injected into every request (ms): the knob that turns a
+/// modest closed loop into sustained over-admission.
+const DELAY_MS: u64 = 20;
+
+/// One offered-concurrency measurement under the delay storm.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverloadPoint {
+    /// Concurrent storm clients.
+    pub clients: usize,
+    /// Per-request deadline carried by every storm query (ms).
+    pub timeout_ms: u64,
+    /// Client-side view: ok/busy/expired counts and latency percentiles.
+    pub client: LoadReport,
+    /// Server-side view after shutdown: shed counters must agree.
+    pub server: StatsSnapshot,
+    /// Queries the patient high-priority client got answered mid-storm.
+    pub identity_answered: u64,
+    /// Patient answers that differed from the unloaded reference (must
+    /// be zero: answered queries are byte-identical under overload).
+    pub identity_mismatches: u64,
+}
+
+/// The `BENCH_overload.json` document.
+#[derive(Debug, Serialize)]
+pub struct OverloadReport {
+    /// Network scale factor the experiment ran at.
+    pub scale: f64,
+    /// Injected per-execution stall (ms).
+    pub delay_ms: u64,
+    /// Storm deadline (ms) — a few executions deep, so queue waits at
+    /// over-admission depth exceed it.
+    pub timeout_ms: u64,
+    /// Unloaded single-client run over the same fault plan: the goodput
+    /// latency yardstick.
+    pub baseline: LoadReport,
+    /// One measurement per offered concurrency.
+    pub points: Vec<OverloadPoint>,
+}
+
+/// `"exec_us":N` is the only result field that varies between runs of the
+/// same query; strip it before byte-for-byte comparison.
+fn strip_exec_us(line: &str) -> String {
+    match line.find(r#""exec_us":"#) {
+        Some(at) => {
+            let rest = &line[at..];
+            let end = rest
+                .find(|c: char| c == ',' || c == '}')
+                .expect("exec_us value must terminate");
+            format!("{}{}", &line[..at], &rest[end..])
+        }
+        None => line.to_string(),
+    }
+}
+
+/// Inject wire options right after the `QUERY ` verb.
+fn with_options(line: &str, options: &str) -> String {
+    line.replacen("QUERY ", &format!("QUERY {options} "), 1)
+}
+
+/// Start a delay-storm server, measure one offered concurrency against it
+/// (with a patient identity checker running alongside), and return both
+/// sides' measurements. Panics on unaccounted requests, transport
+/// failures, counter disagreement, or identity mismatches.
+pub fn measure_one(
+    net: &SyntheticNetwork,
+    clients: usize,
+    requests_per_client: usize,
+    timeout_ms: u64,
+    raw_lines: &[String],
+) -> OverloadPoint {
+    let detector = OutlierDetector::new(net.graph.clone()).with_vector_cache(4096);
+    let plan = format!("seed={};delay~1:{DELAY_MS}", setup::seed());
+    let server = Server::bind(
+        detector,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            queue_cap: 128,
+            fault_plan: Some(FaultPlan::parse(&plan).expect("valid fault plan")),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+
+    // Unloaded reference answers, one per distinct query.
+    let mut reference = Vec::with_capacity(raw_lines.len());
+    {
+        let mut c = Client::connect(addr).expect("connect for references");
+        for line in raw_lines {
+            let r = c.send_line(line).expect("reference answer");
+            assert_eq!(response_kind(&r), Some("result"), "{r}");
+            reference.push(strip_exec_us(&r));
+        }
+    }
+
+    // Patient high-priority client: loops the same queries with a generous
+    // deadline while the storm rages, comparing answers to the references.
+    let stop = Arc::new(AtomicBool::new(false));
+    let patient = {
+        let stop = Arc::clone(&stop);
+        let raw_lines = raw_lines.to_vec();
+        let reference = reference.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("patient connect");
+            let (mut answered, mut mismatches, mut i) = (0u64, 0u64, 0usize);
+            while !stop.load(Ordering::Relaxed) {
+                let line = with_options(
+                    &raw_lines[i % raw_lines.len()],
+                    "priority=9 timeout-ms=60000",
+                );
+                let Ok(resp) = c.send_line(&line) else { break };
+                if response_kind(&resp) == Some("result") {
+                    answered += 1;
+                    if strip_exec_us(&resp) != reference[i % reference.len()] {
+                        mismatches += 1;
+                        eprintln!("identity mismatch under load: {resp}");
+                    }
+                }
+                i += 1;
+            }
+            (answered, mismatches)
+        })
+    };
+
+    let storm_lines: Vec<String> = raw_lines
+        .iter()
+        .map(|l| with_options(l, &format!("timeout-ms={timeout_ms}")))
+        .collect();
+    let report = run_closed_loop(
+        addr,
+        &LoadSpec {
+            clients,
+            requests_per_client,
+            lines: storm_lines,
+            retry: None,
+        },
+    );
+    stop.store(true, Ordering::Relaxed);
+    let (identity_answered, identity_mismatches) = patient.join().expect("patient thread");
+
+    let mut closer = Client::connect(addr).expect("connect for shutdown");
+    closer.send_line("SHUTDOWN").expect("shutdown");
+    let snapshot = handle.join().expect("server thread");
+
+    // Hard invariants of the overload layer — a violation fails the run.
+    // (`errors` stays in the sum: a request dequeued just under its
+    // deadline carves a near-zero budget and may answer with a structured
+    // Budget error rather than a shed; it is still accounted, never lost.)
+    assert_eq!(
+        report.io_errors, 0,
+        "transport failures under storm: {report:?}"
+    );
+    assert_eq!(
+        report.ok + report.busy + report.expired + report.errors,
+        report.requests,
+        "unaccounted storm requests: {report:?}"
+    );
+    assert_eq!(
+        snapshot.expired, report.expired,
+        "server and clients disagree on sheds (a request executed after \
+         expiry, or a shed was double-counted): {snapshot:?} vs {report:?}"
+    );
+    assert_eq!(
+        identity_mismatches, 0,
+        "answered queries diverged from the unloaded run"
+    );
+
+    OverloadPoint {
+        clients,
+        timeout_ms,
+        client: report,
+        server: snapshot,
+        identity_answered,
+        identity_mismatches,
+    }
+}
+
+/// Serialize the report document to compact JSON.
+pub fn to_json(report: &OverloadReport) -> String {
+    hin_service::json::to_string(report).expect("report serializes")
+}
+
+/// Print the storm table and write `BENCH_overload.json`. `quick` shrinks
+/// the sweep for CI smoke runs.
+pub fn run(quick: bool) {
+    let net = setup::network();
+    let raw_lines = super::service::workload_lines(&net, 8, setup::seed());
+    // Deadline a few delayed executions deep: fits at low concurrency,
+    // expires behind an over-admitted queue. Offset from the stall grid
+    // (queue waits cluster at multiples of DELAY_MS) so requests land
+    // clearly on one side of the expiry boundary or the other.
+    let timeout_ms = 7 * DELAY_MS + DELAY_MS / 2;
+    let requests_per_client = if quick { 16 } else { 48 };
+    let client_counts: &[usize] = if quick { &[8] } else { &[2, 8, 16] };
+
+    // Unloaded yardstick over the same delay plan: one client, deadlines
+    // that never expire.
+    let baseline = {
+        let point = measure_one(&net, 1, requests_per_client, 60_000, &raw_lines);
+        point.client
+    };
+
+    let points: Vec<OverloadPoint> = client_counts
+        .iter()
+        .map(|&clients| measure_one(&net, clients, requests_per_client, timeout_ms, &raw_lines))
+        .collect();
+
+    let mut t = Table::new(
+        format!(
+            "Overload storm — {DELAY_MS} ms injected stall, {timeout_ms} ms deadlines, \
+             {requests_per_client} requests/client (unloaded p99 {} µs)",
+            baseline.p99_us
+        ),
+        &[
+            "clients",
+            "ok",
+            "busy",
+            "expired",
+            "err",
+            "p50 (µs)",
+            "p99 (µs)",
+            "p99 / unloaded",
+            "identity ok",
+        ],
+    );
+    for p in &points {
+        t.row(&[
+            p.clients.to_string(),
+            p.client.ok.to_string(),
+            p.client.busy.to_string(),
+            p.client.expired.to_string(),
+            p.client.errors.to_string(),
+            p.client.p50_us.to_string(),
+            p.client.p99_us.to_string(),
+            format!(
+                "{:.2}",
+                p.client.p99_us as f64 / (baseline.p99_us as f64).max(1.0)
+            ),
+            format!(
+                "{}/{}",
+                p.identity_answered - p.identity_mismatches,
+                p.identity_answered
+            ),
+        ]);
+    }
+    t.print();
+    println!(
+        "note: sheds answer instantly with structured expired/busy + retry \
+         hints, so whole-run p99 tracks the executed requests; every \
+         expired request was never executed (server and client counters \
+         agree) and every answered query matched the unloaded run\n"
+    );
+
+    let report = OverloadReport {
+        scale: setup::scale(),
+        delay_ms: DELAY_MS,
+        timeout_ms,
+        baseline,
+        points,
+    };
+    let path = "BENCH_overload.json";
+    match std::fs::write(path, to_json(&report) + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hin_datagen::dblp::{generate, SyntheticConfig};
+
+    #[test]
+    fn storm_point_accounts_and_serializes() {
+        let net = generate(&SyntheticConfig::tiny(5));
+        let raw_lines = crate::experiments::service::workload_lines(&net, 3, 5);
+        assert!(!raw_lines.is_empty());
+
+        // measure_one panics internally on any accounting or identity
+        // violation; tiny parameters keep the storm short.
+        let point = measure_one(&net, 4, 4, 2 * DELAY_MS + DELAY_MS / 2, &raw_lines);
+        assert_eq!(point.client.requests, 16, "{point:?}");
+        assert_eq!(point.identity_mismatches, 0, "{point:?}");
+
+        let json = to_json(&OverloadReport {
+            scale: 0.1,
+            delay_ms: DELAY_MS,
+            timeout_ms: 2 * DELAY_MS + DELAY_MS / 2,
+            baseline: point.client.clone(),
+            points: vec![point],
+        });
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"identity_answered\":"), "{json}");
+        assert!(json.contains("\"expired\":"), "{json}");
+    }
+
+    #[test]
+    fn option_injection_and_exec_strip() {
+        let line = "QUERY FIND OUTLIERS FROM a.b TOP 5;";
+        assert_eq!(
+            with_options(line, "timeout-ms=40"),
+            "QUERY timeout-ms=40 FIND OUTLIERS FROM a.b TOP 5;"
+        );
+        assert_eq!(
+            strip_exec_us(r#"{"result":{"x":1,"exec_us":992,"y":2}}"#),
+            r#"{"result":{"x":1,"y":2}}"#
+        );
+        assert_eq!(
+            strip_exec_us(r#"{"busy":{"queue_cap":4}}"#),
+            r#"{"busy":{"queue_cap":4}}"#
+        );
+    }
+}

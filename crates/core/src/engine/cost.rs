@@ -1,0 +1,206 @@
+//! Static query-cost estimation and an online cost-per-microsecond model,
+//! the inputs to the serving tier's overload admission control
+//! (DESIGN.md §16).
+//!
+//! The estimate follows Atrapos' observation that metapath workloads are
+//! cost-estimable *before* execution: the dominant work is the chain of
+//! sparse vector–matrix products along each meta-path, and its size is
+//! proportional to meta-path length × the non-zeros of the chunk matrices
+//! it multiplies through. [`cost_estimate`] computes exactly that proxy
+//! from the query text and the PM index (falling back to the graph's edge
+//! count when no index is built — the traversal source touches edges
+//! instead of stored non-zeros).
+//!
+//! The proxy is unitless; [`CostModel`] turns it into predicted wall-clock
+//! time by maintaining an exponentially weighted moving average of observed
+//! cost-per-microsecond over completed queries. Admission control then asks
+//! "can this request's estimated microseconds fit its remaining deadline?"
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use super::index::PmIndex;
+
+/// Count the meta-path steps mentioned in a query's text: every `.` inside
+/// the `FROM`/`COMPARED TO`/`JUDGED BY` path expressions separates two
+/// steps. This deliberately avoids a full parse — admission control runs
+/// on the accept path and must stay O(query length) with no allocation.
+/// Never returns 0: an unparsable or path-free query costs at least one
+/// step (the server will answer it with a cheap error anyway).
+pub fn meta_path_steps(query_text: &str) -> u64 {
+    // Dots inside quoted anchor names ("J. Smith") are not path steps.
+    let mut steps = 0u64;
+    let mut in_quotes = false;
+    for c in query_text.chars() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            '.' if !in_quotes => steps += 1,
+            _ => {}
+        }
+    }
+    steps.max(1)
+}
+
+/// A cheap static estimate of one query's execution cost, in abstract work
+/// units: meta-path steps × per-step non-zeros. With a PM index the
+/// per-step work is the mean chunk nnz (`nnz / path_count` — each step is
+/// one chunked product); without one it is the graph's edge count (the
+/// traversal source walks edges directly).
+///
+/// The estimate is intentionally crude — it exists to *rank* requests and
+/// feed [`CostModel`], not to predict latency on its own.
+pub fn cost_estimate(query_text: &str, index: Option<&PmIndex>, graph_edges: usize) -> u64 {
+    let per_step = match index {
+        Some(index) => {
+            let paths = index.path_count().max(1);
+            (index.nnz() / paths).max(1) as u64
+        }
+        None => graph_edges.max(1) as u64,
+    };
+    meta_path_steps(query_text).saturating_mul(per_step)
+}
+
+/// Default EWMA smoothing factor: each observation contributes 10%, so the
+/// model tracks load shifts within ~20 queries without whiplashing on one
+/// outlier.
+pub const EWMA_ALPHA: f64 = 0.1;
+
+/// An online estimate of how many abstract cost units (see
+/// [`cost_estimate`]) the server executes per microsecond, maintained as a
+/// lock-free EWMA over completed queries. Shared by every worker thread;
+/// all methods are safe under concurrency (last-writer-wins merging is
+/// acceptable for a smoothed estimate).
+#[derive(Debug, Default)]
+pub struct CostModel {
+    /// EWMA of cost-units-per-microsecond, stored as `f64::to_bits`.
+    /// Zero bits ⇔ no observation yet.
+    rate_bits: AtomicU64,
+    /// Completed observations folded in (for introspection/metrics).
+    observations: AtomicU64,
+}
+
+impl CostModel {
+    /// A model with no observations; [`CostModel::micros_for`] returns
+    /// `None` until the first [`CostModel::observe`].
+    pub fn new() -> CostModel {
+        CostModel::default()
+    }
+
+    /// Fold one completed query into the EWMA: it had estimated cost
+    /// `cost` and executed in `micros` microseconds. Zero-duration and
+    /// zero-cost observations are ignored (they carry no rate signal).
+    pub fn observe(&self, cost: u64, micros: u64) {
+        if cost == 0 || micros == 0 {
+            return;
+        }
+        let sample = cost as f64 / micros as f64;
+        let mut current = self.rate_bits.load(Ordering::Relaxed);
+        loop {
+            let next = if current == 0 {
+                sample
+            } else {
+                let rate = f64::from_bits(current);
+                rate + EWMA_ALPHA * (sample - rate)
+            };
+            match self.rate_bits.compare_exchange_weak(
+                current,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+        self.observations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The current cost-units-per-microsecond EWMA, or `None` before the
+    /// first observation.
+    pub fn rate(&self) -> Option<f64> {
+        let bits = self.rate_bits.load(Ordering::Relaxed);
+        if bits == 0 {
+            None
+        } else {
+            Some(f64::from_bits(bits))
+        }
+    }
+
+    /// Observations folded in so far.
+    pub fn observations(&self) -> u64 {
+        self.observations.load(Ordering::Relaxed)
+    }
+
+    /// Predicted execution time in microseconds for a request of estimated
+    /// cost `cost`, or `None` while the model has no signal. The floor of
+    /// 1 µs keeps the prediction usable in "fits the deadline?" divisions.
+    pub fn micros_for(&self, cost: u64) -> Option<u64> {
+        let rate = self.rate()?;
+        if !rate.is_finite() || rate <= 0.0 {
+            return None;
+        }
+        Some(((cost as f64 / rate).ceil() as u64).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_count_dots_outside_quotes() {
+        assert_eq!(meta_path_steps("FIND OUTLIERS FROM author.paper.venue"), 2);
+        assert_eq!(
+            meta_path_steps(
+                "FIND OUTLIERS FROM author{\"J. Smith\"}.paper.author \
+                 JUDGED BY author.paper.venue TOP 5;"
+            ),
+            4
+        );
+        // Unparsable garbage still charges one step.
+        assert_eq!(meta_path_steps("no dots at all"), 1);
+    }
+
+    #[test]
+    fn estimate_scales_with_path_length_and_falls_back_to_edges() {
+        let short = cost_estimate("a.b", None, 1000);
+        let long = cost_estimate("a.b.c.d", None, 1000);
+        assert_eq!(short, 1000);
+        assert_eq!(long, 3000);
+        assert!(long > short);
+        // Degenerate inputs stay non-zero.
+        assert!(cost_estimate("", None, 0) >= 1);
+    }
+
+    #[test]
+    fn model_warms_up_and_converges() {
+        let model = CostModel::new();
+        assert_eq!(model.rate(), None);
+        assert_eq!(model.micros_for(1000), None);
+        // First observation seeds the EWMA directly.
+        model.observe(1000, 10);
+        assert_eq!(model.observations(), 1);
+        let rate = model.rate().unwrap();
+        assert!((rate - 100.0).abs() < 1e-9, "{rate}");
+        assert_eq!(model.micros_for(1000), Some(10));
+        // Repeated observations at half the rate pull the EWMA down
+        // monotonically toward 50 without overshooting.
+        let mut last = rate;
+        for _ in 0..50 {
+            model.observe(1000, 20);
+            let now = model.rate().unwrap();
+            assert!(now <= last + 1e-9);
+            assert!(now >= 50.0 - 1e-9);
+            last = now;
+        }
+        assert!((last - 50.0).abs() < 1.0, "{last}");
+    }
+
+    #[test]
+    fn degenerate_observations_are_ignored() {
+        let model = CostModel::new();
+        model.observe(0, 10);
+        model.observe(10, 0);
+        assert_eq!(model.rate(), None);
+        assert_eq!(model.observations(), 0);
+    }
+}

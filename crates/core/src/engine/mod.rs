@@ -19,6 +19,7 @@
 
 pub mod budget;
 pub mod cache;
+pub mod cost;
 pub mod executor;
 pub mod explain;
 pub mod index;

@@ -48,6 +48,7 @@ mod error;
 pub use detector::{IndexPolicy, OutlierDetector};
 pub use engine::budget::{Budget, BudgetLimit, BudgetPhase, CancelToken, Degraded, ExecCtx};
 pub use engine::cache::{CacheStats, CachedSource, VectorCache};
+pub use engine::cost::{cost_estimate, meta_path_steps, CostModel};
 pub use engine::executor::{CombineStrategy, OutlierResult, QueryEngine, QueryResult, ShardScores};
 pub use engine::explain::Explain;
 pub use engine::progressive::{ProgressSnapshot, ProgressiveRun};

@@ -45,6 +45,11 @@ USAGE:
                [--timeout-ms N] [--max-candidates N] [--max-nnz N]
                [--fault-plan SPEC] [--dedup-cap N] [--hang-timeout-ms N]
                [--slow-query-ms N] [--subpath-cache-mb N] [--warm FILE]
+               [--cost-reject-factor F] [--cost-min-obs N]
+               [--brownout-enter-ms N] [--brownout-exit-ms N]
+               [--brownout-dwell-ms N] [--brownout-max-nnz N]
+               [--brownout-max-candidates N] [--shed-below-priority P]
+               [--retry-after-cap-ms N]
   hinout bench-client --addr HOST:PORT [--clients N] [--requests N]
                [--query '…' | --query-file FILE] [--format text|json]
                [--retry-attempts N] [--retry-deadline-ms N] [--retry-seed S]
@@ -52,6 +57,10 @@ USAGE:
                [--port-file FILE] [--replicas N] [--retry-attempts N]
                [--hedge-after-ms N] [--heartbeat-ms N] [--merge-slack-ms N]
                [--deadline-ms N] [--dedup-cap N] [--seed S]
+               [--breaker-window N] [--breaker-min-samples N]
+               [--breaker-failure-ratio F] [--breaker-cooldown-ms N]
+               [--breaker-latency-ms N] [--busy-storm-threshold N]
+               [--busy-retry-after-ms N]
 
 A --query-file may hold several semicolon-separated queries; each runs in
 order — a failing query is reported and skipped, and the process exits
@@ -95,6 +104,22 @@ failed shards fail over across --replicas backends (bounded by
 --heartbeat-ms PING loop tracks backend health. An unrecoverable shard
 degrades the answer (strict mode errors instead); FAULTS INDEX SPEC installs
 a chaos plan on one chosen backend through the coordinator.
+
+Surviving overload (DESIGN.md §16): serve sheds queued requests whose
+deadline already passed (structured expired responses with retry_after_ms
+hints; the request never executes), refuses queries whose estimated cost
+cannot fit their deadline (--cost-reject-factor F, 0 disables;
+--cost-min-obs N observations warm the model), and runs a brownout
+controller over the queue-wait p95 (--brownout-enter-ms/--brownout-exit-ms
+hysteresis, --brownout-dwell-ms between steps): level ≥ 1 caps work
+(--brownout-max-nnz, --brownout-max-candidates), level ≥ 2 forces
+best-effort, level 3 sheds queries below --shed-below-priority (clients set
+priority=0..9 per request). coordinate wraps each backend in a circuit
+breaker (--breaker-window/--breaker-min-samples outcomes, open at
+--breaker-failure-ratio, successes slower than --breaker-latency-ms count
+as failures, half-open probe after --breaker-cooldown-ms) and answers busy
+with a jittered retry hint when --busy-storm-threshold replicas shed the
+same shard (--busy-retry-after-ms floors the hint).
 
 Observability (DESIGN.md §12): serve answers METRICS with Prometheus text
 exposition (METRICS JSON for a JSON snapshot) covering request counters,
@@ -977,6 +1002,15 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             "hang-timeout-ms",
             "slow-query-ms",
             "warm",
+            "cost-reject-factor",
+            "cost-min-obs",
+            "brownout-enter-ms",
+            "brownout-exit-ms",
+            "brownout-dwell-ms",
+            "brownout-max-nnz",
+            "brownout-max-candidates",
+            "shed-below-priority",
+            "retry-after-cap-ms",
         ],
     )?;
     // Instant start: --snapshot maps a prebuilt graph (and its index) in
@@ -1054,6 +1088,35 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     if let Some(ms) = args.get_opt_num::<u64>("slow-query-ms")? {
         config.slow_query = Some(std::time::Duration::from_millis(ms));
     }
+    // Overload resilience (DESIGN.md §16): cost-based admission, brownout
+    // controller, priority shedding, retry hints.
+    if let Some(f) = args.get_opt_num::<f64>("cost-reject-factor")? {
+        config.overload.cost_reject_factor = f;
+    }
+    if let Some(n) = args.get_opt_num::<u64>("cost-min-obs")? {
+        config.overload.cost_min_observations = n;
+    }
+    if let Some(ms) = args.get_opt_num::<u64>("brownout-enter-ms")? {
+        config.overload.brownout_enter = Some(std::time::Duration::from_millis(ms));
+    }
+    if let Some(ms) = args.get_opt_num::<u64>("brownout-exit-ms")? {
+        config.overload.brownout_exit = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = args.get_opt_num::<u64>("brownout-dwell-ms")? {
+        config.overload.brownout_dwell = std::time::Duration::from_millis(ms);
+    }
+    if let Some(nnz) = args.get_opt_num::<usize>("brownout-max-nnz")? {
+        config.overload.brownout_max_nnz = nnz;
+    }
+    if let Some(c) = args.get_opt_num::<usize>("brownout-max-candidates")? {
+        config.overload.brownout_max_candidates = c;
+    }
+    if let Some(p) = args.get_opt_num::<u8>("shed-below-priority")? {
+        config.overload.shed_below_priority = p;
+    }
+    if let Some(ms) = args.get_opt_num::<u64>("retry-after-cap-ms")? {
+        config.overload.retry_after_cap = std::time::Duration::from_millis(ms);
+    }
     let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
     // Ride out a lingering previous instance (TIME_WAIT, slow shutdown):
     // retry EADDRINUSE with bounded backoff instead of failing outright.
@@ -1114,6 +1177,13 @@ fn cmd_coordinate(args: &Args) -> Result<(), String> {
         "deadline-ms",
         "dedup-cap",
         "seed",
+        "breaker-window",
+        "breaker-min-samples",
+        "breaker-failure-ratio",
+        "breaker-cooldown-ms",
+        "breaker-latency-ms",
+        "busy-storm-threshold",
+        "busy-retry-after-ms",
     ])?;
     let backends: Vec<std::net::SocketAddr> = args
         .require("backends")?
@@ -1148,6 +1218,28 @@ fn cmd_coordinate(args: &Args) -> Result<(), String> {
     }
     if let Some(seed) = args.get_opt_num::<u64>("seed")? {
         config.seed = seed;
+    }
+    // Circuit breakers and busy-storm handling (DESIGN.md §16).
+    if let Some(w) = args.get_opt_num::<usize>("breaker-window")? {
+        config.breaker_window = w;
+    }
+    if let Some(n) = args.get_opt_num::<usize>("breaker-min-samples")? {
+        config.breaker_min_samples = n;
+    }
+    if let Some(r) = args.get_opt_num::<f64>("breaker-failure-ratio")? {
+        config.breaker_failure_ratio = r;
+    }
+    if let Some(ms) = args.get_opt_num::<u64>("breaker-cooldown-ms")? {
+        config.breaker_cooldown = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = args.get_opt_num::<u64>("breaker-latency-ms")? {
+        config.breaker_latency = std::time::Duration::from_millis(ms);
+    }
+    if let Some(t) = args.get_opt_num::<u32>("busy-storm-threshold")? {
+        config.busy_storm_threshold = t;
+    }
+    if let Some(ms) = args.get_opt_num::<u64>("busy-retry-after-ms")? {
+        config.busy_retry_after = std::time::Duration::from_millis(ms);
     }
     let addr = args.get("addr").unwrap_or("127.0.0.1:7879");
     let n = backends.len();

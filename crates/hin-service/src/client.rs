@@ -209,6 +209,21 @@ impl RetryPolicy {
     pub fn attempt_timeout(remaining: Duration, attempts_left: u32) -> Duration {
         (remaining / attempts_left.max(1)).max(Duration::from_millis(1))
     }
+
+    /// Backoff honoring a server-provided `retry_after_ms` hint: full
+    /// jitter over the top half, `[hint/2, hint]`. The floor keeps the
+    /// server's pacing meaningful (it sized the hint from its own
+    /// backlog), while the jitter de-synchronizes clients that were shed
+    /// at the same instant. A zero hint yields zero — callers fall back
+    /// to the exponential [`envelope`](RetryPolicy::envelope).
+    pub fn hint_jitter(&self, hint_ms: u64, rng: &mut XorShift64) -> Duration {
+        if hint_ms == 0 {
+            return Duration::ZERO;
+        }
+        let hint_us = hint_ms.saturating_mul(1_000);
+        let half = hint_us / 2;
+        Duration::from_micros(half + rng.next_below(hint_us - half + 1))
+    }
 }
 
 /// A self-healing client: wraps [`Client`] with reconnect-on-drop,
@@ -241,9 +256,13 @@ impl RetryClient {
         })
     }
 
-    /// Send one request line, retrying transport failures and `busy`
-    /// rejections until a definitive response arrives, the attempt budget
-    /// is spent, or the overall deadline passes.
+    /// Send one request line, retrying transport failures and `busy`/
+    /// `expired` sheds until a definitive response arrives, the attempt
+    /// budget is spent, or the overall deadline passes. A shed response
+    /// carrying a `retry_after_ms` hint paces the next attempt with
+    /// [`RetryPolicy::hint_jitter`] instead of the exponential envelope;
+    /// backoffs are always clipped to the overall deadline, so a large
+    /// hint can never stretch the call past its budget.
     ///
     /// Worker-pool requests (`QUERY`/`EXPLAIN`/`SLEEP`) that do not already
     /// carry an `id=` option get a fresh idempotency id, so a retry of a
@@ -261,9 +280,9 @@ impl RetryClient {
     /// `FAULTS <spec>`, `SHUTDOWN`) fail fast with the transport error
     /// instead of being blindly re-executed.
     ///
-    /// On deadline/attempt exhaustion: the last `busy` response is returned
-    /// if one was seen (the server was alive, just saturated), otherwise
-    /// the last transport error.
+    /// On deadline/attempt exhaustion: the last shed (`busy`/`expired`)
+    /// response is returned if one was seen (the server was alive, just
+    /// saturated), otherwise the last transport error.
     pub fn send_idempotent(&mut self, line: &str) -> std::io::Result<String> {
         let request_id = self.rng.next_u64();
         let line = inject_id(line, request_id);
@@ -271,7 +290,8 @@ impl RetryClient {
         let deadline = Instant::now() + self.policy.overall_deadline;
         let max_attempts = self.policy.max_attempts.max(1);
         let mut last_err: Option<std::io::Error> = None;
-        let mut last_busy: Option<String> = None;
+        let mut last_shed: Option<String> = None;
+        let mut retry_hint_ms: Option<u64> = None;
         for attempt in 0..max_attempts {
             let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
                 break;
@@ -279,8 +299,12 @@ impl RetryClient {
             let per_attempt = RetryPolicy::attempt_timeout(remaining, max_attempts - attempt);
             match self.try_once(&line, per_attempt) {
                 Ok(response) => {
-                    if response_kind(&response) == Some("busy") {
-                        last_busy = Some(response);
+                    if matches!(response_kind(&response), Some("busy" | "expired")) {
+                        // Both sheds are retry-safe by construction: busy
+                        // was never admitted, expired was dropped from the
+                        // queue without executing.
+                        retry_hint_ms = json_u64_field(&response, "retry_after_ms");
+                        last_shed = Some(response);
                     } else {
                         return Ok(response);
                     }
@@ -302,12 +326,16 @@ impl RetryClient {
                 let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
                     break;
                 };
-                let backoff = self.policy.jitter(attempt, &mut self.rng).min(remaining);
+                let backoff = match retry_hint_ms.take() {
+                    Some(hint) if hint > 0 => self.policy.hint_jitter(hint, &mut self.rng),
+                    _ => self.policy.jitter(attempt, &mut self.rng),
+                }
+                .min(remaining);
                 std::thread::sleep(backoff);
             }
         }
-        if let Some(busy) = last_busy {
-            return Ok(busy);
+        if let Some(shed) = last_shed {
+            return Ok(shed);
         }
         Err(last_err
             .unwrap_or_else(|| std::io::Error::new(ErrorKind::TimedOut, "retry budget exhausted")))
@@ -481,6 +509,8 @@ pub struct LoadReport {
     pub ok: u64,
     /// `busy` rejections.
     pub busy: u64,
+    /// `expired` sheds (deadline passed while queued; never executed).
+    pub expired: u64,
     /// `err` responses.
     pub errors: u64,
     /// Degraded (partial) results among `ok`.
@@ -517,7 +547,8 @@ pub fn run_closed_loop(addr: impl ToSocketAddrs, spec: &LoadSpec) -> LoadReport 
         .map(|a| a.collect())
         .unwrap_or_default();
     let started = Instant::now();
-    let per_client: Vec<(Vec<Duration>, u64, u64, u64, u64, u64)> = std::thread::scope(|scope| {
+    type ClientTally = (Vec<Duration>, u64, u64, u64, u64, u64, u64);
+    let per_client: Vec<ClientTally> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..spec.clients)
             .map(|c| {
                 let addrs = addrs.clone();
@@ -526,8 +557,8 @@ pub fn run_closed_loop(addr: impl ToSocketAddrs, spec: &LoadSpec) -> LoadReport 
                 let retry = spec.retry.clone();
                 scope.spawn(move || {
                     let mut latencies = Vec::with_capacity(n);
-                    let (mut ok, mut busy, mut errors, mut degraded, mut io_errors) =
-                        (0u64, 0u64, 0u64, 0u64, 0u64);
+                    let (mut ok, mut busy, mut expired, mut errors, mut degraded, mut io_errors) =
+                        (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
                     let mut conn = match retry {
                         Some(policy) => {
                             // Distinct per-client seed: ids must not collide
@@ -539,14 +570,16 @@ pub fn run_closed_loop(addr: impl ToSocketAddrs, spec: &LoadSpec) -> LoadReport 
                             match RetryClient::new(addrs.as_slice(), policy) {
                                 Ok(rc) => LoadConn::Retry(rc),
                                 Err(_) => {
-                                    return (latencies, ok, busy, errors, degraded, n as u64);
+                                    return (
+                                        latencies, ok, busy, expired, errors, degraded, n as u64,
+                                    );
                                 }
                             }
                         }
                         None => match Client::connect(addrs.as_slice()) {
                             Ok(cl) => LoadConn::Plain(cl),
                             Err(_) => {
-                                return (latencies, ok, busy, errors, degraded, n as u64);
+                                return (latencies, ok, busy, expired, errors, degraded, n as u64);
                             }
                         },
                     };
@@ -562,6 +595,7 @@ pub fn run_closed_loop(addr: impl ToSocketAddrs, spec: &LoadSpec) -> LoadReport 
                                 latencies.push(t.elapsed());
                                 match response_kind(&response) {
                                     Some("busy") => busy += 1,
+                                    Some("expired") => expired += 1,
                                     Some("err") => errors += 1,
                                     Some(_) => {
                                         ok += 1;
@@ -583,24 +617,25 @@ pub fn run_closed_loop(addr: impl ToSocketAddrs, spec: &LoadSpec) -> LoadReport 
                             }
                         }
                     }
-                    (latencies, ok, busy, errors, degraded, io_errors)
+                    (latencies, ok, busy, expired, errors, degraded, io_errors)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().unwrap_or_else(|_| (Vec::new(), 0, 0, 0, 0, 1)))
+            .map(|h| h.join().unwrap_or_else(|_| (Vec::new(), 0, 0, 0, 0, 0, 1)))
             .collect()
     });
     let elapsed = started.elapsed();
 
     let mut all: Vec<Duration> = Vec::new();
-    let (mut ok, mut busy, mut errors, mut degraded, mut io_errors) =
-        (0u64, 0u64, 0u64, 0u64, 0u64);
-    for (lat, o, b, e, d, io) in per_client {
+    let (mut ok, mut busy, mut expired, mut errors, mut degraded, mut io_errors) =
+        (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+    for (lat, o, b, x, e, d, io) in per_client {
         all.extend(lat);
         ok += o;
         busy += b;
+        expired += x;
         errors += e;
         degraded += d;
         io_errors += io;
@@ -622,6 +657,7 @@ pub fn run_closed_loop(addr: impl ToSocketAddrs, spec: &LoadSpec) -> LoadReport 
         requests,
         ok,
         busy,
+        expired,
         errors,
         degraded,
         io_errors,
@@ -643,7 +679,7 @@ pub fn run_closed_loop(addr: impl ToSocketAddrs, spec: &LoadSpec) -> LoadReport 
 pub fn render_report(r: &LoadReport) -> String {
     format!(
         "clients {:>3} | {:>7} requests in {:>6} ms | {:>9.1} req/s | \
-         ok {} busy {} err {} degraded {} io-err {}\n\
+         ok {} busy {} expired {} err {} degraded {} io-err {}\n\
          latency µs: mean {} p50 {} p95 {} p99 {}\n",
         r.clients,
         r.requests,
@@ -651,6 +687,7 @@ pub fn render_report(r: &LoadReport) -> String {
         r.throughput_rps,
         r.ok,
         r.busy,
+        r.expired,
         r.errors,
         r.degraded,
         r.io_errors,
@@ -740,6 +777,83 @@ mod tests {
             assert_eq!(ja, policy.jitter(attempt, &mut b));
             assert!(ja <= policy.envelope(attempt), "attempt {attempt}: {ja:?}");
         }
+    }
+
+    #[test]
+    fn hint_jitter_stays_in_top_half_and_is_deterministic() {
+        let policy = RetryPolicy::default();
+        let mut rng = XorShift64::new(5);
+        for _ in 0..100 {
+            let backoff = policy.hint_jitter(40, &mut rng);
+            assert!(
+                (Duration::from_millis(20)..=Duration::from_millis(40)).contains(&backoff),
+                "hint jitter must stay in [hint/2, hint]: {backoff:?}"
+            );
+        }
+        let mut a = XorShift64::new(7);
+        let mut b = XorShift64::new(7);
+        assert_eq!(
+            policy.hint_jitter(100, &mut a),
+            policy.hint_jitter(100, &mut b)
+        );
+        // Zero hint defers to the exponential envelope.
+        assert_eq!(policy.hint_jitter(0, &mut rng), Duration::ZERO);
+    }
+
+    #[test]
+    fn shed_responses_are_retried_then_returned_verbatim() {
+        use std::io::Read as _;
+        use std::net::TcpListener;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        // A saturated server: every request line draws an `expired` shed
+        // with a small retry hint.
+        let shed = "{\"expired\":{\"waited_ms\":9,\"deadline_ms\":5,\"retry_after_ms\":4}}\n";
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&hits);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { break };
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    let mut byte = [0u8; 1];
+                    loop {
+                        // Read one request line byte-by-byte (tiny volumes).
+                        loop {
+                            match stream.read(&mut byte) {
+                                Ok(1) if byte[0] == b'\n' => break,
+                                Ok(1) => {}
+                                _ => return,
+                            }
+                        }
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        if stream.write_all(shed.as_bytes()).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            overall_deadline: Duration::from_secs(5),
+            seed: 21,
+        };
+        let mut client = RetryClient::new(addr, policy).unwrap();
+        let response = client.send_idempotent("QUERY FIND paper P1;").unwrap();
+        // Every attempt was shed: the last shed response is surfaced so
+        // the caller sees the structured body (and its retry hint).
+        assert_eq!(response_kind(&response), Some("expired"));
+        assert_eq!(json_u64_field(&response, "retry_after_ms"), Some(4));
+        assert_eq!(
+            hits.load(Ordering::SeqCst),
+            3,
+            "all attempts must be spent on shed responses"
+        );
     }
 
     #[test]

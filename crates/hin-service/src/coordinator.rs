@@ -20,6 +20,18 @@
 //! * **Health registry** — a heartbeat thread `PING`s every backend,
 //!   marking it down after `down_after` consecutive failures and probing
 //!   half-open until it answers again. Routing prefers healthy replicas.
+//! * **Circuit breakers** — each backend keeps a rolling window of
+//!   request-path outcomes (failures and over-latency successes). When the
+//!   failure ratio trips, the breaker opens: attempts fast-fail to the next
+//!   replica instead of burning connect + read timeouts on a sick backend.
+//!   After a cooldown the breaker half-opens, letting one request probe;
+//!   success closes it, failure re-opens it. Heartbeats stay independent —
+//!   they track connectivity, the breaker tracks request outcomes.
+//! * **Busy-storm detection** — when a shard's replica attempts keep
+//!   answering `busy`/`expired`, the coordinator stops cycling replicas at
+//!   a threshold and answers `busy` itself, with a jittered
+//!   `retry_after_ms` derived from the largest backend hint, so a
+//!   load spike de-synchronizes retries instead of exhausting attempts.
 //! * **Graceful degradation** — when a shard stays unrecoverable within the
 //!   deadline, the merged ranking is flagged `degraded`, naming the missing
 //!   shard; strict mode turns that into a `NoBackends` error instead.
@@ -37,11 +49,12 @@ use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 use parking_lot::Mutex;
 use serde::Serialize;
 
-use crate::client::{response_kind, CancelHandle, Client};
+use crate::client::{json_u64_field, response_kind, CancelHandle, Client};
 use crate::fault::{self, DedupCache};
 use crate::json::{self, parse_value, Value};
 use crate::protocol::{
-    DegradedInfo, ErrorCode, ExecMode, RankedRow, Request, RequestOptions, Response, ResultBody,
+    BusyBody, DegradedInfo, ErrorCode, ExecMode, RankedRow, Request, RequestOptions, Response,
+    ResultBody,
 };
 use crate::server::{bind_listener_retry, LineEvent, LineReader};
 use hin_graph::VertexId;
@@ -80,6 +93,24 @@ pub struct CoordinatorConfig {
     pub seed: u64,
     /// Accept/shutdown polling granularity.
     pub poll_interval: Duration,
+    /// Rolling outcome-window size per backend breaker.
+    pub breaker_window: usize,
+    /// Minimum outcomes in the window before the breaker may trip.
+    pub breaker_min_samples: usize,
+    /// Failure ratio over the window that opens the breaker.
+    pub breaker_failure_ratio: f64,
+    /// How long an open breaker fast-fails before half-opening.
+    pub breaker_cooldown: Duration,
+    /// A successful attempt slower than this counts as a breaker failure
+    /// (the latency half of the outcome window).
+    pub breaker_latency: Duration,
+    /// `busy`/`expired` answers per shard before the coordinator stops
+    /// cycling replicas and answers `busy` itself; `0` disables storm
+    /// detection (replicas are cycled to exhaustion as before).
+    pub busy_storm_threshold: u32,
+    /// Floor for the jittered `retry_after_ms` a busy storm answers with;
+    /// the largest backend-provided hint wins when bigger.
+    pub busy_retry_after: Duration,
 }
 
 impl Default for CoordinatorConfig {
@@ -96,17 +127,42 @@ impl Default for CoordinatorConfig {
             dedup_cap: 256,
             seed: 1,
             poll_interval: Duration::from_millis(20),
+            breaker_window: 16,
+            breaker_min_samples: 4,
+            breaker_failure_ratio: 0.5,
+            breaker_cooldown: Duration::from_secs(1),
+            breaker_latency: Duration::from_secs(2),
+            busy_storm_threshold: 3,
+            busy_retry_after: Duration::from_millis(100),
         }
     }
 }
 
-/// One backend's health-registry entry.
+/// One backend's health-registry entry plus its request-path circuit
+/// breaker. The two are deliberately independent: heartbeats (`up`,
+/// `failures`) track *connectivity*, the breaker tracks *request
+/// outcomes* — a backend that answers `PING` but kills every query must
+/// still trip the breaker, and a half-open probe is a real request, not a
+/// heartbeat.
 struct Backend {
     addr: SocketAddr,
     up: AtomicBool,
     failures: AtomicU32,
     marked_down: AtomicU64,
     probes: AtomicU64,
+    breaker: Mutex<BreakerState>,
+    breaker_trips: AtomicU64,
+}
+
+/// Rolling-window breaker: closed (window filling), open (fast-fail until
+/// `open_until`), half-open (`probing` — one outcome decides).
+struct BreakerState {
+    /// Most recent request outcomes, `true` = fast success.
+    window: std::collections::VecDeque<bool>,
+    /// While `Some` and in the future, the breaker is open.
+    open_until: Option<Instant>,
+    /// Cooldown elapsed; the next recorded outcome closes or re-opens.
+    probing: bool,
 }
 
 impl Backend {
@@ -117,11 +173,84 @@ impl Backend {
             failures: AtomicU32::new(0),
             marked_down: AtomicU64::new(0),
             probes: AtomicU64::new(0),
+            breaker: Mutex::new(BreakerState {
+                window: std::collections::VecDeque::new(),
+                open_until: None,
+                probing: false,
+            }),
+            breaker_trips: AtomicU64::new(0),
         }
     }
 
     fn is_up(&self) -> bool {
         self.up.load(Ordering::Relaxed)
+    }
+
+    /// Whether the breaker currently fast-fails attempts (open, cooldown
+    /// not yet elapsed). Pure read: never transitions state.
+    fn breaker_is_open(&self) -> bool {
+        let breaker = self.breaker.lock();
+        matches!(breaker.open_until, Some(t) if Instant::now() < t)
+    }
+
+    /// Routing gate: `false` means fast-fail this attempt. When the
+    /// cooldown has elapsed this transitions open → half-open and admits
+    /// the attempt as the probe.
+    fn breaker_allows(&self) -> bool {
+        let mut breaker = self.breaker.lock();
+        match breaker.open_until {
+            Some(t) if Instant::now() < t => false,
+            Some(_) => {
+                breaker.open_until = None;
+                breaker.probing = true;
+                hin_telemetry::logfmt!("breaker_half_open", addr = self.addr);
+                true
+            }
+            None => true,
+        }
+    }
+
+    /// Record one request-path outcome. `ok` is the transport/answer
+    /// verdict; a success slower than `breaker_latency` still counts as a
+    /// failure (a saturated backend is as useless as a dead one).
+    fn record_outcome(&self, ok: bool, latency: Duration, config: &CoordinatorConfig) {
+        let success = ok && latency < config.breaker_latency;
+        let mut breaker = self.breaker.lock();
+        if breaker.probing {
+            breaker.probing = false;
+            if success {
+                breaker.window.clear();
+                hin_telemetry::logfmt!("breaker_close", addr = self.addr);
+            } else {
+                breaker.open_until = Some(Instant::now() + config.breaker_cooldown);
+                self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                hin_telemetry::logfmt!("breaker_reopen", addr = self.addr);
+            }
+            return;
+        }
+        if breaker.open_until.is_some() {
+            // A straggler attempt finishing after the trip: the window was
+            // already cleared, don't let it pollute the next closed phase.
+            return;
+        }
+        breaker.window.push_back(success);
+        while breaker.window.len() > config.breaker_window.max(1) {
+            breaker.window.pop_front();
+        }
+        if breaker.window.len() >= config.breaker_min_samples.max(1) {
+            let failed = breaker.window.iter().filter(|&&s| !s).count();
+            if failed as f64 >= config.breaker_failure_ratio * breaker.window.len() as f64 {
+                breaker.open_until = Some(Instant::now() + config.breaker_cooldown);
+                breaker.window.clear();
+                self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                hin_telemetry::logfmt!(
+                    "breaker_open",
+                    addr = self.addr,
+                    window_failures = failed,
+                    cooldown_ms = config.breaker_cooldown.as_millis() as u64
+                );
+            }
+        }
     }
 
     fn report_success(&self) {
@@ -154,6 +283,8 @@ struct Counters {
     failovers: AtomicU64,
     hedges: AtomicU64,
     no_backends: AtomicU64,
+    breaker_fastfails: AtomicU64,
+    busy_storms: AtomicU64,
 }
 
 impl Counters {
@@ -176,6 +307,11 @@ pub struct BackendStatus {
     pub marked_down: u64,
     /// Heartbeat probes sent to it.
     pub heartbeats: u64,
+    /// Whether its circuit breaker is currently open (fast-failing).
+    pub breaker_open: bool,
+    /// How many times its breaker has tripped open (including re-opens
+    /// from a failed half-open probe).
+    pub breaker_trips: u64,
 }
 
 /// A point-in-time snapshot of the coordinator's counters and backend
@@ -201,6 +337,11 @@ pub struct CoordSnapshot {
     pub hedges: u64,
     /// Requests refused because no backend could serve any shard.
     pub no_backends: u64,
+    /// Shard attempts fast-failed by an open circuit breaker.
+    pub breaker_fastfails: u64,
+    /// Requests answered `busy` because a shard's replicas hit the
+    /// busy-storm threshold.
+    pub busy_storms: u64,
     /// Per-backend health.
     pub backends: Vec<BackendStatus>,
 }
@@ -230,6 +371,8 @@ impl CoordShared {
             failovers: self.counters.failovers.load(Ordering::Relaxed),
             hedges: self.counters.hedges.load(Ordering::Relaxed),
             no_backends: self.counters.no_backends.load(Ordering::Relaxed),
+            breaker_fastfails: self.counters.breaker_fastfails.load(Ordering::Relaxed),
+            busy_storms: self.counters.busy_storms.load(Ordering::Relaxed),
             backends: self
                 .backends
                 .iter()
@@ -239,6 +382,8 @@ impl CoordShared {
                     consecutive_failures: b.failures.load(Ordering::Relaxed),
                     marked_down: b.marked_down.load(Ordering::Relaxed),
                     heartbeats: b.probes.load(Ordering::Relaxed),
+                    breaker_open: b.breaker_is_open(),
+                    breaker_trips: b.breaker_trips.load(Ordering::Relaxed),
                 })
                 .collect(),
         }
@@ -602,6 +747,38 @@ fn scatter_gather_query(shared: &CoordShared, options: &RequestOptions, text: &s
             })
             .collect()
     });
+    // A busy storm on any shard means the fleet is load-shedding, not
+    // broken: answer `busy` with a jittered retry hint instead of a
+    // degraded ranking, so clients back off de-synchronized. A definitive
+    // backend answer (what a single box would have said) still wins.
+    let has_definitive = outcomes
+        .iter()
+        .any(|o| matches!(o, ShardOutcome::Definitive(_)));
+    let storm_hint = outcomes
+        .iter()
+        .filter_map(|o| match o {
+            ShardOutcome::Overloaded { retry_after_ms } if !has_definitive => Some(*retry_after_ms),
+            _ => None,
+        })
+        .max();
+    if let Some(hint) = storm_hint {
+        Counters::inc(&shared.counters.busy_storms);
+        let base = hint.max(config.busy_retry_after.as_millis() as u64).max(1);
+        // Deterministic per-request jitter in [base/2, base]: full-jitter
+        // over the top half keeps the floor meaningful while spreading
+        // synchronized retries.
+        let mut rng = fault::XorShift64::new(fault::mix(shared.id_seed, seq, 0xB0B));
+        let retry_after_ms = base / 2 + rng.next_below(base - base / 2 + 1);
+        hin_telemetry::logfmt!("busy_storm", retry_after_ms = retry_after_ms);
+        return Response::Busy(BusyBody {
+            // The coordinator has no admission queue of its own; zeros
+            // mark this as a fleet-level shed.
+            queue_depth: 0,
+            queue_cap: 0,
+            retry_after_ms,
+        })
+        .to_json_line();
+    }
     merge_outcomes(options, &outcomes, exec_started)
 }
 
@@ -615,6 +792,10 @@ enum ShardOutcome {
     /// Every attempt failed within the deadline; the reason text names the
     /// last failure.
     Unavailable(String),
+    /// The replicas kept answering `busy`/`expired` up to the storm
+    /// threshold: the fleet is shedding load, stop burning attempts. The
+    /// hint is the largest backend-provided `retry_after_ms` (0 if none).
+    Overloaded { retry_after_ms: u64 },
 }
 
 struct ShardData {
@@ -634,7 +815,13 @@ fn fetch_shard(
     of: usize,
     deadline: Instant,
 ) -> ShardOutcome {
-    let up: Vec<bool> = shared.backends.iter().map(Backend::is_up).collect();
+    // Breaker-open backends sort with the unhealthy ones: the breaker
+    // fast-fails them anyway, so spend the early attempts elsewhere.
+    let up: Vec<bool> = shared
+        .backends
+        .iter()
+        .map(|b| b.is_up() && !b.breaker_is_open())
+        .collect();
     let order = replica_order(&up, shard, shared.config.replicas, shared.config.attempts);
     if order.is_empty() {
         return ShardOutcome::Unavailable("no backends configured".to_string());
@@ -653,6 +840,8 @@ fn fetch_shard(
         handles: Vec::new(),
         tx,
         last_reason: String::new(),
+        busy_seen: 0,
+        retry_hint_ms: 0,
     };
     fetch.run(&rx)
 }
@@ -689,8 +878,12 @@ struct ShardFetch<'a> {
     /// the shard's first launch from re-routes when counting metrics.
     launched: usize,
     handles: Vec<CancelHandle>,
-    tx: mpsc::Sender<(usize, io::Result<String>)>,
+    tx: mpsc::Sender<(usize, Duration, io::Result<String>)>,
     last_reason: String,
+    /// `busy`/`expired` answers seen across this shard's attempts.
+    busy_seen: u32,
+    /// Largest backend-provided `retry_after_ms` hint seen so far.
+    retry_hint_ms: u64,
 }
 
 impl ShardFetch<'_> {
@@ -704,6 +897,14 @@ impl ShardFetch<'_> {
             let remaining = self.deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
                 return false;
+            }
+            // An open breaker fast-fails the attempt: no connect, no read
+            // timeout burned — straight to the next replica. (This call
+            // also half-opens an expired cooldown, admitting the probe.)
+            if !backend.breaker_allows() {
+                Counters::inc(&self.shared.counters.breaker_fastfails);
+                self.last_reason = format!("{}: breaker open", backend.addr);
+                continue;
             }
             // Classify the attempt by its cause: a launch while another
             // attempt is still pending races it (hedge); a launch with
@@ -722,12 +923,14 @@ impl ShardFetch<'_> {
                 Ok(c) => c,
                 Err(e) => {
                     backend.report_failure(self.shared.config.down_after);
+                    backend.record_outcome(false, Duration::ZERO, &self.shared.config);
                     self.last_reason = format!("{}: {e}", backend.addr);
                     continue;
                 }
             };
             if let Err(e) = client.set_io_timeouts(Some(remaining), Some(remaining)) {
                 backend.report_failure(self.shared.config.down_after);
+                backend.record_outcome(false, Duration::ZERO, &self.shared.config);
                 self.last_reason = format!("{}: {e}", backend.addr);
                 continue;
             }
@@ -739,8 +942,9 @@ impl ShardFetch<'_> {
             let spawned = std::thread::Builder::new()
                 .name("hin-coord-attempt".into())
                 .spawn(move || {
+                    let started = Instant::now();
                     let result = client.send_line(&line);
-                    let _ = tx.send((backend_index, result));
+                    let _ = tx.send((backend_index, started.elapsed(), result));
                 });
             match spawned {
                 Ok(_) => {
@@ -773,7 +977,7 @@ impl ShardFetch<'_> {
         }
     }
 
-    fn run(mut self, rx: &mpsc::Receiver<(usize, io::Result<String>)>) -> ShardOutcome {
+    fn run(mut self, rx: &mpsc::Receiver<(usize, Duration, io::Result<String>)>) -> ShardOutcome {
         loop {
             while self.pending == 0 {
                 if !self.launch_next() {
@@ -794,12 +998,13 @@ impl ShardFetch<'_> {
                 remaining
             };
             match rx.recv_timeout(wait) {
-                Ok((backend_index, Ok(response))) => {
+                Ok((backend_index, latency, Ok(response))) => {
                     self.pending -= 1;
                     let backend = &self.shared.backends[backend_index];
                     match response_kind(&response) {
                         Some("shard") => {
                             backend.report_success();
+                            backend.record_outcome(true, latency, &self.shared.config);
                             self.cancel_all();
                             return match parse_shard_body(&response, self.shard, self.of) {
                                 Ok(data) => ShardOutcome::Data(data),
@@ -810,20 +1015,41 @@ impl ShardFetch<'_> {
                             };
                         }
                         _ if is_retryable(&response) => {
+                            let shedding =
+                                matches!(response_kind(&response), Some("busy" | "expired"));
+                            // Load-shedding answers leave the breaker alone
+                            // (the backend is alive, just saturated); only
+                            // retryable *errors* (Internal/Panic) count.
+                            backend.record_outcome(shedding, latency, &self.shared.config);
                             self.last_reason =
                                 format!("{}: {}", backend.addr, summarize(&response));
+                            if shedding {
+                                self.busy_seen += 1;
+                                if let Some(hint) = json_u64_field(&response, "retry_after_ms") {
+                                    self.retry_hint_ms = self.retry_hint_ms.max(hint);
+                                }
+                                let threshold = self.shared.config.busy_storm_threshold;
+                                if threshold > 0 && self.busy_seen >= threshold {
+                                    self.cancel_all();
+                                    return ShardOutcome::Overloaded {
+                                        retry_after_ms: self.retry_hint_ms,
+                                    };
+                                }
+                            }
                         }
                         _ => {
                             backend.report_success();
+                            backend.record_outcome(true, latency, &self.shared.config);
                             self.cancel_all();
                             return ShardOutcome::Definitive(response);
                         }
                     }
                 }
-                Ok((backend_index, Err(e))) => {
+                Ok((backend_index, latency, Err(e))) => {
                     self.pending -= 1;
                     let backend = &self.shared.backends[backend_index];
                     backend.report_failure(self.shared.config.down_after);
+                    backend.record_outcome(false, latency, &self.shared.config);
                     self.last_reason = format!("{}: {e}", backend.addr);
                 }
                 Err(mpsc::RecvTimeoutError::Timeout) => {
@@ -927,6 +1153,9 @@ fn merge_outcomes(
             ShardOutcome::Data(data) => available.push(data),
             ShardOutcome::Unavailable(reason) => missing.push((i, reason.as_str())),
             ShardOutcome::Definitive(_) => {}
+            // Storms short-circuit before the merge; this arm only fires
+            // if another shard's Definitive answer raced the storm.
+            ShardOutcome::Overloaded { .. } => missing.push((i, "replicas busy")),
         }
     }
     let n = outcomes.len();
@@ -1025,12 +1254,14 @@ fn err_code(line: &str) -> Option<String> {
 }
 
 /// Whether a backend answer is worth re-routing to another replica.
-/// `busy` (admission control) and `Internal`/`Panic` (the request was
-/// killed by a fault, not by its own content) are; query, budget, and
-/// protocol errors are definitive and must be relayed.
+/// `busy` (admission control), `expired` (the backend shed the request
+/// from its queue without executing — retry-safe by construction) and
+/// `Internal`/`Panic` (the request was killed by a fault, not by its own
+/// content) are; query, budget, and protocol errors are definitive and
+/// must be relayed.
 fn is_retryable(line: &str) -> bool {
     match response_kind(line) {
-        Some("busy") => true,
+        Some("busy" | "expired") => true,
         Some("err") => matches!(err_code(line).as_deref(), Some("Internal" | "Panic")),
         _ => false,
     }
@@ -1038,12 +1269,12 @@ fn is_retryable(line: &str) -> bool {
 
 /// Whether a response is an execution outcome worth replaying from the
 /// idempotency cache. Transient infrastructure failures (`busy`,
-/// `NoBackends`, `Internal`, `Panic`) are not: a client retrying the same
-/// `id=` after the fleet recovers must re-execute, not be served the
-/// outage forever.
+/// `expired`, `NoBackends`, `Internal`, `Panic`) are not: a client
+/// retrying the same `id=` after the fleet recovers must re-execute, not
+/// be served the outage forever.
 fn replayable(line: &str) -> bool {
     match response_kind(line) {
-        Some("busy") => false,
+        Some("busy" | "expired") => false,
         Some("err") => !matches!(
             err_code(line).as_deref(),
             Some("NoBackends" | "Internal" | "Panic")
@@ -1055,6 +1286,7 @@ fn replayable(line: &str) -> bool {
 fn summarize(line: &str) -> String {
     match response_kind(line) {
         Some("busy") => "backend busy".to_string(),
+        Some("expired") => "backend shed the request as expired".to_string(),
         Some("err") => format!(
             "backend error {}",
             err_code(line).unwrap_or_else(|| "?".to_string())
@@ -1099,8 +1331,9 @@ fn forward_with_failover(shared: &CoordShared, request: &Request) -> String {
     };
     let deadline = Instant::now() + total;
     let n = shared.backends.len();
-    let mut order: Vec<usize> = (0..n).filter(|&i| shared.backends[i].is_up()).collect();
-    order.extend((0..n).filter(|&i| !shared.backends[i].is_up()));
+    let healthy = |i: &usize| shared.backends[*i].is_up() && !shared.backends[*i].breaker_is_open();
+    let mut order: Vec<usize> = (0..n).filter(healthy).collect();
+    order.extend((0..n).filter(|i| !healthy(i)));
     let mut last = String::from("no backends configured");
     for index in order {
         let backend = &shared.backends[index];
@@ -1109,18 +1342,31 @@ fn forward_with_failover(shared: &CoordShared, request: &Request) -> String {
             last = "deadline exhausted".to_string();
             break;
         }
+        if !backend.breaker_allows() {
+            Counters::inc(&shared.counters.breaker_fastfails);
+            last = format!("{}: breaker open", backend.addr);
+            continue;
+        }
         let connect = remaining.min(config.connect_timeout);
+        let started = Instant::now();
         match fetch_line_with(backend.addr, &line, connect, remaining) {
             Ok(response) if is_retryable(&response) => {
+                let shedding = matches!(response_kind(&response), Some("busy" | "expired"));
+                backend.record_outcome(shedding, started.elapsed(), config);
                 Counters::inc(&shared.counters.failovers);
                 last = format!("{}: {}", backend.addr, summarize(&response));
             }
             Ok(response) => {
                 backend.report_success();
+                // Forwarded verbs set their own pace (a SLEEP legitimately
+                // outlasts `breaker_latency`), so a success here never
+                // counts as a latency failure.
+                backend.record_outcome(true, Duration::ZERO, config);
                 return response;
             }
             Err(e) => {
                 backend.report_failure(config.down_after);
+                backend.record_outcome(false, started.elapsed(), config);
                 Counters::inc(&shared.counters.failovers);
                 last = format!("{}: {e}", backend.addr);
             }
@@ -1288,6 +1534,8 @@ fn merged_metrics_text(shared: &CoordShared) -> String {
         out.push_str(&format!("{key} {value}\n"));
     }
     let up = snapshot.backends.iter().filter(|b| b.up).count();
+    let breakers_open = snapshot.backends.iter().filter(|b| b.breaker_open).count();
+    let breaker_trips: u64 = snapshot.backends.iter().map(|b| b.breaker_trips).sum();
     for (name, value) in [
         ("hin_coord_requests_total", snapshot.requests as f64),
         ("hin_coord_completed_total", snapshot.completed as f64),
@@ -1297,8 +1545,15 @@ fn merged_metrics_text(shared: &CoordShared) -> String {
         ("hin_coord_failovers_total", snapshot.failovers as f64),
         ("hin_coord_hedges_total", snapshot.hedges as f64),
         ("hin_coord_no_backends_total", snapshot.no_backends as f64),
+        ("hin_coord_busy_storms_total", snapshot.busy_storms as f64),
         ("hin_coord_backends_up", up as f64),
         ("hin_coord_backends_total", snapshot.backends.len() as f64),
+        ("hin_breaker_open", breakers_open as f64),
+        ("hin_breaker_trips_total", breaker_trips as f64),
+        (
+            "hin_breaker_fastfails_total",
+            snapshot.breaker_fastfails as f64,
+        ),
     ] {
         out.push_str(&format!("{name} {value}\n"));
     }
@@ -1396,6 +1651,50 @@ mod tests {
             .collect()
     }
 
+    /// A protocol stub that answers every line with one fixed response;
+    /// drives the breaker and busy-storm paths deterministically.
+    fn spawn_stub(reply: &'static str) -> (SocketAddr, Arc<AtomicBool>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind stub");
+        let addr = listener.local_addr().expect("stub addr");
+        listener.set_nonblocking(true).expect("stub nonblocking");
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        std::thread::spawn(move || {
+                            let mut reader = std::io::BufReader::new(
+                                stream.try_clone().expect("clone stub stream"),
+                            );
+                            let mut stream = stream;
+                            let mut line = String::new();
+                            loop {
+                                line.clear();
+                                match std::io::BufRead::read_line(&mut reader, &mut line) {
+                                    Ok(0) | Err(_) => return,
+                                    Ok(_) => {
+                                        if std::io::Write::write_all(
+                                            &mut stream,
+                                            format!("{reply}\n").as_bytes(),
+                                        )
+                                        .is_err()
+                                        {
+                                            return;
+                                        }
+                                    }
+                                }
+                            }
+                        });
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+        });
+        (addr, stop)
+    }
+
     fn strip_exec_us(line: &str) -> String {
         let Some(start) = line.find("\"exec_us\":") else {
             return line.to_string();
@@ -1421,8 +1720,116 @@ mod tests {
     }
 
     #[test]
+    fn breaker_opens_half_opens_and_recovers() {
+        let config = CoordinatorConfig {
+            breaker_window: 8,
+            breaker_min_samples: 2,
+            breaker_failure_ratio: 0.5,
+            breaker_cooldown: Duration::from_millis(40),
+            breaker_latency: Duration::from_millis(100),
+            ..CoordinatorConfig::default()
+        };
+        let backend = Backend::new("127.0.0.1:1".parse().expect("addr"));
+        assert!(backend.breaker_allows());
+        backend.record_outcome(false, Duration::ZERO, &config);
+        assert!(!backend.breaker_is_open(), "one failure must not trip");
+        backend.record_outcome(false, Duration::ZERO, &config);
+        assert!(backend.breaker_is_open(), "failure ratio reached");
+        assert!(!backend.breaker_allows(), "open breaker fast-fails");
+        assert_eq!(backend.breaker_trips.load(Ordering::Relaxed), 1);
+
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!backend.breaker_is_open(), "cooldown elapsed");
+        assert!(backend.breaker_allows(), "half-open admits the probe");
+        // A slow success is a failed probe: re-opens immediately.
+        backend.record_outcome(true, Duration::from_millis(200), &config);
+        assert!(backend.breaker_is_open(), "failed probe re-opens");
+        assert_eq!(backend.breaker_trips.load(Ordering::Relaxed), 2);
+
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(backend.breaker_allows(), "second half-open probe");
+        backend.record_outcome(true, Duration::ZERO, &config);
+        assert!(!backend.breaker_is_open(), "successful probe closes");
+        assert!(backend.breaker_allows());
+        // The window restarts clean: one failure alone cannot re-trip.
+        backend.record_outcome(false, Duration::ZERO, &config);
+        assert!(!backend.breaker_is_open());
+    }
+
+    #[test]
+    fn busy_storm_answers_busy_with_jittered_retry_after() {
+        let busy = r#"{"busy":{"queue_depth":8,"queue_cap":8,"retry_after_ms":40}}"#;
+        let (b0, stop0) = spawn_stub(busy);
+        let (b1, stop1) = spawn_stub(busy);
+        let config = CoordinatorConfig {
+            attempts: 6,
+            busy_storm_threshold: 2,
+            busy_retry_after: Duration::from_millis(100),
+            heartbeat_interval: Duration::from_secs(5),
+            ..test_config()
+        };
+        let (coord, hc) = spawn_coordinator(vec![b0, b1], config);
+        let query = format!("QUERY {QTEXT}");
+        let responses = send_lines(coord, &[&query]);
+        assert!(
+            responses[0].starts_with(r#"{"busy""#),
+            "a busy storm must answer busy, not degraded: {}",
+            responses[0]
+        );
+        let hint = json_u64_field(&responses[0], "retry_after_ms").expect("retry hint");
+        assert!(
+            (50..=100).contains(&hint),
+            "jitter must stay in [base/2, base]: {hint}"
+        );
+        send_lines(coord, &["SHUTDOWN"]);
+        let snapshot = hc.join().expect("coordinator");
+        assert!(snapshot.busy_storms >= 1, "{snapshot:?}");
+        stop0.store(true, Ordering::Relaxed);
+        stop1.store(true, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn breaker_trips_on_error_storm_and_fast_fails() {
+        let internal = r#"{"err":{"code":"Internal","message":"injected"}}"#;
+        let (b0, stop0) = spawn_stub(internal);
+        let config = CoordinatorConfig {
+            replicas: 1,
+            attempts: 4,
+            breaker_window: 8,
+            breaker_min_samples: 2,
+            breaker_failure_ratio: 0.5,
+            breaker_cooldown: Duration::from_secs(30),
+            busy_storm_threshold: 0,
+            heartbeat_interval: Duration::from_secs(5),
+            ..test_config()
+        };
+        let (coord, hc) = spawn_coordinator(vec![b0], config);
+        let query = format!("QUERY {QTEXT}");
+        // First query burns real attempts until the breaker trips; the
+        // second fast-fails without ever dialing the backend.
+        let responses = send_lines(coord, &[&query, &query]);
+        for response in &responses {
+            assert!(response.contains(r#""code":"NoBackends""#), "{response}");
+        }
+        let mut mclient = Client::connect(coord).expect("connect metrics");
+        mclient.send_no_wait("METRICS").expect("send metrics");
+        let block = mclient.read_text_block().expect("metrics block");
+        assert!(block.contains("hin_breaker_open 1"), "{block}");
+        assert!(block.contains("hin_breaker_trips_total 1"), "{block}");
+        send_lines(coord, &["SHUTDOWN"]);
+        let snapshot = hc.join().expect("coordinator");
+        assert!(snapshot.breaker_fastfails >= 1, "{snapshot:?}");
+        assert!(snapshot.backends[0].breaker_trips >= 1, "{snapshot:?}");
+        assert!(snapshot.backends[0].breaker_open, "{snapshot:?}");
+        stop0.store(true, Ordering::Relaxed);
+    }
+
+    #[test]
     fn retryable_classification() {
         assert!(is_retryable(r#"{"busy":{"queue_depth":4,"queue_cap":4}}"#));
+        assert!(is_retryable(
+            r#"{"expired":{"waited_ms":950,"deadline_ms":1000,"retry_after_ms":40}}"#
+        ));
         assert!(is_retryable(
             r#"{"err":{"code":"Internal","message":"worker dropped the request"}}"#
         ));
@@ -1453,6 +1860,9 @@ mod tests {
         ));
         assert!(!replayable(r#"{"err":{"code":"Panic","message":"boom"}}"#));
         assert!(!replayable(r#"{"busy":{"queue_depth":4,"queue_cap":4}}"#));
+        assert!(!replayable(
+            r#"{"expired":{"waited_ms":950,"deadline_ms":1000,"retry_after_ms":40}}"#
+        ));
     }
 
     #[test]

@@ -83,9 +83,9 @@ pub use client::{CancelHandle, Client, LoadReport, LoadSpec, RetryClient, RetryP
 pub use coordinator::{BackendStatus, CoordSnapshot, Coordinator, CoordinatorConfig};
 pub use fault::{DedupCache, FaultCounts, FaultKind, FaultPlan, FaultState, XorShift64};
 pub use protocol::{
-    ExecMode, FaultCommand, FaultsBody, Request, RequestOptions, Response, TraceBody,
-    TraceListEntry,
+    BusyBody, ExecMode, ExpiredBody, FaultCommand, FaultsBody, Request, RequestOptions, Response,
+    TraceBody, TraceListEntry, DEFAULT_PRIORITY,
 };
-pub use server::{bind_listener_retry, write_addr_file, Server, ServerConfig};
+pub use server::{bind_listener_retry, write_addr_file, OverloadConfig, Server, ServerConfig};
 pub use stats::{ServerStats, StatsSnapshot, SubpathSnapshot};
 pub use supervisor::{SupervisorConfig, WorkerSlot};

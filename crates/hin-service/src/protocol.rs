@@ -13,7 +13,10 @@
 //! option     := key "=" value    ; keys: timeout-ms, max-candidates,
 //!                                ;       max-nnz, mode (strict|best-effort),
 //!                                ;       id (u64 idempotency key),
-//!                                ;       shard (i/n candidate-range shard)
+//!                                ;       shard (i/n candidate-range shard),
+//!                                ;       priority (0-9, default 5; lower
+//!                                ;       priorities are shed first under
+//!                                ;       brownout)
 //! oql-text   := the EDBT 2015 outlier query, ending with ";"
 //! fault-spec := see [`crate::fault::FaultPlan`]
 //! ```
@@ -73,7 +76,14 @@ pub struct RequestOptions {
     /// Sent by the scatter-gather coordinator; `i < n` is enforced at
     /// parse time.
     pub shard: Option<(usize, usize)>,
+    /// `priority=N` — scheduling priority 0–9 (default
+    /// [`DEFAULT_PRIORITY`]). Under brownout the server sheds
+    /// lower-priority requests first; validated `<= 9` at parse time.
+    pub priority: Option<u8>,
 }
+
+/// The priority assumed when a request carries no `priority=` option.
+pub const DEFAULT_PRIORITY: u8 = 5;
 
 impl RequestOptions {
     /// Apply these overrides on top of `default` (the server-wide budget).
@@ -230,6 +240,7 @@ impl Request {
                     || options.max_nnz.is_some()
                     || options.mode.is_some()
                     || options.shard.is_some()
+                    || options.priority.is_some()
                 {
                     return Err(parse_err("SLEEP accepts only the id= option"));
                 }
@@ -309,6 +320,9 @@ impl Request {
             }
             if let Some((i, n)) = options.shard {
                 s.push_str(&format!("shard={i}/{n} "));
+            }
+            if let Some(p) = options.priority {
+                s.push_str(&format!("priority={p} "));
             }
             s
         }
@@ -404,9 +418,17 @@ fn parse_options(rest: &str) -> Result<(RequestOptions, &str), ParseError> {
                     }
                 });
             }
+            "priority" => {
+                let p: u8 = parse_num(key, value)?;
+                if p > 9 {
+                    return Err(parse_err(format!("priority must be 0-9, got {value:?}")));
+                }
+                options.priority = Some(p);
+            }
             other => {
                 return Err(parse_err(format!(
-                    "unknown option {other:?} (timeout-ms|max-candidates|max-nnz|mode|id|shard)"
+                    "unknown option {other:?} \
+                     (timeout-ms|max-candidates|max-nnz|mode|id|shard|priority)"
                 )))
             }
         }
@@ -608,6 +630,25 @@ pub struct BusyBody {
     pub queue_depth: usize,
     /// The configured queue capacity.
     pub queue_cap: usize,
+    /// How long the client should wait before retrying, milliseconds
+    /// (0 = retry immediately). Derived from queue depth × observed
+    /// execution time, so a storm of rejected clients spreads out instead
+    /// of stampeding back in lockstep.
+    pub retry_after_ms: u64,
+}
+
+/// An `expired` (deadline-shed) response body: the request was admitted
+/// but its deadline elapsed while it sat in the queue, so the server shed
+/// it *without executing anything*. Retrying is always safe.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ExpiredBody {
+    /// How long the request waited in the queue, milliseconds.
+    pub waited_ms: u64,
+    /// The deadline it carried (explicit `timeout-ms=` or the server
+    /// default), milliseconds.
+    pub deadline_ms: u64,
+    /// How long the client should wait before retrying, milliseconds.
+    pub retry_after_ms: u64,
 }
 
 /// One slow-query log entry, as returned by `TRACE <id>`.
@@ -686,9 +727,14 @@ pub enum Response {
     /// [`crate::stats::StatsSnapshot`], pre-serialized).
     #[serde(rename = "stats")]
     Stats(crate::stats::StatsSnapshot),
-    /// Admission control rejected the request: the queue is full.
+    /// Admission control rejected the request: the queue is full (or the
+    /// overload controller shed it before execution).
     #[serde(rename = "busy")]
     Busy(BusyBody),
+    /// The request's deadline expired while it waited in the queue; it was
+    /// shed without executing (retry-safe).
+    #[serde(rename = "expired")]
+    Expired(ExpiredBody),
     /// The request failed.
     #[serde(rename = "err")]
     Err(ErrBody),
@@ -765,6 +811,7 @@ impl Response {
             Response::Pong { .. } => "pong",
             Response::Stats(_) => "stats",
             Response::Busy(_) => "busy",
+            Response::Expired(_) => "expired",
             Response::Err(_) => "err",
             Response::Slept { .. } => "slept",
             Response::Bye { .. } => "bye",
@@ -877,6 +924,24 @@ mod tests {
     }
 
     #[test]
+    fn priority_option_parses_validates_and_round_trips() {
+        let r = Request::parse("QUERY priority=2 FIND OUTLIERS FROM a.b JUDGED BY a.b;").unwrap();
+        match &r {
+            Request::Query { options, .. } => assert_eq!(options.priority, Some(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(Request::parse(&r.to_line()).unwrap(), r);
+        for line in [
+            "QUERY priority=10 FIND;",
+            "QUERY priority=-1 FIND;",
+            "QUERY priority=low FIND;",
+            "SLEEP priority=3 10",
+        ] {
+            assert!(Request::parse(line).is_err(), "line {line:?} parsed");
+        }
+    }
+
+    #[test]
     fn query_text_with_equals_sign_preserved() {
         // Options stop at the first non-option token; '=' later in the text
         // is query content. (OQL has no '=' today, but the framing must not
@@ -948,6 +1013,7 @@ mod tests {
                     mode: Some(ExecMode::BestEffort),
                     id: Some(77),
                     shard: Some((2, 5)),
+                    priority: Some(9),
                 },
                 text: "FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author JUDGED BY a.p.v;"
                     .to_string(),
@@ -972,6 +1038,7 @@ mod tests {
             mode: None,
             id: None,
             shard: None,
+            priority: None,
         };
         let b = opts.budget_over(&default);
         assert_eq!(b.timeout, Some(Duration::from_millis(100)));
@@ -987,11 +1054,22 @@ mod tests {
         let r = Response::Busy(BusyBody {
             queue_depth: 4,
             queue_cap: 4,
+            retry_after_ms: 25,
         });
         assert_eq!(
             r.to_json_line(),
-            r#"{"busy":{"queue_depth":4,"queue_cap":4}}"#
+            r#"{"busy":{"queue_depth":4,"queue_cap":4,"retry_after_ms":25}}"#
         );
+        let r = Response::Expired(ExpiredBody {
+            waited_ms: 950,
+            deadline_ms: 1000,
+            retry_after_ms: 40,
+        });
+        assert_eq!(
+            r.to_json_line(),
+            r#"{"expired":{"waited_ms":950,"deadline_ms":1000,"retry_after_ms":40}}"#
+        );
+        assert_eq!(r.kind(), "expired");
         let r = Response::err(ErrorCode::Protocol, "bad verb");
         assert_eq!(
             r.to_json_line(),

@@ -41,17 +41,18 @@
 
 use crate::fault::{DedupCache, FaultKind, FaultPlan, FaultState};
 use crate::protocol::{
-    BusyBody, ErrorCode, ExecMode, FaultCommand, FaultsBody, Request, RequestOptions, Response,
-    ResultBody, ShardBody, TraceBody, TraceListEntry, MAX_LINE_BYTES,
+    BusyBody, ErrorCode, ExecMode, ExpiredBody, FaultCommand, FaultsBody, Request, RequestOptions,
+    Response, ResultBody, ShardBody, TraceBody, TraceListEntry, DEFAULT_PRIORITY, MAX_LINE_BYTES,
 };
 use crate::stats::{CacheSnapshot, ServerStats, StatsSnapshot, SubpathSnapshot};
 use crate::supervisor::{self, SupervisorConfig, WorkerSlot};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
-use netout::{BudgetLimit, CancelToken, EngineError, OutlierDetector};
+use netout::{Budget, BudgetLimit, CancelToken, CostModel, EngineError, OutlierDetector};
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -95,6 +96,10 @@ pub struct ServerConfig {
     /// entirely — the engine's span hooks reduce to one atomic load each.
     /// `Some(ZERO)` traces and logs every query.
     pub slow_query: Option<Duration>,
+    /// Overload-resilience knobs (DESIGN.md §16): deadline shedding is
+    /// always on (it only fires for requests carrying a deadline); cost
+    /// admission and the brownout controller are configured here.
+    pub overload: OverloadConfig,
 }
 
 impl Default for ServerConfig {
@@ -111,6 +116,61 @@ impl Default for ServerConfig {
             dedup_cap: 256,
             hang_timeout: None,
             slow_query: None,
+            overload: OverloadConfig::default(),
+        }
+    }
+}
+
+/// Overload-resilience knobs (DESIGN.md §16): cost-based admission, the
+/// brownout controller, and retry-after hint shaping.
+///
+/// The defaults are conservative: cost admission only acts once the cost
+/// model has warmed up *and* the request carries a deadline, and the
+/// brownout controller is disabled until an enter threshold is set — a
+/// server configured like the pre-overload releases behaves identically.
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// Reject a query at admission when its estimated execution time
+    /// exceeds `cost_reject_factor ×` its deadline (`0.0` disables
+    /// rejection; down-tiering to best-effort at `1×` still applies).
+    pub cost_reject_factor: f64,
+    /// Cost-model observations required before admission trusts it.
+    pub cost_min_observations: u64,
+    /// Brownout enter threshold: when the rolling queue-wait p95 exceeds
+    /// this, the controller raises the degradation level one step. `None`
+    /// disables the controller entirely.
+    pub brownout_enter: Option<Duration>,
+    /// Brownout exit threshold (hysteresis): the level drops only once
+    /// the rolling queue-wait p95 falls below this. Keep it well under
+    /// the enter threshold so the controller cannot flap at the boundary.
+    pub brownout_exit: Duration,
+    /// Minimum dwell between brownout level transitions (either
+    /// direction), so one noisy window cannot swing the level repeatedly.
+    pub brownout_dwell: Duration,
+    /// Frontier-nnz cap applied to every non-shard query at brownout
+    /// level ≥ 1. Tightening only: a stricter per-request cap wins.
+    pub brownout_max_nnz: usize,
+    /// Candidate-set cap applied at brownout level ≥ 1 (tightening only).
+    pub brownout_max_candidates: usize,
+    /// At brownout level 3, shed queries whose priority (the `priority=`
+    /// option, default [`DEFAULT_PRIORITY`]) is below this threshold.
+    pub shed_below_priority: u8,
+    /// Upper bound for `retry_after_ms` hints in busy/expired responses.
+    pub retry_after_cap: Duration,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            cost_reject_factor: 8.0,
+            cost_min_observations: 8,
+            brownout_enter: None,
+            brownout_exit: Duration::from_millis(5),
+            brownout_dwell: Duration::from_millis(250),
+            brownout_max_nnz: 1 << 20,
+            brownout_max_candidates: 1 << 16,
+            shed_below_priority: DEFAULT_PRIORITY,
+            retry_after_cap: Duration::from_secs(5),
         }
     }
 }
@@ -119,12 +179,168 @@ impl Default for ServerConfig {
 /// entries; older ones are evicted.
 const SLOW_LOG_CAP: usize = 32;
 
+/// Queue-wait samples kept for the brownout controller's rolling p95.
+const OVERLOAD_WINDOW: usize = 128;
+/// Minimum window fill before the brownout controller acts on p95.
+const OVERLOAD_MIN_SAMPLES: usize = 16;
+/// Deepest brownout level: 0 normal, 1 cap shrink, 2 force best-effort,
+/// 3 additionally shed low-priority requests.
+const BROWNOUT_MAX_LEVEL: u8 = 3;
+/// Per-queued-job drain estimate (µs) used for retry-after hints before
+/// the execution-time EWMA has its first observation.
+const RETRY_AFTER_COLD_US: u64 = 5_000;
+
+/// Shared overload-control state (DESIGN.md §16): the execution cost
+/// model, an execution-time EWMA shaping retry-after hints, and the
+/// brownout controller fed by a rolling window of queue waits.
+struct OverloadState {
+    /// EWMA cost-units-per-microsecond model fed by completed queries.
+    cost_model: CostModel,
+    /// Integer EWMA of execution time (µs) for retry-after hints
+    /// (α = 1/8); zero = no observation yet.
+    exec_ewma_us: AtomicU64,
+    /// Current brownout level (0–[`BROWNOUT_MAX_LEVEL`]).
+    level: AtomicU8,
+    window: Mutex<OverloadWindow>,
+}
+
+struct OverloadWindow {
+    /// Most recent queue waits (µs), oldest first.
+    samples: VecDeque<u64>,
+    /// Last brownout transition (either direction), for dwell enforcement.
+    last_transition: Instant,
+}
+
+impl OverloadState {
+    fn new() -> OverloadState {
+        OverloadState {
+            cost_model: CostModel::new(),
+            exec_ewma_us: AtomicU64::new(0),
+            level: AtomicU8::new(0),
+            window: Mutex::new(OverloadWindow {
+                samples: VecDeque::with_capacity(OVERLOAD_WINDOW),
+                last_transition: Instant::now(),
+            }),
+        }
+    }
+
+    /// Current brownout level (relaxed: admission decisions may lag a
+    /// transition by one request).
+    fn level(&self) -> u8 {
+        self.level.load(Ordering::Relaxed)
+    }
+
+    /// Record one queue wait into the rolling window. Workers call this
+    /// for every job they pick up — shed or executed — so the controller
+    /// sees exactly the waits clients experienced.
+    fn record_queue_wait(&self, wait: Duration) {
+        let mut window = self.window.lock();
+        if window.samples.len() >= OVERLOAD_WINDOW {
+            window.samples.pop_front();
+        }
+        window.samples.push_back(wait.as_micros() as u64);
+    }
+
+    /// Feed one fully-executed query into the cost and execution-time
+    /// models and refresh the exported rate gauge.
+    fn observe_exec(&self, cost: u64, exec: Duration, stats: &ServerStats) {
+        let micros = exec.as_micros() as u64;
+        self.cost_model.observe(cost, micros);
+        if let Some(rate) = self.cost_model.rate() {
+            stats.cost_rate.set(rate);
+        }
+        // Racy read-modify-write is deliberate: the EWMA only shapes retry
+        // hints, and a lost update just slows convergence by one sample.
+        let old = self.exec_ewma_us.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            micros
+        } else {
+            old - old / 8 + micros / 8
+        };
+        self.exec_ewma_us.store(new.max(1), Ordering::Relaxed);
+    }
+
+    /// Estimated execution time for `cost` cost-units, once the model has
+    /// enough observations to be trusted.
+    fn estimate_micros(&self, cost: u64, min_observations: u64) -> Option<u64> {
+        if self.cost_model.observations() < min_observations {
+            return None;
+        }
+        self.cost_model.micros_for(cost)
+    }
+
+    /// How long a shed client should wait before retrying: roughly the
+    /// time the current backlog needs to drain (queue depth × EWMA
+    /// execution time), clamped to `[1, retry_after_cap]` ms — so a storm
+    /// of rejected clients spreads its retries over the drain window
+    /// instead of stampeding back at once.
+    fn retry_after_ms(&self, queue_depth: usize, config: &OverloadConfig) -> u64 {
+        let per_job_us = match self.exec_ewma_us.load(Ordering::Relaxed) {
+            0 => RETRY_AFTER_COLD_US,
+            us => us,
+        };
+        let drain_ms = (queue_depth as u64 + 1).saturating_mul(per_job_us) / 1_000;
+        drain_ms.clamp(1, config.retry_after_cap.as_millis() as u64)
+    }
+
+    /// One brownout-controller evaluation: compute the rolling queue-wait
+    /// p95 and move the level one step per dwell period, hysteretically
+    /// (raise above `enter`, lower below `exit`, hold in between). Called
+    /// on every admission; skips without blocking when another thread
+    /// holds the window.
+    fn maybe_transition(&self, config: &OverloadConfig, stats: &ServerStats) {
+        let Some(enter) = config.brownout_enter else {
+            return;
+        };
+        let Some(mut window) = self.window.try_lock() else {
+            return;
+        };
+        if window.samples.len() < OVERLOAD_MIN_SAMPLES
+            || window.last_transition.elapsed() < config.brownout_dwell
+        {
+            return;
+        }
+        let mut sorted: Vec<u64> = window.samples.iter().copied().collect();
+        sorted.sort_unstable();
+        let p95 = sorted[(sorted.len() * 95 / 100).min(sorted.len() - 1)];
+        let level = self.level.load(Ordering::Relaxed);
+        let next = if p95 >= enter.as_micros() as u64 && level < BROWNOUT_MAX_LEVEL {
+            level + 1
+        } else if p95 < config.brownout_exit.as_micros() as u64 && level > 0 {
+            level - 1
+        } else {
+            return;
+        };
+        self.level.store(next, Ordering::Relaxed);
+        window.last_transition = Instant::now();
+        drop(window);
+        stats.inc(&stats.brownout_transitions);
+        stats.brownout_level.set(f64::from(next));
+        hin_telemetry::logfmt!(
+            "brownout_transition",
+            from = level,
+            to = next,
+            queue_wait_p95_us = p95
+        );
+    }
+}
+
 /// A unit of work queued for the worker pool.
 struct Job {
     request: Request,
     cancel: CancelToken,
     respond: Sender<Response>,
     admitted: Instant,
+    /// Admission-time deadline for queue-wait shedding (the request's
+    /// `timeout-ms=` or the server default budget's timeout); `None` for
+    /// requests without a wall-clock budget (those never expire).
+    deadline: Option<Duration>,
+    /// Admission-time execution cost estimate (cost units; `0` for
+    /// non-query work, which is not cost-modeled).
+    cost: u64,
+    /// Cost-based admission decided this request must run best-effort to
+    /// have a chance of fitting its deadline.
+    downtier: bool,
     /// Fault injected into this request (claimed at admission time from the
     /// plan's request sequence), if any.
     fault: Option<FaultKind>,
@@ -150,6 +366,9 @@ struct Shared {
     slow_log: Mutex<std::collections::VecDeque<TraceBody>>,
     /// Server-assigned entry ids for slow queries without an `id=N` option.
     slow_seq: std::sync::atomic::AtomicU64,
+    /// Overload-resilience state: cost model, brownout controller, and the
+    /// rolling queue-wait window feeding it.
+    overload: OverloadState,
 }
 
 impl Shared {
@@ -349,6 +568,7 @@ impl Server {
             queue_probe: job_rx.clone(),
             slow_log: Mutex::new(std::collections::VecDeque::new()),
             slow_seq: std::sync::atomic::AtomicU64::new(1),
+            overload: OverloadState::new(),
         });
         Ok(Server {
             shared,
@@ -540,6 +760,35 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>, slot: &WorkerSlot) {
         };
         slot.set_busy(epoch);
         let queue_wait = job.admitted.elapsed();
+        shared.overload.record_queue_wait(queue_wait);
+        // Deadline-aware shedding: a request whose deadline already passed
+        // while it sat in the queue is answered with a structured `expired`
+        // response and *never executed* — the client gets a retry-safe
+        // answer immediately instead of a guaranteed budget failure after
+        // burning a worker, and the freed capacity drains the backlog.
+        if let Some(deadline) = job.deadline {
+            if queue_wait >= deadline {
+                shared.stats.inc(&shared.stats.expired);
+                let body = ExpiredBody {
+                    waited_ms: queue_wait.as_millis() as u64,
+                    deadline_ms: deadline.as_millis() as u64,
+                    retry_after_ms: shared
+                        .overload
+                        .retry_after_ms(shared.queue_depth(), &shared.config.overload),
+                };
+                hin_telemetry::logfmt!(
+                    "request_expired",
+                    waited_ms = body.waited_ms,
+                    deadline_ms = body.deadline_ms,
+                    retry_after_ms = body.retry_after_ms
+                );
+                // Not dedup-cached even with an id: the request never
+                // executed, so a retry of the same id must be allowed to.
+                let _ = job.respond.send(Response::Expired(body));
+                slot.set_idle(epoch);
+                continue;
+            }
+        }
         shared.stats.in_flight.inc();
         let exec_started = Instant::now();
 
@@ -580,7 +829,7 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>, slot: &WorkerSlot) {
         // state (graph, index), lock-protected caches whose guards restore
         // invariants on unwind, and per-request values dropped here.
         let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute_request(shared, &job.request, &job.cancel, job.fault)
+            execute_request(shared, &job, queue_wait)
         }))
         .unwrap_or_else(|payload| {
             shared.stats.inc(&shared.stats.panics);
@@ -597,6 +846,16 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>, slot: &WorkerSlot) {
             None
         };
         let exec = exec_started.elapsed();
+        // Feed the cost model: full (non-degraded) executions give a clean
+        // cost-per-microsecond sample; degraded runs were truncated by the
+        // budget and would bias the rate upward.
+        if job.cost > 0 {
+            if let Response::Result(body) = &response {
+                if body.degraded.is_none() {
+                    shared.overload.observe_exec(job.cost, exec, &shared.stats);
+                }
+            }
+        }
 
         // Idempotency: remember the serialized response before answering,
         // so a client retry of the same id replays it byte-identically —
@@ -635,18 +894,14 @@ fn cancellable_sleep(total: Duration, cancel: &CancelToken, poll_interval: Durat
 }
 
 /// Execute one worker-pool request, updating outcome counters.
-fn execute_request(
-    shared: &Shared,
-    request: &Request,
-    cancel: &CancelToken,
-    fault: Option<FaultKind>,
-) -> Response {
+fn execute_request(shared: &Shared, job: &Job, queue_wait: Duration) -> Response {
+    let (cancel, fault) = (&job.cancel, job.fault);
     // Request-panic fault: detonate inside the isolation boundary; the
     // caller's catch_unwind turns this into a structured PANIC response.
     if fault == Some(FaultKind::PanicRequest) {
         panic!("fault injection: request panic");
     }
-    match request {
+    match &job.request {
         Request::Sleep { ms, .. } => {
             let started = Instant::now();
             let completed = cancellable_sleep(
@@ -666,13 +921,14 @@ fn execute_request(
         }
         Request::Query { options, text } => {
             let exec_started = Instant::now();
+            let budget = request_budget(shared, options, cancel, fault, queue_wait);
             // Shard sub-request (`shard=i/n`, sent by the coordinator):
             // score one contiguous candidate slice strictly and answer with
             // the raw rows — the coordinator's concatenate-then-top_k merge
             // reproduces the single-box ranking bit for bit, so the `mode`
             // option is ignored here (degradation is the coordinator's job).
             if let Some((index, count)) = options.shard {
-                return match run_shard(shared, options, text, cancel, fault, index, count) {
+                return match run_shard(shared, text, budget, index, count) {
                     Ok(scores) => {
                         shared.stats.record_breakdown(&scores.stats);
                         shared.stats.inc(&shared.stats.completed);
@@ -698,7 +954,7 @@ fn execute_request(
                     }
                 };
             }
-            let outcome = run_query(shared, options, text, cancel, fault);
+            let outcome = run_query(shared, options, text, budget, job.downtier);
             match outcome {
                 Ok(result) => {
                     shared.stats.record_breakdown(&result.stats);
@@ -754,30 +1010,77 @@ fn execute_request(
     }
 }
 
-/// Parse, bind, and execute one query with the per-request budget.
-fn run_query(
+/// Assemble the per-request budget: server defaults + request overrides,
+/// the cooperative cancellation token, the queue wait already spent carved
+/// out of the deadline (so `timeout-ms=` bounds admission-to-answer, not
+/// execution-to-answer), brownout caps at level ≥ 1, and the injected
+/// allocation-cap fault.
+fn request_budget(
     shared: &Shared,
     options: &RequestOptions,
-    text: &str,
     cancel: &CancelToken,
     fault: Option<FaultKind>,
-) -> Result<netout::QueryResult, EngineError> {
-    let bound = hin_query::validate::parse_and_bind(text, shared.detector.graph().schema())?;
+    queue_wait: Duration,
+) -> Budget {
     let mut budget = options
         .budget_over(shared.detector.current_budget())
-        .with_cancel_token(cancel.clone());
+        .with_cancel_token(cancel.clone())
+        .carve(queue_wait);
+    // Brownout level ≥ 1 tightens the work caps of top-level queries (a
+    // stricter per-request cap wins). Shard sub-requests are exempt: their
+    // caps were chosen by the coordinator and byte-identical merge depends
+    // on them.
+    if options.shard.is_none() && shared.overload.level() >= 1 {
+        let o = &shared.config.overload;
+        let nnz = budget
+            .max_nnz
+            .map_or(o.brownout_max_nnz, |n| n.min(o.brownout_max_nnz));
+        let candidates = budget
+            .max_candidates
+            .map_or(o.brownout_max_candidates, |n| {
+                n.min(o.brownout_max_candidates)
+            });
+        budget = budget.with_max_nnz(nnz).with_max_candidates(candidates);
+    }
     // Allocation-cap fault: zero the frontier-nnz budget so the request
     // fails through the engine's *real* budget-enforcement path — the
     // failure mode is genuine, only its trigger is injected.
     if fault == Some(FaultKind::AllocCap) {
         budget = budget.with_max_nnz(0);
     }
+    budget
+}
+
+/// Parse, bind, and execute one query with the per-request budget.
+fn run_query(
+    shared: &Shared,
+    options: &RequestOptions,
+    text: &str,
+    budget: Budget,
+    downtier: bool,
+) -> Result<netout::QueryResult, EngineError> {
+    let bound = hin_query::validate::parse_and_bind(text, shared.detector.graph().schema())?;
     let engine = shared
         .detector
         .engine()
         .budget(budget)
         .threads(shared.config.threads_per_query);
-    match options.mode.unwrap_or(shared.config.default_mode) {
+    let requested = options.mode.unwrap_or(shared.config.default_mode);
+    // Overload down-tiering: cost admission (`downtier`) or brownout level
+    // ≥ 2 forces best-effort so an oversized request yields a partial
+    // ranking within its deadline instead of a strict failure.
+    let effective = if requested == ExecMode::Strict && (downtier || shared.overload.level() >= 2) {
+        shared.stats.inc(&shared.stats.downtiered);
+        hin_telemetry::logfmt!(
+            "request_downtiered",
+            cost_admission = downtier,
+            brownout_level = shared.overload.level()
+        );
+        ExecMode::BestEffort
+    } else {
+        requested
+    };
+    match effective {
         ExecMode::Strict => engine.execute(&bound),
         ExecMode::BestEffort => engine.execute_best_effort(&bound, BATCH),
     }
@@ -787,20 +1090,12 @@ fn run_query(
 /// strict semantics, no top-k — see [`netout::QueryEngine::execute_shard`].
 fn run_shard(
     shared: &Shared,
-    options: &RequestOptions,
     text: &str,
-    cancel: &CancelToken,
-    fault: Option<FaultKind>,
+    budget: Budget,
     index: usize,
     count: usize,
 ) -> Result<netout::ShardScores, EngineError> {
     let bound = hin_query::validate::parse_and_bind(text, shared.detector.graph().schema())?;
-    let mut budget = options
-        .budget_over(shared.detector.current_budget())
-        .with_cancel_token(cancel.clone());
-    if fault == Some(FaultKind::AllocCap) {
-        budget = budget.with_max_nnz(0);
-    }
     shared
         .detector
         .engine()
@@ -1061,6 +1356,78 @@ fn dispatch_job(
     request: Request,
 ) -> bool {
     debug_assert!(request.needs_worker());
+    let overload = &shared.overload;
+    let oconfig = &shared.config.overload;
+    overload.maybe_transition(oconfig, &shared.stats);
+    // Admission-time overload decisions apply to top-level queries only:
+    // shard sub-requests already had their deadline carved (and their
+    // priority weighed) by the coordinator, and SLEEP/EXPLAIN are cheap.
+    let mut deadline = None;
+    let mut cost = 0u64;
+    let mut downtier = false;
+    if let Request::Query { options, text } = &request {
+        deadline = options
+            .timeout_ms
+            .map(Duration::from_millis)
+            .or(shared.detector.current_budget().timeout);
+        if options.shard.is_none() {
+            // Priority shedding: at the deepest brownout level, requests
+            // below the shed threshold get a structured busy + retry hint
+            // instead of queue space, so the capacity that remains serves
+            // the work the client fleet values most.
+            let priority = options.priority.unwrap_or(DEFAULT_PRIORITY);
+            if overload.level() >= BROWNOUT_MAX_LEVEL && priority < oconfig.shed_below_priority {
+                shared.stats.inc(&shared.stats.priority_shed);
+                let body = BusyBody {
+                    queue_depth: shared.queue_depth(),
+                    queue_cap: shared.config.queue_cap,
+                    retry_after_ms: overload.retry_after_ms(shared.queue_depth(), oconfig),
+                };
+                hin_telemetry::logfmt!(
+                    "priority_shed",
+                    priority = priority,
+                    retry_after_ms = body.retry_after_ms
+                );
+                return reader.write_response(&Response::Busy(body));
+            }
+            cost = netout::cost_estimate(
+                text,
+                shared.detector.index(),
+                shared.detector.graph().edge_count(),
+            );
+            // Cost-based admission: once the model is warm and the request
+            // carries a deadline, estimate whether it can fit. Hopeless
+            // requests (estimate ≥ reject-factor × deadline) are refused
+            // outright; merely oversized ones are down-tiered to
+            // best-effort so they answer with a partial ranking in time.
+            if let (Some(deadline), Some(est_us)) = (
+                deadline,
+                overload.estimate_micros(cost, oconfig.cost_min_observations),
+            ) {
+                let deadline_us = deadline.as_micros() as u64;
+                let reject_at = (deadline_us as f64 * oconfig.cost_reject_factor) as u64;
+                if oconfig.cost_reject_factor > 0.0 && est_us > reject_at {
+                    shared.stats.inc(&shared.stats.cost_rejected);
+                    let body = BusyBody {
+                        queue_depth: shared.queue_depth(),
+                        queue_cap: shared.config.queue_cap,
+                        retry_after_ms: overload.retry_after_ms(shared.queue_depth(), oconfig),
+                    };
+                    hin_telemetry::logfmt!(
+                        "cost_rejected",
+                        cost = cost,
+                        estimated_us = est_us,
+                        deadline_us = deadline_us,
+                        retry_after_ms = body.retry_after_ms
+                    );
+                    return reader.write_response(&Response::Busy(body));
+                }
+                if est_us > deadline_us {
+                    downtier = true;
+                }
+            }
+        }
+    }
     // Claim this request's fault-sequence index. Claimed at admission time
     // — before the busy check — so the index order equals the order pool
     // requests arrive, independent of queue depth and worker scheduling.
@@ -1072,6 +1439,9 @@ fn dispatch_job(
         cancel: cancel.clone(),
         respond,
         admitted: Instant::now(),
+        deadline,
+        cost,
+        downtier,
         fault,
     };
     match job_tx.try_send(job) {
@@ -1081,6 +1451,7 @@ fn dispatch_job(
             return reader.write_response(&Response::Busy(BusyBody {
                 queue_depth: shared.queue_depth(),
                 queue_cap: shared.config.queue_cap,
+                retry_after_ms: overload.retry_after_ms(shared.queue_depth(), oconfig),
             }));
         }
         Err(TrySendError::Disconnected(_)) => {
@@ -1270,6 +1641,116 @@ mod tests {
             handle.join().expect("server thread");
         }
         assert_eq!(outputs[0], outputs[1], "thread count changed the ranking");
+    }
+
+    #[test]
+    fn overload_retry_after_scales_with_backlog_and_clamps() {
+        let state = OverloadState::new();
+        let config = OverloadConfig {
+            retry_after_cap: Duration::from_millis(100),
+            ..OverloadConfig::default()
+        };
+        // Cold model: the conservative per-job default applies.
+        assert_eq!(
+            state.retry_after_ms(0, &config),
+            RETRY_AFTER_COLD_US / 1_000
+        );
+        let stats = ServerStats::new();
+        state.observe_exec(100, Duration::from_micros(2_000), &stats);
+        // One queued job + the incoming one at ~2 ms each.
+        assert_eq!(state.retry_after_ms(1, &config), 4);
+        // A deep backlog clamps at the cap.
+        assert_eq!(state.retry_after_ms(10_000, &config), 100);
+    }
+
+    #[test]
+    fn overload_cost_estimates_gate_on_observation_count() {
+        let state = OverloadState::new();
+        let stats = ServerStats::new();
+        assert_eq!(state.estimate_micros(100, 2), None);
+        state.observe_exec(100, Duration::from_micros(1_000), &stats);
+        assert_eq!(state.estimate_micros(100, 2), None, "model not warm yet");
+        state.observe_exec(100, Duration::from_micros(1_000), &stats);
+        let est = state.estimate_micros(100, 2).expect("model is warm");
+        assert!((500..=2_000).contains(&est), "estimate off: {est}");
+        assert!(stats.cost_rate.get() > 0.0, "rate gauge not exported");
+    }
+
+    #[test]
+    fn brownout_controller_rises_hysteretically_and_recovers() {
+        let state = OverloadState::new();
+        let stats = ServerStats::new();
+        let config = OverloadConfig {
+            brownout_enter: Some(Duration::from_millis(10)),
+            brownout_exit: Duration::from_millis(2),
+            brownout_dwell: Duration::ZERO,
+            ..OverloadConfig::default()
+        };
+        // Not enough samples: the controller holds at level 0.
+        for _ in 0..OVERLOAD_MIN_SAMPLES - 1 {
+            state.record_queue_wait(Duration::from_millis(50));
+        }
+        state.maybe_transition(&config, &stats);
+        assert_eq!(state.level(), 0);
+        // Window full of slow waits: one step up per evaluation, capped.
+        state.record_queue_wait(Duration::from_millis(50));
+        for expect in [1, 2, 3, 3] {
+            state.maybe_transition(&config, &stats);
+            assert_eq!(state.level(), expect);
+        }
+        // Waits between exit and enter: hysteresis holds the level.
+        for _ in 0..OVERLOAD_WINDOW {
+            state.record_queue_wait(Duration::from_millis(5));
+        }
+        state.maybe_transition(&config, &stats);
+        assert_eq!(state.level(), BROWNOUT_MAX_LEVEL);
+        // Fast waits: the controller steps back down to normal.
+        for _ in 0..OVERLOAD_WINDOW {
+            state.record_queue_wait(Duration::from_micros(100));
+        }
+        for expect in [2, 1, 0, 0] {
+            state.maybe_transition(&config, &stats);
+            assert_eq!(state.level(), expect);
+        }
+        assert_eq!(
+            stats
+                .snapshot(0, 1, CacheSnapshot::default(), None)
+                .brownout_level,
+            0
+        );
+    }
+
+    #[test]
+    fn expired_requests_are_shed_without_executing() {
+        // One worker pinned by a long SLEEP; a queued query whose deadline
+        // passes while it waits must answer `expired` without executing.
+        let (addr, handle) = toy_server(ServerConfig {
+            workers: 1,
+            queue_cap: 8,
+            poll_interval: Duration::from_millis(5),
+            ..ServerConfig::default()
+        });
+        let mut sleeper = crate::client::Client::connect(addr).expect("connect");
+        sleeper.send_no_wait("SLEEP 400").expect("send");
+        std::thread::sleep(Duration::from_millis(50));
+        let q = "QUERY timeout-ms=100 FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author JUDGED BY author.paper.venue;";
+        let responses = send_lines(addr, &[q]);
+        assert!(
+            responses[0].starts_with(r#"{"expired""#),
+            "{}",
+            responses[0]
+        );
+        assert!(
+            responses[0].contains(r#""retry_after_ms""#),
+            "{}",
+            responses[0]
+        );
+        let _ = sleeper.read_response();
+        let stats = send_lines(addr, &["STATS", "SHUTDOWN"]);
+        assert!(stats[0].contains(r#""expired":1"#), "{}", stats[0]);
+        let final_stats = handle.join().expect("server thread");
+        assert_eq!(final_stats.expired, 1);
+        assert_eq!(final_stats.completed, 1, "only the sleep completed");
     }
 
     #[test]

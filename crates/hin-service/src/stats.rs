@@ -47,6 +47,24 @@ pub struct ServerStats {
     pub deduped: Counter,
     /// Connections dropped server-side by fault injection.
     pub dropped_conns: Counter,
+    /// Requests shed with a structured `expired` response because their
+    /// deadline elapsed while they waited in the queue (never executed).
+    pub expired: Counter,
+    /// Requests rejected at admission because their estimated cost could
+    /// not fit the remaining deadline (cost-based admission control).
+    pub cost_rejected: Counter,
+    /// Requests shed at admission for low priority under brownout.
+    pub priority_shed: Counter,
+    /// Strict requests forced to best-effort by overload control (cost
+    /// admission down-tiering or brownout level ≥ 2).
+    pub downtiered: Counter,
+    /// Brownout controller level transitions (either direction).
+    pub brownout_transitions: Counter,
+    /// Current brownout degradation level (0 = normal … 3 = shedding).
+    pub brownout_level: Gauge,
+    /// EWMA of execution cost-units per microsecond (the admission cost
+    /// model's current rate; 0 before any observation).
+    pub cost_rate: Gauge,
     /// Microseconds spent loading the serving snapshot at startup (0 when
     /// the graph was rebuilt from a text/binio file instead).
     pub snapshot_load_us: Gauge,
@@ -126,6 +144,34 @@ impl ServerStats {
             dropped_conns: registry.counter(
                 "hin_dropped_conns_total",
                 "Connections dropped by fault injection.",
+            ),
+            expired: registry.counter(
+                "hin_overload_expired_total",
+                "Requests shed unexecuted because their deadline expired in queue.",
+            ),
+            cost_rejected: registry.counter(
+                "hin_overload_cost_rejected_total",
+                "Requests rejected because estimated cost could not fit the deadline.",
+            ),
+            priority_shed: registry.counter(
+                "hin_overload_priority_shed_total",
+                "Requests shed for low priority under brownout.",
+            ),
+            downtiered: registry.counter(
+                "hin_overload_downtiered_total",
+                "Strict requests forced to best-effort by overload control.",
+            ),
+            brownout_transitions: registry.counter(
+                "hin_overload_brownout_transitions_total",
+                "Brownout controller level transitions.",
+            ),
+            brownout_level: registry.gauge(
+                "hin_overload_brownout_level",
+                "Current brownout degradation level (0 normal .. 3 shedding).",
+            ),
+            cost_rate: registry.gauge(
+                "hin_overload_cost_rate",
+                "EWMA of execution cost-units per microsecond (0 before any observation).",
             ),
             snapshot_load_us: registry.gauge(
                 "hin_snapshot_load_us",
@@ -331,6 +377,11 @@ impl ServerStats {
             respawns: self.respawns.get(),
             deduped: self.deduped.get(),
             dropped_conns: self.dropped_conns.get(),
+            expired: self.expired.get(),
+            cost_rejected: self.cost_rejected.get(),
+            priority_shed: self.priority_shed.get(),
+            downtiered: self.downtiered.get(),
+            brownout_level: self.brownout_level.get() as u64,
             queue_depth,
             queue_cap,
             cache,
@@ -444,6 +495,16 @@ pub struct StatsSnapshot {
     pub deduped: u64,
     /// Connections dropped by fault injection.
     pub dropped_conns: u64,
+    /// Requests shed unexecuted because their deadline expired in queue.
+    pub expired: u64,
+    /// Requests rejected by cost-based admission control.
+    pub cost_rejected: u64,
+    /// Requests shed for low priority under brownout.
+    pub priority_shed: u64,
+    /// Strict requests forced to best-effort by overload control.
+    pub downtiered: u64,
+    /// Brownout degradation level at snapshot time (0 normal .. 3).
+    pub brownout_level: u64,
     /// Jobs waiting in the admission queue right now.
     pub queue_depth: usize,
     /// Admission queue capacity.
@@ -588,6 +649,13 @@ mod tests {
             "hin_engine_set_retrieval_us_total 7",
             "hin_engine_scoring_us_total 11",
             "hin_queue_depth 2",
+            "hin_overload_expired_total",
+            "hin_overload_cost_rejected_total",
+            "hin_overload_priority_shed_total",
+            "hin_overload_downtiered_total",
+            "hin_overload_brownout_transitions_total",
+            "hin_overload_brownout_level",
+            "hin_overload_cost_rate",
         ] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }

@@ -33,15 +33,17 @@ fn options() -> impl Strategy<Value = RequestOptions> {
         ]),
         proptest::option::of(any::<u64>()),
         proptest::option::of(shard()),
+        proptest::option::of(0u8..=9),
     )
         .prop_map(
-            |(timeout_ms, max_candidates, max_nnz, mode, id, shard)| RequestOptions {
+            |(timeout_ms, max_candidates, max_nnz, mode, id, shard, priority)| RequestOptions {
                 timeout_ms,
                 max_candidates,
                 max_nnz,
                 mode,
                 id,
                 shard,
+                priority,
             },
         )
 }

@@ -5,8 +5,8 @@
 //! parallel without interfering.
 
 use hin_datagen::dblp::{generate, SyntheticConfig};
-use hin_service::client::{json_u64_field, response_kind};
-use hin_service::{Client, ExecMode, Server, ServerConfig};
+use hin_service::client::{json_u64_field, response_kind, run_closed_loop};
+use hin_service::{Client, ExecMode, LoadSpec, OverloadConfig, Server, ServerConfig};
 use netout::{Budget, OutlierDetector};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -404,6 +404,256 @@ fn wire_garbage_yields_structured_errors_and_server_survives() {
 
     shutdown(addr);
     server.join().expect("server thread");
+}
+
+/// `"exec_us":N` is the only result field allowed to differ between runs
+/// of the same query; strip it so responses can be compared byte-for-byte.
+fn strip_exec_us(line: &str) -> String {
+    match line.find(r#""exec_us":"#) {
+        Some(at) => {
+            let rest = &line[at..];
+            let end = rest
+                .find(|c: char| c == ',' || c == '}')
+                .expect("exec_us value must terminate");
+            format!("{}{}", &line[..at], &rest[end..])
+        }
+        None => line.to_string(),
+    }
+}
+
+/// Overload storm at 4× over-admission: one worker held by a long sleep
+/// while eight short-deadline queries and two patient ones pile up behind
+/// it. Every query whose deadline elapses in the queue is shed with a
+/// structured `expired` response carrying a retry hint and is *never
+/// executed*, while the patient queries admitted alongside them still
+/// complete — with answers byte-identical to the unloaded run.
+#[test]
+fn overload_storm_sheds_expired_and_preserves_answered_queries() {
+    let (detector, query) = fixture(47);
+    let (addr, server) = spawn(
+        detector,
+        ServerConfig {
+            workers: 1,
+            queue_cap: 16,
+            overload: OverloadConfig {
+                // Deadline shedding only: cost admission stays out of the
+                // way so every doomed request reaches the queue.
+                cost_reject_factor: 0.0,
+                ..OverloadConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    );
+
+    // Unloaded reference answer, captured before the storm.
+    let mut probe = Client::connect(addr).expect("connect");
+    let unloaded = probe
+        .send_line(&format!("QUERY {query}"))
+        .expect("reference query");
+    assert_eq!(response_kind(&unloaded), Some("result"), "{unloaded}");
+
+    // Occupy the single worker for longer than every short deadline.
+    let mut sleeper = Client::connect(addr).expect("connect");
+    sleeper.send_no_wait("SLEEP 3000").expect("send");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = probe.send_line("STATS").expect("stats");
+        if json_u64_field(&stats, "in_flight") == Some(1) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "worker never picked up the job");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // 4× over-admission against the held worker: 8 doomed queries whose
+    // 100 ms deadlines will elapse behind the 3 s sleeper, plus 2 patient
+    // queries that can wait it out. All 10 fit the queue (cap 16).
+    let mut doomed: Vec<Client> = (0..8)
+        .map(|_| {
+            let mut c = Client::connect(addr).expect("connect");
+            c.send_no_wait(&format!("QUERY timeout-ms=100 {query}"))
+                .expect("send doomed");
+            c
+        })
+        .collect();
+    let mut patient: Vec<Client> = (0..2)
+        .map(|_| {
+            let mut c = Client::connect(addr).expect("connect");
+            c.send_no_wait(&format!("QUERY timeout-ms=60000 {query}"))
+                .expect("send patient");
+            c
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = probe.send_line("STATS").expect("stats");
+        if json_u64_field(&stats, "queue_depth") == Some(10) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "storm never fully queued");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The sleeper outlasts every short deadline, then the worker drains
+    // the backlog: doomed queries shed instantly, patient ones execute.
+    assert_eq!(
+        response_kind(&sleeper.read_response().unwrap()),
+        Some("slept")
+    );
+    for c in &mut doomed {
+        let shed = c.read_response().expect("shed response");
+        assert_eq!(response_kind(&shed), Some("expired"), "{shed}");
+        let waited = json_u64_field(&shed, "waited_ms").expect("waited_ms");
+        let deadline_ms = json_u64_field(&shed, "deadline_ms").expect("deadline_ms");
+        assert!(waited >= deadline_ms, "shed before its deadline: {shed}");
+        assert_eq!(deadline_ms, 100, "{shed}");
+        let hint = json_u64_field(&shed, "retry_after_ms").expect("retry hint");
+        assert!(hint >= 1, "shed without a usable retry hint: {shed}");
+    }
+    for c in &mut patient {
+        let answer = c.read_response().expect("answer under load");
+        assert_eq!(response_kind(&answer), Some("result"), "{answer}");
+        assert_eq!(
+            strip_exec_us(&answer),
+            strip_exec_us(&unloaded),
+            "answered query must be byte-identical to the unloaded run"
+        );
+    }
+
+    shutdown(addr);
+    let stats = server.join().expect("server thread");
+    // Zero executed-after-expiry: every doomed request is accounted for as
+    // a shed — none of them reached execution.
+    assert_eq!(stats.expired, 8, "{stats:?}");
+    assert_eq!(stats.queue_depth, 0, "{stats:?}");
+    assert!(stats.completed >= 4, "{stats:?}"); // reference + sleeper + 2 patient
+}
+
+/// Closed-loop 4× over-admission with a per-request delay fault (every
+/// execution stalls 100 ms on one worker, four concurrent clients): the
+/// load report and the server's own counters must agree that every request
+/// got exactly one structured answer — goodput loss equals the shed count,
+/// nothing is silently dropped, and the server never executes a request it
+/// reported as expired.
+#[test]
+fn overload_closed_loop_accounts_every_request() {
+    let (detector, query) = fixture(53);
+    let (addr, server) = spawn(
+        detector,
+        ServerConfig {
+            workers: 1,
+            queue_cap: 64,
+            overload: OverloadConfig {
+                cost_reject_factor: 0.0,
+                ..OverloadConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    );
+
+    // Stall every execution by 100 ms: with one worker and four clients in
+    // closed loop, queue waits at depth ≥ 2 exceed the 150 ms deadlines.
+    let mut probe = Client::connect(addr).expect("connect");
+    let installed = probe
+        .send_line("FAULTS seed=11;delay~1:100")
+        .expect("install delay plan");
+    assert!(installed.starts_with(r#"{"faults""#), "{installed}");
+
+    let storm = run_closed_loop(
+        addr,
+        &LoadSpec {
+            clients: 4,
+            requests_per_client: 8,
+            lines: vec![format!("QUERY timeout-ms=150 {query}")],
+            retry: None,
+        },
+    );
+    assert_eq!(storm.requests, 32, "{storm:?}");
+    assert_eq!(storm.io_errors, 0, "{storm:?}");
+    assert_eq!(storm.errors, 0, "{storm:?}");
+    // Full accounting: goodput loss is exactly the shed count — every
+    // request was answered with a result, a busy, or an expired.
+    assert_eq!(
+        storm.ok + storm.busy + storm.expired,
+        storm.requests,
+        "{storm:?}"
+    );
+    // Sustained 4× over-admission with 100 ms executions must shed, and
+    // must still make forward progress for requests that fit.
+    assert!(storm.expired >= 1, "{storm:?}");
+    assert!(storm.ok >= 1, "{storm:?}");
+
+    shutdown(addr);
+    let stats = server.join().expect("server thread");
+    // The server's shed count matches what clients observed: a request is
+    // either executed or expired, never both.
+    assert_eq!(stats.expired, storm.expired, "{stats:?} vs {storm:?}");
+    assert_eq!(stats.rejected_busy, storm.busy, "{stats:?} vs {storm:?}");
+}
+
+/// Brownout escalation to priority shedding: with the enter threshold at
+/// zero the controller climbs one level per admission once its sample
+/// window fills, reaching L3. There, a `priority=0` query is shed with a
+/// structured busy + retry hint while a `priority=9` query on the same
+/// server still answers in full.
+#[test]
+fn brownout_escalates_and_sheds_low_priority_queries() {
+    let (detector, query) = fixture(59);
+    let (addr, server) = spawn(
+        detector,
+        ServerConfig {
+            workers: 1,
+            queue_cap: 8,
+            overload: OverloadConfig {
+                cost_reject_factor: 0.0,
+                // Enter at zero wait and never exit: every evaluation after
+                // the window fills climbs a level, pinning the controller
+                // at L3 for the rest of the test.
+                brownout_enter: Some(Duration::ZERO),
+                brownout_exit: Duration::ZERO,
+                brownout_dwell: Duration::ZERO,
+                ..OverloadConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    );
+
+    // Fill the queue-wait sample window (16 samples) and give the
+    // controller enough admissions to climb to L3.
+    let mut client = Client::connect(addr).expect("connect");
+    for _ in 0..22 {
+        let slept = client.send_line("SLEEP 0").expect("sleep");
+        assert_eq!(response_kind(&slept), Some("slept"), "{slept}");
+    }
+    let stats = client.send_line("STATS").expect("stats");
+    assert_eq!(
+        json_u64_field(&stats, "brownout_level"),
+        Some(3),
+        "controller never reached L3: {stats}"
+    );
+
+    // Below-threshold priority is shed with a structured busy + hint.
+    let shed = client
+        .send_line(&format!("QUERY priority=0 timeout-ms=5000 {query}"))
+        .expect("low-priority query");
+    assert_eq!(response_kind(&shed), Some("busy"), "{shed}");
+    assert!(
+        json_u64_field(&shed, "retry_after_ms").expect("retry hint") >= 1,
+        "{shed}"
+    );
+
+    // High-priority work on the same saturated server still answers.
+    let answered = client
+        .send_line(&format!("QUERY priority=9 timeout-ms=60000 {query}"))
+        .expect("high-priority query");
+    assert_eq!(response_kind(&answered), Some("result"), "{answered}");
+    assert!(answered.contains(r#""degraded":null"#), "{answered}");
+
+    shutdown(addr);
+    let stats = server.join().expect("server thread");
+    assert_eq!(stats.priority_shed, 1, "{stats:?}");
+    assert_eq!(stats.brownout_level, 3, "{stats:?}");
+    assert!(stats.completed >= 23, "{stats:?}"); // 22 sleeps + 1 answered query
 }
 
 /// SHUTDOWN drains: requests already admitted finish and their responses
