@@ -44,7 +44,8 @@ USAGE:
                [--cache-cap N] [--port-file FILE] [--threads-per-query N]
                [--timeout-ms N] [--max-candidates N] [--max-nnz N]
                [--fault-plan SPEC] [--dedup-cap N] [--hang-timeout-ms N]
-               [--slow-query-ms N] [--subpath-cache-mb N] [--warm FILE]
+               [--slow-query-ms N] [--slow-log-cap N]
+               [--subpath-cache-mb N] [--warm FILE]
                [--cost-reject-factor F] [--cost-min-obs N]
                [--brownout-enter-ms N] [--brownout-exit-ms N]
                [--brownout-dwell-ms N] [--brownout-max-nnz N]
@@ -53,6 +54,7 @@ USAGE:
   hinout bench-client --addr HOST:PORT [--clients N] [--requests N]
                [--query '…' | --query-file FILE] [--format text|json]
                [--retry-attempts N] [--retry-deadline-ms N] [--retry-seed S]
+               [--trace]
   hinout coordinate --backends HOST:PORT,HOST:PORT,… [--addr HOST:PORT]
                [--port-file FILE] [--replicas N] [--retry-attempts N]
                [--hedge-after-ms N] [--heartbeat-ms N] [--merge-slack-ms N]
@@ -60,7 +62,8 @@ USAGE:
                [--breaker-window N] [--breaker-min-samples N]
                [--breaker-failure-ratio F] [--breaker-cooldown-ms N]
                [--breaker-latency-ms N] [--busy-storm-threshold N]
-               [--busy-retry-after-ms N]
+               [--busy-retry-after-ms N] [--slow-query-ms N]
+               [--slow-log-cap N]
 
 A --query-file may hold several semicolon-separated queries; each runs in
 order — a failing query is reported and skipped, and the process exits
@@ -125,9 +128,17 @@ Observability (DESIGN.md §12): serve answers METRICS with Prometheus text
 exposition (METRICS JSON for a JSON snapshot) covering request counters,
 queue/exec/total latency histograms, cache hit ratio, and per-phase engine
 totals. --slow-query-ms N traces every query slower than N ms (0 = all)
-into a bounded server-side ring: TRACE lists the retained entries, TRACE ID
-returns one entry's full span tree. query/explain --trace print the same
-span tree locally after each query. workload --run … --summary replaces
+into a bounded server-side ring of --slow-log-cap entries (default 32, 0
+disables): TRACE lists the retained entries, TRACE ID returns one entry's
+full span tree. query/explain --trace print the same span tree locally
+after each query. Distributed tracing (DESIGN.md §17): a trace=1 request
+option force-traces one query end to end — backends attach their span tree
+to shard responses and coordinate stitches them under its own
+scatter/attempt/merge spans into one cross-process trace, served from the
+coordinator's own ring (same --slow-query-ms/--slow-log-cap flags; TRACE
+BACKEND I [ID] reads one backend's ring through the coordinator).
+bench-client --trace sends trace=1 with each query and prints the
+assembled tree after the run. workload --run … --summary replaces
 per-query rankings with an aggregate report: summed per-phase timings plus
 latency quantiles from the shared log2 histogram.
 
@@ -179,7 +190,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "index-info" => cmd_index_info(&Args::parse(rest)?),
         "snapshot" => cmd_snapshot(rest),
         "serve" => cmd_serve(&Args::parse(rest)?),
-        "bench-client" => cmd_bench_client(&Args::parse(rest)?),
+        "bench-client" => cmd_bench_client(&Args::parse_with_switches(rest, &["trace"])?),
         "coordinate" => cmd_coordinate(&Args::parse(rest)?),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -897,12 +908,9 @@ fn snapshot_build(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown index {other:?} (none|pm)")),
     };
     let t = std::time::Instant::now();
-    let written = hin_snapshot::SnapshotWriter::write(
-        std::path::Path::new(out),
-        &graph,
-        index.as_ref(),
-    )
-    .map_err(|e| format!("writing {out}: {e}"))?;
+    let written =
+        hin_snapshot::SnapshotWriter::write(std::path::Path::new(out), &graph, index.as_ref())
+            .map_err(|e| format!("writing {out}: {e}"))?;
     println!(
         "wrote {out}: {written} bytes ({} vertices, {} edges) in {:?}",
         graph.vertex_count(),
@@ -945,7 +953,10 @@ fn snapshot_inspect(args: &Args) -> Result<(), String> {
     } else {
         println!("index: none");
     }
-    println!("{:<6} {:<16} {:>12} {:>12} {:>10}", "id", "section", "offset", "bytes", "crc32c");
+    println!(
+        "{:<6} {:<16} {:>12} {:>12} {:>10}",
+        "id", "section", "offset", "bytes", "crc32c"
+    );
     for s in &info.sections {
         println!(
             "{:<6} {:<16} {:>12} {:>12} {:>10x}",
@@ -1001,6 +1012,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             "dedup-cap",
             "hang-timeout-ms",
             "slow-query-ms",
+            "slow-log-cap",
             "warm",
             "cost-reject-factor",
             "cost-min-obs",
@@ -1087,6 +1099,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     // the TRACE ring (0 traces everything).
     if let Some(ms) = args.get_opt_num::<u64>("slow-query-ms")? {
         config.slow_query = Some(std::time::Duration::from_millis(ms));
+    }
+    if let Some(cap) = args.get_opt_num::<usize>("slow-log-cap")? {
+        config.slow_log_cap = cap;
     }
     // Overload resilience (DESIGN.md §16): cost-based admission, brownout
     // controller, priority shedding, retry hints.
@@ -1184,6 +1199,8 @@ fn cmd_coordinate(args: &Args) -> Result<(), String> {
         "breaker-latency-ms",
         "busy-storm-threshold",
         "busy-retry-after-ms",
+        "slow-query-ms",
+        "slow-log-cap",
     ])?;
     let backends: Vec<std::net::SocketAddr> = args
         .require("backends")?
@@ -1241,6 +1258,15 @@ fn cmd_coordinate(args: &Args) -> Result<(), String> {
     if let Some(ms) = args.get_opt_num::<u64>("busy-retry-after-ms")? {
         config.busy_retry_after = std::time::Duration::from_millis(ms);
     }
+    // Distributed tracing (DESIGN.md §17): assemble cross-process traces
+    // for queries slower than N ms into the coordinator's own TRACE ring
+    // (0 traces everything; trace=1 requests are traced regardless).
+    if let Some(ms) = args.get_opt_num::<u64>("slow-query-ms")? {
+        config.slow_query = Some(std::time::Duration::from_millis(ms));
+    }
+    if let Some(cap) = args.get_opt_num::<usize>("slow-log-cap")? {
+        config.slow_log_cap = cap;
+    }
     let addr = args.get("addr").unwrap_or("127.0.0.1:7879");
     let n = backends.len();
     let coordinator = Coordinator::bind_retry(
@@ -1279,6 +1305,7 @@ fn cmd_bench_client(args: &Args) -> Result<(), String> {
         "retry-attempts",
         "retry-deadline-ms",
         "retry-seed",
+        "trace",
     ])?;
     let addr = args.require("addr")?;
     let clients: usize = args.get_num("clients", 8)?;
@@ -1303,19 +1330,29 @@ fn cmd_bench_client(args: &Args) -> Result<(), String> {
         None
     };
     let format = parse_format(args)?;
+    // --trace asks the server (or coordinator) to force-log every query
+    // into its TRACE ring; the assembled span tree of the most recent one
+    // is fetched and printed after the run (DESIGN.md §17).
+    let trace = args.has("trace");
     let lines: Vec<String> = match (args.get("query"), args.get("query-file")) {
         // Without a query the loop measures pure protocol/dispatch overhead.
-        (None, None) => vec!["PING".to_string()],
+        (None, None) => {
+            if trace {
+                return Err("--trace needs --query or --query-file (PING is not traced)".into());
+            }
+            vec!["PING".to_string()]
+        }
         _ => {
             let text = read_query_text(args)?;
             let queries = hin_query::parse_script(&text).map_err(|e| e.render(&text))?;
             if queries.is_empty() {
                 return Err("no queries found in input".into());
             }
+            let prefix = if trace { "QUERY trace=1" } else { "QUERY" };
             // The wire is line-framed: multi-line query text must flatten.
             queries
                 .iter()
-                .map(|q| format!("QUERY {}", q.to_string().replace('\n', " ")))
+                .map(|q| format!("{prefix} {}", q.to_string().replace('\n', " ")))
                 .collect()
         }
     };
@@ -1332,6 +1369,34 @@ fn cmd_bench_client(args: &Args) -> Result<(), String> {
     }
     if report.requests == 0 && report.io_errors > 0 {
         return Err(format!("could not reach {addr}: all requests failed"));
+    }
+    if trace {
+        // Text mode prints the tree to stdout alongside the report; JSON
+        // mode keeps stdout machine-readable, so the tree goes to stderr.
+        let sink: &mut dyn std::io::Write = match format {
+            OutputFormat::Text => &mut std::io::stdout(),
+            OutputFormat::Json => &mut std::io::stderr(),
+        };
+        match hin_service::fetch_latest_trace(addr) {
+            Ok(Some(t)) => {
+                let rendered = hin_telemetry::trace::render_tree(&t.spans);
+                let body = if rendered.is_empty() {
+                    "(no spans recorded)\n"
+                } else {
+                    rendered.as_str()
+                };
+                let _ = writeln!(
+                    sink,
+                    "trace id={} total_us={} spans_dropped={} request={:?}",
+                    t.id, t.total_us, t.spans_dropped, t.request
+                );
+                let _ = write!(sink, "{body}");
+            }
+            Ok(None) => {
+                let _ = writeln!(sink, "trace: the server's slow-query ring is empty");
+            }
+            Err(e) => return Err(format!("fetching trace from {addr}: {e}")),
+        }
     }
     Ok(())
 }

@@ -482,6 +482,74 @@ pub fn json_u64_field(line: &str, field: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
+/// One slow-query ring entry fetched over the wire and decoded for
+/// client-side rendering (`bench-client --trace`).
+#[derive(Debug, Clone)]
+pub struct FetchedTrace {
+    /// Entry id (`TRACE <id>`).
+    pub id: u64,
+    /// The request line the server logged.
+    pub request: String,
+    /// Admission → response written, µs.
+    pub total_us: u64,
+    /// Spans dropped because a trace buffer was full (on a coordinator
+    /// entry: summed over the backend payloads).
+    pub spans_dropped: u64,
+    /// The decoded span tree, renderable with
+    /// [`hin_telemetry::trace::render_tree`].
+    pub spans: Vec<hin_telemetry::TraceNode>,
+}
+
+/// Fetch the most recent slow-query ring entry from `addr`: `TRACE` lists
+/// the ring (oldest first), the newest entry is fetched with `TRACE <id>`,
+/// and its span tree is decoded. `Ok(None)` when the ring is empty.
+pub fn fetch_latest_trace(addr: impl ToSocketAddrs) -> std::io::Result<Option<FetchedTrace>> {
+    let bad = |msg: String| std::io::Error::new(ErrorKind::InvalidData, msg);
+    let mut client = Client::connect(addr)?;
+    let listing = client.send_line("TRACE")?;
+    let value = json::parse_value(&listing).map_err(&bad)?;
+    let entries = value
+        .get("traces")
+        .and_then(|t| t.get("entries"))
+        .and_then(json::Value::as_array)
+        .ok_or_else(|| bad(format!("unexpected TRACE listing: {listing}")))?;
+    let Some(id) = entries
+        .last()
+        .and_then(|e| e.get("id"))
+        .and_then(json::Value::as_u64)
+    else {
+        return Ok(None);
+    };
+    let line = client.send_line(&format!("TRACE {id}"))?;
+    let value = json::parse_value(&line).map_err(&bad)?;
+    let body = value
+        .get("trace")
+        .ok_or_else(|| bad(format!("unexpected TRACE {id} response: {line}")))?;
+    let field = |key: &str| {
+        body.get(key)
+            .and_then(json::Value::as_u64)
+            .ok_or_else(|| bad(format!("trace entry missing {key:?}")))
+    };
+    let request = body
+        .get("request")
+        .and_then(json::Value::as_str)
+        .ok_or_else(|| bad("trace entry missing \"request\"".to_string()))?
+        .to_string();
+    let mut spans = Vec::new();
+    if let Some(roots) = body.get("spans").and_then(json::Value::as_array) {
+        for root in roots {
+            spans.push(crate::protocol::trace_node_from_value(root).map_err(&bad)?);
+        }
+    }
+    Ok(Some(FetchedTrace {
+        id,
+        request,
+        total_us: field("total_us")?,
+        spans_dropped: field("spans_dropped")?,
+        spans,
+    }))
+}
+
 /// Closed-loop load-generation parameters.
 #[derive(Debug, Clone)]
 pub struct LoadSpec {

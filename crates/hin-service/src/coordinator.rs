@@ -39,7 +39,7 @@
 //! `STATS`/`METRICS` aggregate backend snapshots; `FAULTS <index> [spec]`
 //! installs a fault plan on one chosen backend for chaos drills.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -53,12 +53,12 @@ use crate::client::{json_u64_field, response_kind, CancelHandle, Client};
 use crate::fault::{self, DedupCache};
 use crate::json::{self, parse_value, Value};
 use crate::protocol::{
-    BusyBody, DegradedInfo, ErrorCode, ExecMode, RankedRow, Request, RequestOptions, Response,
-    ResultBody,
+    trace_node_from_value, BusyBody, DegradedInfo, ErrorCode, ExecMode, RankedRow, Request,
+    RequestOptions, Response, ResultBody, ShardTrace, TraceBody, TraceListEntry,
 };
-use crate::server::{bind_listener_retry, LineEvent, LineReader};
+use crate::server::{bind_listener_retry, LineEvent, LineReader, SLOW_LOG_CAP_DEFAULT};
 use hin_graph::VertexId;
-use hin_telemetry::Sample;
+use hin_telemetry::{Sample, TraceNode};
 use netout::{top_k, Budget, ScoreOrder};
 
 const FAULTS_USAGE: &str = "coordinator FAULTS usage: FAULTS <backend-index> [OFF|<spec>] — \
@@ -111,6 +111,13 @@ pub struct CoordinatorConfig {
     /// Floor for the jittered `retry_after_ms` a busy storm answers with;
     /// the largest backend-provided hint wins when bigger.
     pub busy_retry_after: Duration,
+    /// Log scatter-gather queries slower than this to the coordinator's
+    /// own slow-query ring (served by `TRACE` / `TRACE <id>` at the front
+    /// door). `None` disables threshold logging; a request carrying
+    /// `trace=1` is force-logged either way.
+    pub slow_query: Option<Duration>,
+    /// Capacity of the coordinator's slow-query ring; `0` disables it.
+    pub slow_log_cap: usize,
 }
 
 impl Default for CoordinatorConfig {
@@ -134,6 +141,8 @@ impl Default for CoordinatorConfig {
             breaker_latency: Duration::from_secs(2),
             busy_storm_threshold: 3,
             busy_retry_after: Duration::from_millis(100),
+            slow_query: None,
+            slow_log_cap: SLOW_LOG_CAP_DEFAULT,
         }
     }
 }
@@ -357,9 +366,60 @@ struct CoordShared {
     id_seed: u64,
     epoch: Instant,
     counters: Counters,
+    /// Ring of the last `config.slow_log_cap` assembled cross-process
+    /// traces (slow or `trace=1` scatter-gather queries), oldest first.
+    slow_log: Mutex<VecDeque<TraceBody>>,
+    /// Ids for ring entries whose request carried no `id=`.
+    slow_seq: AtomicU64,
 }
 
 impl CoordShared {
+    /// Answer `TRACE` (list the coordinator's slow-query ring) or
+    /// `TRACE <id>` (one assembled cross-process trace) — the same shape a
+    /// backend serves, so front-door tooling works unchanged.
+    fn trace_response(&self, id: Option<u64>) -> Response {
+        let log = self.slow_log.lock();
+        match id {
+            None => Response::Traces {
+                entries: log
+                    .iter()
+                    .map(|e| TraceListEntry {
+                        id: e.id,
+                        total_us: e.total_us,
+                        request: e.request.clone(),
+                    })
+                    .collect(),
+            },
+            Some(id) => match log.iter().rev().find(|e| e.id == id) {
+                Some(e) => Response::Trace(e.clone()),
+                None => Response::err(
+                    ErrorCode::Protocol,
+                    format!("no slow-query entry with id {id} (TRACE lists available entries)"),
+                ),
+            },
+        }
+    }
+
+    /// Append one assembled trace to the ring, evicting oldest-first past
+    /// capacity, and emit a structured log line.
+    fn log_trace(&self, entry: TraceBody) {
+        hin_telemetry::logfmt!(
+            "coord_slow_query",
+            id = entry.id,
+            total_us = entry.total_us,
+            degraded = entry.degraded,
+            spans_dropped = entry.spans_dropped
+        );
+        let cap = self.config.slow_log_cap;
+        if cap == 0 {
+            return;
+        }
+        let mut log = self.slow_log.lock();
+        while log.len() >= cap {
+            log.pop_front();
+        }
+        log.push_back(entry);
+    }
     fn snapshot(&self) -> CoordSnapshot {
         CoordSnapshot {
             uptime_ms: self.epoch.elapsed().as_millis() as u64,
@@ -448,6 +508,8 @@ impl Coordinator {
             id_seed: fault::mix(config.seed, boot_nonce, u64::from(std::process::id())),
             epoch: Instant::now(),
             counters: Counters::default(),
+            slow_log: Mutex::new(VecDeque::new()),
+            slow_seq: AtomicU64::new(1),
             config,
         });
         Ok(Coordinator {
@@ -585,6 +647,25 @@ fn handle_client(shared: &Arc<CoordShared>, stream: TcpStream) {
                     }
                     continue;
                 }
+                if tokens
+                    .first()
+                    .is_some_and(|t| t.eq_ignore_ascii_case("TRACE"))
+                    && tokens
+                        .get(1)
+                        .is_some_and(|t| t.eq_ignore_ascii_case("BACKEND"))
+                {
+                    // TRACE BACKEND <i> [id] reads one backend's ring,
+                    // mirroring FAULTS <i>; it is intercepted before
+                    // Request::parse because the backend grammar has no
+                    // BACKEND token. A plain TRACE falls through to
+                    // dispatch and reads the coordinator's own ring.
+                    let response = route_trace_backend(shared, &tokens);
+                    note_response(&shared.counters, &response);
+                    if !reader.write_line(&response) {
+                        return;
+                    }
+                    continue;
+                }
                 let request = match Request::parse(&line) {
                     Ok(r) => r,
                     Err(e) => {
@@ -675,11 +756,7 @@ fn dispatch(shared: &Arc<CoordShared>, request: &Request) -> String {
         Request::Metrics { json: false } | Request::Shutdown => {
             Response::err(ErrorCode::Internal, "request handled before dispatch").to_json_line()
         }
-        Request::Trace { .. } => Response::err(
-            ErrorCode::Protocol,
-            "TRACE is per-backend state; connect to a backend directly",
-        )
-        .to_json_line(),
+        Request::Trace { id } => shared.trace_response(*id).to_json_line(),
         Request::Faults(_) => Response::err(ErrorCode::Protocol, FAULTS_USAGE).to_json_line(),
         Request::Query { options, .. } if options.shard.is_some() => Response::err(
             ErrorCode::Protocol,
@@ -697,6 +774,12 @@ fn dispatch(shared: &Arc<CoordShared>, request: &Request) -> String {
 
 fn scatter_gather_query(shared: &CoordShared, options: &RequestOptions, text: &str) -> String {
     let exec_started = Instant::now();
+    // Assemble a cross-process trace when the client asked (`trace=1`) or
+    // the coordinator's own slow-query ring is armed. Backends then attach
+    // their span trees to the shard responses; the coordinator strips the
+    // payload before merging rows, so the client-visible `result` stays
+    // byte-identical to an untraced run.
+    let tracing = options.trace || shared.config.slow_query.is_some();
     let n = shared.backends.len();
     let config = &shared.config;
     let deadline_total = options
@@ -725,6 +808,7 @@ fn scatter_gather_query(shared: &CoordShared, options: &RequestOptions, text: &s
             // backend's dedup cache.
             sub.id = Some(fault::mix(shared.id_seed, seq, i as u64));
             sub.shard = Some((i, n));
+            sub.trace = tracing;
             Request::Query {
                 options: sub,
                 text: text.to_string(),
@@ -732,21 +816,39 @@ fn scatter_gather_query(shared: &CoordShared, options: &RequestOptions, text: &s
             .to_line()
         })
         .collect();
-    let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
+    let fetched: Vec<(ShardOutcome, Option<TracedShard>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = lines
             .iter()
             .enumerate()
-            .map(|(i, line)| scope.spawn(move || fetch_shard(shared, line, i, n, shard_deadline)))
+            .map(|(i, line)| {
+                scope.spawn(move || {
+                    fetch_shard(shared, line, i, n, shard_deadline, exec_started, tracing)
+                })
+            })
             .collect();
         handles
             .into_iter()
             .map(|h| {
                 h.join().unwrap_or_else(|_| {
-                    ShardOutcome::Unavailable("coordinator worker panicked".to_string())
+                    (
+                        ShardOutcome::Unavailable("coordinator worker panicked".to_string()),
+                        None,
+                    )
                 })
             })
             .collect()
     });
+    let scatter_done = Instant::now();
+    let mut outcomes = Vec::with_capacity(fetched.len());
+    let mut shard_nodes = Vec::new();
+    let mut backend_spans_dropped = 0u64;
+    for (outcome, traced) in fetched {
+        outcomes.push(outcome);
+        if let Some(traced) = traced {
+            backend_spans_dropped += traced.spans_dropped;
+            shard_nodes.push(traced.node);
+        }
+    }
     // A busy storm on any shard means the fleet is load-shedding, not
     // broken: answer `busy` with a jittered retry hint instead of a
     // degraded ranking, so clients back off de-synchronized. A definitive
@@ -761,7 +863,7 @@ fn scatter_gather_query(shared: &CoordShared, options: &RequestOptions, text: &s
             _ => None,
         })
         .max();
-    if let Some(hint) = storm_hint {
+    let response = if let Some(hint) = storm_hint {
         Counters::inc(&shared.counters.busy_storms);
         let base = hint.max(config.busy_retry_after.as_millis() as u64).max(1);
         // Deterministic per-request jitter in [base/2, base]: full-jitter
@@ -770,16 +872,134 @@ fn scatter_gather_query(shared: &CoordShared, options: &RequestOptions, text: &s
         let mut rng = fault::XorShift64::new(fault::mix(shared.id_seed, seq, 0xB0B));
         let retry_after_ms = base / 2 + rng.next_below(base - base / 2 + 1);
         hin_telemetry::logfmt!("busy_storm", retry_after_ms = retry_after_ms);
-        return Response::Busy(BusyBody {
+        Response::Busy(BusyBody {
             // The coordinator has no admission queue of its own; zeros
             // mark this as a fleet-level shed.
             queue_depth: 0,
             queue_cap: 0,
             retry_after_ms,
         })
-        .to_json_line();
+        .to_json_line()
+    } else {
+        merge_outcomes(options, &outcomes, exec_started)
+    };
+    if tracing {
+        let total = exec_started.elapsed();
+        let log = options.trace
+            || shared
+                .config
+                .slow_query
+                .is_some_and(|threshold| total >= threshold);
+        if log {
+            let entry = assemble_trace(
+                shared,
+                options,
+                text,
+                &response,
+                AssemblyTimes {
+                    total,
+                    scatter_dur: scatter_done.duration_since(exec_started),
+                    deadline_total,
+                    shard_timeout,
+                },
+                shard_nodes,
+                backend_spans_dropped,
+            );
+            shared.log_trace(entry);
+        }
     }
-    merge_outcomes(options, &outcomes, exec_started)
+    response
+}
+
+/// Phase durations of one scatter-gather execution, for the assembled
+/// trace's carve/scatter/merge spans.
+struct AssemblyTimes {
+    total: Duration,
+    scatter_dur: Duration,
+    deadline_total: Duration,
+    shard_timeout: Duration,
+}
+
+/// Stitch the coordinator's own phases and the collected per-shard nodes
+/// (which carry the backend span trees) into one cross-process trace,
+/// shaped as a backend `TraceBody` so front-door `TRACE` tooling works
+/// unchanged. Fields a coordinator has no equivalent for (`queue_wait_us`,
+/// cache counters) are zeroed: the coordinator admits requests straight
+/// onto connection threads.
+fn assemble_trace(
+    shared: &CoordShared,
+    options: &RequestOptions,
+    text: &str,
+    response: &str,
+    times: AssemblyTimes,
+    shard_nodes: Vec<TraceNode>,
+    backend_spans_dropped: u64,
+) -> TraceBody {
+    let total_us = times.total.as_micros() as u64;
+    let scatter_us = (times.scatter_dur.as_micros() as u64).min(total_us);
+    let carve = TraceNode {
+        name: "carve".to_string(),
+        start_us: 0,
+        dur_us: 0,
+        fields: vec![
+            (
+                "deadline_ms".to_string(),
+                (times.deadline_total.as_millis() as u64).to_string(),
+            ),
+            (
+                "shard_timeout_ms".to_string(),
+                (times.shard_timeout.as_millis() as u64).to_string(),
+            ),
+            (
+                "merge_slack_ms".to_string(),
+                (shared.config.merge_slack.as_millis() as u64).to_string(),
+            ),
+        ],
+        children: Vec::new(),
+    };
+    let scatter = TraceNode {
+        name: "scatter".to_string(),
+        start_us: 0,
+        dur_us: scatter_us,
+        fields: vec![("shards".to_string(), shared.backends.len().to_string())],
+        children: shard_nodes,
+    };
+    let merge = TraceNode {
+        name: "merge".to_string(),
+        start_us: scatter_us,
+        dur_us: total_us.saturating_sub(scatter_us),
+        fields: vec![(
+            "outcome".to_string(),
+            response_kind(response).unwrap_or("?").to_string(),
+        )],
+        children: Vec::new(),
+    };
+    let root = TraceNode {
+        name: "query".to_string(),
+        start_us: 0,
+        dur_us: total_us,
+        fields: Vec::new(),
+        children: vec![carve, scatter, merge],
+    };
+    let id = options
+        .id
+        .unwrap_or_else(|| shared.slow_seq.fetch_add(1, Ordering::Relaxed));
+    TraceBody {
+        id,
+        request: Request::Query {
+            options: options.clone(),
+            text: text.to_string(),
+        }
+        .to_line(),
+        queue_wait_us: 0,
+        exec_us: total_us,
+        total_us,
+        degraded: response.contains("\"degraded\":{"),
+        cache: crate::stats::CacheSnapshot::default(),
+        subpath: None,
+        spans_dropped: backend_spans_dropped,
+        spans: vec![root],
+    }
 }
 
 /// What one shard's fetch resolved to.
@@ -806,6 +1026,31 @@ struct ShardData {
     reference: usize,
     zero_visibility: usize,
     rows: Vec<(u32, String, f64)>,
+    /// The backend's trace payload, present when the sub-request carried
+    /// `trace=1`; taken (never merged) when grafting the assembled tree.
+    trace: Option<ShardTrace>,
+}
+
+/// One shard's contribution to the assembled trace: its span node (with
+/// the winning backend's spans grafted under the winning attempt) plus the
+/// backend's span-buffer drop count.
+struct TracedShard {
+    node: TraceNode,
+    spans_dropped: u64,
+}
+
+/// Trace bookkeeping for one shard attempt, kept regardless of tracing
+/// (a handful of tiny records per request) and rendered only on demand.
+struct AttemptRecord {
+    backend: SocketAddr,
+    /// Why this attempt launched: `first`, `failover`, `hedge`, or
+    /// `fast-fail` (the breaker refused it without dialing).
+    kind: &'static str,
+    /// Microseconds since the request's scatter began.
+    start_us: u64,
+    /// `None` while in flight; filled when the attempt resolves.
+    dur_us: Option<u64>,
+    outcome: String,
 }
 
 fn fetch_shard(
@@ -814,7 +1059,9 @@ fn fetch_shard(
     shard: usize,
     of: usize,
     deadline: Instant,
-) -> ShardOutcome {
+    epoch: Instant,
+    tracing: bool,
+) -> (ShardOutcome, Option<TracedShard>) {
     // Breaker-open backends sort with the unhealthy ones: the breaker
     // fast-fails them anyway, so spend the early attempts elsewhere.
     let up: Vec<bool> = shared
@@ -824,7 +1071,12 @@ fn fetch_shard(
         .collect();
     let order = replica_order(&up, shard, shared.config.replicas, shared.config.attempts);
     if order.is_empty() {
-        return ShardOutcome::Unavailable("no backends configured".to_string());
+        let outcome = ShardOutcome::Unavailable("no backends configured".to_string());
+        let traced = tracing.then(|| TracedShard {
+            node: shard_trace_node(shard, of, &outcome, Vec::new()),
+            spans_dropped: 0,
+        });
+        return (outcome, traced);
     }
     let (tx, rx) = mpsc::channel();
     let fetch = ShardFetch {
@@ -833,6 +1085,7 @@ fn fetch_shard(
         shard,
         of,
         deadline,
+        epoch,
         order,
         next: 0,
         pending: 0,
@@ -842,8 +1095,100 @@ fn fetch_shard(
         last_reason: String::new(),
         busy_seen: 0,
         retry_hint_ms: 0,
+        attempts: Vec::new(),
+        winner: None,
     };
-    fetch.run(&rx)
+    let (mut outcome, mut attempts, winner) = fetch.run(&rx);
+    if !tracing {
+        return (outcome, None);
+    }
+    // Graft the winning backend's span tree under its attempt node; the
+    // payload is *taken* off the shard data so it can never leak into the
+    // merged client response.
+    let mut spans_dropped = 0;
+    let mut attempt_nodes = Vec::with_capacity(attempts.len());
+    for (i, record) in attempts.drain(..).enumerate() {
+        let mut node = attempt_trace_node(record);
+        if winner == Some(i) {
+            if let ShardOutcome::Data(data) = &mut outcome {
+                if let Some(payload) = data.trace.take() {
+                    spans_dropped += payload.spans_dropped;
+                    node.fields.push((
+                        "backend_queue_wait_us".to_string(),
+                        payload.queue_wait_us.to_string(),
+                    ));
+                    node.fields.push((
+                        "backend_spans_dropped".to_string(),
+                        payload.spans_dropped.to_string(),
+                    ));
+                    // Backend span timestamps are relative to the
+                    // backend's own execution start, not the scatter
+                    // epoch (DESIGN.md §17).
+                    node.children = payload.spans;
+                }
+            }
+        }
+        attempt_nodes.push(node);
+    }
+    let traced = TracedShard {
+        node: shard_trace_node(shard, of, &outcome, attempt_nodes),
+        spans_dropped,
+    };
+    (outcome, Some(traced))
+}
+
+/// Render one [`AttemptRecord`] as a span node. An attempt still
+/// unresolved when the shard settled lost a hedge race (or outlived the
+/// deadline) and was cancelled by disconnect — annotated, not silent.
+fn attempt_trace_node(record: AttemptRecord) -> TraceNode {
+    let (dur_us, outcome) = match record.dur_us {
+        Some(d) => (d, record.outcome),
+        None => (0, "cancelled (lost the race)".to_string()),
+    };
+    TraceNode {
+        name: "attempt".to_string(),
+        start_us: record.start_us,
+        dur_us,
+        fields: vec![
+            ("backend".to_string(), record.backend.to_string()),
+            ("kind".to_string(), record.kind.to_string()),
+            ("outcome".to_string(), outcome),
+        ],
+        children: Vec::new(),
+    }
+}
+
+/// The per-shard span node: attempt children, extents spanning them.
+fn shard_trace_node(
+    shard: usize,
+    of: usize,
+    outcome: &ShardOutcome,
+    children: Vec<TraceNode>,
+) -> TraceNode {
+    let outcome_text = match outcome {
+        ShardOutcome::Data(_) => "ok".to_string(),
+        ShardOutcome::Definitive(_) => "definitive".to_string(),
+        ShardOutcome::Unavailable(reason) => format!("unavailable: {reason}"),
+        ShardOutcome::Overloaded { retry_after_ms } => {
+            format!("overloaded (retry_after_ms={retry_after_ms})")
+        }
+    };
+    let start_us = children.iter().map(|c| c.start_us).min().unwrap_or(0);
+    let end_us = children
+        .iter()
+        .map(|c| c.start_us + c.dur_us)
+        .max()
+        .unwrap_or(start_us);
+    TraceNode {
+        name: "shard".to_string(),
+        start_us,
+        dur_us: end_us - start_us,
+        fields: vec![
+            ("shard".to_string(), format!("{shard}/{of}")),
+            ("outcome".to_string(), outcome_text),
+        ],
+        children,
+    }
 }
 
 /// The replica attempt order for one shard: the `replicas` backends that own
@@ -871,6 +1216,8 @@ struct ShardFetch<'a> {
     shard: usize,
     of: usize,
     deadline: Instant,
+    /// The scatter's start instant; attempt timestamps are relative to it.
+    epoch: Instant,
     order: Vec<usize>,
     next: usize,
     pending: usize,
@@ -878,12 +1225,17 @@ struct ShardFetch<'a> {
     /// the shard's first launch from re-routes when counting metrics.
     launched: usize,
     handles: Vec<CancelHandle>,
-    tx: mpsc::Sender<(usize, Duration, io::Result<String>)>,
+    tx: mpsc::Sender<(usize, usize, Duration, io::Result<String>)>,
     last_reason: String,
     /// `busy`/`expired` answers seen across this shard's attempts.
     busy_seen: u32,
     /// Largest backend-provided `retry_after_ms` hint seen so far.
     retry_hint_ms: u64,
+    /// One record per attempt (breaker fast-fails included), in launch
+    /// order; channel messages carry the index into this vector.
+    attempts: Vec<AttemptRecord>,
+    /// Index of the attempt whose response settled the shard.
+    winner: Option<usize>,
 }
 
 impl ShardFetch<'_> {
@@ -898,25 +1250,35 @@ impl ShardFetch<'_> {
             if remaining.is_zero() {
                 return false;
             }
+            let start_us = self.epoch.elapsed().as_micros() as u64;
             // An open breaker fast-fails the attempt: no connect, no read
             // timeout burned — straight to the next replica. (This call
             // also half-opens an expired cooldown, admitting the probe.)
             if !backend.breaker_allows() {
                 Counters::inc(&self.shared.counters.breaker_fastfails);
                 self.last_reason = format!("{}: breaker open", backend.addr);
+                self.attempts.push(AttemptRecord {
+                    backend: backend.addr,
+                    kind: "fast-fail",
+                    start_us,
+                    dur_us: Some(0),
+                    outcome: "breaker open".to_string(),
+                });
                 continue;
             }
             // Classify the attempt by its cause: a launch while another
             // attempt is still pending races it (hedge); a launch with
             // nothing in flight re-routes after a failure (failover). The
             // shard's very first attempt is neither.
-            if self.launched > 0 {
-                if self.pending > 0 {
-                    Counters::inc(&self.shared.counters.hedges);
-                } else {
-                    Counters::inc(&self.shared.counters.failovers);
-                }
-            }
+            let kind = if self.launched == 0 {
+                "first"
+            } else if self.pending > 0 {
+                Counters::inc(&self.shared.counters.hedges);
+                "hedge"
+            } else {
+                Counters::inc(&self.shared.counters.failovers);
+                "failover"
+            };
             self.launched += 1;
             let connect = remaining.min(self.shared.config.connect_timeout);
             let mut client = match Client::connect_timeout(&backend.addr, connect) {
@@ -925,6 +1287,13 @@ impl ShardFetch<'_> {
                     backend.report_failure(self.shared.config.down_after);
                     backend.record_outcome(false, Duration::ZERO, &self.shared.config);
                     self.last_reason = format!("{}: {e}", backend.addr);
+                    self.attempts.push(AttemptRecord {
+                        backend: backend.addr,
+                        kind,
+                        start_us,
+                        dur_us: Some(self.epoch.elapsed().as_micros() as u64 - start_us),
+                        outcome: format!("failed: {e}"),
+                    });
                     continue;
                 }
             };
@@ -932,11 +1301,26 @@ impl ShardFetch<'_> {
                 backend.report_failure(self.shared.config.down_after);
                 backend.record_outcome(false, Duration::ZERO, &self.shared.config);
                 self.last_reason = format!("{}: {e}", backend.addr);
+                self.attempts.push(AttemptRecord {
+                    backend: backend.addr,
+                    kind,
+                    start_us,
+                    dur_us: Some(self.epoch.elapsed().as_micros() as u64 - start_us),
+                    outcome: format!("failed: {e}"),
+                });
                 continue;
             }
             if let Ok(handle) = client.cancel_handle() {
                 self.handles.push(handle);
             }
+            let attempt = self.attempts.len();
+            self.attempts.push(AttemptRecord {
+                backend: backend.addr,
+                kind,
+                start_us,
+                dur_us: None,
+                outcome: String::new(),
+            });
             let tx = self.tx.clone();
             let line = self.line.to_string();
             let spawned = std::thread::Builder::new()
@@ -944,7 +1328,7 @@ impl ShardFetch<'_> {
                 .spawn(move || {
                     let started = Instant::now();
                     let result = client.send_line(&line);
-                    let _ = tx.send((backend_index, started.elapsed(), result));
+                    let _ = tx.send((attempt, backend_index, started.elapsed(), result));
                 });
             match spawned {
                 Ok(_) => {
@@ -953,6 +1337,10 @@ impl ShardFetch<'_> {
                 }
                 Err(e) => {
                     self.last_reason = format!("attempt thread spawn failed: {e}");
+                    if let Some(record) = self.attempts.last_mut() {
+                        record.dur_us = Some(0);
+                        record.outcome = format!("failed: {e}");
+                    }
                     continue;
                 }
             }
@@ -977,7 +1365,26 @@ impl ShardFetch<'_> {
         }
     }
 
-    fn run(mut self, rx: &mpsc::Receiver<(usize, Duration, io::Result<String>)>) -> ShardOutcome {
+    /// Mark one launched attempt resolved, for the assembled trace.
+    fn resolve(&mut self, attempt: usize, latency: Duration, outcome: String) {
+        if let Some(record) = self.attempts.get_mut(attempt) {
+            record.dur_us = Some(latency.as_micros() as u64);
+            record.outcome = outcome;
+        }
+    }
+
+    fn run(
+        mut self,
+        rx: &mpsc::Receiver<(usize, usize, Duration, io::Result<String>)>,
+    ) -> (ShardOutcome, Vec<AttemptRecord>, Option<usize>) {
+        let outcome = self.run_inner(rx);
+        (outcome, self.attempts, self.winner)
+    }
+
+    fn run_inner(
+        &mut self,
+        rx: &mpsc::Receiver<(usize, usize, Duration, io::Result<String>)>,
+    ) -> ShardOutcome {
         loop {
             while self.pending == 0 {
                 if !self.launch_next() {
@@ -998,20 +1405,31 @@ impl ShardFetch<'_> {
                 remaining
             };
             match rx.recv_timeout(wait) {
-                Ok((backend_index, latency, Ok(response))) => {
+                Ok((attempt, backend_index, latency, Ok(response))) => {
                     self.pending -= 1;
                     let backend = &self.shared.backends[backend_index];
                     match response_kind(&response) {
                         Some("shard") => {
                             backend.report_success();
                             backend.record_outcome(true, latency, &self.shared.config);
+                            self.winner = Some(attempt);
                             self.cancel_all();
                             return match parse_shard_body(&response, self.shard, self.of) {
-                                Ok(data) => ShardOutcome::Data(data),
-                                Err(e) => ShardOutcome::Unavailable(format!(
-                                    "backend {} answered with a malformed shard body: {e}",
-                                    backend.addr
-                                )),
+                                Ok(data) => {
+                                    self.resolve(attempt, latency, "ok".to_string());
+                                    ShardOutcome::Data(data)
+                                }
+                                Err(e) => {
+                                    self.resolve(
+                                        attempt,
+                                        latency,
+                                        "failed: malformed shard body".to_string(),
+                                    );
+                                    ShardOutcome::Unavailable(format!(
+                                        "backend {} answered with a malformed shard body: {e}",
+                                        backend.addr
+                                    ))
+                                }
                             };
                         }
                         _ if is_retryable(&response) => {
@@ -1023,6 +1441,7 @@ impl ShardFetch<'_> {
                             backend.record_outcome(shedding, latency, &self.shared.config);
                             self.last_reason =
                                 format!("{}: {}", backend.addr, summarize(&response));
+                            self.resolve(attempt, latency, summarize(&response));
                             if shedding {
                                 self.busy_seen += 1;
                                 if let Some(hint) = json_u64_field(&response, "retry_after_ms") {
@@ -1040,17 +1459,20 @@ impl ShardFetch<'_> {
                         _ => {
                             backend.report_success();
                             backend.record_outcome(true, latency, &self.shared.config);
+                            self.winner = Some(attempt);
+                            self.resolve(attempt, latency, "definitive answer".to_string());
                             self.cancel_all();
                             return ShardOutcome::Definitive(response);
                         }
                     }
                 }
-                Ok((backend_index, latency, Err(e))) => {
+                Ok((attempt, backend_index, latency, Err(e))) => {
                     self.pending -= 1;
                     let backend = &self.shared.backends[backend_index];
                     backend.report_failure(self.shared.config.down_after);
                     backend.record_outcome(false, latency, &self.shared.config);
                     self.last_reason = format!("{}: {e}", backend.addr);
+                    self.resolve(attempt, latency, format!("failed: {e}"));
                 }
                 Err(mpsc::RecvTimeoutError::Timeout) => {
                     if self.next < self.order.len() && Instant::now() < self.deadline {
@@ -1131,6 +1553,27 @@ fn parse_shard_body(line: &str, shard: usize, of: usize) -> Result<ShardData, St
         reference: field_usize("reference")?,
         zero_visibility: field_usize("zero_visibility")?,
         rows,
+        // Trace payloads are observability, not truth: a malformed one is
+        // dropped rather than failing the shard, so tracing can never turn
+        // a mergeable answer into an unavailable one.
+        trace: body.get("trace").and_then(parse_shard_trace),
+    })
+}
+
+/// Decode the optional `trace` payload off a `shard` body; `None` on any
+/// structural mismatch (see the leniency note at the call site).
+fn parse_shard_trace(t: &Value) -> Option<ShardTrace> {
+    let queue_wait_us = t.get("queue_wait_us").and_then(Value::as_u64)?;
+    let spans_dropped = t.get("spans_dropped").and_then(Value::as_u64)?;
+    let spans_value = t.get("spans").and_then(Value::as_array)?;
+    let mut spans = Vec::with_capacity(spans_value.len());
+    for span in spans_value {
+        spans.push(trace_node_from_value(span).ok()?);
+    }
+    Some(ShardTrace {
+        queue_wait_us,
+        spans_dropped,
+        spans,
     })
 }
 
@@ -1407,6 +1850,56 @@ fn route_faults(shared: &CoordShared, tokens: &[&str]) -> String {
     };
     // Deliberately targets down backends too: installing or clearing a
     // fault plan is explicit operator intent.
+    match fetch_line(backend.addr, &forward, &shared.config) {
+        Ok(response) => {
+            backend.report_success();
+            response
+        }
+        Err(e) => {
+            backend.report_failure(shared.config.down_after);
+            Response::err(
+                ErrorCode::Engine,
+                format!("backend {index} unreachable: {e}"),
+            )
+            .to_json_line()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TRACE BACKEND routing
+// ---------------------------------------------------------------------------
+
+const TRACE_BACKEND_USAGE: &str = "coordinator TRACE BACKEND usage: TRACE BACKEND <backend-index> \
+                                   [id] — reads one backend's slow-query ring (a plain TRACE reads \
+                                   the coordinator's own ring)";
+
+fn route_trace_backend(shared: &CoordShared, tokens: &[&str]) -> String {
+    let Some(raw_index) = tokens.get(2) else {
+        return Response::err(ErrorCode::Protocol, TRACE_BACKEND_USAGE).to_json_line();
+    };
+    let Ok(index) = raw_index.parse::<usize>() else {
+        return Response::err(ErrorCode::Protocol, TRACE_BACKEND_USAGE).to_json_line();
+    };
+    if tokens.len() > 4 {
+        return Response::err(ErrorCode::Protocol, TRACE_BACKEND_USAGE).to_json_line();
+    }
+    let Some(backend) = shared.backends.get(index) else {
+        return Response::err(
+            ErrorCode::Protocol,
+            format!(
+                "backend index {index} out of range (have {})",
+                shared.backends.len()
+            ),
+        )
+        .to_json_line();
+    };
+    // The entry-id token is relayed untouched: the backend's own grammar
+    // rejects a malformed id with the canonical error.
+    let forward = match tokens.get(3) {
+        Some(id) => format!("TRACE {id}"),
+        None => "TRACE".to_string(),
+    };
     match fetch_line(backend.addr, &forward, &shared.config) {
         Ok(response) => {
             backend.report_success();
@@ -1965,6 +2458,81 @@ mod tests {
         let snapshot = hc.join().expect("coordinator");
         assert!(snapshot.completed >= 4, "{snapshot:?}");
         assert!(snapshot.deduped >= 1, "{snapshot:?}");
+        send_lines(b0, &["SHUTDOWN"]);
+        send_lines(b1, &["SHUTDOWN"]);
+        h0.join().expect("backend 0");
+        h1.join().expect("backend 1");
+    }
+
+    #[test]
+    fn trace_assembles_cross_process_spans_and_routes_backend_rings() {
+        let (b0, h0) = spawn_backend();
+        let (b1, h1) = spawn_backend();
+        let (coord, hc) = spawn_coordinator(vec![b0, b1], test_config());
+
+        // Tracing must not perturb the merged answer: byte-identical to
+        // the untraced run modulo the timing field.
+        let plain = format!("QUERY {QTEXT}");
+        let traced = format!("QUERY trace=1 {QTEXT}");
+        let responses = send_lines(coord, &[&plain, &traced]);
+        assert!(responses[1].starts_with(r#"{"result""#), "{}", responses[1]);
+        assert!(
+            !responses[1].contains("\"trace\""),
+            "client-visible results must not carry trace payloads: {}",
+            responses[1]
+        );
+        assert_eq!(strip_exec_us(&responses[0]), strip_exec_us(&responses[1]));
+
+        // trace=1 force-logged the query into the coordinator's own ring
+        // (slow_query is unset) — the assembled tree must hold the
+        // coordinator's scatter/merge spans, per-shard attempt spans, and
+        // both backends' engine spans grafted under the winners.
+        let listing = send_lines(coord, &["TRACE"]);
+        assert!(listing[0].starts_with(r#"{"traces""#), "{}", listing[0]);
+        let id = json_u64_field(&listing[0], "id").expect("entry id");
+        let body = send_lines(coord, &[&format!("TRACE {id}")]);
+        for span in [
+            "\"name\":\"carve\"",
+            "\"name\":\"scatter\"",
+            "\"name\":\"merge\"",
+        ] {
+            assert!(body[0].contains(span), "missing {span}: {}", body[0]);
+        }
+        assert_eq!(
+            body[0].matches("\"name\":\"attempt\"").count(),
+            2,
+            "one first attempt per shard: {}",
+            body[0]
+        );
+        assert_eq!(
+            body[0].matches("\"name\":\"set_retrieval\"").count(),
+            2,
+            "each backend's engine spans must be grafted: {}",
+            body[0]
+        );
+        assert!(
+            body[0].contains("\"shard\",\"0/2\"") && body[0].contains("\"shard\",\"1/2\""),
+            "{}",
+            body[0]
+        );
+
+        // TRACE BACKEND i routes to one backend's ring (the traced shard
+        // sub-requests force-logged there too); bad forms answer
+        // structured errors.
+        let routed = send_lines(
+            coord,
+            &["TRACE BACKEND 0", "TRACE BACKEND 9", "TRACE BACKEND x"],
+        );
+        assert!(
+            routed[0].starts_with(r#"{"traces""#) && routed[0].contains("shard=0/2"),
+            "{}",
+            routed[0]
+        );
+        assert!(routed[1].contains("out of range"), "{}", routed[1]);
+        assert!(routed[2].contains("usage"), "{}", routed[2]);
+
+        send_lines(coord, &["SHUTDOWN"]);
+        hc.join().expect("coordinator");
         send_lines(b0, &["SHUTDOWN"]);
         send_lines(b1, &["SHUTDOWN"]);
         h0.join().expect("backend 0");

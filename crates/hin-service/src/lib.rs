@@ -49,8 +49,14 @@
 //!   back `STATS`;
 //! * `serve --slow-query-ms` installs the `hin_telemetry` span tracer
 //!   around query execution; completed slow queries land in a bounded
-//!   server-side ring with their full phase tree, query text, and cache
-//!   state, listed and fetched via the `TRACE` verb;
+//!   server-side ring (`--slow-log-cap` entries) with their full phase
+//!   tree, query text, and cache state, listed and fetched via the `TRACE`
+//!   verb;
+//! * distributed tracing (DESIGN.md §17) — a `trace=1` request option
+//!   makes backends attach their span tree to `shard` responses and the
+//!   coordinator stitch them under its own scatter/attempt/merge spans
+//!   into one cross-process trace, served from the coordinator's own
+//!   slow-query ring (`TRACE`, `TRACE <id>`, `TRACE BACKEND <i>`);
 //! * worker lifecycle and fault events emit structured logfmt lines
 //!   (`hin_telemetry::logfmt!`) on stderr.
 //!
@@ -79,13 +85,19 @@ pub mod server;
 pub mod stats;
 pub mod supervisor;
 
-pub use client::{CancelHandle, Client, LoadReport, LoadSpec, RetryClient, RetryPolicy};
+pub use client::{
+    fetch_latest_trace, CancelHandle, Client, FetchedTrace, LoadReport, LoadSpec, RetryClient,
+    RetryPolicy,
+};
 pub use coordinator::{BackendStatus, CoordSnapshot, Coordinator, CoordinatorConfig};
 pub use fault::{DedupCache, FaultCounts, FaultKind, FaultPlan, FaultState, XorShift64};
 pub use protocol::{
-    BusyBody, ExecMode, ExpiredBody, FaultCommand, FaultsBody, Request, RequestOptions, Response,
-    TraceBody, TraceListEntry, DEFAULT_PRIORITY,
+    trace_node_from_value, BusyBody, ExecMode, ExpiredBody, FaultCommand, FaultsBody, Request,
+    RequestOptions, Response, ShardTrace, TraceBody, TraceListEntry, DEFAULT_PRIORITY,
 };
-pub use server::{bind_listener_retry, write_addr_file, OverloadConfig, Server, ServerConfig};
+pub use server::{
+    bind_listener_retry, write_addr_file, OverloadConfig, Server, ServerConfig,
+    SLOW_LOG_CAP_DEFAULT,
+};
 pub use stats::{ServerStats, StatsSnapshot, SubpathSnapshot};
 pub use supervisor::{SupervisorConfig, WorkerSlot};

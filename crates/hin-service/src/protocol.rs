@@ -80,6 +80,13 @@ pub struct RequestOptions {
     /// [`DEFAULT_PRIORITY`]). Under brownout the server sheds
     /// lower-priority requests first; validated `<= 9` at parse time.
     pub priority: Option<u8>,
+    /// `trace=1` — span-trace this request even when the server's
+    /// slow-query threshold would not. On a shard sub-request the backend
+    /// attaches its serialized span tree to the `shard` response (the
+    /// coordinator strips it before merging); on a direct query the entry
+    /// is force-logged into the slow-query ring for `TRACE <id>`. The
+    /// client-visible `result` bytes are never altered.
+    pub trace: bool,
 }
 
 /// The priority assumed when a request carries no `priority=` option.
@@ -241,6 +248,7 @@ impl Request {
                     || options.mode.is_some()
                     || options.shard.is_some()
                     || options.priority.is_some()
+                    || options.trace
                 {
                     return Err(parse_err("SLEEP accepts only the id= option"));
                 }
@@ -323,6 +331,9 @@ impl Request {
             }
             if let Some(p) = options.priority {
                 s.push_str(&format!("priority={p} "));
+            }
+            if options.trace {
+                s.push_str("trace=1 ");
             }
             s
         }
@@ -425,10 +436,21 @@ fn parse_options(rest: &str) -> Result<(RequestOptions, &str), ParseError> {
                 }
                 options.priority = Some(p);
             }
+            "trace" => {
+                options.trace = match value {
+                    "1" | "true" | "on" => true,
+                    "0" | "false" | "off" => false,
+                    other => {
+                        return Err(parse_err(format!(
+                            "trace must be 1/0, true/false, or on/off, got {other:?}"
+                        )))
+                    }
+                };
+            }
             other => {
                 return Err(parse_err(format!(
                     "unknown option {other:?} \
-                     (timeout-ms|max-candidates|max-nnz|mode|id|shard|priority)"
+                     (timeout-ms|max-candidates|max-nnz|mode|id|shard|priority|trace)"
                 )))
             }
         }
@@ -580,6 +602,27 @@ pub struct ShardBody {
     pub rows: Vec<ShardRow>,
     /// Server-side execution time in microseconds (queue wait excluded).
     pub exec_us: u64,
+    /// The backend's span tree for this shard execution, present only when
+    /// the sub-request carried `trace=1`. Skipped (not `null`) when absent
+    /// so untraced shard responses stay byte-identical to older servers.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub trace: Option<ShardTrace>,
+}
+
+/// The trace payload a backend attaches to a `shard` response when the
+/// sub-request carried `trace=1`: the propagated span context of the wire
+/// format (DESIGN.md §17). The coordinator grafts `spans` under its own
+/// per-attempt span and strips the payload before merging rows, so the
+/// client-visible `result` is unaffected.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ShardTrace {
+    /// Admission → worker-pickup on the backend, µs (the one latency the
+    /// coordinator cannot observe from outside).
+    pub queue_wait_us: u64,
+    /// Spans recorded but rejected because the backend's buffer was full.
+    pub spans_dropped: u64,
+    /// The backend's recorded span tree (roots in open order).
+    pub spans: Vec<hin_telemetry::TraceNode>,
 }
 
 impl ShardBody {
@@ -610,8 +653,63 @@ impl ShardBody {
                 })
                 .collect(),
             exec_us: exec.as_micros() as u64,
+            trace: None,
         }
     }
+}
+
+/// Decode a serialized [`hin_telemetry::TraceNode`] back from parsed JSON
+/// (the inverse of its `Serialize` impl). Used by the coordinator to lift
+/// backend span trees out of `shard` responses and by `bench-client
+/// --trace` to render a fetched `TRACE <id>` entry. Structural errors are
+/// reported, never panicked on; unknown fields are ignored so the decoder
+/// tolerates additive evolution.
+pub fn trace_node_from_value(v: &crate::json::Value) -> Result<hin_telemetry::TraceNode, String> {
+    let name = v
+        .get("name")
+        .and_then(|n| n.as_str())
+        .ok_or("span missing name")?
+        .to_string();
+    let start_us = v
+        .get("start_us")
+        .and_then(|n| n.as_u64())
+        .ok_or("span missing start_us")?;
+    let dur_us = v
+        .get("dur_us")
+        .and_then(|n| n.as_u64())
+        .ok_or("span missing dur_us")?;
+    let mut fields = Vec::new();
+    if let Some(pairs) = v.get("fields").and_then(|f| f.as_array()) {
+        for pair in pairs {
+            let kv = pair.as_array().ok_or("span field is not a pair")?;
+            match kv.as_slice() {
+                [k, val] => {
+                    let key = k.as_str().ok_or("span field key is not a string")?;
+                    // Field values serialize as strings or numbers; keep
+                    // the wire text either way.
+                    let text = match val.as_str() {
+                        Some(s) => s.to_string(),
+                        None => crate::json::to_string(val).map_err(|e| e.to_string())?,
+                    };
+                    fields.push((key.to_string(), text));
+                }
+                _ => return Err("span field is not a [key, value] pair".into()),
+            }
+        }
+    }
+    let mut children = Vec::new();
+    if let Some(kids) = v.get("children").and_then(|c| c.as_array()) {
+        for kid in kids {
+            children.push(trace_node_from_value(kid)?);
+        }
+    }
+    Ok(hin_telemetry::TraceNode {
+        name,
+        start_us,
+        dur_us,
+        fields,
+        children,
+    })
 }
 
 /// An `err` response body.
@@ -1014,6 +1112,7 @@ mod tests {
                     id: Some(77),
                     shard: Some((2, 5)),
                     priority: Some(9),
+                    trace: true,
                 },
                 text: "FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author JUDGED BY a.p.v;"
                     .to_string(),
@@ -1039,6 +1138,7 @@ mod tests {
             id: None,
             shard: None,
             priority: None,
+            trace: false,
         };
         let b = opts.budget_over(&default);
         assert_eq!(b.timeout, Some(Duration::from_millis(100)));
@@ -1116,6 +1216,7 @@ mod tests {
                 score: 3.33,
             }],
             exec_us: 12,
+            trace: None,
         });
         let line = r.to_json_line();
         assert!(
@@ -1128,7 +1229,96 @@ mod tests {
             line.contains(r#""rows":[{"v":7,"name":"Emma","score":3.33}]"#),
             "{line}"
         );
+        // An untraced shard response must not even mention the trace field:
+        // older coordinators and the dedup cache see unchanged bytes.
+        assert!(!line.contains("trace"), "{line}");
         assert_eq!(r.kind(), "shard");
+    }
+
+    #[test]
+    fn traced_shard_response_appends_span_payload() {
+        let node = hin_telemetry::TraceNode {
+            name: "query".to_string(),
+            start_us: 2,
+            dur_us: 90,
+            fields: vec![("mode".to_string(), "best-effort".to_string())],
+            children: Vec::new(),
+        };
+        let r = Response::Shard(ShardBody {
+            measure: "NetOut".to_string(),
+            asc: false,
+            top: None,
+            shard: 0,
+            of: 2,
+            candidates: 4,
+            reference: 2,
+            zero_visibility: 0,
+            rows: Vec::new(),
+            exec_us: 7,
+            trace: Some(ShardTrace {
+                queue_wait_us: 11,
+                spans_dropped: 0,
+                spans: vec![node.clone()],
+            }),
+        });
+        let line = r.to_json_line();
+        assert!(
+            line.contains(
+                r#""trace":{"queue_wait_us":11,"spans_dropped":0,"spans":[{"name":"query""#
+            ),
+            "{line}"
+        );
+        // And the payload round-trips through the wire decoder.
+        let value = crate::json::parse_value(&line).unwrap();
+        let spans = value
+            .get("shard")
+            .and_then(|s| s.get("trace"))
+            .and_then(|t| t.get("spans"))
+            .and_then(|s| s.as_array())
+            .unwrap();
+        let decoded = trace_node_from_value(&spans[0]).unwrap();
+        assert_eq!(decoded, node);
+    }
+
+    #[test]
+    fn trace_node_decoder_rejects_malformed_spans() {
+        for bad in [
+            r#"{"start_us":1,"dur_us":2}"#,
+            r#"{"name":"x","dur_us":2}"#,
+            r#"{"name":"x","start_us":1,"dur_us":2,"fields":[["only-key"]]}"#,
+            r#"{"name":"x","start_us":1,"dur_us":2,"children":[{"dur_us":1}]}"#,
+        ] {
+            let v = crate::json::parse_value(bad).unwrap();
+            assert!(trace_node_from_value(&v).is_err(), "{bad} decoded");
+        }
+    }
+
+    #[test]
+    fn trace_option_parses_and_round_trips() {
+        let r = Request::parse("QUERY trace=1 FIND OUTLIERS FROM a.b JUDGED BY a.b;").unwrap();
+        match &r {
+            Request::Query { options, .. } => assert!(options.trace),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(Request::parse(&r.to_line()).unwrap(), r);
+        for (line, want) in [
+            ("QUERY trace=on FIND;", true),
+            ("QUERY trace=true FIND;", true),
+            ("QUERY trace=0 FIND;", false),
+            ("QUERY trace=off FIND;", false),
+        ] {
+            match Request::parse(line).unwrap() {
+                Request::Query { options, .. } => assert_eq!(options.trace, want, "{line}"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        for line in [
+            "QUERY trace=2 FIND;",
+            "QUERY trace=yes FIND;",
+            "SLEEP trace=1 10",
+        ] {
+            assert!(Request::parse(line).is_err(), "line {line:?} parsed");
+        }
     }
 
     #[test]

@@ -92,10 +92,15 @@ pub struct ServerConfig {
     pub hang_timeout: Option<Duration>,
     /// Slow-query threshold: worker-pool queries are span-traced and those
     /// whose admission-to-completion time reaches this land in the
-    /// slow-query log (inspect with `TRACE`). `None` disables tracing
-    /// entirely — the engine's span hooks reduce to one atomic load each.
-    /// `Some(ZERO)` traces and logs every query.
+    /// slow-query log (inspect with `TRACE`). `None` disables threshold
+    /// tracing — the engine's span hooks reduce to one atomic load each,
+    /// except for requests that opt in with `trace=1`, which are traced
+    /// (and force-logged) regardless. `Some(ZERO)` traces and logs every
+    /// query.
     pub slow_query: Option<Duration>,
+    /// Slow-query ring capacity (`TRACE` serves the most recent entries;
+    /// older ones are evicted oldest-first). `0` disables the log.
+    pub slow_log_cap: usize,
     /// Overload-resilience knobs (DESIGN.md §16): deadline shedding is
     /// always on (it only fires for requests carrying a deadline); cost
     /// admission and the brownout controller are configured here.
@@ -116,6 +121,7 @@ impl Default for ServerConfig {
             dedup_cap: 256,
             hang_timeout: None,
             slow_query: None,
+            slow_log_cap: SLOW_LOG_CAP_DEFAULT,
             overload: OverloadConfig::default(),
         }
     }
@@ -175,9 +181,10 @@ impl Default for OverloadConfig {
     }
 }
 
-/// Slow-query log capacity: the `TRACE` verb serves the most recent
-/// entries; older ones are evicted.
-const SLOW_LOG_CAP: usize = 32;
+/// Default slow-query log capacity (`ServerConfig::slow_log_cap`,
+/// `--slow-log-cap`): the `TRACE` verb serves the most recent entries;
+/// older ones are evicted.
+pub const SLOW_LOG_CAP_DEFAULT: usize = 32;
 
 /// Queue-wait samples kept for the brownout controller's rolling p95.
 const OVERLOAD_WINDOW: usize = 128;
@@ -362,7 +369,8 @@ struct Shared {
     /// channels are MPMC; holding a receiver does not keep the queue alive
     /// from the sender side).
     queue_probe: Receiver<Job>,
-    /// Ring of the last [`SLOW_LOG_CAP`] slow-query entries, oldest first.
+    /// Ring of the last `config.slow_log_cap` slow-query entries, oldest
+    /// first.
     slow_log: Mutex<std::collections::VecDeque<TraceBody>>,
     /// Server-assigned entry ids for slow queries without an `id=N` option.
     slow_seq: std::sync::atomic::AtomicU64,
@@ -492,8 +500,12 @@ impl Shared {
             degraded = degraded,
             spans = entry.spans.len()
         );
+        let cap = self.config.slow_log_cap;
+        if cap == 0 {
+            return;
+        }
         let mut log = self.slow_log.lock();
-        if log.len() >= SLOW_LOG_CAP {
+        while log.len() >= cap {
             log.pop_front();
         }
         log.push_back(entry);
@@ -815,8 +827,15 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>, slot: &WorkerSlot) {
         // Span tracing: install a per-job trace buffer when the slow-query
         // log is enabled, so a query that turns out slow can be explained
         // after the fact. The engine picks the buffer up through its
-        // thread-local hooks (shards report through fork/absorb).
-        let tracing = shared.config.slow_query.is_some()
+        // thread-local hooks (shards report through fork/absorb). A
+        // `trace=1` option opts one request in regardless of the server's
+        // threshold — that is how the coordinator asks backends for the
+        // span trees it stitches into cross-process traces.
+        let requested_trace = match &job.request {
+            Request::Query { options, .. } | Request::Explain { options, .. } => options.trace,
+            _ => false,
+        };
+        let tracing = (shared.config.slow_query.is_some() || requested_trace)
             && matches!(job.request, Request::Query { .. } | Request::Explain { .. });
         if tracing {
             hin_telemetry::trace::install();
@@ -828,7 +847,7 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>, slot: &WorkerSlot) {
         // Unwind safety: request execution only touches immutable shared
         // state (graph, index), lock-protected caches whose guards restore
         // invariants on unwind, and per-request values dropped here.
-        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             execute_request(shared, &job, queue_wait)
         }))
         .unwrap_or_else(|payload| {
@@ -840,11 +859,14 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>, slot: &WorkerSlot) {
         });
         // Uninstall unconditionally (also after a panic, so a poisoned
         // buffer never leaks into the next job on this worker).
-        let trace = if tracing {
+        let mut trace = if tracing {
             hin_telemetry::trace::take()
         } else {
             None
         };
+        if let Some(buf) = &trace {
+            shared.stats.trace_dropped.add(buf.dropped());
+        }
         let exec = exec_started.elapsed();
         // Feed the cost model: full (non-degraded) executions give a clean
         // cost-per-microsecond sample; degraded runs were truncated by the
@@ -857,6 +879,26 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>, slot: &WorkerSlot) {
             }
         }
 
+        // Trace propagation (DESIGN.md §17): a traced shard sub-request
+        // carries its span tree home on the `shard` response itself, so
+        // the coordinator can stitch it into the cross-process trace. The
+        // attachment happens *before* the dedup insert below — a hedged
+        // retry replayed from the cache must be byte-identical to the
+        // original, trace payload included. Client-visible `result`
+        // responses are never touched: their trace lands in the slow-query
+        // ring instead (fetch it with `TRACE <id>`).
+        if requested_trace {
+            if let (Response::Shard(body), Some(buf)) = (&mut response, &trace) {
+                body.trace = Some(crate::protocol::ShardTrace {
+                    queue_wait_us: queue_wait.as_micros() as u64,
+                    spans_dropped: buf.dropped(),
+                    spans: buf.tree(),
+                });
+                // Consumed by the response; nothing left to ring-log.
+                trace = None;
+            }
+        }
+
         // Idempotency: remember the serialized response before answering,
         // so a client retry of the same id replays it byte-identically —
         // even when the original response line is lost to a dropped
@@ -866,8 +908,14 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>, slot: &WorkerSlot) {
         }
         let total = job.admitted.elapsed();
         shared.stats.record_latencies(queue_wait, exec, total);
-        if let (Some(threshold), Some(buf)) = (shared.config.slow_query, trace) {
-            if total >= threshold {
+        if let Some(buf) = trace {
+            // `trace=1` force-logs; otherwise the threshold decides.
+            let log = requested_trace
+                || shared
+                    .config
+                    .slow_query
+                    .is_some_and(|threshold| total >= threshold);
+            if log {
                 shared.log_slow_query(&job.request, queue_wait, exec, total, &response, buf);
             }
         }
@@ -2036,6 +2084,72 @@ mod tests {
         assert_eq!(
             bodies[2].get("measure").and_then(Value::as_str),
             Some("NetOut")
+        );
+        handle.join().expect("server thread");
+    }
+
+    /// Ids retained in a `TRACE` listing, oldest first.
+    fn trace_ids(line: &str) -> Vec<u64> {
+        let v = crate::json::parse_value(line).expect("valid JSON");
+        v.get("traces")
+            .and_then(|t| t.get("entries"))
+            .and_then(crate::json::Value::as_array)
+            .expect("entries array")
+            .iter()
+            .map(|e| {
+                e.get("id")
+                    .and_then(crate::json::Value::as_u64)
+                    .expect("entry id")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trace_option_force_logs_and_ring_evicts_oldest_first() {
+        // slow_query stays None: only the trace=1 request option opts
+        // queries into the ring, which keeps the 2 most recent entries.
+        let (addr, handle) = toy_server(ServerConfig {
+            workers: 2,
+            queue_cap: 16,
+            slow_log_cap: 2,
+            ..ServerConfig::default()
+        });
+        let q = "FIND OUTLIERS FROM venue{\"ICDE\"}.paper.author JUDGED BY author.paper.venue;";
+        // Concurrent traced queries from several clients: the ring must
+        // stay bounded at capacity however the insertions interleave.
+        let mut clients = Vec::new();
+        for i in 0..4u64 {
+            let line = format!("QUERY trace=1 id={} {q}", 100 + i);
+            clients.push(std::thread::spawn(move || {
+                send_lines(addr, &[line.as_str()])
+            }));
+        }
+        for c in clients {
+            let responses = c.join().expect("client thread");
+            assert!(responses[0].starts_with(r#"{"result""#), "{}", responses[0]);
+        }
+        let listing = send_lines(addr, &["TRACE"]);
+        assert_eq!(trace_ids(&listing[0]).len(), 2, "{}", listing[0]);
+        // Sequential traced queries pin the eviction order: after ids
+        // 1, 2, 3 pass through a cap-2 ring, only [2, 3] remain and the
+        // evicted id answers with a structured error, not silence.
+        let mut batch: Vec<String> = (1..=3u64)
+            .map(|id| format!("QUERY trace=1 id={id} {q}"))
+            .collect();
+        batch.push("TRACE".to_string());
+        batch.push("TRACE 1".to_string());
+        batch.push("SHUTDOWN".to_string());
+        let refs: Vec<&str> = batch.iter().map(String::as_str).collect();
+        let responses = send_lines(addr, &refs);
+        for r in &responses[..3] {
+            assert!(r.starts_with(r#"{"result""#), "{r}");
+        }
+        assert_eq!(trace_ids(&responses[3]), vec![2, 3], "{}", responses[3]);
+        assert!(
+            responses[4].contains(r#""code":"Protocol""#)
+                && responses[4].contains("no slow-query entry with id 1"),
+            "{}",
+            responses[4]
         );
         handle.join().expect("server thread");
     }

@@ -50,6 +50,10 @@ pub struct ServerStats {
     /// Requests shed with a structured `expired` response because their
     /// deadline elapsed while they waited in the queue (never executed).
     pub expired: Counter,
+    /// Spans recorded but rejected because a trace buffer was full — a
+    /// nonzero value means trace trees are incomplete and the span cap
+    /// (or the query's fan-out) deserves a look.
+    pub trace_dropped: Counter,
     /// Requests rejected at admission because their estimated cost could
     /// not fit the remaining deadline (cost-based admission control).
     pub cost_rejected: Counter,
@@ -148,6 +152,10 @@ impl ServerStats {
             expired: registry.counter(
                 "hin_overload_expired_total",
                 "Requests shed unexecuted because their deadline expired in queue.",
+            ),
+            trace_dropped: registry.counter(
+                "hin_trace_dropped_spans_total",
+                "Spans dropped because a per-query trace buffer was full.",
             ),
             cost_rejected: registry.counter(
                 "hin_overload_cost_rejected_total",
@@ -378,6 +386,7 @@ impl ServerStats {
             deduped: self.deduped.get(),
             dropped_conns: self.dropped_conns.get(),
             expired: self.expired.get(),
+            trace_dropped: self.trace_dropped.get(),
             cost_rejected: self.cost_rejected.get(),
             priority_shed: self.priority_shed.get(),
             downtiered: self.downtiered.get(),
@@ -497,6 +506,8 @@ pub struct StatsSnapshot {
     pub dropped_conns: u64,
     /// Requests shed unexecuted because their deadline expired in queue.
     pub expired: u64,
+    /// Spans dropped because a per-query trace buffer was full.
+    pub trace_dropped: u64,
     /// Requests rejected by cost-based admission control.
     pub cost_rejected: u64,
     /// Requests shed for low priority under brownout.
@@ -649,6 +660,7 @@ mod tests {
             "hin_engine_set_retrieval_us_total 7",
             "hin_engine_scoring_us_total 11",
             "hin_queue_depth 2",
+            "hin_trace_dropped_spans_total",
             "hin_overload_expired_total",
             "hin_overload_cost_rejected_total",
             "hin_overload_priority_shed_total",

@@ -34,16 +34,20 @@ fn options() -> impl Strategy<Value = RequestOptions> {
         proptest::option::of(any::<u64>()),
         proptest::option::of(shard()),
         proptest::option::of(0u8..=9),
+        any::<bool>(),
     )
         .prop_map(
-            |(timeout_ms, max_candidates, max_nnz, mode, id, shard, priority)| RequestOptions {
-                timeout_ms,
-                max_candidates,
-                max_nnz,
-                mode,
-                id,
-                shard,
-                priority,
+            |(timeout_ms, max_candidates, max_nnz, mode, id, shard, priority, trace)| {
+                RequestOptions {
+                    timeout_ms,
+                    max_candidates,
+                    max_nnz,
+                    mode,
+                    id,
+                    shard,
+                    priority,
+                    trace,
+                }
             },
         )
 }

@@ -217,6 +217,91 @@ fn killed_backend_fails_over_without_client_visible_errors() {
     b1_h.join().expect("backend 1");
 }
 
+/// PR 5's invariant extended across processes (DESIGN.md §17): `trace=1`
+/// must never perturb the merged answer — not under aggressive hedging
+/// (traced winners racing cancelled losers), not across failover (failed
+/// attempts become annotated spans, not result changes) — and the
+/// assembled tree must stitch coordinator and backend spans together.
+#[test]
+fn tracing_is_invisible_across_failover_and_hedging() {
+    let seed = 53;
+    let queries = workload_queries(seed);
+    let config = ServerConfig {
+        workers: 2,
+        queue_cap: 16,
+        ..ServerConfig::default()
+    };
+    let (b0, b0_h) = spawn_backend(detector(seed, MeasureKind::NetOut), config.clone());
+    let (b1, b1_h) = spawn_backend(detector(seed, MeasureKind::NetOut), config);
+    // Hedge almost immediately: every shard dials its second replica while
+    // the first is still working, so traced span payloads ride both the
+    // winning and the cancelled attempt.
+    let (coord, coord_h) = spawn_coordinator(
+        vec![b0, b1],
+        CoordinatorConfig {
+            hedge_after: Duration::from_millis(1),
+            ..coordinator_config()
+        },
+    );
+
+    // Untraced control answers from the same coordinator.
+    let mut client = Client::connect(coord).expect("connect");
+    let expected: Vec<String> = queries
+        .iter()
+        .map(|q| {
+            let line = client
+                .send_line(&format!("QUERY {q}"))
+                .expect("control response");
+            assert!(line.starts_with(r#"{"result""#), "{line}");
+            line
+        })
+        .collect();
+
+    // A seeded kill plan on backend 1 forces failovers mid-workload.
+    let faults = client
+        .send_line("FAULTS 1 seed=5;kill@0;kill@2")
+        .expect("install fault plan");
+    assert!(faults.starts_with(r#"{"faults""#), "{faults}");
+
+    for (query, want) in queries.iter().zip(&expected) {
+        let got = client
+            .send_line(&format!("QUERY trace=1 {query}"))
+            .expect("traced response");
+        assert!(
+            !got.contains("\"trace\""),
+            "tracing leaked into a client-visible result: {got}"
+        );
+        assert_eq!(
+            strip_exec_us(&got),
+            strip_exec_us(want),
+            "trace=1 perturbed the bytes of query {query:?}"
+        );
+    }
+    drop(client);
+
+    // Every traced query force-logged into the coordinator's ring; the
+    // assembled tree must hold spans from both sides of the wire —
+    // coordinator scatter/merge plus grafted backend engine phases.
+    let trace = hin_service::fetch_latest_trace(coord)
+        .expect("fetch trace")
+        .expect("ring has entries");
+    let rendered = hin_telemetry::trace::render_tree(&trace.spans);
+    for span in ["carve", "scatter", "merge", "attempt", "set_retrieval"] {
+        assert!(rendered.contains(span), "missing {span} in:\n{rendered}");
+    }
+
+    shutdown(coord);
+    let snapshot = coord_h.join().expect("coordinator");
+    assert!(
+        snapshot.failovers + snapshot.hedges >= 1,
+        "the kill plan and 1ms hedge trigger must have exercised extra attempts: {snapshot:?}"
+    );
+    shutdown(b0);
+    shutdown(b1);
+    b0_h.join().expect("backend 0");
+    b1_h.join().expect("backend 1");
+}
+
 #[test]
 fn unrecoverable_shard_degrades_and_total_outage_errors() {
     let seed = 47;
